@@ -1,0 +1,55 @@
+// Ablation (Sec 2) — the XLA batch-padding motivation for large batches.
+//
+// "the TPU cores operate over a memory layout of XLA, which pads each
+// tensor's batch dimension to a multiple of eight. When the number of TPU
+// cores increases to the point that each core processes fewer than 8
+// examples, the cores will have to process the padded examples, thus
+// wasting resources. Therefore, training on an entire TPU-v3 pod ...
+// requires at least a global batch size of 16384."
+//
+// The pod model makes the waste concrete: per-core throughput efficiency
+// vs per-core batch, with and without the pad-to-8 rule, for B2 on a full
+// 2048-core pod.
+#include <cstdio>
+
+#include "tpu/pod_model.h"
+
+int main() {
+  using namespace podnet;
+  const auto cost = effnet::analyze(effnet::b(2));
+  const auto slice = tpu::make_slice(2048);  // the full pod of Sec 2
+  const auto target = tpu::tpu_v3();
+
+  std::printf(
+      "Ablation (Sec 2): XLA pad-to-8 and the minimum useful global batch\n"
+      "(EfficientNet-B2 on a full 2048-core pod)\n\n");
+  std::printf("%10s %10s  %14s %14s %12s\n", "per-core b", "GB",
+              "img/ms padded", "img/ms ideal", "efficiency");
+  for (int i = 0; i < 66; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (int b : {1, 2, 4, 8, 16, 32}) {
+    tpu::StepOptions opts;
+    opts.per_core_batch = b;
+    const auto padded = tpu::model_step(cost, slice, target, opts);
+    // "Ideal" hardware without the pad: price the same batch directly.
+    tpu::ComputeOptions copts;
+    copts.per_core_batch = b;
+    copts.xla_pad_batch_to_8 = false;
+    const double ideal_compute = tpu::model_compute_seconds(cost, target,
+                                                            copts);
+    const double ideal_step =
+        ideal_compute + padded.allreduce_s + padded.overhead_s;
+    const double ideal_thr =
+        static_cast<double>(padded.global_batch) / (ideal_step * 1e3);
+    std::printf("%10d %10lld  %14.2f %14.2f %11.0f%%\n", b,
+                static_cast<long long>(padded.global_batch),
+                padded.throughput_img_per_ms, ideal_thr,
+                100.0 * padded.throughput_img_per_ms / ideal_thr);
+  }
+  std::printf(
+      "\nShape: below 8 examples per core, the padded throughput flatlines "
+      "while the\nideal one keeps shrinking with the batch — at per-core "
+      "batch 8 (global 16384)\nthe pad costs nothing, which is exactly the "
+      "paper's minimum-batch argument.\n");
+  return 0;
+}

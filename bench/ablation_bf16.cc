@@ -1,0 +1,63 @@
+// Ablation E5 (paper Sec 3.5) — mixed precision: bf16 convolution
+// multiplicands vs full fp32.
+//
+// Two claims to check: (1) model quality does not degrade — verified by
+// really training the same model twice, identical seeds, toggling only the
+// conv precision; (2) hardware efficiency improves — quantified with the
+// pod model (bf16 halves conv activation traffic and runs the MXU at its
+// bf16 peak).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpu/pod_model.h"
+
+int main() {
+  using namespace podnet;
+  std::printf(
+      "Ablation (Sec 3.5): bfloat16 convolutions vs fp32\n\n"
+      "Quality (real training, pico on SyntheticImageNet, identical "
+      "seeds):\n");
+  std::printf("%-12s %10s %12s %12s\n", "precision", "peak top-1",
+              "final loss", "peak epoch");
+  bench::print_rule(50);
+  for (const bool bf16 : {false, true}) {
+    core::TrainConfig c = bench::scaled_config("pico");
+    c.replicas = 4;
+    c.per_replica_batch = 32;
+    bench::apply_lars_recipe(c, 4.0f, 1.0);
+    c.bn.kind = core::BnGroupingConfig::Kind::k1d;
+    c.bn.group_size = 2;
+    c.precision = bf16 ? tensor::MatmulPrecision::kBf16
+                       : tensor::MatmulPrecision::kFp32;
+    const core::TrainResult r = core::train(c);
+    std::printf("%-12s %10.4f %12.4f %12.1f\n", bf16 ? "bf16" : "fp32",
+                r.peak_accuracy, r.final_train_loss, r.peak_epoch);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nModeled step time on a 1024-core TPU-v3 slice (per-core batch "
+      "32):\n");
+  std::printf("%-16s %12s %12s %10s\n", "Model", "fp32 (ms)", "bf16 (ms)",
+              "speedup");
+  bench::print_rule(55);
+  for (int variant : {2, 5}) {
+    const auto cost = effnet::analyze(effnet::b(variant));
+    tpu::StepOptions opts;
+    opts.per_core_batch = 32;
+    opts.bf16_convs = false;
+    const auto fp32 = tpu::model_step(cost, tpu::make_slice(1024),
+                                      tpu::tpu_v3(), opts);
+    opts.bf16_convs = true;
+    const auto bf16 = tpu::model_step(cost, tpu::make_slice(1024),
+                                      tpu::tpu_v3(), opts);
+    std::printf("EfficientNet-B%d %12.1f %12.1f %9.2fx\n", variant,
+                fp32.step_s * 1e3, bf16.step_s * 1e3,
+                fp32.step_s / bf16.step_s);
+  }
+  std::printf(
+      "\nShape: accuracy parity within noise (the paper reports no "
+      "degradation, and even\ncites a mild regularizing effect), with a "
+      "substantial modeled step-time win.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation E4 (paper Sec 3.4) — distributed batch normalization: accuracy
+// vs BN replica-group size, including the 2-D tiling grouping, with the
+// modeled communication cost of the per-step BN stat reductions.
+//
+// The paper: grouping replicas raises the effective BN batch, improving
+// final accuracy at a communication cost that grows with the group; for
+// groups > 16 a 2-D tiling keeps the reduction local on the torus. Here 8
+// replicas with per-core batch 16 sweep group sizes 1..8 (BN batch
+// 16..128); the same sweep prices the stat reduction on a pod slice.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpu/cost_model.h"
+
+namespace {
+
+using namespace podnet;
+
+// Bytes all-reduced per training step by distributed BN: forward sends
+// [sum, sumsq, count] and backward [sum(dy), sum(dy*xhat)] per channel.
+double bn_sync_bytes(const effnet::ModelSpec& spec) {
+  double channels = 0;
+  const auto blocks = effnet::expand_blocks(spec);
+  channels += static_cast<double>(effnet::scaled_stem_filters(spec));
+  for (const auto& b : blocks) {
+    const double expanded =
+        static_cast<double>(b.input_filters * b.expand_ratio);
+    if (b.expand_ratio != 1) channels += expanded;  // bn0
+    channels += expanded;                           // bn1
+    channels += static_cast<double>(b.output_filters);  // bn2
+  }
+  channels += static_cast<double>(effnet::scaled_head_filters(spec));
+  return (4.0 * channels + 1.0) * 4.0;  // (2C+1) fwd + 2C bwd, fp32
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation (Sec 3.4): distributed batch normalization\n"
+      "(8 simulated cores, per-core batch 16, LARS recipe; BN batch = "
+      "group * 16)\n\n");
+  std::printf("%-22s %8s %10s  %12s %18s\n", "grouping", "BN batch",
+              "peak top-1", "peak epoch", "BN sync/step (us)");
+  bench::print_rule(78);
+
+  struct Case {
+    const char* label;
+    core::BnGroupingConfig bn;
+    int group_size;
+  };
+  std::vector<Case> cases;
+  for (int g : {1, 2, 4, 8}) {
+    core::BnGroupingConfig bn;
+    bn.kind = g == 1 ? core::BnGroupingConfig::Kind::kLocal
+                     : core::BnGroupingConfig::Kind::k1d;
+    bn.group_size = g;
+    static char labels[4][24];
+    static int idx = 0;
+    std::snprintf(labels[idx], sizeof(labels[idx]), "1-D group of %d", g);
+    cases.push_back({labels[idx++], bn, g});
+  }
+  {
+    core::BnGroupingConfig bn;
+    bn.kind = core::BnGroupingConfig::Kind::k2d;
+    bn.grid_cols = 4;   // 8 replicas on a 2x4 grid
+    bn.tile_rows = 2;
+    bn.tile_cols = 2;   // 2x2 tiles -> groups of 4
+    cases.push_back({"2-D tile 2x2 (of 2x4)", bn, 4});
+  }
+
+  const double sync_bytes = bn_sync_bytes(effnet::pico());
+  tpu::CollectiveParams params;
+  params.link_bw = tpu::tpu_v3().link_bw;
+  params.alpha = tpu::tpu_v3().link_latency;
+
+  for (const auto& tc : cases) {
+    core::TrainConfig c = bench::scaled_config("pico");
+    c.replicas = 8;
+    c.per_replica_batch = 16;
+    bench::apply_lars_recipe(c, 4.0f, 1.0);
+    c.bn = tc.bn;
+    const core::TrainResult r = core::train(c);
+    // Cost of one BN stat all-reduce chain on a pod: a flat/ring reduction
+    // among `group` chips per BN layer pair, modeled in one shot.
+    const double sync_s =
+        tpu::ring_allreduce_seconds(sync_bytes, tc.group_size, params);
+    std::printf("%-22s %8d %10.4f  %12.1f %18.2f\n", tc.label,
+                16 * tc.group_size, r.peak_accuracy, r.peak_epoch,
+                sync_s * 1e6);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nShape: accuracy improves as the BN batch grows toward a sweet spot "
+      "(paper tunes\nthis per model), while the sync cost grows with group "
+      "size; the 2-D tiling\nmatches the equal-size 1-D group's accuracy "
+      "while staying torus-local.\n");
+  return 0;
+}

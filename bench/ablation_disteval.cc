@@ -1,0 +1,51 @@
+// Ablation E6 (paper Sec 3.3) — distributed evaluation vs the
+// TPUEstimator-style dedicated evaluator.
+//
+// With TPUEstimator, evaluation runs on a separate TPU chip (2 cores):
+// once the training slice is large, training outpaces the evaluator and
+// end-to-end time becomes evaluation-bound. The fused distributed
+// train+eval loop shards the eval split over all training cores instead.
+// The pod model prices both modes for B2 and B5 across slice sizes.
+#include <cstdio>
+
+#include "tpu/pod_model.h"
+
+int main() {
+  using namespace podnet;
+  std::printf(
+      "Ablation (Sec 3.3): distributed evaluation vs separate evaluator\n"
+      "(350-epoch runs, eval every epoch, evaluator = one TPU chip)\n\n");
+  std::printf("%-16s %6s  %14s %14s %10s\n", "Model", "cores",
+              "dist eval (min)", "sep eval (min)", "penalty");
+  for (int i = 0; i < 68; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (int variant : {2, 5}) {
+    const auto cost = effnet::analyze(effnet::b(variant));
+    tpu::StepOptions sopts;
+    sopts.per_core_batch = 32;
+    for (int cores : {128, 256, 512, 1024}) {
+      tpu::RunOptions run;
+      run.epochs_to_peak = 350;
+      run.eval_every_epochs = 1.0;
+      run.eval_mode = tpu::EvalMode::kDistributed;
+      const auto dist = tpu::model_run(cost, tpu::make_slice(cores),
+                                       tpu::tpu_v3(), sopts, run);
+      run.eval_mode = tpu::EvalMode::kSeparateEvaluator;
+      run.evaluator_cores = 2;
+      const auto sep = tpu::model_run(cost, tpu::make_slice(cores),
+                                      tpu::tpu_v3(), sopts, run);
+      std::printf("EfficientNet-B%d %6d  %14.1f %14.1f %9.2fx\n", variant,
+                  cores, dist.total_minutes(), sep.total_minutes(),
+                  sep.total_s / dist.total_s);
+    }
+    std::putchar('\n');
+  }
+  std::printf(
+      "Shape: the penalty of the separate evaluator grows with the slice — "
+      "at small\nslices training dominates and the evaluator keeps up; at "
+      "pod scale the run\nbecomes evaluation-bound, which is exactly why "
+      "the paper adopts the distributed\ntrain-and-eval loop of Kumar et "
+      "al.\n");
+  return 0;
+}

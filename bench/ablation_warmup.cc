@@ -1,0 +1,73 @@
+// Ablation (Sec 3.2) — learning-rate warm-up.
+//
+// "larger learning rates can lead to divergence; thus, we also apply a
+// learning rate warmup where training starts with a smaller initial
+// learning rate and gradually increases [it] over a tunable number of
+// epochs." Two measurements:
+//   A. RMSProp at an aggressive scaled rate (0.5/256 at GB 128): the
+//      classic Goyal-et-al mechanism — warm-up rescues the cold start.
+//   B. LARS at GB 512: the trust ratio already bounds the effective step
+//      on cold weights, so warm-up matters far less — the property You et
+//      al. designed LARS for. (At the paper's scale — deeper nets, 350
+//      epochs — Table 2 still tunes 43-50 warm-up epochs; proportionally
+//      that is the same ~10-15% of the budget as 1-2 epochs here.)
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace podnet;
+
+void run_row(bool lars, float lr_per_256, double warmup,
+             tensor::Index per_replica, int replicas) {
+  core::TrainConfig c = bench::scaled_config("pico");
+  c.replicas = replicas;
+  c.per_replica_batch = per_replica;
+  if (lars) {
+    bench::apply_lars_recipe(c, lr_per_256, warmup);
+  } else {
+    bench::apply_rmsprop_recipe(c, lr_per_256);
+  }
+  // Exact sweep values (the recipe helpers' fast-mode floor would collapse
+  // the sweep), capped at the run length.
+  c.schedule.warmup_epochs = std::min(warmup, c.epochs);
+  c.bn.kind = core::BnGroupingConfig::Kind::k1d;
+  c.bn.group_size = 2;
+  const core::TrainResult r = core::train(c);
+  std::printf("%-8s %8.2f %12.1f %12.4f %12.4f\n", lars ? "LARS" : "RMSProp",
+              static_cast<double>(lr_per_256), c.schedule.warmup_epochs,
+              r.peak_accuracy, r.final_train_loss);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation (Sec 3.2): learning-rate warm-up\n\n"
+      "A. RMSProp at an aggressive scaled rate (GB 128, LR/256 = 0.5):\n");
+  std::printf("%-8s %8s %12s %12s %12s\n", "opt", "LR/256", "warm-up (ep)",
+              "peak top-1", "final loss");
+  bench::print_rule(58);
+  for (const double warmup : {0.0, 1.0, 2.0}) {
+    run_row(/*lars=*/false, 0.5f, warmup, 32, 4);
+  }
+
+  std::printf("\nB. LARS at large batch (GB 512, LR/256 = 4.0):\n");
+  std::printf("%-8s %8s %12s %12s %12s\n", "opt", "LR/256", "warm-up (ep)",
+              "peak top-1", "final loss");
+  bench::print_rule(58);
+  for (const double warmup : {0.0, 2.0, 4.0}) {
+    run_row(/*lars=*/true, 4.0f, warmup, 64, 8);
+  }
+
+  std::printf(
+      "\nShape: warm-up rescues the plain optimizer's aggressive cold "
+      "start (A, monotone\ngain), while LARS is nearly warm-up-insensitive "
+      "(B) — its trust ratio already\nclamps early steps, which is exactly "
+      "why LARS tolerates the huge scaled rates\nof Table 2 and why the "
+      "paper treats warm-up length as a mild per-config tunable.\n");
+  return 0;
+}

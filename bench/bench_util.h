@@ -1,0 +1,69 @@
+// Shared helpers for the experiment harnesses (bench/table*, bench/fig*,
+// bench/ablation_*): the standard scaled-down dataset, the paper's two
+// optimizer recipes, and row printing.
+//
+// Scaling convention (documented in EXPERIMENTS.md): simulated TPU cores
+// become replica threads (max 8 on the CI box), ImageNet becomes
+// SyntheticImageNet-16cls/2048img/16px, 350 epochs become 12, and the
+// global-batch axis 4096..65536 becomes 64..1024. Shapes — who wins, where
+// accuracy falls off, what the crossovers are — carry over; absolute
+// values do not.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace podnet::bench {
+
+// Honor PODNET_FAST=1 for smoke runs (quarter-length training).
+inline bool fast_mode() {
+  const char* v = std::getenv("PODNET_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline double scale_epochs(double epochs) {
+  return fast_mode() ? std::max(2.0, epochs / 4.0) : epochs;
+}
+
+inline core::TrainConfig scaled_config(const std::string& model_name) {
+  core::TrainConfig c;
+  c.spec = effnet::by_name(model_name);
+  c.dataset.num_classes = 16;
+  c.dataset.train_size = 2048;
+  c.dataset.eval_size = 512;
+  c.dataset.resolution = 16;  // both pico and nano run at 16px here
+  c.epochs = scale_epochs(12.0);
+  c.eval_every_epochs = 1.0;
+  c.seed = 3;
+  return c;
+}
+
+// The paper's RMSProp baseline recipe (Table 2 rows 1-3): exponential decay
+// + short warm-up, LR 0.016/256 rescaled to our epoch budget.
+inline void apply_rmsprop_recipe(core::TrainConfig& c, float lr_per_256) {
+  c.optimizer.kind = optim::OptimizerKind::kRmsProp;
+  c.lr_per_256 = lr_per_256;
+  c.schedule.decay = optim::DecayKind::kExponential;
+  c.schedule.decay_epochs = 1.2;  // paper: 2.4 of 350 -> 1.2 of our 12
+  c.schedule.warmup_epochs = scale_epochs(1.0);
+}
+
+// The paper's LARS recipe (Table 2 rows 4-6): polynomial decay + long
+// warm-up.
+inline void apply_lars_recipe(core::TrainConfig& c, float lr_per_256,
+                              double warmup_epochs) {
+  c.optimizer.kind = optim::OptimizerKind::kLars;
+  c.lr_per_256 = lr_per_256;
+  c.schedule.decay = optim::DecayKind::kPolynomial;
+  c.schedule.warmup_epochs = scale_epochs(warmup_epochs);
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace podnet::bench

@@ -1,0 +1,81 @@
+// Microbenchmarks (E8): the shared-memory all-reduce algorithms across
+// replica counts and message sizes — the functional counterpart of the
+// alpha-beta models in src/tpu (which price the same algorithms on pod
+// interconnect instead of on host threads).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dist/communicator.h"
+#include "dist/replica.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace podnet::dist;
+
+void run_allreduce(benchmark::State& state, AllReduceAlgorithm alg) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(ranks),
+                                       std::vector<float>(elems, 1.f));
+  Communicator comm(ranks);
+  for (auto _ : state) {
+    run_replicas(ranks, [&](int r) {
+      comm.allreduce_sum(r, data[static_cast<std::size_t>(r)], alg);
+    });
+    benchmark::DoNotOptimize(data[0][0]);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems) * ranks * 4);
+}
+
+void BM_AllReduceFlat(benchmark::State& state) {
+  run_allreduce(state, AllReduceAlgorithm::kFlat);
+}
+void BM_AllReduceRing(benchmark::State& state) {
+  run_allreduce(state, AllReduceAlgorithm::kRing);
+}
+void BM_AllReduceHalvingDoubling(benchmark::State& state) {
+  run_allreduce(state, AllReduceAlgorithm::kHalvingDoubling);
+}
+
+void collective_args(benchmark::internal::Benchmark* b) {
+  for (int ranks : {2, 4}) {
+    for (int elems : {1 << 10, 1 << 16, 1 << 20}) {
+      b->Args({ranks, elems});
+    }
+  }
+}
+
+BENCHMARK(BM_AllReduceFlat)->Apply(collective_args)->UseRealTime();
+BENCHMARK(BM_AllReduceRing)->Apply(collective_args)->UseRealTime();
+BENCHMARK(BM_AllReduceHalvingDoubling)
+    ->Apply(collective_args)
+    ->UseRealTime();
+
+void BM_Broadcast(benchmark::State& state) {
+  const int ranks = 4;
+  const std::size_t elems = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> data(ranks, std::vector<float>(elems, 1.f));
+  Communicator comm(ranks);
+  for (auto _ : state) {
+    run_replicas(ranks, [&](int r) {
+      comm.broadcast(r, 0, data[static_cast<std::size_t>(r)]);
+    });
+  }
+}
+BENCHMARK(BM_Broadcast)->Arg(1 << 16)->UseRealTime();
+
+void BM_ScalarAllReduce(benchmark::State& state) {
+  const int ranks = 4;
+  Communicator comm(ranks);
+  for (auto _ : state) {
+    run_replicas(ranks,
+                 [&](int r) { benchmark::DoNotOptimize(
+                     comm.allreduce_scalar(r, 1.0)); });
+  }
+}
+BENCHMARK(BM_ScalarAllReduce)->UseRealTime();
+
+}  // namespace

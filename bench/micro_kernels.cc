@@ -1,0 +1,141 @@
+// Microbenchmarks (E9): the compute kernels behind training — GEMM,
+// convolution lowering, depthwise convolution, batch norm, bf16
+// conversion — at EfficientNet-pico-like shapes.
+#include <benchmark/benchmark.h>
+
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/depthwise_conv.h"
+#include "nn/loss.h"
+#include "tensor/bf16.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+namespace {
+
+using namespace podnet;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    tensor::gemm_contiguous(false, false, n, n, n, 1.f, a.data(), b.data(),
+                            0.f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBf16(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    tensor::gemm_contiguous(false, false, n, n, n, 1.f, a.data(), b.data(),
+                            0.f, c.data(), tensor::MatmulPrecision::kBf16);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBf16)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2D conv(16, 32, 3, 1, rng);
+  Tensor x = Tensor::randn(Shape{8, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvTrainStep(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2D conv(16, 32, 3, 1, rng);
+  Tensor x = Tensor::randn(Shape{8, 16, 16, 16}, rng);
+  Tensor g = Tensor::randn(Shape{8, 16, 16, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    Tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ConvTrainStep);
+
+void BM_DepthwiseForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::DepthwiseConv2D dw(32, 3, 1, rng);
+  Tensor x = Tensor::randn(Shape{8, 16, 16, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = dw.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_DepthwiseForward);
+
+void BM_BatchNormTraining(benchmark::State& state) {
+  Rng rng(5);
+  nn::BatchNorm bn(32);
+  Tensor x = Tensor::randn(Shape{32, 8, 8, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = bn.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_BatchNormTraining);
+
+void BM_Im2col(benchmark::State& state) {
+  const auto g = tensor::ConvGeometry::same(8, 16, 16, 32, 3, 1);
+  Rng rng(6);
+  Tensor x = Tensor::randn(Shape{8, 16, 16, 32}, rng);
+  Tensor col(Shape{g.col_rows(), g.col_cols()});
+  for (auto _ : state) {
+    tensor::im2col(g, x.data(), col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetBytesProcessed(state.iterations() * col.numel() * 4);
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Bf16RoundTrip(benchmark::State& state) {
+  Rng rng(7);
+  Tensor x = Tensor::randn(Shape{1 << 16}, rng);
+  for (auto _ : state) {
+    Tensor y = x;
+    tensor::bf16_round_inplace(y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Bf16RoundTrip);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  Rng rng(8);
+  Tensor logits = Tensor::randn(Shape{256, 16}, rng);
+  std::vector<std::int64_t> labels(256);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::int64_t>(i % 16);
+  }
+  for (auto _ : state) {
+    auto res = nn::softmax_cross_entropy(logits, labels, 0.1f);
+    benchmark::DoNotOptimize(res.loss);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SoftmaxCrossEntropy);
+
+}  // namespace

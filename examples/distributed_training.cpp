@@ -1,0 +1,89 @@
+// Distributed training walkthrough: every optimization from the paper,
+// switched on one at a time.
+//
+// Runs four short training configurations on 8 simulated TPU cores:
+//   1. the single-core-style baseline recipe (RMSProp, local BN),
+//   2. + large batch, still RMSProp            -> accuracy collapses,
+//   3. + LARS with warm-up + polynomial decay  -> accuracy recovers,
+//   4. + distributed batch normalization       -> a little more quality.
+//
+//   ./build/examples/distributed_training
+#include <cstdio>
+
+#include "core/trainer.h"
+
+using namespace podnet;
+
+namespace {
+
+core::TrainConfig base() {
+  core::TrainConfig c;
+  c.spec = effnet::pico();
+  c.dataset.num_classes = 16;
+  c.dataset.train_size = 2048;
+  c.dataset.eval_size = 512;
+  c.dataset.resolution = 16;
+  c.replicas = 8;
+  c.epochs = 10.0;
+  c.seed = 5;
+  return c;
+}
+
+void report(const char* label, const core::TrainConfig& c) {
+  const core::TrainResult r = core::train(c);
+  std::printf("%-44s GB=%4lld  peak top-1 = %.4f (epoch %.0f)\n", label,
+              static_cast<long long>(r.global_batch), r.peak_accuracy,
+              r.peak_epoch);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PodNet distributed-training walkthrough (8 simulated cores)\n\n");
+
+  {
+    core::TrainConfig c = base();
+    c.per_replica_batch = 8;  // small global batch: the comfort zone
+    c.optimizer.kind = optim::OptimizerKind::kRmsProp;
+    c.lr_per_256 = 0.25f;
+    c.schedule.decay = optim::DecayKind::kExponential;
+    c.schedule.decay_epochs = 1.0;
+    c.schedule.warmup_epochs = 1.0;
+    report("1. RMSProp baseline, global batch 64", c);
+  }
+  {
+    core::TrainConfig c = base();
+    c.per_replica_batch = 64;  // scale the batch 8x, change nothing else
+    c.optimizer.kind = optim::OptimizerKind::kRmsProp;
+    c.lr_per_256 = 0.25f;
+    c.schedule.decay = optim::DecayKind::kExponential;
+    c.schedule.decay_epochs = 1.0;
+    c.schedule.warmup_epochs = 1.0;
+    report("2. RMSProp at 8x batch (degrades)", c);
+  }
+  {
+    core::TrainConfig c = base();
+    c.per_replica_batch = 64;
+    c.optimizer.kind = optim::OptimizerKind::kLars;
+    c.lr_per_256 = 4.0f;
+    c.schedule.decay = optim::DecayKind::kPolynomial;
+    c.schedule.warmup_epochs = 2.0;
+    report("3. LARS + warmup + poly decay (recovers)", c);
+  }
+  {
+    core::TrainConfig c = base();
+    c.per_replica_batch = 64;
+    c.optimizer.kind = optim::OptimizerKind::kLars;
+    c.lr_per_256 = 4.0f;
+    c.schedule.decay = optim::DecayKind::kPolynomial;
+    c.schedule.warmup_epochs = 2.0;
+    c.bn.kind = core::BnGroupingConfig::Kind::k1d;
+    c.bn.group_size = 2;  // BN batch 128
+    report("4. + distributed batch norm (groups of 2)", c);
+  }
+  std::printf("\nThis is Table 2's story in miniature: scaling the batch "
+              "without the large-batch\ntoolkit loses accuracy; LARS + "
+              "schedule + distributed BN wins it back.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// LR schedule explorer: prints the learning-rate curves of the paper's
+// recipes (Sec 3.2) as ASCII sparklines plus sampled values, for any
+// global batch.
+//
+//   ./build/examples/lr_schedule_explorer [global_batch]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "optim/lr_schedule.h"
+
+using namespace podnet::optim;
+
+namespace {
+
+void plot(const char* label, const LrSchedule& s, double total_epochs) {
+  // Sample the curve and render a coarse sparkline.
+  const int cols = 64;
+  std::vector<float> values(cols);
+  float peak = 0.f;
+  for (int i = 0; i < cols; ++i) {
+    values[i] = s.lr(total_epochs * i / (cols - 1));
+    peak = std::max(peak, values[i]);
+  }
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::printf("%-34s |", label);
+  for (int i = 0; i < cols; ++i) {
+    const int level =
+        peak > 0 ? static_cast<int>(7.999f * values[i] / peak) : 0;
+    std::printf("%s", levels[level]);
+  }
+  std::printf("| peak %.3f\n", static_cast<double>(peak));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t global_batch = argc > 1 ? std::atoll(argv[1]) : 32768;
+  const double total = 350.0;
+
+  std::printf("Learning-rate recipes for global batch %lld over %.0f "
+              "epochs\n(linear scaling rule: base = LR/256 * GB / 256)\n\n",
+              static_cast<long long>(global_batch), total);
+
+  // Paper Table 2 recipes.
+  LrScheduleConfig rmsprop;
+  rmsprop.decay = DecayKind::kExponential;
+  rmsprop.base_lr = scaled_base_lr(0.016f, global_batch);
+  rmsprop.warmup_epochs = 5;
+  rmsprop.total_epochs = total;
+  rmsprop.decay_epochs = 2.4;
+  rmsprop.decay_rate = 0.97f;
+
+  LrScheduleConfig lars;
+  lars.decay = DecayKind::kPolynomial;
+  lars.base_lr = scaled_base_lr(0.118f, global_batch);
+  lars.warmup_epochs = 50;
+  lars.total_epochs = total;
+
+  LrScheduleConfig lars_big;
+  lars_big.decay = DecayKind::kPolynomial;
+  lars_big.base_lr = scaled_base_lr(0.081f, global_batch);
+  lars_big.warmup_epochs = 43;
+  lars_big.total_epochs = total;
+
+  LrScheduleConfig cosine = lars;
+  cosine.decay = DecayKind::kCosine;
+
+  plot("RMSProp: 0.016/256, exp, 5-ep warm", *make_schedule(rmsprop), total);
+  plot("LARS: 0.118/256, poly, 50-ep warm", *make_schedule(lars), total);
+  plot("LARS-65k: 0.081/256, poly, 43-ep", *make_schedule(lars_big), total);
+  plot("ablation: cosine decay", *make_schedule(cosine), total);
+
+  std::printf("\nSampled values (LARS 0.118/256):\n");
+  auto s = make_schedule(lars);
+  for (double e : {0.0, 10.0, 25.0, 50.0, 100.0, 200.0, 300.0, 350.0}) {
+    std::printf("  epoch %5.0f : lr = %9.4f\n", e,
+                static_cast<double>(s->lr(e)));
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Pod-scale what-if explorer: price any EfficientNet on any TPU-v3 slice
+// without touching a TPU.
+//
+//   ./build/examples/pod_simulation [model] [per_core_batch]
+//   e.g. ./build/examples/pod_simulation b3 16
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "effnet/flops.h"
+#include "tpu/memory_model.h"
+#include "tpu/pod_model.h"
+
+using namespace podnet;
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "b2";
+  const int per_core = argc > 2 ? std::atoi(argv[2]) : 32;
+  const effnet::ModelSpec spec = effnet::by_name(model);
+  const auto cost = effnet::analyze(spec);
+
+  std::printf("%s @ %lldpx: %.2f M params, %.2f GFLOPs fwd/img, %.1f MB "
+              "gradients\n\n",
+              spec.name.c_str(), static_cast<long long>(spec.resolution),
+              cost.total_params() / 1e6, cost.forward_flops() / 1e9,
+              cost.gradient_bytes() / 1e6);
+
+  std::printf("%6s %10s %12s %12s %10s %14s\n", "cores", "GB", "step (ms)",
+              "img/ms", "AR %", "350-ep (min)");
+  for (int i = 0; i < 70; ++i) std::putchar('-');
+  std::putchar('\n');
+  tpu::StepOptions sopts;
+  sopts.per_core_batch = per_core;
+  for (int cores = 16; cores <= 2048; cores *= 2) {
+    const auto slice = tpu::make_slice(cores);
+    const auto step = tpu::model_step(cost, slice, tpu::tpu_v3(), sopts);
+    tpu::RunOptions run;
+    run.epochs_to_peak = 350;
+    const auto r = tpu::model_run(cost, slice, tpu::tpu_v3(), sopts, run);
+    std::printf("%6d %10lld %12.1f %12.2f %9.2f%% %14.1f\n", cores,
+                static_cast<long long>(step.global_batch), step.step_s * 1e3,
+                step.throughput_img_per_ms, step.allreduce_percent,
+                r.total_minutes());
+  }
+
+  std::printf("\nTop 5 most expensive layers (roofline, per core, per "
+              "step):\n");
+  tpu::ComputeOptions copts;
+  copts.per_core_batch = per_core;
+  struct Entry {
+    double seconds;
+    const effnet::LayerCost* layer;
+  };
+  std::vector<Entry> entries;
+  for (const auto& layer : cost.layers) {
+    entries.push_back(
+        {tpu::layer_step_seconds(layer, tpu::tpu_v3(), copts).seconds(),
+         &layer});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seconds > b.seconds; });
+  for (std::size_t i = 0; i < 5 && i < entries.size(); ++i) {
+    std::printf("  %-22s %8.2f ms\n", entries[i].layer->name.c_str(),
+                entries[i].seconds * 1e3);
+  }
+
+  const auto mem = tpu::model_memory(cost, per_core);
+  std::printf(
+      "\nHBM at per-core batch %d: %.2f GB of %.1f GB "
+      "(weights %.2f + grads %.2f + slots %.2f + activations %.2f + "
+      "overhead %.2f);\nlargest per-core batch that fits: %lld\n",
+      per_core, mem.total_bytes() / 1e9, tpu::hbm_bytes_per_core() / 1e9,
+      mem.weights_bytes / 1e9, mem.gradients_bytes / 1e9,
+      mem.optimizer_bytes / 1e9, mem.activations_bytes / 1e9,
+      mem.overhead_bytes / 1e9,
+      static_cast<long long>(tpu::max_per_core_batch(cost)));
+  return 0;
+}

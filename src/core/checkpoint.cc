@@ -1,0 +1,127 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace podnet::core {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'O', 'D', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_bytes(std::ofstream& out, const void* p, std::size_t n) {
+  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+void read_bytes(std::ifstream& in, void* p, std::size_t n,
+                const char* what) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!in) {
+    throw std::runtime_error(std::string("checkpoint: truncated reading ") +
+                             what);
+  }
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  write_bytes(out, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in, const char* what) {
+  T v;
+  read_bytes(in, &v, sizeof(T), what);
+  return v;
+}
+
+void write_tensor(std::ofstream& out, const std::string& name,
+                  const nn::Tensor& t) {
+  write_pod(out, static_cast<std::uint32_t>(name.size()));
+  write_bytes(out, name.data(), name.size());
+  write_pod(out, static_cast<std::uint32_t>(t.shape().rank()));
+  for (int d = 0; d < t.shape().rank(); ++d) {
+    write_pod(out, static_cast<std::int64_t>(t.shape()[d]));
+  }
+  write_bytes(out, t.data(), static_cast<std::size_t>(t.numel()) * 4);
+}
+
+void read_tensor_into(std::ifstream& in, const std::string& expect_name,
+                      nn::Tensor& t) {
+  const auto name_len = read_pod<std::uint32_t>(in, "name length");
+  std::string name(name_len, '\0');
+  read_bytes(in, name.data(), name_len, "name");
+  if (name != expect_name) {
+    throw std::runtime_error("checkpoint: tensor mismatch, file has '" +
+                             name + "' where model expects '" + expect_name +
+                             "'");
+  }
+  const auto rank = read_pod<std::uint32_t>(in, "rank");
+  if (static_cast<int>(rank) != t.shape().rank()) {
+    throw std::runtime_error("checkpoint: rank mismatch for " + name);
+  }
+  for (int d = 0; d < t.shape().rank(); ++d) {
+    const auto dim = read_pod<std::int64_t>(in, "dim");
+    if (dim != t.shape()[d]) {
+      throw std::runtime_error("checkpoint: shape mismatch for " + name);
+    }
+  }
+  read_bytes(in, t.data(), static_cast<std::size_t>(t.numel()) * 4, "data");
+}
+
+std::string state_name(std::size_t i) {
+  return "state/" + std::to_string(i);
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<nn::Param*>& params,
+                     const std::vector<nn::Tensor*>& state,
+                     const CheckpointMeta& meta) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  write_bytes(out, kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, meta.step);
+  write_pod(out, meta.epoch);
+  write_pod(out, static_cast<std::uint64_t>(params.size() + state.size()));
+  for (const nn::Param* p : params) write_tensor(out, p->name, p->value);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    write_tensor(out, state_name(i), *state[i]);
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+CheckpointMeta load_checkpoint(const std::string& path,
+                               const std::vector<nn::Param*>& params,
+                               const std::vector<nn::Tensor*>& state) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[4];
+  read_bytes(in, magic, 4, "magic");
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in, "version");
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  CheckpointMeta meta;
+  meta.step = read_pod<std::int64_t>(in, "step");
+  meta.epoch = read_pod<double>(in, "epoch");
+  const auto count = read_pod<std::uint64_t>(in, "tensor count");
+  if (count != params.size() + state.size()) {
+    throw std::runtime_error("checkpoint: tensor count mismatch");
+  }
+  for (nn::Param* p : params) read_tensor_into(in, p->name, p->value);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    read_tensor_into(in, state_name(i), *state[i]);
+  }
+  return meta;
+}
+
+}  // namespace podnet::core

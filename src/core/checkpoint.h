@@ -1,0 +1,41 @@
+// Checkpointing: binary serialization of model parameters and batch-norm
+// running statistics, keyed by parameter name.
+//
+// Format (little-endian): magic "PODN", u32 version, meta (i64 step,
+// f64 epoch), u64 tensor count, then per tensor: u32 name length, name
+// bytes, u32 rank, i64 dims, f32 data. Loading validates names and shapes
+// against the receiving model, so loading a B2 checkpoint into a B5 fails
+// loudly rather than silently.
+//
+// In data-parallel training every replica holds identical weights, so
+// rank 0 saves and every replica can load the same file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace podnet::core {
+
+struct CheckpointMeta {
+  std::int64_t step = 0;
+  double epoch = 0;
+};
+
+// Writes params (values only) and auxiliary state tensors to `path`.
+// Throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path,
+                     const std::vector<nn::Param*>& params,
+                     const std::vector<nn::Tensor*>& state,
+                     const CheckpointMeta& meta);
+
+// Restores into the given params/state; returns the stored meta. Throws
+// std::runtime_error on I/O failure, format error, or model mismatch
+// (names, order, or shapes differ).
+CheckpointMeta load_checkpoint(const std::string& path,
+                               const std::vector<nn::Param*>& params,
+                               const std::vector<nn::Tensor*>& state);
+
+}  // namespace podnet::core

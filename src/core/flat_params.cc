@@ -1,0 +1,68 @@
+#include "core/flat_params.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace podnet::core {
+
+FlatBuffer::FlatBuffer(const std::vector<nn::Param*>& params) {
+  std::size_t total = 0;
+  for (const nn::Param* p : params) {
+    total += static_cast<std::size_t>(p->value.numel());
+  }
+  data_.resize(total);
+}
+
+void FlatBuffer::pack_grads(const std::vector<nn::Param*>& params) {
+  std::size_t off = 0;
+  for (const nn::Param* p : params) {
+    const auto s = p->grad.span();
+    std::copy(s.begin(), s.end(), data_.begin() + off);
+    off += s.size();
+  }
+  assert(off == data_.size());
+}
+
+void FlatBuffer::unpack_grads(const std::vector<nn::Param*>& params,
+                              float scale) const {
+  std::size_t off = 0;
+  for (nn::Param* p : params) {
+    auto s = p->grad.span();
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] = data_[off + i] * scale;
+    off += s.size();
+  }
+  assert(off == data_.size());
+}
+
+void FlatBuffer::pack_values(const std::vector<nn::Param*>& params) {
+  std::size_t off = 0;
+  for (const nn::Param* p : params) {
+    const auto s = p->value.span();
+    std::copy(s.begin(), s.end(), data_.begin() + off);
+    off += s.size();
+  }
+  assert(off == data_.size());
+}
+
+std::vector<float> FlatBuffer::pack_tensors(
+    const std::vector<nn::Tensor*>& ts) {
+  std::vector<float> flat;
+  for (const nn::Tensor* t : ts) {
+    const auto s = t->span();
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  return flat;
+}
+
+void FlatBuffer::unpack_tensors(std::span<const float> flat, float scale,
+                                const std::vector<nn::Tensor*>& ts) {
+  std::size_t off = 0;
+  for (nn::Tensor* t : ts) {
+    auto s = t->span();
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] = flat[off + i] * scale;
+    off += s.size();
+  }
+  assert(off == flat.size());
+}
+
+}  // namespace podnet::core

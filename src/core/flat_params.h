@@ -1,0 +1,42 @@
+// Flat packing of parameter gradients / values for bucketed collectives.
+//
+// The gradient all-reduce runs over one contiguous buffer per step (as XLA
+// fuses per-variable all-reduces into large buckets), which is also what
+// the alpha-beta cost model assumes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace podnet::core {
+
+class FlatBuffer {
+ public:
+  // Sizes the buffer for the given parameter list (order is canonical).
+  explicit FlatBuffer(const std::vector<nn::Param*>& params);
+
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::size_t size() const { return data_.size(); }
+
+  // Copies every param's gradient into the buffer.
+  void pack_grads(const std::vector<nn::Param*>& params);
+  // Copies the buffer back into every param's gradient, scaling by `scale`
+  // (1/num_replicas turns the all-reduced sum into the global mean).
+  void unpack_grads(const std::vector<nn::Param*>& params, float scale) const;
+
+  // Same for values (used to sync batch-norm running stats and to verify
+  // replica consistency).
+  void pack_values(const std::vector<nn::Param*>& params);
+
+  // Packs/unpacks arbitrary state tensors (batch-norm running statistics).
+  static std::vector<float> pack_tensors(const std::vector<nn::Tensor*>& ts);
+  static void unpack_tensors(std::span<const float> flat, float scale,
+                             const std::vector<nn::Tensor*>& ts);
+
+ private:
+  std::vector<float> data_;
+};
+
+}  // namespace podnet::core

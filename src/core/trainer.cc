@@ -1,0 +1,302 @@
+#include "core/trainer.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "core/flat_params.h"
+#include "data/loader.h"
+#include "data/prefetcher.h"
+#include "dist/bn_sync.h"
+#include "dist/replica.h"
+#include "effnet/model.h"
+#include "nn/loss.h"
+#include "optim/clip.h"
+#include "optim/ema.h"
+
+namespace podnet::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+dist::BnGroups make_groups(const BnGroupingConfig& bn, int replicas) {
+  switch (bn.kind) {
+    case BnGroupingConfig::Kind::kLocal:
+      return {};
+    case BnGroupingConfig::Kind::k1d:
+      return dist::make_bn_groups_1d(replicas, bn.group_size);
+    case BnGroupingConfig::Kind::k2d:
+      return dist::make_bn_groups_2d(replicas, bn.grid_cols, bn.tile_rows,
+                                     bn.tile_cols);
+  }
+  return {};
+}
+
+}  // namespace
+
+TrainResult train(const TrainConfig& config) {
+  const int R = config.replicas;
+  if (R < 1) throw std::invalid_argument("replicas must be >= 1");
+  if (config.per_replica_batch * R > config.dataset.train_size) {
+    throw std::invalid_argument("global batch larger than train split");
+  }
+
+  data::SyntheticImageNet dataset(config.dataset);
+  dist::Communicator comm(R);
+  std::unique_ptr<dist::BnSyncSet> bn_syncs;
+  const dist::BnGroups groups = make_groups(config.bn, R);
+  if (!groups.empty()) bn_syncs = std::make_unique<dist::BnSyncSet>(groups);
+
+  TrainResult result;
+  result.global_batch = config.per_replica_batch * R;
+  std::atomic<bool> inconsistent{false};
+  const Clock::time_point t0 = Clock::now();
+
+  dist::run_replicas(R, [&](int rank) {
+    // --- Per-replica (thread-confined) state --------------------------------
+    std::unique_ptr<nn::Model> model_ptr;
+    if (config.model_factory) {
+      model_ptr = config.model_factory(rank);
+    } else {
+      effnet::ModelSpec spec = config.spec;
+      spec.resolution = config.dataset.resolution;
+      effnet::ModelOptions mopts;
+      mopts.init_seed = config.seed;
+      mopts.replica_id = rank;
+      mopts.precision = config.precision;
+      mopts.num_classes = config.dataset.num_classes;
+      model_ptr = std::make_unique<effnet::EfficientNet>(spec, mopts);
+    }
+    nn::Model& model = *model_ptr;
+    if (bn_syncs) model.set_bn_sync(bn_syncs->sync(rank));
+
+    auto params = nn::parameters_of(model);
+    FlatBuffer bucket(params);
+    auto optimizer = optim::make_optimizer(config.optimizer);
+    std::unique_ptr<optim::WeightEma> ema;
+    if (config.ema_decay > 0.f) {
+      ema = std::make_unique<optim::WeightEma>(params, config.ema_decay);
+    }
+
+    optim::LrScheduleConfig sched_cfg = config.schedule;
+    sched_cfg.base_lr =
+        optim::scaled_base_lr(config.lr_per_256, result.global_batch);
+    sched_cfg.total_epochs = config.epochs;  // decay horizon == run length
+    auto schedule = optim::make_schedule(sched_cfg);
+
+    data::TrainLoader loader(&dataset, rank, R, config.per_replica_batch);
+    data::EvalLoader eval_loader(&dataset, rank, R,
+                                 std::min<tensor::Index>(
+                                     config.per_replica_batch, 256));
+    const tensor::Index steps_per_epoch = loader.steps_per_epoch();
+    if (steps_per_epoch < 1) {
+      throw std::invalid_argument("global batch larger than train split");
+    }
+    const std::int64_t total_steps = static_cast<std::int64_t>(
+        std::llround(config.epochs * static_cast<double>(steps_per_epoch)));
+
+    std::vector<nn::Tensor*> bn_state;
+    model.collect_state(bn_state);
+    if (!config.init_checkpoint_path.empty()) {
+      // Every replica loads the same file -> weights stay identical.
+      load_checkpoint(config.init_checkpoint_path, params, bn_state);
+    }
+
+    double loss_sum = 0.0;
+    std::int64_t loss_steps = 0;
+    std::int64_t train_correct = 0, train_seen = 0;
+    double next_eval_epoch = config.eval_every_epochs;
+
+    auto run_eval = [&](double at_epoch, float lr_now) {
+      // Evaluate the EMA weights when enabled (swapped back afterwards).
+      if (ema) ema->swap(params);
+      // Average batch-norm running statistics across replicas so every
+      // replica evaluates with the same (global) statistics.
+      std::vector<float> flat = FlatBuffer::pack_tensors(bn_state);
+      comm.allreduce_sum(rank, flat, dist::AllReduceAlgorithm::kFlat);
+      FlatBuffer::unpack_tensors(flat, 1.0f / static_cast<float>(R),
+                                 bn_state);
+
+      // Distributed evaluation (Sec 3.3): each replica scores its shard.
+      std::int64_t correct = 0, correct5 = 0, count = 0;
+      for (tensor::Index i = 0; i < eval_loader.num_batches(); ++i) {
+        data::Batch b = eval_loader.batch(i);
+        if (b.count() == 0) break;
+        nn::Tensor logits = model.forward(b.images, /*training=*/false);
+        correct += nn::top_k_correct(logits, b.labels, 1);
+        correct5 += nn::top_k_correct(logits, b.labels, 5);
+        count += b.count();
+      }
+      if (ema) ema->swap(params);  // restore live training weights
+      const double total_correct =
+          comm.allreduce_scalar(rank, static_cast<double>(correct));
+      const double total_correct5 =
+          comm.allreduce_scalar(rank, static_cast<double>(correct5));
+      const double total_count =
+          comm.allreduce_scalar(rank, static_cast<double>(count));
+      const double sum_loss = comm.allreduce_scalar(rank, loss_sum);
+      const double sum_steps =
+          comm.allreduce_scalar(rank, static_cast<double>(loss_steps));
+      const double sum_train_correct =
+          comm.allreduce_scalar(rank, static_cast<double>(train_correct));
+      const double sum_train_seen =
+          comm.allreduce_scalar(rank, static_cast<double>(train_seen));
+      loss_sum = 0.0;
+      loss_steps = 0;
+      train_correct = 0;
+      train_seen = 0;
+
+      if (config.check_consistency) {
+        bucket.pack_values(params);
+        double checksum = 0.0;
+        for (float v : bucket.span()) checksum += v;
+        const double hi = comm.allreduce_max(rank, checksum);
+        const double lo = -comm.allreduce_max(rank, -checksum);
+        if (hi != lo) inconsistent.store(true);
+      }
+
+      if (rank == 0) {
+        EvalPoint p;
+        p.epoch = at_epoch;
+        p.eval_accuracy = total_count > 0 ? total_correct / total_count : 0;
+        p.eval_top5_accuracy =
+            total_count > 0 ? total_correct5 / total_count : 0;
+        p.train_accuracy =
+            sum_train_seen > 0 ? sum_train_correct / sum_train_seen : 0;
+        p.train_loss = sum_steps > 0 ? sum_loss / sum_steps : 0;
+        p.lr = lr_now;
+        p.wall_seconds = seconds_since(t0);
+        result.history.push_back(p);
+        if (p.eval_accuracy > result.peak_accuracy) {
+          result.peak_accuracy = p.eval_accuracy;
+          result.peak_epoch = at_epoch;
+          result.seconds_to_peak = p.wall_seconds;
+        }
+        result.final_train_loss = p.train_loss;
+        if (config.verbose) {
+          std::printf(
+              "[%s] epoch %6.2f  loss %7.4f  train top-1 %6.4f  eval top-1 "
+              "%6.4f  lr %8.5f\n",
+              model.name().c_str(), at_epoch, p.train_loss, p.train_accuracy,
+              p.eval_accuracy, static_cast<double>(lr_now));
+          std::fflush(stdout);
+        }
+      }
+      comm.barrier();  // history updated before anyone proceeds
+    };
+
+    // With prefetch on, a background thread renders batch t+1 while this
+    // replica trains on batch t (host-side infeed). The prefetcher owns a
+    // *separate* loader so its epoch-permutation cache cannot race.
+    std::unique_ptr<data::TrainLoader> prefetch_loader;
+    std::unique_ptr<data::Prefetcher> prefetcher;
+    if (config.prefetch) {
+      prefetch_loader = std::make_unique<data::TrainLoader>(
+          &dataset, rank, R, config.per_replica_batch);
+      prefetcher = std::make_unique<data::Prefetcher>(prefetch_loader.get(),
+                                                      total_steps);
+    }
+
+    float lr_now = 0.f;
+    double allreduce_seconds = 0.0;
+    double train_seconds = 0.0;
+    for (std::int64_t step = 0; step < total_steps; ++step) {
+      const Clock::time_point step_t0 = Clock::now();
+      const tensor::Index epoch_idx =
+          static_cast<tensor::Index>(step / steps_per_epoch);
+      const tensor::Index in_step =
+          static_cast<tensor::Index>(step % steps_per_epoch);
+      data::Batch batch;
+      if (prefetcher) {
+        auto fetched = prefetcher->next();
+        if (!fetched.has_value()) break;  // defensive; counts always match
+        batch = std::move(*fetched);
+      } else {
+        batch = loader.batch(epoch_idx, in_step);
+      }
+
+      nn::zero_grads(params);
+      nn::Tensor logits = model.forward(batch.images, /*training=*/true);
+      nn::LossResult loss = nn::softmax_cross_entropy(
+          logits, batch.labels, config.label_smoothing);
+      model.backward(loss.grad_logits);
+
+      // Gradient all-reduce -> global-mean gradients on every replica.
+      bucket.pack_grads(params);
+      const Clock::time_point ar_t0 = Clock::now();
+      comm.allreduce_sum(rank, bucket.span(), config.allreduce);
+      allreduce_seconds += seconds_since(ar_t0);
+      bucket.unpack_grads(params, 1.0f / static_cast<float>(R));
+      if (config.clip_global_norm > 0.f) {
+        optim::clip_grads_by_global_norm(params, config.clip_global_norm);
+      }
+
+      const double cont_epoch =
+          static_cast<double>(step) / static_cast<double>(steps_per_epoch);
+      lr_now = schedule->lr(cont_epoch);
+      optimizer->step(params, lr_now);
+      if (ema) ema->update(params);
+      loss_sum += loss.loss;
+      ++loss_steps;
+      train_correct += loss.correct;
+      train_seen += batch.count();
+
+      train_seconds += seconds_since(step_t0);
+      const double epoch_after = static_cast<double>(step + 1) /
+                                 static_cast<double>(steps_per_epoch);
+      const bool last = step + 1 == total_steps;
+      if (epoch_after + 1e-9 >= next_eval_epoch || last) {
+        run_eval(epoch_after, lr_now);
+        while (next_eval_epoch <= epoch_after + 1e-9) {
+          next_eval_epoch += config.eval_every_epochs;
+        }
+      }
+    }
+    if (rank == 0) {
+      result.model_name = model.name();
+      result.total_steps = total_steps;
+      result.wall_seconds = seconds_since(t0);
+      result.allreduce_fraction =
+          train_seconds > 0 ? allreduce_seconds / train_seconds : 0;
+      if (!config.checkpoint_path.empty()) {
+        if (ema) ema->swap(params);  // checkpoint the eval-quality weights
+        CheckpointMeta meta;
+        meta.step = total_steps;
+        meta.epoch = config.epochs;
+        save_checkpoint(config.checkpoint_path, params, bn_state, meta);
+        if (ema) ema->swap(params);
+      }
+    }
+  });
+
+  if (inconsistent.load()) {
+    throw std::runtime_error(
+        "replica weight divergence detected (check_consistency)");
+  }
+  return result;
+}
+
+std::string summarize(const TrainConfig& config, const TrainResult& result) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s R=%d GB=%lld opt=%s decay=%s: peak top-1 %.4f @ epoch "
+                "%.1f (%lld steps, %.1fs)",
+                result.model_name.c_str(), config.replicas,
+                static_cast<long long>(result.global_batch),
+                optim::to_string(config.optimizer.kind).c_str(),
+                optim::to_string(config.schedule.decay).c_str(),
+                result.peak_accuracy, result.peak_epoch,
+                static_cast<long long>(result.total_steps),
+                result.wall_seconds);
+  return std::string(buf);
+}
+
+}  // namespace podnet::core

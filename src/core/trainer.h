@@ -1,0 +1,122 @@
+// Trainer: the distributed training-and-evaluation loop (Kumar et al.),
+// executed SPMD across simulated TPU cores (threads).
+//
+// Every optimization from the paper is a switch on TrainConfig:
+//   * optimizer        — RMSProp baseline vs LARS (Sec 3.1), SM3 (Sec 5)
+//   * lr schedule      — linear scaling + warm-up + exp/poly decay (Sec 3.2)
+//   * distributed eval — the eval split is sharded across all replicas and
+//     metric sums are all-reduced; no dedicated evaluator (Sec 3.3)
+//   * distributed BN   — 1-D or 2-D-tiled replica groups (Sec 3.4)
+//   * precision        — bf16 convolution multiplicands (Sec 3.5)
+//
+// Invariant: replica weights stay bit-identical across the whole run (same
+// init seed, identical all-reduced gradients, deterministic optimizer);
+// `check_consistency` makes the trainer assert it every epoch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "dist/communicator.h"
+#include "effnet/config.h"
+#include "nn/model.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+#include "tensor/gemm.h"
+
+namespace podnet::core {
+
+struct BnGroupingConfig {
+  enum class Kind { kLocal, k1d, k2d };
+  Kind kind = Kind::kLocal;
+  int group_size = 1;   // 1-D: replicas per group
+  int grid_cols = 1;    // 2-D: logical grid width...
+  int tile_rows = 1;    // ...and tile shape
+  int tile_cols = 1;
+};
+
+struct TrainConfig {
+  effnet::ModelSpec spec = effnet::pico();
+  // Optional custom model (e.g. the src/resnet baseline). When set it
+  // overrides `spec`; called once per replica. The factory must produce
+  // models whose weights depend only on its own seeding, identically
+  // across replicas (see effnet::ModelOptions for the pattern).
+  std::function<std::unique_ptr<nn::Model>(int replica_id)> model_factory;
+  data::DatasetConfig dataset;
+  int replicas = 4;
+  tensor::Index per_replica_batch = 64;
+
+  optim::OptimizerConfig optimizer;
+  // The paper's Table-2 LR column: rate per 256 examples; the trainer
+  // applies the linear scaling rule against the global batch.
+  float lr_per_256 = 0.016f;
+  optim::LrScheduleConfig schedule;  // base_lr is overwritten by scaling
+
+  double epochs = 12.0;
+  double eval_every_epochs = 1.0;
+  float label_smoothing = 0.1f;
+
+  BnGroupingConfig bn;
+  dist::AllReduceAlgorithm allreduce = dist::AllReduceAlgorithm::kRing;
+  tensor::MatmulPrecision precision = tensor::MatmulPrecision::kFp32;
+
+  // Exponential moving average of weights for evaluation (the TPU
+  // reference evaluates EMA weights; 0 disables). With EMA on, eval and
+  // peak accuracy are measured on the averaged weights.
+  float ema_decay = 0.f;
+  // Global-norm gradient clipping applied to the all-reduced gradients
+  // (0 disables).
+  float clip_global_norm = 0.f;
+  // When non-empty, rank 0 writes a checkpoint (weights + BN statistics)
+  // here at the end of training.
+  std::string checkpoint_path;
+  // When non-empty, every replica loads these weights before training
+  // (fine-tuning / resume; optimizer slots start fresh).
+  std::string init_checkpoint_path;
+
+  // Overlap batch synthesis with compute via a per-replica background
+  // prefetch thread (the host-side infeed pipeline).
+  bool prefetch = false;
+
+  std::uint64_t seed = 42;
+  bool check_consistency = false;
+  bool verbose = false;
+};
+
+struct EvalPoint {
+  double epoch = 0;
+  double eval_accuracy = 0;       // top-1
+  double eval_top5_accuracy = 0;  // top-5 (1.0 when classes <= 5)
+  double train_accuracy = 0;  // running top-1 on training batches
+  double train_loss = 0;
+  float lr = 0;
+  double wall_seconds = 0;  // since training started
+};
+
+struct TrainResult {
+  std::vector<EvalPoint> history;
+  double peak_accuracy = 0;
+  double peak_epoch = 0;
+  double seconds_to_peak = 0;
+  double final_train_loss = 0;
+  std::int64_t total_steps = 0;
+  double wall_seconds = 0;
+  std::int64_t global_batch = 0;
+  std::string model_name;
+  // Measured share of replica-0 training time spent inside the gradient
+  // all-reduce — the real-execution counterpart of Table 1's column
+  // (thread-scale, so absolute values differ from pod scale).
+  double allreduce_fraction = 0;
+};
+
+// Runs the full distributed train-and-eval loop and blocks until done.
+TrainResult train(const TrainConfig& config);
+
+// One-line summary for logs and benches.
+std::string summarize(const TrainConfig& config, const TrainResult& result);
+
+}  // namespace podnet::core

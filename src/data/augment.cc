@@ -1,0 +1,109 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace podnet::data {
+
+using tensor::Index;
+using tensor::Rng;
+
+void random_resized_crop(std::span<const float> src, std::span<float> dst,
+                         Index res, Index channels, float scale_min,
+                         Rng& rng) {
+  const float scale = rng.uniform(std::min(scale_min, 1.f), 1.f);
+  const float side = std::max(1.f, static_cast<float>(res) *
+                                       std::sqrt(scale));
+  const float max_off = static_cast<float>(res) - side;
+  const float ox = rng.uniform(0.f, std::max(0.f, max_off));
+  const float oy = rng.uniform(0.f, std::max(0.f, max_off));
+
+  for (Index y = 0; y < res; ++y) {
+    // Map dst pixel centers into the crop window.
+    const float sy =
+        oy + (static_cast<float>(y) + 0.5f) * side / static_cast<float>(res) -
+        0.5f;
+    const Index y0 = static_cast<Index>(std::floor(sy));
+    const float fy = sy - static_cast<float>(y0);
+    for (Index x = 0; x < res; ++x) {
+      const float sx = ox + (static_cast<float>(x) + 0.5f) * side /
+                                static_cast<float>(res) -
+                       0.5f;
+      const Index x0 = static_cast<Index>(std::floor(sx));
+      const float fx = sx - static_cast<float>(x0);
+      auto at = [&](Index yy, Index xx, Index c) {
+        yy = std::clamp<Index>(yy, 0, res - 1);
+        xx = std::clamp<Index>(xx, 0, res - 1);
+        return src[static_cast<std::size_t>((yy * res + xx) * channels + c)];
+      };
+      for (Index c = 0; c < channels; ++c) {
+        const float top =
+            (1.f - fx) * at(y0, x0, c) + fx * at(y0, x0 + 1, c);
+        const float bot =
+            (1.f - fx) * at(y0 + 1, x0, c) + fx * at(y0 + 1, x0 + 1, c);
+        dst[static_cast<std::size_t>((y * res + x) * channels + c)] =
+            (1.f - fy) * top + fy * bot;
+      }
+    }
+  }
+}
+
+void jitter_brightness(std::span<float> img, float amplitude, Rng& rng) {
+  const float delta = rng.uniform(-amplitude, amplitude);
+  for (float& v : img) v += delta;
+}
+
+void jitter_contrast(std::span<float> img, Index res, Index channels,
+                     float amplitude, Rng& rng) {
+  const float factor = rng.uniform(1.f - amplitude, 1.f + amplitude);
+  for (Index c = 0; c < channels; ++c) {
+    double mean = 0;
+    const Index px = res * res;
+    for (Index p = 0; p < px; ++p) {
+      mean += img[static_cast<std::size_t>(p * channels + c)];
+    }
+    mean /= static_cast<double>(px);
+    const float m = static_cast<float>(mean);
+    for (Index p = 0; p < px; ++p) {
+      float& v = img[static_cast<std::size_t>(p * channels + c)];
+      v = m + factor * (v - m);
+    }
+  }
+}
+
+void cutout(std::span<float> img, Index res, Index channels, Index size,
+            Rng& rng) {
+  if (size <= 0) return;
+  const Index cy = static_cast<Index>(rng.next_below(
+      static_cast<std::uint64_t>(res)));
+  const Index cx = static_cast<Index>(rng.next_below(
+      static_cast<std::uint64_t>(res)));
+  const Index half = size / 2;
+  const Index y0 = std::max<Index>(0, cy - half);
+  const Index y1 = std::min<Index>(res, cy - half + size);
+  const Index x0 = std::max<Index>(0, cx - half);
+  const Index x1 = std::min<Index>(res, cx - half + size);
+  for (Index y = y0; y < y1; ++y) {
+    for (Index x = x0; x < x1; ++x) {
+      for (Index c = 0; c < channels; ++c) {
+        img[static_cast<std::size_t>((y * res + x) * channels + c)] = 0.f;
+      }
+    }
+  }
+}
+
+void apply_augmentations(std::span<float> img, Index res, Index channels,
+                         const AugmentConfig& config, Rng& rng) {
+  if (config.random_crop) {
+    std::vector<float> src(img.begin(), img.end());
+    random_resized_crop(src, img, res, channels, config.crop_scale_min, rng);
+  }
+  if (config.brightness > 0.f) jitter_brightness(img, config.brightness, rng);
+  if (config.contrast > 0.f) {
+    jitter_contrast(img, res, channels, config.contrast, rng);
+  }
+  if (config.cutout > 0) cutout(img, res, channels, config.cutout, rng);
+}
+
+}  // namespace podnet::data

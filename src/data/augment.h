@@ -1,0 +1,52 @@
+// Input augmentation ops, mirroring the TPU EfficientNet input pipeline
+// (random resized crop, brightness/contrast jitter, cutout). All ops are
+// pure functions over HWC float buffers, deterministic given the Rng, so
+// augmented pipelines stay reproducible across replica counts.
+#pragma once
+
+#include <span>
+
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+
+namespace podnet::data {
+
+struct AugmentConfig {
+  bool random_crop = false;     // random resized crop back to native res
+  float crop_scale_min = 0.6f;  // minimum area fraction sampled
+  float brightness = 0.f;       // +/- additive jitter amplitude
+  float contrast = 0.f;         // multiplicative jitter amplitude
+  tensor::Index cutout = 0;     // square side; 0 disables
+
+  bool enabled() const {
+    return random_crop || brightness > 0.f || contrast > 0.f || cutout > 0;
+  }
+};
+
+// Samples a square crop of area >= scale_min * full area (uniform in
+// scale and position) and bilinearly resizes it back to res x res.
+void random_resized_crop(std::span<const float> src, std::span<float> dst,
+                         tensor::Index res, tensor::Index channels,
+                         float scale_min, tensor::Rng& rng);
+
+// img += delta with delta ~ U(-amplitude, amplitude), per image.
+void jitter_brightness(std::span<float> img, float amplitude,
+                       tensor::Rng& rng);
+
+// img = mean + f * (img - mean), f ~ U(1-amplitude, 1+amplitude), computed
+// per channel.
+void jitter_contrast(std::span<float> img, tensor::Index res,
+                     tensor::Index channels, float amplitude,
+                     tensor::Rng& rng);
+
+// Zeroes a random size x size square (clipped at borders).
+void cutout(std::span<float> img, tensor::Index res, tensor::Index channels,
+            tensor::Index size, tensor::Rng& rng);
+
+// Applies the configured pipeline in place (crop -> brightness ->
+// contrast -> cutout).
+void apply_augmentations(std::span<float> img, tensor::Index res,
+                         tensor::Index channels, const AugmentConfig& config,
+                         tensor::Rng& rng);
+
+}  // namespace podnet::data

@@ -1,0 +1,87 @@
+// SyntheticImageNet: a procedural, deterministic stand-in for ImageNet.
+//
+// The real dataset is unavailable in this environment (see DESIGN.md Sec 2),
+// so we synthesize a class-conditional image distribution that exercises
+// the same training code paths: each class is a distinct low-frequency
+// texture (a small bank of class-specific sinusoids plus a color bias);
+// samples add geometric jitter, random horizontal flips, and white noise.
+// Difficulty is tunable — lowering `difficulty` or raising `noise` shrinks
+// class separability, which is what lets CI-scale runs exhibit the
+// large-batch generalization gap the paper fights.
+//
+// Every sample is generated on the fly from (split, index, variant), so the
+// dataset needs no storage, shards trivially, and is bit-reproducible
+// across replica counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/augment.h"
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+
+namespace podnet::data {
+
+using Index = tensor::Index;
+
+enum class Split { kTrain, kEval };
+
+struct DatasetConfig {
+  Index num_classes = 16;
+  Index train_size = 2048;
+  Index eval_size = 512;
+  Index resolution = 16;
+  Index channels = 3;
+  std::uint64_t seed = 1234;
+  float noise = 0.6f;       // instance white-noise stddev
+  Index jitter = 3;         // max |translation| in pixels (train only)
+  bool flip = true;         // random horizontal flip (train only)
+  float difficulty = 1.0f;  // texture amplitude; lower = harder task
+  // Optional extra train-time augmentation (crop/jitter/cutout); applied
+  // after texture synthesis, never on the eval split.
+  AugmentConfig augment;
+};
+
+// ImageNet-1k proportions, for the pod-scale analytic experiments where
+// only epoch/step counts matter (never materialized).
+DatasetConfig imagenet_proportions();
+
+class SyntheticImageNet {
+ public:
+  explicit SyntheticImageNet(const DatasetConfig& config);
+
+  const DatasetConfig& config() const { return config_; }
+  Index size(Split split) const {
+    return split == Split::kTrain ? config_.train_size : config_.eval_size;
+  }
+  Index sample_elems() const {
+    return config_.resolution * config_.resolution * config_.channels;
+  }
+
+  // Label of sample `index` (balanced round-robin assignment).
+  std::int64_t label_of(Split split, Index index) const;
+
+  // Renders sample `index` of `split` into `image` (HWC, resolution^2 *
+  // channels floats). `variant` decorrelates augmentation across epochs;
+  // eval samples ignore jitter/flip and use a fixed noise draw.
+  void render(Split split, Index index, std::uint64_t variant,
+              std::span<float> image) const;
+
+ private:
+  struct ClassTexture {
+    // Three sinusoid components per channel: frequency pair, phase, amp.
+    struct Component {
+      float fx, fy, phase, amp;
+    };
+    std::vector<Component> components;  // channels * kComponents
+    std::vector<float> color_bias;      // per channel
+  };
+  static constexpr int kComponents = 3;
+
+  DatasetConfig config_;
+  std::vector<ClassTexture> textures_;
+};
+
+}  // namespace podnet::data

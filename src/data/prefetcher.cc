@@ -1,0 +1,45 @@
+#include "data/prefetcher.h"
+
+namespace podnet::data {
+
+Prefetcher::Prefetcher(TrainLoader* loader, Index total_steps)
+    : loader_(loader), total_steps_(total_steps) {
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  producer_.join();
+}
+
+void Prefetcher::producer_loop() {
+  const Index steps_per_epoch = loader_->steps_per_epoch();
+  for (Index step = 0; step < total_steps_; ++step) {
+    Batch batch = loader_->batch(step / steps_per_epoch,
+                                 step % steps_per_epoch);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !slot_.has_value() || shutdown_; });
+    if (shutdown_) return;
+    slot_ = std::move(batch);
+    cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ = true;
+  cv_.notify_all();
+}
+
+std::optional<Batch> Prefetcher::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return slot_.has_value() || done_; });
+  if (!slot_.has_value()) return std::nullopt;
+  std::optional<Batch> out = std::move(slot_);
+  slot_.reset();
+  cv_.notify_all();
+  return out;
+}
+
+}  // namespace podnet::data

@@ -1,0 +1,49 @@
+// Prefetcher: double-buffered background batch materialization.
+//
+// The TPU input pipeline renders/augments batches on the host and streams
+// them to the device ("infeed") while the previous step computes. The
+// Prefetcher mirrors that: a background thread renders the next training
+// batch while the replica trains on the current one, hiding the synthesis
+// cost of SyntheticImageNet. One prefetcher per replica (thread-confined
+// consumer; the producer thread is internal).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "data/loader.h"
+
+namespace podnet::data {
+
+class Prefetcher {
+ public:
+  // Owns neither dataset nor loader configuration; reads from `loader`
+  // (which it drives through the epoch/step schedule).
+  Prefetcher(TrainLoader* loader, Index total_steps);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  // Blocks until the next batch is ready; returns nullopt after
+  // total_steps batches.
+  std::optional<Batch> next();
+
+ private:
+  void producer_loop();
+
+  TrainLoader* loader_;
+  Index total_steps_;
+  Index produced_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Batch> slot_;
+  bool done_ = false;
+  bool shutdown_ = false;
+  std::thread producer_;
+};
+
+}  // namespace podnet::data

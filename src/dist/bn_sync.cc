@@ -1,0 +1,73 @@
+#include "dist/bn_sync.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace podnet::dist {
+
+BnGroups make_bn_groups_1d(int num_replicas, int group_size) {
+  if (group_size < 1 || num_replicas % group_size != 0) {
+    throw std::invalid_argument("group_size must divide num_replicas");
+  }
+  BnGroups groups;
+  for (int g = 0; g < num_replicas / group_size; ++g) {
+    std::vector<int> members;
+    members.reserve(static_cast<std::size_t>(group_size));
+    for (int i = 0; i < group_size; ++i) members.push_back(g * group_size + i);
+    groups.push_back(std::move(members));
+  }
+  return groups;
+}
+
+BnGroups make_bn_groups_2d(int num_replicas, int grid_cols, int tile_rows,
+                           int tile_cols) {
+  if (grid_cols < 1 || num_replicas % grid_cols != 0) {
+    throw std::invalid_argument("grid_cols must divide num_replicas");
+  }
+  const int grid_rows = num_replicas / grid_cols;
+  if (tile_rows < 1 || tile_cols < 1 || grid_rows % tile_rows != 0 ||
+      grid_cols % tile_cols != 0) {
+    throw std::invalid_argument("tiles must partition the grid exactly");
+  }
+  BnGroups groups;
+  for (int tr = 0; tr < grid_rows / tile_rows; ++tr) {
+    for (int tc = 0; tc < grid_cols / tile_cols; ++tc) {
+      std::vector<int> members;
+      members.reserve(static_cast<std::size_t>(tile_rows * tile_cols));
+      for (int r = 0; r < tile_rows; ++r) {
+        for (int c = 0; c < tile_cols; ++c) {
+          members.push_back((tr * tile_rows + r) * grid_cols +
+                            (tc * tile_cols + c));
+        }
+      }
+      groups.push_back(std::move(members));
+    }
+  }
+  return groups;
+}
+
+BnSyncSet::BnSyncSet(const BnGroups& groups) {
+  int num_replicas = 0;
+  for (const auto& g : groups) num_replicas += static_cast<int>(g.size());
+  syncs_.resize(static_cast<std::size_t>(num_replicas));
+  group_of_.assign(static_cast<std::size_t>(num_replicas), -1);
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto& members = groups[gi];
+    comms_.push_back(
+        std::make_unique<Communicator>(static_cast<int>(members.size())));
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const int replica = members[m];
+      assert(replica >= 0 && replica < num_replicas);
+      assert(group_of_[replica] == -1 && "groups must be disjoint");
+      group_of_[replica] = static_cast<int>(gi);
+      syncs_[replica] = std::make_unique<GroupBnSync>(comms_.back().get(),
+                                                      static_cast<int>(m));
+    }
+  }
+  for (int g : group_of_) {
+    assert(g >= 0 && "groups must cover all replicas");
+    (void)g;
+  }
+}
+
+}  // namespace podnet::dist

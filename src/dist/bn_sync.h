@@ -1,0 +1,66 @@
+// Distributed batch-norm replica grouping (paper Sec 3.4).
+//
+// Replicas are partitioned into disjoint subgroups; each subgroup
+// all-reduces its batch-norm statistics, so the effective "batch-norm batch
+// size" is group_size * per_core_batch. Two grouping schemes from
+// Ying et al. are provided:
+//   * 1-D: consecutive ranks [g*G, (g+1)*G) — contiguous along one torus
+//     dimension;
+//   * 2-D tiling: ranks arranged on the pod's logical 2-D grid and grouped
+//     into (tile_rows x tile_cols) tiles, which keeps the reduction inside
+//     a compact torus neighbourhood (used for subsets > 16).
+// Each subgroup gets its own Communicator; GroupBnSync adapts it to the
+// nn::BnStatSync interface for one member rank.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dist/communicator.h"
+#include "nn/bn_stat_sync.h"
+
+namespace podnet::dist {
+
+// Partition of ranks 0..num_replicas-1 into equal groups.
+using BnGroups = std::vector<std::vector<int>>;
+
+// Consecutive grouping; group_size must divide num_replicas.
+BnGroups make_bn_groups_1d(int num_replicas, int group_size);
+
+// 2-D tiling: replicas on a grid_cols-wide logical grid, grouped into
+// tile_rows x tile_cols tiles. tile dims must tile the grid exactly.
+BnGroups make_bn_groups_2d(int num_replicas, int grid_cols, int tile_rows,
+                           int tile_cols);
+
+// Adapts one rank's membership in a subgroup communicator to BnStatSync.
+class GroupBnSync final : public nn::BnStatSync {
+ public:
+  GroupBnSync(Communicator* comm, int rank_in_group)
+      : comm_(comm), rank_(rank_in_group) {}
+
+  void allreduce_sum(std::span<float> v) override {
+    comm_->allreduce_sum(rank_, v, AllReduceAlgorithm::kFlat);
+  }
+  int group_size() const override { return comm_->size(); }
+
+ private:
+  Communicator* comm_;
+  int rank_;
+};
+
+// Owns the per-group communicators and per-replica sync adapters for a
+// grouping. Replica r's adapter: sync(r).
+class BnSyncSet {
+ public:
+  explicit BnSyncSet(const BnGroups& groups);
+
+  nn::BnStatSync* sync(int replica) { return syncs_[replica].get(); }
+  int group_of(int replica) const { return group_of_[replica]; }
+
+ private:
+  std::vector<std::unique_ptr<Communicator>> comms_;
+  std::vector<std::unique_ptr<GroupBnSync>> syncs_;  // indexed by replica
+  std::vector<int> group_of_;
+};
+
+}  // namespace podnet::dist

@@ -1,0 +1,268 @@
+#include "dist/communicator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace podnet::dist {
+namespace {
+
+// Chunk c of an n-element vector split across r chunks (remainder spread
+// over the leading chunks).
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, int ranks,
+                                                int c) {
+  const std::size_t begin = n * static_cast<std::size_t>(c) / ranks;
+  const std::size_t end = n * (static_cast<std::size_t>(c) + 1) / ranks;
+  return {begin, end};
+}
+
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+std::string to_string(AllReduceAlgorithm alg) {
+  switch (alg) {
+    case AllReduceAlgorithm::kFlat:
+      return "flat";
+    case AllReduceAlgorithm::kRing:
+      return "ring";
+    case AllReduceAlgorithm::kHalvingDoubling:
+      return "halving_doubling";
+    case AllReduceAlgorithm::kTwoLevel:
+      return "two_level";
+  }
+  return "unknown";
+}
+
+Communicator::Communicator(int num_ranks)
+    : num_ranks_(num_ranks),
+      barrier_(num_ranks),
+      bufs_(static_cast<std::size_t>(num_ranks), nullptr),
+      sizes_(static_cast<std::size_t>(num_ranks), 0),
+      scalars_(static_cast<std::size_t>(num_ranks), 0.0) {
+  assert(num_ranks >= 1);
+}
+
+void Communicator::barrier() { barrier_.arrive_and_wait(); }
+
+void Communicator::allreduce_sum(int rank, std::span<float> data,
+                                 AllReduceAlgorithm alg) {
+  if (num_ranks_ == 1) return;
+  switch (alg) {
+    case AllReduceAlgorithm::kFlat:
+      allreduce_flat(rank, data);
+      return;
+    case AllReduceAlgorithm::kRing:
+      allreduce_ring(rank, data);
+      return;
+    case AllReduceAlgorithm::kHalvingDoubling:
+      if (is_power_of_two(num_ranks_)) {
+        allreduce_halving_doubling(rank, data);
+      } else {
+        allreduce_ring(rank, data);  // documented fallback
+      }
+      return;
+    case AllReduceAlgorithm::kTwoLevel:
+      allreduce_two_level(rank, data);
+      return;
+  }
+}
+
+void Communicator::allreduce_flat(int rank, std::span<float> data) {
+  bufs_[rank] = data.data();
+  sizes_[rank] = data.size();
+  barrier();
+  assert(sizes_[0] == data.size());
+  if (rank == 0) scratch_.assign(data.size(), 0.f);
+  barrier();
+  // Each rank reduces its chunk across every replica into shared scratch.
+  const auto [begin, end] = chunk_range(data.size(), num_ranks_, rank);
+  for (int r = 0; r < num_ranks_; ++r) {
+    const float* src = bufs_[r];
+    for (std::size_t i = begin; i < end; ++i) scratch_[i] += src[i];
+  }
+  barrier();
+  std::copy(scratch_.begin(), scratch_.end(), data.begin());
+  barrier();
+}
+
+void Communicator::allreduce_ring(int rank, std::span<float> data) {
+  const int R = num_ranks_;
+  bufs_[rank] = data.data();
+  sizes_[rank] = data.size();
+  barrier();
+  assert(sizes_[(rank + 1) % R] == data.size());
+  const float* left = bufs_[(rank - 1 + R) % R];
+
+  // Reduce-scatter: after R-1 steps rank r holds the fully reduced chunk
+  // (r + 1) mod R.
+  for (int s = 0; s < R - 1; ++s) {
+    const int c = ((rank - s - 1) % R + R) % R;
+    const auto [begin, end] = chunk_range(data.size(), R, c);
+    for (std::size_t i = begin; i < end; ++i) data[i] += left[i];
+    barrier();
+  }
+  // All-gather: propagate reduced chunks around the ring.
+  for (int s = 0; s < R - 1; ++s) {
+    const int c = ((rank - s) % R + R) % R;
+    const auto [begin, end] = chunk_range(data.size(), R, c);
+    std::copy(left + begin, left + end, data.begin() + begin);
+    barrier();
+  }
+}
+
+void Communicator::allreduce_halving_doubling(int rank,
+                                              std::span<float> data) {
+  const int R = num_ranks_;
+  bufs_[rank] = data.data();
+  sizes_[rank] = data.size();
+  barrier();
+
+  // Recursive halving (reduce-scatter): each round the owned range halves;
+  // the rank keeps the half matching its partner bit and accumulates the
+  // partner's copy of that half. Parent ranges are recorded so the
+  // doubling phase works for any vector size (halves may be unequal or
+  // even empty when data.size() < ranks).
+  std::size_t lo = 0, hi = data.size();
+  std::vector<std::pair<std::size_t, std::size_t>> parents;
+  parents.reserve(8);
+  for (int bit = R >> 1; bit >= 1; bit >>= 1) {
+    const int partner = rank ^ bit;
+    const float* pbuf = bufs_[partner];
+    const std::size_t mid = lo + (hi - lo) / 2;
+    parents.emplace_back(lo, hi);
+    if ((rank & bit) == 0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    for (std::size_t i = lo; i < hi; ++i) data[i] += pbuf[i];
+    barrier();
+  }
+  // Recursive doubling (all-gather): reverse the rounds; the partner owns
+  // exactly the complement of our range within the shared parent range.
+  for (int bit = 1; bit < R; bit <<= 1) {
+    const int partner = rank ^ bit;
+    const float* pbuf = bufs_[partner];
+    const auto [plo, phi] = parents.back();
+    parents.pop_back();
+    std::copy(pbuf + plo, pbuf + lo, data.begin() + plo);
+    std::copy(pbuf + hi, pbuf + phi, data.begin() + hi);
+    lo = plo;
+    hi = phi;
+    barrier();
+  }
+  assert(lo == 0 && hi == data.size());
+}
+
+void Communicator::allreduce_two_level(int rank, std::span<float> data) {
+  // Hierarchical all-reduce: ranks are split into consecutive groups of
+  // size gs ~ sqrt(R). Phase 1 computes each group's sum; phase 2
+  // all-reduces the group sums among "position peers" (rank i of every
+  // group). This is the shared-memory analogue of reducing along each
+  // torus dimension in turn (Ying et al.).
+  const int R = num_ranks_;
+  const std::size_t n = data.size();
+  bufs_[rank] = data.data();
+  sizes_[rank] = data.size();
+  barrier();
+  int gs = 1;
+  while (gs * gs <= R) ++gs;
+  --gs;
+  while (R % gs != 0) --gs;  // largest divisor of R that is <= sqrt(R)
+  const int groups = R / gs;
+
+  if (rank == 0) {
+    scratch_.assign(n * static_cast<std::size_t>(groups + gs), 0.f);
+  }
+  barrier();
+  const int group = rank / gs;
+  const int pos = rank % gs;
+
+  // Phase 1: each member reduces its chunk of the group sum into the
+  // group's scratch block.
+  {
+    float* block = scratch_.data() + static_cast<std::size_t>(group) * n;
+    const auto [begin, end] = chunk_range(n, gs, pos);
+    for (int m = 0; m < gs; ++m) {
+      const float* src = bufs_[group * gs + m];
+      for (std::size_t i = begin; i < end; ++i) block[i] += src[i];
+    }
+  }
+  barrier();
+  // Everyone adopts its group's sum.
+  {
+    const float* block = scratch_.data() + static_cast<std::size_t>(group) * n;
+    std::copy(block, block + n, data.begin());
+  }
+  barrier();
+
+  // Phase 2: position peers (one rank per group) reduce the group sums.
+  // Each peer set uses its own scratch block, so the sets run in parallel.
+  {
+    float* block =
+        scratch_.data() + static_cast<std::size_t>(groups + pos) * n;
+    const auto [begin, end] = chunk_range(n, groups, group);
+    for (int m = 0; m < groups; ++m) {
+      const float* src = bufs_[m * gs + pos];
+      for (std::size_t i = begin; i < end; ++i) block[i] += src[i];
+    }
+  }
+  barrier();
+  {
+    const float* block =
+        scratch_.data() + static_cast<std::size_t>(groups + pos) * n;
+    std::copy(block, block + n, data.begin());
+  }
+  barrier();
+}
+
+void Communicator::broadcast(int rank, int root, std::span<float> data) {
+  if (num_ranks_ == 1) return;
+  bufs_[rank] = data.data();
+  barrier();
+  if (rank != root) {
+    const float* src = bufs_[root];
+    std::copy(src, src + data.size(), data.begin());
+  }
+  barrier();
+}
+
+void Communicator::allgather(int rank, std::span<const float> in,
+                             std::span<float> out) {
+  assert(out.size() == in.size() * static_cast<std::size_t>(num_ranks_));
+  if (num_ranks_ == 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  if (rank == 0) scratch_.resize(out.size());
+  barrier();
+  std::copy(in.begin(), in.end(),
+            scratch_.begin() + static_cast<std::ptrdiff_t>(
+                                   in.size() * static_cast<std::size_t>(rank)));
+  barrier();
+  std::copy(scratch_.begin(), scratch_.begin() + out.size(), out.begin());
+  barrier();
+}
+
+double Communicator::allreduce_scalar(int rank, double value) {
+  if (num_ranks_ == 1) return value;
+  scalars_[rank] = value;
+  barrier();
+  double total = 0.0;
+  for (double v : scalars_) total += v;
+  barrier();
+  return total;
+}
+
+double Communicator::allreduce_max(int rank, double value) {
+  if (num_ranks_ == 1) return value;
+  scalars_[rank] = value;
+  barrier();
+  double m = scalars_[0];
+  for (double v : scalars_) m = std::max(m, v);
+  barrier();
+  return m;
+}
+
+}  // namespace podnet::dist

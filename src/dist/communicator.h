@@ -1,0 +1,77 @@
+// Communicator: MPI-style collectives over shared-memory replica threads.
+//
+// Each simulated TPU core is a thread executing the same SPMD program; the
+// Communicator provides the collectives the paper's training step needs:
+// gradient all-reduce (Sec 3.1), batch-norm group reductions (Sec 3.4), and
+// the eval-metric reduction of the distributed evaluation loop (Sec 3.3).
+//
+// Three all-reduce algorithms are implemented. They produce *bit-identical
+// results on every rank* (a reduced chunk is computed once and then copied),
+// which is the invariant that keeps data-parallel replicas in lockstep
+// without weight broadcasts; tests assert it. Different algorithms may
+// differ from each other in the last float bit (different reduction trees).
+//
+// Thread contract: every rank must call every collective in the same order
+// (standard MPI semantics). Calls block until all ranks arrive.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace podnet::dist {
+
+enum class AllReduceAlgorithm {
+  kFlat,              // chunked reduce into shared scratch, then copy-out
+  kRing,              // 2(R-1)-step ring reduce-scatter + all-gather
+  kHalvingDoubling,   // recursive halving/doubling (power-of-two ranks)
+  kTwoLevel,          // hierarchical: group-local sum, then cross-group —
+                      // the functional form of Ying et al.'s 2-D scheme
+};
+
+std::string to_string(AllReduceAlgorithm alg);
+
+class Communicator {
+ public:
+  explicit Communicator(int num_ranks);
+
+  int size() const { return num_ranks_; }
+
+  // Blocks until all ranks arrive.
+  void barrier();
+
+  // Elementwise sum across ranks, in place; all buffers must be equal size.
+  void allreduce_sum(int rank, std::span<float> data,
+                     AllReduceAlgorithm alg = AllReduceAlgorithm::kRing);
+
+  // Copies root's buffer to every rank.
+  void broadcast(int rank, int root, std::span<float> data);
+
+  // Concatenates per-rank inputs (equal sizes) into out on every rank.
+  void allgather(int rank, std::span<const float> in, std::span<float> out);
+
+  // Sum-reduces a single double across ranks (metrics).
+  double allreduce_scalar(int rank, double value);
+
+  // Max across ranks.
+  double allreduce_max(int rank, double value);
+
+ private:
+  void allreduce_flat(int rank, std::span<float> data);
+  void allreduce_ring(int rank, std::span<float> data);
+  void allreduce_halving_doubling(int rank, std::span<float> data);
+  void allreduce_two_level(int rank, std::span<float> data);
+
+  int num_ranks_;
+  std::barrier<> barrier_;
+  std::vector<float*> bufs_;
+  std::vector<std::size_t> sizes_;
+  std::vector<double> scalars_;
+  std::vector<float> scratch_;
+};
+
+}  // namespace podnet::dist

@@ -1,0 +1,33 @@
+#include "dist/replica.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace podnet::dist {
+
+void run_replicas(int num_replicas, const std::function<void(int)>& body) {
+  if (num_replicas == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_replicas));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (int r = 0; r < num_replicas; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(r);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace podnet::dist

@@ -1,0 +1,13 @@
+// SPMD replica execution: run the same function on N threads, one per
+// simulated TPU core, and join. Exceptions thrown by any replica are
+// captured and rethrown on the caller (first one wins), so test failures
+// inside replica bodies surface normally.
+#pragma once
+
+#include <functional>
+
+namespace podnet::dist {
+
+void run_replicas(int num_replicas, const std::function<void(int)>& body);
+
+}  // namespace podnet::dist

@@ -1,0 +1,147 @@
+#include "effnet/config.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace podnet::effnet {
+namespace {
+
+// The seven-stage EfficientNet-B0 backbone (Tan & Le, Table 1).
+std::vector<StageSpec> b0_stages() {
+  return {
+      {3, 1, 32, 16, 1, 1, 0.25f},   {3, 2, 16, 24, 6, 2, 0.25f},
+      {5, 2, 24, 40, 6, 2, 0.25f},   {3, 3, 40, 80, 6, 2, 0.25f},
+      {5, 3, 80, 112, 6, 1, 0.25f},  {5, 4, 112, 192, 6, 2, 0.25f},
+      {3, 1, 192, 320, 6, 1, 0.25f},
+  };
+}
+
+struct Scaling {
+  float width, depth;
+  Index resolution;
+  float dropout;
+};
+
+// Published compound-scaling coefficients for B0..B7.
+constexpr Scaling kScalings[] = {
+    {1.0f, 1.0f, 224, 0.2f}, {1.0f, 1.1f, 240, 0.2f},
+    {1.1f, 1.2f, 260, 0.3f}, {1.2f, 1.4f, 300, 0.3f},
+    {1.4f, 1.8f, 380, 0.4f}, {1.6f, 2.2f, 456, 0.4f},
+    {1.8f, 2.6f, 528, 0.5f}, {2.0f, 3.1f, 600, 0.5f},
+};
+
+}  // namespace
+
+Index round_filters(Index filters, float width_coef, Index divisor) {
+  if (width_coef == 1.0f) return filters;
+  const double scaled = static_cast<double>(filters) * width_coef;
+  Index rounded = static_cast<Index>(scaled + static_cast<double>(divisor) / 2)
+                  / divisor * divisor;
+  if (static_cast<double>(rounded) < 0.9 * scaled) rounded += divisor;
+  return rounded > 0 ? rounded : divisor;
+}
+
+Index round_repeats(Index repeats, float depth_coef) {
+  return static_cast<Index>(
+      std::ceil(depth_coef * static_cast<double>(repeats)));
+}
+
+Index scaled_stem_filters(const ModelSpec& spec) {
+  return round_filters(spec.stem_filters, spec.width_coef, spec.depth_divisor);
+}
+
+Index scaled_head_filters(const ModelSpec& spec) {
+  return round_filters(spec.head_filters, spec.width_coef, spec.depth_divisor);
+}
+
+std::vector<BlockArgs> expand_blocks(const ModelSpec& spec) {
+  std::vector<BlockArgs> blocks;
+  for (const StageSpec& st : spec.stages) {
+    const Index in_f =
+        round_filters(st.in_filters, spec.width_coef, spec.depth_divisor);
+    const Index out_f =
+        round_filters(st.out_filters, spec.width_coef, spec.depth_divisor);
+    const Index reps = round_repeats(st.repeats, spec.depth_coef);
+    for (Index r = 0; r < reps; ++r) {
+      BlockArgs b;
+      b.kernel = st.kernel;
+      b.expand_ratio = st.expand_ratio;
+      b.se_ratio = st.se_ratio;
+      b.stride = (r == 0) ? st.stride : 1;
+      b.input_filters = (r == 0) ? in_f : out_f;
+      b.output_filters = out_f;
+      b.bn_momentum = spec.bn_momentum;
+      b.bn_eps = spec.bn_eps;
+      blocks.push_back(b);
+    }
+  }
+  // Stochastic depth decays linearly with block index (drop_connect rate is
+  // the *final* block's drop probability).
+  const Index total = static_cast<Index>(blocks.size());
+  for (Index i = 0; i < total; ++i) {
+    blocks[i].survival_prob =
+        1.0f - spec.drop_connect * static_cast<float>(i) /
+                   static_cast<float>(total);
+  }
+  return blocks;
+}
+
+ModelSpec b(int variant) {
+  assert(variant >= 0 && variant <= 7);
+  const Scaling& s = kScalings[variant];
+  ModelSpec spec;
+  spec.name = "efficientnet-b" + std::to_string(variant);
+  spec.stages = b0_stages();
+  spec.width_coef = s.width;
+  spec.depth_coef = s.depth;
+  spec.resolution = s.resolution;
+  spec.dropout = s.dropout;
+  return spec;
+}
+
+ModelSpec pico() {
+  ModelSpec spec;
+  spec.name = "efficientnet-pico";
+  spec.stages = {
+      {3, 1, 8, 8, 1, 1, 0.25f},
+      {3, 1, 8, 16, 4, 2, 0.25f},
+      {3, 1, 16, 24, 4, 2, 0.25f},
+  };
+  spec.stem_filters = 8;
+  spec.head_filters = 64;
+  spec.resolution = 16;
+  spec.dropout = 0.1f;
+  spec.drop_connect = 0.1f;
+  spec.bn_momentum = 0.8f;
+  return spec;
+}
+
+ModelSpec nano() {
+  ModelSpec spec;
+  spec.name = "efficientnet-nano";
+  spec.stages = {
+      {3, 1, 16, 8, 1, 1, 0.25f},
+      {3, 2, 8, 16, 4, 2, 0.25f},
+      {5, 2, 16, 32, 4, 2, 0.25f},
+      {3, 1, 32, 48, 4, 1, 0.25f},
+  };
+  spec.stem_filters = 16;
+  spec.head_filters = 128;
+  spec.resolution = 24;
+  spec.dropout = 0.1f;
+  spec.drop_connect = 0.1f;
+  spec.bn_momentum = 0.8f;
+  return spec;
+}
+
+ModelSpec by_name(const std::string& name) {
+  if (name == "pico") return pico();
+  if (name == "nano") return nano();
+  if (name.size() == 2 && name[0] == 'b' && name[1] >= '0' && name[1] <= '7') {
+    return b(name[1] - '0');
+  }
+  throw std::invalid_argument("unknown EfficientNet variant: " + name);
+}
+
+}  // namespace podnet::effnet

@@ -1,0 +1,85 @@
+// EfficientNet model configuration and compound scaling (Tan & Le 2019).
+//
+// A ModelSpec holds the *base* stage list plus the compound-scaling
+// coefficients; expand_blocks() applies width/depth scaling (with the
+// divisor-of-8 filter rounding the TPU reference uses) to produce the
+// concrete per-block arguments shared by both the trainable model builder
+// (model.h) and the analytic FLOP model (flops.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace podnet::effnet {
+
+using Index = std::int64_t;
+
+// One stage of the base architecture, repeated `repeats` times (the first
+// repeat applies `stride` and the in->out filter change; the rest are
+// stride-1, out->out).
+struct StageSpec {
+  Index kernel = 3;
+  Index repeats = 1;
+  Index in_filters = 0;
+  Index out_filters = 0;
+  Index expand_ratio = 6;
+  Index stride = 1;
+  float se_ratio = 0.25f;
+};
+
+struct ModelSpec {
+  std::string name;
+  std::vector<StageSpec> stages;
+  Index stem_filters = 32;
+  Index head_filters = 1280;
+  float width_coef = 1.0f;
+  float depth_coef = 1.0f;
+  Index resolution = 224;
+  float dropout = 0.2f;
+  float drop_connect = 0.2f;
+  Index depth_divisor = 8;
+  // Batch-norm running-statistics momentum. The TPU reference uses 0.99,
+  // tuned for ~100k-step ImageNet runs; the research configs lower it so
+  // running stats converge within CI-scale runs.
+  float bn_momentum = 0.99f;
+  float bn_eps = 1e-3f;
+};
+
+// Fully resolved arguments for one MBConv block instance.
+struct BlockArgs {
+  Index kernel = 3;
+  Index stride = 1;
+  Index expand_ratio = 6;
+  Index input_filters = 0;
+  Index output_filters = 0;
+  float se_ratio = 0.25f;
+  float survival_prob = 1.0f;  // stochastic-depth keep probability
+  float bn_momentum = 0.99f;
+  float bn_eps = 1e-3f;
+};
+
+// Width scaling with rounding to a multiple of `divisor`, never dropping
+// below 90% of the scaled value (TPU reference round_filters).
+Index round_filters(Index filters, float width_coef, Index divisor);
+// Depth scaling: ceil(repeats * depth_coef).
+Index round_repeats(Index repeats, float depth_coef);
+
+// Scaled stem/head widths for a spec.
+Index scaled_stem_filters(const ModelSpec& spec);
+Index scaled_head_filters(const ModelSpec& spec);
+
+// Expands a spec into the concrete list of MBConv blocks, including
+// linearly decayed stochastic-depth survival probabilities.
+std::vector<BlockArgs> expand_blocks(const ModelSpec& spec);
+
+// The published EfficientNet family. b(i) returns B0..B7.
+ModelSpec b(int variant);
+// Research-scale variants for CI-speed training on synthetic data:
+// pico (16x16 inputs) and nano (24x24 inputs).
+ModelSpec pico();
+ModelSpec nano();
+// Looks up any of "b0".."b7", "pico", "nano".
+ModelSpec by_name(const std::string& name);
+
+}  // namespace podnet::effnet

@@ -1,0 +1,130 @@
+#include "effnet/flops.h"
+
+#include <algorithm>
+
+namespace podnet::effnet {
+namespace {
+
+Index ceil_div(Index a, Index b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+double ModelCost::total_macs() const {
+  double s = 0;
+  for (const auto& l : layers) s += l.macs;
+  return s;
+}
+
+double ModelCost::total_params() const {
+  double s = 0;
+  for (const auto& l : layers) s += l.params;
+  return s;
+}
+
+double ModelCost::total_activation_elems() const {
+  double s = 0;
+  for (const auto& l : layers) s += l.out_elems;
+  return s;
+}
+
+ModelCost analyze(const ModelSpec& spec, Index num_classes,
+                  Index resolution_override) {
+  ModelCost cost;
+  cost.model = spec.name;
+  cost.resolution =
+      resolution_override > 0 ? resolution_override : spec.resolution;
+
+  Index hw = cost.resolution;
+  double prev_elems =
+      static_cast<double>(cost.resolution) * cost.resolution * 3.0;
+  auto add = [&](const std::string& name, LayerKind kind, double macs,
+                 double params, double out_elems, double k, double n) {
+    LayerCost l;
+    l.name = name;
+    l.kind = kind;
+    l.macs = macs;
+    l.params = params;
+    l.in_elems = prev_elems;
+    l.out_elems = out_elems;
+    l.gemm_k = k;
+    l.gemm_n = n;
+    cost.layers.push_back(l);
+    prev_elems = out_elems;
+  };
+  auto add_bn = [&](const std::string& name, Index channels, double elems) {
+    // BN costs ~2 flops/elem, negligible next to convs; traffic dominates.
+    add(name, LayerKind::kBatchNorm, 0.0, 2.0 * static_cast<double>(channels),
+        elems, 0, 0);
+  };
+
+  // Stem: 3x3 stride-2 conv from RGB.
+  const Index stem = scaled_stem_filters(spec);
+  hw = ceil_div(hw, 2);
+  {
+    const double out_px = static_cast<double>(hw) * hw;
+    add("stem/conv", LayerKind::kConv,
+        out_px * 9.0 * 3.0 * static_cast<double>(stem),
+        9.0 * 3.0 * static_cast<double>(stem),
+        out_px * static_cast<double>(stem), 9.0 * 3.0,
+        static_cast<double>(stem));
+    add_bn("stem/bn", stem, out_px * static_cast<double>(stem));
+  }
+
+  const auto blocks = expand_blocks(spec);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const BlockArgs& b = blocks[i];
+    const std::string base = "blocks/" + std::to_string(i);
+    const Index expanded = b.input_filters * b.expand_ratio;
+    const double in_px = static_cast<double>(hw) * hw;
+    if (b.expand_ratio != 1) {
+      add(base + "/expand", LayerKind::kConv,
+          in_px * static_cast<double>(b.input_filters) * expanded,
+          static_cast<double>(b.input_filters) * expanded, in_px * expanded,
+          static_cast<double>(b.input_filters), static_cast<double>(expanded));
+      add_bn(base + "/bn0", expanded, in_px * expanded);
+    }
+    const Index out_hw = ceil_div(hw, b.stride);
+    const double out_px = static_cast<double>(out_hw) * out_hw;
+    add(base + "/dw", LayerKind::kDepthwise,
+        out_px * static_cast<double>(b.kernel) * b.kernel * expanded,
+        static_cast<double>(b.kernel) * b.kernel * expanded,
+        out_px * expanded, 0, 0);
+    add_bn(base + "/bn1", expanded, out_px * expanded);
+    if (b.se_ratio > 0.f) {
+      const Index se_ch = std::max<Index>(
+          1, static_cast<Index>(static_cast<float>(b.input_filters) *
+                                b.se_ratio));
+      const double se_macs = 2.0 * static_cast<double>(expanded) * se_ch;
+      const double se_params =
+          2.0 * static_cast<double>(expanded) * se_ch + se_ch + expanded;
+      add(base + "/se", LayerKind::kSqueezeExcite,
+          se_macs + out_px * expanded, se_params, out_px * expanded, 0, 0);
+    }
+    add(base + "/project", LayerKind::kConv,
+        out_px * static_cast<double>(expanded) * b.output_filters,
+        static_cast<double>(expanded) * b.output_filters,
+        out_px * static_cast<double>(b.output_filters),
+        static_cast<double>(expanded),
+        static_cast<double>(b.output_filters));
+    add_bn(base + "/bn2", b.output_filters,
+           out_px * static_cast<double>(b.output_filters));
+    hw = out_hw;
+  }
+
+  const Index last = blocks.empty() ? stem : blocks.back().output_filters;
+  const Index head = scaled_head_filters(spec);
+  const double out_px = static_cast<double>(hw) * hw;
+  add("head/conv", LayerKind::kConv,
+      out_px * static_cast<double>(last) * head,
+      static_cast<double>(last) * head, out_px * static_cast<double>(head),
+      static_cast<double>(last), static_cast<double>(head));
+  add_bn("head/bn", head, out_px * static_cast<double>(head));
+  add("head/classifier", LayerKind::kDense,
+      static_cast<double>(head) * num_classes,
+      static_cast<double>(head) * num_classes + num_classes,
+      static_cast<double>(num_classes), static_cast<double>(head),
+      static_cast<double>(num_classes));
+  return cost;
+}
+
+}  // namespace podnet::effnet

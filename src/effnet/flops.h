@@ -1,0 +1,60 @@
+// Analytic cost model for the EfficientNet family.
+//
+// Walks the same expand_blocks() description as the trainable model builder
+// but never allocates tensors, so it can price the *full-size* B2/B5 at
+// 260/456 px — the models the paper trains — even though the CI machine
+// only trains pico/nano variants. The TPU pod model (src/tpu) combines
+// these counts with a hardware roofline to produce Table-1-style step
+// times, and the gradient byte count sizes the all-reduce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "effnet/config.h"
+
+namespace podnet::effnet {
+
+enum class LayerKind {
+  kConv,           // dense convolution (lowered to a GEMM on TPU)
+  kDepthwise,      // depthwise convolution (vector unit, memory-bound)
+  kBatchNorm,      // elementwise normalization
+  kSqueezeExcite,  // pooling + tiny MLP + gating
+  kDense,          // fully connected
+};
+
+struct LayerCost {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  double macs = 0;        // forward multiply-accumulates per image
+  double params = 0;      // trainable scalars
+  double in_elems = 0;    // input activation elements per image
+  double out_elems = 0;   // output activation elements per image
+  // GEMM contraction/output widths (conv: K = kh*kw*Cin, N = Cout), used by
+  // the TPU systolic-array utilization model; 0 for non-GEMM layers.
+  double gemm_k = 0;
+  double gemm_n = 0;
+};
+
+struct ModelCost {
+  std::string model;
+  Index resolution = 0;
+  std::vector<LayerCost> layers;
+
+  double total_macs() const;
+  double total_params() const;
+  double total_activation_elems() const;
+  // Forward FLOPs (2 * MACs) per image.
+  double forward_flops() const { return 2.0 * total_macs(); }
+  // Training step FLOPs per image; backward costs ~2x forward.
+  double training_flops() const { return 3.0 * forward_flops(); }
+  // Bytes of gradients exchanged per step by fp32 all-reduce.
+  double gradient_bytes() const { return 4.0 * total_params(); }
+};
+
+// Prices `spec` at its native resolution (or an override) for a given
+// classifier width.
+ModelCost analyze(const ModelSpec& spec, Index num_classes = 1000,
+                  Index resolution_override = 0);
+
+}  // namespace podnet::effnet

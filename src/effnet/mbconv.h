@@ -1,0 +1,61 @@
+// MBConvBlock: the mobile inverted-bottleneck block with squeeze-excite,
+// the building unit of every EfficientNet.
+//
+//   x -> [1x1 expand conv -> BN -> swish]      (skipped when expand==1)
+//     -> depthwise kxk (stride s) -> BN -> swish
+//     -> squeeze-excite
+//     -> 1x1 project conv -> BN
+//     -> (+ x, via stochastic depth)           (when stride 1, in==out)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "effnet/config.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/depthwise_conv.h"
+#include "nn/dropout.h"
+#include "nn/layer.h"
+#include "nn/squeeze_excite.h"
+
+namespace podnet::effnet {
+
+class MBConvBlock final : public nn::Layer {
+ public:
+  MBConvBlock(const BlockArgs& args, nn::Rng& init_rng, nn::Rng droppath_rng,
+              tensor::MatmulPrecision precision, std::string name);
+
+  nn::Tensor forward(const nn::Tensor& x, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  void collect_params(std::vector<nn::Param*>& out) override;
+  void collect_state(std::vector<nn::Tensor*>& out) override;
+  std::string name() const override { return name_; }
+
+  // All batch-norm layers in this block, for distributed-BN wiring.
+  void collect_batchnorms(std::vector<nn::BatchNorm*>& out);
+
+ private:
+  std::string name_;
+  BlockArgs args_;
+  bool has_residual_ = false;
+
+  // Expansion phase (absent when expand_ratio == 1).
+  std::unique_ptr<nn::Conv2D> expand_conv_;
+  std::unique_ptr<nn::BatchNorm> bn0_;
+  std::unique_ptr<nn::Swish> swish0_;
+  // Depthwise phase.
+  nn::DepthwiseConv2D dwconv_;
+  nn::BatchNorm bn1_;
+  nn::Swish swish1_;
+  // Squeeze-excite.
+  std::unique_ptr<nn::SqueezeExcite> se_;
+  // Projection phase.
+  nn::Conv2D project_conv_;
+  nn::BatchNorm bn2_;
+  // Stochastic depth on the branch before the skip-add.
+  nn::DropPath drop_path_;
+};
+
+}  // namespace podnet::effnet

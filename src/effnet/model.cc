@@ -1,0 +1,86 @@
+#include "effnet/model.h"
+
+namespace podnet::effnet {
+
+using nn::Tensor;
+
+EfficientNet::EfficientNet(const ModelSpec& spec, const ModelOptions& options)
+    : spec_(spec),
+      options_(options),
+      init_rng_(options.init_seed),
+      replica_rng_(nn::Rng(options.init_seed ^ 0xd15c0ULL)
+                       .split(static_cast<std::uint64_t>(options.replica_id))),
+      stem_conv_(3, scaled_stem_filters(spec), 3, 2, init_rng_,
+                 /*use_bias=*/false, options.precision, "stem/conv"),
+      stem_bn_(scaled_stem_filters(spec), spec.bn_momentum, spec.bn_eps,
+               "stem/bn") {
+  const auto blocks = expand_blocks(spec_);
+  blocks_.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    blocks_.push_back(std::make_unique<MBConvBlock>(
+        blocks[i], init_rng_, replica_rng_.split(i), options_.precision,
+        "blocks/" + std::to_string(i)));
+  }
+  const Index last = blocks.empty() ? scaled_stem_filters(spec_)
+                                    : blocks.back().output_filters;
+  const Index head = scaled_head_filters(spec_);
+  head_conv_ = std::make_unique<nn::Conv2D>(last, head, 1, 1, init_rng_,
+                                            /*use_bias=*/false,
+                                            options_.precision, "head/conv");
+  head_bn_ = std::make_unique<nn::BatchNorm>(head, spec_.bn_momentum,
+                                             spec_.bn_eps, "head/bn");
+  dropout_ = std::make_unique<nn::Dropout>(
+      spec_.dropout, replica_rng_.split(0x0d0d), "head/dropout");
+  classifier_ = std::make_unique<nn::Dense>(head, options_.num_classes,
+                                            init_rng_, /*use_bias=*/true,
+                                            "head/classifier");
+
+  bns_.push_back(&stem_bn_);
+  for (auto& b : blocks_) b->collect_batchnorms(bns_);
+  bns_.push_back(head_bn_.get());
+}
+
+Tensor EfficientNet::forward(const Tensor& x, bool training) {
+  Tensor h = stem_swish_.forward(
+      stem_bn_.forward(stem_conv_.forward(x, training), training), training);
+  for (auto& b : blocks_) h = b->forward(h, training);
+  h = head_swish_.forward(
+      head_bn_->forward(head_conv_->forward(h, training), training),
+      training);
+  h = pool_.forward(h, training);
+  h = dropout_->forward(h, training);
+  return classifier_->forward(h, training);
+}
+
+Tensor EfficientNet::backward(const Tensor& grad_out) {
+  Tensor g = classifier_->backward(grad_out);
+  g = dropout_->backward(g);
+  g = pool_.backward(g);
+  g = head_conv_->backward(head_bn_->backward(head_swish_.backward(g)));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  g = stem_conv_.backward(stem_bn_.backward(stem_swish_.backward(g)));
+  return g;
+}
+
+void EfficientNet::collect_params(std::vector<nn::Param*>& out) {
+  stem_conv_.collect_params(out);
+  stem_bn_.collect_params(out);
+  for (auto& b : blocks_) b->collect_params(out);
+  head_conv_->collect_params(out);
+  head_bn_->collect_params(out);
+  classifier_->collect_params(out);
+}
+
+void EfficientNet::collect_state(std::vector<nn::Tensor*>& out) {
+  stem_bn_.collect_state(out);
+  for (auto& b : blocks_) b->collect_state(out);
+  head_bn_->collect_state(out);
+}
+
+void EfficientNet::set_bn_sync(nn::BnStatSync* sync) {
+  for (nn::BatchNorm* bn : bns_) bn->set_stat_sync(sync);
+}
+
+}  // namespace podnet::effnet

@@ -1,0 +1,74 @@
+// EfficientNet: stem -> MBConv blocks -> head -> pooled classifier.
+//
+// One instance is one replica's trainable model. Weight initialization is
+// driven entirely by the init seed, so replicas constructed with the same
+// seed start bit-identical (required for data-parallel training); dropout /
+// stochastic-depth streams are separated per replica via `replica_id`.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "effnet/config.h"
+#include "effnet/mbconv.h"
+#include "nn/bn_stat_sync.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+#include "nn/pooling.h"
+
+namespace podnet::effnet {
+
+struct ModelOptions {
+  std::uint64_t init_seed = 42;   // identical across replicas
+  int replica_id = 0;             // decorrelates dropout streams
+  tensor::MatmulPrecision precision = tensor::MatmulPrecision::kFp32;
+  Index num_classes = 1000;
+};
+
+class EfficientNet final : public nn::Model {
+ public:
+  EfficientNet(const ModelSpec& spec, const ModelOptions& options);
+
+  // Non-copyable and non-movable: bns_ holds pointers into our own
+  // members. Factory returns rely on guaranteed copy elision.
+  EfficientNet(const EfficientNet&) = delete;
+  EfficientNet& operator=(const EfficientNet&) = delete;
+
+  nn::Tensor forward(const nn::Tensor& x, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  void collect_params(std::vector<nn::Param*>& out) override;
+  void collect_state(std::vector<nn::Tensor*>& out) override;
+  std::string name() const override { return spec_.name; }
+
+  const ModelSpec& spec() const { return spec_; }
+  Index num_classes() const { return options_.num_classes; }
+
+  // Wires every batch-norm layer to a cross-replica statistics hook
+  // (nullptr reverts to per-core batch norm).
+  void set_bn_sync(nn::BnStatSync* sync) override;
+  std::size_t batchnorm_count() const { return bns_.size(); }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  // Order matters: the init rng must be constructed before the layers that
+  // consume it in the constructor's member-initializer list.
+  ModelSpec spec_;
+  ModelOptions options_;
+  nn::Rng init_rng_;
+  nn::Rng replica_rng_;  // per-replica stream for dropout / stochastic depth
+
+  nn::Conv2D stem_conv_;
+  nn::BatchNorm stem_bn_;
+  nn::Swish stem_swish_;
+  std::vector<std::unique_ptr<MBConvBlock>> blocks_;
+  std::unique_ptr<nn::Conv2D> head_conv_;
+  std::unique_ptr<nn::BatchNorm> head_bn_;
+  nn::Swish head_swish_;
+  nn::GlobalAvgPool pool_;
+  std::unique_ptr<nn::Dropout> dropout_;
+  std::unique_ptr<nn::Dense> classifier_;
+
+  std::vector<nn::BatchNorm*> bns_;
+};
+
+}  // namespace podnet::effnet

@@ -1,0 +1,81 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace podnet::nn {
+
+float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+Tensor Swish::forward(const Tensor& x, bool training) {
+  Tensor y(x.shape());
+  Tensor sig(x.shape());
+  const float* xi = x.data();
+  float* si = sig.data();
+  float* yi = y.data();
+  const Index n = x.numel();
+  for (Index i = 0; i < n; ++i) {
+    si[i] = sigmoid_scalar(xi[i]);
+    yi[i] = xi[i] * si[i];
+  }
+  if (training) {
+    x_ = x;
+    sig_ = std::move(sig);
+  }
+  return y;
+}
+
+Tensor Swish::backward(const Tensor& grad_out) {
+  // d/dx [x*s(x)] = s(x) * (1 + x * (1 - s(x)))
+  Tensor gx(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* xi = x_.data();
+  const float* si = sig_.data();
+  float* o = gx.data();
+  const Index n = grad_out.numel();
+  for (Index i = 0; i < n; ++i) {
+    o[i] = g[i] * si[i] * (1.0f + xi[i] * (1.0f - si[i]));
+  }
+  return gx;
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool training) {
+  Tensor y(x.shape());
+  const float* xi = x.data();
+  float* yi = y.data();
+  const Index n = x.numel();
+  for (Index i = 0; i < n; ++i) yi[i] = sigmoid_scalar(xi[i]);
+  if (training) y_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  Tensor gx(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* yi = y_.data();
+  float* o = gx.data();
+  const Index n = grad_out.numel();
+  for (Index i = 0; i < n; ++i) o[i] = g[i] * yi[i] * (1.0f - yi[i]);
+  return gx;
+}
+
+Tensor ReLU::forward(const Tensor& x, bool training) {
+  Tensor y(x.shape());
+  const float* xi = x.data();
+  float* yi = y.data();
+  const Index n = x.numel();
+  for (Index i = 0; i < n; ++i) yi[i] = xi[i] > 0.f ? xi[i] : 0.f;
+  if (training) x_ = x;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor gx(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* xi = x_.data();
+  float* o = gx.data();
+  const Index n = grad_out.numel();
+  for (Index i = 0; i < n; ++i) o[i] = xi[i] > 0.f ? g[i] : 0.f;
+  return gx;
+}
+
+}  // namespace podnet::nn

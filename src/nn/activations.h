@@ -1,0 +1,44 @@
+// Pointwise activations. EfficientNet uses swish (x * sigmoid(x))
+// throughout; sigmoid gates the squeeze-excite block; ReLU is provided for
+// baseline comparisons.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace podnet::nn {
+
+class Swish final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "swish"; }
+
+ private:
+  Tensor x_;    // cached input
+  Tensor sig_;  // cached sigmoid(x)
+};
+
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  Tensor y_;  // cached output
+};
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor x_;
+};
+
+// Scalar helpers shared with composite layers (squeeze-excite).
+float sigmoid_scalar(float x);
+
+}  // namespace podnet::nn

@@ -1,0 +1,48 @@
+// BatchNorm: NHWC batch normalization with optional cross-replica
+// statistics (distributed batch norm, paper Sec 3.4).
+//
+// Training mode normalizes by the batch statistics of the normalization
+// group: the local per-core batch by default, or the union of a replica
+// subgroup's batches when a BnStatSync is attached. The "batch-norm batch
+// size" the paper tunes is exactly group_size * per_core_batch.
+// Defaults follow the TPU EfficientNet reference: momentum 0.99, eps 1e-3.
+#pragma once
+
+#include "nn/bn_stat_sync.h"
+#include "nn/layer.h"
+
+namespace podnet::nn {
+
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(Index channels, float momentum = 0.99f,
+                     float eps = 1e-3f, std::string name = "bn");
+
+  // Attaches (or detaches, with nullptr) the cross-replica statistics hook.
+  // The pointee must outlive the layer's use. Not owned.
+  void set_stat_sync(BnStatSync* sync) { sync_ = sync; }
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void collect_state(std::vector<Tensor*>& out) override;
+  std::string name() const override { return name_; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::string name_;
+  Index channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  BnStatSync* sync_ = nullptr;
+
+  // Cached forward state for backward.
+  Tensor xhat_;
+  Tensor inv_std_;  // per channel
+  double group_count_ = 0;
+};
+
+}  // namespace podnet::nn

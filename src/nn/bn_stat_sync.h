@@ -1,0 +1,29 @@
+// BnStatSync: the hook through which distributed batch normalization
+// (paper Sec 3.4) reaches into a BatchNorm layer.
+//
+// When a sync object is attached, BatchNorm all-reduces its per-channel
+// [sum, sum-of-squares, count] vector across the replica subgroup in
+// forward, and the per-channel [sum(dy), sum(dy*xhat)] vector in backward,
+// so normalization statistics — and therefore gradients — are exact over
+// the whole subgroup batch. src/dist provides the implementation on top of
+// replica-group communicators (1-D consecutive grouping or 2-D tiling).
+#pragma once
+
+#include <span>
+
+namespace podnet::nn {
+
+class BnStatSync {
+ public:
+  virtual ~BnStatSync() = default;
+
+  // Elementwise sum of `v` across all replicas of the subgroup, in place.
+  // Must be called by every replica of the subgroup in the same order
+  // (collective semantics).
+  virtual void allreduce_sum(std::span<float> v) = 0;
+
+  // Number of replicas participating.
+  virtual int group_size() const = 0;
+};
+
+}  // namespace podnet::nn

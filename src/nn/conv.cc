@@ -1,0 +1,83 @@
+#include "nn/conv.h"
+
+#include <cassert>
+
+#include "nn/init.h"
+
+namespace podnet::nn {
+
+Conv2D::Conv2D(Index in_c, Index out_c, Index kernel, Index stride,
+               Rng& init_rng, bool use_bias,
+               tensor::MatmulPrecision precision, std::string name)
+    : name_(std::move(name)),
+      in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      use_bias_(use_bias),
+      precision_(precision),
+      weight_(name_ + "/kernel",
+              conv_init(Shape{kernel, kernel, in_c, out_c}, init_rng)) {
+  if (use_bias_) {
+    bias_ = std::make_unique<Param>(name_ + "/bias", Tensor(Shape{out_c}),
+                                    /*decay=*/false, /*adapt=*/false);
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool training) {
+  assert(x.shape().rank() == 4 && x.shape()[3] == in_c_);
+  geom_ = tensor::ConvGeometry::same(x.shape()[0], x.shape()[1], x.shape()[2],
+                                     in_c_, kernel_, stride_);
+  const Index m = geom_.col_rows();
+  const Index k = geom_.col_cols();
+  Tensor col(Shape{m, k});
+  tensor::im2col(geom_, x.data(), col.data());
+
+  Tensor y(Shape{geom_.batch, geom_.out_h, geom_.out_w, out_c_});
+  tensor::gemm_contiguous(false, false, m, out_c_, k, 1.f, col.data(),
+                          weight_.value.data(), 0.f, y.data(), precision_);
+  if (use_bias_) {
+    float* yd = y.data();
+    const float* b = bias_->value.data();
+    for (Index r = 0; r < m; ++r) {
+      for (Index c = 0; c < out_c_; ++c) yd[r * out_c_ + c] += b[c];
+    }
+  }
+  if (training) col_ = std::move(col);
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Index m = geom_.col_rows();
+  const Index k = geom_.col_cols();
+  assert(grad_out.numel() == m * out_c_);
+
+  // dW[k, out_c] += col^T[k, m] * dY[m, out_c]
+  tensor::gemm_contiguous(true, false, k, out_c_, m, 1.f, col_.data(),
+                          grad_out.data(), 1.f, weight_.grad.data(),
+                          precision_);
+  if (use_bias_) {
+    float* db = bias_->grad.data();
+    const float* g = grad_out.data();
+    for (Index r = 0; r < m; ++r) {
+      for (Index c = 0; c < out_c_; ++c) db[c] += g[r * out_c_ + c];
+    }
+  }
+
+  // dCol[m, k] = dY[m, out_c] * W^T[out_c, k]
+  Tensor dcol(Shape{m, k});
+  tensor::gemm_contiguous(false, true, m, k, out_c_, 1.f, grad_out.data(),
+                          weight_.value.data(), 0.f, dcol.data(), precision_);
+
+  Tensor dx(Shape{geom_.batch, geom_.in_h, geom_.in_w, in_c_});
+  tensor::col2im(geom_, dcol.data(), dx.data());
+  col_ = Tensor();  // release the cached expansion
+  return dx;
+}
+
+void Conv2D::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (bias_) out.push_back(bias_.get());
+}
+
+}  // namespace podnet::nn

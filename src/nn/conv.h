@@ -1,0 +1,42 @@
+// Conv2D: NHWC convolution with SAME padding, lowered to im2col + GEMM.
+//
+// Weights use the HWIO layout [kh, kw, in_c, out_c]. EfficientNet
+// convolutions carry no bias (batch norm follows every conv); an optional
+// bias is provided for standalone use. The matmul precision knob selects
+// fp32 or TPU-style bf16 multiplicands (paper Sec 3.5), applied to the
+// forward product and to both backward products.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+namespace podnet::nn {
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(Index in_c, Index out_c, Index kernel, Index stride, Rng& init_rng,
+         bool use_bias = false,
+         tensor::MatmulPrecision precision = tensor::MatmulPrecision::kFp32,
+         std::string name = "conv2d");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+  Param& weight() { return weight_; }
+
+ private:
+  std::string name_;
+  Index in_c_, out_c_, kernel_, stride_;
+  bool use_bias_;
+  tensor::MatmulPrecision precision_;
+  Param weight_;
+  std::unique_ptr<Param> bias_;
+
+  tensor::ConvGeometry geom_;
+  Tensor col_;  // cached im2col expansion of the forward input
+};
+
+}  // namespace podnet::nn

@@ -1,0 +1,28 @@
+// Dense (fully-connected) layer over [batch, features] tensors.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/gemm.h"
+
+namespace podnet::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(Index in_features, Index out_features, Rng& init_rng,
+        bool use_bias = true, std::string name = "dense");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Index in_, out_;
+  bool use_bias_;
+  Param weight_;  // [in, out]
+  std::unique_ptr<Param> bias_;
+  Tensor x_;  // cached input
+};
+
+}  // namespace podnet::nn

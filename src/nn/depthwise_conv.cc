@@ -1,0 +1,107 @@
+#include "nn/depthwise_conv.h"
+
+#include <cassert>
+
+#include "nn/init.h"
+#include "tensor/bf16.h"
+
+namespace podnet::nn {
+
+DepthwiseConv2D::DepthwiseConv2D(Index channels, Index kernel, Index stride,
+                                 Rng& init_rng,
+                                 tensor::MatmulPrecision precision,
+                                 std::string name)
+    : name_(std::move(name)),
+      channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      precision_(precision),
+      weight_(name_ + "/depthwise_kernel",
+              depthwise_init(Shape{kernel, kernel, channels}, init_rng)) {}
+
+Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
+  assert(x.shape().rank() == 4 && x.shape()[3] == channels_);
+  geom_ = tensor::ConvGeometry::same(x.shape()[0], x.shape()[1], x.shape()[2],
+                                     channels_, kernel_, stride_);
+  // Simulated mixed precision rounds the multiplicands once up front.
+  Tensor xin = x;
+  Tensor w = weight_.value;
+  if (precision_ == tensor::MatmulPrecision::kBf16) {
+    tensor::bf16_round_inplace(xin.span());
+    tensor::bf16_round_inplace(w.span());
+  }
+
+  Tensor y(Shape{geom_.batch, geom_.out_h, geom_.out_w, channels_});
+  const Index C = channels_;
+  for (Index n = 0; n < geom_.batch; ++n) {
+    for (Index oh = 0; oh < geom_.out_h; ++oh) {
+      for (Index ow = 0; ow < geom_.out_w; ++ow) {
+        float* out = y.data() + ((n * geom_.out_h + oh) * geom_.out_w + ow) * C;
+        const Index ih0 = oh * stride_ - geom_.pad_top;
+        const Index iw0 = ow * stride_ - geom_.pad_left;
+        for (Index kh = 0; kh < kernel_; ++kh) {
+          const Index ih = ih0 + kh;
+          if (ih < 0 || ih >= geom_.in_h) continue;
+          for (Index kw = 0; kw < kernel_; ++kw) {
+            const Index iw = iw0 + kw;
+            if (iw < 0 || iw >= geom_.in_w) continue;
+            const float* in =
+                xin.data() + ((n * geom_.in_h + ih) * geom_.in_w + iw) * C;
+            const float* wk = w.data() + (kh * kernel_ + kw) * C;
+            for (Index c = 0; c < C; ++c) out[c] += in[c] * wk[c];
+          }
+        }
+      }
+    }
+  }
+  if (training) x_ = std::move(xin);
+  return y;
+}
+
+Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
+  const Index C = channels_;
+  assert(grad_out.numel() == geom_.batch * geom_.out_h * geom_.out_w * C);
+  Tensor w = weight_.value;
+  if (precision_ == tensor::MatmulPrecision::kBf16) {
+    tensor::bf16_round_inplace(w.span());
+  }
+
+  Tensor dx(Shape{geom_.batch, geom_.in_h, geom_.in_w, C});
+  float* dw = weight_.grad.data();
+  for (Index n = 0; n < geom_.batch; ++n) {
+    for (Index oh = 0; oh < geom_.out_h; ++oh) {
+      for (Index ow = 0; ow < geom_.out_w; ++ow) {
+        const float* g =
+            grad_out.data() + ((n * geom_.out_h + oh) * geom_.out_w + ow) * C;
+        const Index ih0 = oh * stride_ - geom_.pad_top;
+        const Index iw0 = ow * stride_ - geom_.pad_left;
+        for (Index kh = 0; kh < kernel_; ++kh) {
+          const Index ih = ih0 + kh;
+          if (ih < 0 || ih >= geom_.in_h) continue;
+          for (Index kw = 0; kw < kernel_; ++kw) {
+            const Index iw = iw0 + kw;
+            if (iw < 0 || iw >= geom_.in_w) continue;
+            const Index in_off = ((n * geom_.in_h + ih) * geom_.in_w + iw) * C;
+            const float* in = x_.data() + in_off;
+            float* dxi = dx.data() + in_off;
+            const Index w_off = (kh * kernel_ + kw) * C;
+            const float* wk = w.data() + w_off;
+            float* dwk = dw + w_off;
+            for (Index c = 0; c < C; ++c) {
+              dwk[c] += in[c] * g[c];
+              dxi[c] += wk[c] * g[c];
+            }
+          }
+        }
+      }
+    }
+  }
+  x_ = Tensor();
+  return dx;
+}
+
+void DepthwiseConv2D::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+}
+
+}  // namespace podnet::nn

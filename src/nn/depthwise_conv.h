@@ -1,0 +1,37 @@
+// DepthwiseConv2D: per-channel NHWC convolution with SAME padding.
+//
+// Weights are [kh, kw, c] (channel multiplier 1, as in every EfficientNet
+// MBConv block). Implemented directly rather than via im2col: the GEMM
+// lowering degenerates for depthwise filters. Supports the same bf16
+// multiplicand rounding as Conv2D.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+namespace podnet::nn {
+
+class DepthwiseConv2D final : public Layer {
+ public:
+  DepthwiseConv2D(Index channels, Index kernel, Index stride, Rng& init_rng,
+                  tensor::MatmulPrecision precision =
+                      tensor::MatmulPrecision::kFp32,
+                  std::string name = "dwconv2d");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Index channels_, kernel_, stride_;
+  tensor::MatmulPrecision precision_;
+  Param weight_;
+
+  tensor::ConvGeometry geom_;
+  Tensor x_;  // cached (bf16-rounded if applicable) forward input
+};
+
+}  // namespace podnet::nn

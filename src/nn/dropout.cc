@@ -1,0 +1,75 @@
+#include "nn/dropout.h"
+
+#include <cassert>
+
+namespace podnet::nn {
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || rate_ <= 0.f) {
+    mask_ = Tensor();
+    return x;
+  }
+  const float keep = 1.f - rate_;
+  const float inv_keep = 1.f / keep;
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float* xd = x.data();
+  float* md = mask_.data();
+  float* yd = y.data();
+  for (Index i = 0; i < x.numel(); ++i) {
+    md[i] = (rng_.next_double() < keep) ? inv_keep : 0.f;
+    yd[i] = xd[i] * md[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  Tensor dx(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* md = mask_.data();
+  float* o = dx.data();
+  for (Index i = 0; i < grad_out.numel(); ++i) o[i] = g[i] * md[i];
+  return dx;
+}
+
+Tensor DropPath::forward(const Tensor& x, bool training) {
+  if (!training || survival_ >= 1.f) {
+    keep_ = Tensor();
+    return x;
+  }
+  assert(x.shape().rank() == 4);
+  const Index N = x.shape()[0];
+  const Index per = x.numel() / N;
+  keep_ = Tensor(Shape{N});
+  Tensor y(x.shape());
+  const float* xd = x.data();
+  float* yd = y.data();
+  for (Index n = 0; n < N; ++n) {
+    const float k =
+        (rng_.next_double() < survival_) ? 1.f / survival_ : 0.f;
+    keep_.at(n) = k;
+    const float* xs = xd + n * per;
+    float* ys = yd + n * per;
+    for (Index i = 0; i < per; ++i) ys[i] = xs[i] * k;
+  }
+  return y;
+}
+
+Tensor DropPath::backward(const Tensor& grad_out) {
+  if (keep_.empty()) return grad_out;
+  const Index N = grad_out.shape()[0];
+  const Index per = grad_out.numel() / N;
+  Tensor dx(grad_out.shape());
+  const float* g = grad_out.data();
+  float* o = dx.data();
+  for (Index n = 0; n < N; ++n) {
+    const float k = keep_.at(n);
+    const float* gs = g + n * per;
+    float* os = o + n * per;
+    for (Index i = 0; i < per; ++i) os[i] = gs[i] * k;
+  }
+  return dx;
+}
+
+}  // namespace podnet::nn

@@ -1,0 +1,46 @@
+// Dropout and DropPath (stochastic depth).
+//
+// Dropout is the classic inverted form, applied before EfficientNet's final
+// classifier. DropPath drops an entire residual branch per *sample* with
+// probability 1 - survival_prob and rescales survivors, as EfficientNet's
+// drop_connect does; MBConvBlock applies it to the branch output before the
+// skip-add.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace podnet::nn {
+
+class Dropout final : public Layer {
+ public:
+  Dropout(float rate, Rng rng, std::string name = "dropout")
+      : name_(std::move(name)), rate_(rate), rng_(rng) {}
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  float rate_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+class DropPath final : public Layer {
+ public:
+  DropPath(float survival_prob, Rng rng, std::string name = "drop_path")
+      : name_(std::move(name)), survival_(survival_prob), rng_(rng) {}
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  float survival_;
+  Rng rng_;
+  Tensor keep_;  // per-sample keep/survival factor
+};
+
+}  // namespace podnet::nn

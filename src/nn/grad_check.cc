@@ -1,0 +1,82 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace podnet::nn {
+namespace {
+
+// L(x) = <g, forward(x)> evaluated fresh (training mode so batch norm uses
+// batch statistics, matching what backward differentiated).
+double loss_value(Layer& layer, const Tensor& x, const Tensor& cotangent,
+                  bool training) {
+  Tensor y = layer.forward(x, training);
+  return tensor::dot(y.span(), cotangent.span());
+}
+
+void update_worst(GradCheckResult& res, double analytic, double numeric,
+                  const std::string& where) {
+  const double abs_err = std::abs(analytic - numeric);
+  const double denom =
+      std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  const double rel = abs_err / denom;
+  res.max_abs_err = std::max(res.max_abs_err, abs_err);
+  if (rel > res.max_rel_err) {
+    res.max_rel_err = rel;
+    res.worst = where;
+  }
+}
+
+}  // namespace
+
+GradCheckResult grad_check(Layer& layer, const Tensor& x, Rng& rng,
+                           const GradCheckOptions& opts) {
+  GradCheckResult res;
+  Tensor y0 = layer.forward(x, opts.training);
+  Tensor cotangent = Tensor::randn(y0.shape(), rng);
+
+  // One analytic backward pass.
+  auto params = parameters_of(layer);
+  zero_grads(params);
+  layer.forward(x, opts.training);
+  Tensor dx = layer.backward(cotangent);
+
+  const float eps = opts.epsilon;
+  for (Param* p : params) {
+    const Index n = p->value.numel();
+    const Index stride = std::max<Index>(1, n / opts.max_entries);
+    for (Index i = 0; i < n; i += stride) {
+      const float orig = p->value.at(i);
+      p->value.at(i) = orig + eps;
+      const double lp = loss_value(layer, x, cotangent, opts.training);
+      p->value.at(i) = orig - eps;
+      const double lm = loss_value(layer, x, cotangent, opts.training);
+      p->value.at(i) = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      update_worst(res, p->grad.at(i), numeric,
+                   p->name + "[" + std::to_string(i) + "]");
+    }
+  }
+
+  if (opts.check_input) {
+    Tensor xv = x;
+    const Index n = xv.numel();
+    const Index stride = std::max<Index>(1, n / opts.max_entries);
+    for (Index i = 0; i < n; i += stride) {
+      const float orig = xv.at(i);
+      xv.at(i) = orig + eps;
+      const double lp = loss_value(layer, xv, cotangent, opts.training);
+      xv.at(i) = orig - eps;
+      const double lm = loss_value(layer, xv, cotangent, opts.training);
+      xv.at(i) = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      update_worst(res, dx.at(i), numeric,
+                   "input[" + std::to_string(i) + "]");
+    }
+  }
+  return res;
+}
+
+}  // namespace podnet::nn

@@ -1,0 +1,33 @@
+// Finite-difference gradient checking for layers and whole models.
+//
+// Verifies dL/dparam and dL/dinput for L = <g, layer.forward(x)> with a
+// fixed random cotangent g, against central differences. This is the
+// correctness backstop for every hand-written backward pass in PodNet.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace podnet::nn {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string worst;  // "<param>[i]" or "input[i]" of the worst entry
+  bool ok(double tol) const { return max_rel_err <= tol; }
+};
+
+struct GradCheckOptions {
+  float epsilon = 1e-2f;       // central-difference step
+  int max_entries = 64;        // entries probed per tensor (strided)
+  bool check_input = true;
+  bool training = true;
+};
+
+// Runs the check on `layer` at input `x`. The layer must be deterministic
+// across repeated forward calls in training mode (no dropout).
+GradCheckResult grad_check(Layer& layer, const Tensor& x, Rng& rng,
+                           const GradCheckOptions& opts = {});
+
+}  // namespace podnet::nn

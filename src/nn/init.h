@@ -1,0 +1,37 @@
+// Weight initialization, matching the TPU EfficientNet reference:
+// convolutions use He/variance-scaling on fan-out, dense layers use a
+// uniform range of 1/sqrt(fan_in).
+#pragma once
+
+#include <cmath>
+
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace podnet::nn {
+
+// Conv kernels, HWIO shape [kh, kw, in_c, out_c]: normal with
+// stddev = sqrt(2 / (kh * kw * out_c)).
+inline tensor::Tensor conv_init(tensor::Shape shape, tensor::Rng& rng) {
+  const double fan_out =
+      static_cast<double>(shape[0]) * shape[1] * shape[3];
+  const float stddev = static_cast<float>(std::sqrt(2.0 / fan_out));
+  return tensor::Tensor::randn(shape, rng, stddev);
+}
+
+// Depthwise kernels [kh, kw, c]: fan-out counts each channel once.
+inline tensor::Tensor depthwise_init(tensor::Shape shape, tensor::Rng& rng) {
+  const double fan_out = static_cast<double>(shape[0]) * shape[1];
+  const float stddev = static_cast<float>(std::sqrt(2.0 / fan_out));
+  return tensor::Tensor::randn(shape, rng, stddev);
+}
+
+// Dense weights [in, out]: uniform in [-1/sqrt(in), 1/sqrt(in)].
+inline tensor::Tensor dense_init(tensor::Shape shape, tensor::Rng& rng) {
+  const float bound =
+      1.0f / std::sqrt(static_cast<float>(shape[0] > 0 ? shape[0] : 1));
+  return tensor::Tensor::uniform(shape, rng, -bound, bound);
+}
+
+}  // namespace podnet::nn

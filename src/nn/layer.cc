@@ -1,0 +1,21 @@
+#include "nn/layer.h"
+
+namespace podnet::nn {
+
+std::vector<Param*> parameters_of(Layer& layer) {
+  std::vector<Param*> out;
+  layer.collect_params(out);
+  return out;
+}
+
+Index parameter_count(Layer& layer) {
+  Index n = 0;
+  for (const Param* p : parameters_of(layer)) n += p->value.numel();
+  return n;
+}
+
+void zero_grads(const std::vector<Param*>& params) {
+  for (Param* p : params) p->grad.fill(0.f);
+}
+
+}  // namespace podnet::nn

@@ -1,0 +1,113 @@
+// Layer: the unit of composition for PodNet networks.
+//
+// PodNet uses explicit, layer-local backward passes instead of a dynamic
+// autograd tape. Each layer caches what it needs during forward(training)
+// and consumes it exactly once in backward(). One layer instance serves one
+// replica, so layer state is thread-confined by construction (CP.3); the
+// only cross-replica synchronization lives in BatchNorm's optional
+// BnStatSync hook and in the gradient all-reduce done by the trainer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace podnet::nn {
+
+using tensor::Index;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// A trainable parameter with its gradient accumulator and optimizer policy
+// flags. Gradients are accumulated (`+=`) by layers; the trainer zeroes
+// them between steps, which keeps gradient accumulation trivial.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  // Batch-norm scales/offsets and biases are excluded from weight decay and
+  // from LARS layer-wise adaptation, following You et al. and the TPU
+  // EfficientNet reference implementation.
+  bool weight_decay = true;
+  bool layer_adaptation = true;
+
+  Param(std::string n, Tensor v, bool decay = true, bool adapt = true)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(value.shape()),
+        weight_decay(decay),
+        layer_adaptation(adapt) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the layer output. When `training` is true the layer caches
+  // activations for backward() and uses batch statistics / dropout.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  // Consumes the cached forward state, accumulates parameter gradients, and
+  // returns the gradient with respect to the layer input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  // Appends pointers to this layer's parameters (recursively for composite
+  // layers). Pointers remain valid for the lifetime of the layer.
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  // Appends pointers to non-trainable state tensors that should be kept
+  // consistent across replicas (batch-norm running statistics).
+  virtual void collect_state(std::vector<Tensor*>& out) { (void)out; }
+
+  virtual std::string name() const = 0;
+};
+
+// Runs `layers` in order; backward runs them in reverse.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  Tensor forward(const Tensor& x, bool training) override {
+    Tensor y = x;
+    for (auto& l : layers_) y = l->forward(y, training);
+    return y;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  void collect_params(std::vector<Param*>& out) override {
+    for (auto& l : layers_) l->collect_params(out);
+  }
+  void collect_state(std::vector<Tensor*>& out) override {
+    for (auto& l : layers_) l->collect_state(out);
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_ = "sequential";
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// Convenience: gathers all parameters of a layer tree.
+std::vector<Param*> parameters_of(Layer& layer);
+// Total number of trainable scalars.
+Index parameter_count(Layer& layer);
+// Sets every gradient accumulator to zero.
+void zero_grads(const std::vector<Param*>& params);
+
+}  // namespace podnet::nn

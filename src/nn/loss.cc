@@ -1,0 +1,77 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace podnet::nn {
+
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int64_t> labels,
+                                 float label_smoothing) {
+  assert(logits.shape().rank() == 2);
+  const Index n = logits.shape()[0];
+  const Index k = logits.shape()[1];
+  assert(static_cast<Index>(labels.size()) == n);
+
+  LossResult res;
+  res.grad_logits = Tensor(logits.shape());
+  const float off_target = label_smoothing / static_cast<float>(k);
+  const float on_target = 1.f - label_smoothing + off_target;
+  const float inv_n = 1.f / static_cast<float>(n);
+
+  double total = 0.0;
+  const float* xd = logits.data();
+  float* gd = res.grad_logits.data();
+  for (Index r = 0; r < n; ++r) {
+    const float* row = xd + r * k;
+    float* grow = gd + r * k;
+    float m = -std::numeric_limits<float>::infinity();
+    Index best = 0;
+    for (Index c = 0; c < k; ++c) {
+      if (row[c] > m) {
+        m = row[c];
+        best = c;
+      }
+    }
+    if (best == labels[r]) ++res.correct;
+    double denom = 0.0;
+    for (Index c = 0; c < k; ++c) denom += std::exp(row[c] - m);
+    const double log_denom = std::log(denom);
+    // loss = -sum_c y_c * log p_c, with p_c = exp(x_c - m) / denom.
+    double row_loss = 0.0;
+    for (Index c = 0; c < k; ++c) {
+      const double logp = row[c] - m - log_denom;
+      const float y = (c == labels[r]) ? on_target : off_target;
+      row_loss -= y * logp;
+      grow[c] = (static_cast<float>(std::exp(logp)) - y) * inv_n;
+    }
+    total += row_loss;
+  }
+  res.loss = total * inv_n;
+  return res;
+}
+
+std::int64_t top_k_correct(const Tensor& logits,
+                           std::span<const std::int64_t> labels, int k) {
+  const Index n = logits.shape()[0];
+  const Index c = logits.shape()[1];
+  std::int64_t correct = 0;
+  for (Index r = 0; r < n; ++r) {
+    const float* row = logits.data() + r * c;
+    const float target = row[labels[r]];
+    int better = 0;
+    for (Index j = 0; j < c; ++j) {
+      if (row[j] > target) ++better;
+    }
+    if (better < k) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace podnet::nn

@@ -1,0 +1,30 @@
+// Softmax cross-entropy with label smoothing (EfficientNet uses 0.1).
+//
+// The gradient is scaled by 1/batch (mean reduction). In data-parallel
+// training each replica computes the mean over its *local* batch and the
+// trainer averages gradients across replicas, which equals the mean over
+// the global batch when shards are equally sized.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace podnet::nn {
+
+struct LossResult {
+  double loss = 0.0;            // mean NLL over the batch
+  tensor::Tensor grad_logits;   // d(loss)/d(logits), [batch, classes]
+  std::int64_t correct = 0;     // top-1 hits, for convenience
+};
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::int64_t> labels,
+                                 float label_smoothing = 0.f);
+
+// Counts predictions whose true label ranks in the top k logits.
+std::int64_t top_k_correct(const tensor::Tensor& logits,
+                           std::span<const std::int64_t> labels, int k);
+
+}  // namespace podnet::nn

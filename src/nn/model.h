@@ -1,0 +1,21 @@
+// Model: a trainable network the distributed trainer can drive.
+//
+// Extends Layer with the one hook the training loop needs beyond
+// forward/backward/params: wiring distributed batch-norm statistics
+// (paper Sec 3.4) into every normalization layer. EfficientNet
+// (src/effnet) and the ResNet baseline (src/resnet) both implement it.
+#pragma once
+
+#include "nn/bn_stat_sync.h"
+#include "nn/layer.h"
+
+namespace podnet::nn {
+
+class Model : public Layer {
+ public:
+  // Attaches (or detaches, with nullptr) the cross-replica BN statistics
+  // hook on every batch-norm layer in the network.
+  virtual void set_bn_sync(BnStatSync* sync) = 0;
+};
+
+}  // namespace podnet::nn

@@ -1,0 +1,18 @@
+// Global average pooling: [N, H, W, C] -> [N, C].
+#pragma once
+
+#include "nn/layer.h"
+
+namespace podnet::nn {
+
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "global_avg_pool"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace podnet::nn

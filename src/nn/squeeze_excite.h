@@ -1,0 +1,40 @@
+// Squeeze-and-Excitation block (Hu et al.), as used in every EfficientNet
+// MBConv block: global-average "squeeze" to [N, C], a two-layer bottleneck
+// MLP (swish then sigmoid), and a per-channel multiplicative "excite" gate
+// applied back onto the feature map.
+#pragma once
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/layer.h"
+#include "nn/pooling.h"
+
+namespace podnet::nn {
+
+class SqueezeExcite final : public Layer {
+ public:
+  // `se_channels` is the bottleneck width; EfficientNet sets it to
+  // max(1, input_filters * se_ratio) of the *block input*, not of the
+  // expanded width — the caller computes it.
+  SqueezeExcite(Index channels, Index se_channels, Rng& init_rng,
+                std::string name = "se");
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Index channels_;
+  GlobalAvgPool gap_;
+  Dense reduce_;
+  Swish swish_;
+  Dense expand_;
+  Sigmoid sigmoid_;
+
+  Tensor x_;     // cached block input
+  Tensor gate_;  // cached [N, C] gate
+};
+
+}  // namespace podnet::nn

@@ -1,0 +1,25 @@
+#include "optim/clip.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace podnet::optim {
+
+double clip_grads_by_global_norm(const std::vector<nn::Param*>& params,
+                                 float max_norm) {
+  double sq = 0.0;
+  for (const nn::Param* p : params) {
+    sq += tensor::sum_squares(p->grad.span());
+  }
+  const double norm = std::sqrt(sq);
+  if (max_norm > 0.f && norm > max_norm) {
+    const float scale = max_norm / static_cast<float>(norm);
+    for (nn::Param* p : params) {
+      tensor::scale(scale, p->grad.span());
+    }
+  }
+  return norm;
+}
+
+}  // namespace podnet::optim

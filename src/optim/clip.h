@@ -1,0 +1,17 @@
+// Global-norm gradient clipping (Pascanu et al.): rescales all gradients
+// when their joint L2 norm exceeds `max_norm`. An optional guard for the
+// warm-up phase of very large-batch runs; disabled (<= 0) by default in
+// the trainer.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace podnet::optim {
+
+// Returns the pre-clipping global norm.
+double clip_grads_by_global_norm(const std::vector<nn::Param*>& params,
+                                 float max_norm);
+
+}  // namespace podnet::optim

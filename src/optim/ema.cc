@@ -1,0 +1,47 @@
+#include "optim/ema.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace podnet::optim {
+
+WeightEma::WeightEma(const std::vector<nn::Param*>& params, float decay,
+                     bool dynamic_decay)
+    : decay_(decay), dynamic_(dynamic_decay) {
+  shadow_.reserve(params.size());
+  for (const nn::Param* p : params) shadow_.push_back(p->value);
+}
+
+float WeightEma::effective_decay() const {
+  if (!dynamic_) return decay_;
+  // TF-style warm-up: the average ramps in so early steps aren't dominated
+  // by the random init.
+  const float ramp = static_cast<float>(1 + t_) / static_cast<float>(10 + t_);
+  return std::min(decay_, ramp);
+}
+
+void WeightEma::update(const std::vector<nn::Param*>& params) {
+  assert(params.size() == shadow_.size());
+  const float d = effective_decay();
+  ++t_;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto src = params[i]->value.span();
+    auto dst = shadow_[i].span();
+    for (std::size_t j = 0; j < src.size(); ++j) {
+      dst[j] = d * dst[j] + (1.f - d) * src[j];
+    }
+  }
+}
+
+void WeightEma::swap(const std::vector<nn::Param*>& params) {
+  assert(params.size() == shadow_.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto live = params[i]->value.span();
+    auto avg = shadow_[i].span();
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      std::swap(live[j], avg[j]);
+    }
+  }
+}
+
+}  // namespace podnet::optim

@@ -1,0 +1,39 @@
+// Exponential moving average of model weights.
+//
+// The TPU EfficientNet reference evaluates an EMA of the weights
+// (decay 0.9999 over ~100k-step runs) rather than the raw weights; the
+// paper inherits this. ShadowParams tracks the average and can swap it
+// in/out around evaluation.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace podnet::optim {
+
+class WeightEma {
+ public:
+  // decay: fraction of the old average kept per update. For short runs use
+  // min(decay, (1+t)/(10+t))-style warm-up via `dynamic_decay`.
+  WeightEma(const std::vector<nn::Param*>& params, float decay,
+            bool dynamic_decay = true);
+
+  // Folds the current weights into the average (call after optimizer step).
+  void update(const std::vector<nn::Param*>& params);
+
+  // Swaps averaged weights with live weights (call before eval, and again
+  // after to restore training weights). Involutive.
+  void swap(const std::vector<nn::Param*>& params);
+
+  std::int64_t updates() const { return t_; }
+  float effective_decay() const;
+
+ private:
+  float decay_;
+  bool dynamic_;
+  std::int64_t t_ = 0;
+  std::vector<nn::Tensor> shadow_;
+};
+
+}  // namespace podnet::optim

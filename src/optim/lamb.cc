@@ -1,0 +1,62 @@
+#include "optim/lamb.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace podnet::optim {
+
+void Lamb::step(const std::vector<nn::Param*>& params, float lr) {
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const nn::Param* p : params) {
+      m_.emplace_back(p->value.shape());
+      v_.emplace_back(p->value.shape());
+    }
+    trust_.assign(params.size(), 1.f);
+  }
+  assert(m_.size() == params.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(static_cast<double>(beta1_), t_);
+  const double bc2 = 1.0 - std::pow(static_cast<double>(beta2_), t_);
+
+  std::vector<float> update;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Param& p = *params[i];
+    const tensor::Index n = p.value.numel();
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const float wd = p.weight_decay ? weight_decay_ : 0.f;
+
+    update.resize(static_cast<std::size_t>(n));
+    for (tensor::Index j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / static_cast<float>(bc1);
+      const float vhat = v[j] / static_cast<float>(bc2);
+      update[static_cast<std::size_t>(j)] =
+          mhat / (std::sqrt(vhat) + eps_) + wd * w[j];
+    }
+
+    float ratio = 1.f;
+    if (p.layer_adaptation) {
+      const double w_norm = tensor::l2_norm(p.value.span());
+      const double u_norm = tensor::l2_norm(update);
+      if (w_norm > 0.0 && u_norm > 0.0) {
+        ratio = static_cast<float>(w_norm / u_norm);
+      }
+    }
+    trust_[i] = ratio;
+    const float scaled = lr * ratio;
+    for (tensor::Index j = 0; j < n; ++j) {
+      w[j] -= scaled * update[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+}  // namespace podnet::optim

@@ -1,0 +1,37 @@
+// LAMB — Layer-wise Adaptive Moments for Batch training (You et al. 2019,
+// "Large Batch Optimization for Deep Learning: Training BERT in 76
+// minutes", cited by the paper as the sibling large-batch result). LAMB
+// applies the LARS trust-ratio idea to Adam's update direction:
+//
+//   m = b1 m + (1-b1) g          v = b2 v + (1-b2) g^2
+//   u = m^ / (sqrt(v^) + eps) + wd * w        (bias-corrected moments)
+//   w -= lr * [eta ||w|| / ||u||] * u
+//
+// Included for the "deeper study on other large batch optimizers" the
+// paper's Future Work section calls for (bench/ablation_optimizers).
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace podnet::optim {
+
+class Lamb final : public Optimizer {
+ public:
+  Lamb(float beta1, float beta2, float eps, float weight_decay)
+      : beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+  void step(const std::vector<nn::Param*>& params, float lr) override;
+  std::string name() const override { return "lamb"; }
+
+  const std::vector<float>& last_trust_ratios() const { return trust_; }
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  std::vector<float> trust_;
+};
+
+}  // namespace podnet::optim

@@ -1,0 +1,47 @@
+#include "optim/lars.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace podnet::optim {
+
+void Lars::step(const std::vector<nn::Param*>& params, float lr) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const nn::Param* p : params) {
+      velocity_.emplace_back(p->value.shape());
+    }
+    trust_.assign(params.size(), 1.f);
+  }
+  assert(velocity_.size() == params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Param& p = *params[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* v = velocity_[i].data();
+
+    float local_lr = 1.f;
+    float wd = 0.f;
+    if (p.layer_adaptation) {
+      wd = p.weight_decay ? weight_decay_ : 0.f;
+      const double w_norm = tensor::l2_norm(p.value.span());
+      const double g_norm = tensor::l2_norm(p.grad.span());
+      if (w_norm > 0.0 && g_norm > 0.0) {
+        local_lr = static_cast<float>(
+            eta_ * w_norm / (g_norm + wd * w_norm + eps_));
+      }
+    }
+    trust_[i] = local_lr;
+
+    const float scaled_lr = lr * local_lr;
+    for (tensor::Index j = 0; j < p.value.numel(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      v[j] = momentum_ * v[j] + scaled_lr * grad;
+      w[j] -= v[j];
+    }
+  }
+}
+
+}  // namespace podnet::optim

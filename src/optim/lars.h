@@ -1,0 +1,41 @@
+// LARS — Layer-wise Adaptive Rate Scaling (You, Gitman & Ginsburg 2017).
+//
+// The paper's key enabler for global batches of 16384–65536 (Sec 3.1).
+// For every parameter tensor with the layer_adaptation flag:
+//
+//   local_lr = eta * ||w|| / (||g|| + wd * ||w|| + eps)
+//   v        = momentum * v + lr * local_lr * (g + wd * w)
+//   w       -= v
+//
+// Batch-norm scales/offsets and biases are excluded from both adaptation
+// and weight decay (they take plain momentum-SGD updates), following the
+// reference/MLPerf implementations.
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace podnet::optim {
+
+class Lars final : public Optimizer {
+ public:
+  Lars(float momentum, float eta, float eps, float weight_decay)
+      : momentum_(momentum),
+        eta_(eta),
+        eps_(eps),
+        weight_decay_(weight_decay) {}
+
+  void step(const std::vector<nn::Param*>& params, float lr) override;
+  std::string name() const override { return "lars"; }
+
+  // The trust ratio computed for the most recent step of each param,
+  // exposed for tests and diagnostics.
+  const std::vector<float>& last_trust_ratios() const { return trust_; }
+
+ private:
+  float momentum_, eta_, eps_, weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+  std::vector<float> trust_;
+};
+
+}  // namespace podnet::optim

@@ -1,0 +1,117 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace podnet::optim {
+
+float scaled_base_lr(float lr_per_256, std::int64_t global_batch) {
+  return lr_per_256 * static_cast<float>(global_batch) / 256.0f;
+}
+
+std::string to_string(DecayKind kind) {
+  switch (kind) {
+    case DecayKind::kConstant:
+      return "constant";
+    case DecayKind::kExponential:
+      return "exponential";
+    case DecayKind::kPolynomial:
+      return "polynomial";
+    case DecayKind::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class ScheduleBase : public LrSchedule {
+ public:
+  explicit ScheduleBase(const LrScheduleConfig& c) : c_(c) {}
+
+  float lr(double epoch) const final {
+    if (epoch < c_.warmup_epochs && c_.warmup_epochs > 0) {
+      return c_.base_lr * static_cast<float>(epoch / c_.warmup_epochs);
+    }
+    return decayed(epoch);
+  }
+
+ protected:
+  virtual float decayed(double epoch) const = 0;
+  // Fraction of the post-warm-up horizon elapsed, clamped to [0, 1].
+  double progress(double epoch) const {
+    const double span = std::max(1e-9, c_.total_epochs - c_.warmup_epochs);
+    return std::clamp((epoch - c_.warmup_epochs) / span, 0.0, 1.0);
+  }
+  LrScheduleConfig c_;
+};
+
+class Constant final : public ScheduleBase {
+ public:
+  using ScheduleBase::ScheduleBase;
+  std::string name() const override { return "constant"; }
+
+ protected:
+  float decayed(double) const override { return c_.base_lr; }
+};
+
+class Exponential final : public ScheduleBase {
+ public:
+  using ScheduleBase::ScheduleBase;
+  std::string name() const override { return "exponential"; }
+
+ protected:
+  float decayed(double epoch) const override {
+    double periods = (epoch - c_.warmup_epochs) / c_.decay_epochs;
+    if (c_.staircase) periods = std::floor(periods);
+    periods = std::max(0.0, periods);
+    return c_.base_lr *
+           static_cast<float>(std::pow(c_.decay_rate, periods));
+  }
+};
+
+class Polynomial final : public ScheduleBase {
+ public:
+  using ScheduleBase::ScheduleBase;
+  std::string name() const override { return "polynomial"; }
+
+ protected:
+  float decayed(double epoch) const override {
+    const double remain = 1.0 - progress(epoch);
+    return c_.end_lr + (c_.base_lr - c_.end_lr) *
+                           static_cast<float>(std::pow(remain, c_.poly_power));
+  }
+};
+
+class Cosine final : public ScheduleBase {
+ public:
+  using ScheduleBase::ScheduleBase;
+  std::string name() const override { return "cosine"; }
+
+ protected:
+  float decayed(double epoch) const override {
+    const double t = progress(epoch);
+    return c_.base_lr *
+           static_cast<float>(0.5 * (1.0 + std::cos(std::numbers::pi * t)));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LrSchedule> make_schedule(const LrScheduleConfig& config) {
+  switch (config.decay) {
+    case DecayKind::kConstant:
+      return std::make_unique<Constant>(config);
+    case DecayKind::kExponential:
+      return std::make_unique<Exponential>(config);
+    case DecayKind::kPolynomial:
+      return std::make_unique<Polynomial>(config);
+    case DecayKind::kCosine:
+      return std::make_unique<Cosine>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace podnet::optim

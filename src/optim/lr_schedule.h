@@ -1,0 +1,52 @@
+// Learning-rate schedules (paper Sec 3.2).
+//
+// All schedules share the linear-scaling rule: the base learning rate is
+// `lr_per_256 * global_batch / 256` (Goyal et al.), and a linear warm-up
+// from 0 to the base rate over a tunable number of epochs. After warm-up:
+//   * ExponentialDecay — x0.97 every 2.4 epochs (TPU EfficientNet default,
+//     used with RMSProp in Table 2);
+//   * PolynomialDecay — (1 - t)^2 to zero over the remaining epochs
+//     (used with LARS in Table 2);
+//   * CosineDecay and Constant — for ablations.
+// Schedules are pure functions of the continuous epoch, so every replica
+// computes identical rates without synchronization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace podnet::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // `epoch` is continuous: step / steps_per_epoch.
+  virtual float lr(double epoch) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Goyal et al. linear scaling rule.
+float scaled_base_lr(float lr_per_256, std::int64_t global_batch);
+
+enum class DecayKind { kConstant, kExponential, kPolynomial, kCosine };
+
+std::string to_string(DecayKind kind);
+
+struct LrScheduleConfig {
+  DecayKind decay = DecayKind::kExponential;
+  float base_lr = 0.016f;       // after linear scaling
+  double warmup_epochs = 5.0;
+  double total_epochs = 350.0;  // horizon for polynomial/cosine decay
+  // Exponential decay parameters (TPU EfficientNet defaults).
+  double decay_epochs = 2.4;
+  float decay_rate = 0.97f;
+  bool staircase = true;
+  // Polynomial decay parameters (MLPerf-style LARS schedule).
+  float end_lr = 0.f;
+  float poly_power = 2.f;
+};
+
+std::unique_ptr<LrSchedule> make_schedule(const LrScheduleConfig& config);
+
+}  // namespace podnet::optim

@@ -1,0 +1,50 @@
+#include "optim/optimizer.h"
+
+#include "optim/lars.h"
+#include "optim/rmsprop.h"
+#include "optim/sgd.h"
+#include "optim/lamb.h"
+#include "optim/sm3.h"
+
+namespace podnet::optim {
+
+std::string to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return "sgd";
+    case OptimizerKind::kRmsProp:
+      return "rmsprop";
+    case OptimizerKind::kLars:
+      return "lars";
+    case OptimizerKind::kSm3:
+      return "sm3";
+    case OptimizerKind::kLamb:
+      return "lamb";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const OptimizerConfig& config) {
+  switch (config.kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdMomentum>(config.momentum,
+                                           config.weight_decay);
+    case OptimizerKind::kRmsProp:
+      return std::make_unique<RmsProp>(config.rmsprop_decay,
+                                       config.rmsprop_momentum,
+                                       config.rmsprop_eps,
+                                       config.weight_decay);
+    case OptimizerKind::kLars:
+      return std::make_unique<Lars>(config.momentum, config.lars_eta,
+                                    config.lars_eps, config.weight_decay);
+    case OptimizerKind::kSm3:
+      return std::make_unique<Sm3>(config.sm3_momentum, config.sm3_eps,
+                                   config.weight_decay);
+    case OptimizerKind::kLamb:
+      return std::make_unique<Lamb>(config.lamb_beta1, config.lamb_beta2,
+                                    config.lamb_eps, config.weight_decay);
+  }
+  return nullptr;
+}
+
+}  // namespace podnet::optim

@@ -1,0 +1,58 @@
+// Optimizer interface.
+//
+// Each replica owns one optimizer instance; because gradients are
+// all-reduced before step() and the update rule is deterministic, replica
+// weights stay bit-identical without any weight synchronization — the same
+// invariant TPU data-parallel training relies on (and one our tests assert).
+//
+// step() reads param->grad (already averaged over the global batch) and
+// updates param->value in place. Slot state (momentum, second moments) is
+// allocated lazily on first step and keyed positionally, so the same
+// params vector must be passed every step.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace podnet::optim {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<nn::Param*>& params, float lr) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Which optimizer a training config requests (paper Table 2 column; SM3
+// and LAMB cover the Future Work study).
+enum class OptimizerKind { kSgd, kRmsProp, kLars, kSm3, kLamb };
+
+std::string to_string(OptimizerKind kind);
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kRmsProp;
+  float weight_decay = 1e-5f;  // L2, applied to params with the decay flag
+  // RMSProp (TPU EfficientNet reference defaults).
+  float rmsprop_decay = 0.9f;
+  float rmsprop_momentum = 0.9f;
+  float rmsprop_eps = 1e-3f;
+  // SGD / LARS momentum.
+  float momentum = 0.9f;
+  // LARS trust coefficient (You et al. use 0.001).
+  float lars_eta = 0.001f;
+  float lars_eps = 1e-9f;
+  // SM3.
+  float sm3_momentum = 0.9f;
+  float sm3_eps = 1e-8f;
+  // LAMB.
+  float lamb_beta1 = 0.9f;
+  float lamb_beta2 = 0.999f;
+  float lamb_eps = 1e-6f;
+};
+
+std::unique_ptr<Optimizer> make_optimizer(const OptimizerConfig& config);
+
+}  // namespace podnet::optim

@@ -1,0 +1,34 @@
+#include "optim/rmsprop.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace podnet::optim {
+
+void RmsProp::step(const std::vector<nn::Param*>& params, float lr) {
+  if (ms_.empty()) {
+    ms_.reserve(params.size());
+    mom_.reserve(params.size());
+    for (const nn::Param* p : params) {
+      ms_.emplace_back(p->value.shape());
+      mom_.emplace_back(p->value.shape());
+    }
+  }
+  assert(ms_.size() == params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Param& p = *params[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* ms = ms_[i].data();
+    float* mom = mom_[i].data();
+    const float wd = p.weight_decay ? weight_decay_ : 0.f;
+    for (tensor::Index j = 0; j < p.value.numel(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      ms[j] = decay_ * ms[j] + (1.f - decay_) * grad * grad;
+      mom[j] = momentum_ * mom[j] + lr * grad / std::sqrt(ms[j] + eps_);
+      w[j] -= mom[j];
+    }
+  }
+}
+
+}  // namespace podnet::optim

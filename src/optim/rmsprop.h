@@ -1,0 +1,28 @@
+// RMSProp, matching the TensorFlow/TPU EfficientNet reference settings
+// (decay 0.9, momentum 0.9, epsilon 1e-3). This is the paper's *baseline*
+// optimizer: good up to global batch ~16384, degrading beyond (Table 2).
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace podnet::optim {
+
+class RmsProp final : public Optimizer {
+ public:
+  RmsProp(float decay, float momentum, float eps, float weight_decay)
+      : decay_(decay),
+        momentum_(momentum),
+        eps_(eps),
+        weight_decay_(weight_decay) {}
+
+  void step(const std::vector<nn::Param*>& params, float lr) override;
+  std::string name() const override { return "rmsprop"; }
+
+ private:
+  float decay_, momentum_, eps_, weight_decay_;
+  std::vector<tensor::Tensor> ms_;   // moving mean of squared gradients
+  std::vector<tensor::Tensor> mom_;  // momentum accumulator
+};
+
+}  // namespace podnet::optim

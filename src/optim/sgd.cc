@@ -1,0 +1,29 @@
+#include "optim/sgd.h"
+
+#include <cassert>
+
+namespace podnet::optim {
+
+void SgdMomentum::step(const std::vector<nn::Param*>& params, float lr) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const nn::Param* p : params) {
+      velocity_.emplace_back(p->value.shape());
+    }
+  }
+  assert(velocity_.size() == params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Param& p = *params[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* v = velocity_[i].data();
+    const float wd = p.weight_decay ? weight_decay_ : 0.f;
+    for (tensor::Index j = 0; j < p.value.numel(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= lr * v[j];
+    }
+  }
+}
+
+}  // namespace podnet::optim

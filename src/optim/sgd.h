@@ -1,0 +1,22 @@
+// SGD with (heavy-ball) momentum and L2 weight decay.
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace podnet::optim {
+
+class SgdMomentum final : public Optimizer {
+ public:
+  SgdMomentum(float momentum, float weight_decay)
+      : momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step(const std::vector<nn::Param*>& params, float lr) override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+}  // namespace podnet::optim

@@ -1,0 +1,77 @@
+#include "optim/sm3.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace podnet::optim {
+
+using tensor::Index;
+
+void Sm3::step(const std::vector<nn::Param*>& params, float lr) {
+  if (slots_.empty()) {
+    slots_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const auto& shape = params[i]->value.shape();
+      slots_[i].dim_acc.resize(static_cast<std::size_t>(shape.rank()));
+      for (int d = 0; d < shape.rank(); ++d) {
+        slots_[i].dim_acc[d].assign(static_cast<std::size_t>(shape[d]), 0.f);
+      }
+      if (momentum_ > 0.f) {
+        slots_[i].velocity = tensor::Tensor(shape);
+      }
+    }
+  }
+  assert(slots_.size() == params.size());
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Param& p = *params[i];
+    Slots& s = slots_[i];
+    const auto& shape = p.value.shape();
+    const int rank = shape.rank();
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* v = momentum_ > 0.f ? s.velocity.data() : nullptr;
+    const float wd = p.weight_decay ? weight_decay_ : 0.f;
+
+    // Walk the tensor with an incrementally maintained multi-index.
+    Index idx[tensor::Shape::kMaxRank] = {0, 0, 0, 0};
+    const Index n = p.value.numel();
+    for (Index j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      float nu = std::numeric_limits<float>::max();
+      if (rank == 0) nu = 0.f;
+      for (int d = 0; d < rank; ++d) {
+        nu = std::min(nu, s.dim_acc[d][static_cast<std::size_t>(idx[d])]);
+      }
+      nu += grad * grad;
+      for (int d = 0; d < rank; ++d) {
+        float& a = s.dim_acc[d][static_cast<std::size_t>(idx[d])];
+        a = std::max(a, nu);
+      }
+      const float update = lr * grad / std::sqrt(nu + eps_);
+      if (v != nullptr) {
+        v[j] = momentum_ * v[j] + update;
+        w[j] -= v[j];
+      } else {
+        w[j] -= update;
+      }
+      // Increment the multi-index (row-major, last dim fastest).
+      for (int d = rank - 1; d >= 0; --d) {
+        if (++idx[d] < shape[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+}
+
+std::size_t Sm3::accumulator_floats() const {
+  std::size_t total = 0;
+  for (const Slots& s : slots_) {
+    for (const auto& acc : s.dim_acc) total += acc.size();
+  }
+  return total;
+}
+
+}  // namespace podnet::optim

@@ -1,0 +1,42 @@
+// SM3-II — Memory-Efficient Adaptive Optimization (Anil, Gupta, Koren &
+// Singer 2019). The paper's Future Work section names SM3 as the next
+// large-batch optimizer to study for EfficientNet; we implement it so the
+// ablation benches can run that study.
+//
+// Instead of a full second-moment tensor, SM3 keeps one accumulator vector
+// per tensor dimension (a "cover" of rows/columns/...):
+//   nu_j   = min_r  a_r(j_r) + g_j^2
+//   a_r(j_r) = max(a_r(j_r), nu_j)
+//   w_j   -= lr * g_j / sqrt(nu_j + eps)
+// with optional heavy-ball momentum on the preconditioned step.
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace podnet::optim {
+
+class Sm3 final : public Optimizer {
+ public:
+  Sm3(float momentum, float eps, float weight_decay)
+      : momentum_(momentum), eps_(eps), weight_decay_(weight_decay) {}
+
+  void step(const std::vector<nn::Param*>& params, float lr) override;
+  std::string name() const override { return "sm3"; }
+
+  // Accumulator memory in floats, for comparing against Adagrad/RMSProp
+  // (which keep numel() per tensor).
+  std::size_t accumulator_floats() const;
+
+ private:
+  struct Slots {
+    // One accumulator vector per tensor dimension.
+    std::vector<std::vector<float>> dim_acc;
+    tensor::Tensor velocity;
+  };
+
+  float momentum_, eps_, weight_decay_;
+  std::vector<Slots> slots_;
+};
+
+}  // namespace podnet::optim

@@ -1,0 +1,108 @@
+// ResNet baseline (He et al.), CIFAR-style basic blocks.
+//
+// The paper's Related Work observes that the large-batch toolkit (LARS,
+// warm-up schedules, distributed BN) had "merely been applied to ResNets";
+// this module provides that comparator inside the same trainer, so the
+// optimizer/schedule experiments can show the toolkit is model-family
+// agnostic (bench/baseline_resnet).
+//
+// Architecture: 3x3 stem conv -> stages of BasicBlocks (two 3x3 convs with
+// BN+ReLU and an identity / projected skip) -> global average pool ->
+// classifier.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+#include "nn/pooling.h"
+
+namespace podnet::resnet {
+
+using Index = tensor::Index;
+
+struct StageSpec {
+  Index filters = 16;
+  Index blocks = 1;
+  Index stride = 1;  // first block of the stage
+};
+
+struct ResNetSpec {
+  std::string name = "resnet";
+  Index stem_filters = 16;
+  std::vector<StageSpec> stages;
+  float bn_momentum = 0.9f;
+  float bn_eps = 1e-3f;
+};
+
+// ~ResNet-8 scaled for 16x16 synthetic inputs (stem stride 1).
+ResNetSpec resnet_tiny();
+// CIFAR ResNet-(6n+2): three stages of n blocks at 16/32/64 filters.
+ResNetSpec cifar_resnet(int n);
+
+class BasicBlock final : public nn::Layer {
+ public:
+  BasicBlock(Index in_filters, Index out_filters, Index stride,
+             nn::Rng& init_rng, const ResNetSpec& spec,
+             tensor::MatmulPrecision precision, std::string name);
+
+  nn::Tensor forward(const nn::Tensor& x, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  void collect_params(std::vector<nn::Param*>& out) override;
+  void collect_state(std::vector<nn::Tensor*>& out) override;
+  std::string name() const override { return name_; }
+  void collect_batchnorms(std::vector<nn::BatchNorm*>& out);
+
+ private:
+  std::string name_;
+  nn::Conv2D conv1_;
+  nn::BatchNorm bn1_;
+  nn::ReLU relu1_;
+  nn::Conv2D conv2_;
+  nn::BatchNorm bn2_;
+  nn::ReLU relu_out_;
+  // Projection shortcut when shape changes (1x1 strided conv + BN).
+  std::unique_ptr<nn::Conv2D> proj_conv_;
+  std::unique_ptr<nn::BatchNorm> proj_bn_;
+};
+
+class ResNet final : public nn::Model {
+ public:
+  struct Options {
+    std::uint64_t init_seed = 42;
+    Index num_classes = 10;
+    tensor::MatmulPrecision precision = tensor::MatmulPrecision::kFp32;
+  };
+
+  ResNet(const ResNetSpec& spec, const Options& options);
+  ResNet(const ResNet&) = delete;
+  ResNet& operator=(const ResNet&) = delete;
+
+  nn::Tensor forward(const nn::Tensor& x, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  void collect_params(std::vector<nn::Param*>& out) override;
+  void collect_state(std::vector<nn::Tensor*>& out) override;
+  std::string name() const override { return spec_.name; }
+  void set_bn_sync(nn::BnStatSync* sync) override;
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  ResNetSpec spec_;
+  Options options_;
+  nn::Rng init_rng_;
+
+  nn::Conv2D stem_conv_;
+  nn::BatchNorm stem_bn_;
+  nn::ReLU stem_relu_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  nn::GlobalAvgPool pool_;
+  std::unique_ptr<nn::Dense> classifier_;
+  std::vector<nn::BatchNorm*> bns_;
+};
+
+}  // namespace podnet::resnet

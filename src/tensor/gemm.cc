@@ -1,0 +1,104 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "tensor/bf16.h"
+#include "tensor/thread_pool.h"
+
+namespace podnet::tensor {
+namespace {
+
+// Packs op(A) into a dense m x k row-major buffer, optionally rounding
+// through bf16. Packing first keeps the inner kernel branch-free and makes
+// the bf16 rounding a one-time cost instead of per-FMA.
+void pack(bool trans, std::int64_t rows, std::int64_t cols, const float* src,
+          std::int64_t ld, bool to_bf16, std::vector<float>& dst) {
+  dst.resize(static_cast<std::size_t>(rows * cols));
+  if (!trans) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* s = src + r * ld;
+      float* d = dst.data() + r * cols;
+      std::copy(s, s + cols, d);
+    }
+  } else {
+    // Stored as cols x rows; gather the transpose.
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* d = dst.data() + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) d[c] = src[c * ld + r];
+    }
+  }
+  if (to_bf16) bf16_round_inplace(dst);
+}
+
+// Inner kernel: C[mb, nb] += A[mb, K] * B[K, nb] for a row block, with B
+// fully packed. K-blocked to keep the B panel in cache.
+void gemm_block(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
+                std::int64_t k, float alpha, const float* a, const float* b,
+                float beta, float* c, std::int64_t ldc) {
+  constexpr std::int64_t kKc = 256;
+  for (std::int64_t i = m_begin; i < m_end; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.f) {
+      std::fill(crow, crow + n, 0.f);
+    } else if (beta != 1.f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  for (std::int64_t kb = 0; kb < k; kb += kKc) {
+    const std::int64_t kc = std::min(kKc, k - kb);
+    for (std::int64_t i = m_begin; i < m_end; ++i) {
+      const float* arow = a + i * k + kb;
+      float* crow = c + i * ldc;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.f) continue;
+        const float* brow = b + (kb + p) * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc, MatmulPrecision precision) {
+  assert(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.f) {
+        std::fill(crow, crow + n, 0.f);
+      } else if (beta != 1.f) {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    return;
+  }
+
+  const bool to_bf16 = precision == MatmulPrecision::kBf16;
+  thread_local std::vector<float> a_pack;
+  thread_local std::vector<float> b_pack;
+  pack(trans_a, m, k, a, lda, to_bf16, a_pack);
+  pack(trans_b, k, n, b, ldb, to_bf16, b_pack);
+
+  // Parallelize across row blocks when the problem is large enough to
+  // amortize the fork/join. Each chunk writes a disjoint row range of C.
+  const std::int64_t flops = 2 * m * n * k;
+  if (flops >= (1 << 22) && ThreadPool::global().worker_count() > 0) {
+    ThreadPool::global().parallel_for(
+        m, [&](std::int64_t b0, std::int64_t e0) {
+          gemm_block(b0, e0, n, k, alpha, a_pack.data(), b_pack.data(), beta,
+                     c, ldc);
+        });
+  } else {
+    gemm_block(0, m, n, k, alpha, a_pack.data(), b_pack.data(), beta, c, ldc);
+  }
+}
+
+}  // namespace podnet::tensor

@@ -1,0 +1,41 @@
+// Single-precision GEMM with optional bf16 multiplicands.
+//
+// C = alpha * op(A) * op(B) + beta * C, row-major, with op in {identity,
+// transpose}. This is the workhorse behind im2col convolutions and dense
+// layers. The bf16 variant rounds both multiplicand matrices through
+// bfloat16 before the fp32-accumulated product, reproducing TPU
+// mixed-precision semantics (paper Sec 3.5).
+#pragma once
+
+#include <cstdint>
+
+namespace podnet::tensor {
+
+// Precision of the multiplicands fed to the (simulated) matrix unit.
+enum class MatmulPrecision {
+  kFp32,   // plain fp32 multiply-accumulate
+  kBf16,   // bf16 multiplicands, fp32 accumulation (TPU MXU semantics)
+};
+
+// Row-major GEMM. lda/ldb/ldc are leading dimensions (row strides) of the
+// *stored* matrices, i.e. of A as laid out in memory, before transposition.
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc,
+          MatmulPrecision precision = MatmulPrecision::kFp32);
+
+// Convenience wrapper for contiguous row-major operands:
+// A is m x k, B is k x n, C is m x n (when untransposed).
+inline void gemm_contiguous(bool trans_a, bool trans_b, std::int64_t m,
+                            std::int64_t n, std::int64_t k, float alpha,
+                            const float* a, const float* b, float beta,
+                            float* c,
+                            MatmulPrecision precision = MatmulPrecision::kFp32) {
+  const std::int64_t lda = trans_a ? m : k;
+  const std::int64_t ldb = trans_b ? k : n;
+  gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, n,
+       precision);
+}
+
+}  // namespace podnet::tensor

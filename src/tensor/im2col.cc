@@ -1,0 +1,91 @@
+#include "tensor/im2col.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace podnet::tensor {
+
+ConvGeometry ConvGeometry::same(std::int64_t batch, std::int64_t in_h,
+                                std::int64_t in_w, std::int64_t in_c,
+                                std::int64_t kernel, std::int64_t stride) {
+  assert(kernel >= 1 && stride >= 1);
+  ConvGeometry g;
+  g.batch = batch;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.in_c = in_c;
+  g.kernel_h = kernel;
+  g.kernel_w = kernel;
+  g.stride = stride;
+  g.out_h = (in_h + stride - 1) / stride;
+  g.out_w = (in_w + stride - 1) / stride;
+  const std::int64_t pad_h =
+      std::max<std::int64_t>(0, (g.out_h - 1) * stride + kernel - in_h);
+  const std::int64_t pad_w =
+      std::max<std::int64_t>(0, (g.out_w - 1) * stride + kernel - in_w);
+  g.pad_top = pad_h / 2;
+  g.pad_left = pad_w / 2;
+  return g;
+}
+
+void im2col(const ConvGeometry& g, const float* input, float* col) {
+  const std::int64_t row_len = g.col_cols();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    const float* img = input + n * g.in_h * g.in_w * g.in_c;
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        float* row =
+            col + ((n * g.out_h + oh) * g.out_w + ow) * row_len;
+        const std::int64_t ih0 = oh * g.stride - g.pad_top;
+        const std::int64_t iw0 = ow * g.stride - g.pad_left;
+        for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+          const std::int64_t ih = ih0 + kh;
+          float* dst = row + kh * g.kernel_w * g.in_c;
+          if (ih < 0 || ih >= g.in_h) {
+            std::fill(dst, dst + g.kernel_w * g.in_c, 0.f);
+            continue;
+          }
+          for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+            const std::int64_t iw = iw0 + kw;
+            float* d = dst + kw * g.in_c;
+            if (iw < 0 || iw >= g.in_w) {
+              std::fill(d, d + g.in_c, 0.f);
+            } else {
+              const float* s = img + (ih * g.in_w + iw) * g.in_c;
+              std::copy(s, s + g.in_c, d);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, const float* col, float* input_grad) {
+  const std::int64_t row_len = g.col_cols();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    float* img = input_grad + n * g.in_h * g.in_w * g.in_c;
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        const float* row =
+            col + ((n * g.out_h + oh) * g.out_w + ow) * row_len;
+        const std::int64_t ih0 = oh * g.stride - g.pad_top;
+        const std::int64_t iw0 = ow * g.stride - g.pad_left;
+        for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+          const std::int64_t ih = ih0 + kh;
+          if (ih < 0 || ih >= g.in_h) continue;
+          const float* src = row + kh * g.kernel_w * g.in_c;
+          for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+            const std::int64_t iw = iw0 + kw;
+            if (iw < 0 || iw >= g.in_w) continue;
+            float* d = img + (ih * g.in_w + iw) * g.in_c;
+            const float* s = src + kw * g.in_c;
+            for (std::int64_t c = 0; c < g.in_c; ++c) d[c] += s[c];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace podnet::tensor

@@ -1,0 +1,40 @@
+// im2col / col2im for NHWC convolution lowering.
+//
+// A KhxKw convolution over an NHWC input lowers to one GEMM:
+//   col   : [N*OH*OW, Kh*Kw*C]   (this file)
+//   weight: [Kh*Kw*C, Cout]      (HWIO layout, flattened)
+//   out   : [N*OH*OW, Cout] == NHWC output, no re-layout needed.
+// col2im is the adjoint scatter-add, used by the convolution input gradient.
+#pragma once
+
+#include <cstdint>
+
+namespace podnet::tensor {
+
+struct ConvGeometry {
+  std::int64_t batch = 0;
+  std::int64_t in_h = 0, in_w = 0, in_c = 0;
+  std::int64_t kernel_h = 0, kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad_top = 0, pad_left = 0;
+  std::int64_t out_h = 0, out_w = 0;
+
+  // TensorFlow-style SAME padding: out = ceil(in / stride); any odd padding
+  // surplus goes to the bottom/right edge.
+  static ConvGeometry same(std::int64_t batch, std::int64_t in_h,
+                           std::int64_t in_w, std::int64_t in_c,
+                           std::int64_t kernel, std::int64_t stride);
+
+  std::int64_t col_rows() const { return batch * out_h * out_w; }
+  std::int64_t col_cols() const { return kernel_h * kernel_w * in_c; }
+};
+
+// Expands `input` (NHWC) into `col` (col_rows x col_cols, row-major).
+// Out-of-image taps read as zero.
+void im2col(const ConvGeometry& g, const float* input, float* col);
+
+// Adjoint of im2col: accumulates `col` back into `input_grad` (NHWC).
+// input_grad must be zero-initialized by the caller.
+void col2im(const ConvGeometry& g, const float* col, float* input_grad);
+
+}  // namespace podnet::tensor

@@ -1,0 +1,94 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace podnet::tensor {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void axpby(float alpha, std::span<const float> x, float beta,
+           std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+void mul_inplace(std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] *= x[i];
+}
+
+double sum(std::span<const float> x) {
+  double s = 0.0;
+  for (float v : x) s += v;
+  return s;
+}
+
+double sum_squares(std::span<const float> x) {
+  double s = 0.0;
+  for (float v : x) s += static_cast<double>(v) * v;
+  return s;
+}
+
+double l2_norm(std::span<const float> x) { return std::sqrt(sum_squares(x)); }
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    s += static_cast<double>(x[i]) * y[i];
+  return s;
+}
+
+float max_value(std::span<const float> x) {
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : x) m = std::max(m, v);
+  return m;
+}
+
+void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    float m = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < cols; ++c) m = std::max(m, row[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - m);
+      denom += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+void argmax_rows(const float* x, std::int64_t rows, std::int64_t cols,
+                 std::int64_t* out) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = best;
+  }
+}
+
+bool allclose(std::span<const float> a, std::span<const float> b, float rtol,
+              float atol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > atol + rtol * std::abs(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace podnet::tensor

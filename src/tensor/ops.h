@@ -1,0 +1,47 @@
+// Elementwise and reduction primitives over raw float spans / Tensors.
+//
+// These are deliberately free functions over spans so the nn layers, the
+// optimizers, and the collectives all share one small vocabulary of
+// vectorizable loops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace podnet::tensor {
+
+// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+// y = alpha * x + beta * y
+void axpby(float alpha, std::span<const float> x, float beta,
+           std::span<float> y);
+// x *= alpha
+void scale(float alpha, std::span<float> x);
+// elementwise y *= x
+void mul_inplace(std::span<const float> x, std::span<float> y);
+// sum of elements
+double sum(std::span<const float> x);
+// sum of squares
+double sum_squares(std::span<const float> x);
+// L2 norm
+double l2_norm(std::span<const float> x);
+// dot product
+double dot(std::span<const float> x, std::span<const float> y);
+// max element (returns -inf for empty)
+float max_value(std::span<const float> x);
+
+// Numerically-stable in-place softmax over each row of a [rows, cols]
+// row-major matrix.
+void softmax_rows(float* x, std::int64_t rows, std::int64_t cols);
+
+// argmax per row of a [rows, cols] matrix, written to out[rows].
+void argmax_rows(const float* x, std::int64_t rows, std::int64_t cols,
+                 std::int64_t* out);
+
+// Returns true if |a-b| <= atol + rtol*|b| elementwise.
+bool allclose(std::span<const float> a, std::span<const float> b,
+              float rtol = 1e-5f, float atol = 1e-6f);
+
+}  // namespace podnet::tensor

@@ -1,0 +1,94 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in PodNet (data synthesis, weight init,
+// dropout, shuffling) takes an explicit Rng so runs are reproducible across
+// replica counts: replica r derives its stream with Rng::split(r).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace podnet::tensor {
+
+// xoshiro256** by Blackman & Vigna, seeded via splitmix64. Public-domain
+// algorithm; small, fast, and passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& si : s_) si = splitmix64(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's nearly-divisionless method would be overkill here; modulo
+    // bias is negligible for n << 2^64.
+    return next_u64() % n;
+  }
+
+  // Standard normal via Box-Muller (cached second value).
+  float normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1 = 0.f;
+    do {
+      u1 = static_cast<float>(next_double());
+    } while (u1 <= 1e-12f);
+    const float u2 = static_cast<float>(next_double());
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 2.0f * std::numbers::pi_v<float> * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  // Derives an independent stream; stream index folds into the seed space.
+  Rng split(std::uint64_t stream) const {
+    std::uint64_t x = s_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng(x);
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  float cached_ = 0.f;
+  bool has_cached_ = false;
+};
+
+}  // namespace podnet::tensor

@@ -1,0 +1,74 @@
+// Shape: a small fixed-capacity dimension vector for tensors of rank 0..4.
+//
+// PodNet tensors are dense, contiguous, and row-major. Image tensors use the
+// NHWC layout (batch, height, width, channels), matching the layout the TPU
+// XLA compiler favours for convolutions.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace podnet::tensor {
+
+using Index = std::int64_t;
+
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<Index> dims) {
+    assert(dims.size() <= static_cast<std::size_t>(kMaxRank));
+    rank_ = static_cast<int>(dims.size());
+    int i = 0;
+    for (Index d : dims) {
+      assert(d >= 0);
+      dims_[i++] = d;
+    }
+  }
+
+  int rank() const { return rank_; }
+
+  Index dim(int i) const {
+    assert(i >= 0 && i < rank_);
+    return dims_[i];
+  }
+
+  Index operator[](int i) const { return dim(i); }
+
+  // Total number of elements; 1 for a rank-0 (scalar) shape.
+  Index numel() const {
+    Index n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[i] != o.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string str() const {
+    std::string s = "[";
+    for (int i = 0; i < rank_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::array<Index, kMaxRank> dims_{0, 0, 0, 0};
+  int rank_ = 0;
+};
+
+}  // namespace podnet::tensor

@@ -1,0 +1,5 @@
+#include "tensor/tensor.h"
+
+// Tensor is header-only today; this TU anchors the library target and keeps
+// a stable home for future out-of-line members.
+namespace podnet::tensor {}

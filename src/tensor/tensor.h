@@ -1,0 +1,115 @@
+// Tensor: a dense, contiguous fp32 array with a shape.
+//
+// Design notes (see DESIGN.md Sec 6):
+//  * Value semantics. Copy is deep; move is O(1). Replica-private model
+//    state is therefore trivially thread-confined (Core Guidelines CP.3).
+//  * Layout is row-major; images are NHWC.
+//  * All math lives in free functions (ops.h, gemm.h); Tensor itself is a
+//    container plus cheap accessors, so the hot loops stay transparent to
+//    the optimizer.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+
+namespace podnet::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape) : shape_(shape), data_(shape.numel(), 0.f) {}
+  Tensor(Shape shape, float fill)
+      : shape_(shape), data_(shape.numel(), fill) {}
+
+  static Tensor zeros(Shape shape) { return Tensor(shape); }
+  static Tensor full(Shape shape, float v) { return Tensor(shape, v); }
+
+  // I.i.d. normal entries: mean 0, given stddev.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.f) {
+    Tensor t(shape);
+    for (float& x : t.data_) x = rng.normal(0.f, stddev);
+    return t;
+  }
+
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi) {
+    Tensor t(shape);
+    for (float& x : t.data_) x = rng.uniform(lo, hi);
+    return t;
+  }
+
+  static Tensor from_vector(Shape shape, std::vector<float> values) {
+    assert(static_cast<Index>(values.size()) == shape.numel());
+    Tensor t;
+    t.shape_ = shape;
+    t.data_ = std::move(values);
+    return t;
+  }
+
+  const Shape& shape() const { return shape_; }
+  Index numel() const { return static_cast<Index>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& at(Index i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float at(Index i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // NHWC accessor for rank-4 tensors.
+  float& at4(Index n, Index h, Index w, Index c) {
+    return data_[static_cast<std::size_t>(offset4(n, h, w, c))];
+  }
+  float at4(Index n, Index h, Index w, Index c) const {
+    return data_[static_cast<std::size_t>(offset4(n, h, w, c))];
+  }
+
+  // Row-major accessor for rank-2 tensors.
+  float& at2(Index r, Index c) {
+    assert(shape_.rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at2(Index r, Index c) const {
+    assert(shape_.rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  void fill(float v) {
+    for (float& x : data_) x = v;
+  }
+
+  // Reinterprets the buffer with a new shape of identical element count.
+  Tensor reshaped(Shape s) const {
+    assert(s.numel() == numel());
+    Tensor t = *this;
+    t.shape_ = s;
+    return t;
+  }
+
+  std::string str_meta() const { return "Tensor" + shape_.str(); }
+
+ private:
+  Index offset4(Index n, Index h, Index w, Index c) const {
+    assert(shape_.rank() == 4);
+    assert(n >= 0 && n < shape_[0] && h >= 0 && h < shape_[1] && w >= 0 &&
+           w < shape_[2] && c >= 0 && c < shape_[3]);
+    return ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c;
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace podnet::tensor

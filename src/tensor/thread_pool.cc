@@ -1,0 +1,81 @@
+#include "tensor/thread_pool.h"
+
+#include <algorithm>
+
+namespace podnet::tensor {
+
+ThreadPool::ThreadPool(int threads) {
+  int n = threads;
+  if (n == 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    n = std::max(1, n) - 1;  // the calling thread participates
+  }
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    (*task.state->fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(task.state->mu);
+      if (--task.state->remaining == 0) task.state->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const int parts =
+      static_cast<int>(std::min<std::int64_t>(n, worker_count() + 1));
+  if (parts <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::int64_t chunk = (n + parts - 1) / parts;
+  CallState state;
+  state.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Enqueue all chunks except the first, which the caller runs itself.
+    for (int p = 1; p < parts; ++p) {
+      const std::int64_t b = p * chunk;
+      const std::int64_t e = std::min<std::int64_t>(n, b + chunk);
+      if (b >= e) continue;
+      queue_.push_back(Task{&state, b, e});
+      ++state.remaining;
+    }
+  }
+  work_cv_.notify_all();
+  fn(0, std::min<std::int64_t>(n, chunk));
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&state] { return state.remaining == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace podnet::tensor

@@ -1,0 +1,69 @@
+// A small persistent thread pool with a parallel_for primitive.
+//
+// PodNet uses two distinct kinds of threads:
+//  * replica threads (src/dist) — one per simulated TPU core, long-lived,
+//    created by the Communicator;
+//  * kernel worker threads (this file) — used to split a single kernel
+//    (GEMM, im2col) across cores *within* one replica.
+// parallel_for is safe to call concurrently from several replica threads:
+// completion tracking is per-call, not pool-global. On the single-core CI
+// machine the pool degenerates to inline execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace podnet::tensor {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects hardware_concurrency - 1 workers (callers run the
+  // first chunk themselves), i.e. inline execution on a single-core host.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  // Splits [0, n) into contiguous chunks and runs fn(begin, end) on the
+  // workers plus the calling thread. Blocks until every chunk finished.
+  // fn must not touch overlapping mutable state across chunks (CP.2).
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  // Process-wide pool for kernels; sized from hardware_concurrency.
+  static ThreadPool& global();
+
+ private:
+  // Per-parallel_for completion state; lives on the caller's stack for the
+  // duration of the call.
+  struct CallState {
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = 0;
+  };
+
+  struct Task {
+    CallState* state = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace podnet::tensor

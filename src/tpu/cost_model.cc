@@ -1,0 +1,132 @@
+#include "tpu/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace podnet::tpu {
+namespace {
+
+double effective_bw(const CollectiveParams& p) {
+  return p.bidirectional ? 2.0 * p.link_bw : p.link_bw;
+}
+
+}  // namespace
+
+double ring_allreduce_seconds(double bytes, int p,
+                              const CollectiveParams& params) {
+  if (p <= 1) return 0.0;
+  const double bw = effective_bw(params);
+  return 2.0 * (p - 1) * params.alpha +
+         2.0 * (static_cast<double>(p - 1) / p) * bytes / bw;
+}
+
+double torus2d_allreduce_seconds(double bytes, int px, int py,
+                                 const CollectiveParams& params) {
+  if (px <= 1 && py <= 1) return 0.0;
+  if (px <= 1) return ring_allreduce_seconds(bytes, py, params);
+  if (py <= 1) return ring_allreduce_seconds(bytes, px, params);
+  const double bw = effective_bw(params);
+  // Reduce-scatter along X, all-reduce of the 1/px shard along Y,
+  // all-gather along X.
+  const double rs_x = (px - 1) * params.alpha +
+                      (static_cast<double>(px - 1) / px) * bytes / bw;
+  const double ar_y = ring_allreduce_seconds(bytes / px, py, params);
+  const double ag_x = rs_x;
+  return rs_x + ar_y + ag_x;
+}
+
+double gradient_allreduce_seconds(double bytes, const PodSlice& slice,
+                                  const TpuTarget& target, PodAllReduce alg) {
+  CollectiveParams params;
+  params.link_bw = target.link_bw;
+  params.alpha = target.link_latency;
+  // The gradient all-reduce shares the ICI with overlapping traffic and
+  // cannot saturate both ring directions; pricing one direction per link
+  // reproduces Table 1's all-reduce percentages (B2 ~2-3%, B5 ~1%).
+  params.bidirectional = false;
+  // The chip's two cores combine gradients through HBM first (and
+  // redistribute after): ~2 extra HBM round trips of the gradient buffer.
+  const double intra_chip = 2.0 * bytes / target.hbm_bw_per_core;
+  double inter_chip = 0.0;
+  switch (alg) {
+    case PodAllReduce::kRing1d:
+      inter_chip = ring_allreduce_seconds(bytes, slice.chips, params);
+      break;
+    case PodAllReduce::kTorus2d:
+      inter_chip = torus2d_allreduce_seconds(bytes, slice.torus_x,
+                                             slice.torus_y, params);
+      break;
+  }
+  return intra_chip + inter_chip;
+}
+
+double mxu_efficiency(double k, double n, int mxu_dim) {
+  if (k <= 0 || n <= 0) return 1.0;
+  const double d = static_cast<double>(mxu_dim);
+  const double ek = std::min(1.0, k / d);
+  const double en = std::min(1.0, n / d);
+  return ek * en;
+}
+
+LayerTime layer_step_seconds(const effnet::LayerCost& layer,
+                             const TpuTarget& target,
+                             const ComputeOptions& options) {
+  using effnet::LayerKind;
+  const double b_req = options.per_core_batch;
+  const double b =
+      options.xla_pad_batch_to_8 ? std::ceil(b_req / 8.0) * 8.0 : b_req;
+
+  // FLOPs bound.
+  const bool on_mxu =
+      layer.kind == LayerKind::kConv || layer.kind == LayerKind::kDense;
+  double peak;
+  double eff = 1.0;
+  if (on_mxu) {
+    peak = options.bf16_convs ? target.peak_flops_per_core
+                              : target.fp32_flops_per_core;
+    eff = mxu_efficiency(layer.gemm_k, layer.gemm_n, target.mxu_dim);
+  } else {
+    // Vector unit: roughly peak/16 for elementwise/depthwise work.
+    peak = target.fp32_flops_per_core / 4.0;
+  }
+  const double flops =
+      2.0 * layer.macs * b * options.train_flop_factor;
+  LayerTime t;
+  t.flops_bound_s = flops / (peak * std::max(eff, 1e-3));
+
+  // Memory bound: activations in and out (re-read during backward) plus
+  // parameters and their gradients.
+  const double act_elem_size =
+      (on_mxu || layer.kind == LayerKind::kDepthwise) && options.bf16_convs
+          ? 2.0
+          : 4.0;
+  const double act_bytes =
+      (layer.in_elems + layer.out_elems) * b * act_elem_size *
+      options.train_traffic_factor;
+  const double param_bytes = layer.params * 4.0 * 3.0;  // read, grad, update
+  t.memory_bound_s = (act_bytes + param_bytes) / target.hbm_bw_per_core;
+  return t;
+}
+
+double model_compute_seconds(const effnet::ModelCost& cost,
+                             const TpuTarget& target,
+                             const ComputeOptions& options) {
+  double total = 0.0;
+  for (const auto& layer : cost.layers) {
+    total += layer_step_seconds(layer, target, options).seconds();
+  }
+  return total;
+}
+
+double model_eval_seconds(const effnet::ModelCost& cost,
+                          const TpuTarget& target, int per_core_batch,
+                          bool bf16_convs) {
+  ComputeOptions opts;
+  opts.per_core_batch = per_core_batch;
+  opts.bf16_convs = bf16_convs;
+  opts.train_flop_factor = 1.0;    // forward only
+  opts.train_traffic_factor = 1.0;
+  return model_compute_seconds(cost, target, opts);
+}
+
+}  // namespace podnet::tpu

@@ -1,0 +1,88 @@
+// Alpha-beta collective costs and per-layer compute roofline.
+//
+// Collectives: the gradient all-reduce is priced with the classic
+// latency/bandwidth (alpha-beta) model on the slice's interconnect:
+//   * 1-D ring over all chips: 2(p-1) alpha + 2 (p-1)/p * V / bw
+//   * 2-D torus (Ying et al.): ring reduce-scatter along X, full ring
+//     all-reduce of V/px along Y, ring all-gather along X — the scheme TPU
+//     pods use, whose time stays ~flat as the slice grows (Table 1's
+//     "step time remains approximately the same at scale").
+// Links are bidirectional; ring algorithms stream both directions.
+//
+// Compute: each layer is priced as max(flops-bound, memory-bound) — a
+// roofline. EfficientNet is activation-traffic dominated on TPU (depthwise
+// convolutions, thin early GEMMs), which is why measured utilization is a
+// few percent of MXU peak; the model reproduces that regime rather than
+// assuming peak FLOPs.
+#pragma once
+
+#include "effnet/flops.h"
+#include "tpu/spec.h"
+#include "tpu/topology.h"
+
+namespace podnet::tpu {
+
+// ---- Collective cost models ------------------------------------------------
+
+struct CollectiveParams {
+  double link_bw = 70.0e9;
+  double alpha = 1.5e-6;
+  bool bidirectional = true;
+};
+
+// Ring all-reduce of `bytes` over `p` nodes.
+double ring_allreduce_seconds(double bytes, int p,
+                              const CollectiveParams& params);
+
+// 2-D torus all-reduce over a px * py grid.
+double torus2d_allreduce_seconds(double bytes, int px, int py,
+                                 const CollectiveParams& params);
+
+enum class PodAllReduce { kRing1d, kTorus2d };
+
+// Gradient all-reduce time for a slice: two cores per chip combine via HBM
+// first, then the chip-level collective runs.
+double gradient_allreduce_seconds(double bytes, const PodSlice& slice,
+                                  const TpuTarget& target, PodAllReduce alg);
+
+// ---- Compute roofline ------------------------------------------------------
+
+struct ComputeOptions {
+  int per_core_batch = 32;
+  bool bf16_convs = true;        // paper Sec 3.5: bf16 multiplicands in convs
+  double train_flop_factor = 3.0;  // fwd + ~2x fwd for backward
+  // Activation bytes moved per training step relative to one forward pass.
+  // XLA fuses BN/swish chains, so backward re-reads each saved activation
+  // roughly once; 2.0 calibrates step time to Table 1 within ~15%.
+  double train_traffic_factor = 2.0;
+  bool xla_pad_batch_to_8 = true;     // paper Sec 2: batch padded to 8
+};
+
+struct LayerTime {
+  double flops_bound_s = 0;
+  double memory_bound_s = 0;
+  double seconds() const {
+    return flops_bound_s > memory_bound_s ? flops_bound_s : memory_bound_s;
+  }
+};
+
+// Training-step time of one layer for one core's shard of the batch.
+LayerTime layer_step_seconds(const effnet::LayerCost& layer,
+                             const TpuTarget& target,
+                             const ComputeOptions& options);
+
+// Sum over all layers (excludes step overhead and all-reduce).
+double model_compute_seconds(const effnet::ModelCost& cost,
+                             const TpuTarget& target,
+                             const ComputeOptions& options);
+
+// Forward-only (evaluation) time per core for `batch` images.
+double model_eval_seconds(const effnet::ModelCost& cost,
+                          const TpuTarget& target, int per_core_batch,
+                          bool bf16_convs);
+
+// MXU utilization of a GEMM with contraction width k and output width n:
+// fraction of the systolic array's k- and n- edges actually filled.
+double mxu_efficiency(double k, double n, int mxu_dim);
+
+}  // namespace podnet::tpu

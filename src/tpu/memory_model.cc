@@ -1,0 +1,41 @@
+#include "tpu/memory_model.h"
+
+namespace podnet::tpu {
+
+double hbm_bytes_per_core() {
+  return 16.0 * (1ull << 30);  // 16 GiB per TPU-v3 core
+}
+
+MemoryBreakdown model_memory(const effnet::ModelCost& cost,
+                             std::int64_t per_core_batch,
+                             const MemoryModelOptions& options) {
+  MemoryBreakdown m;
+  const double params = cost.total_params();
+  m.weights_bytes = params * 4.0;
+  m.gradients_bytes = params * 4.0;
+  m.optimizer_bytes = params * 4.0 * options.optimizer_slots_per_param;
+  const double act_elem = options.bf16_activations ? 2.0 : 4.0;
+  m.activations_bytes = cost.total_activation_elems() *
+                        options.saved_activation_fraction * act_elem *
+                        static_cast<double>(per_core_batch);
+  m.overhead_bytes = options.overhead_fraction *
+                     (m.weights_bytes + m.gradients_bytes +
+                      m.optimizer_bytes + m.activations_bytes);
+  return m;
+}
+
+std::int64_t max_per_core_batch(const effnet::ModelCost& cost,
+                                const MemoryModelOptions& options) {
+  const double budget = hbm_bytes_per_core();
+  // The footprint is affine in the batch: solve directly, then verify.
+  const MemoryBreakdown fixed = model_memory(cost, 0, options);
+  const MemoryBreakdown one = model_memory(cost, 1, options);
+  const double per_image = one.total_bytes() - fixed.total_bytes();
+  if (fixed.total_bytes() + per_image > budget) return 0;
+  std::int64_t b = static_cast<std::int64_t>(
+      (budget - fixed.total_bytes()) / per_image);
+  while (b > 0 && model_memory(cost, b, options).total_bytes() > budget) --b;
+  return b;
+}
+
+}  // namespace podnet::tpu

@@ -1,0 +1,57 @@
+// HBM capacity model: does a training step fit in a TPU-v3 core's memory,
+// and what is the largest per-core batch that does?
+//
+// This quantifies the paper's Sec 3.1 motivation: "large global batch
+// sizes are necessary for us to more optimally utilize the memory of each
+// TPU core and increase throughput" — per-core batch is capped by the
+// activations that must be *saved for backward*, which scale linearly in
+// the batch, on top of batch-independent weights + optimizer slots +
+// gradient buffers.
+#pragma once
+
+#include <cstdint>
+
+#include "effnet/flops.h"
+#include "tpu/spec.h"
+
+namespace podnet::tpu {
+
+struct MemoryModelOptions {
+  bool bf16_activations = true;  // conv activations saved in bf16
+  double optimizer_slots_per_param = 2.0;  // RMSProp/LAMB keep two fp32
+  // Fraction of raw layer outputs actually *saved* for backward: XLA fuses
+  // conv+BN+swish chains (one saved tensor instead of three) and
+  // rematerializes cheap elementwise ops. 0.45 is calibrated so the
+  // paper's feasible configurations (B5 at per-core batch 64) fit in HBM
+  // with a little headroom.
+  double saved_activation_fraction = 0.45;
+  // Workspace slack for XLA temporaries, infeed buffers, and padding.
+  double overhead_fraction = 0.10;
+};
+
+struct MemoryBreakdown {
+  double weights_bytes = 0;
+  double gradients_bytes = 0;
+  double optimizer_bytes = 0;
+  double activations_bytes = 0;  // saved-for-backward, for the given batch
+  double overhead_bytes = 0;
+  double total_bytes() const {
+    return weights_bytes + gradients_bytes + optimizer_bytes +
+           activations_bytes + overhead_bytes;
+  }
+};
+
+// HBM bytes available to one core.
+double hbm_bytes_per_core();
+
+// Memory footprint of one training step at the given per-core batch.
+MemoryBreakdown model_memory(const effnet::ModelCost& cost,
+                             std::int64_t per_core_batch,
+                             const MemoryModelOptions& options = {});
+
+// Largest per-core batch whose footprint fits in HBM (0 if even batch 1
+// does not fit).
+std::int64_t max_per_core_batch(const effnet::ModelCost& cost,
+                                const MemoryModelOptions& options = {});
+
+}  // namespace podnet::tpu

@@ -1,0 +1,74 @@
+#include "tpu/pod_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace podnet::tpu {
+
+StepBreakdown model_step(const effnet::ModelCost& cost, const PodSlice& slice,
+                         const TpuTarget& target, const StepOptions& options) {
+  ComputeOptions copts;
+  copts.per_core_batch = options.per_core_batch;
+  copts.bf16_convs = options.bf16_convs;
+
+  StepBreakdown b;
+  b.global_batch =
+      static_cast<std::int64_t>(options.per_core_batch) * slice.cores;
+  b.compute_s = model_compute_seconds(cost, target, copts);
+  b.allreduce_s = gradient_allreduce_seconds(cost.gradient_bytes(), slice,
+                                             target, options.allreduce);
+  b.overhead_s = target.step_overhead;
+  b.step_s = b.compute_s + b.allreduce_s + b.overhead_s;
+  b.throughput_img_per_ms =
+      static_cast<double>(b.global_batch) / (b.step_s * 1e3);
+  b.allreduce_percent = 100.0 * b.allreduce_s / b.step_s;
+  return b;
+}
+
+RunBreakdown model_run(const effnet::ModelCost& cost, const PodSlice& slice,
+                       const TpuTarget& target, const StepOptions& step,
+                       const RunOptions& run) {
+  const StepBreakdown sb = model_step(cost, slice, target, step);
+  RunBreakdown r;
+  const double steps_per_epoch =
+      std::floor(static_cast<double>(run.train_images) /
+                 static_cast<double>(sb.global_batch));
+  r.steps = steps_per_epoch * run.epochs_to_peak;
+  r.train_s = r.steps * sb.step_s;
+
+  const double num_evals =
+      std::max(1.0, run.epochs_to_peak / run.eval_every_epochs);
+  switch (run.eval_mode) {
+    case EvalMode::kDistributed: {
+      // Every core scores eval_images / cores examples; the pass rides the
+      // training loop (Kumar et al.'s fused train-and-eval schedule).
+      const int shard = static_cast<int>(std::ceil(
+          static_cast<double>(run.eval_images) / slice.cores));
+      const double pass_s =
+          model_eval_seconds(cost, target, shard, step.bf16_convs) +
+          target.step_overhead;
+      r.eval_s = num_evals * pass_s;
+      r.total_s = r.train_s + r.eval_s;
+      break;
+    }
+    case EvalMode::kSeparateEvaluator: {
+      // TPUEstimator: a dedicated small slice evaluates checkpoints
+      // concurrently. Training no longer pays for eval, but the run is not
+      // done until the last checkpoint is scored — and when a full eval
+      // pass takes longer than the training interval between checkpoints,
+      // evaluation becomes the critical path (paper Sec 3.3).
+      const int shard = static_cast<int>(std::ceil(
+          static_cast<double>(run.eval_images) / run.evaluator_cores));
+      const double pass_s =
+          model_eval_seconds(cost, target, shard, step.bf16_convs) +
+          target.step_overhead;
+      const double eval_pipeline_s = num_evals * pass_s;
+      r.eval_s = std::max(0.0, eval_pipeline_s - r.train_s) + pass_s;
+      r.total_s = std::max(r.train_s + pass_s, eval_pipeline_s + pass_s);
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace podnet::tpu

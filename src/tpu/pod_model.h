@@ -1,0 +1,64 @@
+// PodModel: step-time and end-to-end training-time models for TPU-v3 pod
+// slices — the engine behind Table 1, Figure 1, and the distributed-eval
+// ablation (E6).
+#pragma once
+
+#include <cstdint>
+
+#include "effnet/flops.h"
+#include "tpu/cost_model.h"
+#include "tpu/spec.h"
+#include "tpu/topology.h"
+
+namespace podnet::tpu {
+
+struct StepOptions {
+  int per_core_batch = 32;
+  bool bf16_convs = true;
+  PodAllReduce allreduce = PodAllReduce::kTorus2d;
+};
+
+struct StepBreakdown {
+  std::int64_t global_batch = 0;
+  double compute_s = 0;
+  double allreduce_s = 0;
+  double overhead_s = 0;
+  double step_s = 0;
+  double throughput_img_per_ms = 0;
+  double allreduce_percent = 0;  // of total step time, as Table 1 reports
+};
+
+StepBreakdown model_step(const effnet::ModelCost& cost, const PodSlice& slice,
+                         const TpuTarget& target, const StepOptions& options);
+
+// ---- End-to-end run model (Figure 1, E6) -----------------------------------
+
+enum class EvalMode {
+  kDistributed,        // eval sharded over all training cores (Sec 3.3)
+  kSeparateEvaluator,  // TPUEstimator-style dedicated evaluator slice
+};
+
+struct RunOptions {
+  double epochs_to_peak = 350.0;
+  std::int64_t train_images = 1281167;  // ImageNet-1k proportions
+  std::int64_t eval_images = 50000;
+  double eval_every_epochs = 1.0;
+  EvalMode eval_mode = EvalMode::kDistributed;
+  // TPUEstimator runs evaluation "on a separate TPU chip" (paper Sec 1):
+  // one chip = two cores.
+  int evaluator_cores = 2;
+};
+
+struct RunBreakdown {
+  double steps = 0;
+  double train_s = 0;
+  double eval_s = 0;   // eval time on the training-time critical path
+  double total_s = 0;
+  double total_minutes() const { return total_s / 60.0; }
+};
+
+RunBreakdown model_run(const effnet::ModelCost& cost, const PodSlice& slice,
+                       const TpuTarget& target, const StepOptions& step,
+                       const RunOptions& run);
+
+}  // namespace podnet::tpu

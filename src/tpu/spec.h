@@ -1,0 +1,27 @@
+// TPU-v3 hardware constants for the analytic pod model.
+//
+// Public figures: a TPU-v3 chip holds two cores, each with two 128x128
+// bf16 systolic MXUs (~61 TFLOP/s per core peak), 16 GiB HBM per core at
+// ~450 GB/s per chip, and ~70 GB/s ICI links arranged in a 2-D torus.
+// EfficientNets run far below MXU peak (depthwise convolutions and thin
+// early layers are memory-bound), which the roofline in cost_model.h
+// captures; these constants only anchor the absolute scale.
+#pragma once
+
+namespace podnet::tpu {
+
+struct TpuTarget {
+  double peak_flops_per_core = 61.0e12;   // bf16 FMA peak
+  double fp32_flops_per_core = 15.0e12;   // without MXU bf16 path
+  double hbm_bw_per_core = 225.0e9;       // bytes/s (450 GB/s per chip)
+  double link_bw = 70.0e9;                // bytes/s per ICI link direction
+  double link_latency = 1.5e-6;           // per-hop alpha, seconds
+  int cores_per_chip = 2;
+  int mxu_dim = 128;                      // systolic array edge
+  // Fixed per-step overhead (infeed, host sync, launch) in seconds.
+  double step_overhead = 1.0e-3;
+};
+
+inline TpuTarget tpu_v3() { return {}; }
+
+}  // namespace podnet::tpu

@@ -1,0 +1,32 @@
+#include "tpu/topology.h"
+
+#include <cassert>
+
+namespace podnet::tpu {
+
+std::string PodSlice::str() const {
+  return std::to_string(cores) + " cores (" + std::to_string(torus_x) + "x" +
+         std::to_string(torus_y) + " chips)";
+}
+
+PodSlice make_slice(int cores) {
+  assert(cores >= 2 && cores <= 2048 && (cores & (cores - 1)) == 0);
+  PodSlice s;
+  s.cores = cores;
+  s.chips = cores / 2;
+  // Near-square factorization: x * y == chips, x <= y <= 2x.
+  int x = 1;
+  while (x * x < s.chips) x <<= 1;
+  // x is now the smallest power of two with x^2 >= chips.
+  if (x * x == s.chips) {
+    s.torus_x = x;
+    s.torus_y = x;
+  } else {
+    s.torus_x = x / 2;
+    s.torus_y = s.chips / s.torus_x;
+  }
+  assert(s.torus_x * s.torus_y == s.chips);
+  return s;
+}
+
+}  // namespace podnet::tpu

@@ -1,0 +1,25 @@
+// Pod-slice topology: cores -> chips -> 2-D torus dimensions.
+//
+// A TPU-v3 pod is a 32x32 2-D torus of chips (2048 cores); slices are
+// rectangular sub-tori. We pick the near-square factorization the platform
+// uses for the standard slice sizes (128 cores = 8x8 chips, ...,
+// 2048 cores = 32x32 chips).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace podnet::tpu {
+
+struct PodSlice {
+  int cores = 0;
+  int chips = 0;
+  int torus_x = 0;  // chips per row
+  int torus_y = 0;  // chips per column
+  std::string str() const;
+};
+
+// Valid for powers of two from 2 cores (1 chip) to 2048 cores (32x32).
+PodSlice make_slice(int cores);
+
+}  // namespace podnet::tpu

@@ -1,0 +1,87 @@
+#include "nn/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/grad_check.h"
+
+namespace podnet::nn {
+namespace {
+
+TEST(SwishTest, KnownValues) {
+  Swish swish;
+  Tensor x = Tensor::from_vector(Shape{3}, {0.f, 10.f, -10.f});
+  Tensor y = swish.forward(x, false);
+  EXPECT_NEAR(y.at(0), 0.f, 1e-6f);
+  EXPECT_NEAR(y.at(1), 10.f, 1e-3f);   // saturates to identity
+  EXPECT_NEAR(y.at(2), 0.f, 1e-3f);    // saturates to zero
+}
+
+TEST(SwishTest, MinimumAroundMinus1278) {
+  // swish has a global minimum of about -0.2785 near x = -1.2785.
+  Swish swish;
+  Tensor x = Tensor::from_vector(Shape{1}, {-1.2785f});
+  Tensor y = swish.forward(x, false);
+  EXPECT_NEAR(y.at(0), -0.2785f, 1e-3f);
+}
+
+TEST(SigmoidTest, SymmetryAndRange) {
+  Sigmoid sig;
+  Tensor x = Tensor::from_vector(Shape{3}, {0.f, 3.f, -3.f});
+  Tensor y = sig.forward(x, false);
+  EXPECT_NEAR(y.at(0), 0.5f, 1e-6f);
+  EXPECT_NEAR(y.at(1) + y.at(2), 1.f, 1e-6f);
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_GT(y.at(i), 0.f);
+    EXPECT_LT(y.at(i), 1.f);
+  }
+}
+
+TEST(ReLUTest, ClampsNegatives) {
+  ReLU relu;
+  Tensor x = Tensor::from_vector(Shape{4}, {-1.f, 0.f, 2.f, -0.5f});
+  Tensor y = relu.forward(x, false);
+  EXPECT_EQ(y.at(0), 0.f);
+  EXPECT_EQ(y.at(1), 0.f);
+  EXPECT_EQ(y.at(2), 2.f);
+  EXPECT_EQ(y.at(3), 0.f);
+}
+
+template <typename LayerT>
+void check_gradient(double tol) {
+  LayerT layer;
+  Rng rng(21);
+  Tensor x = Tensor::randn(Shape{2, 3, 3, 4}, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1e-3f;
+  const auto res = grad_check(layer, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, tol) << res.worst;
+}
+
+TEST(ActivationGradTest, Swish) { check_gradient<Swish>(5e-2); }
+TEST(ActivationGradTest, Sigmoid) { check_gradient<Sigmoid>(5e-2); }
+
+TEST(ActivationGradTest, ReLUAwayFromKink) {
+  ReLU layer;
+  Rng rng(22);
+  // Keep inputs away from 0 where ReLU is non-differentiable.
+  Tensor x = Tensor::randn(Shape{2, 2, 2, 3}, rng);
+  for (Index i = 0; i < x.numel(); ++i) {
+    if (std::abs(x.at(i)) < 0.1f) x.at(i) = 0.5f;
+  }
+  GradCheckOptions opts;
+  opts.epsilon = 1e-3f;
+  const auto res = grad_check(layer, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 1e-2) << res.worst;
+}
+
+TEST(ActivationTest, ForwardPreservesShape) {
+  Swish swish;
+  Rng rng(1);
+  Tensor x = Tensor::randn(Shape{2, 4, 4, 8}, rng);
+  EXPECT_EQ(swish.forward(x, false).shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace podnet::nn

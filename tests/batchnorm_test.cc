@@ -1,0 +1,147 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/grad_check.h"
+
+namespace podnet::nn {
+namespace {
+
+TEST(BatchNormTest, NormalizesToZeroMeanUnitVar) {
+  BatchNorm bn(4, 0.9f, 1e-5f);
+  Rng rng(1);
+  Tensor x = Tensor::randn(Shape{8, 3, 3, 4}, rng, 3.f);
+  Tensor y = bn.forward(x, true);
+  const Index rows = y.numel() / 4;
+  for (Index c = 0; c < 4; ++c) {
+    double sum = 0, sumsq = 0;
+    for (Index r = 0; r < rows; ++r) {
+      const float v = y.data()[r * 4 + c];
+      sum += v;
+      sumsq += static_cast<double>(v) * v;
+    }
+    const double mean = sum / static_cast<double>(rows);
+    const double var = sumsq / static_cast<double>(rows) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, GammaBetaApplied) {
+  BatchNorm bn(1, 0.9f, 1e-5f);
+  auto params = parameters_of(bn);
+  params[0]->value.at(0) = 2.f;   // gamma
+  params[1]->value.at(0) = -1.f;  // beta
+  Rng rng(2);
+  Tensor x = Tensor::randn(Shape{16, 2, 2, 1}, rng);
+  Tensor y = bn.forward(x, true);
+  const Index n = y.numel();
+  double sum = 0, sumsq = 0;
+  for (Index i = 0; i < n; ++i) {
+    sum += y.at(i);
+    sumsq += static_cast<double>(y.at(i)) * y.at(i);
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), -1.0, 1e-4);
+  EXPECT_NEAR(sumsq / static_cast<double>(n) - 1.0, 4.0, 0.05);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  BatchNorm bn(2, 0.0f, 1e-5f);  // momentum 0: running = last batch stats
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{32, 2, 2, 2}, rng, 2.f);
+  Tensor y_train = bn.forward(x, true);
+  Tensor y_eval = bn.forward(x, false);
+  // With momentum 0 the running stats equal this batch's stats, so eval
+  // output matches train output up to the biased/unbiased var distinction
+  // (we use biased in both).
+  for (Index i = 0; i < y_train.numel(); ++i) {
+    EXPECT_NEAR(y_train.at(i), y_eval.at(i), 1e-3f);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsConverge) {
+  BatchNorm bn(1, 0.5f, 1e-5f);
+  Rng rng(4);
+  for (int step = 0; step < 30; ++step) {
+    Tensor x = Tensor::randn(Shape{64, 1, 1, 1}, rng, 2.f);
+    for (Index i = 0; i < x.numel(); ++i) x.at(i) += 5.f;
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean().at(0), 5.f, 0.5f);
+  EXPECT_NEAR(bn.running_var().at(0), 4.f, 1.0f);
+}
+
+TEST(BatchNormTest, GradCheck) {
+  BatchNorm bn(3, 0.9f, 1e-3f);
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{4, 3, 3, 3}, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  const auto res = grad_check(bn, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 5e-2) << res.worst;
+}
+
+TEST(BatchNormTest, BackwardGradSumsToZeroPerChannel) {
+  // Because the output is mean-free per channel regardless of input shift,
+  // dL/dx must sum to ~0 over the batch for each channel.
+  BatchNorm bn(2, 0.9f, 1e-3f);
+  Rng rng(6);
+  Tensor x = Tensor::randn(Shape{8, 2, 2, 2}, rng);
+  bn.forward(x, true);
+  Tensor g = Tensor::randn(Shape{8, 2, 2, 2}, rng);
+  Tensor dx = bn.backward(g);
+  const Index rows = dx.numel() / 2;
+  for (Index c = 0; c < 2; ++c) {
+    double s = 0;
+    for (Index r = 0; r < rows; ++r) s += dx.data()[r * 2 + c];
+    EXPECT_NEAR(s, 0.0, 1e-3);
+  }
+}
+
+TEST(BatchNormTest, ParamsExcludedFromDecayAndAdaptation) {
+  BatchNorm bn(2);
+  auto params = parameters_of(bn);
+  ASSERT_EQ(params.size(), 2u);
+  for (const Param* p : params) {
+    EXPECT_FALSE(p->weight_decay) << p->name;
+    EXPECT_FALSE(p->layer_adaptation) << p->name;
+  }
+}
+
+TEST(BatchNormTest, StateTensorsExposed) {
+  BatchNorm bn(3);
+  std::vector<Tensor*> state;
+  bn.collect_state(state);
+  ASSERT_EQ(state.size(), 2u);
+  EXPECT_EQ(state[0]->numel(), 3);
+  EXPECT_EQ(state[1]->numel(), 3);
+}
+
+// A fake sync that doubles count and sums: simulates two identical
+// replicas, so normalization must equal the local result.
+class MirrorSync final : public BnStatSync {
+ public:
+  void allreduce_sum(std::span<float> v) override {
+    for (float& x : v) x *= 2.f;
+  }
+  int group_size() const override { return 2; }
+};
+
+TEST(BatchNormTest, SyncWithIdenticalTwinMatchesLocal) {
+  Rng rng(7);
+  Tensor x = Tensor::randn(Shape{4, 2, 2, 3}, rng);
+  BatchNorm local(3, 0.9f, 1e-3f);
+  BatchNorm synced(3, 0.9f, 1e-3f);
+  MirrorSync sync;
+  synced.set_stat_sync(&sync);
+  Tensor y1 = local.forward(x, true);
+  Tensor y2 = synced.forward(x, true);
+  for (Index i = 0; i < y1.numel(); ++i) {
+    EXPECT_NEAR(y1.at(i), y2.at(i), 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace podnet::nn

@@ -1,0 +1,102 @@
+#include "tensor/bf16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace podnet::tensor {
+namespace {
+
+TEST(Bf16Test, ExactValuesRoundTrip) {
+  // Values with <= 7 mantissa bits survive exactly.
+  for (float v : {0.f, 1.f, -1.f, 0.5f, 2.f, -4.f, 0.25f, 96.f, 1.5f}) {
+    EXPECT_EQ(bf16_round(v), v) << v;
+  }
+}
+
+TEST(Bf16Test, RelativeErrorBounded) {
+  // bf16 keeps 8 mantissa bits of precision (incl. implicit one):
+  // relative error <= 2^-8 after round-to-nearest.
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.normal(0.f, 100.f);
+    const float r = bf16_round(v);
+    EXPECT_LE(std::abs(r - v), std::abs(v) * (1.0f / 256.0f) + 1e-38f) << v;
+  }
+}
+
+TEST(Bf16Test, RoundToNearestEvenTieBreak) {
+  // 1 + 2^-8 is exactly halfway between bf16(1.0) and bf16(1.0078125);
+  // round-to-nearest-even picks the even mantissa (1.0).
+  const float halfway = 1.0f + 1.0f / 256.0f;
+  EXPECT_EQ(bf16_round(halfway), 1.0f);
+  // 1 + 3*2^-8 is halfway between 1.0078125 and 1.015625 -> even mantissa
+  // is 1.015625.
+  const float halfway2 = 1.0f + 3.0f / 256.0f;
+  EXPECT_EQ(bf16_round(halfway2), 1.015625f);
+}
+
+TEST(Bf16Test, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(bf16_round(inf), inf);
+  EXPECT_EQ(bf16_round(-inf), -inf);
+  EXPECT_TRUE(std::isnan(bf16_round(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Bf16Test, SignPreserved) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const float v = rng.normal(0.f, 10.f);
+    EXPECT_EQ(std::signbit(bf16_round(v)), std::signbit(v));
+  }
+}
+
+TEST(Bf16Test, IdempotentRounding) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const float v = rng.normal(0.f, 1.f);
+    const float once = bf16_round(v);
+    EXPECT_EQ(bf16_round(once), once);
+  }
+}
+
+TEST(Bf16Test, MonotoneNondecreasing) {
+  // Rounding preserves ordering (weakly).
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    float a = rng.normal(0.f, 5.f);
+    float b = rng.normal(0.f, 5.f);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(bf16_round(a), bf16_round(b));
+  }
+}
+
+TEST(Bf16Test, InplaceSpanRounding) {
+  std::vector<float> xs = {1.0f, 1.0f + 1.0f / 512.0f, -3.14159f};
+  bf16_round_inplace(xs);
+  EXPECT_EQ(xs[0], 1.0f);
+  EXPECT_EQ(xs[1], 1.0f);  // rounds down to 1.0
+  EXPECT_NEAR(xs[2], -3.14159f, 0.02f);
+}
+
+class Bf16PrecisionTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(Bf16PrecisionTest, ErrorWithinHalfUlp) {
+  const float v = GetParam();
+  const float r = bf16_round(v);
+  // Half-ULP at this magnitude: 2^(exp-8).
+  const int exp = std::ilogb(v == 0.f ? 1.f : v);
+  const float half_ulp = std::ldexp(1.0f, exp - 8);
+  EXPECT_LE(std::abs(r - v), half_ulp * 1.0001f) << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, Bf16PrecisionTest,
+                         ::testing::Values(1e-3f, 0.1f, 0.9999f, 1.0001f,
+                                           7.3f, 123.456f, 1e4f, 3.3e7f));
+
+}  // namespace
+}  // namespace podnet::tensor

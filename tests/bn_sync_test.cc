@@ -1,0 +1,177 @@
+#include "dist/bn_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/replica.h"
+#include "nn/batchnorm.h"
+#include "tensor/ops.h"
+
+namespace podnet::dist {
+namespace {
+
+using nn::BatchNorm;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(BnGroups1dTest, ConsecutivePartition) {
+  const auto groups = make_bn_groups_1d(8, 4);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[1], (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(BnGroups1dTest, GroupSizeOneIsLocal) {
+  const auto groups = make_bn_groups_1d(4, 1);
+  ASSERT_EQ(groups.size(), 4u);
+  for (int g = 0; g < 4; ++g) EXPECT_EQ(groups[static_cast<std::size_t>(g)],
+                                        std::vector<int>{g});
+}
+
+TEST(BnGroups1dTest, RejectsNonDivisor) {
+  EXPECT_THROW(make_bn_groups_1d(8, 3), std::invalid_argument);
+  EXPECT_THROW(make_bn_groups_1d(8, 0), std::invalid_argument);
+}
+
+TEST(BnGroups2dTest, TilesPartitionTheGrid) {
+  // 16 replicas on a 4x4 grid, 2x2 tiles -> 4 groups of 4.
+  const auto groups = make_bn_groups_2d(16, 4, 2, 2);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1, 4, 5}));
+  EXPECT_EQ(groups[1], (std::vector<int>{2, 3, 6, 7}));
+  EXPECT_EQ(groups[2], (std::vector<int>{8, 9, 12, 13}));
+  EXPECT_EQ(groups[3], (std::vector<int>{10, 11, 14, 15}));
+  // Disjoint cover.
+  std::set<int> seen;
+  for (const auto& g : groups) {
+    for (int r : g) EXPECT_TRUE(seen.insert(r).second);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(BnGroups2dTest, RejectsNonTilingShapes) {
+  EXPECT_THROW(make_bn_groups_2d(16, 4, 3, 2), std::invalid_argument);
+  EXPECT_THROW(make_bn_groups_2d(16, 5, 2, 2), std::invalid_argument);
+}
+
+TEST(BnSyncSetTest, MapsReplicasToGroups) {
+  BnSyncSet set(make_bn_groups_1d(8, 4));
+  EXPECT_EQ(set.group_of(0), 0);
+  EXPECT_EQ(set.group_of(3), 0);
+  EXPECT_EQ(set.group_of(4), 1);
+  EXPECT_EQ(set.sync(0)->group_size(), 4);
+}
+
+// The key semantic test: distributed BN over G replicas each holding B
+// samples must match local BN over the concatenated G*B batch exactly.
+class DistBnEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DistBnEquivalenceTest, GroupedStatsMatchBigBatch) {
+  const auto [group, per_replica] = GetParam();
+  const tensor::Index C = 5, H = 3, W = 3;
+  Rng rng(static_cast<std::uint64_t>(group * 100 + per_replica));
+  Tensor big = Tensor::randn(Shape{group * per_replica, H, W, C}, rng, 2.f);
+
+  // Reference: one BatchNorm over the whole batch.
+  BatchNorm reference(C, 0.9f, 1e-3f);
+  Tensor expected = reference.forward(big, true);
+  Tensor cot = Tensor::randn(expected.shape(), rng);
+  Tensor expected_dx = reference.backward(cot);
+
+  // Distributed: `group` replicas, each with its slice and synced stats.
+  BnSyncSet syncs(make_bn_groups_1d(group, group));
+  std::vector<Tensor> outs(static_cast<std::size_t>(group));
+  std::vector<Tensor> dxs(static_cast<std::size_t>(group));
+  std::vector<std::unique_ptr<BatchNorm>> bns;
+  for (int r = 0; r < group; ++r) {
+    bns.push_back(std::make_unique<BatchNorm>(C, 0.9f, 1e-3f));
+    bns.back()->set_stat_sync(syncs.sync(r));
+  }
+  const tensor::Index slice_elems = per_replica * H * W * C;
+  run_replicas(group, [&](int r) {
+    Tensor x(Shape{per_replica, H, W, C});
+    std::copy(big.data() + r * slice_elems,
+              big.data() + (r + 1) * slice_elems, x.data());
+    outs[static_cast<std::size_t>(r)] = bns[static_cast<std::size_t>(r)]
+        ->forward(x, true);
+    Tensor g(Shape{per_replica, H, W, C});
+    std::copy(cot.data() + r * slice_elems, cot.data() + (r + 1) * slice_elems,
+              g.data());
+    dxs[static_cast<std::size_t>(r)] =
+        bns[static_cast<std::size_t>(r)]->backward(g);
+  });
+
+  for (int r = 0; r < group; ++r) {
+    const float* exp_slice = expected.data() + r * slice_elems;
+    const float* got = outs[static_cast<std::size_t>(r)].data();
+    for (tensor::Index i = 0; i < slice_elems; ++i) {
+      ASSERT_NEAR(got[i], exp_slice[i], 2e-4f) << "fwd rank " << r;
+    }
+    const float* exp_dx = expected_dx.data() + r * slice_elems;
+    const float* got_dx = dxs[static_cast<std::size_t>(r)].data();
+    for (tensor::Index i = 0; i < slice_elems; ++i) {
+      ASSERT_NEAR(got_dx[i], exp_dx[i], 2e-4f) << "bwd rank " << r;
+    }
+  }
+
+  // Running statistics also match the big-batch reference.
+  for (tensor::Index c = 0; c < C; ++c) {
+    EXPECT_NEAR(bns[0]->running_mean().at(c), reference.running_mean().at(c),
+                1e-4f);
+    EXPECT_NEAR(bns[0]->running_var().at(c), reference.running_var().at(c),
+                1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupAndBatch, DistBnEquivalenceTest,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(2, 4)));
+
+TEST(DistBnTest, SubgroupsAreIndependent) {
+  // Two groups of two: group 0 sees shifted data; group 1 must be unaffected.
+  const tensor::Index C = 2;
+  BnSyncSet syncs(make_bn_groups_1d(4, 2));
+  std::vector<std::unique_ptr<BatchNorm>> bns;
+  for (int r = 0; r < 4; ++r) {
+    bns.push_back(std::make_unique<BatchNorm>(C, 0.9f, 1e-3f));
+    bns.back()->set_stat_sync(syncs.sync(r));
+  }
+  std::vector<Tensor> outs(4);
+  run_replicas(4, [&](int r) {
+    Tensor x = Tensor::full(Shape{4, 2, 2, C},
+                            r < 2 ? 100.f : static_cast<float>(r));
+    // Add variation so variance is nonzero.
+    for (tensor::Index i = 0; i < x.numel(); i += 2) x.at(i) += 1.f;
+    outs[static_cast<std::size_t>(r)] =
+        bns[static_cast<std::size_t>(r)]->forward(x, true);
+  });
+  // Each *group's* output is normalized within itself: the mean over the
+  // two replicas of a group is ~0 (individual replicas may sit off-center
+  // when their local distribution differs from the group's, which is
+  // exactly the distributed-BN semantics).
+  for (int g = 0; g < 2; ++g) {
+    double mean = 0;
+    tensor::Index count = 0;
+    for (int r = 2 * g; r < 2 * g + 2; ++r) {
+      const Tensor& y = outs[static_cast<std::size_t>(r)];
+      for (tensor::Index i = 0; i < y.numel(); ++i) mean += y.at(i);
+      count += y.numel();
+    }
+    mean /= static_cast<double>(count);
+    EXPECT_NEAR(mean, 0.0, 1e-3) << "group " << g;
+  }
+  // Group 0's inputs (~100) and group 1's (~2.5) are normalized
+  // independently: rank 2 and rank 3 sit on opposite sides of their
+  // group's mean.
+  EXPECT_LT(outs[2].at(1), 0.f);
+  EXPECT_GT(outs[3].at(1), 0.f);
+  // Group membership recorded correctly.
+  EXPECT_EQ(syncs.group_of(1), 0);
+  EXPECT_EQ(syncs.group_of(2), 1);
+}
+
+}  // namespace
+}  // namespace podnet::dist

@@ -1,0 +1,140 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "effnet/model.h"
+
+namespace podnet::core {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+effnet::EfficientNet make_model(std::uint64_t seed) {
+  effnet::ModelSpec spec = effnet::pico();
+  effnet::ModelOptions opts;
+  opts.num_classes = 8;
+  opts.init_seed = seed;
+  return effnet::EfficientNet(spec, opts);
+}
+
+TEST(CheckpointTest, RoundTripIsBitExact) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  // Make the state distinctive.
+  state[0]->fill(0.25f);
+  CheckpointMeta meta;
+  meta.step = 1234;
+  meta.epoch = 5.5;
+  const std::string path = temp_path("roundtrip.ckpt");
+  save_checkpoint(path, params, state, meta);
+
+  auto other = make_model(2);  // different init
+  auto oparams = nn::parameters_of(other);
+  std::vector<nn::Tensor*> ostate;
+  other.collect_state(ostate);
+  const CheckpointMeta loaded = load_checkpoint(path, oparams, ostate);
+  EXPECT_EQ(loaded.step, 1234);
+  EXPECT_DOUBLE_EQ(loaded.epoch, 5.5);
+  ASSERT_EQ(params.size(), oparams.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (tensor::Index j = 0; j < params[i]->value.numel(); ++j) {
+      ASSERT_EQ(params[i]->value.at(j), oparams[i]->value.at(j))
+          << params[i]->name;
+    }
+  }
+  EXPECT_EQ(ostate[0]->at(0), 0.25f);
+}
+
+TEST(CheckpointTest, RestoredModelPredictsIdentically) {
+  auto model = make_model(3);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  const std::string path = temp_path("predict.ckpt");
+  save_checkpoint(path, params, state, {});
+
+  auto restored = make_model(99);
+  auto rparams = nn::parameters_of(restored);
+  std::vector<nn::Tensor*> rstate;
+  restored.collect_state(rstate);
+  load_checkpoint(path, rparams, rstate);
+
+  nn::Rng rng(7);
+  nn::Tensor x = nn::Tensor::randn(nn::Shape{2, 16, 16, 3}, rng);
+  nn::Tensor y1 = model.forward(x, false);
+  nn::Tensor y2 = restored.forward(x, false);
+  for (tensor::Index i = 0; i < y1.numel(); ++i) {
+    ASSERT_EQ(y1.at(i), y2.at(i));
+  }
+}
+
+TEST(CheckpointTest, RejectsWrongArchitecture) {
+  auto pico_model = make_model(1);
+  auto params = nn::parameters_of(pico_model);
+  std::vector<nn::Tensor*> state;
+  pico_model.collect_state(state);
+  const std::string path = temp_path("arch.ckpt");
+  save_checkpoint(path, params, state, {});
+
+  effnet::ModelSpec nano_spec = effnet::nano();
+  effnet::ModelOptions opts;
+  opts.num_classes = 8;
+  effnet::EfficientNet nano_model(nano_spec, opts);
+  auto nparams = nn::parameters_of(nano_model);
+  std::vector<nn::Tensor*> nstate;
+  nano_model.collect_state(nstate);
+  EXPECT_THROW(load_checkpoint(path, nparams, nstate), std::runtime_error);
+}
+
+TEST(CheckpointTest, RejectsMissingFile) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  EXPECT_THROW(load_checkpoint(temp_path("nonexistent.ckpt"), params, state),
+               std::runtime_error);
+}
+
+TEST(CheckpointTest, RejectsCorruptedFile) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  const std::string path = temp_path("corrupt.ckpt");
+  save_checkpoint(path, params, state, {});
+  // Truncate the file.
+  {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_EQ(0, ::ftruncate(fileno(f), size / 2));
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_checkpoint(path, params, state), std::runtime_error);
+}
+
+TEST(CheckpointTest, RejectsBadMagic) {
+  const std::string path = temp_path("magic.ckpt");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOPE0000000000000000000000000000", 1, 32, f);
+  std::fclose(f);
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  EXPECT_THROW(load_checkpoint(path, params, state), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace podnet::core

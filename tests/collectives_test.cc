@@ -1,0 +1,212 @@
+#include "dist/communicator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "dist/replica.h"
+#include "tensor/rng.h"
+
+namespace podnet::dist {
+namespace {
+
+std::vector<std::vector<float>> make_inputs(int ranks, std::size_t n) {
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(ranks));
+  tensor::Rng rng(static_cast<std::uint64_t>(ranks * 1000 + n));
+  for (auto& v : data) {
+    v.resize(n);
+    for (auto& x : v) x = rng.normal();
+  }
+  return data;
+}
+
+std::vector<float> expected_sum(const std::vector<std::vector<float>>& in) {
+  std::vector<float> out(in[0].size(), 0.f);
+  // Double accumulation: reference is more accurate than any algorithm.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    double s = 0;
+    for (const auto& v : in) s += v[i];
+    out[i] = static_cast<float>(s);
+  }
+  return out;
+}
+
+struct AllReduceCase {
+  int ranks;
+  std::size_t n;
+  AllReduceAlgorithm alg;
+};
+
+class AllReduceTest : public ::testing::TestWithParam<AllReduceCase> {};
+
+TEST_P(AllReduceTest, SumsAcrossRanksOnEveryRank) {
+  const auto& tc = GetParam();
+  auto data = make_inputs(tc.ranks, tc.n);
+  const auto expected = expected_sum(data);
+  Communicator comm(tc.ranks);
+  run_replicas(tc.ranks, [&](int r) {
+    comm.allreduce_sum(r, data[static_cast<std::size_t>(r)], tc.alg);
+  });
+  for (int r = 0; r < tc.ranks; ++r) {
+    for (std::size_t i = 0; i < tc.n; ++i) {
+      ASSERT_NEAR(data[static_cast<std::size_t>(r)][i], expected[i],
+                  1e-4f * (1.f + std::abs(expected[i])))
+          << "rank " << r << " elem " << i << " alg " << to_string(tc.alg);
+    }
+  }
+}
+
+std::vector<AllReduceCase> all_cases() {
+  std::vector<AllReduceCase> cases;
+  for (AllReduceAlgorithm alg :
+       {AllReduceAlgorithm::kFlat, AllReduceAlgorithm::kRing,
+        AllReduceAlgorithm::kHalvingDoubling,
+        AllReduceAlgorithm::kTwoLevel}) {
+    for (int ranks : {1, 2, 3, 4, 5, 8}) {
+      for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+        cases.push_back({ranks, n, alg});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlgorithmsRanksSizes, AllReduceTest,
+                         ::testing::ValuesIn(all_cases()));
+
+class BitIdenticalTest
+    : public ::testing::TestWithParam<std::tuple<int, AllReduceAlgorithm>> {};
+
+TEST_P(BitIdenticalTest, AllRanksReceiveSameBits) {
+  // The invariant data-parallel training relies on: every rank gets the
+  // *identical* float result, so replica weights never drift.
+  const auto [ranks, alg] = GetParam();
+  auto data = make_inputs(ranks, 333);
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    comm.allreduce_sum(r, data[static_cast<std::size_t>(r)], alg);
+  });
+  for (int r = 1; r < ranks; ++r) {
+    for (std::size_t i = 0; i < 333; ++i) {
+      ASSERT_EQ(data[0][i], data[static_cast<std::size_t>(r)][i])
+          << "rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndAlgorithms, BitIdenticalTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(AllReduceAlgorithm::kFlat,
+                                         AllReduceAlgorithm::kRing,
+                                         AllReduceAlgorithm::kHalvingDoubling,
+                                         AllReduceAlgorithm::kTwoLevel)));
+
+TEST(AllReduceTest, SizeSmallerThanRanks) {
+  // Vector shorter than the rank count: some ring chunks are empty.
+  const int ranks = 8;
+  auto data = make_inputs(ranks, 3);
+  const auto expected = expected_sum(data);
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    comm.allreduce_sum(r, data[static_cast<std::size_t>(r)],
+                       AllReduceAlgorithm::kRing);
+  });
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(data[5][i], expected[i], 1e-5f);
+  }
+}
+
+TEST(BroadcastTest, CopiesRootToAll) {
+  const int ranks = 4;
+  std::vector<std::vector<float>> data(ranks, std::vector<float>(16, -1.f));
+  for (std::size_t i = 0; i < 16; ++i) data[2][i] = static_cast<float>(i);
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    comm.broadcast(r, /*root=*/2, data[static_cast<std::size_t>(r)]);
+  });
+  for (int r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(data[static_cast<std::size_t>(r)][i], static_cast<float>(i));
+    }
+  }
+}
+
+TEST(AllGatherTest, ConcatenatesInRankOrder) {
+  const int ranks = 3;
+  std::vector<std::vector<float>> in(ranks, std::vector<float>(2));
+  std::vector<std::vector<float>> out(ranks, std::vector<float>(6));
+  for (int r = 0; r < ranks; ++r) {
+    in[static_cast<std::size_t>(r)] = {static_cast<float>(10 * r),
+                                       static_cast<float>(10 * r + 1)};
+  }
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    comm.allgather(r, in[static_cast<std::size_t>(r)],
+                   out[static_cast<std::size_t>(r)]);
+  });
+  const std::vector<float> expected = {0, 1, 10, 11, 20, 21};
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(out[static_cast<std::size_t>(r)], expected);
+  }
+}
+
+TEST(ScalarTest, SumAndMax) {
+  const int ranks = 5;
+  std::vector<double> sums(ranks), maxs(ranks);
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    sums[static_cast<std::size_t>(r)] = comm.allreduce_scalar(r, r + 1.0);
+    maxs[static_cast<std::size_t>(r)] =
+        comm.allreduce_max(r, r == 3 ? 100.0 : static_cast<double>(r));
+  });
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(r)], 15.0);
+    EXPECT_DOUBLE_EQ(maxs[static_cast<std::size_t>(r)], 100.0);
+  }
+}
+
+TEST(CommunicatorTest, RepeatedCollectivesDoNotInterfere) {
+  const int ranks = 4;
+  Communicator comm(ranks);
+  std::atomic<int> failures{0};
+  run_replicas(ranks, [&](int r) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<float> v(17, static_cast<float>(r + round));
+      comm.allreduce_sum(r, v, round % 2 == 0 ? AllReduceAlgorithm::kRing
+                                              : AllReduceAlgorithm::kFlat);
+      const float expected = static_cast<float>(6 + 4 * round);  // 0+1+2+3
+      for (float x : v) {
+        if (std::abs(x - expected) > 1e-4f) failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(CommunicatorTest, SingleRankIsNoop) {
+  Communicator comm(1);
+  std::vector<float> v = {1.f, 2.f};
+  comm.allreduce_sum(0, v, AllReduceAlgorithm::kRing);
+  EXPECT_EQ(v[0], 1.f);
+  EXPECT_DOUBLE_EQ(comm.allreduce_scalar(0, 5.0), 5.0);
+}
+
+TEST(HalvingDoublingTest, NonPowerOfTwoFallsBackToRing) {
+  const int ranks = 6;
+  auto data = make_inputs(ranks, 64);
+  const auto expected = expected_sum(data);
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    comm.allreduce_sum(r, data[static_cast<std::size_t>(r)],
+                       AllReduceAlgorithm::kHalvingDoubling);
+  });
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(data[0][i], expected[i], 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace podnet::dist

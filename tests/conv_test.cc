@@ -1,0 +1,154 @@
+#include "nn/conv.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/depthwise_conv.h"
+#include "nn/grad_check.h"
+
+namespace podnet::nn {
+namespace {
+
+TEST(Conv2DTest, OutputShapeSamePadding) {
+  Rng rng(1);
+  Conv2D conv(3, 8, 3, 1, rng);
+  Tensor x = Tensor::randn(Shape{2, 7, 7, 3}, rng);
+  EXPECT_EQ(conv.forward(x, false).shape(), Shape({2, 7, 7, 8}));
+
+  Conv2D strided(3, 8, 3, 2, rng);
+  EXPECT_EQ(strided.forward(x, false).shape(), Shape({2, 4, 4, 8}));
+}
+
+TEST(Conv2DTest, OneByOneConvIsPerPixelMatmul) {
+  Rng rng(2);
+  Conv2D conv(2, 3, 1, 1, rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 2, 2}, rng);
+  Tensor y = conv.forward(x, false);
+  // Manually compute pixel (0, 0): y = W^T x with W in [1,1,2,3] (HWIO).
+  auto params = parameters_of(conv);
+  const Tensor& w = params[0]->value;
+  for (Index co = 0; co < 3; ++co) {
+    float expect = 0.f;
+    for (Index ci = 0; ci < 2; ++ci) {
+      expect += x.at4(0, 0, 0, ci) * w.at(ci * 3 + co);
+    }
+    EXPECT_NEAR(y.at4(0, 0, 0, co), expect, 1e-5f);
+  }
+}
+
+TEST(Conv2DTest, TranslationCovarianceInterior) {
+  // Shifting the input one pixel shifts the stride-1 output one pixel
+  // (away from padding effects).
+  Rng rng(3);
+  Conv2D conv(1, 4, 3, 1, rng);
+  Tensor x(Shape{1, 8, 8, 1});
+  x.at4(0, 3, 3, 0) = 1.f;  // impulse
+  Tensor y1 = conv.forward(x, false);
+  Tensor x2(Shape{1, 8, 8, 1});
+  x2.at4(0, 4, 5, 0) = 1.f;
+  Tensor y2 = conv.forward(x2, false);
+  for (Index c = 0; c < 4; ++c) {
+    EXPECT_NEAR(y1.at4(0, 3, 3, c), y2.at4(0, 4, 5, c), 1e-6f);
+    EXPECT_NEAR(y1.at4(0, 2, 2, c), y2.at4(0, 3, 4, c), 1e-6f);
+  }
+}
+
+TEST(Conv2DTest, GradCheck) {
+  Rng rng(4);
+  Conv2D conv(3, 5, 3, 1, rng);
+  Tensor x = Tensor::randn(Shape{2, 5, 5, 3}, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  const auto res = grad_check(conv, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 5e-2) << res.worst;
+}
+
+TEST(Conv2DTest, GradCheckStride2WithBias) {
+  Rng rng(5);
+  Conv2D conv(2, 4, 3, 2, rng, /*use_bias=*/true);
+  Tensor x = Tensor::randn(Shape{2, 6, 6, 2}, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  const auto res = grad_check(conv, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 5e-2) << res.worst;
+}
+
+TEST(Conv2DTest, GradientAccumulatesAcrossBackwardCalls) {
+  Rng rng(6);
+  Conv2D conv(1, 1, 1, 1, rng);
+  Tensor x = Tensor::full(Shape{1, 2, 2, 1}, 1.f);
+  Tensor g = Tensor::full(Shape{1, 2, 2, 1}, 1.f);
+  auto params = parameters_of(conv);
+  zero_grads(params);
+  conv.forward(x, true);
+  conv.backward(g);
+  const float once = params[0]->grad.at(0);
+  conv.forward(x, true);
+  conv.backward(g);
+  EXPECT_FLOAT_EQ(params[0]->grad.at(0), 2 * once);
+}
+
+TEST(DepthwiseConv2DTest, ChannelsStayIndependent) {
+  Rng rng(7);
+  DepthwiseConv2D dw(3, 3, 1, rng);
+  Tensor x(Shape{1, 5, 5, 3});
+  // Only channel 1 is nonzero -> only channel 1 of the output is nonzero.
+  for (Index h = 0; h < 5; ++h) {
+    for (Index w = 0; w < 5; ++w) x.at4(0, h, w, 1) = 1.f;
+  }
+  Tensor y = dw.forward(x, false);
+  for (Index h = 0; h < 5; ++h) {
+    for (Index w = 0; w < 5; ++w) {
+      EXPECT_EQ(y.at4(0, h, w, 0), 0.f);
+      EXPECT_EQ(y.at4(0, h, w, 2), 0.f);
+    }
+  }
+}
+
+TEST(DepthwiseConv2DTest, OutputShape) {
+  Rng rng(8);
+  DepthwiseConv2D dw(4, 5, 2, rng);
+  Tensor x = Tensor::randn(Shape{2, 9, 9, 4}, rng);
+  EXPECT_EQ(dw.forward(x, false).shape(), Shape({2, 5, 5, 4}));
+}
+
+TEST(DepthwiseConv2DTest, GradCheck) {
+  Rng rng(9);
+  DepthwiseConv2D dw(3, 3, 1, rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 4, 3}, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  const auto res = grad_check(dw, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 5e-2) << res.worst;
+}
+
+TEST(DepthwiseConv2DTest, GradCheckStride2) {
+  Rng rng(10);
+  DepthwiseConv2D dw(2, 3, 2, rng);
+  Tensor x = Tensor::randn(Shape{1, 6, 6, 2}, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  const auto res = grad_check(dw, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 5e-2) << res.worst;
+}
+
+TEST(ConvPrecisionTest, Bf16MatchesFp32WithinRoundingBudget) {
+  Rng rng(11);
+  Conv2D fp(3, 8, 3, 1, rng);
+  Rng rng2(11);
+  Conv2D bf(3, 8, 3, 1, rng2, /*use_bias=*/false,
+            tensor::MatmulPrecision::kBf16);
+  Tensor x = Tensor::randn(Shape{1, 6, 6, 3}, rng);
+  Tensor yf = fp.forward(x, false);
+  Tensor yb = bf.forward(x, false);
+  // Same weights (same init stream); outputs differ only by bf16 rounding.
+  double max_rel = 0;
+  for (Index i = 0; i < yf.numel(); ++i) {
+    const double denom = std::max(0.05, std::abs(static_cast<double>(yf.at(i))));
+    max_rel = std::max(max_rel, std::abs(yf.at(i) - yb.at(i)) / denom);
+  }
+  EXPECT_GT(max_rel, 0.0);   // rounding is actually happening
+  EXPECT_LT(max_rel, 0.15);  // but small (~2^-8 per multiplicand, 27 taps)
+}
+
+}  // namespace
+}  // namespace podnet::nn

@@ -1,0 +1,157 @@
+#include "tpu/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "effnet/config.h"
+
+namespace podnet::tpu {
+namespace {
+
+CollectiveParams params() {
+  CollectiveParams p;
+  p.link_bw = 70e9;
+  p.alpha = 1.5e-6;
+  return p;
+}
+
+TEST(RingCostTest, SingleNodeIsFree) {
+  EXPECT_EQ(ring_allreduce_seconds(1e9, 1, params()), 0.0);
+}
+
+TEST(RingCostTest, BandwidthTermApproaches2VOverBw) {
+  // For large p the ring moves ~2V bytes per node: t -> 2V/bw.
+  const double v = 100e6;
+  const auto p = params();
+  const double t = ring_allreduce_seconds(v, 1024, p);
+  const double asymptote = 2.0 * v / (2.0 * p.link_bw);  // bidirectional
+  EXPECT_NEAR(t, asymptote + 2 * 1023 * p.alpha, 0.01 * asymptote);
+}
+
+TEST(RingCostTest, MonotoneInBytes) {
+  const auto p = params();
+  double prev = 0;
+  for (double v : {1e6, 1e7, 1e8, 1e9}) {
+    const double t = ring_allreduce_seconds(v, 16, p);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TorusCostTest, ReducesLatencyVsLongRing) {
+  // A 32x32 torus all-reduce has O(px+py) latency instead of O(p): for
+  // small messages the torus wins decisively.
+  const auto p = params();
+  const double small = 1e5;
+  EXPECT_LT(torus2d_allreduce_seconds(small, 32, 32, p),
+            ring_allreduce_seconds(small, 1024, p));
+}
+
+TEST(TorusCostTest, DegenerateDimsFallBackToRing) {
+  const auto p = params();
+  EXPECT_EQ(torus2d_allreduce_seconds(1e8, 1, 16, p),
+            ring_allreduce_seconds(1e8, 16, p));
+  EXPECT_EQ(torus2d_allreduce_seconds(1e8, 16, 1, p),
+            ring_allreduce_seconds(1e8, 16, p));
+  EXPECT_EQ(torus2d_allreduce_seconds(1e8, 1, 1, p), 0.0);
+}
+
+TEST(TorusCostTest, NearlyFlatInSliceSize) {
+  // The paper's observation: step time (and AR time) stays roughly the
+  // same as cores scale with fixed per-core batch. The torus AR time for
+  // fixed bytes must grow sublinearly: going 8x8 -> 32x32 (16x more chips)
+  // costs < 1.6x more time.
+  const auto p = params();
+  const double v = 40e6;
+  const double t_small = torus2d_allreduce_seconds(v, 8, 8, p);
+  const double t_big = torus2d_allreduce_seconds(v, 32, 32, p);
+  EXPECT_LT(t_big, 1.6 * t_small);
+}
+
+TEST(GradAllReduceTest, IncludesIntraChipStage) {
+  const TpuTarget t = tpu_v3();
+  const PodSlice slice = make_slice(128);
+  const double bytes = 36.8e6;  // ~B2 gradients
+  const double total =
+      gradient_allreduce_seconds(bytes, slice, t, PodAllReduce::kTorus2d);
+  const double intra = 2.0 * bytes / t.hbm_bw_per_core;
+  EXPECT_GT(total, intra);
+}
+
+TEST(MxuEfficiencyTest, FullTilesAreFullyEfficient) {
+  EXPECT_DOUBLE_EQ(mxu_efficiency(128, 128, 128), 1.0);
+  EXPECT_DOUBLE_EQ(mxu_efficiency(512, 1280, 128), 1.0);
+}
+
+TEST(MxuEfficiencyTest, ThinGemmsWasteTheArray) {
+  EXPECT_NEAR(mxu_efficiency(27, 32, 128), (27.0 / 128) * (32.0 / 128), 1e-9);
+  EXPECT_DOUBLE_EQ(mxu_efficiency(0, 0, 128), 1.0);  // non-GEMM sentinel
+}
+
+TEST(LayerTimeTest, DepthwiseIsMemoryBound) {
+  // A depthwise layer from B2: tiny FLOPs, large activation traffic.
+  effnet::LayerCost dw;
+  dw.kind = effnet::LayerKind::kDepthwise;
+  dw.macs = 9.0 * 144 * 65 * 65;  // 3x3 dw over 65x65x144
+  dw.in_elems = 144.0 * 65 * 65;
+  dw.out_elems = dw.in_elems;
+  dw.params = 9.0 * 144;
+  const TpuTarget t = tpu_v3();
+  ComputeOptions opts;
+  const LayerTime lt = layer_step_seconds(dw, t, opts);
+  EXPECT_GT(lt.memory_bound_s, lt.flops_bound_s);
+}
+
+TEST(LayerTimeTest, XlaPaddingPenalizesSmallBatch) {
+  effnet::LayerCost conv;
+  conv.kind = effnet::LayerKind::kConv;
+  conv.macs = 1e8;
+  conv.in_elems = 1e5;
+  conv.out_elems = 1e5;
+  conv.gemm_k = 512;
+  conv.gemm_n = 512;
+  const TpuTarget t = tpu_v3();
+  ComputeOptions opts;
+  opts.per_core_batch = 2;  // padded to 8
+  const double padded = layer_step_seconds(conv, t, opts).seconds();
+  opts.xla_pad_batch_to_8 = false;
+  const double unpadded = layer_step_seconds(conv, t, opts).seconds();
+  EXPECT_NEAR(padded / unpadded, 4.0, 0.01);
+}
+
+TEST(LayerTimeTest, Bf16HalvesActivationTraffic) {
+  effnet::LayerCost conv;
+  conv.kind = effnet::LayerKind::kConv;
+  conv.macs = 1.0;  // negligible: force memory-bound
+  conv.in_elems = 1e7;
+  conv.out_elems = 1e7;
+  conv.gemm_k = 512;
+  conv.gemm_n = 512;
+  const TpuTarget t = tpu_v3();
+  ComputeOptions opts;
+  const double bf16 = layer_step_seconds(conv, t, opts).seconds();
+  opts.bf16_convs = false;
+  const double fp32 = layer_step_seconds(conv, t, opts).seconds();
+  EXPECT_NEAR(fp32 / bf16, 2.0, 0.05);
+}
+
+TEST(ModelComputeTest, B5CostsMoreThanB2) {
+  const TpuTarget t = tpu_v3();
+  ComputeOptions opts;
+  const double b2 =
+      model_compute_seconds(effnet::analyze(effnet::b(2)), t, opts);
+  const double b5 =
+      model_compute_seconds(effnet::analyze(effnet::b(5)), t, opts);
+  EXPECT_GT(b5, 3.0 * b2);
+}
+
+TEST(ModelEvalTest, CheaperThanTraining) {
+  const TpuTarget t = tpu_v3();
+  const auto cost = effnet::analyze(effnet::b(2));
+  ComputeOptions opts;
+  const double train = model_compute_seconds(cost, t, opts);
+  const double eval = model_eval_seconds(cost, t, opts.per_core_batch, true);
+  EXPECT_LT(eval, 0.5 * train);
+}
+
+}  // namespace
+}  // namespace podnet::tpu

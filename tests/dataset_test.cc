@@ -1,0 +1,146 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace podnet::data {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig c;
+  c.num_classes = 8;
+  c.train_size = 256;
+  c.eval_size = 64;
+  c.resolution = 8;
+  return c;
+}
+
+TEST(DatasetTest, RenderIsDeterministic) {
+  SyntheticImageNet ds(small_config());
+  std::vector<float> a(static_cast<std::size_t>(ds.sample_elems()));
+  std::vector<float> b(a.size());
+  ds.render(Split::kTrain, 17, 3, a);
+  ds.render(Split::kTrain, 17, 3, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DatasetTest, VariantChangesTrainSample) {
+  SyntheticImageNet ds(small_config());
+  std::vector<float> a(static_cast<std::size_t>(ds.sample_elems()));
+  std::vector<float> b(a.size());
+  ds.render(Split::kTrain, 17, 0, a);
+  ds.render(Split::kTrain, 17, 1, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(DatasetTest, EvalIgnoresVariant) {
+  SyntheticImageNet ds(small_config());
+  std::vector<float> a(static_cast<std::size_t>(ds.sample_elems()));
+  std::vector<float> b(a.size());
+  ds.render(Split::kEval, 5, 0, a);
+  ds.render(Split::kEval, 5, 99, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DatasetTest, LabelsBalanced) {
+  SyntheticImageNet ds(small_config());
+  std::map<std::int64_t, int> counts;
+  for (Index i = 0; i < ds.size(Split::kTrain); ++i) {
+    counts[ds.label_of(Split::kTrain, i)]++;
+  }
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [label, n] : counts) EXPECT_EQ(n, 256 / 8) << label;
+}
+
+TEST(DatasetTest, SameSeedSameData) {
+  SyntheticImageNet a(small_config());
+  SyntheticImageNet b(small_config());
+  std::vector<float> va(static_cast<std::size_t>(a.sample_elems()));
+  std::vector<float> vb(va.size());
+  a.render(Split::kTrain, 3, 1, va);
+  b.render(Split::kTrain, 3, 1, vb);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(DatasetTest, DifferentSeedDifferentTextures) {
+  DatasetConfig c1 = small_config();
+  DatasetConfig c2 = small_config();
+  c2.seed = c1.seed + 1;
+  SyntheticImageNet a(c1), b(c2);
+  std::vector<float> va(static_cast<std::size_t>(a.sample_elems()));
+  std::vector<float> vb(va.size());
+  a.render(Split::kEval, 0, 0, va);
+  b.render(Split::kEval, 0, 0, vb);
+  EXPECT_NE(va, vb);
+}
+
+TEST(DatasetTest, ClassesAreSeparableWithoutNoise) {
+  // With noise off, two samples of a class correlate far more with each
+  // other than samples of different classes (texture identity).
+  DatasetConfig c = small_config();
+  c.noise = 0.f;
+  c.jitter = 0;
+  c.flip = false;
+  SyntheticImageNet ds(c);
+  const std::size_t n = static_cast<std::size_t>(ds.sample_elems());
+  // Samples 0 and 8 share class 0; sample 1 is class 1.
+  std::vector<float> a(n), b(n), other(n);
+  ds.render(Split::kTrain, 0, 0, a);
+  ds.render(Split::kTrain, 8, 0, b);
+  ds.render(Split::kTrain, 1, 0, other);
+  EXPECT_EQ(ds.label_of(Split::kTrain, 0), ds.label_of(Split::kTrain, 8));
+  EXPECT_NE(ds.label_of(Split::kTrain, 0), ds.label_of(Split::kTrain, 1));
+  auto corr = [n](const std::vector<float>& x, const std::vector<float>& y) {
+    double xy = 0, xx = 0, yy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      xy += static_cast<double>(x[i]) * y[i];
+      xx += static_cast<double>(x[i]) * x[i];
+      yy += static_cast<double>(y[i]) * y[i];
+    }
+    return xy / std::sqrt(xx * yy + 1e-12);
+  };
+  EXPECT_GT(corr(a, b), 0.95);            // same texture (no jitter/noise)
+  EXPECT_LT(std::abs(corr(a, other)), 0.8);  // different texture
+}
+
+TEST(DatasetTest, NoiseScalesVariance) {
+  DatasetConfig quiet = small_config();
+  quiet.noise = 0.f;
+  DatasetConfig loud = small_config();
+  loud.noise = 1.0f;
+  SyntheticImageNet dq(quiet), dl(loud);
+  const std::size_t n = static_cast<std::size_t>(dq.sample_elems());
+  std::vector<float> a(n), b(n);
+  dq.render(Split::kTrain, 0, 0, a);
+  dl.render(Split::kTrain, 0, 0, b);
+  // The loud sample differs from the clean one by roughly unit-variance
+  // noise.
+  double diff2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = b[i] - a[i];
+    diff2 += d * d;
+  }
+  EXPECT_NEAR(diff2 / static_cast<double>(n), 1.0, 0.3);
+}
+
+TEST(DatasetTest, ImagenetProportions) {
+  const DatasetConfig c = imagenet_proportions();
+  EXPECT_EQ(c.num_classes, 1000);
+  EXPECT_EQ(c.train_size, 1281167);
+  EXPECT_EQ(c.eval_size, 50000);
+}
+
+TEST(DatasetTest, ValuesAreFinite) {
+  SyntheticImageNet ds(small_config());
+  std::vector<float> v(static_cast<std::size_t>(ds.sample_elems()));
+  for (Index i = 0; i < 32; ++i) {
+    ds.render(Split::kTrain, i, static_cast<std::uint64_t>(i), v);
+    for (float x : v) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+}  // namespace
+}  // namespace podnet::data

@@ -1,0 +1,133 @@
+#include "effnet/config.h"
+
+#include <gtest/gtest.h>
+
+namespace podnet::effnet {
+namespace {
+
+TEST(RoundFiltersTest, IdentityAtWidthOne) {
+  EXPECT_EQ(round_filters(32, 1.0f, 8), 32);
+  EXPECT_EQ(round_filters(17, 1.0f, 8), 17);  // no rounding without scaling
+}
+
+TEST(RoundFiltersTest, MultipleOfDivisor) {
+  for (Index f : {16, 24, 40, 80, 112, 192, 320}) {
+    for (float w : {1.1f, 1.2f, 1.4f, 1.6f, 1.8f, 2.0f}) {
+      EXPECT_EQ(round_filters(f, w, 8) % 8, 0) << f << " x " << w;
+    }
+  }
+}
+
+TEST(RoundFiltersTest, NeverBelow90Percent) {
+  for (Index f : {16, 24, 40, 80, 112, 192, 320}) {
+    for (float w : {1.1f, 1.4f, 2.0f}) {
+      const double scaled = static_cast<double>(f) * w;
+      EXPECT_GE(static_cast<double>(round_filters(f, w, 8)), 0.9 * scaled);
+    }
+  }
+}
+
+TEST(RoundFiltersTest, KnownB1Values) {
+  // B0 -> B2 width 1.1: 32 -> 32 (35.2 rounds to 32, which is >= 0.9*35.2).
+  EXPECT_EQ(round_filters(32, 1.1f, 8), 32);
+  // 320 * 1.1 = 352 exactly.
+  EXPECT_EQ(round_filters(320, 1.1f, 8), 352);
+  // 1280 * 1.1 = 1408.
+  EXPECT_EQ(round_filters(1280, 1.1f, 8), 1408);
+}
+
+TEST(RoundRepeatsTest, CeilBehaviour) {
+  EXPECT_EQ(round_repeats(1, 1.0f), 1);
+  EXPECT_EQ(round_repeats(2, 1.1f), 3);   // ceil(2.2)
+  EXPECT_EQ(round_repeats(3, 1.8f), 6);   // ceil(5.4)
+  EXPECT_EQ(round_repeats(4, 2.2f), 9);   // ceil(8.8)
+}
+
+TEST(ModelSpecTest, B0HasSixteenBlocks) {
+  const auto blocks = expand_blocks(b(0));
+  EXPECT_EQ(blocks.size(), 16u);  // 1+2+2+3+3+4+1
+}
+
+TEST(ModelSpecTest, B2ScalingMatchesPaper) {
+  const ModelSpec spec = b(2);
+  EXPECT_FLOAT_EQ(spec.width_coef, 1.1f);
+  EXPECT_FLOAT_EQ(spec.depth_coef, 1.2f);
+  EXPECT_EQ(spec.resolution, 260);
+  EXPECT_FLOAT_EQ(spec.dropout, 0.3f);
+}
+
+TEST(ModelSpecTest, B5ScalingMatchesPaper) {
+  const ModelSpec spec = b(5);
+  EXPECT_FLOAT_EQ(spec.width_coef, 1.6f);
+  EXPECT_FLOAT_EQ(spec.depth_coef, 2.2f);
+  EXPECT_EQ(spec.resolution, 456);
+}
+
+TEST(ModelSpecTest, DepthScalingGrowsBlockCount) {
+  std::size_t prev = 0;
+  for (int v = 0; v <= 7; ++v) {
+    const auto blocks = expand_blocks(b(v));
+    EXPECT_GE(blocks.size(), prev) << "B" << v;
+    prev = blocks.size();
+  }
+  // Depth 3.1 over B0's [1,2,2,3,3,4,1]: ceil -> [4,7,7,10,10,13,4] = 55,
+  // matching the reference implementation's 55 blocks for B7.
+  EXPECT_EQ(expand_blocks(b(7)).size(), 55u);
+}
+
+TEST(ExpandBlocksTest, FirstRepeatCarriesStrideAndFilterChange) {
+  const auto blocks = expand_blocks(b(0));
+  // Stage 2 of B0: 16 -> 24, stride 2, repeats 2.
+  EXPECT_EQ(blocks[1].input_filters, 16);
+  EXPECT_EQ(blocks[1].output_filters, 24);
+  EXPECT_EQ(blocks[1].stride, 2);
+  EXPECT_EQ(blocks[2].input_filters, 24);
+  EXPECT_EQ(blocks[2].output_filters, 24);
+  EXPECT_EQ(blocks[2].stride, 1);
+}
+
+TEST(ExpandBlocksTest, SurvivalProbDecaysLinearly) {
+  const auto blocks = expand_blocks(b(0));
+  EXPECT_FLOAT_EQ(blocks.front().survival_prob, 1.0f);
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_LT(blocks[i].survival_prob, blocks[i - 1].survival_prob);
+  }
+  // Last block drop probability approaches (but stays below) drop_connect.
+  EXPECT_GT(blocks.back().survival_prob, 1.0f - 0.2f - 1e-6f);
+}
+
+TEST(ExpandBlocksTest, BnSettingsPropagated) {
+  ModelSpec spec = pico();
+  spec.bn_momentum = 0.77f;
+  for (const auto& blk : expand_blocks(spec)) {
+    EXPECT_FLOAT_EQ(blk.bn_momentum, 0.77f);
+  }
+}
+
+TEST(ByNameTest, LooksUpFamilyAndResearchConfigs) {
+  EXPECT_EQ(by_name("b0").name, "efficientnet-b0");
+  EXPECT_EQ(by_name("b7").name, "efficientnet-b7");
+  EXPECT_EQ(by_name("pico").name, "efficientnet-pico");
+  EXPECT_EQ(by_name("nano").name, "efficientnet-nano");
+  EXPECT_THROW(by_name("b9"), std::invalid_argument);
+  EXPECT_THROW(by_name("resnet"), std::invalid_argument);
+}
+
+class FamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyTest, AllBlocksWellFormed) {
+  const auto blocks = expand_blocks(b(GetParam()));
+  for (const auto& blk : blocks) {
+    EXPECT_GT(blk.input_filters, 0);
+    EXPECT_GT(blk.output_filters, 0);
+    EXPECT_TRUE(blk.stride == 1 || blk.stride == 2);
+    EXPECT_TRUE(blk.kernel == 3 || blk.kernel == 5);
+    EXPECT_GE(blk.survival_prob, 0.5f);
+    EXPECT_LE(blk.survival_prob, 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(B0toB7, FamilyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace podnet::effnet

@@ -1,0 +1,107 @@
+// WeightEma and global-norm gradient clipping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optim/clip.h"
+#include "optim/ema.h"
+
+namespace podnet::optim {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(EmaTest, ShadowStartsAtInit) {
+  Param p("w", Tensor::full(Shape{3}, 2.f));
+  std::vector<Param*> params = {&p};
+  WeightEma ema(params, 0.9f, /*dynamic=*/false);
+  ema.swap(params);
+  EXPECT_FLOAT_EQ(p.value.at(0), 2.f);  // shadow == init
+}
+
+TEST(EmaTest, UpdateMovesTowardLiveWeights) {
+  Param p("w", Tensor::full(Shape{2}, 0.f));
+  std::vector<Param*> params = {&p};
+  WeightEma ema(params, 0.5f, /*dynamic=*/false);
+  p.value.fill(10.f);
+  ema.update(params);  // shadow = 0.5*0 + 0.5*10 = 5
+  ema.swap(params);
+  EXPECT_FLOAT_EQ(p.value.at(0), 5.f);
+  ema.swap(params);
+  EXPECT_FLOAT_EQ(p.value.at(0), 10.f);  // swap is involutive
+}
+
+TEST(EmaTest, ConvergesToConstantWeights) {
+  Param p("w", Tensor::full(Shape{1}, 0.f));
+  std::vector<Param*> params = {&p};
+  WeightEma ema(params, 0.9f, /*dynamic=*/false);
+  p.value.fill(1.f);
+  for (int i = 0; i < 200; ++i) ema.update(params);
+  ema.swap(params);
+  EXPECT_NEAR(p.value.at(0), 1.f, 1e-6f);
+}
+
+TEST(EmaTest, DynamicDecayRampsIn) {
+  Param p("w", Tensor::full(Shape{1}, 0.f));
+  std::vector<Param*> params = {&p};
+  WeightEma ema(params, 0.9999f, /*dynamic=*/true);
+  // Early effective decay is small: (1+0)/(10+0) = 0.1.
+  EXPECT_NEAR(ema.effective_decay(), 0.1f, 1e-6f);
+  p.value.fill(1.f);
+  ema.update(params);
+  ema.swap(params);
+  EXPECT_NEAR(p.value.at(0), 0.9f, 1e-5f);  // 0.1*0 + 0.9*1
+}
+
+TEST(EmaTest, SmoothsNoisyTrajectory) {
+  // EMA of weights oscillating around 1 lands closer to 1 than the last
+  // iterate does.
+  Param p("w", Tensor::full(Shape{1}, 1.f));
+  std::vector<Param*> params = {&p};
+  WeightEma ema(params, 0.95f, /*dynamic=*/false);
+  tensor::Rng rng(3);
+  float last = 0;
+  for (int i = 0; i < 400; ++i) {
+    last = 1.f + rng.normal(0.f, 0.5f);
+    p.value.at(0) = last;
+    ema.update(params);
+  }
+  ema.swap(params);
+  EXPECT_LT(std::abs(p.value.at(0) - 1.f), 0.3f);
+}
+
+TEST(ClipTest, NoopBelowThreshold) {
+  Param p("w", Tensor(Shape{2}));
+  p.grad = Tensor::from_vector(Shape{2}, {0.3f, 0.4f});  // norm 0.5
+  std::vector<Param*> params = {&p};
+  const double norm = clip_grads_by_global_norm(params, 1.f);
+  EXPECT_NEAR(norm, 0.5, 1e-6);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.3f);
+}
+
+TEST(ClipTest, RescalesAboveThreshold) {
+  Param a("a", Tensor(Shape{1}));
+  Param b("b", Tensor(Shape{1}));
+  a.grad.at(0) = 3.f;
+  b.grad.at(0) = 4.f;  // joint norm 5
+  std::vector<Param*> params = {&a, &b};
+  const double norm = clip_grads_by_global_norm(params, 1.f);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(a.grad.at(0), 0.6f, 1e-6f);
+  EXPECT_NEAR(b.grad.at(0), 0.8f, 1e-6f);
+  // Post-clip norm equals the threshold.
+  EXPECT_NEAR(std::hypot(a.grad.at(0), b.grad.at(0)), 1.0, 1e-6);
+}
+
+TEST(ClipTest, DisabledWhenMaxNormNonPositive) {
+  Param p("w", Tensor(Shape{1}));
+  p.grad.at(0) = 100.f;
+  std::vector<Param*> params = {&p};
+  clip_grads_by_global_norm(params, 0.f);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 100.f);
+}
+
+}  // namespace
+}  // namespace podnet::optim

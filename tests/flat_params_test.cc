@@ -1,0 +1,71 @@
+#include "core/flat_params.h"
+
+#include <gtest/gtest.h>
+
+namespace podnet::core {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(FlatBufferTest, SizeIsTotalParamCount) {
+  Param a("a", Tensor(Shape{2, 3}));
+  Param b("b", Tensor(Shape{4}));
+  std::vector<Param*> params = {&a, &b};
+  FlatBuffer buf(params);
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(FlatBufferTest, PackUnpackGradsRoundTrip) {
+  Param a("a", Tensor(Shape{3}));
+  Param b("b", Tensor(Shape{2}));
+  a.grad = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  b.grad = Tensor::from_vector(Shape{2}, {4, 5});
+  std::vector<Param*> params = {&a, &b};
+  FlatBuffer buf(params);
+  buf.pack_grads(params);
+  EXPECT_EQ(buf.span()[0], 1.f);
+  EXPECT_EQ(buf.span()[4], 5.f);
+  // Unpack with scaling.
+  buf.unpack_grads(params, 0.5f);
+  EXPECT_EQ(a.grad.at(0), 0.5f);
+  EXPECT_EQ(b.grad.at(1), 2.5f);
+}
+
+TEST(FlatBufferTest, PackValues) {
+  Param a("a", Tensor::full(Shape{2}, 7.f));
+  std::vector<Param*> params = {&a};
+  FlatBuffer buf(params);
+  buf.pack_values(params);
+  EXPECT_EQ(buf.span()[0], 7.f);
+  EXPECT_EQ(buf.span()[1], 7.f);
+}
+
+TEST(FlatBufferTest, TensorPackUnpack) {
+  Tensor t1 = Tensor::from_vector(Shape{2}, {2.f, 4.f});
+  Tensor t2 = Tensor::from_vector(Shape{1}, {6.f});
+  std::vector<nn::Tensor*> ts = {&t1, &t2};
+  auto flat = FlatBuffer::pack_tensors(ts);
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[2], 6.f);
+  for (auto& v : flat) v *= 3.f;
+  FlatBuffer::unpack_tensors(flat, 1.f / 3.f, ts);
+  EXPECT_EQ(t1.at(0), 2.f);
+  EXPECT_EQ(t2.at(0), 6.f);
+}
+
+TEST(FlatBufferTest, OrderIsCanonical) {
+  Param a("a", Tensor(Shape{1}));
+  Param b("b", Tensor(Shape{1}));
+  a.grad.fill(1.f);
+  b.grad.fill(2.f);
+  std::vector<Param*> params = {&a, &b};
+  FlatBuffer buf(params);
+  buf.pack_grads(params);
+  EXPECT_EQ(buf.span()[0], 1.f);
+  EXPECT_EQ(buf.span()[1], 2.f);
+}
+
+}  // namespace
+}  // namespace podnet::core

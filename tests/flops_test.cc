@@ -1,0 +1,105 @@
+#include "effnet/flops.h"
+
+#include <gtest/gtest.h>
+
+#include "effnet/model.h"
+#include "nn/layer.h"
+
+namespace podnet::effnet {
+namespace {
+
+TEST(FlopsTest, B0MatchesPublishedNumbers) {
+  // Tan & Le report ~0.39 GFLOPs and 5.3M params for B0 at 224px
+  // (FLOPs = 2 * MACs).
+  const ModelCost cost = analyze(b(0));
+  EXPECT_GT(cost.forward_flops(), 0.70e9);
+  EXPECT_LT(cost.forward_flops(), 0.90e9);  // 2*MACs convention: ~0.8G
+  EXPECT_GT(cost.total_params(), 4.8e6);
+  EXPECT_LT(cost.total_params(), 5.7e6);
+}
+
+TEST(FlopsTest, B2AndB5ScaleAsInPaper) {
+  const ModelCost b2 = analyze(b(2));
+  const ModelCost b5 = analyze(b(5));
+  // Published (multiply-add) counts: B2 ~1.0G, B5 ~9.9G -> ratio ~10.
+  const double ratio = b5.total_macs() / b2.total_macs();
+  EXPECT_GT(ratio, 7.0);
+  EXPECT_LT(ratio, 13.0);
+  // Params: B2 ~9.2M, B5 ~30M.
+  EXPECT_GT(b2.total_params(), 8.0e6);
+  EXPECT_LT(b2.total_params(), 10.5e6);
+  EXPECT_GT(b5.total_params(), 27.0e6);
+  EXPECT_LT(b5.total_params(), 33.0e6);
+}
+
+TEST(FlopsTest, ParamCountMatchesBuiltModel) {
+  // The analytic model and the real trainable model must agree exactly.
+  for (const char* name : {"pico", "nano", "b0"}) {
+    const ModelSpec spec = by_name(name);
+    const ModelCost cost = analyze(spec, 37);
+    ModelOptions opts;
+    opts.num_classes = 37;
+    EfficientNet model(spec, opts);
+    EXPECT_EQ(static_cast<long long>(cost.total_params()),
+              static_cast<long long>(nn::parameter_count(model)))
+        << name;
+  }
+}
+
+TEST(FlopsTest, ResolutionScalesQuadratically) {
+  const ModelCost lo = analyze(pico(), 16, 16);
+  const ModelCost hi = analyze(pico(), 16, 32);
+  const double ratio = hi.total_macs() / lo.total_macs();
+  EXPECT_GT(ratio, 3.3);
+  EXPECT_LT(ratio, 4.7);
+  // Params don't depend on resolution.
+  EXPECT_EQ(lo.total_params(), hi.total_params());
+}
+
+TEST(FlopsTest, GradientBytesAreFourPerParam) {
+  const ModelCost cost = analyze(b(2));
+  EXPECT_DOUBLE_EQ(cost.gradient_bytes(), 4.0 * cost.total_params());
+}
+
+TEST(FlopsTest, TrainingFlopsThreeTimesForward) {
+  const ModelCost cost = analyze(b(0));
+  EXPECT_DOUBLE_EQ(cost.training_flops(), 3.0 * cost.forward_flops());
+}
+
+TEST(FlopsTest, LayerChainTracksElements) {
+  const ModelCost cost = analyze(pico(), 16);
+  ASSERT_FALSE(cost.layers.empty());
+  // in_elems of layer i+1 == out_elems of layer i (sequential network).
+  for (std::size_t i = 1; i < cost.layers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cost.layers[i].in_elems, cost.layers[i - 1].out_elems)
+        << cost.layers[i].name;
+  }
+  // First layer consumes the RGB input.
+  EXPECT_DOUBLE_EQ(cost.layers[0].in_elems, 16.0 * 16.0 * 3.0);
+}
+
+TEST(FlopsTest, DepthwiseLayersMarked) {
+  const ModelCost cost = analyze(b(0));
+  int dw = 0, conv = 0;
+  for (const auto& l : cost.layers) {
+    if (l.kind == LayerKind::kDepthwise) ++dw;
+    if (l.kind == LayerKind::kConv) ++conv;
+  }
+  EXPECT_EQ(dw, 16);      // one per block
+  EXPECT_GT(conv, 2 * 16);  // expand+project per block (mostly) + stem/head
+}
+
+class FamilyMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyMonotoneTest, CostsGrowWithVariant) {
+  const int v = GetParam();
+  const ModelCost lo = analyze(b(v));
+  const ModelCost hi = analyze(b(v + 1));
+  EXPECT_GT(hi.total_macs(), lo.total_macs());
+  EXPECT_GT(hi.total_params(), lo.total_params());
+}
+
+INSTANTIATE_TEST_SUITE_P(B0toB6, FamilyMonotoneTest, ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace podnet::effnet

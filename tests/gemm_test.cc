@@ -1,0 +1,145 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/bf16.h"
+#include "tensor/rng.h"
+
+namespace podnet::tensor {
+namespace {
+
+// Straightforward triple loop, the reference for all GEMM tests.
+void naive_gemm(bool ta, bool tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, float alpha, const std::vector<float>& a,
+                const std::vector<float>& b, float beta,
+                std::vector<float>& c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[static_cast<std::size_t>(p * m + i)]
+                            : a[static_cast<std::size_t>(i * k + p)];
+        const float bv = tb ? b[static_cast<std::size_t>(j * k + p)]
+                            : b[static_cast<std::size_t>(p * n + j)];
+        acc += static_cast<double>(av) * bv;
+      }
+      float& cv = c[static_cast<std::size_t>(i * n + j)];
+      cv = alpha * static_cast<float>(acc) + beta * cv;
+    }
+  }
+}
+
+struct GemmCase {
+  std::int64_t m, n, k;
+  bool ta, tb;
+};
+
+class GemmVsNaiveTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmVsNaiveTest, MatchesReference) {
+  const GemmCase& tc = GetParam();
+  Rng rng(tc.m * 1000 + tc.n * 100 + tc.k + (tc.ta ? 7 : 0) + (tc.tb ? 3 : 0));
+  std::vector<float> a(static_cast<std::size_t>(tc.m * tc.k));
+  std::vector<float> b(static_cast<std::size_t>(tc.k * tc.n));
+  std::vector<float> c(static_cast<std::size_t>(tc.m * tc.n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto& v : c) v = rng.normal();
+  std::vector<float> expected = c;
+
+  gemm_contiguous(tc.ta, tc.tb, tc.m, tc.n, tc.k, 1.5f, a.data(), b.data(),
+                  0.5f, c.data());
+  naive_gemm(tc.ta, tc.tb, tc.m, tc.n, tc.k, 1.5f, a, b, 0.5f, expected);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTransposes, GemmVsNaiveTest,
+    ::testing::Values(GemmCase{1, 1, 1, false, false},
+                      GemmCase{3, 5, 7, false, false},
+                      GemmCase{3, 5, 7, true, false},
+                      GemmCase{3, 5, 7, false, true},
+                      GemmCase{3, 5, 7, true, true},
+                      GemmCase{16, 16, 16, false, false},
+                      GemmCase{1, 64, 300, false, false},
+                      GemmCase{64, 1, 300, true, true},
+                      GemmCase{33, 65, 129, false, false},
+                      GemmCase{128, 96, 272, false, false}));
+
+TEST(GemmTest, BetaZeroOverwritesGarbage) {
+  std::vector<float> a = {1, 2};
+  std::vector<float> b = {3, 4};
+  std::vector<float> c = {1e30f};  // must be ignored with beta = 0
+  gemm_contiguous(false, false, 1, 1, 2, 1.f, a.data(), b.data(), 0.f,
+                  c.data());
+  EXPECT_FLOAT_EQ(c[0], 11.f);
+}
+
+TEST(GemmTest, KZeroScalesByBeta) {
+  std::vector<float> c = {2.f, 4.f};
+  gemm_contiguous(false, false, 1, 2, 0, 1.f, nullptr, nullptr, 0.5f,
+                  c.data());
+  EXPECT_FLOAT_EQ(c[0], 1.f);
+  EXPECT_FLOAT_EQ(c[1], 2.f);
+}
+
+TEST(GemmTest, AlphaZeroSkipsProduct) {
+  std::vector<float> a = {1};
+  std::vector<float> b = {1};
+  std::vector<float> c = {3.f};
+  gemm_contiguous(false, false, 1, 1, 1, 0.f, a.data(), b.data(), 1.f,
+                  c.data());
+  EXPECT_FLOAT_EQ(c[0], 3.f);
+}
+
+TEST(GemmTest, Bf16RoundsMultiplicands) {
+  // A value that bf16 cannot represent gets rounded before multiplying.
+  const float odd = 1.0f + 1.0f / 512.0f;  // rounds to 1.0 in bf16
+  std::vector<float> a = {odd};
+  std::vector<float> b = {256.f};
+  std::vector<float> c = {0.f};
+  gemm_contiguous(false, false, 1, 1, 1, 1.f, a.data(), b.data(), 0.f,
+                  c.data(), MatmulPrecision::kBf16);
+  EXPECT_FLOAT_EQ(c[0], 256.f);  // not 256.5
+  gemm_contiguous(false, false, 1, 1, 1, 1.f, a.data(), b.data(), 0.f,
+                  c.data(), MatmulPrecision::kFp32);
+  EXPECT_FLOAT_EQ(c[0], 256.5f);
+}
+
+TEST(GemmTest, Bf16AccumulatesInFp32) {
+  // 256 summands of 1 + 2^-7 (exactly bf16-representable): the fp32
+  // accumulator must keep every increment and reach 258 exactly; a bf16
+  // accumulator would lose the +2^-7 increments once the sum grows.
+  const std::int64_t k = 256;
+  std::vector<float> a(static_cast<std::size_t>(k), 1.f + 1.f / 128.f);
+  std::vector<float> b(static_cast<std::size_t>(k), 1.f);
+  std::vector<float> c = {0.f};
+  gemm_contiguous(false, false, 1, 1, k, 1.f, a.data(), b.data(), 0.f,
+                  c.data(), MatmulPrecision::kBf16);
+  EXPECT_NEAR(c[0], 258.f, 1e-2f);
+}
+
+TEST(GemmTest, LargeParallelPathMatchesReference) {
+  // Big enough to trigger the thread-pool path.
+  const std::int64_t m = 96, n = 96, k = 256;
+  Rng rng(77);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.f);
+  std::vector<float> expected(static_cast<std::size_t>(m * n), 0.f);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  gemm_contiguous(false, false, m, n, k, 1.f, a.data(), b.data(), 0.f,
+                  c.data());
+  naive_gemm(false, false, m, n, k, 1.f, a, b, 0.f, expected);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], expected[i], 2e-3f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace podnet::tensor

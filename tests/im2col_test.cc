@@ -1,0 +1,121 @@
+#include "tensor/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace podnet::tensor {
+namespace {
+
+TEST(ConvGeometryTest, SamePaddingStride1) {
+  const auto g = ConvGeometry::same(1, 8, 8, 3, 3, 1);
+  EXPECT_EQ(g.out_h, 8);
+  EXPECT_EQ(g.out_w, 8);
+  EXPECT_EQ(g.pad_top, 1);
+  EXPECT_EQ(g.pad_left, 1);
+}
+
+TEST(ConvGeometryTest, SamePaddingStride2Even) {
+  // TF SAME: in=8, k=3, s=2 -> out=4, pad_along = (4-1)*2+3-8 = 1,
+  // pad_top = 0 (surplus goes to the bottom).
+  const auto g = ConvGeometry::same(1, 8, 8, 3, 3, 2);
+  EXPECT_EQ(g.out_h, 4);
+  EXPECT_EQ(g.pad_top, 0);
+}
+
+TEST(ConvGeometryTest, SamePaddingStride2Odd) {
+  const auto g = ConvGeometry::same(1, 7, 7, 3, 3, 2);
+  EXPECT_EQ(g.out_h, 4);
+  EXPECT_EQ(g.pad_top, 1);  // pad_along = 3*2+3-7 = 2 -> top 1
+}
+
+TEST(ConvGeometryTest, KernelOne) {
+  const auto g = ConvGeometry::same(2, 5, 5, 7, 1, 1);
+  EXPECT_EQ(g.out_h, 5);
+  EXPECT_EQ(g.pad_top, 0);
+  EXPECT_EQ(g.col_cols(), 7);
+  EXPECT_EQ(g.col_rows(), 2 * 25);
+}
+
+TEST(Im2colTest, IdentityForOneByOneKernel) {
+  // With k=1, s=1, im2col is the identity layout.
+  const auto g = ConvGeometry::same(2, 3, 3, 4, 1, 1);
+  std::vector<float> in(static_cast<std::size_t>(2 * 3 * 3 * 4));
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<float>(i);
+  std::vector<float> col(in.size());
+  im2col(g, in.data(), col.data());
+  EXPECT_EQ(col, in);
+}
+
+TEST(Im2colTest, CenterTapStride1) {
+  // One 3x3 patch of a 3x3 single-channel image: row 4 (center tap of the
+  // middle output) must equal the original image.
+  const auto g = ConvGeometry::same(1, 3, 3, 1, 3, 1);
+  std::vector<float> in = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(g, in.data(), col.data());
+  // Center output (oh=1, ow=1) sees the whole image.
+  const float* row = col.data() + (1 * 3 + 1) * 9;
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(row[i], in[static_cast<std::size_t>(i)]);
+  // Corner output (0,0) has zero padding in its first row/col taps.
+  const float* corner = col.data();
+  EXPECT_EQ(corner[0], 0.f);  // (-1,-1) tap
+  EXPECT_EQ(corner[4], 1.f);  // (0,0) tap at kernel center
+}
+
+// Adjoint property: <col2im(C), X>?? No — col2im is the adjoint of im2col,
+// so <im2col(X), C> == <X, col2im(C)> for all X, C. This single identity
+// pins down every index computation in both kernels.
+class Im2colAdjointTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Im2colAdjointTest, AdjointIdentityHolds) {
+  const auto [hw, c, k, s] = GetParam();
+  const auto g = ConvGeometry::same(2, hw, hw, c, k, s);
+  Rng rng(hw * 100 + c * 10 + k + s);
+  const std::size_t in_size = static_cast<std::size_t>(2 * hw * hw * c);
+  const std::size_t col_size =
+      static_cast<std::size_t>(g.col_rows() * g.col_cols());
+  std::vector<float> x(in_size), cot(col_size);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : cot) v = rng.normal();
+
+  std::vector<float> col(col_size);
+  im2col(g, x.data(), col.data());
+  double lhs = 0;
+  for (std::size_t i = 0; i < col_size; ++i) {
+    lhs += static_cast<double>(col[i]) * cot[i];
+  }
+
+  std::vector<float> back(in_size, 0.f);
+  col2im(g, cot.data(), back.data());
+  double rhs = 0;
+  for (std::size_t i = 0; i < in_size; ++i) {
+    rhs += static_cast<double>(back[i]) * x[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 + 1e-5 * std::abs(lhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, Im2colAdjointTest,
+    ::testing::Combine(::testing::Values(4, 5, 8),   // spatial
+                       ::testing::Values(1, 3),      // channels
+                       ::testing::Values(1, 3, 5),   // kernel
+                       ::testing::Values(1, 2)));    // stride
+
+TEST(Col2imTest, AccumulatesOverlaps) {
+  // All-ones cotangent: each input pixel receives one contribution per
+  // kernel tap that touches it; for 3x3/s1 interior pixels that is 9.
+  const auto g = ConvGeometry::same(1, 5, 5, 1, 3, 1);
+  std::vector<float> cot(static_cast<std::size_t>(g.col_rows() * g.col_cols()),
+                         1.f);
+  std::vector<float> back(25, 0.f);
+  col2im(g, cot.data(), back.data());
+  EXPECT_EQ(back[12], 9.f);  // center
+  EXPECT_EQ(back[0], 4.f);   // corner
+}
+
+}  // namespace
+}  // namespace podnet::tensor

@@ -1,0 +1,98 @@
+#include "optim/lamb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optim/optimizer.h"
+
+namespace podnet::optim {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LambTest, ConvergesOnQuadratic) {
+  Param p("w", Tensor::full(Shape{4, 3}, 5.f));
+  std::vector<Param*> params = {&p};
+  Lamb opt(0.9f, 0.999f, 1e-6f, 0.f);
+  for (int s = 0; s < 400; ++s) {
+    for (tensor::Index i = 0; i < p.value.numel(); ++i) {
+      p.grad.at(i) = p.value.at(i) - 1.f;
+    }
+    const float frac = 1.f - static_cast<float>(s) / 400.f;
+    opt.step(params, 0.5f * frac);
+  }
+  for (tensor::Index i = 0; i < p.value.numel(); ++i) {
+    EXPECT_NEAR(p.value.at(i), 1.f, 0.2f);
+  }
+}
+
+TEST(LambTest, TrustRatioIsWNormOverUNorm) {
+  Param p("w", Tensor::full(Shape{4}, 3.f));  // ||w|| = 6
+  p.grad.fill(1.f);
+  std::vector<Param*> params = {&p};
+  Lamb opt(0.0f, 0.0f, 0.f, 0.f);  // betas 0: update = g / |g| elementwise
+  opt.step(params, 0.1f);
+  // update u = g/sqrt(g^2) = 1 per element -> ||u|| = 2; ratio = 6/2 = 3.
+  ASSERT_EQ(opt.last_trust_ratios().size(), 1u);
+  EXPECT_NEAR(opt.last_trust_ratios()[0], 3.f, 1e-5f);
+  // step = lr * ratio * u = 0.1 * 3 * 1.
+  EXPECT_NEAR(p.value.at(0), 3.f - 0.3f, 1e-5f);
+}
+
+TEST(LambTest, ExcludedParamsSkipAdaptation) {
+  Param bn("bn/beta", Tensor::full(Shape{2}, 1.f), /*decay=*/false,
+           /*adapt=*/false);
+  bn.grad.fill(1.f);
+  std::vector<Param*> params = {&bn};
+  Lamb opt(0.0f, 0.0f, 0.f, 0.1f);
+  opt.step(params, 0.1f);
+  EXPECT_FLOAT_EQ(opt.last_trust_ratios()[0], 1.f);
+  // Adam-style normalized step without trust scaling or decay.
+  EXPECT_NEAR(bn.value.at(0), 0.9f, 1e-5f);
+}
+
+TEST(LambTest, BiasCorrectionMakesFirstStepFullSize) {
+  // With bias correction, step 1 uses mhat = g, vhat = g^2 regardless of
+  // beta values: the normalized update is sign(g).
+  Param p("w", Tensor::full(Shape{1}, 10.f));
+  p.grad.at(0) = 0.003f;  // tiny gradient, full-size first step anyway
+  std::vector<Param*> params = {&p};
+  Lamb opt(0.9f, 0.999f, 0.f, 0.f);
+  opt.step(params, 0.1f);
+  // u = 1, ratio = ||w||/||u|| = 10 -> step = 0.1 * 10 * 1 = 1.
+  EXPECT_NEAR(p.value.at(0), 9.f, 1e-4f);
+}
+
+TEST(LambTest, FactoryBuildsIt) {
+  OptimizerConfig cfg;
+  cfg.kind = OptimizerKind::kLamb;
+  auto opt = make_optimizer(cfg);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->name(), "lamb");
+}
+
+TEST(LambTest, DeterministicAcrossInstances) {
+  tensor::Rng rng(5);
+  Param a("w", Tensor::randn(Shape{6, 2}, rng));
+  Param b("w", a.value);
+  Lamb o1(0.9f, 0.999f, 1e-6f, 1e-4f);
+  Lamb o2(0.9f, 0.999f, 1e-6f, 1e-4f);
+  std::vector<Param*> pa = {&a}, pb = {&b};
+  tensor::Rng grads(6);
+  for (int s = 0; s < 20; ++s) {
+    Tensor g = Tensor::randn(Shape{6, 2}, grads);
+    a.grad = g;
+    b.grad = g;
+    o1.step(pa, 0.05f);
+    o2.step(pb, 0.05f);
+  }
+  for (tensor::Index i = 0; i < a.value.numel(); ++i) {
+    ASSERT_EQ(a.value.at(i), b.value.at(i));
+  }
+}
+
+}  // namespace
+}  // namespace podnet::optim

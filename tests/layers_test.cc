@@ -1,0 +1,202 @@
+// Dense, pooling, squeeze-excite, dropout, drop-path, Sequential.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/grad_check.h"
+#include "nn/pooling.h"
+#include "nn/squeeze_excite.h"
+
+namespace podnet::nn {
+namespace {
+
+TEST(DenseTest, ForwardMatchesManual) {
+  Rng rng(1);
+  Dense dense(2, 2, rng, /*use_bias=*/true);
+  auto params = parameters_of(dense);
+  ASSERT_EQ(params.size(), 2u);
+  Tensor& w = params[0]->value;
+  Tensor& b = params[1]->value;
+  w = Tensor::from_vector(Shape{2, 2}, {1, 2, 3, 4});
+  b = Tensor::from_vector(Shape{2}, {0.5f, -0.5f});
+  Tensor x = Tensor::from_vector(Shape{1, 2}, {1, 1});
+  Tensor y = dense.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 4.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 5.5f);
+}
+
+TEST(DenseTest, GradCheck) {
+  Rng rng(2);
+  Dense dense(5, 4, rng);
+  Tensor x = Tensor::randn(Shape{3, 5}, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  const auto res = grad_check(dense, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 5e-2) << res.worst;
+}
+
+TEST(DenseTest, BiasFlagsExcludeDecay) {
+  Rng rng(3);
+  Dense dense(2, 2, rng, /*use_bias=*/true);
+  auto params = parameters_of(dense);
+  EXPECT_TRUE(params[0]->weight_decay);
+  EXPECT_FALSE(params[1]->weight_decay);
+  EXPECT_FALSE(params[1]->layer_adaptation);
+}
+
+TEST(GlobalAvgPoolTest, AveragesSpatial) {
+  GlobalAvgPool gap;
+  Tensor x(Shape{1, 2, 2, 2});
+  x.at4(0, 0, 0, 0) = 1;
+  x.at4(0, 0, 1, 0) = 2;
+  x.at4(0, 1, 0, 0) = 3;
+  x.at4(0, 1, 1, 0) = 4;
+  x.at4(0, 0, 0, 1) = 10;
+  Tensor y = gap.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 2.5f);
+}
+
+TEST(GlobalAvgPoolTest, GradCheck) {
+  GlobalAvgPool gap;
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{2, 3, 3, 4}, rng);
+  const auto res = grad_check(gap, x, rng);
+  EXPECT_LE(res.max_rel_err, 1e-2) << res.worst;
+}
+
+TEST(SqueezeExciteTest, GateBoundedByInput) {
+  // SE multiplies by a sigmoid gate in (0, 1): |y| <= |x| elementwise.
+  Rng rng(5);
+  SqueezeExcite se(4, 2, rng);
+  Tensor x = Tensor::randn(Shape{2, 3, 3, 4}, rng);
+  Tensor y = se.forward(x, false);
+  for (Index i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::abs(y.at(i)), std::abs(x.at(i)) + 1e-6f);
+    // Sign is preserved (gate is positive).
+    if (x.at(i) != 0.f) EXPECT_GE(y.at(i) * x.at(i), 0.f);
+  }
+}
+
+TEST(SqueezeExciteTest, GradCheck) {
+  Rng rng(6);
+  SqueezeExcite se(3, 2, rng);
+  Tensor x = Tensor::randn(Shape{2, 2, 2, 3}, rng);
+  GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  const auto res = grad_check(se, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 5e-2) << res.worst;
+}
+
+TEST(SqueezeExciteTest, HasFourParams) {
+  Rng rng(7);
+  SqueezeExcite se(8, 2, rng);
+  EXPECT_EQ(parameters_of(se).size(), 4u);  // two kernels + two biases
+}
+
+TEST(DropoutTest, IdentityInEval) {
+  Dropout drop(0.5f, Rng(1));
+  Rng rng(8);
+  Tensor x = Tensor::randn(Shape{4, 8}, rng);
+  Tensor y = drop.forward(x, false);
+  for (Index i = 0; i < x.numel(); ++i) EXPECT_EQ(y.at(i), x.at(i));
+}
+
+TEST(DropoutTest, PreservesExpectationInTraining) {
+  Dropout drop(0.3f, Rng(2));
+  Tensor x = Tensor::full(Shape{200, 50}, 1.f);
+  Tensor y = drop.forward(x, true);
+  double sum = 0;
+  int zeros = 0;
+  for (Index i = 0; i < y.numel(); ++i) {
+    sum += y.at(i);
+    if (y.at(i) == 0.f) ++zeros;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), 1.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()),
+              0.3, 0.02);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout drop(0.5f, Rng(3));
+  Tensor x = Tensor::full(Shape{4, 4}, 1.f);
+  Tensor y = drop.forward(x, true);
+  Tensor g = Tensor::full(Shape{4, 4}, 1.f);
+  Tensor dx = drop.backward(g);
+  for (Index i = 0; i < x.numel(); ++i) EXPECT_EQ(dx.at(i), y.at(i));
+}
+
+TEST(DropoutTest, ZeroRateIsIdentity) {
+  Dropout drop(0.f, Rng(4));
+  Rng rng(9);
+  Tensor x = Tensor::randn(Shape{3, 3}, rng);
+  Tensor y = drop.forward(x, true);
+  for (Index i = 0; i < x.numel(); ++i) EXPECT_EQ(y.at(i), x.at(i));
+}
+
+TEST(DropPathTest, DropsWholeSamples) {
+  DropPath dp(0.5f, Rng(5));
+  Tensor x = Tensor::full(Shape{64, 2, 2, 2}, 1.f);
+  Tensor y = dp.forward(x, true);
+  int dropped = 0, kept = 0;
+  for (Index n = 0; n < 64; ++n) {
+    const float first = y.at4(n, 0, 0, 0);
+    // Every element of a sample shares the same factor.
+    for (Index h = 0; h < 2; ++h) {
+      for (Index w = 0; w < 2; ++w) {
+        for (Index c = 0; c < 2; ++c) {
+          EXPECT_EQ(y.at4(n, h, w, c), first);
+        }
+      }
+    }
+    if (first == 0.f) {
+      ++dropped;
+    } else {
+      EXPECT_FLOAT_EQ(first, 2.f);  // 1 / survival
+      ++kept;
+    }
+  }
+  EXPECT_GT(dropped, 16);
+  EXPECT_GT(kept, 16);
+}
+
+TEST(DropPathTest, SurvivalOneIsIdentity) {
+  DropPath dp(1.f, Rng(6));
+  Rng rng(10);
+  Tensor x = Tensor::randn(Shape{4, 2, 2, 2}, rng);
+  Tensor y = dp.forward(x, true);
+  for (Index i = 0; i < x.numel(); ++i) EXPECT_EQ(y.at(i), x.at(i));
+}
+
+TEST(SequentialTest, ChainsForwardAndBackward) {
+  Rng rng(11);
+  auto seq = std::make_unique<Sequential>("mlp");
+  seq->add(std::make_unique<Dense>(4, 8, rng));
+  seq->add(std::make_unique<Swish>());
+  seq->add(std::make_unique<Dense>(8, 3, rng));
+  Tensor x = Tensor::randn(Shape{2, 4}, rng);
+  Tensor y = seq->forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 3}));
+  EXPECT_EQ(parameters_of(*seq).size(), 4u);
+
+  GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  const auto res = grad_check(*seq, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 5e-2) << res.worst;
+}
+
+TEST(ParamUtilsTest, CountAndZero) {
+  Rng rng(12);
+  Dense dense(3, 2, rng);
+  auto params = parameters_of(dense);
+  EXPECT_EQ(parameter_count(dense), 3 * 2 + 2);
+  params[0]->grad.fill(5.f);
+  zero_grads(params);
+  EXPECT_EQ(params[0]->grad.at(0), 0.f);
+}
+
+}  // namespace
+}  // namespace podnet::nn

@@ -1,0 +1,132 @@
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace podnet::data {
+namespace {
+
+DatasetConfig config() {
+  DatasetConfig c;
+  c.num_classes = 4;
+  c.train_size = 64;
+  c.eval_size = 21;  // deliberately not divisible by replica counts
+  c.resolution = 8;
+  return c;
+}
+
+TEST(TrainLoaderTest, StepsPerEpoch) {
+  SyntheticImageNet ds(config());
+  TrainLoader loader(&ds, 0, 4, 4);  // global batch 16
+  EXPECT_EQ(loader.global_batch(), 16);
+  EXPECT_EQ(loader.steps_per_epoch(), 4);
+}
+
+TEST(TrainLoaderTest, BatchShapesAndLabels) {
+  SyntheticImageNet ds(config());
+  TrainLoader loader(&ds, 1, 2, 8);
+  Batch b = loader.batch(0, 0);
+  EXPECT_EQ(b.images.shape(), tensor::Shape({8, 8, 8, 3}));
+  EXPECT_EQ(b.labels.size(), 8u);
+  for (auto l : b.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+TEST(TrainLoaderTest, ShardsAreDisjointAndCoverEpoch) {
+  // Across all replicas and steps of one epoch, every train index appears
+  // exactly once. We detect indices via the (index-determined) label
+  // sequence — instead reconstruct coverage through a second loader setup
+  // with distinguishable per-sample content: use labels + count.
+  SyntheticImageNet ds(config());
+  const int R = 4;
+  std::multiset<std::int64_t> labels_seen;
+  for (int r = 0; r < R; ++r) {
+    TrainLoader loader(&ds, r, R, 4);
+    for (tensor::Index s = 0; s < loader.steps_per_epoch(); ++s) {
+      Batch b = loader.batch(0, s);
+      for (auto l : b.labels) labels_seen.insert(l);
+    }
+  }
+  // 64 samples, exactly 16 of each of the 4 classes.
+  EXPECT_EQ(labels_seen.size(), 64u);
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(labels_seen.count(c), 16u) << c;
+  }
+}
+
+TEST(TrainLoaderTest, SameEpochSameOrderAcrossReplicas) {
+  // Two loader instances for the same replica produce identical batches
+  // (the permutation is derived from the epoch, not loader state).
+  SyntheticImageNet ds(config());
+  TrainLoader a(&ds, 0, 2, 4);
+  TrainLoader b(&ds, 0, 2, 4);
+  Batch ba = a.batch(3, 1);
+  Batch bb = b.batch(3, 1);
+  EXPECT_EQ(ba.labels, bb.labels);
+  for (tensor::Index i = 0; i < ba.images.numel(); ++i) {
+    ASSERT_EQ(ba.images.at(i), bb.images.at(i));
+  }
+}
+
+TEST(TrainLoaderTest, DifferentEpochsShuffleDifferently) {
+  SyntheticImageNet ds(config());
+  TrainLoader loader(&ds, 0, 1, 32);
+  Batch e0 = loader.batch(0, 0);
+  Batch e1 = loader.batch(1, 0);
+  EXPECT_NE(e0.labels, e1.labels);  // astronomically unlikely to collide
+}
+
+TEST(TrainLoaderTest, EpochCachingAllowsRevisit) {
+  SyntheticImageNet ds(config());
+  TrainLoader loader(&ds, 0, 1, 32);
+  Batch first = loader.batch(2, 0);
+  loader.batch(5, 0);  // switch epoch
+  Batch again = loader.batch(2, 0);  // back to epoch 2
+  EXPECT_EQ(first.labels, again.labels);
+}
+
+class EvalShardTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvalShardTest, ShardsPartitionEvalSet) {
+  const int R = GetParam();
+  SyntheticImageNet ds(config());
+  tensor::Index total = 0;
+  for (int r = 0; r < R; ++r) {
+    EvalLoader loader(&ds, r, R, 4);
+    total += loader.shard_size();
+    tensor::Index batched = 0;
+    for (tensor::Index i = 0; i < loader.num_batches(); ++i) {
+      batched += loader.batch(i).count();
+    }
+    EXPECT_EQ(batched, loader.shard_size()) << "rank " << r;
+  }
+  EXPECT_EQ(total, 21);  // full eval split, no overlap, no loss
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicaCounts, EvalShardTest,
+                         ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(EvalLoaderTest, LastBatchMayBeSmall) {
+  SyntheticImageNet ds(config());
+  EvalLoader loader(&ds, 0, 1, 8);  // 21 samples -> 8, 8, 5
+  EXPECT_EQ(loader.num_batches(), 3);
+  EXPECT_EQ(loader.batch(0).count(), 8);
+  EXPECT_EQ(loader.batch(2).count(), 5);
+  EXPECT_EQ(loader.batch(3).count(), 0);  // past the end: empty
+}
+
+TEST(EvalLoaderTest, EvalSamplesAreStableAcrossCalls) {
+  SyntheticImageNet ds(config());
+  EvalLoader loader(&ds, 0, 2, 4);
+  Batch a = loader.batch(0);
+  Batch b = loader.batch(0);
+  for (tensor::Index i = 0; i < a.images.numel(); ++i) {
+    ASSERT_EQ(a.images.at(i), b.images.at(i));
+  }
+}
+
+}  // namespace
+}  // namespace podnet::data

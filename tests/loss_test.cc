@@ -1,0 +1,128 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace podnet::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LossTest, UniformLogitsGiveLogK) {
+  Tensor logits(Shape{2, 4});
+  std::vector<std::int64_t> labels = {0, 3};
+  const auto res = softmax_cross_entropy(logits, labels, 0.f);
+  EXPECT_NEAR(res.loss, std::log(4.0), 1e-6);
+}
+
+TEST(LossTest, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits = Tensor::from_vector(Shape{1, 3}, {20.f, 0.f, 0.f});
+  std::vector<std::int64_t> labels = {0};
+  const auto res = softmax_cross_entropy(logits, labels, 0.f);
+  EXPECT_LT(res.loss, 1e-6);
+  EXPECT_EQ(res.correct, 1);
+}
+
+TEST(LossTest, ConfidentWrongPredictionHasHighLoss) {
+  Tensor logits = Tensor::from_vector(Shape{1, 3}, {20.f, 0.f, 0.f});
+  std::vector<std::int64_t> labels = {1};
+  const auto res = softmax_cross_entropy(logits, labels, 0.f);
+  EXPECT_GT(res.loss, 10.0);
+  EXPECT_EQ(res.correct, 0);
+}
+
+TEST(LossTest, GradientRowsSumToZero) {
+  // Softmax CE gradient per row: p - y; both sum to 1 -> rows sum to 0.
+  Rng rng(1);
+  Tensor logits = Tensor::randn(Shape{4, 6}, rng);
+  std::vector<std::int64_t> labels = {0, 5, 2, 3};
+  for (float ls : {0.f, 0.1f}) {
+    const auto res = softmax_cross_entropy(logits, labels, ls);
+    for (tensor::Index r = 0; r < 4; ++r) {
+      double s = 0;
+      for (tensor::Index c = 0; c < 6; ++c) {
+        s += res.grad_logits.at2(r, c);
+      }
+      EXPECT_NEAR(s, 0.0, 1e-6) << "row " << r << " smoothing " << ls;
+    }
+  }
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn(Shape{3, 5}, rng);
+  std::vector<std::int64_t> labels = {1, 4, 0};
+  const float ls = 0.1f;
+  const auto res = softmax_cross_entropy(logits, labels, ls);
+  const float eps = 1e-3f;
+  for (tensor::Index i = 0; i < logits.numel(); i += 2) {
+    Tensor lp = logits, lm = logits;
+    lp.at(i) += eps;
+    lm.at(i) -= eps;
+    const double fp = softmax_cross_entropy(lp, labels, ls).loss;
+    const double fm = softmax_cross_entropy(lm, labels, ls).loss;
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(res.grad_logits.at(i), numeric, 1e-3) << i;
+  }
+}
+
+TEST(LossTest, LabelSmoothingRaisesMinimumLoss) {
+  Tensor logits = Tensor::from_vector(Shape{1, 4}, {30.f, 0.f, 0.f, 0.f});
+  std::vector<std::int64_t> labels = {0};
+  const double hard = softmax_cross_entropy(logits, labels, 0.f).loss;
+  const double smooth = softmax_cross_entropy(logits, labels, 0.1f).loss;
+  EXPECT_GT(smooth, hard);
+  EXPECT_GT(smooth, 0.5);  // smoothed target can't be hit by a one-hot
+}
+
+TEST(LossTest, MeanReductionScalesWithBatch) {
+  // Duplicating a batch leaves the mean loss unchanged and halves the
+  // per-element gradient scale.
+  Tensor one = Tensor::from_vector(Shape{1, 2}, {1.f, -1.f});
+  std::vector<std::int64_t> l1 = {0};
+  Tensor two = Tensor::from_vector(Shape{2, 2}, {1.f, -1.f, 1.f, -1.f});
+  std::vector<std::int64_t> l2 = {0, 0};
+  const auto r1 = softmax_cross_entropy(one, l1, 0.f);
+  const auto r2 = softmax_cross_entropy(two, l2, 0.f);
+  EXPECT_NEAR(r1.loss, r2.loss, 1e-7);
+  EXPECT_NEAR(r1.grad_logits.at(0), 2.f * r2.grad_logits.at(0), 1e-7f);
+}
+
+TEST(TopKTest, TopKCorrectCounts) {
+  Tensor logits = Tensor::from_vector(Shape{2, 4},
+                                      {0.1f, 0.4f, 0.3f, 0.2f,   // row 0
+                                       5.f, 1.f, 2.f, 3.f});     // row 1
+  std::vector<std::int64_t> labels = {2, 1};
+  EXPECT_EQ(top_k_correct(logits, labels, 1), 0);
+  EXPECT_EQ(top_k_correct(logits, labels, 2), 1);   // row 0: 2nd best
+  EXPECT_EQ(top_k_correct(logits, labels, 4), 2);
+}
+
+class SmoothingSweepTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(SmoothingSweepTest, LossIsNonNegativeAndFinite) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn(Shape{8, 10}, rng, 5.f);
+  std::vector<std::int64_t> labels(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    labels[i] = static_cast<std::int64_t>(rng.next_below(10));
+  }
+  const auto res = softmax_cross_entropy(logits, labels, GetParam());
+  EXPECT_GE(res.loss, 0.0);
+  EXPECT_TRUE(std::isfinite(res.loss));
+  for (tensor::Index i = 0; i < res.grad_logits.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(res.grad_logits.at(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Smoothing, SmoothingSweepTest,
+                         ::testing::Values(0.f, 0.05f, 0.1f, 0.3f, 0.9f));
+
+}  // namespace
+}  // namespace podnet::nn

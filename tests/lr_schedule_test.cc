@@ -1,0 +1,129 @@
+#include "optim/lr_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace podnet::optim {
+namespace {
+
+LrScheduleConfig base_config(DecayKind kind) {
+  LrScheduleConfig c;
+  c.decay = kind;
+  c.base_lr = 1.0f;
+  c.warmup_epochs = 5.0;
+  c.total_epochs = 50.0;
+  return c;
+}
+
+TEST(LinearScalingTest, MatchesPaperTable2) {
+  // Table 2: LR per 256 examples. RMSProp rows use 0.016; at 4096 the
+  // scaled rate is 0.256. LARS at 32768 uses 0.118 -> 15.104.
+  EXPECT_NEAR(scaled_base_lr(0.016f, 4096), 0.256f, 1e-6f);
+  EXPECT_NEAR(scaled_base_lr(0.236f, 16384), 15.104f, 1e-3f);
+  EXPECT_NEAR(scaled_base_lr(0.118f, 32768), 15.104f, 1e-3f);
+  EXPECT_NEAR(scaled_base_lr(0.081f, 65536), 20.736f, 1e-3f);
+}
+
+TEST(WarmupTest, StartsAtZeroEndsAtBase) {
+  for (DecayKind kind : {DecayKind::kConstant, DecayKind::kExponential,
+                         DecayKind::kPolynomial, DecayKind::kCosine}) {
+    auto s = make_schedule(base_config(kind));
+    EXPECT_NEAR(s->lr(0.0), 0.f, 1e-6f) << s->name();
+    EXPECT_NEAR(s->lr(2.5), 0.5f, 1e-6f) << s->name();
+    EXPECT_NEAR(s->lr(5.0), 1.0f, 0.05f) << s->name();
+  }
+}
+
+TEST(WarmupTest, MonotoneDuringWarmup) {
+  auto s = make_schedule(base_config(DecayKind::kPolynomial));
+  float prev = -1.f;
+  for (double e = 0; e <= 5.0; e += 0.25) {
+    const float lr = s->lr(e);
+    EXPECT_GE(lr, prev);
+    prev = lr;
+  }
+}
+
+TEST(ConstantTest, FlatAfterWarmup) {
+  auto s = make_schedule(base_config(DecayKind::kConstant));
+  EXPECT_FLOAT_EQ(s->lr(10.0), 1.0f);
+  EXPECT_FLOAT_EQ(s->lr(49.0), 1.0f);
+}
+
+TEST(ExponentialTest, StaircaseDecaysEvery24Epochs) {
+  LrScheduleConfig c = base_config(DecayKind::kExponential);
+  c.decay_epochs = 2.4;
+  c.decay_rate = 0.97f;
+  c.staircase = true;
+  auto s = make_schedule(c);
+  // Just after warm-up: zero full periods elapsed.
+  EXPECT_FLOAT_EQ(s->lr(5.0), 1.0f);
+  EXPECT_FLOAT_EQ(s->lr(7.3), 1.0f);           // < one period
+  EXPECT_FLOAT_EQ(s->lr(7.5), 0.97f);          // one period
+  EXPECT_NEAR(s->lr(5.0 + 2.4 * 10 + 0.1), std::pow(0.97f, 10.f), 1e-5f);
+}
+
+TEST(ExponentialTest, ContinuousWhenNotStaircase) {
+  LrScheduleConfig c = base_config(DecayKind::kExponential);
+  c.staircase = false;
+  auto s = make_schedule(c);
+  EXPECT_NEAR(s->lr(5.0 + 1.2), std::pow(0.97f, 0.5f), 1e-5f);
+}
+
+TEST(PolynomialTest, QuadraticToZero) {
+  LrScheduleConfig c = base_config(DecayKind::kPolynomial);
+  auto s = make_schedule(c);
+  // Halfway through the post-warm-up span: (1 - 0.5)^2 = 0.25.
+  EXPECT_NEAR(s->lr(5.0 + 22.5), 0.25f, 1e-5f);
+  EXPECT_NEAR(s->lr(50.0), 0.f, 1e-6f);
+  EXPECT_NEAR(s->lr(60.0), 0.f, 1e-6f);  // clamped past the horizon
+}
+
+TEST(PolynomialTest, EndLrFloor) {
+  LrScheduleConfig c = base_config(DecayKind::kPolynomial);
+  c.end_lr = 0.01f;
+  auto s = make_schedule(c);
+  EXPECT_NEAR(s->lr(50.0), 0.01f, 1e-6f);
+}
+
+TEST(CosineTest, HalfwayIsHalf) {
+  auto s = make_schedule(base_config(DecayKind::kCosine));
+  EXPECT_NEAR(s->lr(5.0 + 22.5), 0.5f, 1e-5f);
+  EXPECT_NEAR(s->lr(50.0), 0.f, 1e-6f);
+}
+
+class DecayMonotoneTest : public ::testing::TestWithParam<DecayKind> {};
+
+TEST_P(DecayMonotoneTest, NonIncreasingAfterWarmup) {
+  auto s = make_schedule(base_config(GetParam()));
+  float prev = s->lr(5.0);
+  for (double e = 5.5; e <= 55.0; e += 0.5) {
+    const float lr = s->lr(e);
+    EXPECT_LE(lr, prev + 1e-7f) << s->name() << " at " << e;
+    prev = lr;
+  }
+}
+
+TEST_P(DecayMonotoneTest, NeverNegative) {
+  auto s = make_schedule(base_config(GetParam()));
+  for (double e = 0; e <= 60.0; e += 0.7) {
+    EXPECT_GE(s->lr(e), 0.f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDecays, DecayMonotoneTest,
+                         ::testing::Values(DecayKind::kConstant,
+                                           DecayKind::kExponential,
+                                           DecayKind::kPolynomial,
+                                           DecayKind::kCosine));
+
+TEST(WarmupTest, ZeroWarmupStartsAtBase) {
+  LrScheduleConfig c = base_config(DecayKind::kPolynomial);
+  c.warmup_epochs = 0.0;
+  auto s = make_schedule(c);
+  EXPECT_NEAR(s->lr(0.0), 1.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace podnet::optim

@@ -1,0 +1,74 @@
+#include "tpu/memory_model.h"
+
+#include <gtest/gtest.h>
+
+namespace podnet::tpu {
+namespace {
+
+TEST(MemoryModelTest, FootprintIsAffineInBatch) {
+  const auto cost = effnet::analyze(effnet::b(2));
+  const double m0 = model_memory(cost, 0).total_bytes();
+  const double m1 = model_memory(cost, 1).total_bytes();
+  const double m8 = model_memory(cost, 8).total_bytes();
+  EXPECT_NEAR(m8 - m0, 8.0 * (m1 - m0), 1e-3 * m8);
+}
+
+TEST(MemoryModelTest, B2At32FitsComfortably) {
+  // The paper trains B2 at per-core batch 32: that must fit in 16 GiB.
+  const auto cost = effnet::analyze(effnet::b(2));
+  EXPECT_LT(model_memory(cost, 32).total_bytes(), hbm_bytes_per_core());
+}
+
+TEST(MemoryModelTest, B5At64Fits) {
+  // The headline run: B5, per-core batch 64 (GB 65536 on 1024 cores).
+  const auto cost = effnet::analyze(effnet::b(5));
+  EXPECT_LT(model_memory(cost, 64).total_bytes(), hbm_bytes_per_core());
+}
+
+TEST(MemoryModelTest, MaxBatchOrderingFollowsModelSize) {
+  // Bigger models save more activation per image -> smaller max batch.
+  const auto b2 = effnet::analyze(effnet::b(2));
+  const auto b5 = effnet::analyze(effnet::b(5));
+  const auto b7 = effnet::analyze(effnet::b(7));
+  const std::int64_t m2 = max_per_core_batch(b2);
+  const std::int64_t m5 = max_per_core_batch(b5);
+  const std::int64_t m7 = max_per_core_batch(b7);
+  EXPECT_GT(m2, m5);
+  EXPECT_GT(m5, m7);
+  EXPECT_GE(m5, 64);  // the paper's configuration is feasible
+}
+
+TEST(MemoryModelTest, MaxBatchExactlySaturates) {
+  const auto cost = effnet::analyze(effnet::b(5));
+  const std::int64_t b = max_per_core_batch(cost);
+  ASSERT_GT(b, 0);
+  EXPECT_LE(model_memory(cost, b).total_bytes(), hbm_bytes_per_core());
+  EXPECT_GT(model_memory(cost, b + 1).total_bytes(), hbm_bytes_per_core());
+}
+
+TEST(MemoryModelTest, Fp32ActivationsHalveMaxBatch) {
+  const auto cost = effnet::analyze(effnet::b(5));
+  MemoryModelOptions bf16;
+  MemoryModelOptions fp32;
+  fp32.bf16_activations = false;
+  const std::int64_t b_bf16 = max_per_core_batch(cost, bf16);
+  const std::int64_t b_fp32 = max_per_core_batch(cost, fp32);
+  EXPECT_GT(b_bf16, b_fp32);
+  EXPECT_NEAR(static_cast<double>(b_bf16) / static_cast<double>(b_fp32), 2.0,
+              0.25);
+}
+
+TEST(MemoryModelTest, BreakdownComponentsPositive) {
+  const auto cost = effnet::analyze(effnet::b(0));
+  const auto m = model_memory(cost, 16);
+  EXPECT_GT(m.weights_bytes, 0);
+  EXPECT_GT(m.gradients_bytes, 0);
+  EXPECT_GT(m.optimizer_bytes, 0);
+  EXPECT_GT(m.activations_bytes, 0);
+  EXPECT_GT(m.overhead_bytes, 0);
+  EXPECT_DOUBLE_EQ(m.weights_bytes, m.gradients_bytes);
+  EXPECT_DOUBLE_EQ(m.optimizer_bytes, 2.0 * m.weights_bytes);
+}
+
+}  // namespace
+}  // namespace podnet::tpu

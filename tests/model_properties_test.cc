@@ -1,0 +1,185 @@
+// Whole-model property tests: invariances and consistency properties that
+// pin down subtle bugs unit tests miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "effnet/model.h"
+
+namespace podnet::effnet {
+namespace {
+
+using nn::Rng;
+using nn::Shape;
+using nn::Tensor;
+
+ModelSpec deterministic_pico() {
+  ModelSpec spec = pico();
+  spec.dropout = 0.f;
+  spec.drop_connect = 0.f;
+  return spec;
+}
+
+TEST(ModelPropertiesTest, EvalForwardIsDeterministic) {
+  ModelOptions opts;
+  opts.num_classes = 8;
+  EfficientNet model(pico(), opts);  // dropout on, but eval ignores it
+  Rng rng(1);
+  Tensor x = Tensor::randn(Shape{2, 16, 16, 3}, rng);
+  Tensor a = model.forward(x, false);
+  Tensor b = model.forward(x, false);
+  for (tensor::Index i = 0; i < a.numel(); ++i) ASSERT_EQ(a.at(i), b.at(i));
+}
+
+TEST(ModelPropertiesTest, EvalLogitsPermuteWithBatch) {
+  // Eval-mode logits for sample k don't depend on the rest of the batch
+  // (batch statistics are NOT used in eval).
+  ModelOptions opts;
+  opts.num_classes = 8;
+  EfficientNet model(deterministic_pico(), opts);
+  Rng rng(2);
+  Tensor x = Tensor::randn(Shape{3, 16, 16, 3}, rng);
+  Tensor y = model.forward(x, false);
+  // Reverse the batch.
+  Tensor xr(x.shape());
+  const tensor::Index per = x.numel() / 3;
+  for (tensor::Index n = 0; n < 3; ++n) {
+    std::copy(x.data() + n * per, x.data() + (n + 1) * per,
+              xr.data() + (2 - n) * per);
+  }
+  Tensor yr = model.forward(xr, false);
+  for (tensor::Index n = 0; n < 3; ++n) {
+    for (tensor::Index k = 0; k < 8; ++k) {
+      ASSERT_FLOAT_EQ(y.at2(n, k), yr.at2(2 - n, k)) << n << "," << k;
+    }
+  }
+}
+
+TEST(ModelPropertiesTest, TrainingModeUsesBatchStatistics) {
+  // In training mode, BN couples samples: changing one sample changes the
+  // logits of another.
+  ModelOptions opts;
+  opts.num_classes = 8;
+  EfficientNet model(deterministic_pico(), opts);
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{4, 16, 16, 3}, rng);
+  Tensor y1 = model.forward(x, true);
+  Tensor x2 = x;
+  for (tensor::Index i = 0; i < x.numel() / 4; ++i) {
+    x2.at(i) += 3.f;  // perturb sample 0 only
+  }
+  Tensor y2 = model.forward(x2, true);
+  double diff = 0;
+  for (tensor::Index k = 0; k < 8; ++k) {
+    diff += std::abs(y1.at2(3, k) - y2.at2(3, k));  // sample 3's logits
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(ModelPropertiesTest, LogitsFiniteForExtremeInputs) {
+  ModelOptions opts;
+  opts.num_classes = 8;
+  EfficientNet model(deterministic_pico(), opts);
+  for (float scale : {0.f, 1e-6f, 1e3f}) {
+    Tensor x = Tensor::full(Shape{2, 16, 16, 3}, scale);
+    Tensor y = model.forward(x, true);
+    for (tensor::Index i = 0; i < y.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(y.at(i))) << "scale " << scale;
+    }
+  }
+}
+
+TEST(ModelPropertiesTest, Bf16ModelTracksFp32Model) {
+  ModelOptions opts;
+  opts.num_classes = 8;
+  opts.init_seed = 7;
+  EfficientNet fp32(deterministic_pico(), opts);
+  opts.precision = tensor::MatmulPrecision::kBf16;
+  EfficientNet bf16(deterministic_pico(), opts);
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{2, 16, 16, 3}, rng);
+  Tensor yf = fp32.forward(x, false);
+  Tensor yb = bf16.forward(x, false);
+  // Logits land close but not identical (rounding exists).
+  bool any_diff = false;
+  for (tensor::Index i = 0; i < yf.numel(); ++i) {
+    EXPECT_NEAR(yf.at(i), yb.at(i), 0.25f + 0.1f * std::abs(yf.at(i)));
+    if (yf.at(i) != yb.at(i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ModelPropertiesTest, BackwardLeavesWeightsUntouched) {
+  ModelOptions opts;
+  opts.num_classes = 8;
+  EfficientNet model(deterministic_pico(), opts);
+  auto params = nn::parameters_of(model);
+  std::vector<float> before;
+  for (const nn::Param* p : params) {
+    before.insert(before.end(), p->value.span().begin(),
+                  p->value.span().end());
+  }
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{2, 16, 16, 3}, rng);
+  Tensor y = model.forward(x, true);
+  model.backward(Tensor::randn(y.shape(), rng));
+  std::size_t off = 0;
+  for (const nn::Param* p : params) {
+    for (float v : p->value.span()) {
+      ASSERT_EQ(v, before[off++]) << p->name;
+    }
+  }
+}
+
+TEST(ModelPropertiesTest, GradientsNonTrivialEverywhere) {
+  // Every parameter receives some gradient signal from a generic batch —
+  // catches dead branches (e.g. a layer skipped in backward).
+  ModelOptions opts;
+  opts.num_classes = 8;
+  EfficientNet model(deterministic_pico(), opts);
+  auto params = nn::parameters_of(model);
+  nn::zero_grads(params);
+  Rng rng(6);
+  Tensor x = Tensor::randn(Shape{4, 16, 16, 3}, rng);
+  Tensor y = model.forward(x, true);
+  model.backward(Tensor::randn(y.shape(), rng));
+  for (const nn::Param* p : params) {
+    double norm = 0;
+    for (float g : p->grad.span()) norm += std::abs(g);
+    EXPECT_GT(norm, 0.0) << p->name << " received no gradient";
+  }
+}
+
+TEST(ModelPropertiesTest, ParamNamesUnique) {
+  ModelOptions opts;
+  opts.num_classes = 8;
+  EfficientNet model(pico(), opts);
+  auto params = nn::parameters_of(model);
+  std::set<std::string> names;
+  for (const nn::Param* p : params) {
+    EXPECT_TRUE(names.insert(p->name).second) << "duplicate " << p->name;
+  }
+}
+
+TEST(ModelPropertiesTest, DropoutOnlyAffectsTraining) {
+  ModelSpec spec = pico();  // dropout 0.1, drop_connect 0.1
+  ModelOptions opts;
+  opts.num_classes = 8;
+  EfficientNet model(spec, opts);
+  Rng rng(8);
+  Tensor x = Tensor::randn(Shape{4, 16, 16, 3}, rng);
+  Tensor t1 = model.forward(x, true);
+  Tensor t2 = model.forward(x, true);
+  bool train_differs = false;
+  for (tensor::Index i = 0; i < t1.numel(); ++i) {
+    if (t1.at(i) != t2.at(i)) {
+      train_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(train_differs);  // stochastic regularizers active
+}
+
+}  // namespace
+}  // namespace podnet::effnet

@@ -1,0 +1,93 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace podnet::tensor {
+namespace {
+
+TEST(OpsTest, Axpy) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 20, 30};
+  axpy(2.f, x, y);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+}
+
+TEST(OpsTest, Axpby) {
+  std::vector<float> x = {1, 2};
+  std::vector<float> y = {10, 20};
+  axpby(2.f, x, 0.5f, y);
+  EXPECT_EQ(y, (std::vector<float>{7, 14}));
+}
+
+TEST(OpsTest, ScaleAndMul) {
+  std::vector<float> x = {1, -2, 4};
+  scale(0.5f, x);
+  EXPECT_EQ(x, (std::vector<float>{0.5f, -1.f, 2.f}));
+  std::vector<float> y = {2, 2, 2};
+  mul_inplace(x, y);
+  EXPECT_EQ(y, (std::vector<float>{1.f, -2.f, 4.f}));
+}
+
+TEST(OpsTest, Reductions) {
+  std::vector<float> x = {3, -4};
+  EXPECT_DOUBLE_EQ(sum(x), -1.0);
+  EXPECT_DOUBLE_EQ(sum_squares(x), 25.0);
+  EXPECT_DOUBLE_EQ(l2_norm(x), 5.0);
+  EXPECT_EQ(max_value(x), 3.f);
+  std::vector<float> y = {1, 2};
+  EXPECT_DOUBLE_EQ(dot(x, y), -5.0);
+}
+
+TEST(OpsTest, SumEmptyIsZero) {
+  std::vector<float> x;
+  EXPECT_DOUBLE_EQ(sum(x), 0.0);
+  EXPECT_DOUBLE_EQ(l2_norm(x), 0.0);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  std::vector<float> x = {1, 2, 3, -1, 0, 1000};
+  softmax_rows(x.data(), 2, 3);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.f, 1e-6f);
+  EXPECT_NEAR(x[3] + x[4] + x[5], 1.f, 1e-6f);
+  // Huge logit should dominate without overflow.
+  EXPECT_NEAR(x[5], 1.f, 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxInvariantToShift) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {101, 102, 103};
+  softmax_rows(a.data(), 1, 3);
+  softmax_rows(b.data(), 1, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-6f);
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  std::vector<float> x = {1, 5, 2, 9, 0, -1};
+  std::vector<std::int64_t> out(2);
+  argmax_rows(x.data(), 2, 3, out.data());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+}
+
+TEST(OpsTest, ArgmaxTieReturnsFirst) {
+  std::vector<float> x = {2, 2, 2};
+  std::vector<std::int64_t> out(1);
+  argmax_rows(x.data(), 1, 3, out.data());
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(OpsTest, Allclose) {
+  std::vector<float> a = {1.f, 2.f};
+  std::vector<float> b = {1.f + 1e-7f, 2.f - 1e-7f};
+  EXPECT_TRUE(allclose(a, b));
+  std::vector<float> c = {1.1f, 2.f};
+  EXPECT_FALSE(allclose(a, c));
+  std::vector<float> d = {1.f};
+  EXPECT_FALSE(allclose(a, d));  // size mismatch
+}
+
+}  // namespace
+}  // namespace podnet::tensor

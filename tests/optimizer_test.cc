@@ -1,0 +1,246 @@
+#include "optim/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optim/lars.h"
+#include "optim/rmsprop.h"
+#include "optim/sgd.h"
+#include "optim/sm3.h"
+#include "tensor/ops.h"
+
+namespace podnet::optim {
+namespace {
+
+using nn::Param;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// A single quadratic parameter: loss = 0.5 * ||w - target||^2.
+struct Quadratic {
+  explicit Quadratic(Shape shape, float init, float target)
+      : param("w", Tensor::full(shape, init)), target(target) {}
+
+  void fill_grad() {
+    for (tensor::Index i = 0; i < param.value.numel(); ++i) {
+      param.grad.at(i) = param.value.at(i) - target;
+    }
+  }
+  double distance() const {
+    double d = 0;
+    for (tensor::Index i = 0; i < param.value.numel(); ++i) {
+      d += std::abs(param.value.at(i) - target);
+    }
+    return d / static_cast<double>(param.value.numel());
+  }
+
+  Param param;
+  float target;
+};
+
+template <typename Opt>
+void expect_converges(Opt& opt, float lr, int steps = 200) {
+  Quadratic q(Shape{4, 3}, 5.f, 1.f);
+  std::vector<Param*> params = {&q.param};
+  for (int s = 0; s < steps; ++s) {
+    q.fill_grad();
+    opt.step(params, lr);
+  }
+  EXPECT_LT(q.distance(), 0.05) << "after " << steps << " steps";
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  SgdMomentum opt(0.9f, 0.f);
+  expect_converges(opt, 0.02f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Param p("w", Tensor::full(Shape{4}, 1.f));
+  std::vector<Param*> params = {&p};
+  SgdMomentum opt(0.f, 0.1f);
+  // Zero gradient: only decay acts.
+  opt.step(params, 1.f);
+  EXPECT_NEAR(p.value.at(0), 0.9f, 1e-6f);
+}
+
+TEST(SgdTest, DecayRespectsParamFlag) {
+  Param p("bn/gamma", Tensor::full(Shape{2}, 1.f), /*decay=*/false,
+          /*adapt=*/false);
+  std::vector<Param*> params = {&p};
+  SgdMomentum opt(0.f, 0.1f);
+  opt.step(params, 1.f);
+  EXPECT_EQ(p.value.at(0), 1.f);  // untouched: no grad, no decay
+}
+
+TEST(RmsPropTest, ConvergesOnQuadratic) {
+  RmsProp opt(0.9f, 0.9f, 1e-3f, 0.f);
+  expect_converges(opt, 0.05f, 300);
+}
+
+TEST(RmsPropTest, StepsAreScaleInvariantish) {
+  // RMSProp normalizes by grad magnitude: a 100x larger gradient must not
+  // produce a 100x larger step.
+  Param a("a", Tensor::full(Shape{1}, 1.f));
+  Param b("b", Tensor::full(Shape{1}, 1.f));
+  RmsProp opt_a(0.9f, 0.f, 1e-8f, 0.f);
+  RmsProp opt_b(0.9f, 0.f, 1e-8f, 0.f);
+  std::vector<Param*> pa = {&a}, pb = {&b};
+  a.grad.at(0) = 0.01f;
+  b.grad.at(0) = 1.f;
+  opt_a.step(pa, 0.1f);
+  opt_b.step(pb, 0.1f);
+  const float step_a = 1.f - a.value.at(0);
+  const float step_b = 1.f - b.value.at(0);
+  EXPECT_NEAR(step_a, step_b, 1e-3f);  // differ only through epsilon
+}
+
+TEST(LarsTest, ConvergesOnQuadraticWithDecayingRate) {
+  // LARS normalizes the gradient direction, so a *constant* rate settles
+  // into a ring of radius ~ lr*eta*||w|| around the optimum; with the
+  // decaying schedule the paper pairs it with, it converges. Base rates can
+  // be huge (like Table 2's 15-20 scaled rates) without diverging.
+  Lars opt(0.9f, 0.001f, 1e-9f, 0.f);
+  Quadratic q(Shape{4, 3}, 5.f, 1.f);
+  std::vector<Param*> params = {&q.param};
+  const int steps = 300;
+  for (int s = 0; s < steps; ++s) {
+    q.fill_grad();
+    const float frac = 1.f - static_cast<float>(s) / steps;
+    opt.step(params, 30.f * frac * frac);  // polynomial decay
+  }
+  EXPECT_LT(q.distance(), 0.05);
+}
+
+TEST(LarsTest, TrustRatioMatchesFormula) {
+  Param p("w", Tensor::full(Shape{4}, 2.f));  // ||w|| = 4
+  p.grad.fill(1.f);                            // ||g|| = 2
+  std::vector<Param*> params = {&p};
+  const float wd = 0.1f;
+  Lars opt(0.f, 0.001f, 0.f, wd);
+  opt.step(params, 1.f);
+  // trust = eta * ||w|| / (||g|| + wd * ||w||) = 0.001*4 / (2 + 0.4)
+  const float expected = 0.001f * 4.f / 2.4f;
+  ASSERT_EQ(opt.last_trust_ratios().size(), 1u);
+  EXPECT_NEAR(opt.last_trust_ratios()[0], expected, 1e-6f);
+}
+
+TEST(LarsTest, ExcludedParamsGetPlainSgd) {
+  Param bn("bn/gamma", Tensor::full(Shape{2}, 1.f), /*decay=*/false,
+           /*adapt=*/false);
+  bn.grad.fill(0.5f);
+  std::vector<Param*> params = {&bn};
+  Lars opt(0.f, 0.001f, 1e-9f, 0.1f);
+  opt.step(params, 0.2f);
+  // Plain SGD step: w -= lr * g (no trust scaling, no decay).
+  EXPECT_NEAR(bn.value.at(0), 1.f - 0.2f * 0.5f, 1e-6f);
+  EXPECT_FLOAT_EQ(opt.last_trust_ratios()[0], 1.f);
+}
+
+TEST(LarsTest, ZeroWeightNormMeansNoAdaptation) {
+  Param p("w", Tensor(Shape{3}));  // all zero
+  p.grad.fill(1.f);
+  std::vector<Param*> params = {&p};
+  Lars opt(0.f, 0.001f, 1e-9f, 0.f);
+  opt.step(params, 0.1f);
+  EXPECT_FLOAT_EQ(opt.last_trust_ratios()[0], 1.f);
+  EXPECT_NEAR(p.value.at(0), -0.1f, 1e-6f);
+}
+
+TEST(LarsTest, StepDirectionScaleInvariantToGradScale) {
+  // Doubling the gradient leaves the LARS step (w/o momentum, wd) nearly
+  // unchanged: trust ratio halves while the gradient doubles.
+  Param a("a", Tensor::full(Shape{4}, 1.f));
+  Param b("b", Tensor::full(Shape{4}, 1.f));
+  a.grad.fill(0.1f);
+  b.grad.fill(0.2f);
+  Lars oa(0.f, 0.001f, 0.f, 0.f), ob(0.f, 0.001f, 0.f, 0.f);
+  std::vector<Param*> pa = {&a}, pb = {&b};
+  oa.step(pa, 1.f);
+  ob.step(pb, 1.f);
+  EXPECT_NEAR(a.value.at(0), b.value.at(0), 1e-6f);
+}
+
+TEST(Sm3Test, ConvergesOnQuadratic) {
+  Sm3 opt(0.9f, 1e-8f, 0.f);
+  expect_converges(opt, 0.3f, 300);
+}
+
+TEST(Sm3Test, MemoryIsSumOfDimsNotProduct) {
+  Param p("w", Tensor(Shape{32, 16}));
+  p.grad.fill(0.1f);
+  std::vector<Param*> params = {&p};
+  Sm3 opt(0.f, 1e-8f, 0.f);
+  opt.step(params, 0.01f);
+  EXPECT_EQ(opt.accumulator_floats(), 32u + 16u);  // vs 512 for Adagrad
+}
+
+TEST(Sm3Test, AccumulatorUpperBoundsAdagrad) {
+  // SM3's nu_j >= sum of g_j^2 (it majorizes Adagrad's accumulator), so
+  // its effective step is never larger than Adagrad's.
+  Param p("w", Tensor::full(Shape{4, 4}, 1.f));
+  std::vector<Param*> params = {&p};
+  Sm3 opt(0.f, 1e-12f, 0.f);
+  Rng rng(4);
+  double adagrad_acc = 0;
+  for (int s = 0; s < 20; ++s) {
+    const float g = rng.normal();
+    p.grad.fill(g);
+    adagrad_acc += static_cast<double>(g) * g;
+    const float before = p.value.at(0);
+    opt.step(params, 1.f);
+    const float step = std::abs(p.value.at(0) - before);
+    const float adagrad_step =
+        std::abs(g) / std::sqrt(static_cast<float>(adagrad_acc));
+    EXPECT_LE(step, adagrad_step * 1.001f);
+  }
+}
+
+TEST(FactoryTest, MakesEveryKind) {
+  for (OptimizerKind kind :
+       {OptimizerKind::kSgd, OptimizerKind::kRmsProp, OptimizerKind::kLars,
+        OptimizerKind::kSm3}) {
+    OptimizerConfig cfg;
+    cfg.kind = kind;
+    auto opt = make_optimizer(cfg);
+    ASSERT_NE(opt, nullptr);
+    EXPECT_EQ(opt->name(), to_string(kind));
+  }
+}
+
+class OptimizerDeterminismTest
+    : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimizerDeterminismTest, IdenticalInputsIdenticalUpdates) {
+  // The data-parallel invariant: two replicas applying the same optimizer
+  // to identical weights and gradients stay bit-identical.
+  OptimizerConfig cfg;
+  cfg.kind = GetParam();
+  auto opt1 = make_optimizer(cfg);
+  auto opt2 = make_optimizer(cfg);
+  Rng rng(7);
+  Param p1("w", Tensor::randn(Shape{8, 3}, rng));
+  Param p2("w", p1.value);
+  std::vector<Param*> v1 = {&p1}, v2 = {&p2};
+  Rng grads(9);
+  for (int s = 0; s < 25; ++s) {
+    Tensor g = Tensor::randn(Shape{8, 3}, grads);
+    p1.grad = g;
+    p2.grad = g;
+    opt1->step(v1, 0.1f);
+    opt2->step(v2, 0.1f);
+    for (tensor::Index i = 0; i < p1.value.numel(); ++i) {
+      ASSERT_EQ(p1.value.at(i), p2.value.at(i)) << "step " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OptimizerDeterminismTest,
+                         ::testing::Values(OptimizerKind::kSgd,
+                                           OptimizerKind::kRmsProp,
+                                           OptimizerKind::kLars,
+                                           OptimizerKind::kSm3));
+
+}  // namespace
+}  // namespace podnet::optim

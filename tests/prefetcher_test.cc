@@ -1,0 +1,77 @@
+#include "data/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+namespace podnet::data {
+namespace {
+
+DatasetConfig config() {
+  DatasetConfig c;
+  c.num_classes = 4;
+  c.train_size = 64;
+  c.eval_size = 16;
+  c.resolution = 8;
+  return c;
+}
+
+TEST(PrefetcherTest, DeliversSameBatchesAsDirectLoading) {
+  SyntheticImageNet ds(config());
+  TrainLoader direct(&ds, 0, 2, 8);
+  TrainLoader for_prefetch(&ds, 0, 2, 8);
+  const Index steps_per_epoch = direct.steps_per_epoch();
+  const Index total = steps_per_epoch * 3;
+  Prefetcher prefetcher(&for_prefetch, total);
+  for (Index step = 0; step < total; ++step) {
+    auto got = prefetcher.next();
+    ASSERT_TRUE(got.has_value()) << step;
+    Batch expect = direct.batch(step / steps_per_epoch,
+                                step % steps_per_epoch);
+    ASSERT_EQ(got->labels, expect.labels) << step;
+    for (tensor::Index i = 0; i < expect.images.numel(); ++i) {
+      ASSERT_EQ(got->images.at(i), expect.images.at(i));
+    }
+  }
+  EXPECT_FALSE(prefetcher.next().has_value());  // exhausted
+}
+
+TEST(PrefetcherTest, ZeroStepsYieldsNothing) {
+  SyntheticImageNet ds(config());
+  TrainLoader loader(&ds, 0, 1, 8);
+  Prefetcher prefetcher(&loader, 0);
+  EXPECT_FALSE(prefetcher.next().has_value());
+}
+
+TEST(PrefetcherTest, DestructorDoesNotHangWhenUnconsumed) {
+  SyntheticImageNet ds(config());
+  TrainLoader loader(&ds, 0, 1, 8);
+  {
+    Prefetcher prefetcher(&loader, 100);
+    auto first = prefetcher.next();
+    EXPECT_TRUE(first.has_value());
+    // Drop it with 99 batches unconsumed: must shut down cleanly.
+  }
+  SUCCEED();
+}
+
+TEST(PrefetcherTest, ManyConsumersInterleave) {
+  // One prefetcher per replica (as the trainer does): all shards complete.
+  SyntheticImageNet ds(config());
+  const int R = 4;
+  std::vector<std::unique_ptr<TrainLoader>> loaders;
+  std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+  for (int r = 0; r < R; ++r) {
+    loaders.push_back(std::make_unique<TrainLoader>(&ds, r, R, 4));
+    prefetchers.push_back(
+        std::make_unique<Prefetcher>(loaders.back().get(), 8));
+  }
+  for (int step = 0; step < 8; ++step) {
+    for (int r = 0; r < R; ++r) {
+      auto b = prefetchers[static_cast<std::size_t>(r)]->next();
+      ASSERT_TRUE(b.has_value());
+      EXPECT_EQ(b->count(), 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace podnet::data

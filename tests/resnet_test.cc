@@ -1,0 +1,147 @@
+#include "resnet/resnet.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "nn/grad_check.h"
+#include "nn/loss.h"
+
+namespace podnet::resnet {
+namespace {
+
+using nn::Rng;
+using nn::Shape;
+using nn::Tensor;
+
+TEST(ResNetSpecTest, CifarFamilyNaming) {
+  EXPECT_EQ(cifar_resnet(1).name, "resnet-8");
+  EXPECT_EQ(cifar_resnet(3).name, "resnet-20");
+  EXPECT_EQ(cifar_resnet(9).name, "resnet-56");
+}
+
+TEST(BasicBlockTest, IdentityShortcutShape) {
+  Rng rng(1);
+  ResNetSpec spec = resnet_tiny();
+  BasicBlock block(8, 8, 1, rng, spec, tensor::MatmulPrecision::kFp32,
+                   "blk");
+  Tensor x = Tensor::randn(Shape{2, 6, 6, 8}, rng);
+  EXPECT_EQ(block.forward(x, false).shape(), x.shape());
+}
+
+TEST(BasicBlockTest, ProjectionShortcutShape) {
+  Rng rng(2);
+  ResNetSpec spec = resnet_tiny();
+  BasicBlock block(8, 16, 2, rng, spec, tensor::MatmulPrecision::kFp32,
+                   "blk");
+  Tensor x = Tensor::randn(Shape{2, 8, 8, 8}, rng);
+  EXPECT_EQ(block.forward(x, false).shape(), Shape({2, 4, 4, 16}));
+}
+
+TEST(BasicBlockTest, GradCheckIdentity) {
+  Rng rng(3);
+  ResNetSpec spec = resnet_tiny();
+  BasicBlock block(4, 4, 1, rng, spec, tensor::MatmulPrecision::kFp32,
+                   "blk");
+  Tensor x = Tensor::randn(Shape{3, 4, 4, 4}, rng);
+  nn::GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  opts.max_entries = 24;
+  const auto res = nn::grad_check(block, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 8e-2) << res.worst;
+}
+
+TEST(BasicBlockTest, GradCheckProjection) {
+  Rng rng(4);
+  ResNetSpec spec = resnet_tiny();
+  BasicBlock block(4, 6, 2, rng, spec, tensor::MatmulPrecision::kFp32,
+                   "blk");
+  Tensor x = Tensor::randn(Shape{2, 6, 6, 4}, rng);
+  nn::GradCheckOptions opts;
+  opts.epsilon = 1e-2f;
+  opts.max_entries = 24;
+  const auto res = nn::grad_check(block, x, rng, opts);
+  EXPECT_LE(res.max_rel_err, 8e-2) << res.worst;
+}
+
+TEST(ResNetTest, ForwardShapeAndBlockCount) {
+  ResNet::Options opts;
+  opts.num_classes = 10;
+  ResNet model(cifar_resnet(2), opts);  // resnet-14: 6 blocks
+  EXPECT_EQ(model.block_count(), 6u);
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{2, 16, 16, 3}, rng);
+  EXPECT_EQ(model.forward(x, false).shape(), Shape({2, 10}));
+}
+
+TEST(ResNetTest, SameSeedSameWeights) {
+  ResNet::Options opts;
+  opts.num_classes = 4;
+  opts.init_seed = 77;
+  ResNet a(resnet_tiny(), opts);
+  ResNet b(resnet_tiny(), opts);
+  auto pa = nn::parameters_of(a);
+  auto pb = nn::parameters_of(b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (tensor::Index j = 0; j < pa[i]->value.numel(); ++j) {
+      ASSERT_EQ(pa[i]->value.at(j), pb[i]->value.at(j));
+    }
+  }
+}
+
+TEST(ResNetTest, OverfitsOneBatch) {
+  ResNet::Options opts;
+  opts.num_classes = 4;
+  ResNet model(resnet_tiny(), opts);
+  Rng rng(6);
+  Tensor x = Tensor::randn(Shape{8, 16, 16, 3}, rng);
+  std::vector<std::int64_t> labels = {0, 1, 2, 3, 0, 1, 2, 3};
+  auto params = nn::parameters_of(model);
+  double first = 0, last = 0;
+  for (int step = 0; step < 15; ++step) {
+    nn::zero_grads(params);
+    Tensor logits = model.forward(x, true);
+    auto loss = nn::softmax_cross_entropy(logits, labels, 0.f);
+    if (step == 0) first = loss.loss;
+    last = loss.loss;
+    model.backward(loss.grad_logits);
+    for (nn::Param* p : params) {
+      for (tensor::Index j = 0; j < p->value.numel(); ++j) {
+        p->value.at(j) -= 0.05f * p->grad.at(j);
+      }
+    }
+  }
+  EXPECT_LT(last, 0.6 * first);
+}
+
+TEST(ResNetTest, TrainsThroughTheDistributedTrainer) {
+  // The Model interface makes the ResNet baseline a drop-in for the
+  // trainer, with distributed BN and all.
+  core::TrainConfig c;
+  c.dataset.num_classes = 8;
+  c.dataset.train_size = 512;
+  c.dataset.eval_size = 128;
+  c.dataset.resolution = 16;
+  c.replicas = 2;
+  c.per_replica_batch = 32;
+  c.optimizer.kind = optim::OptimizerKind::kLars;
+  c.lr_per_256 = 4.0f;
+  c.schedule.decay = optim::DecayKind::kPolynomial;
+  c.schedule.warmup_epochs = 1.0;
+  c.epochs = 5.0;
+  c.bn.kind = core::BnGroupingConfig::Kind::k1d;
+  c.bn.group_size = 2;
+  c.seed = 9;
+  c.model_factory = [&c](int) {
+    ResNet::Options opts;
+    opts.init_seed = c.seed;
+    opts.num_classes = c.dataset.num_classes;
+    return std::make_unique<ResNet>(resnet_tiny(), opts);
+  };
+  const core::TrainResult r = core::train(c);
+  EXPECT_EQ(r.model_name, "resnet-tiny");
+  EXPECT_GT(r.peak_accuracy, 0.4);
+}
+
+}  // namespace
+}  // namespace podnet::resnet

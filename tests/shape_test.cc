@@ -1,0 +1,54 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace podnet::tensor {
+namespace {
+
+TEST(ShapeTest, DefaultIsRankZeroScalar) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, RankAndDims) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s[3], 5);
+  EXPECT_EQ(s.numel(), 120);
+}
+
+TEST(ShapeTest, ZeroDimGivesZeroNumel) {
+  Shape s{4, 0, 3};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+  EXPECT_EQ(Shape{}, Shape{});
+}
+
+TEST(ShapeTest, Str) {
+  EXPECT_EQ(Shape({2, 3}).str(), "[2, 3]");
+  EXPECT_EQ(Shape{}.str(), "[]");
+}
+
+class ShapeNumelTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShapeNumelTest, NumelMatchesProduct) {
+  const auto [a, b] = GetParam();
+  Shape s{a, b};
+  EXPECT_EQ(s.numel(), static_cast<Index>(a) * b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShapeNumelTest,
+                         ::testing::Combine(::testing::Values(1, 3, 7, 16),
+                                            ::testing::Values(1, 2, 9, 32)));
+
+}  // namespace
+}  // namespace podnet::tensor

@@ -1,0 +1,140 @@
+// Stress / fuzz-style tests: randomized shapes and mixed workloads that
+// hammer the concurrency-sensitive pieces.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "dist/communicator.h"
+#include "dist/replica.h"
+#include "nn/grad_check.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+
+namespace podnet {
+namespace {
+
+TEST(StressTest, CommunicatorMixedSizesAndAlgorithms) {
+  // Random sequence of collectives with varying sizes; all ranks must
+  // agree on every result.
+  const int ranks = 4;
+  dist::Communicator comm(ranks);
+  std::atomic<int> failures{0};
+  tensor::Rng size_rng(99);
+  std::vector<std::size_t> sizes;
+  std::vector<int> algs;
+  for (int round = 0; round < 40; ++round) {
+    sizes.push_back(1 + size_rng.next_below(3000));
+    algs.push_back(static_cast<int>(size_rng.next_below(4)));
+  }
+  dist::run_replicas(ranks, [&](int r) {
+    for (int round = 0; round < 40; ++round) {
+      std::vector<float> v(sizes[static_cast<std::size_t>(round)],
+                           static_cast<float>(r + 1));
+      comm.allreduce_sum(
+          r, v,
+          static_cast<dist::AllReduceAlgorithm>(
+              algs[static_cast<std::size_t>(round)]));
+      const float expected = 1.f + 2.f + 3.f + 4.f;
+      for (float x : v) {
+        if (std::abs(x - expected) > 1e-4f) failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StressTest, GemmRandomShapesMatchNaive) {
+  tensor::Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::int64_t m = 1 + static_cast<std::int64_t>(rng.next_below(40));
+    const std::int64_t n = 1 + static_cast<std::int64_t>(rng.next_below(40));
+    const std::int64_t k = 1 + static_cast<std::int64_t>(rng.next_below(60));
+    const bool ta = rng.next_below(2) == 1;
+    const bool tb = rng.next_below(2) == 1;
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.f);
+    for (auto& v : a) v = rng.normal();
+    for (auto& v : b) v = rng.normal();
+    tensor::gemm_contiguous(ta, tb, m, n, k, 1.f, a.data(), b.data(), 0.f,
+                            c.data());
+    for (int probe = 0; probe < 5; ++probe) {
+      const std::int64_t i = static_cast<std::int64_t>(rng.next_below(
+          static_cast<std::uint64_t>(m)));
+      const std::int64_t j = static_cast<std::int64_t>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      double acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[static_cast<std::size_t>(p * m + i)]
+                            : a[static_cast<std::size_t>(i * k + p)];
+        const float bv = tb ? b[static_cast<std::size_t>(j * k + p)]
+                            : b[static_cast<std::size_t>(p * n + j)];
+        acc += static_cast<double>(av) * bv;
+      }
+      ASSERT_NEAR(c[static_cast<std::size_t>(i * n + j)],
+                  static_cast<float>(acc), 1e-3f)
+          << "trial " << trial << " (" << m << "," << n << "," << k << ")";
+    }
+  }
+}
+
+TEST(StressTest, Im2colAdjointRandomGeometries) {
+  tensor::Rng rng(321);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto hw =
+        2 + static_cast<tensor::Index>(rng.next_below(9));        // 2..10
+    const auto c = 1 + static_cast<tensor::Index>(rng.next_below(5));
+    const auto k = 1 + 2 * static_cast<tensor::Index>(rng.next_below(3));
+    const auto s = 1 + static_cast<tensor::Index>(rng.next_below(2));
+    const auto g = tensor::ConvGeometry::same(1, hw, hw, c, k, s);
+    const std::size_t in_size = static_cast<std::size_t>(hw * hw * c);
+    const std::size_t col_size =
+        static_cast<std::size_t>(g.col_rows() * g.col_cols());
+    std::vector<float> x(in_size), cot(col_size), col(col_size),
+        back(in_size, 0.f);
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : cot) v = rng.normal();
+    tensor::im2col(g, x.data(), col.data());
+    tensor::col2im(g, cot.data(), back.data());
+    double lhs = 0, rhs = 0;
+    for (std::size_t i = 0; i < col_size; ++i) {
+      lhs += static_cast<double>(col[i]) * cot[i];
+    }
+    for (std::size_t i = 0; i < in_size; ++i) {
+      rhs += static_cast<double>(back[i]) * x[i];
+    }
+    ASSERT_NEAR(lhs, rhs, 1e-2 + 1e-4 * std::abs(lhs))
+        << "hw=" << hw << " c=" << c << " k=" << k << " s=" << s;
+  }
+}
+
+TEST(StressTest, ManyCommunicatorsInParallel) {
+  // Disjoint groups with their own communicators, all active at once
+  // (the distributed-BN pattern).
+  const int groups = 3;
+  const int per_group = 2;
+  std::vector<std::unique_ptr<dist::Communicator>> comms;
+  for (int g = 0; g < groups; ++g) {
+    comms.push_back(std::make_unique<dist::Communicator>(per_group));
+  }
+  std::atomic<int> failures{0};
+  dist::run_replicas(groups * per_group, [&](int r) {
+    const int g = r / per_group;
+    const int local = r % per_group;
+    for (int round = 0; round < 30; ++round) {
+      std::vector<float> v(64, static_cast<float>(g + 1));
+      comms[static_cast<std::size_t>(g)]->allreduce_sum(
+          local, v, dist::AllReduceAlgorithm::kRing);
+      for (float x : v) {
+        if (x != static_cast<float>(2 * (g + 1))) failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace podnet

@@ -1,0 +1,91 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace podnet::tensor {
+namespace {
+
+TEST(TensorTest, ZerosInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (Index i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.f);
+}
+
+TEST(TensorTest, FullFill) {
+  Tensor t = Tensor::full(Shape{4}, 2.5f);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5f);
+  t.fill(-1.f);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), -1.f);
+}
+
+TEST(TensorTest, At4RowMajorNhwc) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.f;
+  // offset = ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_EQ(t.at(119), 9.f);
+}
+
+TEST(TensorTest, At2RowMajor) {
+  Tensor t(Shape{3, 4});
+  t.at2(2, 1) = 7.f;
+  EXPECT_EQ(t.at(9), 7.f);
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a = Tensor::full(Shape{3}, 1.f);
+  Tensor b = a;
+  b.at(0) = 5.f;
+  EXPECT_EQ(a.at(0), 1.f);
+  EXPECT_EQ(b.at(0), 5.f);
+}
+
+TEST(TensorTest, MoveTransfersBuffer) {
+  Tensor a = Tensor::full(Shape{3}, 1.f);
+  const float* ptr = a.data();
+  Tensor b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+}
+
+TEST(TensorTest, ReshapedPreservesData) {
+  Tensor a = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.reshaped(Shape{3, 2});
+  EXPECT_EQ(b.shape(), Shape({3, 2}));
+  EXPECT_EQ(b.at2(2, 1), 6.f);
+}
+
+TEST(TensorTest, RandnStats) {
+  Rng rng(7);
+  Tensor t = Tensor::randn(Shape{4, 1000}, rng, 2.f);
+  double sum = 0, sumsq = 0;
+  for (Index i = 0; i < t.numel(); ++i) {
+    sum += t.at(i);
+    sumsq += static_cast<double>(t.at(i)) * t.at(i);
+  }
+  const double mean = sum / static_cast<double>(t.numel());
+  const double var = sumsq / static_cast<double>(t.numel()) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, UniformBounds) {
+  Rng rng(3);
+  Tensor t = Tensor::uniform(Shape{1000}, rng, -0.25f, 0.75f);
+  for (Index i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.at(i), -0.25f);
+    EXPECT_LT(t.at(i), 0.75f);
+  }
+}
+
+TEST(TensorTest, FromVectorChecksSize) {
+  Tensor t = Tensor::from_vector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(1, 1), 4.f);
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+}  // namespace
+}  // namespace podnet::tensor

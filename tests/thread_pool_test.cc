@@ -1,0 +1,108 @@
+#include "tensor/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace podnet::tensor {
+namespace {
+
+TEST(ThreadPoolTest, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::int64_t, std::int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleElementRange) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.parallel_for(1, [&](std::int64_t b, std::int64_t e) {
+    sum += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);  // single-core host: 0 workers, caller executes
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPoolTest, SequentialCallsReuseWorkers) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> total{0};
+    pool.parallel_for(100, [&](std::int64_t b, std::int64_t e) {
+      std::int64_t s = 0;
+      for (std::int64_t i = b; i < e; ++i) s += i;
+      total += s;
+    });
+    EXPECT_EQ(total.load(), 4950);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersFromDifferentThreads) {
+  // Replica threads call parallel_for on the shared kernel pool at once;
+  // completion tracking must be per-call.
+  ThreadPool pool(2);
+  constexpr int kCallers = 4;
+  std::vector<std::thread> callers;
+  std::vector<std::int64_t> sums(kCallers, 0);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<std::int64_t> total{0};
+        pool.parallel_for(257, [&](std::int64_t b, std::int64_t e) {
+          std::int64_t s = 0;
+          for (std::int64_t i = b; i < e; ++i) s += i;
+          total += s;
+        });
+        sums[static_cast<std::size_t>(c)] += total.load();
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  const std::int64_t expect_one = 257 * 256 / 2;
+  for (int c = 0; c < kCallers; ++c) EXPECT_EQ(sums[c], 20 * expect_one);
+}
+
+TEST(ThreadPoolTest, GlobalPoolSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+class ThreadPoolSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolSizeTest, SumIsCorrectForAnyWorkerCount) {
+  ThreadPool pool(GetParam());
+  std::atomic<std::int64_t> total{0};
+  const std::int64_t n = 12345;
+  pool.parallel_for(n, [&](std::int64_t b, std::int64_t e) {
+    std::int64_t s = 0;
+    for (std::int64_t i = b; i < e; ++i) s += i;
+    total += s;
+  });
+  EXPECT_EQ(total.load(), n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ThreadPoolSizeTest,
+                         ::testing::Values(0, 1, 2, 3, 7));
+
+}  // namespace
+}  // namespace podnet::tensor

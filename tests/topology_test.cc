@@ -1,0 +1,58 @@
+#include "tpu/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace podnet::tpu {
+namespace {
+
+TEST(TopologyTest, PaperSliceSizes) {
+  // The slice sizes used in Table 1 / Figure 1.
+  const PodSlice s128 = make_slice(128);
+  EXPECT_EQ(s128.chips, 64);
+  EXPECT_EQ(s128.torus_x, 8);
+  EXPECT_EQ(s128.torus_y, 8);
+
+  const PodSlice s256 = make_slice(256);
+  EXPECT_EQ(s256.chips, 128);
+  EXPECT_EQ(s256.torus_x * s256.torus_y, 128);
+
+  const PodSlice s1024 = make_slice(1024);
+  EXPECT_EQ(s1024.chips, 512);
+  EXPECT_EQ(s1024.torus_x, 16);
+  EXPECT_EQ(s1024.torus_y, 32);
+}
+
+TEST(TopologyTest, FullPod) {
+  const PodSlice pod = make_slice(2048);
+  EXPECT_EQ(pod.chips, 1024);
+  EXPECT_EQ(pod.torus_x, 32);
+  EXPECT_EQ(pod.torus_y, 32);
+}
+
+TEST(TopologyTest, SmallestSlice) {
+  const PodSlice s = make_slice(2);
+  EXPECT_EQ(s.chips, 1);
+  EXPECT_EQ(s.torus_x * s.torus_y, 1);
+}
+
+class SliceSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SliceSweepTest, NearSquareFactorization) {
+  const PodSlice s = make_slice(GetParam());
+  EXPECT_EQ(s.cores, GetParam());
+  EXPECT_EQ(s.chips * 2, s.cores);
+  EXPECT_EQ(s.torus_x * s.torus_y, s.chips);
+  EXPECT_LE(s.torus_x, s.torus_y);
+  EXPECT_LE(s.torus_y, 2 * s.torus_x);  // aspect ratio at most 2:1
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, SliceSweepTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                           1024, 2048));
+
+TEST(TopologyTest, StrFormat) {
+  EXPECT_EQ(make_slice(128).str(), "128 cores (8x8 chips)");
+}
+
+}  // namespace
+}  // namespace podnet::tpu
