@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_padding.dir/ablation_batch_padding.cc.o"
+  "CMakeFiles/ablation_batch_padding.dir/ablation_batch_padding.cc.o.d"
+  "ablation_batch_padding"
+  "ablation_batch_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

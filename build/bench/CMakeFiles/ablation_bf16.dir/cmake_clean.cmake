@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bf16.dir/ablation_bf16.cc.o"
+  "CMakeFiles/ablation_bf16.dir/ablation_bf16.cc.o.d"
+  "ablation_bf16"
+  "ablation_bf16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bf16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

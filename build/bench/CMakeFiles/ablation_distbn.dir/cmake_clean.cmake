@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distbn.dir/ablation_distbn.cc.o"
+  "CMakeFiles/ablation_distbn.dir/ablation_distbn.cc.o.d"
+  "ablation_distbn"
+  "ablation_distbn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distbn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

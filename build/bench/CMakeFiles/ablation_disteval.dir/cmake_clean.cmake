@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disteval.dir/ablation_disteval.cc.o"
+  "CMakeFiles/ablation_disteval.dir/ablation_disteval.cc.o.d"
+  "ablation_disteval"
+  "ablation_disteval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disteval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimizers.dir/ablation_optimizers.cc.o"
+  "CMakeFiles/ablation_optimizers.dir/ablation_optimizers.cc.o.d"
+  "ablation_optimizers"
+  "ablation_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warmup.dir/ablation_warmup.cc.o"
+  "CMakeFiles/ablation_warmup.dir/ablation_warmup.cc.o.d"
+  "ablation_warmup"
+  "ablation_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_resnet.dir/baseline_resnet.cc.o"
+  "CMakeFiles/baseline_resnet.dir/baseline_resnet.cc.o.d"
+  "baseline_resnet"
+  "baseline_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_time_to_accuracy.dir/fig1_time_to_accuracy.cc.o"
+  "CMakeFiles/fig1_time_to_accuracy.dir/fig1_time_to_accuracy.cc.o.d"
+  "fig1_time_to_accuracy"
+  "fig1_time_to_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_time_to_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

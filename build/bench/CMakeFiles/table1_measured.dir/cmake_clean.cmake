@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_measured.dir/table1_measured.cc.o"
+  "CMakeFiles/table1_measured.dir/table1_measured.cc.o.d"
+  "table1_measured"
+  "table1_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

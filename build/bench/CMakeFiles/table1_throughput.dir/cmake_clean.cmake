@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_throughput.dir/table1_throughput.cc.o"
+  "CMakeFiles/table1_throughput.dir/table1_throughput.cc.o.d"
+  "table1_throughput"
+  "table1_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

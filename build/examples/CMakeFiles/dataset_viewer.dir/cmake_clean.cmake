@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_viewer.dir/dataset_viewer.cpp.o"
+  "CMakeFiles/dataset_viewer.dir/dataset_viewer.cpp.o.d"
+  "dataset_viewer"
+  "dataset_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_schedule_explorer.dir/lr_schedule_explorer.cpp.o"
+  "CMakeFiles/lr_schedule_explorer.dir/lr_schedule_explorer.cpp.o.d"
+  "lr_schedule_explorer"
+  "lr_schedule_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_schedule_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_simulation.dir/pod_simulation.cpp.o"
+  "CMakeFiles/pod_simulation.dir/pod_simulation.cpp.o.d"
+  "pod_simulation"
+  "pod_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

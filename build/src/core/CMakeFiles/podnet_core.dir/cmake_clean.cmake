@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_core.dir/checkpoint.cc.o"
+  "CMakeFiles/podnet_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/podnet_core.dir/flat_params.cc.o"
+  "CMakeFiles/podnet_core.dir/flat_params.cc.o.d"
+  "CMakeFiles/podnet_core.dir/trainer.cc.o"
+  "CMakeFiles/podnet_core.dir/trainer.cc.o.d"
+  "libpodnet_core.a"
+  "libpodnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

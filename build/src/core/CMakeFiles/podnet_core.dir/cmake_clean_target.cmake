@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpodnet_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cc" "src/data/CMakeFiles/podnet_data.dir/augment.cc.o" "gcc" "src/data/CMakeFiles/podnet_data.dir/augment.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/podnet_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/podnet_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/data/CMakeFiles/podnet_data.dir/loader.cc.o" "gcc" "src/data/CMakeFiles/podnet_data.dir/loader.cc.o.d"
+  "/root/repo/src/data/prefetcher.cc" "src/data/CMakeFiles/podnet_data.dir/prefetcher.cc.o" "gcc" "src/data/CMakeFiles/podnet_data.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/podnet_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

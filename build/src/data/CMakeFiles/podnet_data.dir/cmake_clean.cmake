@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_data.dir/augment.cc.o"
+  "CMakeFiles/podnet_data.dir/augment.cc.o.d"
+  "CMakeFiles/podnet_data.dir/dataset.cc.o"
+  "CMakeFiles/podnet_data.dir/dataset.cc.o.d"
+  "CMakeFiles/podnet_data.dir/loader.cc.o"
+  "CMakeFiles/podnet_data.dir/loader.cc.o.d"
+  "CMakeFiles/podnet_data.dir/prefetcher.cc.o"
+  "CMakeFiles/podnet_data.dir/prefetcher.cc.o.d"
+  "libpodnet_data.a"
+  "libpodnet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/bn_sync.cc" "src/dist/CMakeFiles/podnet_dist.dir/bn_sync.cc.o" "gcc" "src/dist/CMakeFiles/podnet_dist.dir/bn_sync.cc.o.d"
+  "/root/repo/src/dist/communicator.cc" "src/dist/CMakeFiles/podnet_dist.dir/communicator.cc.o" "gcc" "src/dist/CMakeFiles/podnet_dist.dir/communicator.cc.o.d"
+  "/root/repo/src/dist/replica.cc" "src/dist/CMakeFiles/podnet_dist.dir/replica.cc.o" "gcc" "src/dist/CMakeFiles/podnet_dist.dir/replica.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/podnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/podnet_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_dist.dir/bn_sync.cc.o"
+  "CMakeFiles/podnet_dist.dir/bn_sync.cc.o.d"
+  "CMakeFiles/podnet_dist.dir/communicator.cc.o"
+  "CMakeFiles/podnet_dist.dir/communicator.cc.o.d"
+  "CMakeFiles/podnet_dist.dir/replica.cc.o"
+  "CMakeFiles/podnet_dist.dir/replica.cc.o.d"
+  "libpodnet_dist.a"
+  "libpodnet_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

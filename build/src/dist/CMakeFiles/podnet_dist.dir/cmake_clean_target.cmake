@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpodnet_dist.a"
+)

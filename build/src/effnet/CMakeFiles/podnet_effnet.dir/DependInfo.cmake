@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/effnet/config.cc" "src/effnet/CMakeFiles/podnet_effnet.dir/config.cc.o" "gcc" "src/effnet/CMakeFiles/podnet_effnet.dir/config.cc.o.d"
+  "/root/repo/src/effnet/flops.cc" "src/effnet/CMakeFiles/podnet_effnet.dir/flops.cc.o" "gcc" "src/effnet/CMakeFiles/podnet_effnet.dir/flops.cc.o.d"
+  "/root/repo/src/effnet/mbconv.cc" "src/effnet/CMakeFiles/podnet_effnet.dir/mbconv.cc.o" "gcc" "src/effnet/CMakeFiles/podnet_effnet.dir/mbconv.cc.o.d"
+  "/root/repo/src/effnet/model.cc" "src/effnet/CMakeFiles/podnet_effnet.dir/model.cc.o" "gcc" "src/effnet/CMakeFiles/podnet_effnet.dir/model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/podnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/podnet_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

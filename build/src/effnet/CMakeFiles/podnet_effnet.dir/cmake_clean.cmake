@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_effnet.dir/config.cc.o"
+  "CMakeFiles/podnet_effnet.dir/config.cc.o.d"
+  "CMakeFiles/podnet_effnet.dir/flops.cc.o"
+  "CMakeFiles/podnet_effnet.dir/flops.cc.o.d"
+  "CMakeFiles/podnet_effnet.dir/mbconv.cc.o"
+  "CMakeFiles/podnet_effnet.dir/mbconv.cc.o.d"
+  "CMakeFiles/podnet_effnet.dir/model.cc.o"
+  "CMakeFiles/podnet_effnet.dir/model.cc.o.d"
+  "libpodnet_effnet.a"
+  "libpodnet_effnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_effnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

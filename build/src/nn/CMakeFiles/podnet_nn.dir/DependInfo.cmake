@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/podnet_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/nn/CMakeFiles/podnet_nn.dir/batchnorm.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/podnet_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/podnet_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/depthwise_conv.cc" "src/nn/CMakeFiles/podnet_nn.dir/depthwise_conv.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/depthwise_conv.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/podnet_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/grad_check.cc" "src/nn/CMakeFiles/podnet_nn.dir/grad_check.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/grad_check.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/podnet_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/podnet_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/podnet_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/pooling.cc.o.d"
+  "/root/repo/src/nn/squeeze_excite.cc" "src/nn/CMakeFiles/podnet_nn.dir/squeeze_excite.cc.o" "gcc" "src/nn/CMakeFiles/podnet_nn.dir/squeeze_excite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/podnet_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_nn.dir/activations.cc.o"
+  "CMakeFiles/podnet_nn.dir/activations.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/batchnorm.cc.o"
+  "CMakeFiles/podnet_nn.dir/batchnorm.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/conv.cc.o"
+  "CMakeFiles/podnet_nn.dir/conv.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/dense.cc.o"
+  "CMakeFiles/podnet_nn.dir/dense.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/depthwise_conv.cc.o"
+  "CMakeFiles/podnet_nn.dir/depthwise_conv.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/dropout.cc.o"
+  "CMakeFiles/podnet_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/grad_check.cc.o"
+  "CMakeFiles/podnet_nn.dir/grad_check.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/layer.cc.o"
+  "CMakeFiles/podnet_nn.dir/layer.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/loss.cc.o"
+  "CMakeFiles/podnet_nn.dir/loss.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/pooling.cc.o"
+  "CMakeFiles/podnet_nn.dir/pooling.cc.o.d"
+  "CMakeFiles/podnet_nn.dir/squeeze_excite.cc.o"
+  "CMakeFiles/podnet_nn.dir/squeeze_excite.cc.o.d"
+  "libpodnet_nn.a"
+  "libpodnet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

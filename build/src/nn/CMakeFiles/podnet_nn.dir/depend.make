@@ -1,0 +1,2 @@
+# Empty dependencies file for podnet_nn.
+# This may be replaced when dependencies are built.

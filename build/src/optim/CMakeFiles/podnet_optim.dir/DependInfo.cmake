@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/clip.cc" "src/optim/CMakeFiles/podnet_optim.dir/clip.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/clip.cc.o.d"
+  "/root/repo/src/optim/ema.cc" "src/optim/CMakeFiles/podnet_optim.dir/ema.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/ema.cc.o.d"
+  "/root/repo/src/optim/lamb.cc" "src/optim/CMakeFiles/podnet_optim.dir/lamb.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/lamb.cc.o.d"
+  "/root/repo/src/optim/lars.cc" "src/optim/CMakeFiles/podnet_optim.dir/lars.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/lars.cc.o.d"
+  "/root/repo/src/optim/lr_schedule.cc" "src/optim/CMakeFiles/podnet_optim.dir/lr_schedule.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/lr_schedule.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/optim/CMakeFiles/podnet_optim.dir/optimizer.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/optimizer.cc.o.d"
+  "/root/repo/src/optim/rmsprop.cc" "src/optim/CMakeFiles/podnet_optim.dir/rmsprop.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/rmsprop.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/optim/CMakeFiles/podnet_optim.dir/sgd.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/sgd.cc.o.d"
+  "/root/repo/src/optim/sm3.cc" "src/optim/CMakeFiles/podnet_optim.dir/sm3.cc.o" "gcc" "src/optim/CMakeFiles/podnet_optim.dir/sm3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/podnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/podnet_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_optim.dir/clip.cc.o"
+  "CMakeFiles/podnet_optim.dir/clip.cc.o.d"
+  "CMakeFiles/podnet_optim.dir/ema.cc.o"
+  "CMakeFiles/podnet_optim.dir/ema.cc.o.d"
+  "CMakeFiles/podnet_optim.dir/lamb.cc.o"
+  "CMakeFiles/podnet_optim.dir/lamb.cc.o.d"
+  "CMakeFiles/podnet_optim.dir/lars.cc.o"
+  "CMakeFiles/podnet_optim.dir/lars.cc.o.d"
+  "CMakeFiles/podnet_optim.dir/lr_schedule.cc.o"
+  "CMakeFiles/podnet_optim.dir/lr_schedule.cc.o.d"
+  "CMakeFiles/podnet_optim.dir/optimizer.cc.o"
+  "CMakeFiles/podnet_optim.dir/optimizer.cc.o.d"
+  "CMakeFiles/podnet_optim.dir/rmsprop.cc.o"
+  "CMakeFiles/podnet_optim.dir/rmsprop.cc.o.d"
+  "CMakeFiles/podnet_optim.dir/sgd.cc.o"
+  "CMakeFiles/podnet_optim.dir/sgd.cc.o.d"
+  "CMakeFiles/podnet_optim.dir/sm3.cc.o"
+  "CMakeFiles/podnet_optim.dir/sm3.cc.o.d"
+  "libpodnet_optim.a"
+  "libpodnet_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

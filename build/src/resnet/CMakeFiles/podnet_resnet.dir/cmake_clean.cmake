@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_resnet.dir/resnet.cc.o"
+  "CMakeFiles/podnet_resnet.dir/resnet.cc.o.d"
+  "libpodnet_resnet.a"
+  "libpodnet_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_tensor.dir/gemm.cc.o"
+  "CMakeFiles/podnet_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/podnet_tensor.dir/im2col.cc.o"
+  "CMakeFiles/podnet_tensor.dir/im2col.cc.o.d"
+  "CMakeFiles/podnet_tensor.dir/ops.cc.o"
+  "CMakeFiles/podnet_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/podnet_tensor.dir/tensor.cc.o"
+  "CMakeFiles/podnet_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/podnet_tensor.dir/thread_pool.cc.o"
+  "CMakeFiles/podnet_tensor.dir/thread_pool.cc.o.d"
+  "libpodnet_tensor.a"
+  "libpodnet_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpu/cost_model.cc" "src/tpu/CMakeFiles/podnet_tpu.dir/cost_model.cc.o" "gcc" "src/tpu/CMakeFiles/podnet_tpu.dir/cost_model.cc.o.d"
+  "/root/repo/src/tpu/memory_model.cc" "src/tpu/CMakeFiles/podnet_tpu.dir/memory_model.cc.o" "gcc" "src/tpu/CMakeFiles/podnet_tpu.dir/memory_model.cc.o.d"
+  "/root/repo/src/tpu/pod_model.cc" "src/tpu/CMakeFiles/podnet_tpu.dir/pod_model.cc.o" "gcc" "src/tpu/CMakeFiles/podnet_tpu.dir/pod_model.cc.o.d"
+  "/root/repo/src/tpu/topology.cc" "src/tpu/CMakeFiles/podnet_tpu.dir/topology.cc.o" "gcc" "src/tpu/CMakeFiles/podnet_tpu.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/effnet/CMakeFiles/podnet_effnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/podnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/podnet_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podnet_tpu.dir/cost_model.cc.o"
+  "CMakeFiles/podnet_tpu.dir/cost_model.cc.o.d"
+  "CMakeFiles/podnet_tpu.dir/memory_model.cc.o"
+  "CMakeFiles/podnet_tpu.dir/memory_model.cc.o.d"
+  "CMakeFiles/podnet_tpu.dir/pod_model.cc.o"
+  "CMakeFiles/podnet_tpu.dir/pod_model.cc.o.d"
+  "CMakeFiles/podnet_tpu.dir/topology.cc.o"
+  "CMakeFiles/podnet_tpu.dir/topology.cc.o.d"
+  "libpodnet_tpu.a"
+  "libpodnet_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podnet_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

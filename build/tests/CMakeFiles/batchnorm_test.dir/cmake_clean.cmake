@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batchnorm_test.dir/batchnorm_test.cc.o"
+  "CMakeFiles/batchnorm_test.dir/batchnorm_test.cc.o.d"
+  "batchnorm_test"
+  "batchnorm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batchnorm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf16_test.dir/bf16_test.cc.o"
+  "CMakeFiles/bf16_test.dir/bf16_test.cc.o.d"
+  "bf16_test"
+  "bf16_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

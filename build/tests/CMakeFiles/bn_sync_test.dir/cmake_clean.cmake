@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_sync_test.dir/bn_sync_test.cc.o"
+  "CMakeFiles/bn_sync_test.dir/bn_sync_test.cc.o.d"
+  "bn_sync_test"
+  "bn_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effnet_config_test.dir/effnet_config_test.cc.o"
+  "CMakeFiles/effnet_config_test.dir/effnet_config_test.cc.o.d"
+  "effnet_config_test"
+  "effnet_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effnet_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effnet_model_test.dir/effnet_model_test.cc.o"
+  "CMakeFiles/effnet_model_test.dir/effnet_model_test.cc.o.d"
+  "effnet_model_test"
+  "effnet_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effnet_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ema_clip_test.dir/ema_clip_test.cc.o"
+  "CMakeFiles/ema_clip_test.dir/ema_clip_test.cc.o.d"
+  "ema_clip_test"
+  "ema_clip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ema_clip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_params_test.dir/flat_params_test.cc.o"
+  "CMakeFiles/flat_params_test.dir/flat_params_test.cc.o.d"
+  "flat_params_test"
+  "flat_params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

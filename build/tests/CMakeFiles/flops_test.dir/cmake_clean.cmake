@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flops_test.dir/flops_test.cc.o"
+  "CMakeFiles/flops_test.dir/flops_test.cc.o.d"
+  "flops_test"
+  "flops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

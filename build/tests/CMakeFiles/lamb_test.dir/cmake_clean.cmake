@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_test.dir/lamb_test.cc.o"
+  "CMakeFiles/lamb_test.dir/lamb_test.cc.o.d"
+  "lamb_test"
+  "lamb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_test.dir/loss_test.cc.o"
+  "CMakeFiles/loss_test.dir/loss_test.cc.o.d"
+  "loss_test"
+  "loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_schedule_test.dir/lr_schedule_test.cc.o"
+  "CMakeFiles/lr_schedule_test.dir/lr_schedule_test.cc.o.d"
+  "lr_schedule_test"
+  "lr_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_properties_test.dir/model_properties_test.cc.o"
+  "CMakeFiles/model_properties_test.dir/model_properties_test.cc.o.d"
+  "model_properties_test"
+  "model_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

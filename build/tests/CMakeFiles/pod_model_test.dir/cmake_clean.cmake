@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_model_test.dir/pod_model_test.cc.o"
+  "CMakeFiles/pod_model_test.dir/pod_model_test.cc.o.d"
+  "pod_model_test"
+  "pod_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

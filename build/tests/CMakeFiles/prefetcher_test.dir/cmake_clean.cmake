@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetcher_test.dir/prefetcher_test.cc.o"
+  "CMakeFiles/prefetcher_test.dir/prefetcher_test.cc.o.d"
+  "prefetcher_test"
+  "prefetcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_test.dir/resnet_test.cc.o"
+  "CMakeFiles/resnet_test.dir/resnet_test.cc.o.d"
+  "resnet_test"
+  "resnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_test.dir/shape_test.cc.o"
+  "CMakeFiles/shape_test.dir/shape_test.cc.o.d"
+  "shape_test"
+  "shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
