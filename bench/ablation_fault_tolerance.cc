@@ -1,0 +1,63 @@
+// Fault-tolerance ablation — time to accuracy under failures.
+//
+// Figure-1-style sweep with the pod reliability model turned on: at pod
+// scale any core's fault stops the whole SPMD run, so the slice's MTBF
+// shrinks linearly with core count while the fault-free run shortens.
+// Checkpoint cadence trades write overhead (paid always) against expected
+// rework per failure (half an interval + restart); the sweep shows the
+// overhead-minimizing cadence shifting as the slice grows.
+#include <cstdio>
+
+#include "tpu/pod_model.h"
+
+namespace {
+
+using namespace podnet;
+
+void sweep(const effnet::ModelCost& cost, double core_mtbf_hours) {
+  tpu::StepOptions sopts;
+  sopts.per_core_batch = 32;
+  std::printf(
+      "core MTBF %.0f h (0 checkpoint cadence = restart from scratch)\n",
+      core_mtbf_hours);
+  std::printf("%6s %10s | %10s %10s %10s %10s\n", "cores", "fault-free",
+              "ckpt/0ep", "ckpt/10ep", "ckpt/1ep", "ckpt/0.1ep");
+  for (int cores : {128, 256, 512, 1024}) {
+    const auto slice = tpu::make_slice(cores);
+    double minutes[4] = {0, 0, 0, 0};
+    double fault_free = 0;
+    const double cadences[4] = {0.0, 10.0, 1.0, 0.1};
+    for (int i = 0; i < 4; ++i) {
+      tpu::RunOptions run;
+      run.epochs_to_peak = 350;
+      run.core_mtbf_hours = core_mtbf_hours;
+      run.checkpoint_every_epochs = cadences[i];
+      run.checkpoint_write_s = 15.0;   // durable write of ~tens of MB + sync
+      run.restart_overhead_s = 120.0;  // reschedule + re-init + restore
+      const auto r = tpu::model_run(cost, slice, tpu::tpu_v3(), sopts, run);
+      minutes[i] = r.total_minutes();
+      fault_free = (r.total_s - r.checkpoint_s - r.rework_s) / 60.0;
+    }
+    std::printf("%6d %9.1fm | %9.1fm %9.1fm %9.1fm %9.1fm\n", cores,
+                fault_free, minutes[0], minutes[1], minutes[2], minutes[3]);
+  }
+  std::putchar('\n');
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fault-tolerance ablation: EfficientNet-B2 time to accuracy under "
+      "failures\n(pod model; per-core batch 32, 350 epochs, distributed "
+      "eval)\n\n");
+  const auto cost = effnet::analyze(effnet::b(2));
+  // A reliable fleet and a flaky (preemption-heavy) one.
+  sweep(cost, 10000.0);
+  sweep(cost, 500.0);
+  std::printf(
+      "Shape checks: with no checkpoints the expected rework grows with\n"
+      "slice size (shorter MTBF) even as the fault-free time shrinks;\n"
+      "a moderate cadence recovers most of the scaling.\n");
+  return 0;
+}

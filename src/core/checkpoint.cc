@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -9,65 +10,126 @@ namespace podnet::core {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'O', 'D', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+// A tensor name longer than this is treated as file corruption, bounding
+// allocations before the CRC of a (rare) colliding corruption is trusted.
+constexpr std::uint32_t kMaxNameLen = 4096;
 
-void write_bytes(std::ofstream& out, const void* p, std::size_t n) {
-  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
-}
-
-void read_bytes(std::ifstream& in, void* p, std::size_t n,
-                const char* what) {
-  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-  if (!in) {
-    throw std::runtime_error(std::string("checkpoint: truncated reading ") +
-                             what);
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) with a lazily
+// built table; the standard zlib-compatible checksum.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
   }
+  return crc ^ 0xFFFFFFFFu;
 }
 
-template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
-  write_bytes(out, &v, sizeof(T));
-}
+// ---- Serialization into an in-memory buffer --------------------------------
 
-template <typename T>
-T read_pod(std::ifstream& in, const char* what) {
-  T v;
-  read_bytes(in, &v, sizeof(T), what);
-  return v;
-}
-
-void write_tensor(std::ofstream& out, const std::string& name,
-                  const nn::Tensor& t) {
-  write_pod(out, static_cast<std::uint32_t>(name.size()));
-  write_bytes(out, name.data(), name.size());
-  write_pod(out, static_cast<std::uint32_t>(t.shape().rank()));
-  for (int d = 0; d < t.shape().rank(); ++d) {
-    write_pod(out, static_cast<std::int64_t>(t.shape()[d]));
+class Buffer {
+ public:
+  void put_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
   }
-  write_bytes(out, t.data(), static_cast<std::size_t>(t.numel()) * 4);
-}
 
-void read_tensor_into(std::ifstream& in, const std::string& expect_name,
+  template <typename T>
+  void put_pod(const T& v) {
+    put_bytes(&v, sizeof(T));
+  }
+
+  void put_tensor(const std::string& name, const nn::Tensor& t) {
+    put_pod(static_cast<std::uint32_t>(name.size()));
+    put_bytes(name.data(), name.size());
+    put_pod(static_cast<std::uint32_t>(t.shape().rank()));
+    for (int d = 0; d < t.shape().rank(); ++d) {
+      put_pod(static_cast<std::int64_t>(t.shape()[d]));
+    }
+    put_bytes(t.data(), static_cast<std::size_t>(t.numel()) * 4);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// Bounds-checked reader over the fully loaded (and CRC-validated) file.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t n) : data_(data), n_(n) {}
+
+  std::size_t remaining() const { return n_ - pos_; }
+
+  void get_bytes(void* p, std::size_t n, const char* what) {
+    require(n, what);
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T get_pod(const char* what) {
+    T v;
+    get_bytes(&v, sizeof(T), what);
+    return v;
+  }
+
+  std::string get_string(std::uint32_t len, const char* what) {
+    if (len > kMaxNameLen) {
+      throw std::runtime_error(std::string("checkpoint: implausible ") +
+                               what + " length " + std::to_string(len));
+    }
+    require(len, what);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  void require(std::size_t n, const char* what) {
+    if (remaining() < n) {
+      throw std::runtime_error(std::string("checkpoint: truncated reading ") +
+                               what);
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+void read_tensor_into(Cursor& in, const std::string& expect_name,
                       nn::Tensor& t) {
-  const auto name_len = read_pod<std::uint32_t>(in, "name length");
-  std::string name(name_len, '\0');
-  read_bytes(in, name.data(), name_len, "name");
+  const auto name_len = in.get_pod<std::uint32_t>("name length");
+  const std::string name = in.get_string(name_len, "tensor name");
   if (name != expect_name) {
     throw std::runtime_error("checkpoint: tensor mismatch, file has '" +
                              name + "' where model expects '" + expect_name +
                              "'");
   }
-  const auto rank = read_pod<std::uint32_t>(in, "rank");
+  const auto rank = in.get_pod<std::uint32_t>("rank");
   if (static_cast<int>(rank) != t.shape().rank()) {
     throw std::runtime_error("checkpoint: rank mismatch for " + name);
   }
   for (int d = 0; d < t.shape().rank(); ++d) {
-    const auto dim = read_pod<std::int64_t>(in, "dim");
+    const auto dim = in.get_pod<std::int64_t>("dim");
     if (dim != t.shape()[d]) {
       throw std::runtime_error("checkpoint: shape mismatch for " + name);
     }
   }
-  read_bytes(in, t.data(), static_cast<std::size_t>(t.numel()) * 4, "data");
+  in.get_bytes(t.data(), static_cast<std::size_t>(t.numel()) * 4, "data");
 }
 
 std::string state_name(std::size_t i) {
@@ -79,49 +141,131 @@ std::string state_name(std::size_t i) {
 void save_checkpoint(const std::string& path,
                      const std::vector<nn::Param*>& params,
                      const std::vector<nn::Tensor*>& state,
-                     const CheckpointMeta& meta) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  write_bytes(out, kMagic, 4);
-  write_pod(out, kVersion);
-  write_pod(out, meta.step);
-  write_pod(out, meta.epoch);
-  write_pod(out, static_cast<std::uint64_t>(params.size() + state.size()));
-  for (const nn::Param* p : params) write_tensor(out, p->name, p->value);
+                     const CheckpointMeta& meta,
+                     const ExtraState& extra) {
+  Buffer buf;
+  buf.put_bytes(kMagic, 4);
+  buf.put_pod(kVersion);
+  buf.put_pod(meta.step);
+  buf.put_pod(meta.epoch);
+  buf.put_pod(static_cast<std::uint64_t>(params.size() + state.size()));
+  for (const nn::Param* p : params) buf.put_tensor(p->name, p->value);
   for (std::size_t i = 0; i < state.size(); ++i) {
-    write_tensor(out, state_name(i), *state[i]);
+    buf.put_tensor(state_name(i), *state[i]);
   }
-  out.flush();
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+  buf.put_pod(static_cast<std::uint64_t>(extra.size()));
+  for (const auto& [name, blob] : extra) {
+    buf.put_pod(static_cast<std::uint32_t>(name.size()));
+    buf.put_bytes(name.data(), name.size());
+    buf.put_pod(static_cast<std::uint64_t>(blob.size()));
+    buf.put_bytes(blob.data(), blob.size());
+  }
+  const std::uint32_t crc = crc32(buf.bytes().data(), buf.bytes().size());
+
+  // Atomic write: the previous checkpoint stays intact until the new one
+  // is fully on disk.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(buf.bytes().data()),
+              static_cast<std::streamsize>(buf.bytes().size()));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename failed for " + path);
+  }
 }
 
 CheckpointMeta load_checkpoint(const std::string& path,
                                const std::vector<nn::Param*>& params,
-                               const std::vector<nn::Tensor*>& state) {
-  std::ifstream in(path, std::ios::binary);
+                               const std::vector<nn::Tensor*>& state,
+                               ExtraState* extra) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
-  char magic[4];
-  read_bytes(in, magic, 4, "magic");
-  if (std::memcmp(magic, kMagic, 4) != 0) {
+  const std::streamsize size = in.tellg();
+  // Smallest valid file: header + zero tensors + zero blobs + CRC.
+  constexpr std::streamsize kMinSize = 4 + 4 + 8 + 8 + 8 + 8 + 4;
+  if (size < kMinSize) {
+    throw std::runtime_error("checkpoint: file too small: " + path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("checkpoint: read failed for " + path);
+
+  // Validate magic/version before the CRC so a wrong-format file gets a
+  // precise error rather than a generic checksum mismatch.
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
     throw std::runtime_error("checkpoint: bad magic in " + path);
   }
-  const auto version = read_pod<std::uint32_t>(in, "version");
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
   if (version != kVersion) {
     throw std::runtime_error("checkpoint: unsupported version " +
-                             std::to_string(version));
+                             std::to_string(version) + " in " + path);
   }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4,
+              sizeof(stored_crc));
+  const std::uint32_t computed_crc = crc32(bytes.data(), bytes.size() - 4);
+  if (stored_crc != computed_crc) {
+    throw std::runtime_error("checkpoint: CRC mismatch in " + path +
+                             " (file corrupted)");
+  }
+
+  Cursor cur(bytes.data() + 8, bytes.size() - 8 - 4);
   CheckpointMeta meta;
-  meta.step = read_pod<std::int64_t>(in, "step");
-  meta.epoch = read_pod<double>(in, "epoch");
-  const auto count = read_pod<std::uint64_t>(in, "tensor count");
+  meta.step = cur.get_pod<std::int64_t>("step");
+  meta.epoch = cur.get_pod<double>("epoch");
+  const auto count = cur.get_pod<std::uint64_t>("tensor count");
   if (count != params.size() + state.size()) {
-    throw std::runtime_error("checkpoint: tensor count mismatch");
+    throw std::runtime_error(
+        "checkpoint: tensor count mismatch (file has " +
+        std::to_string(count) + ", model expects " +
+        std::to_string(params.size() + state.size()) + ")");
   }
-  for (nn::Param* p : params) read_tensor_into(in, p->name, p->value);
+  for (nn::Param* p : params) read_tensor_into(cur, p->name, p->value);
   for (std::size_t i = 0; i < state.size(); ++i) {
-    read_tensor_into(in, state_name(i), *state[i]);
+    read_tensor_into(cur, state_name(i), *state[i]);
   }
+  const auto extra_count = cur.get_pod<std::uint64_t>("extra count");
+  if (extra_count > 1u << 20) {
+    throw std::runtime_error("checkpoint: implausible extra-blob count");
+  }
+  ExtraState extras;
+  extras.reserve(static_cast<std::size_t>(extra_count));
+  for (std::uint64_t i = 0; i < extra_count; ++i) {
+    const auto name_len = cur.get_pod<std::uint32_t>("extra name length");
+    std::string name = cur.get_string(name_len, "extra name");
+    const auto blob_size = cur.get_pod<std::uint64_t>("extra size");
+    if (blob_size > cur.remaining()) {
+      throw std::runtime_error("checkpoint: truncated reading extra '" +
+                               name + "'");
+    }
+    std::vector<std::uint8_t> blob(static_cast<std::size_t>(blob_size));
+    cur.get_bytes(blob.data(), blob.size(), "extra bytes");
+    extras.emplace_back(std::move(name), std::move(blob));
+  }
+  if (cur.remaining() != 0) {
+    throw std::runtime_error("checkpoint: trailing bytes in " + path);
+  }
+  if (extra) *extra = std::move(extras);
   return meta;
+}
+
+const std::vector<std::uint8_t>* find_extra(const ExtraState& extra,
+                                            const std::string& name) {
+  for (const auto& [n, blob] : extra) {
+    if (n == name) return &blob;
+  }
+  return nullptr;
 }
 
 }  // namespace podnet::core

@@ -1,11 +1,20 @@
-// Checkpointing: binary serialization of model parameters and batch-norm
-// running statistics, keyed by parameter name.
+// Checkpointing: durable binary serialization of model parameters,
+// batch-norm running statistics, and opaque training-state blobs
+// (optimizer slots, EMA shadows, per-replica RNG streams), keyed by
+// parameter name.
 //
-// Format (little-endian): magic "PODN", u32 version, meta (i64 step,
+// Format v2 (little-endian): magic "PODN", u32 version, meta (i64 step,
 // f64 epoch), u64 tensor count, then per tensor: u32 name length, name
-// bytes, u32 rank, i64 dims, f32 data. Loading validates names and shapes
-// against the receiving model, so loading a B2 checkpoint into a B5 fails
-// loudly rather than silently.
+// bytes, u32 rank, i64 dims, f32 data; then u64 extra-blob count, per
+// blob: u32 name length, name bytes, u64 size, raw bytes; finally a u32
+// CRC-32 trailer over every preceding byte.
+//
+// Durability: save writes to "<path>.tmp" and atomically renames over
+// `path`, so a crash mid-write never destroys the previous checkpoint.
+// Loading reads the whole file, validates the CRC and every length field
+// against the file size *before* touching tensor payloads, and validates
+// names and shapes against the receiving model — loading a truncated,
+// bit-flipped, or wrong-architecture file fails loudly, never silently.
 //
 // In data-parallel training every replica holds identical weights, so
 // rank 0 saves and every replica can load the same file.
@@ -13,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/layer.h"
@@ -24,18 +34,30 @@ struct CheckpointMeta {
   double epoch = 0;
 };
 
-// Writes params (values only) and auxiliary state tensors to `path`.
+// Named opaque blobs stored alongside the tensors (order preserved).
+using ExtraState =
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>>;
+
+// Writes params (values only), auxiliary state tensors, and extra blobs
+// to `path` atomically (tmp file + rename) with a CRC-32 trailer.
 // Throws std::runtime_error on I/O failure.
 void save_checkpoint(const std::string& path,
                      const std::vector<nn::Param*>& params,
                      const std::vector<nn::Tensor*>& state,
-                     const CheckpointMeta& meta);
+                     const CheckpointMeta& meta,
+                     const ExtraState& extra = {});
 
-// Restores into the given params/state; returns the stored meta. Throws
-// std::runtime_error on I/O failure, format error, or model mismatch
+// Restores into the given params/state; returns the stored meta and, when
+// `extra` is non-null, the stored blobs. Throws std::runtime_error on I/O
+// failure, corruption (CRC/bounds), format error, or model mismatch
 // (names, order, or shapes differ).
 CheckpointMeta load_checkpoint(const std::string& path,
                                const std::vector<nn::Param*>& params,
-                               const std::vector<nn::Tensor*>& state);
+                               const std::vector<nn::Tensor*>& state,
+                               ExtraState* extra = nullptr);
+
+// Looks up a blob by name; returns nullptr when absent.
+const std::vector<std::uint8_t>* find_extra(const ExtraState& extra,
+                                            const std::string& name);
 
 }  // namespace podnet::core

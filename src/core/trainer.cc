@@ -1,11 +1,15 @@
 #include "core/trainer.h"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "core/checkpoint.h"
 #include "core/flat_params.h"
@@ -17,6 +21,7 @@
 #include "nn/loss.h"
 #include "optim/clip.h"
 #include "optim/ema.h"
+#include "optim/state_io.h"
 
 namespace podnet::core {
 namespace {
@@ -40,6 +45,74 @@ dist::BnGroups make_groups(const BnGroupingConfig& bn, int replicas) {
   return {};
 }
 
+bool file_exists(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return f.good();
+}
+
+// FNV-1a over the payload bytes, folded to 53 bits so the value survives a
+// double-based all-reduce exactly. Any cross-rank bit difference in the
+// reduced gradients changes the hash with overwhelming probability.
+double payload_hash(std::span<const float> v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < v.size() * sizeof(float); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return static_cast<double>(h & ((1ull << 53) - 1));
+}
+
+// Serializes the thread-confined part of one replica's training state:
+// RNG streams (dropout / stochastic depth), batch-norm running statistics
+// (per-replica between eval points), and the running metric accumulators.
+void save_replica_state(optim::StateWriter& w,
+                        const std::vector<nn::Rng*>& rngs,
+                        const std::vector<nn::Tensor*>& bn_state,
+                        double loss_sum, std::int64_t loss_steps,
+                        std::int64_t train_correct, std::int64_t train_seen) {
+  w.put_u64(rngs.size());
+  for (const nn::Rng* g : rngs) {
+    for (std::uint64_t word : g->save_state()) w.put_u64(word);
+  }
+  w.put_u64(bn_state.size());
+  for (const nn::Tensor* t : bn_state) {
+    w.put_floats(std::span<const float>(
+        t->data(), static_cast<std::size_t>(t->numel())));
+  }
+  w.put_f64(loss_sum);
+  w.put_i64(loss_steps);
+  w.put_i64(train_correct);
+  w.put_i64(train_seen);
+}
+
+void load_replica_state(optim::StateReader& r,
+                        const std::vector<nn::Rng*>& rngs,
+                        const std::vector<nn::Tensor*>& bn_state,
+                        double& loss_sum, std::int64_t& loss_steps,
+                        std::int64_t& train_correct,
+                        std::int64_t& train_seen) {
+  if (r.get_u64() != rngs.size()) {
+    throw std::runtime_error("checkpoint: RNG stream count mismatch");
+  }
+  for (nn::Rng* g : rngs) {
+    std::array<std::uint64_t, nn::Rng::kStateWords> st{};
+    for (std::uint64_t& word : st) word = r.get_u64();
+    g->load_state(st);
+  }
+  if (r.get_u64() != bn_state.size()) {
+    throw std::runtime_error("checkpoint: BN state count mismatch");
+  }
+  for (nn::Tensor* t : bn_state) {
+    r.get_floats(
+        std::span<float>(t->data(), static_cast<std::size_t>(t->numel())));
+  }
+  loss_sum = r.get_f64();
+  loss_steps = r.get_i64();
+  train_correct = r.get_i64();
+  train_seen = r.get_i64();
+}
+
 }  // namespace
 
 TrainResult train(const TrainConfig& config) {
@@ -48,238 +121,428 @@ TrainResult train(const TrainConfig& config) {
   if (config.per_replica_batch * R > config.dataset.train_size) {
     throw std::invalid_argument("global batch larger than train split");
   }
+  if (config.checkpoint_every_epochs > 0 && config.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "checkpoint_every_epochs requires checkpoint_path");
+  }
+  if (config.resume && config.checkpoint_path.empty()) {
+    throw std::invalid_argument("resume requires checkpoint_path");
+  }
 
   data::SyntheticImageNet dataset(config.dataset);
-  dist::Communicator comm(R);
-  std::unique_ptr<dist::BnSyncSet> bn_syncs;
   const dist::BnGroups groups = make_groups(config.bn, R);
-  if (!groups.empty()) bn_syncs = std::make_unique<dist::BnSyncSet>(groups);
+
+  // One injector per train() call, shared across recovery attempts: each
+  // scripted fault fires at most once, so replayed steps are clean.
+  std::unique_ptr<dist::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<dist::FaultInjector>(config.faults, R);
+  }
 
   TrainResult result;
   result.global_batch = config.per_replica_batch * R;
-  std::atomic<bool> inconsistent{false};
   const Clock::time_point t0 = Clock::now();
 
-  dist::run_replicas(R, [&](int rank) {
-    // --- Per-replica (thread-confined) state --------------------------------
-    std::unique_ptr<nn::Model> model_ptr;
-    if (config.model_factory) {
-      model_ptr = config.model_factory(rank);
-    } else {
-      effnet::ModelSpec spec = config.spec;
-      spec.resolution = config.dataset.resolution;
-      effnet::ModelOptions mopts;
-      mopts.init_seed = config.seed;
-      mopts.replica_id = rank;
-      mopts.precision = config.precision;
-      mopts.num_classes = config.dataset.num_classes;
-      model_ptr = std::make_unique<effnet::EfficientNet>(spec, mopts);
-    }
-    nn::Model& model = *model_ptr;
-    if (bn_syncs) model.set_bn_sync(bn_syncs->sync(rank));
+  // Rollback bookkeeping, written by rank 0 (threads are joined before the
+  // supervisor reads them).
+  bool have_checkpoint = config.resume && file_exists(config.checkpoint_path);
+  std::int64_t last_ckpt_step = 0;
+  double last_ckpt_epoch = 0.0;
 
-    auto params = nn::parameters_of(model);
-    FlatBuffer bucket(params);
-    auto optimizer = optim::make_optimizer(config.optimizer);
-    std::unique_ptr<optim::WeightEma> ema;
-    if (config.ema_decay > 0.f) {
-      ema = std::make_unique<optim::WeightEma>(params, config.ema_decay);
-    }
+  for (;;) {  // supervised attempts; bounded by max_restarts
+    std::atomic<bool> inconsistent{false};
+    dist::Communicator comm(R);
+    if (injector) comm.set_fault_injector(injector.get());
+    std::unique_ptr<dist::BnSyncSet> bn_syncs;
+    if (!groups.empty()) bn_syncs = std::make_unique<dist::BnSyncSet>(groups);
+    std::vector<std::vector<std::uint8_t>> replica_blobs(
+        static_cast<std::size_t>(R));
+    const bool resume_now = have_checkpoint;
 
-    optim::LrScheduleConfig sched_cfg = config.schedule;
-    sched_cfg.base_lr =
-        optim::scaled_base_lr(config.lr_per_256, result.global_batch);
-    sched_cfg.total_epochs = config.epochs;  // decay horizon == run length
-    auto schedule = optim::make_schedule(sched_cfg);
-
-    data::TrainLoader loader(&dataset, rank, R, config.per_replica_batch);
-    data::EvalLoader eval_loader(&dataset, rank, R,
-                                 std::min<tensor::Index>(
-                                     config.per_replica_batch, 256));
-    const tensor::Index steps_per_epoch = loader.steps_per_epoch();
-    if (steps_per_epoch < 1) {
-      throw std::invalid_argument("global batch larger than train split");
-    }
-    const std::int64_t total_steps = static_cast<std::int64_t>(
-        std::llround(config.epochs * static_cast<double>(steps_per_epoch)));
-
-    std::vector<nn::Tensor*> bn_state;
-    model.collect_state(bn_state);
-    if (!config.init_checkpoint_path.empty()) {
-      // Every replica loads the same file -> weights stay identical.
-      load_checkpoint(config.init_checkpoint_path, params, bn_state);
-    }
-
-    double loss_sum = 0.0;
-    std::int64_t loss_steps = 0;
-    std::int64_t train_correct = 0, train_seen = 0;
-    double next_eval_epoch = config.eval_every_epochs;
-
-    auto run_eval = [&](double at_epoch, float lr_now) {
-      // Evaluate the EMA weights when enabled (swapped back afterwards).
-      if (ema) ema->swap(params);
-      // Average batch-norm running statistics across replicas so every
-      // replica evaluates with the same (global) statistics.
-      std::vector<float> flat = FlatBuffer::pack_tensors(bn_state);
-      comm.allreduce_sum(rank, flat, dist::AllReduceAlgorithm::kFlat);
-      FlatBuffer::unpack_tensors(flat, 1.0f / static_cast<float>(R),
-                                 bn_state);
-
-      // Distributed evaluation (Sec 3.3): each replica scores its shard.
-      std::int64_t correct = 0, correct5 = 0, count = 0;
-      for (tensor::Index i = 0; i < eval_loader.num_batches(); ++i) {
-        data::Batch b = eval_loader.batch(i);
-        if (b.count() == 0) break;
-        nn::Tensor logits = model.forward(b.images, /*training=*/false);
-        correct += nn::top_k_correct(logits, b.labels, 1);
-        correct5 += nn::top_k_correct(logits, b.labels, 5);
-        count += b.count();
+    auto replica_body = [&](int rank) {
+      // --- Per-replica (thread-confined) state ------------------------------
+      std::unique_ptr<nn::Model> model_ptr;
+      if (config.model_factory) {
+        model_ptr = config.model_factory(rank);
+      } else {
+        effnet::ModelSpec spec = config.spec;
+        spec.resolution = config.dataset.resolution;
+        effnet::ModelOptions mopts;
+        mopts.init_seed = config.seed;
+        mopts.replica_id = rank;
+        mopts.precision = config.precision;
+        mopts.num_classes = config.dataset.num_classes;
+        model_ptr = std::make_unique<effnet::EfficientNet>(spec, mopts);
       }
-      if (ema) ema->swap(params);  // restore live training weights
-      const double total_correct =
-          comm.allreduce_scalar(rank, static_cast<double>(correct));
-      const double total_correct5 =
-          comm.allreduce_scalar(rank, static_cast<double>(correct5));
-      const double total_count =
-          comm.allreduce_scalar(rank, static_cast<double>(count));
-      const double sum_loss = comm.allreduce_scalar(rank, loss_sum);
-      const double sum_steps =
-          comm.allreduce_scalar(rank, static_cast<double>(loss_steps));
-      const double sum_train_correct =
-          comm.allreduce_scalar(rank, static_cast<double>(train_correct));
-      const double sum_train_seen =
-          comm.allreduce_scalar(rank, static_cast<double>(train_seen));
-      loss_sum = 0.0;
-      loss_steps = 0;
-      train_correct = 0;
-      train_seen = 0;
+      nn::Model& model = *model_ptr;
+      if (bn_syncs) model.set_bn_sync(bn_syncs->sync(rank));
 
-      if (config.check_consistency) {
-        bucket.pack_values(params);
-        double checksum = 0.0;
-        for (float v : bucket.span()) checksum += v;
-        const double hi = comm.allreduce_max(rank, checksum);
-        const double lo = -comm.allreduce_max(rank, -checksum);
-        if (hi != lo) inconsistent.store(true);
+      auto params = nn::parameters_of(model);
+      FlatBuffer bucket(params);
+      auto optimizer = optim::make_optimizer(config.optimizer);
+      std::unique_ptr<optim::WeightEma> ema;
+      if (config.ema_decay > 0.f) {
+        ema = std::make_unique<optim::WeightEma>(params, config.ema_decay);
       }
 
+      optim::LrScheduleConfig sched_cfg = config.schedule;
+      sched_cfg.base_lr =
+          optim::scaled_base_lr(config.lr_per_256, result.global_batch);
+      sched_cfg.total_epochs = config.epochs;  // decay horizon == run length
+      auto schedule = optim::make_schedule(sched_cfg);
+
+      data::TrainLoader loader(&dataset, rank, R, config.per_replica_batch);
+      data::EvalLoader eval_loader(&dataset, rank, R,
+                                   std::min<tensor::Index>(
+                                       config.per_replica_batch, 256));
+      const tensor::Index steps_per_epoch = loader.steps_per_epoch();
+      if (steps_per_epoch < 1) {
+        throw std::invalid_argument("global batch larger than train split");
+      }
+      const std::int64_t total_steps = static_cast<std::int64_t>(
+          std::llround(config.epochs * static_cast<double>(steps_per_epoch)));
+
+      std::vector<nn::Tensor*> bn_state;
+      model.collect_state(bn_state);
+      std::vector<nn::Rng*> rngs;
+      model.collect_rngs(rngs);
+
+      if (!config.init_checkpoint_path.empty()) {
+        // Every replica loads the same file -> weights stay identical.
+        load_checkpoint(config.init_checkpoint_path, params, bn_state);
+      }
+
+      double loss_sum = 0.0;
+      std::int64_t loss_steps = 0;
+      std::int64_t train_correct = 0, train_seen = 0;
+      std::int64_t start_step = 0;
+
+      if (resume_now) {
+        ExtraState extra;
+        const CheckpointMeta meta =
+            load_checkpoint(config.checkpoint_path, params, bn_state, &extra);
+        if (const auto* optim_blob = find_extra(extra, "optim")) {
+          optim::StateReader orr(*optim_blob);
+          optimizer->load_state(orr, params);
+          if (ema) {
+            const auto* ema_blob = find_extra(extra, "ema");
+            if (!ema_blob) {
+              throw std::runtime_error(
+                  "checkpoint: missing EMA state for resume");
+            }
+            optim::StateReader er(*ema_blob);
+            ema->load_state(er);
+          }
+          const std::string key = "replica/" + std::to_string(rank);
+          const auto* replica_blob = find_extra(extra, key);
+          if (!replica_blob) {
+            throw std::runtime_error("checkpoint: missing '" + key +
+                                     "' state for resume");
+          }
+          optim::StateReader rr(*replica_blob);
+          load_replica_state(rr, rngs, bn_state, loss_sum, loss_steps,
+                             train_correct, train_seen);
+          start_step = meta.step;
+        }
+        // No "optim" blob: a weights-only checkpoint (e.g. the final one of
+        // a finished run) degrades to a warm start from step 0.
+      }
+
+      const double start_epoch = static_cast<double>(start_step) /
+                                 static_cast<double>(steps_per_epoch);
+      double next_eval_epoch = config.eval_every_epochs;
+      while (next_eval_epoch <= start_epoch + 1e-9) {
+        next_eval_epoch += config.eval_every_epochs;
+      }
+      double next_ckpt_epoch = config.checkpoint_every_epochs;
+      if (config.checkpoint_every_epochs > 0) {
+        while (next_ckpt_epoch <= start_epoch + 1e-9) {
+          next_ckpt_epoch += config.checkpoint_every_epochs;
+        }
+      }
+
+      auto run_eval = [&](double at_epoch, float lr_now) {
+        // Evaluate the EMA weights when enabled (swapped back afterwards).
+        if (ema) ema->swap(params);
+        // Average batch-norm running statistics across replicas so every
+        // replica evaluates with the same (global) statistics.
+        std::vector<float> flat = FlatBuffer::pack_tensors(bn_state);
+        comm.allreduce_sum(rank, flat, dist::AllReduceAlgorithm::kFlat);
+        FlatBuffer::unpack_tensors(flat, 1.0f / static_cast<float>(R),
+                                   bn_state);
+
+        // Distributed evaluation (Sec 3.3): each replica scores its shard.
+        std::int64_t correct = 0, correct5 = 0, count = 0;
+        for (tensor::Index i = 0; i < eval_loader.num_batches(); ++i) {
+          data::Batch b = eval_loader.batch(i);
+          if (b.count() == 0) break;
+          nn::Tensor logits = model.forward(b.images, /*training=*/false);
+          correct += nn::top_k_correct(logits, b.labels, 1);
+          correct5 += nn::top_k_correct(logits, b.labels, 5);
+          count += b.count();
+        }
+        if (ema) ema->swap(params);  // restore live training weights
+        const double total_correct =
+            comm.allreduce_scalar(rank, static_cast<double>(correct));
+        const double total_correct5 =
+            comm.allreduce_scalar(rank, static_cast<double>(correct5));
+        const double total_count =
+            comm.allreduce_scalar(rank, static_cast<double>(count));
+        const double sum_loss = comm.allreduce_scalar(rank, loss_sum);
+        const double sum_steps =
+            comm.allreduce_scalar(rank, static_cast<double>(loss_steps));
+        const double sum_train_correct =
+            comm.allreduce_scalar(rank, static_cast<double>(train_correct));
+        const double sum_train_seen =
+            comm.allreduce_scalar(rank, static_cast<double>(train_seen));
+        loss_sum = 0.0;
+        loss_steps = 0;
+        train_correct = 0;
+        train_seen = 0;
+
+        if (config.check_consistency) {
+          bucket.pack_values(params);
+          double checksum = 0.0;
+          for (float v : bucket.span()) checksum += v;
+          const double hi = comm.allreduce_max(rank, checksum);
+          const double lo = -comm.allreduce_max(rank, -checksum);
+          if (hi != lo) inconsistent.store(true);
+        }
+
+        if (rank == 0) {
+          EvalPoint p;
+          p.epoch = at_epoch;
+          p.eval_accuracy = total_count > 0 ? total_correct / total_count : 0;
+          p.eval_top5_accuracy =
+              total_count > 0 ? total_correct5 / total_count : 0;
+          p.train_accuracy =
+              sum_train_seen > 0 ? sum_train_correct / sum_train_seen : 0;
+          p.train_loss = sum_steps > 0 ? sum_loss / sum_steps : 0;
+          p.lr = lr_now;
+          p.wall_seconds = seconds_since(t0);
+          result.history.push_back(p);
+          if (p.eval_accuracy > result.peak_accuracy) {
+            result.peak_accuracy = p.eval_accuracy;
+            result.peak_epoch = at_epoch;
+            result.seconds_to_peak = p.wall_seconds;
+          }
+          result.final_train_loss = p.train_loss;
+          if (config.verbose) {
+            std::printf(
+                "[%s] epoch %6.2f  loss %7.4f  train top-1 %6.4f  eval top-1 "
+                "%6.4f  lr %8.5f\n",
+                model.name().c_str(), at_epoch, p.train_loss, p.train_accuracy,
+                p.eval_accuracy, static_cast<double>(lr_now));
+            std::fflush(stdout);
+          }
+        }
+        comm.barrier();  // history updated before anyone proceeds
+      };
+
+      // Full-state checkpoint: every rank contributes its thread-confined
+      // state; rank 0 assembles and writes atomically between barriers.
+      auto write_train_checkpoint = [&](std::int64_t at_step,
+                                        double at_epoch) {
+        optim::StateWriter w;
+        save_replica_state(w, rngs, bn_state, loss_sum, loss_steps,
+                           train_correct, train_seen);
+        replica_blobs[static_cast<std::size_t>(rank)] = w.take();
+        comm.barrier();  // all contributions in place
+        if (rank == 0) {
+          ExtraState extra;
+          optim::StateWriter ow;
+          optimizer->save_state(ow);
+          extra.emplace_back("optim", ow.take());
+          if (ema) {
+            optim::StateWriter ew;
+            ema->save_state(ew);
+            extra.emplace_back("ema", ew.take());
+          }
+          for (int r = 0; r < R; ++r) {
+            extra.emplace_back("replica/" + std::to_string(r),
+                               replica_blobs[static_cast<std::size_t>(r)]);
+          }
+          CheckpointMeta meta;
+          meta.step = at_step;
+          meta.epoch = at_epoch;
+          save_checkpoint(config.checkpoint_path, params, bn_state, meta,
+                          extra);
+          have_checkpoint = true;
+          last_ckpt_step = at_step;
+          last_ckpt_epoch = at_epoch;
+        }
+        comm.barrier();  // file durable before anyone proceeds
+      };
+
+      // With prefetch on, a background thread renders batch t+1 while this
+      // replica trains on batch t (host-side infeed). The prefetcher owns a
+      // *separate* loader so its epoch-permutation cache cannot race.
+      std::unique_ptr<data::TrainLoader> prefetch_loader;
+      std::unique_ptr<data::Prefetcher> prefetcher;
+      if (config.prefetch) {
+        prefetch_loader = std::make_unique<data::TrainLoader>(
+            &dataset, rank, R, config.per_replica_batch);
+        prefetcher = std::make_unique<data::Prefetcher>(
+            prefetch_loader.get(), total_steps, start_step);
+      }
+
+      float lr_now = 0.f;
+      double allreduce_seconds = 0.0;
+      double train_seconds = 0.0;
+      for (std::int64_t step = start_step; step < total_steps; ++step) {
+        if (injector) injector->begin_step(rank, step);
+        const Clock::time_point step_t0 = Clock::now();
+        const tensor::Index epoch_idx =
+            static_cast<tensor::Index>(step / steps_per_epoch);
+        const tensor::Index in_step =
+            static_cast<tensor::Index>(step % steps_per_epoch);
+        data::Batch batch;
+        if (prefetcher) {
+          auto fetched = prefetcher->next();
+          if (!fetched.has_value()) break;  // defensive; counts always match
+          batch = std::move(*fetched);
+        } else {
+          batch = loader.batch(epoch_idx, in_step);
+        }
+
+        nn::zero_grads(params);
+        nn::Tensor logits = model.forward(batch.images, /*training=*/true);
+        nn::LossResult loss = nn::softmax_cross_entropy(
+            logits, batch.labels, config.label_smoothing);
+        model.backward(loss.grad_logits);
+
+        // Gradient all-reduce -> global-mean gradients on every replica.
+        bucket.pack_grads(params);
+        const Clock::time_point ar_t0 = Clock::now();
+        comm.allreduce_sum(rank, bucket.span(), config.allreduce);
+        allreduce_seconds += seconds_since(ar_t0);
+
+        if (config.verify_collectives) {
+          // Every rank hashes its reduced copy; the all-reduce contract says
+          // the copies are bit-identical, so any corruption shows up as a
+          // hi/lo disagreement — on every rank at once, which keeps the
+          // failure collective (nobody is left blocked at a barrier).
+          const double h = payload_hash(bucket.span());
+          const double hi = comm.allreduce_max(rank, h);
+          const double lo = -comm.allreduce_max(rank, -h);
+          if (hi != lo) {
+            throw dist::ReplicaFailure(
+                "corrupted all-reduce detected at step " +
+                    std::to_string(step),
+                rank, step);
+          }
+        }
+
+        bucket.unpack_grads(params, 1.0f / static_cast<float>(R));
+        if (config.clip_global_norm > 0.f) {
+          optim::clip_grads_by_global_norm(params, config.clip_global_norm);
+        }
+
+        const double cont_epoch =
+            static_cast<double>(step) / static_cast<double>(steps_per_epoch);
+        lr_now = schedule->lr(cont_epoch);
+        optimizer->step(params, lr_now);
+        if (ema) ema->update(params);
+        loss_sum += loss.loss;
+        ++loss_steps;
+        train_correct += loss.correct;
+        train_seen += batch.count();
+
+        train_seconds += seconds_since(step_t0);
+        const double epoch_after = static_cast<double>(step + 1) /
+                                   static_cast<double>(steps_per_epoch);
+        const bool last = step + 1 == total_steps;
+        if (epoch_after + 1e-9 >= next_eval_epoch || last) {
+          run_eval(epoch_after, lr_now);
+          while (next_eval_epoch <= epoch_after + 1e-9) {
+            next_eval_epoch += config.eval_every_epochs;
+          }
+        }
+        // The final checkpoint below supersedes a periodic one at `last`.
+        if (config.checkpoint_every_epochs > 0 && !last &&
+            epoch_after + 1e-9 >= next_ckpt_epoch) {
+          write_train_checkpoint(step + 1, epoch_after);
+          while (next_ckpt_epoch <= epoch_after + 1e-9) {
+            next_ckpt_epoch += config.checkpoint_every_epochs;
+          }
+        }
+      }
       if (rank == 0) {
-        EvalPoint p;
-        p.epoch = at_epoch;
-        p.eval_accuracy = total_count > 0 ? total_correct / total_count : 0;
-        p.eval_top5_accuracy =
-            total_count > 0 ? total_correct5 / total_count : 0;
-        p.train_accuracy =
-            sum_train_seen > 0 ? sum_train_correct / sum_train_seen : 0;
-        p.train_loss = sum_steps > 0 ? sum_loss / sum_steps : 0;
-        p.lr = lr_now;
-        p.wall_seconds = seconds_since(t0);
-        result.history.push_back(p);
-        if (p.eval_accuracy > result.peak_accuracy) {
-          result.peak_accuracy = p.eval_accuracy;
-          result.peak_epoch = at_epoch;
-          result.seconds_to_peak = p.wall_seconds;
-        }
-        result.final_train_loss = p.train_loss;
-        if (config.verbose) {
-          std::printf(
-              "[%s] epoch %6.2f  loss %7.4f  train top-1 %6.4f  eval top-1 "
-              "%6.4f  lr %8.5f\n",
-              model.name().c_str(), at_epoch, p.train_loss, p.train_accuracy,
-              p.eval_accuracy, static_cast<double>(lr_now));
-          std::fflush(stdout);
+        result.model_name = model.name();
+        result.total_steps = total_steps;
+        result.wall_seconds = seconds_since(t0);
+        result.allreduce_fraction =
+            train_seconds > 0 ? allreduce_seconds / train_seconds : 0;
+        if (!config.checkpoint_path.empty()) {
+          if (ema) ema->swap(params);  // checkpoint the eval-quality weights
+          CheckpointMeta meta;
+          meta.step = total_steps;
+          meta.epoch = config.epochs;
+          save_checkpoint(config.checkpoint_path, params, bn_state, meta);
+          if (ema) ema->swap(params);
         }
       }
-      comm.barrier();  // history updated before anyone proceeds
     };
 
-    // With prefetch on, a background thread renders batch t+1 while this
-    // replica trains on batch t (host-side infeed). The prefetcher owns a
-    // *separate* loader so its epoch-permutation cache cannot race.
-    std::unique_ptr<data::TrainLoader> prefetch_loader;
-    std::unique_ptr<data::Prefetcher> prefetcher;
-    if (config.prefetch) {
-      prefetch_loader = std::make_unique<data::TrainLoader>(
-          &dataset, rank, R, config.per_replica_batch);
-      prefetcher = std::make_unique<data::Prefetcher>(prefetch_loader.get(),
-                                                      total_steps);
-    }
-
-    float lr_now = 0.f;
-    double allreduce_seconds = 0.0;
-    double train_seconds = 0.0;
-    for (std::int64_t step = 0; step < total_steps; ++step) {
-      const Clock::time_point step_t0 = Clock::now();
-      const tensor::Index epoch_idx =
-          static_cast<tensor::Index>(step / steps_per_epoch);
-      const tensor::Index in_step =
-          static_cast<tensor::Index>(step % steps_per_epoch);
-      data::Batch batch;
-      if (prefetcher) {
-        auto fetched = prefetcher->next();
-        if (!fetched.has_value()) break;  // defensive; counts always match
-        batch = std::move(*fetched);
-      } else {
-        batch = loader.batch(epoch_idx, in_step);
-      }
-
-      nn::zero_grads(params);
-      nn::Tensor logits = model.forward(batch.images, /*training=*/true);
-      nn::LossResult loss = nn::softmax_cross_entropy(
-          logits, batch.labels, config.label_smoothing);
-      model.backward(loss.grad_logits);
-
-      // Gradient all-reduce -> global-mean gradients on every replica.
-      bucket.pack_grads(params);
-      const Clock::time_point ar_t0 = Clock::now();
-      comm.allreduce_sum(rank, bucket.span(), config.allreduce);
-      allreduce_seconds += seconds_since(ar_t0);
-      bucket.unpack_grads(params, 1.0f / static_cast<float>(R));
-      if (config.clip_global_norm > 0.f) {
-        optim::clip_grads_by_global_norm(params, config.clip_global_norm);
-      }
-
-      const double cont_epoch =
-          static_cast<double>(step) / static_cast<double>(steps_per_epoch);
-      lr_now = schedule->lr(cont_epoch);
-      optimizer->step(params, lr_now);
-      if (ema) ema->update(params);
-      loss_sum += loss.loss;
-      ++loss_steps;
-      train_correct += loss.correct;
-      train_seen += batch.count();
-
-      train_seconds += seconds_since(step_t0);
-      const double epoch_after = static_cast<double>(step + 1) /
-                                 static_cast<double>(steps_per_epoch);
-      const bool last = step + 1 == total_steps;
-      if (epoch_after + 1e-9 >= next_eval_epoch || last) {
-        run_eval(epoch_after, lr_now);
-        while (next_eval_epoch <= epoch_after + 1e-9) {
-          next_eval_epoch += config.eval_every_epochs;
+    try {
+      dist::run_replicas(R, [&](int rank) {
+        try {
+          replica_body(rank);
+        } catch (...) {
+          // Unblock peers waiting at collectives, then surface the primary
+          // failure through run_replicas (CommAborted echoes are filtered).
+          comm.abort();
+          if (bn_syncs) bn_syncs->abort_all();
+          throw;
+        }
+      });
+    } catch (const dist::ReplicaFailure& failure) {
+      if (result.restarts >= config.max_restarts) throw;
+      ++result.restarts;
+      const bool from_ckpt =
+          have_checkpoint && file_exists(config.checkpoint_path);
+      const std::int64_t resume_step = from_ckpt ? last_ckpt_step : 0;
+      const double resume_epoch = from_ckpt ? last_ckpt_epoch : 0.0;
+      result.failed_steps +=
+          std::max<std::int64_t>(0, failure.step() - resume_step);
+      result.recovered_from_epoch = resume_epoch;
+      // Roll history back to the restore point; the relaunched run will
+      // regenerate everything after it.
+      std::erase_if(result.history, [&](const EvalPoint& p) {
+        return p.epoch > resume_epoch + 1e-9;
+      });
+      result.peak_accuracy = 0;
+      result.peak_epoch = 0;
+      result.seconds_to_peak = 0;
+      for (const EvalPoint& p : result.history) {
+        if (p.eval_accuracy > result.peak_accuracy) {
+          result.peak_accuracy = p.eval_accuracy;
+          result.peak_epoch = p.epoch;
+          result.seconds_to_peak = p.wall_seconds;
         }
       }
-    }
-    if (rank == 0) {
-      result.model_name = model.name();
-      result.total_steps = total_steps;
-      result.wall_seconds = seconds_since(t0);
-      result.allreduce_fraction =
-          train_seconds > 0 ? allreduce_seconds / train_seconds : 0;
-      if (!config.checkpoint_path.empty()) {
-        if (ema) ema->swap(params);  // checkpoint the eval-quality weights
-        CheckpointMeta meta;
-        meta.step = total_steps;
-        meta.epoch = config.epochs;
-        save_checkpoint(config.checkpoint_path, params, bn_state, meta);
-        if (ema) ema->swap(params);
+      result.final_train_loss =
+          result.history.empty() ? 0 : result.history.back().train_loss;
+      if (config.verbose) {
+        std::printf("[recovery] %s -> restart %d from epoch %.2f (step %lld)\n",
+                    failure.what(), result.restarts, resume_epoch,
+                    static_cast<long long>(resume_step));
+        std::fflush(stdout);
       }
+      if (config.restart_backoff_ms > 0) {
+        const double ms = config.restart_backoff_ms *
+                          std::ldexp(1.0, result.restarts - 1);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+      }
+      continue;
     }
-  });
 
-  if (inconsistent.load()) {
-    throw std::runtime_error(
-        "replica weight divergence detected (check_consistency)");
+    if (inconsistent.load()) {
+      throw std::runtime_error(
+          "replica weight divergence detected (check_consistency)");
+    }
+    break;
   }
   return result;
 }

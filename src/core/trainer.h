@@ -12,6 +12,16 @@
 // Invariant: replica weights stay bit-identical across the whole run (same
 // init seed, identical all-reduced gradients, deterministic optimizer);
 // `check_consistency` makes the trainer assert it every epoch.
+//
+// Fault tolerance: train() is a supervised loop. With
+// checkpoint_every_epochs set, rank 0 periodically writes a full-state
+// checkpoint (weights, BN statistics, optimizer slots, EMA, per-replica
+// RNG streams and metric accumulators). A recoverable fault
+// (dist::ReplicaFailure — injected, or a detected corrupted collective)
+// aborts the surviving replicas, rolls back to the last good checkpoint,
+// and relaunches, up to max_restarts times with exponential backoff.
+// Resumed runs are bit-exact: the recovered run produces the same final
+// weights as an uninterrupted run with the same seed (tests assert it).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +32,7 @@
 
 #include "data/dataset.h"
 #include "dist/communicator.h"
+#include "dist/fault.h"
 #include "effnet/config.h"
 #include "nn/model.h"
 #include "optim/lr_schedule.h"
@@ -82,6 +93,32 @@ struct TrainConfig {
   // prefetch thread (the host-side infeed pipeline).
   bool prefetch = false;
 
+  // ---- Fault tolerance (DESIGN.md "Fault tolerance") -----------------------
+  // Cadence (in epochs) of full-state checkpoints written by rank 0 to
+  // checkpoint_path during training; 0 disables. These carry optimizer
+  // slots, EMA, and per-replica RNG/accumulator state, so a resumed run
+  // continues bit-exactly. Requires checkpoint_path.
+  double checkpoint_every_epochs = 0.0;
+  // Resume from checkpoint_path before training. A full-state checkpoint
+  // resumes mid-run bit-exactly; a weights-only checkpoint (e.g. the final
+  // one a finished run writes) degrades to a warm start from step 0.
+  bool resume = false;
+  // Cross-check a hash of the all-reduced gradient bucket across ranks
+  // every step; a mismatch (corrupted collective) raises a recoverable
+  // ReplicaFailure on every rank.
+  bool verify_collectives = false;
+  // On a recoverable replica fault, roll back to the last good checkpoint
+  // (or to step 0 if none exists yet) and relaunch, at most this many
+  // times; 0 means any fault fails the run.
+  int max_restarts = 0;
+  // Pause before the first relaunch, doubled on each further restart
+  // (0 disables).
+  double restart_backoff_ms = 0.0;
+  // Scripted faults for exercising the recovery path (tests/benches);
+  // empty means no injection. Each fault fires at most once per train()
+  // call, so replayed steps after a rollback do not re-fire it.
+  dist::FaultPlan faults;
+
   std::uint64_t seed = 42;
   bool check_consistency = false;
   bool verbose = false;
@@ -111,6 +148,10 @@ struct TrainResult {
   // all-reduce — the real-execution counterpart of Table 1's column
   // (thread-scale, so absolute values differ from pod scale).
   double allreduce_fraction = 0;
+  // ---- Fault-tolerance outcome ---------------------------------------------
+  int restarts = 0;                  // supervised relaunches performed
+  std::int64_t failed_steps = 0;     // steps lost to faults and replayed
+  double recovered_from_epoch = -1;  // last rollback point (-1: no restart)
 };
 
 // Runs the full distributed train-and-eval loop and blocks until done.

@@ -2,8 +2,9 @@
 
 namespace podnet::data {
 
-Prefetcher::Prefetcher(TrainLoader* loader, Index total_steps)
-    : loader_(loader), total_steps_(total_steps) {
+Prefetcher::Prefetcher(TrainLoader* loader, Index total_steps,
+                       Index start_step)
+    : loader_(loader), total_steps_(total_steps), start_step_(start_step) {
   producer_ = std::thread([this] { producer_loop(); });
 }
 
@@ -18,7 +19,7 @@ Prefetcher::~Prefetcher() {
 
 void Prefetcher::producer_loop() {
   const Index steps_per_epoch = loader_->steps_per_epoch();
-  for (Index step = 0; step < total_steps_; ++step) {
+  for (Index step = start_step_; step < total_steps_; ++step) {
     Batch batch = loader_->batch(step / steps_per_epoch,
                                  step % steps_per_epoch);
     std::unique_lock<std::mutex> lock(mu_);

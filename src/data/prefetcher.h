@@ -20,8 +20,10 @@ namespace podnet::data {
 class Prefetcher {
  public:
   // Owns neither dataset nor loader configuration; reads from `loader`
-  // (which it drives through the epoch/step schedule).
-  Prefetcher(TrainLoader* loader, Index total_steps);
+  // (which it drives through the epoch/step schedule). start_step lets a
+  // resumed run re-enter the schedule mid-run: batches are produced for
+  // global steps [start_step, total_steps).
+  Prefetcher(TrainLoader* loader, Index total_steps, Index start_step = 0);
   ~Prefetcher();
 
   Prefetcher(const Prefetcher&) = delete;
@@ -36,6 +38,7 @@ class Prefetcher {
 
   TrainLoader* loader_;
   Index total_steps_;
+  Index start_step_;
   Index produced_ = 0;
 
   std::mutex mu_;

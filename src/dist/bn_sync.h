@@ -57,6 +57,12 @@ class BnSyncSet {
   nn::BnStatSync* sync(int replica) { return syncs_[replica].get(); }
   int group_of(int replica) const { return group_of_[replica]; }
 
+  // Poisons every group communicator (see Communicator::abort); a dying
+  // replica calls this so peers blocked in a BN-stat reduction unwind too.
+  void abort_all() {
+    for (auto& c : comms_) c->abort();
+  }
+
  private:
   std::vector<std::unique_ptr<Communicator>> comms_;
   std::vector<std::unique_ptr<GroupBnSync>> syncs_;  // indexed by replica

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "dist/fault.h"
+
 namespace podnet::dist {
 namespace {
 
@@ -43,7 +45,31 @@ Communicator::Communicator(int num_ranks)
   assert(num_ranks >= 1);
 }
 
+void Communicator::AbortableBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_) throw CommAborted();
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == n_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen || aborted_; });
+  if (generation_ == gen) throw CommAborted();  // woken by abort()
+}
+
+void Communicator::AbortableBarrier::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
 void Communicator::barrier() { barrier_.arrive_and_wait(); }
+
+void Communicator::abort() { barrier_.abort(); }
 
 void Communicator::allreduce_sum(int rank, std::span<float> data,
                                  AllReduceAlgorithm alg) {
@@ -51,21 +77,24 @@ void Communicator::allreduce_sum(int rank, std::span<float> data,
   switch (alg) {
     case AllReduceAlgorithm::kFlat:
       allreduce_flat(rank, data);
-      return;
+      break;
     case AllReduceAlgorithm::kRing:
       allreduce_ring(rank, data);
-      return;
+      break;
     case AllReduceAlgorithm::kHalvingDoubling:
       if (is_power_of_two(num_ranks_)) {
         allreduce_halving_doubling(rank, data);
       } else {
         allreduce_ring(rank, data);  // documented fallback
       }
-      return;
+      break;
     case AllReduceAlgorithm::kTwoLevel:
       allreduce_two_level(rank, data);
-      return;
+      break;
   }
+  // Scripted payload corruption lands on this rank's finished copy, the
+  // shared-memory analogue of a link corrupting the received chunk.
+  if (injector_ != nullptr) injector_->maybe_corrupt(rank, data);
 }
 
 void Communicator::allreduce_flat(int rank, std::span<float> data) {

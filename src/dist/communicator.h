@@ -13,17 +13,34 @@
 //
 // Thread contract: every rank must call every collective in the same order
 // (standard MPI semantics). Calls block until all ranks arrive.
+//
+// Fault tolerance: when a replica dies, the surviving ranks would wait at
+// the next barrier forever. abort() breaks that deadlock — every blocked
+// or future barrier wait throws CommAborted, unwinding all replicas so
+// the supervised training loop can roll back and relaunch. An aborted
+// Communicator is permanently unusable; recovery builds a fresh one.
 #pragma once
 
-#include <barrier>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace podnet::dist {
+
+class FaultInjector;
+
+// Thrown out of collectives on every surviving rank after abort(): a
+// secondary symptom of some other rank's primary failure.
+class CommAborted : public std::runtime_error {
+ public:
+  CommAborted() : std::runtime_error("communicator aborted") {}
+};
 
 enum class AllReduceAlgorithm {
   kFlat,              // chunked reduce into shared scratch, then copy-out
@@ -41,8 +58,18 @@ class Communicator {
 
   int size() const { return num_ranks_; }
 
-  // Blocks until all ranks arrive.
+  // Blocks until all ranks arrive; throws CommAborted after abort().
   void barrier();
+
+  // Permanently poisons the communicator: wakes every rank blocked at a
+  // barrier and makes all subsequent collective calls throw CommAborted.
+  // Called by a dying replica so its peers unwind instead of deadlocking.
+  // Thread-safe and idempotent.
+  void abort();
+
+  // Attaches a fault injector consulted after each all-reduce (payload
+  // corruption); nullptr detaches. Set before replicas start.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Elementwise sum across ranks, in place; all buffers must be equal size.
   void allreduce_sum(int rank, std::span<float> data,
@@ -61,13 +88,34 @@ class Communicator {
   double allreduce_max(int rank, double value);
 
  private:
+  // Reusable N-party barrier that can be cancelled: abort() wakes every
+  // waiter and turns this and all future waits into CommAborted throws.
+  // (std::barrier has no cancellation, which is exactly the deadlock a
+  // dead replica causes.)
+  class AbortableBarrier {
+   public:
+    explicit AbortableBarrier(int n) : n_(n) {}
+
+    void arrive_and_wait();
+    void abort();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int n_;
+    int waiting_ = 0;
+    std::uint64_t generation_ = 0;
+    bool aborted_ = false;
+  };
+
   void allreduce_flat(int rank, std::span<float> data);
   void allreduce_ring(int rank, std::span<float> data);
   void allreduce_halving_doubling(int rank, std::span<float> data);
   void allreduce_two_level(int rank, std::span<float> data);
 
   int num_ranks_;
-  std::barrier<> barrier_;
+  AbortableBarrier barrier_;
+  FaultInjector* injector_ = nullptr;
   std::vector<float*> bufs_;
   std::vector<std::size_t> sizes_;
   std::vector<double> scalars_;

@@ -1,0 +1,90 @@
+#include "dist/fault.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "tensor/rng.h"
+
+namespace podnet::dist {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRankFailure:
+      return "rank_failure";
+    case FaultKind::kCorruptAllReduce:
+      return "corrupt_allreduce";
+    case FaultKind::kStragglerDelay:
+      return "straggler_delay";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int num_ranks)
+    : plan_(std::move(plan)),
+      fired_(plan_.faults.size()),
+      rank_step_(static_cast<std::size_t>(num_ranks)) {
+  for (auto& s : rank_step_) s.store(-1, std::memory_order_relaxed);
+}
+
+bool FaultInjector::claim(std::size_t fault_index) {
+  bool expected = false;
+  return fired_[fault_index].compare_exchange_strong(expected, true);
+}
+
+void FaultInjector::begin_step(int rank, std::int64_t step) {
+  rank_step_[static_cast<std::size_t>(rank)].store(step,
+                                                   std::memory_order_relaxed);
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& f = plan_.faults[i];
+    if (f.rank != rank || f.step != step) continue;
+    switch (f.kind) {
+      case FaultKind::kStragglerDelay:
+        if (claim(i)) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(f.delay_ms));
+        }
+        break;
+      case FaultKind::kRankFailure:
+        if (claim(i)) {
+          throw ReplicaFailure("injected rank failure (rank " +
+                                   std::to_string(rank) + ", step " +
+                                   std::to_string(step) + ")",
+                               rank, step);
+        }
+        break;
+      case FaultKind::kCorruptAllReduce:
+        break;  // fires inside the collective, not at step start
+    }
+  }
+}
+
+bool FaultInjector::maybe_corrupt(int rank, std::span<float> data) {
+  if (data.empty()) return false;
+  const std::int64_t step =
+      rank_step_[static_cast<std::size_t>(rank)].load(
+          std::memory_order_relaxed);
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& f = plan_.faults[i];
+    if (f.kind != FaultKind::kCorruptAllReduce || f.rank != rank ||
+        f.step != step) {
+      continue;
+    }
+    if (!claim(i)) continue;
+    // Flip a high mantissa bit of seeded positions: a large relative
+    // error that stays finite (exponent and sign untouched).
+    tensor::Rng rng(plan_.seed ^ (0xfa17ULL * (i + 1)));
+    for (int k = 0; k < f.bit_flips; ++k) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.next_below(data.size()));
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, &data[pos], sizeof(bits));
+      bits ^= 0x00400000u;
+      std::memcpy(&data[pos], &bits, sizeof(bits));
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace podnet::dist

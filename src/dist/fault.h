@@ -1,0 +1,97 @@
+// Deterministic fault injection for the SPMD runtime.
+//
+// At 1024-core scale, preempted hosts, stragglers, and corrupted
+// collectives are the operating regime, not the exception; MLPerf-scale
+// runs survive them with checkpoint-restart (Kumar et al.). A FaultPlan
+// scripts those failures into a run so the recovery path is *tested*, not
+// hoped for: fail rank R at step N, corrupt an all-reduce payload, or
+// delay a rank. Plans are seeded and fire each fault exactly once, so a
+// faulted-and-recovered run is reproducible end to end — the fault does
+// not re-fire on the replayed steps after a rollback.
+//
+// Wiring: the trainer calls FaultInjector::begin_step at the top of every
+// training step (this is where rank failures throw and stragglers sleep);
+// the Communicator calls maybe_corrupt after each all-reduce (this is
+// where payload corruption lands, modelling a flaky link that damages the
+// reduced chunk on one rank).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace podnet::dist {
+
+enum class FaultKind {
+  kRankFailure,      // the rank throws ReplicaFailure at the given step
+  kCorruptAllReduce, // bit-flip floats in the rank's reduced payload
+  kStragglerDelay,   // the rank sleeps delay_ms at the given step
+};
+
+std::string to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kRankFailure;
+  int rank = 0;
+  std::int64_t step = 0;  // global training step at which the fault fires
+  int bit_flips = 1;      // kCorruptAllReduce: number of floats corrupted
+  double delay_ms = 0.0;  // kStragglerDelay: injected stall
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  std::uint64_t seed = 0;  // selects which payload floats get flipped
+  bool empty() const { return faults.empty(); }
+};
+
+// A recoverable replica fault: the supervised training loop rolls back to
+// the last good checkpoint and relaunches instead of failing the run.
+class ReplicaFailure : public std::runtime_error {
+ public:
+  ReplicaFailure(const std::string& what, int rank, std::int64_t step)
+      : std::runtime_error(what), rank_(rank), step_(step) {}
+
+  int rank() const { return rank_; }
+  std::int64_t step() const { return step_; }
+
+ private:
+  int rank_;
+  std::int64_t step_;
+};
+
+// Shared by all replica threads; thread-safe. Lives across recovery
+// retries so each scripted fault fires at most once per train() call.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int num_ranks);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Called by each rank at the top of training step `step`. Records the
+  // rank's position (for maybe_corrupt), sleeps scripted straggler
+  // delays, and throws ReplicaFailure for scripted rank failures.
+  void begin_step(int rank, std::int64_t step);
+
+  // Called by the Communicator after an all-reduce completes. When a
+  // kCorruptAllReduce fault matches this rank's current step, flips one
+  // mantissa bit in `bit_flips` seeded positions of `data` (this rank's
+  // copy only — the ranks now disagree, as with a flaky physical link).
+  // Returns true when a corruption fired.
+  bool maybe_corrupt(int rank, std::span<float> data);
+
+  bool armed() const { return !plan_.faults.empty(); }
+
+ private:
+  // Marks the fault fired; returns false when it had already fired.
+  bool claim(std::size_t fault_index);
+
+  FaultPlan plan_;
+  std::vector<std::atomic<bool>> fired_;
+  std::vector<std::atomic<std::int64_t>> rank_step_;
+};
+
+}  // namespace podnet::dist

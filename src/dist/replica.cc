@@ -1,33 +1,61 @@
 #include "dist/replica.h"
 
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "dist/communicator.h"
 
 namespace podnet::dist {
 
-void run_replicas(int num_replicas, const std::function<void(int)>& body) {
+std::vector<std::exception_ptr> run_replicas_collect(
+    int num_replicas, const std::function<void(int)>& body) {
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_replicas));
   if (num_replicas == 1) {
-    body(0);
-    return;
+    try {
+      body(0);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+    return errors;
   }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_replicas));
-  std::exception_ptr first_error;
-  std::mutex error_mu;
   for (int r = 0; r < num_replicas; ++r) {
     threads.emplace_back([&, r] {
       try {
         body(r);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  return errors;
+}
+
+std::exception_ptr primary_failure(
+    const std::vector<std::exception_ptr>& errors) {
+  std::exception_ptr first_any;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    if (!first_any) first_any = e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const CommAborted&) {
+      // Secondary echo of another rank's failure; keep looking.
+    } catch (...) {
+      return e;
+    }
+  }
+  return first_any;
+}
+
+void run_replicas(int num_replicas, const std::function<void(int)>& body) {
+  const std::vector<std::exception_ptr> errors =
+      run_replicas_collect(num_replicas, body);
+  if (std::exception_ptr primary = primary_failure(errors)) {
+    std::rethrow_exception(primary);
+  }
 }
 
 }  // namespace podnet::dist

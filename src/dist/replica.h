@@ -1,13 +1,36 @@
 // SPMD replica execution: run the same function on N threads, one per
-// simulated TPU core, and join. Exceptions thrown by any replica are
-// captured and rethrown on the caller (first one wins), so test failures
-// inside replica bodies surface normally.
+// simulated TPU core, and join.
+//
+// Failure policy: every replica's exception is captured independently
+// (not "first one wins" — thread scheduling would make that
+// nondeterministic). run_replicas rethrows the *primary* failure: the
+// lowest-rank exception that is not a CommAborted echo. CommAborted is
+// only a secondary symptom — it is what the surviving ranks throw after
+// the failing rank poisons the communicator — so it is reported only
+// when no rank has a real error.
 #pragma once
 
+#include <exception>
 #include <functional>
+#include <vector>
 
 namespace podnet::dist {
 
+// Runs body(r) on num_replicas threads and returns each rank's captured
+// exception (nullptr where the rank completed cleanly). Never throws on
+// behalf of a replica.
+std::vector<std::exception_ptr> run_replicas_collect(
+    int num_replicas, const std::function<void(int)>& body);
+
+// Picks the primary failure from a per-rank capture: the lowest-rank
+// non-CommAborted exception, or the lowest-rank exception when every
+// failure is a CommAborted echo. Returns nullptr when all ranks
+// succeeded.
+std::exception_ptr primary_failure(
+    const std::vector<std::exception_ptr>& errors);
+
+// Runs body(r) on num_replicas threads, joins, and rethrows the primary
+// failure (see above) if any replica failed.
 void run_replicas(int num_replicas, const std::function<void(int)>& body);
 
 }  // namespace podnet::dist

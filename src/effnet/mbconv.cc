@@ -97,6 +97,10 @@ void MBConvBlock::collect_state(std::vector<nn::Tensor*>& out) {
   bn2_.collect_state(out);
 }
 
+void MBConvBlock::collect_rngs(std::vector<nn::Rng*>& out) {
+  drop_path_.collect_rngs(out);
+}
+
 void MBConvBlock::collect_batchnorms(std::vector<nn::BatchNorm*>& out) {
   if (bn0_) out.push_back(bn0_.get());
   out.push_back(&bn1_);

@@ -31,6 +31,7 @@ class MBConvBlock final : public nn::Layer {
   nn::Tensor backward(const nn::Tensor& grad_out) override;
   void collect_params(std::vector<nn::Param*>& out) override;
   void collect_state(std::vector<nn::Tensor*>& out) override;
+  void collect_rngs(std::vector<nn::Rng*>& out) override;
   std::string name() const override { return name_; }
 
   // All batch-norm layers in this block, for distributed-BN wiring.

@@ -79,6 +79,11 @@ void EfficientNet::collect_state(std::vector<nn::Tensor*>& out) {
   head_bn_->collect_state(out);
 }
 
+void EfficientNet::collect_rngs(std::vector<nn::Rng*>& out) {
+  for (auto& b : blocks_) b->collect_rngs(out);
+  dropout_->collect_rngs(out);
+}
+
 void EfficientNet::set_bn_sync(nn::BnStatSync* sync) {
   for (nn::BatchNorm* bn : bns_) bn->set_stat_sync(sync);
 }

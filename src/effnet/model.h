@@ -38,6 +38,7 @@ class EfficientNet final : public nn::Model {
   nn::Tensor backward(const nn::Tensor& grad_out) override;
   void collect_params(std::vector<nn::Param*>& out) override;
   void collect_state(std::vector<nn::Tensor*>& out) override;
+  void collect_rngs(std::vector<nn::Rng*>& out) override;
   std::string name() const override { return spec_.name; }
 
   const ModelSpec& spec() const { return spec_; }

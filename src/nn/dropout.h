@@ -18,6 +18,7 @@ class Dropout final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void collect_rngs(std::vector<Rng*>& out) override { out.push_back(&rng_); }
   std::string name() const override { return name_; }
 
  private:
@@ -34,6 +35,7 @@ class DropPath final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void collect_rngs(std::vector<Rng*>& out) override { out.push_back(&rng_); }
   std::string name() const override { return name_; }
 
  private:

@@ -62,6 +62,11 @@ class Layer {
   // consistent across replicas (batch-norm running statistics).
   virtual void collect_state(std::vector<Tensor*>& out) { (void)out; }
 
+  // Appends pointers to the layer's private RNG streams (dropout,
+  // stochastic depth). Checkpoints capture these so a resumed run replays
+  // the exact same random masks; the collection order must be stable.
+  virtual void collect_rngs(std::vector<Rng*>& out) { (void)out; }
+
   virtual std::string name() const = 0;
 };
 
@@ -94,6 +99,9 @@ class Sequential final : public Layer {
   }
   void collect_state(std::vector<Tensor*>& out) override {
     for (auto& l : layers_) l->collect_state(out);
+  }
+  void collect_rngs(std::vector<Rng*>& out) override {
+    for (auto& l : layers_) l->collect_rngs(out);
   }
 
   std::string name() const override { return name_; }

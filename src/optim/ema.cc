@@ -33,6 +33,25 @@ void WeightEma::update(const std::vector<nn::Param*>& params) {
   }
 }
 
+void WeightEma::save_state(StateWriter& out) const {
+  out.put_i64(t_);
+  out.put_u64(shadow_.size());
+  for (const nn::Tensor& t : shadow_) {
+    out.put_floats({t.data(), static_cast<std::size_t>(t.numel())});
+  }
+}
+
+void WeightEma::load_state(StateReader& in) {
+  t_ = in.get_i64();
+  const std::uint64_t count = in.get_u64();
+  if (count != shadow_.size()) {
+    throw std::runtime_error("ema state: shadow count mismatch");
+  }
+  for (nn::Tensor& t : shadow_) {
+    in.get_floats({t.data(), static_cast<std::size_t>(t.numel())});
+  }
+}
+
 void WeightEma::swap(const std::vector<nn::Param*>& params) {
   assert(params.size() == shadow_.size());
   for (std::size_t i = 0; i < params.size(); ++i) {

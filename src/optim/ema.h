@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "optim/state_io.h"
 
 namespace podnet::optim {
 
@@ -28,6 +29,11 @@ class WeightEma {
 
   std::int64_t updates() const { return t_; }
   float effective_decay() const;
+
+  // Checkpoint support: the update counter (which drives the dynamic
+  // decay warm-up) and the shadow weights.
+  void save_state(StateWriter& out) const;
+  void load_state(StateReader& in);
 
  private:
   float decay_;

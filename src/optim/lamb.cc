@@ -8,16 +8,33 @@
 
 namespace podnet::optim {
 
-void Lamb::step(const std::vector<nn::Param*>& params, float lr) {
-  if (m_.empty()) {
-    m_.reserve(params.size());
-    v_.reserve(params.size());
-    for (const nn::Param* p : params) {
-      m_.emplace_back(p->value.shape());
-      v_.emplace_back(p->value.shape());
-    }
-    trust_.assign(params.size(), 1.f);
+void Lamb::ensure_slots(const std::vector<nn::Param*>& params) {
+  if (!m_.empty()) return;
+  m_.reserve(params.size());
+  v_.reserve(params.size());
+  for (const nn::Param* p : params) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
   }
+  trust_.assign(params.size(), 1.f);
+}
+
+void Lamb::save_state(StateWriter& out) const {
+  out.put_i64(t_);  // bias correction depends on the step count
+  save_slot_tensors(out, m_);
+  save_slot_tensors(out, v_);
+}
+
+void Lamb::load_state(StateReader& in,
+                      const std::vector<nn::Param*>& params) {
+  ensure_slots(params);
+  t_ = in.get_i64();
+  load_slot_tensors(in, m_);
+  load_slot_tensors(in, v_);
+}
+
+void Lamb::step(const std::vector<nn::Param*>& params, float lr) {
+  ensure_slots(params);
   assert(m_.size() == params.size());
   ++t_;
   const double bc1 = 1.0 - std::pow(static_cast<double>(beta1_), t_);

@@ -23,10 +23,15 @@ class Lamb final : public Optimizer {
 
   void step(const std::vector<nn::Param*>& params, float lr) override;
   std::string name() const override { return "lamb"; }
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in,
+                  const std::vector<nn::Param*>& params) override;
 
   const std::vector<float>& last_trust_ratios() const { return trust_; }
 
  private:
+  void ensure_slots(const std::vector<nn::Param*>& params);
+
   float beta1_, beta2_, eps_, weight_decay_;
   std::int64_t t_ = 0;
   std::vector<tensor::Tensor> m_;

@@ -7,14 +7,27 @@
 
 namespace podnet::optim {
 
-void Lars::step(const std::vector<nn::Param*>& params, float lr) {
-  if (velocity_.empty()) {
-    velocity_.reserve(params.size());
-    for (const nn::Param* p : params) {
-      velocity_.emplace_back(p->value.shape());
-    }
-    trust_.assign(params.size(), 1.f);
+void Lars::ensure_slots(const std::vector<nn::Param*>& params) {
+  if (!velocity_.empty()) return;
+  velocity_.reserve(params.size());
+  for (const nn::Param* p : params) {
+    velocity_.emplace_back(p->value.shape());
   }
+  trust_.assign(params.size(), 1.f);
+}
+
+void Lars::save_state(StateWriter& out) const {
+  save_slot_tensors(out, velocity_);
+}
+
+void Lars::load_state(StateReader& in,
+                      const std::vector<nn::Param*>& params) {
+  ensure_slots(params);
+  load_slot_tensors(in, velocity_);
+}
+
+void Lars::step(const std::vector<nn::Param*>& params, float lr) {
+  ensure_slots(params);
   assert(velocity_.size() == params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
     nn::Param& p = *params[i];

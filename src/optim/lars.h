@@ -27,12 +27,17 @@ class Lars final : public Optimizer {
 
   void step(const std::vector<nn::Param*>& params, float lr) override;
   std::string name() const override { return "lars"; }
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in,
+                  const std::vector<nn::Param*>& params) override;
 
   // The trust ratio computed for the most recent step of each param,
   // exposed for tests and diagnostics.
   const std::vector<float>& last_trust_ratios() const { return trust_; }
 
  private:
+  void ensure_slots(const std::vector<nn::Param*>& params);
+
   float momentum_, eta_, eps_, weight_decay_;
   std::vector<tensor::Tensor> velocity_;
   std::vector<float> trust_;

@@ -47,4 +47,25 @@ std::unique_ptr<Optimizer> make_optimizer(const OptimizerConfig& config) {
   return nullptr;
 }
 
+void save_slot_tensors(StateWriter& out,
+                       const std::vector<tensor::Tensor>& ts) {
+  out.put_u64(ts.size());
+  for (const tensor::Tensor& t : ts) {
+    out.put_floats({t.data(), static_cast<std::size_t>(t.numel())});
+  }
+}
+
+void load_slot_tensors(StateReader& in, std::vector<tensor::Tensor>& ts) {
+  const std::uint64_t count = in.get_u64();
+  if (count == 0) return;  // saved before the first step: stay fresh
+  if (count != ts.size()) {
+    throw std::runtime_error("optimizer state: slot count mismatch (have " +
+                             std::to_string(count) + ", expect " +
+                             std::to_string(ts.size()) + ")");
+  }
+  for (tensor::Tensor& t : ts) {
+    in.get_floats({t.data(), static_cast<std::size_t>(t.numel())});
+  }
+}
+
 }  // namespace podnet::optim

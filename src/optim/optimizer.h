@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "optim/state_io.h"
 
 namespace podnet::optim {
 
@@ -24,6 +25,18 @@ class Optimizer {
   virtual ~Optimizer() = default;
   virtual void step(const std::vector<nn::Param*>& params, float lr) = 0;
   virtual std::string name() const = 0;
+
+  // Serializes slot state (momenta, second moments, step counters) so a
+  // resumed run reproduces every subsequent step bit-exactly. Saving
+  // before the first step writes an empty-slot marker; loading it leaves
+  // the optimizer in its fresh state.
+  virtual void save_state(StateWriter& out) const = 0;
+
+  // Restores what save_state wrote. `params` must be the same list (order
+  // and shapes) passed to step(); slots are allocated before loading.
+  // Throws std::runtime_error on shape or count mismatch.
+  virtual void load_state(StateReader& in,
+                          const std::vector<nn::Param*>& params) = 0;
 };
 
 // Which optimizer a training config requests (paper Table 2 column; SM3
@@ -54,5 +67,12 @@ struct OptimizerConfig {
 };
 
 std::unique_ptr<Optimizer> make_optimizer(const OptimizerConfig& config);
+
+// Shared slot-vector serialization for the optimizer implementations:
+// save writes the tensor count then each tensor's floats; load requires
+// the stored count to be zero (fresh state, slots stay zeroed) or to
+// match `ts` exactly.
+void save_slot_tensors(StateWriter& out, const std::vector<tensor::Tensor>& ts);
+void load_slot_tensors(StateReader& in, std::vector<tensor::Tensor>& ts);
 
 }  // namespace podnet::optim

@@ -5,15 +5,30 @@
 
 namespace podnet::optim {
 
-void RmsProp::step(const std::vector<nn::Param*>& params, float lr) {
-  if (ms_.empty()) {
-    ms_.reserve(params.size());
-    mom_.reserve(params.size());
-    for (const nn::Param* p : params) {
-      ms_.emplace_back(p->value.shape());
-      mom_.emplace_back(p->value.shape());
-    }
+void RmsProp::ensure_slots(const std::vector<nn::Param*>& params) {
+  if (!ms_.empty()) return;
+  ms_.reserve(params.size());
+  mom_.reserve(params.size());
+  for (const nn::Param* p : params) {
+    ms_.emplace_back(p->value.shape());
+    mom_.emplace_back(p->value.shape());
   }
+}
+
+void RmsProp::save_state(StateWriter& out) const {
+  save_slot_tensors(out, ms_);
+  save_slot_tensors(out, mom_);
+}
+
+void RmsProp::load_state(StateReader& in,
+                         const std::vector<nn::Param*>& params) {
+  ensure_slots(params);
+  load_slot_tensors(in, ms_);
+  load_slot_tensors(in, mom_);
+}
+
+void RmsProp::step(const std::vector<nn::Param*>& params, float lr) {
+  ensure_slots(params);
   assert(ms_.size() == params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
     nn::Param& p = *params[i];

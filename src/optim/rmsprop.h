@@ -18,8 +18,13 @@ class RmsProp final : public Optimizer {
 
   void step(const std::vector<nn::Param*>& params, float lr) override;
   std::string name() const override { return "rmsprop"; }
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in,
+                  const std::vector<nn::Param*>& params) override;
 
  private:
+  void ensure_slots(const std::vector<nn::Param*>& params);
+
   float decay_, momentum_, eps_, weight_decay_;
   std::vector<tensor::Tensor> ms_;   // moving mean of squared gradients
   std::vector<tensor::Tensor> mom_;  // momentum accumulator

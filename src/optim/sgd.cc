@@ -4,13 +4,26 @@
 
 namespace podnet::optim {
 
-void SgdMomentum::step(const std::vector<nn::Param*>& params, float lr) {
-  if (velocity_.empty()) {
-    velocity_.reserve(params.size());
-    for (const nn::Param* p : params) {
-      velocity_.emplace_back(p->value.shape());
-    }
+void SgdMomentum::ensure_slots(const std::vector<nn::Param*>& params) {
+  if (!velocity_.empty()) return;
+  velocity_.reserve(params.size());
+  for (const nn::Param* p : params) {
+    velocity_.emplace_back(p->value.shape());
   }
+}
+
+void SgdMomentum::save_state(StateWriter& out) const {
+  save_slot_tensors(out, velocity_);
+}
+
+void SgdMomentum::load_state(StateReader& in,
+                             const std::vector<nn::Param*>& params) {
+  ensure_slots(params);
+  load_slot_tensors(in, velocity_);
+}
+
+void SgdMomentum::step(const std::vector<nn::Param*>& params, float lr) {
+  ensure_slots(params);
   assert(velocity_.size() == params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
     nn::Param& p = *params[i];

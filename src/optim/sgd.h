@@ -13,8 +13,13 @@ class SgdMomentum final : public Optimizer {
 
   void step(const std::vector<nn::Param*>& params, float lr) override;
   std::string name() const override { return "sgd"; }
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in,
+                  const std::vector<nn::Param*>& params) override;
 
  private:
+  void ensure_slots(const std::vector<nn::Param*>& params);
+
   float momentum_, weight_decay_;
   std::vector<tensor::Tensor> velocity_;
 };

@@ -9,20 +9,52 @@ namespace podnet::optim {
 
 using tensor::Index;
 
-void Sm3::step(const std::vector<nn::Param*>& params, float lr) {
-  if (slots_.empty()) {
-    slots_.resize(params.size());
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      const auto& shape = params[i]->value.shape();
-      slots_[i].dim_acc.resize(static_cast<std::size_t>(shape.rank()));
-      for (int d = 0; d < shape.rank(); ++d) {
-        slots_[i].dim_acc[d].assign(static_cast<std::size_t>(shape[d]), 0.f);
-      }
-      if (momentum_ > 0.f) {
-        slots_[i].velocity = tensor::Tensor(shape);
-      }
+void Sm3::ensure_slots(const std::vector<nn::Param*>& params) {
+  if (!slots_.empty()) return;
+  slots_.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& shape = params[i]->value.shape();
+    slots_[i].dim_acc.resize(static_cast<std::size_t>(shape.rank()));
+    for (int d = 0; d < shape.rank(); ++d) {
+      slots_[i].dim_acc[d].assign(static_cast<std::size_t>(shape[d]), 0.f);
+    }
+    if (momentum_ > 0.f) {
+      slots_[i].velocity = tensor::Tensor(shape);
     }
   }
+}
+
+void Sm3::save_state(StateWriter& out) const {
+  out.put_u64(slots_.size());
+  for (const Slots& s : slots_) {
+    out.put_u64(s.dim_acc.size());
+    for (const auto& acc : s.dim_acc) out.put_floats(acc);
+    out.put_floats(
+        {s.velocity.data(), static_cast<std::size_t>(s.velocity.numel())});
+  }
+}
+
+void Sm3::load_state(StateReader& in,
+                     const std::vector<nn::Param*>& params) {
+  ensure_slots(params);
+  const std::uint64_t count = in.get_u64();
+  if (count == 0) return;  // saved before the first step: stay fresh
+  if (count != slots_.size()) {
+    throw std::runtime_error("sm3 state: slot count mismatch");
+  }
+  for (Slots& s : slots_) {
+    const std::uint64_t dims = in.get_u64();
+    if (dims != s.dim_acc.size()) {
+      throw std::runtime_error("sm3 state: accumulator rank mismatch");
+    }
+    for (auto& acc : s.dim_acc) in.get_floats(acc);
+    in.get_floats(
+        {s.velocity.data(), static_cast<std::size_t>(s.velocity.numel())});
+  }
+}
+
+void Sm3::step(const std::vector<nn::Param*>& params, float lr) {
+  ensure_slots(params);
   assert(slots_.size() == params.size());
 
   for (std::size_t i = 0; i < params.size(); ++i) {

@@ -23,12 +23,17 @@ class Sm3 final : public Optimizer {
 
   void step(const std::vector<nn::Param*>& params, float lr) override;
   std::string name() const override { return "sm3"; }
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in,
+                  const std::vector<nn::Param*>& params) override;
 
   // Accumulator memory in floats, for comparing against Adagrad/RMSProp
   // (which keep numel() per tensor).
   std::size_t accumulator_floats() const;
 
  private:
+  void ensure_slots(const std::vector<nn::Param*>& params);
+
   struct Slots {
     // One accumulator vector per tensor dimension.
     std::vector<std::vector<float>> dim_acc;

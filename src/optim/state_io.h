@@ -1,0 +1,87 @@
+// Byte-stream (de)serialization for training state: optimizer slots, EMA
+// shadows, RNG streams, metric accumulators. Everything that must survive a
+// checkpoint-restart bit-exactly and is not a named model tensor goes
+// through these helpers into a checkpoint "extra state" blob.
+//
+// Encoding is little-endian raw bytes of fixed-width types; the reader
+// bounds-checks every access and throws std::runtime_error on truncation,
+// so a corrupted blob fails loudly instead of reading garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace podnet::optim {
+
+class StateWriter {
+ public:
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_i64(std::int64_t v) { put_raw(&v, sizeof(v)); }
+  void put_f64(double v) { put_raw(&v, sizeof(v)); }
+  void put_f32(float v) { put_raw(&v, sizeof(v)); }
+
+  void put_floats(std::span<const float> v) {
+    put_u64(v.size());
+    put_raw(v.data(), v.size() * sizeof(float));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  void put_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t get_u64() { return get_pod<std::uint64_t>(); }
+  std::int64_t get_i64() { return get_pod<std::int64_t>(); }
+  double get_f64() { return get_pod<double>(); }
+  float get_f32() { return get_pod<float>(); }
+
+  // Reads a float vector written by put_floats; the stored length must
+  // match the destination exactly (slot shapes are dictated by the model).
+  void get_floats(std::span<float> out) {
+    const std::uint64_t n = get_u64();
+    if (n != out.size()) {
+      throw std::runtime_error("state: float vector length mismatch (have " +
+                               std::to_string(n) + ", expect " +
+                               std::to_string(out.size()) + ")");
+    }
+    get_raw(out.data(), out.size() * sizeof(float));
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  T get_pod() {
+    T v;
+    get_raw(&v, sizeof(T));
+    return v;
+  }
+
+  void get_raw(void* p, std::size_t n) {
+    if (bytes_.size() - pos_ < n) {
+      throw std::runtime_error("state: truncated blob");
+    }
+    std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace podnet::optim

@@ -5,8 +5,10 @@
 // replica counts: replica r derives its stream with Rng::split(r).
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <numbers>
 
 namespace podnet::tensor {
@@ -72,6 +74,26 @@ class Rng {
   Rng split(std::uint64_t stream) const {
     std::uint64_t x = s_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
     return Rng(x);
+  }
+
+  // Complete engine state (4 xoshiro words + the Box-Muller cache), so a
+  // checkpointed stream resumes bit-exactly mid-sequence.
+  static constexpr std::size_t kStateWords = 5;
+
+  std::array<std::uint64_t, kStateWords> save_state() const {
+    std::array<std::uint64_t, kStateWords> st{};
+    for (int i = 0; i < 4; ++i) st[static_cast<std::size_t>(i)] = s_[i];
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &cached_, sizeof(bits));
+    st[4] = bits | (has_cached_ ? (1ULL << 32) : 0ULL);
+    return st;
+  }
+
+  void load_state(const std::array<std::uint64_t, kStateWords>& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st[static_cast<std::size_t>(i)];
+    const std::uint32_t bits = static_cast<std::uint32_t>(st[4]);
+    std::memcpy(&cached_, &bits, sizeof(bits));
+    has_cached_ = (st[4] >> 32) != 0;
   }
 
  private:

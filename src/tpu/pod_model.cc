@@ -68,6 +68,31 @@ RunBreakdown model_run(const effnet::ModelCost& cost, const PodSlice& slice,
       break;
     }
   }
+
+  // Reliability surcharge on top of the fault-free schedule.
+  const double fault_free_s = r.total_s;
+  const double num_checkpoints =
+      run.checkpoint_every_epochs > 0
+          ? std::floor(run.epochs_to_peak / run.checkpoint_every_epochs)
+          : 0.0;
+  r.checkpoint_s = num_checkpoints * run.checkpoint_write_s;
+  if (run.core_mtbf_hours > 0 && slice.cores > 0) {
+    // Failures hit the whole slice: any core's fault stops the SPMD run.
+    const double pod_mtbf_s = run.core_mtbf_hours * 3600.0 / slice.cores;
+    const double exposed_s = fault_free_s + r.checkpoint_s;
+    r.expected_failures = exposed_s / pod_mtbf_s;
+    // A failure lands uniformly within a checkpoint interval, so on
+    // average half the interval's work is lost and replayed; with no
+    // checkpoints the whole run up to the failure (run/2 on average) is.
+    const double interval_s =
+        run.checkpoint_every_epochs > 0
+            ? fault_free_s * (run.checkpoint_every_epochs /
+                              run.epochs_to_peak)
+            : fault_free_s;
+    r.rework_s = r.expected_failures *
+                 (interval_s / 2.0 + run.restart_overhead_s);
+  }
+  r.total_s = fault_free_s + r.checkpoint_s + r.rework_s;
   return r;
 }
 

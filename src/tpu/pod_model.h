@@ -47,12 +47,35 @@ struct RunOptions {
   // TPUEstimator runs evaluation "on a separate TPU chip" (paper Sec 1):
   // one chip = two cores.
   int evaluator_cores = 2;
+
+  // ---- Reliability model (time-to-accuracy under failures) -----------------
+  // At pod scale, preemptions and hardware faults are routine; a run
+  // survives them with checkpoint-restart, paying for checkpoint writes up
+  // front and for lost-and-replayed work per failure. First-order model:
+  // failures arrive at rate cores / core_mtbf, each costing the restart
+  // overhead plus on average half a checkpoint interval of rework.
+  //
+  // Mean time between failures of one core, in hours (0 = perfectly
+  // reliable; the pod's MTBF shrinks with slice size: core_mtbf / cores).
+  double core_mtbf_hours = 0.0;
+  // Wall time to write one durable checkpoint (training pauses while the
+  // host serializes and flushes).
+  double checkpoint_write_s = 0.0;
+  // Checkpoint cadence in epochs (0 = none; a failure then loses on
+  // average half the *run*).
+  double checkpoint_every_epochs = 0.0;
+  // Fixed relaunch cost per failure: rescheduling, re-init, and loading
+  // the last checkpoint.
+  double restart_overhead_s = 0.0;
 };
 
 struct RunBreakdown {
   double steps = 0;
   double train_s = 0;
   double eval_s = 0;   // eval time on the training-time critical path
+  double checkpoint_s = 0;       // time spent writing checkpoints
+  double expected_failures = 0;  // over the (fault-free) run length
+  double rework_s = 0;           // expected lost work + restart overheads
   double total_s = 0;
   double total_minutes() const { return total_s / 60.0; }
 };

@@ -123,6 +123,100 @@ TEST(CheckpointTest, RejectsCorruptedFile) {
   EXPECT_THROW(load_checkpoint(path, params, state), std::runtime_error);
 }
 
+TEST(CheckpointTest, RejectsEveryFlippedByte) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  const std::string path = temp_path("bitflip.ckpt");
+  save_checkpoint(path, params, state, {});
+  long size = 0;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    size = std::ftell(f);
+    std::fclose(f);
+  }
+  // Flip one byte at several positions spanning header, payload, and CRC
+  // trailer; the CRC (or an earlier format check) must reject each.
+  for (long pos : {0L, 5L, size / 3, size / 2, size - 2}) {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, pos, SEEK_SET);
+    const int orig = std::fgetc(f);
+    std::fseek(f, pos, SEEK_SET);
+    std::fputc(orig ^ 0x20, f);
+    std::fclose(f);
+    EXPECT_THROW(load_checkpoint(path, params, state), std::runtime_error)
+        << "flipped byte at " << pos;
+    f = std::fopen(path.c_str(), "r+b");  // restore for the next position
+    std::fseek(f, pos, SEEK_SET);
+    std::fputc(orig, f);
+    std::fclose(f);
+  }
+  EXPECT_NO_THROW(load_checkpoint(path, params, state));  // restored OK
+}
+
+TEST(CheckpointTest, ExtraBlobsRoundTrip) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  ExtraState extra;
+  extra.emplace_back("optim", std::vector<std::uint8_t>{1, 2, 3, 4});
+  extra.emplace_back("replica/0", std::vector<std::uint8_t>{});
+  extra.emplace_back("replica/1", std::vector<std::uint8_t>(100, 0xAB));
+  const std::string path = temp_path("extras.ckpt");
+  save_checkpoint(path, params, state, {}, extra);
+
+  ExtraState loaded;
+  load_checkpoint(path, params, state, &loaded);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].first, "optim");
+  ASSERT_NE(find_extra(loaded, "replica/1"), nullptr);
+  EXPECT_EQ(*find_extra(loaded, "optim"),
+            (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(find_extra(loaded, "replica/0")->size(), 0u);
+  EXPECT_EQ(*find_extra(loaded, "replica/1"),
+            std::vector<std::uint8_t>(100, 0xAB));
+  EXPECT_EQ(find_extra(loaded, "missing"), nullptr);
+}
+
+TEST(CheckpointTest, AtomicWriteLeavesNoTempFile) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  const std::string path = temp_path("atomic.ckpt");
+  save_checkpoint(path, params, state, {});
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp) std::fclose(tmp);
+}
+
+TEST(CheckpointTest, RejectsUnsupportedVersion) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  const std::string path = temp_path("version.ckpt");
+  save_checkpoint(path, params, state, {});
+  {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 4, SEEK_SET);  // version field follows the magic
+    std::fputc(0x7F, f);
+    std::fclose(f);
+  }
+  try {
+    load_checkpoint(path, params, state);
+    FAIL() << "expected a version error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
 TEST(CheckpointTest, RejectsBadMagic) {
   const std::string path = temp_path("magic.ckpt");
   FILE* f = std::fopen(path.c_str(), "wb");

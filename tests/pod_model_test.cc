@@ -123,6 +123,73 @@ TEST(RunModelTest, SeparateEvaluatorBecomesBottleneck) {
   EXPECT_LT(sep_small.total_s, 1.15 * dist_small.total_s);
 }
 
+TEST(RunModelTest, ReliableRunPaysNoFaultSurcharge) {
+  const auto cost = effnet::analyze(effnet::b(2));
+  StepOptions sopts;
+  RunOptions run;  // core_mtbf_hours = 0: perfectly reliable
+  const auto r = model_run(cost, make_slice(512), tpu_v3(), sopts, run);
+  EXPECT_EQ(r.expected_failures, 0.0);
+  EXPECT_EQ(r.rework_s, 0.0);
+  EXPECT_EQ(r.checkpoint_s, 0.0);
+  EXPECT_NEAR(r.total_s, r.train_s + r.eval_s, 1e-9);
+}
+
+TEST(RunModelTest, FailuresLengthenTheRun) {
+  const auto cost = effnet::analyze(effnet::b(2));
+  StepOptions sopts;
+  RunOptions reliable;
+  RunOptions flaky = reliable;
+  flaky.core_mtbf_hours = 200.0;
+  flaky.checkpoint_every_epochs = 1.0;
+  flaky.checkpoint_write_s = 15.0;
+  flaky.restart_overhead_s = 120.0;
+  const auto slice = make_slice(1024);
+  const auto r0 = model_run(cost, slice, tpu_v3(), sopts, reliable);
+  const auto r1 = model_run(cost, slice, tpu_v3(), sopts, flaky);
+  EXPECT_GT(r1.expected_failures, 0.0);
+  EXPECT_GT(r1.rework_s, 0.0);
+  EXPECT_GT(r1.checkpoint_s, 0.0);
+  EXPECT_GT(r1.total_s, r0.total_s);
+  EXPECT_NEAR(r1.total_s, r0.total_s + r1.checkpoint_s + r1.rework_s, 1e-9);
+}
+
+TEST(RunModelTest, LargerSlicesSeeMoreFailuresForFixedWork) {
+  // The slice-wide MTBF shrinks as cores/core_mtbf; per unit wall time a
+  // 1024-core slice fails 8x as often as a 128-core one.
+  const auto cost = effnet::analyze(effnet::b(2));
+  StepOptions sopts;
+  RunOptions run;
+  run.core_mtbf_hours = 500.0;
+  const auto small = model_run(cost, make_slice(128), tpu_v3(), sopts, run);
+  const auto big = model_run(cost, make_slice(1024), tpu_v3(), sopts, run);
+  const double small_rate = small.expected_failures / small.total_s;
+  const double big_rate = big.expected_failures / big.total_s;
+  EXPECT_NEAR(big_rate / small_rate, 8.0, 0.1);
+}
+
+TEST(RunModelTest, CheckpointCadenceTradesWritesAgainstRework) {
+  // On a flaky fleet: no checkpoints -> enormous rework (half the run per
+  // failure); a sane cadence caps rework at half an interval; an absurdly
+  // tight cadence pays more in writes than it saves.
+  const auto cost = effnet::analyze(effnet::b(5));
+  StepOptions sopts;
+  RunOptions run;
+  run.core_mtbf_hours = 300.0;
+  run.checkpoint_write_s = 20.0;
+  run.restart_overhead_s = 60.0;
+  const auto slice = make_slice(1024);
+  auto total = [&](double cadence) {
+    RunOptions r = run;
+    r.checkpoint_every_epochs = cadence;
+    return model_run(cost, slice, tpu_v3(), sopts, r).total_s;
+  };
+  const double none = total(0.0);
+  const double sane = total(1.0);
+  const double frantic = total(0.01);
+  EXPECT_LT(sane, none);
+  EXPECT_LT(sane, frantic);
+}
+
 TEST(RunModelTest, EvalCadenceMatters) {
   const auto cost = effnet::analyze(effnet::b(2));
   StepOptions sopts;
