@@ -19,6 +19,8 @@
 #include "dist/replica.h"
 #include "effnet/model.h"
 #include "nn/loss.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "optim/clip.h"
 #include "optim/ema.h"
 #include "optim/state_io.h"
@@ -261,7 +263,7 @@ TrainResult train(const TrainConfig& config) {
         }
       }
 
-      auto run_eval = [&](double at_epoch, float lr_now) {
+      auto run_eval = [&](double at_epoch, float lr_now_) {
         // Evaluate the EMA weights when enabled (swapped back afterwards).
         if (ema) ema->swap(params);
         // Average batch-norm running statistics across replicas so every
@@ -318,7 +320,7 @@ TrainResult train(const TrainConfig& config) {
           p.train_accuracy =
               sum_train_seen > 0 ? sum_train_correct / sum_train_seen : 0;
           p.train_loss = sum_steps > 0 ? sum_loss / sum_steps : 0;
-          p.lr = lr_now;
+          p.lr = lr_now_;
           p.wall_seconds = seconds_since(t0);
           result.history.push_back(p);
           if (p.eval_accuracy > result.peak_accuracy) {
@@ -332,7 +334,7 @@ TrainResult train(const TrainConfig& config) {
                 "[%s] epoch %6.2f  loss %7.4f  train top-1 %6.4f  eval top-1 "
                 "%6.4f  lr %8.5f\n",
                 model.name().c_str(), at_epoch, p.train_loss, p.train_accuracy,
-                p.eval_accuracy, static_cast<double>(lr_now));
+                p.eval_accuracy, static_cast<double>(lr_now_));
             std::fflush(stdout);
           }
         }
@@ -387,11 +389,21 @@ TrainResult train(const TrainConfig& config) {
       }
 
       float lr_now = 0.f;
-      double allreduce_seconds = 0.0;
-      double train_seconds = 0.0;
+      obs::PhaseTotals phase_totals;
+      const bool observing = config.metrics_sink != nullptr;
+      dist::GroupBnSync* bn_timer =
+          bn_syncs ? bn_syncs->group_sync(rank) : nullptr;
+      if (bn_timer) (void)bn_timer->take_seconds();  // clear init-time noise
+      if (observing) (void)obs::drain_spans();       // likewise for spans
+      std::int64_t seen_ar_bytes = comm.stats(rank).allreduce_total().bytes;
       for (std::int64_t step = start_step; step < total_steps; ++step) {
         if (injector) injector->begin_step(rank, step);
-        const Clock::time_point step_t0 = Clock::now();
+        obs::StepMetrics sm;
+        sm.step = step;
+        sm.rank = rank;
+        sm.restarts = result.restarts;
+        obs::Timer step_timer;
+        obs::Timer phase_timer;
         const tensor::Index epoch_idx =
             static_cast<tensor::Index>(step / steps_per_epoch);
         const tensor::Index in_step =
@@ -404,18 +416,26 @@ TrainResult train(const TrainConfig& config) {
         } else {
           batch = loader.batch(epoch_idx, in_step);
         }
+        sm.phase(obs::Phase::kDataLoad) = phase_timer.lap();
 
         nn::zero_grads(params);
         nn::Tensor logits = model.forward(batch.images, /*training=*/true);
         nn::LossResult loss = nn::softmax_cross_entropy(
             logits, batch.labels, config.label_smoothing);
+        // BN group reductions run nested inside forward; report them as
+        // their own phase and keep kForward pure compute.
+        const double fwd_s = phase_timer.lap();
+        const double bn_s = bn_timer ? bn_timer->take_seconds() : 0.0;
+        sm.phase(obs::Phase::kBnSync) = bn_s;
+        sm.phase(obs::Phase::kForward) = std::max(0.0, fwd_s - bn_s);
         model.backward(loss.grad_logits);
+        sm.phase(obs::Phase::kBackward) = phase_timer.lap();
 
         // Gradient all-reduce -> global-mean gradients on every replica.
         bucket.pack_grads(params);
-        const Clock::time_point ar_t0 = Clock::now();
+        double opt_s = phase_timer.lap();  // pack is optimizer-side work
         comm.allreduce_sum(rank, bucket.span(), config.allreduce);
-        allreduce_seconds += seconds_since(ar_t0);
+        double ar_s = phase_timer.lap();
 
         if (config.verify_collectives) {
           // Every rank hashes its reduced copy; the all-reduce contract says
@@ -425,6 +445,7 @@ TrainResult train(const TrainConfig& config) {
           const double h = payload_hash(bucket.span());
           const double hi = comm.allreduce_max(rank, h);
           const double lo = -comm.allreduce_max(rank, -h);
+          ar_s += phase_timer.lap();  // verification is collective overhead
           if (hi != lo) {
             throw dist::ReplicaFailure(
                 "corrupted all-reduce detected at step " +
@@ -432,6 +453,7 @@ TrainResult train(const TrainConfig& config) {
                 rank, step);
           }
         }
+        sm.phase(obs::Phase::kAllReduce) = ar_s;
 
         bucket.unpack_grads(params, 1.0f / static_cast<float>(R));
         if (config.clip_global_norm > 0.f) {
@@ -447,17 +469,42 @@ TrainResult train(const TrainConfig& config) {
         ++loss_steps;
         train_correct += loss.correct;
         train_seen += batch.count();
+        opt_s += phase_timer.lap();
+        sm.phase(obs::Phase::kOptimizer) = opt_s;
 
-        train_seconds += seconds_since(step_t0);
+        // Step time stops here: eval and checkpoint writes are excluded so
+        // throughput derived from step_s matches Table 1's convention.
+        sm.step_s = step_timer.seconds();
         const double epoch_after = static_cast<double>(step + 1) /
                                    static_cast<double>(steps_per_epoch);
+        sm.epoch = epoch_after;
+        sm.images = batch.count();
+        sm.loss = loss.loss;
+        sm.lr = lr_now;
+
         const bool last = step + 1 == total_steps;
         if (epoch_after + 1e-9 >= next_eval_epoch || last) {
+          obs::Timer eval_timer;
           run_eval(epoch_after, lr_now);
+          sm.phase(obs::Phase::kEval) = eval_timer.seconds();
           while (next_eval_epoch <= epoch_after + 1e-9) {
             next_eval_epoch += config.eval_every_epochs;
           }
         }
+
+        // Bytes this rank pushed through allreduce_sum during the step
+        // (gradient bucket, plus BN statistics when an eval ran).
+        const std::int64_t ar_bytes_now =
+            comm.stats(rank).allreduce_total().bytes;
+        sm.allreduce_bytes = ar_bytes_now - seen_ar_bytes;
+        seen_ar_bytes = ar_bytes_now;
+
+        if (observing) {
+          sm.kernels = obs::aggregate_spans(obs::drain_spans());
+          config.metrics_sink->write(sm);
+        }
+        phase_totals.add(sm);
+
         // The final checkpoint below supersedes a periodic one at `last`.
         if (config.checkpoint_every_epochs > 0 && !last &&
             epoch_after + 1e-9 >= next_ckpt_epoch) {
@@ -467,12 +514,14 @@ TrainResult train(const TrainConfig& config) {
           }
         }
       }
+      if (observing) config.metrics_sink->flush();
       if (rank == 0) {
         result.model_name = model.name();
         result.total_steps = total_steps;
         result.wall_seconds = seconds_since(t0);
-        result.allreduce_fraction =
-            train_seconds > 0 ? allreduce_seconds / train_seconds : 0;
+        result.phase_totals = phase_totals;
+        result.allreduce_bytes = phase_totals.allreduce_bytes;
+        result.allreduce_fraction = phase_totals.allreduce_fraction();
         if (!config.checkpoint_path.empty()) {
           if (ema) ema->swap(params);  // checkpoint the eval-quality weights
           CheckpointMeta meta;

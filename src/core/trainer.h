@@ -35,6 +35,8 @@
 #include "dist/fault.h"
 #include "effnet/config.h"
 #include "nn/model.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
 #include "tensor/gemm.h"
@@ -119,6 +121,14 @@ struct TrainConfig {
   // call, so replayed steps after a rollback do not re-fire it.
   dist::FaultPlan faults;
 
+  // ---- Step-level observability (src/obs) ----------------------------------
+  // When set, every replica emits one obs::StepMetrics record per training
+  // step (tagged with its rank): per-phase wall times, counters, and — in
+  // PODNET_PROFILE builds — per-kernel span rollups. A null sink keeps the
+  // hot path free of formatting work; phase timing itself is always on and
+  // lands in TrainResult::phase_totals.
+  std::shared_ptr<obs::MetricsSink> metrics_sink;
+
   std::uint64_t seed = 42;
   bool check_consistency = false;
   bool verbose = false;
@@ -146,8 +156,16 @@ struct TrainResult {
   std::string model_name;
   // Measured share of replica-0 training time spent inside the gradient
   // all-reduce — the real-execution counterpart of Table 1's column
-  // (thread-scale, so absolute values differ from pod scale).
+  // (thread-scale, so absolute values differ from pod scale). Equals
+  // phase_totals.allreduce_fraction().
   double allreduce_fraction = 0;
+  // Rank 0's run-level rollup of per-step phase times and counters (from
+  // the final successful attempt; steps lost to faults are not included).
+  obs::PhaseTotals phase_totals;
+  // Float payload rank 0 pushed through Communicator::allreduce_sum over
+  // the run (gradient buckets, plus BN statistics averaged at eval points;
+  // BN *group* reductions use their own communicators and are not counted).
+  std::int64_t allreduce_bytes = 0;
   // ---- Fault-tolerance outcome ---------------------------------------------
   int restarts = 0;                  // supervised relaunches performed
   std::int64_t failed_steps = 0;     // steps lost to faults and replayed

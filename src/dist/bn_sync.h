@@ -18,6 +18,7 @@
 
 #include "dist/communicator.h"
 #include "nn/bn_stat_sync.h"
+#include "obs/timer.h"
 
 namespace podnet::dist {
 
@@ -33,19 +34,32 @@ BnGroups make_bn_groups_2d(int num_replicas, int grid_cols, int tile_rows,
                            int tile_cols);
 
 // Adapts one rank's membership in a subgroup communicator to BnStatSync.
+// Accumulates the wall time this member spends inside BN-stat reductions;
+// the trainer drains it per step (take_seconds) into the bn_sync phase of
+// the step's metrics. Thread-confined like the rest of a replica's state.
 class GroupBnSync final : public nn::BnStatSync {
  public:
   GroupBnSync(Communicator* comm, int rank_in_group)
       : comm_(comm), rank_(rank_in_group) {}
 
   void allreduce_sum(std::span<float> v) override {
+    obs::Timer timer;
     comm_->allreduce_sum(rank_, v, AllReduceAlgorithm::kFlat);
+    seconds_ += timer.seconds();
   }
   int group_size() const override { return comm_->size(); }
+
+  // Accumulated reduction time since the last take; resets the counter.
+  double take_seconds() {
+    const double s = seconds_;
+    seconds_ = 0;
+    return s;
+  }
 
  private:
   Communicator* comm_;
   int rank_;
+  double seconds_ = 0;
 };
 
 // Owns the per-group communicators and per-replica sync adapters for a
@@ -55,6 +69,8 @@ class BnSyncSet {
   explicit BnSyncSet(const BnGroups& groups);
 
   nn::BnStatSync* sync(int replica) { return syncs_[replica].get(); }
+  // Concrete adapter, for callers that need the timing accessors.
+  GroupBnSync* group_sync(int replica) { return syncs_[replica].get(); }
   int group_of(int replica) const { return group_of_[replica]; }
 
   // Poisons every group communicator (see Communicator::abort); a dying

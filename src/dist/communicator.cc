@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "dist/fault.h"
+#include "obs/timer.h"
 
 namespace podnet::dist {
 namespace {
@@ -41,7 +42,8 @@ Communicator::Communicator(int num_ranks)
       barrier_(num_ranks),
       bufs_(static_cast<std::size_t>(num_ranks), nullptr),
       sizes_(static_cast<std::size_t>(num_ranks), 0),
-      scalars_(static_cast<std::size_t>(num_ranks), 0.0) {
+      scalars_(static_cast<std::size_t>(num_ranks), 0.0),
+      stats_(static_cast<std::size_t>(num_ranks)) {
   assert(num_ranks >= 1);
 }
 
@@ -73,28 +75,36 @@ void Communicator::abort() { barrier_.abort(); }
 
 void Communicator::allreduce_sum(int rank, std::span<float> data,
                                  AllReduceAlgorithm alg) {
-  if (num_ranks_ == 1) return;
-  switch (alg) {
-    case AllReduceAlgorithm::kFlat:
-      allreduce_flat(rank, data);
-      break;
-    case AllReduceAlgorithm::kRing:
-      allreduce_ring(rank, data);
-      break;
-    case AllReduceAlgorithm::kHalvingDoubling:
-      if (is_power_of_two(num_ranks_)) {
-        allreduce_halving_doubling(rank, data);
-      } else {
-        allreduce_ring(rank, data);  // documented fallback
-      }
-      break;
-    case AllReduceAlgorithm::kTwoLevel:
-      allreduce_two_level(rank, data);
-      break;
+  // Timed even for the single-rank no-op so calls/bytes counters stay
+  // meaningful at every slice size; the timing cost is two clock reads
+  // against a call that already crosses several barriers.
+  obs::Timer timer;
+  if (num_ranks_ > 1) {
+    switch (alg) {
+      case AllReduceAlgorithm::kFlat:
+        allreduce_flat(rank, data);
+        break;
+      case AllReduceAlgorithm::kRing:
+        allreduce_ring(rank, data);
+        break;
+      case AllReduceAlgorithm::kHalvingDoubling:
+        if (is_power_of_two(num_ranks_)) {
+          allreduce_halving_doubling(rank, data);
+        } else {
+          allreduce_ring(rank, data);  // documented fallback
+        }
+        break;
+      case AllReduceAlgorithm::kTwoLevel:
+        allreduce_two_level(rank, data);
+        break;
+    }
+    // Scripted payload corruption lands on this rank's finished copy, the
+    // shared-memory analogue of a link corrupting the received chunk.
+    if (injector_ != nullptr) injector_->maybe_corrupt(rank, data);
   }
-  // Scripted payload corruption lands on this rank's finished copy, the
-  // shared-memory analogue of a link corrupting the received chunk.
-  if (injector_ != nullptr) injector_->maybe_corrupt(rank, data);
+  stats_[static_cast<std::size_t>(rank)]
+      .allreduce[static_cast<int>(alg)]
+      .record(data.size() * sizeof(float), timer.seconds());
 }
 
 void Communicator::allreduce_flat(int rank, std::span<float> data) {
@@ -248,6 +258,7 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
 
 void Communicator::broadcast(int rank, int root, std::span<float> data) {
   if (num_ranks_ == 1) return;
+  obs::Timer timer;
   bufs_[rank] = data.data();
   barrier();
   if (rank != root) {
@@ -255,6 +266,8 @@ void Communicator::broadcast(int rank, int root, std::span<float> data) {
     std::copy(src, src + data.size(), data.begin());
   }
   barrier();
+  stats_[static_cast<std::size_t>(rank)].broadcast.record(
+      data.size() * sizeof(float), timer.seconds());
 }
 
 void Communicator::allgather(int rank, std::span<const float> in,
@@ -264,6 +277,7 @@ void Communicator::allgather(int rank, std::span<const float> in,
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
+  obs::Timer timer;
   if (rank == 0) scratch_.resize(out.size());
   barrier();
   std::copy(in.begin(), in.end(),
@@ -272,25 +286,33 @@ void Communicator::allgather(int rank, std::span<const float> in,
   barrier();
   std::copy(scratch_.begin(), scratch_.begin() + out.size(), out.begin());
   barrier();
+  stats_[static_cast<std::size_t>(rank)].allgather.record(
+      in.size() * sizeof(float), timer.seconds());
 }
 
 double Communicator::allreduce_scalar(int rank, double value) {
   if (num_ranks_ == 1) return value;
+  obs::Timer timer;
   scalars_[rank] = value;
   barrier();
   double total = 0.0;
   for (double v : scalars_) total += v;
   barrier();
+  stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
+                                                       timer.seconds());
   return total;
 }
 
 double Communicator::allreduce_max(int rank, double value) {
   if (num_ranks_ == 1) return value;
+  obs::Timer timer;
   scalars_[rank] = value;
   barrier();
   double m = scalars_[0];
   for (double v : scalars_) m = std::max(m, v);
   barrier();
+  stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
+                                                       timer.seconds());
   return m;
 }
 

@@ -21,6 +21,7 @@
 // Communicator is permanently unusable; recovery builds a fresh one.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -51,6 +52,47 @@ enum class AllReduceAlgorithm {
 };
 
 std::string to_string(AllReduceAlgorithm alg);
+
+inline constexpr int kNumAllReduceAlgorithms = 4;
+
+// Wall time, call count, and payload bytes one rank spent inside a class
+// of collective. "Inside" includes barrier waits, so on an oversubscribed
+// host skew lands here too — exactly what a step-time profile should show.
+struct CollectiveStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;  // payload bytes of this rank's buffer
+  double seconds = 0;
+
+  void record(std::uint64_t payload_bytes, double s) {
+    ++calls;
+    bytes += payload_bytes;
+    seconds += s;
+  }
+};
+
+// One rank's accumulated collective timings, tagged by operation and — for
+// all-reduce — by algorithm. Cache-line aligned: ranks update their own
+// entry concurrently.
+struct alignas(64) CommStats {
+  std::array<CollectiveStats, kNumAllReduceAlgorithms> allreduce;  // by alg
+  CollectiveStats broadcast;
+  CollectiveStats allgather;
+  CollectiveStats scalar;  // allreduce_scalar + allreduce_max
+
+  const CollectiveStats& allreduce_by(AllReduceAlgorithm alg) const {
+    return allreduce[static_cast<int>(alg)];
+  }
+  // Totals across every all-reduce algorithm.
+  CollectiveStats allreduce_total() const {
+    CollectiveStats t;
+    for (const CollectiveStats& s : allreduce) {
+      t.calls += s.calls;
+      t.bytes += s.bytes;
+      t.seconds += s.seconds;
+    }
+    return t;
+  }
+};
 
 class Communicator {
  public:
@@ -87,6 +129,17 @@ class Communicator {
   // Max across ranks.
   double allreduce_max(int rank, double value);
 
+  // This rank's accumulated collective timings. A rank may read its own
+  // entry at any time; reading another rank's entry is only safe after
+  // the replica threads joined.
+  const CommStats& stats(int rank) const {
+    return stats_[static_cast<std::size_t>(rank)];
+  }
+  // Not thread-safe; call before replicas start or after they joined.
+  void reset_stats() {
+    for (CommStats& s : stats_) s = CommStats{};
+  }
+
  private:
   // Reusable N-party barrier that can be cancelled: abort() wakes every
   // waiter and turns this and all future waits into CommAborted throws.
@@ -120,6 +173,7 @@ class Communicator {
   std::vector<std::size_t> sizes_;
   std::vector<double> scalars_;
   std::vector<float> scratch_;
+  std::vector<CommStats> stats_;  // indexed by rank; each rank writes its own
 };
 
 }  // namespace podnet::dist

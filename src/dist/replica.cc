@@ -3,31 +3,37 @@
 #include <thread>
 
 #include "dist/communicator.h"
+#include "obs/timer.h"
 
 namespace podnet::dist {
 
 std::vector<std::exception_ptr> run_replicas_collect(
-    int num_replicas, const std::function<void(int)>& body) {
+    int num_replicas, const std::function<void(int)>& body,
+    std::vector<double>* body_seconds) {
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_replicas));
-  if (num_replicas == 1) {
+  if (body_seconds != nullptr) {
+    body_seconds->assign(static_cast<std::size_t>(num_replicas), 0.0);
+  }
+  auto timed_body = [&](int r) {
+    obs::Timer timer;
     try {
-      body(0);
+      body(r);
     } catch (...) {
-      errors[0] = std::current_exception();
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
     }
+    if (body_seconds != nullptr) {
+      (*body_seconds)[static_cast<std::size_t>(r)] = timer.seconds();
+    }
+  };
+  if (num_replicas == 1) {
+    timed_body(0);
     return errors;
   }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_replicas));
   for (int r = 0; r < num_replicas; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        body(r);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-      }
-    });
+    threads.emplace_back([&, r] { timed_body(r); });
   }
   for (auto& t : threads) t.join();
   return errors;
@@ -50,9 +56,10 @@ std::exception_ptr primary_failure(
   return first_any;
 }
 
-void run_replicas(int num_replicas, const std::function<void(int)>& body) {
+void run_replicas(int num_replicas, const std::function<void(int)>& body,
+                  std::vector<double>* body_seconds) {
   const std::vector<std::exception_ptr> errors =
-      run_replicas_collect(num_replicas, body);
+      run_replicas_collect(num_replicas, body, body_seconds);
   if (std::exception_ptr primary = primary_failure(errors)) {
     std::rethrow_exception(primary);
   }

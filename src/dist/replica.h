@@ -18,9 +18,12 @@ namespace podnet::dist {
 
 // Runs body(r) on num_replicas threads and returns each rank's captured
 // exception (nullptr where the rank completed cleanly). Never throws on
-// behalf of a replica.
+// behalf of a replica. When `body_seconds` is non-null it is resized to
+// num_replicas and filled with each rank's wall time inside body() —
+// the straggler profile of the SPMD launch (max - min is the join skew).
 std::vector<std::exception_ptr> run_replicas_collect(
-    int num_replicas, const std::function<void(int)>& body);
+    int num_replicas, const std::function<void(int)>& body,
+    std::vector<double>* body_seconds = nullptr);
 
 // Picks the primary failure from a per-rank capture: the lowest-rank
 // non-CommAborted exception, or the lowest-rank exception when every
@@ -31,6 +34,7 @@ std::exception_ptr primary_failure(
 
 // Runs body(r) on num_replicas threads, joins, and rethrows the primary
 // failure (see above) if any replica failed.
-void run_replicas(int num_replicas, const std::function<void(int)>& body);
+void run_replicas(int num_replicas, const std::function<void(int)>& body,
+                  std::vector<double>* body_seconds = nullptr);
 
 }  // namespace podnet::dist

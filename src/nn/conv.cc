@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "nn/init.h"
+#include "obs/profile.h"
 
 namespace podnet::nn {
 
@@ -25,6 +26,7 @@ Conv2D::Conv2D(Index in_c, Index out_c, Index kernel, Index stride,
 }
 
 Tensor Conv2D::forward(const Tensor& x, bool training) {
+  PODNET_PROFILE_SPAN("conv2d.forward");
   assert(x.shape().rank() == 4 && x.shape()[3] == in_c_);
   geom_ = tensor::ConvGeometry::same(x.shape()[0], x.shape()[1], x.shape()[2],
                                      in_c_, kernel_, stride_);
@@ -48,6 +50,7 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
 }
 
 Tensor Conv2D::backward(const Tensor& grad_out) {
+  PODNET_PROFILE_SPAN("conv2d.backward");
   const Index m = geom_.col_rows();
   const Index k = geom_.col_cols();
   assert(grad_out.numel() == m * out_c_);

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "nn/init.h"
+#include "obs/profile.h"
 #include "tensor/bf16.h"
 
 namespace podnet::nn {
@@ -20,6 +21,7 @@ DepthwiseConv2D::DepthwiseConv2D(Index channels, Index kernel, Index stride,
               depthwise_init(Shape{kernel, kernel, channels}, init_rng)) {}
 
 Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
+  PODNET_PROFILE_SPAN("depthwise.forward");
   assert(x.shape().rank() == 4 && x.shape()[3] == channels_);
   geom_ = tensor::ConvGeometry::same(x.shape()[0], x.shape()[1], x.shape()[2],
                                      channels_, kernel_, stride_);
@@ -59,6 +61,7 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
 }
 
 Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
+  PODNET_PROFILE_SPAN("depthwise.backward");
   const Index C = channels_;
   assert(grad_out.numel() == geom_.batch * geom_.out_h * geom_.out_w * C);
   Tensor w = weight_.value;

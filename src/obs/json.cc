@@ -1,0 +1,324 @@
+#include "obs/json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace podnet::obs {
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (has_member_.back()) out_.push_back(',');
+  has_member_.back() = '\1';
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  out_ += json_escape(k);
+  out_.push_back(':');
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, double value) {
+  key(k);
+  append_double(out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::int64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::string_view value) {
+  key(k);
+  out_ += json_escape(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view k) {
+  key(k);
+  out_.push_back('{');
+  has_member_.push_back('\0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view k) {
+  key(k);
+  out_.push_back('[');
+  has_member_.push_back('\0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  has_member_.push_back('\0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_.push_back('}');
+  has_member_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_.push_back(']');
+  has_member_.pop_back();
+  return *this;
+}
+
+std::string JsonWriter::str() {
+  out_.push_back('}');
+  return std::move(out_);
+}
+
+// ---- Validation ------------------------------------------------------------
+
+namespace {
+
+// Recursive-descent JSON syntax checker over a string_view cursor.
+class Checker {
+ public:
+  explicit Checker(std::string_view s) : s_(s) {}
+
+  bool object_document() {
+    skip_ws();
+    if (!value(/*require_object=*/true)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() || !std::isxdigit(static_cast<unsigned char>(
+                                             s_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!digits()) return false;
+    if (eat('.') && !digits()) return false;
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      if (!value(false)) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!value(false)) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool value(bool require_object) {
+    if (++depth_ > kMaxDepth) return false;
+    skip_ws();
+    bool ok = false;
+    if (pos_ >= s_.size()) {
+      ok = false;
+    } else if (s_[pos_] == '{') {
+      ok = object();
+    } else if (require_object) {
+      ok = false;
+    } else if (s_[pos_] == '[') {
+      ok = array();
+    } else if (s_[pos_] == '"') {
+      ok = string();
+    } else if (s_[pos_] == 't') {
+      ok = literal("true");
+    } else if (s_[pos_] == 'f') {
+      ok = literal("false");
+    } else if (s_[pos_] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth_;
+    return ok;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool is_json_object(std::string_view text) {
+  return Checker(text).object_document();
+}
+
+bool validate_jsonl_file(const std::string& path, std::size_t* lines_out,
+                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::size_t objects = 0, line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!is_json_object(line)) {
+      if (error) {
+        *error = path + ":" + std::to_string(line_no) +
+                 ": not a valid JSON object: " +
+                 line.substr(0, std::min<std::size_t>(line.size(), 120));
+      }
+      return false;
+    }
+    ++objects;
+  }
+  if (lines_out) *lines_out = objects;
+  return true;
+}
+
+}  // namespace podnet::obs

@@ -1,0 +1,71 @@
+// Minimal JSON emission and validation — no third-party dependency.
+//
+// JsonWriter builds one JSON object (nested objects/arrays supported) into a
+// std::string; it is what the metrics layer uses to format JSONL lines.
+// Numbers are emitted with enough digits to round-trip; non-finite doubles
+// become null (JSON has no NaN/Inf). Strings are escaped per RFC 8259.
+//
+// is_json_object / validate_jsonl_file are a small recursive-descent
+// checker used by tests and by bench/table1_observed's smoke mode to fail
+// on malformed or torn JSONL lines. They validate syntax, not schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace podnet::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.push_back('{'); }
+
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+
+  // Nested containers; every begin_* must be closed before str().
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& begin_array(std::string_view key);
+  // Objects as array elements (no key).
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& end_array();
+
+  // Closes the root object and returns the finished text. The writer is
+  // spent afterwards.
+  std::string str();
+
+ private:
+  void comma();
+  void key(std::string_view k);
+
+  std::string out_;
+  // Whether the current container already holds a member, per nesting
+  // level (root at index 0).
+  std::string has_member_ = std::string(1, '\0');
+};
+
+// Escapes `s` as a JSON string literal, including the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+// True iff `text` is exactly one syntactically valid JSON object
+// (surrounding whitespace allowed, nothing else trailing).
+bool is_json_object(std::string_view text);
+
+// Validates that every non-empty line of the file at `path` is a JSON
+// object. Returns true on success and sets *lines_out to the number of
+// object lines; on failure returns false and describes the first bad line
+// in *error (both out-params optional).
+bool validate_jsonl_file(const std::string& path, std::size_t* lines_out,
+                         std::string* error);
+
+}  // namespace podnet::obs

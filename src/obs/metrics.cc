@@ -1,0 +1,66 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace podnet::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kDataLoad:
+      return "data_load";
+    case Phase::kForward:
+      return "forward";
+    case Phase::kBackward:
+      return "backward";
+    case Phase::kAllReduce:
+      return "allreduce";
+    case Phase::kOptimizer:
+      return "optimizer";
+    case Phase::kBnSync:
+      return "bn_sync";
+    case Phase::kEval:
+      return "eval";
+  }
+  return "unknown";
+}
+
+std::string to_json(const StepMetrics& m) {
+  JsonWriter w;
+  w.field("kind", "step")
+      .field("step", m.step)
+      .field("epoch", m.epoch)
+      .field("rank", m.rank)
+      .field("restarts", m.restarts)
+      .field("images", m.images)
+      .field("allreduce_bytes", m.allreduce_bytes)
+      .field("loss", m.loss)
+      .field("lr", m.lr)
+      .field("step_ms", m.step_s * 1e3);
+  w.begin_object("phases_ms");
+  for (int p = 0; p < kPhaseCount; ++p) {
+    w.field(phase_name(static_cast<Phase>(p)), m.phase_s[p] * 1e3);
+  }
+  w.end_object();
+  if (!m.kernels.empty()) {
+    w.begin_array("kernels");
+    for (const SpanTotal& k : m.kernels) {
+      w.begin_object()
+          .field("name", k.name)
+          .field("calls", k.calls)
+          .field("ms", k.seconds * 1e3)
+          .end_object();
+    }
+    w.end_array();
+  }
+  return w.str();
+}
+
+void PhaseTotals::add(const StepMetrics& m) {
+  for (int p = 0; p < kPhaseCount; ++p) seconds[p] += m.phase_s[p];
+  step_seconds += m.step_s;
+  ++steps;
+  images += m.images;
+  allreduce_bytes += m.allreduce_bytes;
+}
+
+}  // namespace podnet::obs

@@ -1,0 +1,85 @@
+// StepMetrics: the per-step observability record, and its JSONL encoding.
+//
+// One StepMetrics is produced per training step per replica by core::train:
+// wall time split into the phases of the distributed step (matching the
+// decomposition behind the paper's Table 1), plus counters. Records flow
+// into a MetricsSink (obs/sink.h); the JSONL schema is documented in
+// README.md ("Observability") and asserted by tests/obs_test.cc.
+//
+// PhaseTotals is the run-level rollup: core::TrainResult carries rank 0's
+// totals so benches can report measured throughput and the measured
+// all-reduce share of step time next to the tpu:: model's prediction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace podnet::obs {
+
+// Phases of one distributed training step. kEval covers the sharded
+// evaluation pass (and is zero on the steps where no eval runs); kBnSync is
+// the time inside batch-norm group reductions, which executes *nested
+// within* the forward pass and is therefore reported separately from (and
+// excluded from) kForward.
+enum class Phase {
+  kDataLoad = 0,
+  kForward,
+  kBackward,
+  kAllReduce,  // gradient all-reduce collective only (Table 1's column)
+  kOptimizer,  // grad unpack/clip, LR, optimizer step, EMA
+  kBnSync,
+  kEval,
+};
+
+inline constexpr int kPhaseCount = 7;
+
+// Stable JSONL key for a phase: "data_load", "forward", ...
+const char* phase_name(Phase p);
+
+struct StepMetrics {
+  std::int64_t step = 0;
+  double epoch = 0;       // continuous epoch at this step
+  int rank = 0;
+  int restarts = 0;       // supervised relaunches before this attempt
+  std::int64_t images = 0;           // examples consumed this step
+  std::int64_t allreduce_bytes = 0;  // gradient payload all-reduced
+  double loss = 0;
+  double lr = 0;
+  // Full step wall time (data load through optimizer; excludes eval and
+  // checkpoint writes, so throughput derived from it matches Table 1's
+  // step-time convention).
+  double step_s = 0;
+  std::array<double, kPhaseCount> phase_s{};
+  // Per-kernel rollup of trace spans closed during this step; populated
+  // only in PODNET_PROFILE builds.
+  std::vector<SpanTotal> kernels;
+
+  double& phase(Phase p) { return phase_s[static_cast<int>(p)]; }
+  double phase(Phase p) const { return phase_s[static_cast<int>(p)]; }
+};
+
+// One JSON object (no trailing newline): {"kind":"step",...}.
+std::string to_json(const StepMetrics& m);
+
+// Run-level accumulation of step records (single-rank view).
+struct PhaseTotals {
+  std::array<double, kPhaseCount> seconds{};
+  double step_seconds = 0;  // sum of StepMetrics::step_s
+  std::int64_t steps = 0;
+  std::int64_t images = 0;
+  std::int64_t allreduce_bytes = 0;
+
+  void add(const StepMetrics& m);
+  double phase(Phase p) const { return seconds[static_cast<int>(p)]; }
+  // Share of summed step time spent in the gradient all-reduce — the
+  // measured counterpart of Table 1's "% time in all-reduce".
+  double allreduce_fraction() const {
+    return step_seconds > 0 ? phase(Phase::kAllReduce) / step_seconds : 0;
+  }
+};
+
+}  // namespace podnet::obs

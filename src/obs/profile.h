@@ -1,0 +1,32 @@
+// PODNET_PROFILE_SPAN: kernel-scope tracing that costs nothing when off.
+//
+// Hot paths (GEMM, convolutions) want scope timers for the observability
+// layer, but the default build must stay branch-light: the macro therefore
+// expands to a TraceSpan only when the tree is configured with
+// -DPODNET_PROFILE=ON (see the top-level CMakeLists), and to a no-op
+// statement otherwise — no clock reads, no thread_local touch, nothing for
+// the optimizer to hoist around.
+//
+// Usage, at the top of a kernel's scope:
+//   PODNET_PROFILE_SPAN("gemm");
+// The name must be a string literal (static storage; spans keep the
+// pointer, not a copy).
+#pragma once
+
+#ifdef PODNET_PROFILE
+
+#include "obs/trace.h"
+
+#define PODNET_PROFILE_CONCAT_(a, b) a##b
+#define PODNET_PROFILE_CONCAT(a, b) PODNET_PROFILE_CONCAT_(a, b)
+#define PODNET_PROFILE_SPAN(name)                          \
+  ::podnet::obs::TraceSpan PODNET_PROFILE_CONCAT(          \
+      podnet_profile_span_, __LINE__)(name)
+
+#else
+
+#define PODNET_PROFILE_SPAN(name) \
+  do {                            \
+  } while (false)
+
+#endif

@@ -1,0 +1,79 @@
+#include "obs/sink.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace podnet::obs {
+namespace {
+
+// One write(2) per line; loops only on partial writes / EINTR, so a line
+// is still a single syscall in the common case (O_APPEND makes it atomic
+// against other descriptors of the same file as well).
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("metrics write failed: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(const std::string& path, bool append) : path_(path) {
+  const int flags = O_WRONLY | O_CREAT | O_APPEND | (append ? 0 : O_TRUNC);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("JsonlSink: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+JsonlSink::~JsonlSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JsonlSink::write_line(const std::string& json_object) {
+  std::string line;
+  line.reserve(json_object.size() + 1);
+  line = json_object;
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mu_);
+  write_all(fd_, line.data(), line.size());
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+void ConsoleSink::write_line(const std::string& json_object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(json_object.data(), 1, json_object.size(), stdout);
+  std::fputc('\n', stdout);
+}
+
+void ConsoleSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(stdout);
+}
+
+std::shared_ptr<MetricsSink> make_jsonl_sink(const std::string& path,
+                                             bool append) {
+  return std::make_shared<JsonlSink>(path, append);
+}
+
+std::shared_ptr<MetricsSink> make_console_sink() {
+  return std::make_shared<ConsoleSink>();
+}
+
+}  // namespace podnet::obs

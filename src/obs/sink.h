@@ -1,0 +1,66 @@
+// MetricsSink: where step records go.
+//
+// The sink interface is line-oriented: write_line() takes one finished JSON
+// object and must be safe to call concurrently from every replica thread.
+// Two implementations ship:
+//   * JsonlSink — appends one line per record to a file, each line written
+//     with a single O_APPEND write(2) under an internal mutex, so records
+//     from concurrent replicas never interleave mid-line (tests hammer
+//     this) and a crash can tear at most the final line;
+//   * ConsoleSink — the same lines on stdout, for eyeballing a run.
+// core::TrainConfig carries a shared_ptr<MetricsSink>; a null sink keeps
+// the trainer's hot path free of formatting work.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace podnet::obs {
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+
+  // Appends one JSON object as a line. `json_object` must not contain a
+  // newline. Thread-safe.
+  virtual void write_line(const std::string& json_object) = 0;
+  virtual void flush() {}
+
+  void write(const StepMetrics& m) { write_line(to_json(m)); }
+};
+
+class JsonlSink final : public MetricsSink {
+ public:
+  // Opens `path` for appending; truncates first unless `append`.
+  // Throws std::runtime_error if the file cannot be opened.
+  explicit JsonlSink(const std::string& path, bool append = false);
+  ~JsonlSink() override;
+
+  void write_line(const std::string& json_object) override;
+  void flush() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;
+};
+
+class ConsoleSink final : public MetricsSink {
+ public:
+  void write_line(const std::string& json_object) override;
+  void flush() override;
+
+ private:
+  std::mutex mu_;
+};
+
+std::shared_ptr<MetricsSink> make_jsonl_sink(const std::string& path,
+                                             bool append = false);
+std::shared_ptr<MetricsSink> make_console_sink();
+
+}  // namespace podnet::obs

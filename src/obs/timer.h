@@ -1,0 +1,45 @@
+// Monotonic wall-clock timing for step-level observability.
+//
+// Timer is a thin RAII-free stopwatch over std::chrono::steady_clock; it is
+// the only clock the obs:: layer uses, so every phase duration, trace span,
+// and metrics timestamp is mutually comparable and immune to wall-clock
+// adjustments. clock_seconds() anchors all of them to one process-wide
+// origin (the first call), which keeps span begin/end values small and
+// printable.
+#pragma once
+
+#include <chrono>
+
+namespace podnet::obs {
+
+// Seconds since a fixed process-wide origin, from the monotonic clock.
+// Successive calls never decrease, including across threads.
+double clock_seconds();
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset(); non-negative
+  // and non-decreasing between resets.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // seconds() followed by reset(), as one read — the idiom for slicing a
+  // loop body into consecutive phase durations without gaps.
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace podnet::obs

@@ -1,0 +1,71 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/timer.h"
+
+namespace podnet::obs {
+namespace {
+
+struct ThreadBuffer {
+  std::vector<Span> closed;
+  int depth = 0;
+  std::uint64_t dropped = 0;
+};
+
+ThreadBuffer& buffer() {
+  thread_local ThreadBuffer buf;
+  return buf;
+}
+
+}  // namespace
+
+double clock_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - origin).count();
+}
+
+TraceSpan::TraceSpan(const char* static_name)
+    : name_(static_name), begin_s_(clock_seconds()), depth_(buffer().depth++) {}
+
+TraceSpan::~TraceSpan() {
+  ThreadBuffer& buf = buffer();
+  --buf.depth;
+  if (buf.closed.size() >= kMaxSpansPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.closed.push_back(Span{name_, begin_s_, clock_seconds(), depth_});
+}
+
+std::vector<Span> drain_spans() {
+  ThreadBuffer& buf = buffer();
+  std::vector<Span> out = std::move(buf.closed);
+  buf.closed.clear();  // moved-from: make the empty state explicit
+  buf.dropped = 0;
+  return out;
+}
+
+std::uint64_t dropped_spans() { return buffer().dropped; }
+
+std::vector<SpanTotal> aggregate_spans(const std::vector<Span>& spans) {
+  std::vector<SpanTotal> totals;
+  for (const Span& s : spans) {
+    auto it = std::find_if(totals.begin(), totals.end(), [&](const SpanTotal& t) {
+      return t.name == s.name;
+    });
+    if (it == totals.end()) {
+      totals.push_back(SpanTotal{s.name, 0, 0.0});
+      it = totals.end() - 1;
+    }
+    ++it->calls;
+    it->seconds += s.end_s - s.begin_s;
+  }
+  std::sort(totals.begin(), totals.end(),
+            [](const SpanTotal& a, const SpanTotal& b) { return a.name < b.name; });
+  return totals;
+}
+
+}  // namespace podnet::obs

@@ -1,0 +1,71 @@
+// Trace spans: low-overhead RAII scopes recorded into per-thread buffers.
+//
+// A TraceSpan marks one timed scope ("gemm", "conv2d.forward", ...). Spans
+// nest naturally — each records the depth at which it was opened — and are
+// appended to a thread_local buffer when they close, so recording takes two
+// clock reads and one push_back with no locking. The owner of a measurement
+// window (the trainer, at step end) calls drain_spans() on its own thread to
+// collect-and-clear the buffer, then merges per-name aggregates into the
+// step's metrics.
+//
+// Contract: spans are thread-confined. drain_spans() returns only spans
+// *closed* by the calling thread; a span still open stays pending and is
+// delivered by whichever drain follows its close. Buffers are bounded
+// (kMaxSpansPerThread): if nobody drains a thread — e.g. a detached
+// prefetcher under PODNET_PROFILE — recording saturates and increments a
+// drop counter instead of growing without bound.
+//
+// Hot-path kernels never name this header directly; they go through the
+// PODNET_PROFILE_SPAN macro (obs/profile.h), which compiles to nothing
+// unless -DPODNET_PROFILE=ON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace podnet::obs {
+
+struct Span {
+  const char* name = nullptr;  // must point at static storage
+  double begin_s = 0;          // clock_seconds() at open
+  double end_s = 0;            // clock_seconds() at close
+  int depth = 0;               // 0 = outermost open span on this thread
+};
+
+// Bound on buffered (closed, undrained) spans per thread.
+inline constexpr std::size_t kMaxSpansPerThread = 1 << 16;
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* static_name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  double begin_s_;
+  int depth_;
+};
+
+// Collects and clears the calling thread's closed spans, in close order
+// (children precede the parent that encloses them).
+std::vector<Span> drain_spans();
+
+// Spans discarded on the calling thread because its buffer was full since
+// the last drain; reset by drain_spans().
+std::uint64_t dropped_spans();
+
+// Per-name rollup of a span batch: call count and summed duration.
+struct SpanTotal {
+  std::string name;
+  std::int64_t calls = 0;
+  double seconds = 0;
+};
+
+// Aggregates spans by name, sorted by name for stable output.
+std::vector<SpanTotal> aggregate_spans(const std::vector<Span>& spans);
+
+}  // namespace podnet::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <stdexcept>
 
 namespace podnet::optim {
 
@@ -101,6 +102,33 @@ class Cosine final : public ScheduleBase {
 }  // namespace
 
 std::unique_ptr<LrSchedule> make_schedule(const LrScheduleConfig& config) {
+  // Validate up front: a bad schedule config otherwise surfaces as an
+  // inf/NaN learning rate that silently destroys training instead of an
+  // error at construction.
+  if (!(config.warmup_epochs >= 0.0)) {
+    throw std::invalid_argument("lr schedule: warmup_epochs must be >= 0");
+  }
+  if (!std::isfinite(config.base_lr)) {
+    throw std::invalid_argument("lr schedule: base_lr must be finite");
+  }
+  if (config.decay == DecayKind::kExponential) {
+    // decayed() divides by decay_epochs; 0 yields inf/NaN periods, and a
+    // negative or zero decay_rate yields NaN under fractional powers.
+    if (!(config.decay_epochs > 0.0)) {
+      throw std::invalid_argument(
+          "lr schedule: exponential decay requires decay_epochs > 0");
+    }
+    if (!(config.decay_rate > 0.f)) {
+      throw std::invalid_argument(
+          "lr schedule: exponential decay requires decay_rate > 0");
+    }
+  }
+  if (config.decay == DecayKind::kPolynomial && !(config.poly_power >= 0.f)) {
+    // progress() clamps the base to [0, 1], so a negative power is the
+    // remaining division-by-zero route (0^-p at the horizon).
+    throw std::invalid_argument(
+        "lr schedule: polynomial decay requires poly_power >= 0");
+  }
   switch (config.decay) {
     case DecayKind::kConstant:
       return std::make_unique<Constant>(config);

@@ -47,6 +47,9 @@ struct LrScheduleConfig {
   float poly_power = 2.f;
 };
 
+// Throws std::invalid_argument for configs that would produce a non-finite
+// learning rate (e.g. exponential decay with decay_epochs <= 0 or
+// decay_rate <= 0, negative warmup, negative polynomial power).
 std::unique_ptr<LrSchedule> make_schedule(const LrScheduleConfig& config);
 
 }  // namespace podnet::optim

@@ -4,17 +4,46 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/profile.h"
 #include "tensor/bf16.h"
 #include "tensor/thread_pool.h"
 
 namespace podnet::tensor {
 namespace {
 
+// Flags a nested gemm() on one thread. The pack buffers below are
+// thread_local, so a reentrant call (e.g. a parallel_for functor calling
+// gemm again on the caller's thread) would clobber a live pack mid-product
+// and silently corrupt C. No current caller nests; the assert keeps it
+// that way.
+thread_local bool gemm_active = false;
+
+struct ReentryGuard {
+  ReentryGuard() {
+    assert(!gemm_active &&
+           "gemm is not reentrant per thread (thread_local pack buffers)");
+    gemm_active = true;
+  }
+  ~ReentryGuard() { gemm_active = false; }
+};
+
+// Releases pack capacity when a call needs far less than the high-water
+// mark, so one huge GEMM (e.g. the classifier at a large batch) does not
+// pin its peak footprint on every thread for the rest of the process.
+void maybe_shrink(std::vector<float>& buf, std::size_t need) {
+  constexpr std::size_t kShrinkFloor = std::size_t{1} << 16;  // 256 KiB
+  if (buf.capacity() > kShrinkFloor && need < buf.capacity() / 4) {
+    buf.resize(need);
+    buf.shrink_to_fit();
+  }
+}
+
 // Packs op(A) into a dense m x k row-major buffer, optionally rounding
 // through bf16. Packing first keeps the inner kernel branch-free and makes
 // the bf16 rounding a one-time cost instead of per-FMA.
 void pack(bool trans, std::int64_t rows, std::int64_t cols, const float* src,
           std::int64_t ld, bool to_bf16, std::vector<float>& dst) {
+  maybe_shrink(dst, static_cast<std::size_t>(rows * cols));
   dst.resize(static_cast<std::size_t>(rows * cols));
   if (!trans) {
     for (std::int64_t r = 0; r < rows; ++r) {
@@ -67,6 +96,7 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,
           std::int64_t ldc, MatmulPrecision precision) {
+  PODNET_PROFILE_SPAN("gemm");
   assert(m >= 0 && n >= 0 && k >= 0);
   if (m == 0 || n == 0) return;
   if (k == 0 || alpha == 0.f) {
@@ -82,6 +112,7 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   }
 
   const bool to_bf16 = precision == MatmulPrecision::kBf16;
+  const ReentryGuard reentry_guard;
   thread_local std::vector<float> a_pack;
   thread_local std::vector<float> b_pack;
   pack(trans_a, m, k, a, lda, to_bf16, a_pack);

@@ -19,6 +19,13 @@ enum class MatmulPrecision {
 
 // Row-major GEMM. lda/ldb/ldc are leading dimensions (row strides) of the
 // *stored* matrices, i.e. of A as laid out in memory, before transposition.
+//
+// Reentrancy contract: gemm() is safe to call concurrently from different
+// threads (the pack buffers are thread_local), but it is NOT reentrant on
+// one thread — a nested call would clobber the live pack of the outer one.
+// Debug builds assert against nesting. Pack capacity is released when a
+// call needs less than a quarter of the high-water mark, so one oversized
+// product does not pin its peak footprint per thread forever.
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,

@@ -35,9 +35,19 @@ void ThreadPool::worker_loop() {
       task = queue_.front();
       queue_.pop_front();
     }
-    (*task.state->fn)(task.begin, task.end);
+    // A throwing chunk must not escape the worker thread (std::terminate)
+    // and must still count towards completion, or the caller deadlocks in
+    // parallel_for. Capture the first failure per call; the caller
+    // rethrows it.
+    std::exception_ptr error;
+    try {
+      (*task.state->fn)(task.begin, task.end);
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(task.state->mu);
+      if (error && !task.state->error) task.state->error = error;
       if (--task.state->remaining == 0) task.state->cv.notify_all();
     }
   }
@@ -68,9 +78,19 @@ void ThreadPool::parallel_for(
     }
   }
   work_cv_.notify_all();
-  fn(0, std::min<std::int64_t>(n, chunk));
+  // The caller's own chunk may throw too; it must not skip the wait below
+  // (workers still hold pointers into `state`), so treat it like any other
+  // chunk: record the first error, rethrow after everyone retired.
+  std::exception_ptr caller_error;
+  try {
+    fn(0, std::min<std::int64_t>(n, chunk));
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
   std::unique_lock<std::mutex> lock(state.mu);
+  if (caller_error && !state.error) state.error = caller_error;
   state.cv.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.error) std::rethrow_exception(state.error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,6 +36,12 @@ class ThreadPool {
   // Splits [0, n) into contiguous chunks and runs fn(begin, end) on the
   // workers plus the calling thread. Blocks until every chunk finished.
   // fn must not touch overlapping mutable state across chunks (CP.2).
+  //
+  // Exceptions: a chunk functor may throw. The first exception captured
+  // for this call (any chunk, worker or caller) is rethrown here on the
+  // calling thread after every chunk has retired — never from a worker
+  // thread, and never leaving the call's completion count short. Other
+  // chunks still run to completion; the pool stays usable afterwards.
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
@@ -49,6 +56,9 @@ class ThreadPool {
     std::mutex mu;
     std::condition_variable cv;
     int remaining = 0;
+    // First exception thrown by any chunk of this call; rethrown by
+    // parallel_for on the calling thread once remaining hits zero.
+    std::exception_ptr error;
   };
 
   struct Task {

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/json.h"
+
 namespace podnet::tpu {
+namespace {
+
+const char* allreduce_name(PodAllReduce alg) {
+  switch (alg) {
+    case PodAllReduce::kRing1d:
+      return "ring_1d";
+    case PodAllReduce::kTorus2d:
+      return "torus_2d";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 StepBreakdown model_step(const effnet::ModelCost& cost, const PodSlice& slice,
                          const TpuTarget& target, const StepOptions& options) {
@@ -27,7 +42,7 @@ StepBreakdown model_step(const effnet::ModelCost& cost, const PodSlice& slice,
 
 RunBreakdown model_run(const effnet::ModelCost& cost, const PodSlice& slice,
                        const TpuTarget& target, const StepOptions& step,
-                       const RunOptions& run) {
+                       const RunOptions& run, obs::MetricsSink* sink) {
   const StepBreakdown sb = model_step(cost, slice, target, step);
   RunBreakdown r;
   const double steps_per_epoch =
@@ -93,6 +108,35 @@ RunBreakdown model_run(const effnet::ModelCost& cost, const PodSlice& slice,
                  (interval_s / 2.0 + run.restart_overhead_s);
   }
   r.total_s = fault_free_s + r.checkpoint_s + r.rework_s;
+
+  if (sink != nullptr) {
+    obs::JsonWriter w;
+    w.field("kind", "model_run")
+        .field("cores", slice.cores)
+        .field("per_core_batch", step.per_core_batch)
+        .field("global_batch", sb.global_batch)
+        .field("bf16_convs", step.bf16_convs)
+        .field("allreduce", allreduce_name(step.allreduce))
+        .field("epochs", run.epochs_to_peak);
+    w.begin_object("step")
+        .field("compute_ms", sb.compute_s * 1e3)
+        .field("allreduce_ms", sb.allreduce_s * 1e3)
+        .field("overhead_ms", sb.overhead_s * 1e3)
+        .field("step_ms", sb.step_s * 1e3)
+        .field("throughput_img_per_ms", sb.throughput_img_per_ms)
+        .field("allreduce_percent", sb.allreduce_percent)
+        .end_object();
+    w.begin_object("run")
+        .field("steps", r.steps)
+        .field("train_s", r.train_s)
+        .field("eval_s", r.eval_s)
+        .field("checkpoint_s", r.checkpoint_s)
+        .field("expected_failures", r.expected_failures)
+        .field("rework_s", r.rework_s)
+        .field("total_s", r.total_s)
+        .end_object();
+    sink->write_line(w.str());
+  }
   return r;
 }
 

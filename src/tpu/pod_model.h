@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "effnet/flops.h"
+#include "obs/sink.h"
 #include "tpu/cost_model.h"
 #include "tpu/spec.h"
 #include "tpu/topology.h"
@@ -80,8 +81,14 @@ struct RunBreakdown {
   double total_minutes() const { return total_s / 60.0; }
 };
 
+// When `sink` is non-null, one {"kind":"model_run"} JSON record describing
+// the slice, the per-step prediction, and the end-to-end breakdown is
+// written through it — the modeled counterpart of the trainer's per-step
+// {"kind":"step"} records, so a single JSONL stream can carry modeled and
+// measured numbers side by side (bench/table1_observed.cc does this).
 RunBreakdown model_run(const effnet::ModelCost& cost, const PodSlice& slice,
                        const TpuTarget& target, const StepOptions& step,
-                       const RunOptions& run);
+                       const RunOptions& run,
+                       obs::MetricsSink* sink = nullptr);
 
 }  // namespace podnet::tpu

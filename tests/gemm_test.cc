@@ -141,5 +141,32 @@ TEST(GemmTest, LargeParallelPathMatchesReference) {
   }
 }
 
+TEST(GemmTest, SmallAfterHugeStaysCorrect) {
+  // Exercises the pack-buffer shrink path: a large product grows the
+  // thread_local pack buffers, then a tiny one (< 1/4 of the high-water
+  // capacity) releases them and must still compute exact results.
+  const std::int64_t m = 128, n = 128, k = 512;
+  Rng rng(99);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.f);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  gemm_contiguous(false, false, m, n, k, 1.f, a.data(), b.data(), 0.f,
+                  c.data());
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<float> sa = {1.f, 2.f, 3.f, 4.f};  // 2x2
+    std::vector<float> sb = {5.f, 6.f, 7.f, 8.f};
+    std::vector<float> sc(4, 0.f);
+    gemm_contiguous(false, false, 2, 2, 2, 1.f, sa.data(), sb.data(), 0.f,
+                    sc.data());
+    EXPECT_FLOAT_EQ(sc[0], 19.f);
+    EXPECT_FLOAT_EQ(sc[1], 22.f);
+    EXPECT_FLOAT_EQ(sc[2], 43.f);
+    EXPECT_FLOAT_EQ(sc[3], 50.f);
+  }
+}
+
 }  // namespace
 }  // namespace podnet::tensor

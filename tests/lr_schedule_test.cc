@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 namespace podnet::optim {
 namespace {
@@ -117,6 +118,65 @@ INSTANTIATE_TEST_SUITE_P(AllDecays, DecayMonotoneTest,
                                            DecayKind::kExponential,
                                            DecayKind::kPolynomial,
                                            DecayKind::kCosine));
+
+// Regression: decay_epochs == 0 used to reach Exponential::decayed's
+// division and produce an inf/NaN learning rate that silently destroyed
+// training. make_schedule now rejects the config at construction.
+TEST(ValidationTest, ExponentialZeroDecayEpochsThrows) {
+  LrScheduleConfig c = base_config(DecayKind::kExponential);
+  c.decay_epochs = 0.0;
+  EXPECT_THROW(make_schedule(c), std::invalid_argument);
+  c.decay_epochs = -1.0;
+  EXPECT_THROW(make_schedule(c), std::invalid_argument);
+}
+
+TEST(ValidationTest, ExponentialNonPositiveDecayRateThrows) {
+  LrScheduleConfig c = base_config(DecayKind::kExponential);
+  c.decay_rate = 0.f;  // pow(0, fractional) at every post-warmup epoch
+  EXPECT_THROW(make_schedule(c), std::invalid_argument);
+  c.decay_rate = -0.5f;  // pow(neg, fractional) -> NaN
+  EXPECT_THROW(make_schedule(c), std::invalid_argument);
+}
+
+TEST(ValidationTest, NegativeWarmupThrows) {
+  LrScheduleConfig c = base_config(DecayKind::kPolynomial);
+  c.warmup_epochs = -1.0;
+  EXPECT_THROW(make_schedule(c), std::invalid_argument);
+}
+
+TEST(ValidationTest, NegativePolyPowerThrows) {
+  LrScheduleConfig c = base_config(DecayKind::kPolynomial);
+  c.poly_power = -2.f;
+  EXPECT_THROW(make_schedule(c), std::invalid_argument);
+}
+
+// Audit of the same degenerate-horizon edge in the other schedules:
+// total_epochs == warmup_epochs makes the decay span empty; progress()
+// clamps, so the rate must stay finite instead of dividing by zero.
+TEST(ValidationTest, DegenerateHorizonStaysFinite) {
+  for (DecayKind kind : {DecayKind::kPolynomial, DecayKind::kCosine}) {
+    LrScheduleConfig c = base_config(kind);
+    c.total_epochs = c.warmup_epochs;
+    auto s = make_schedule(c);
+    for (double e = 0.0; e <= 20.0; e += 0.5) {
+      EXPECT_TRUE(std::isfinite(s->lr(e))) << s->name() << " at " << e;
+    }
+  }
+}
+
+TEST(ValidationTest, ExponentialLrFiniteEverywhere) {
+  LrScheduleConfig c = base_config(DecayKind::kExponential);
+  c.decay_epochs = 0.1;  // smallest sane period: many periods elapse
+  for (bool staircase : {false, true}) {
+    c.staircase = staircase;
+    auto s = make_schedule(c);
+    for (double e = 0.0; e <= 500.0; e += 7.3) {
+      const float lr = s->lr(e);
+      EXPECT_TRUE(std::isfinite(lr)) << "at " << e;
+      EXPECT_GE(lr, 0.f);
+    }
+  }
+}
 
 TEST(WarmupTest, ZeroWarmupStartsAtBase) {
   LrScheduleConfig c = base_config(DecayKind::kPolynomial);

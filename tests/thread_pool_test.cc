@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace podnet::tensor {
@@ -79,6 +80,82 @@ TEST(ThreadPoolTest, ConcurrentCallersFromDifferentThreads) {
   for (auto& t : callers) t.join();
   const std::int64_t expect_one = 257 * 256 / 2;
   for (int c = 0; c < kCallers; ++c) EXPECT_EQ(sums[c], 20 * expect_one);
+}
+
+// Regression: a chunk functor that throws inside a worker used to escape
+// the worker thread (std::terminate) and leave `remaining` undecremented,
+// deadlocking the caller forever. Now the first exception is captured per
+// call and rethrown on the calling thread after every chunk retires.
+TEST(ThreadPoolTest, WorkerChunkExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::int64_t b, std::int64_t) {
+                          // Only worker-executed chunks throw; the caller
+                          // runs chunk [0, chunk) itself.
+                          if (b != 0) throw std::runtime_error("worker boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, CallerChunkExceptionPropagates) {
+  ThreadPool pool(3);
+  std::atomic<int> worker_chunks{0};
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::int64_t b, std::int64_t) {
+                                   if (b == 0) {
+                                     throw std::runtime_error("caller boom");
+                                   }
+                                   worker_chunks.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // The caller's throw must not abandon the workers' chunks mid-flight:
+  // parallel_for waits for all of them before rethrowing.
+  EXPECT_EQ(worker_chunks.load(), 3);
+}
+
+TEST(ThreadPoolTest, EveryChunkThrowingYieldsExactlyOneException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   100, [](std::int64_t, std::int64_t) { throw 42; }),
+               int);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterChunkException) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [](std::int64_t, std::int64_t) {
+                                     throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallel_for(64, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, InlineChunkExceptionPropagates) {
+  ThreadPool pool(0);  // no workers: parallel_for degenerates to fn(0, n)
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](std::int64_t, std::int64_t) {
+                                   throw std::runtime_error("inline boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionMessageSurvivesRethrow) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(100, [](std::int64_t, std::int64_t) {
+      throw std::runtime_error("chunk failed: detail 1234");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk failed: detail 1234");
+  }
 }
 
 TEST(ThreadPoolTest, GlobalPoolSingleton) {
