@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Runs the kernel microbenchmark comparison and records the scalar-vs-SIMD
+# trajectory in BENCH_kernels.json (JSONL, one "kernel_bench" row per
+# kernel; the binary self-validates the file through the JSONL validator).
+#
+# Usage: bench/run_benchmarks.sh [build_dir] [output_file]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_kernels.json}"
+BIN="$BUILD_DIR/bench/micro_kernels"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found — build the 'micro_kernels' target first" >&2
+  echo "  cmake --build $BUILD_DIR --target micro_kernels" >&2
+  exit 1
+fi
+
+"$BIN" --json "$OUT"
+echo "benchmark trajectory written to $OUT"

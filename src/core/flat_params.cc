@@ -3,45 +3,76 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/profile.h"
+#include "tensor/ops.h"
+#include "tensor/thread_pool.h"
+
 namespace podnet::core {
+namespace {
+
+// Buckets below this skip the thread pool: the copy finishes faster than a
+// fork/join round-trip. 64K floats = 256 KiB, comfortably past that point.
+constexpr std::size_t kParallelThreshold = std::size_t{1} << 16;
+
+// Runs fn(p) for every param index, over the pool when the total payload is
+// worth it. Distribution is by param (not by element) so each task stays a
+// single contiguous copy; EfficientNet's param-size spread is mild enough
+// that per-param granularity balances fine.
+template <typename Fn>
+void for_each_param(std::size_t total, std::size_t num_params, Fn&& fn) {
+  tensor::ThreadPool& pool = tensor::ThreadPool::global();
+  if (total >= kParallelThreshold && pool.worker_count() > 0) {
+    pool.parallel_for(static_cast<std::int64_t>(num_params),
+                      [&](std::int64_t begin, std::int64_t end) {
+                        for (std::int64_t p = begin; p < end; ++p) {
+                          fn(static_cast<std::size_t>(p));
+                        }
+                      });
+  } else {
+    for (std::size_t p = 0; p < num_params; ++p) fn(p);
+  }
+}
+
+}  // namespace
 
 FlatBuffer::FlatBuffer(const std::vector<nn::Param*>& params) {
+  offsets_.reserve(params.size() + 1);
   std::size_t total = 0;
   for (const nn::Param* p : params) {
+    offsets_.push_back(total);
     total += static_cast<std::size_t>(p->value.numel());
   }
+  offsets_.push_back(total);
   data_.resize(total);
 }
 
 void FlatBuffer::pack_grads(const std::vector<nn::Param*>& params) {
-  std::size_t off = 0;
-  for (const nn::Param* p : params) {
-    const auto s = p->grad.span();
-    std::copy(s.begin(), s.end(), data_.begin() + off);
-    off += s.size();
-  }
-  assert(off == data_.size());
+  PODNET_PROFILE_SPAN("grad.pack");
+  assert(params.size() + 1 == offsets_.size());
+  for_each_param(data_.size(), params.size(), [&](std::size_t p) {
+    const auto s = params[p]->grad.span();
+    assert(s.size() == offsets_[p + 1] - offsets_[p]);
+    std::copy(s.begin(), s.end(), data_.begin() + offsets_[p]);
+  });
 }
 
 void FlatBuffer::unpack_grads(const std::vector<nn::Param*>& params,
                               float scale) const {
-  std::size_t off = 0;
-  for (nn::Param* p : params) {
-    auto s = p->grad.span();
-    for (std::size_t i = 0; i < s.size(); ++i) s[i] = data_[off + i] * scale;
-    off += s.size();
-  }
-  assert(off == data_.size());
+  PODNET_PROFILE_SPAN("grad.unpack");
+  assert(params.size() + 1 == offsets_.size());
+  for_each_param(data_.size(), params.size(), [&](std::size_t p) {
+    auto s = params[p]->grad.span();
+    tensor::scale_copy(scale, {data_.data() + offsets_[p], s.size()}, s);
+  });
 }
 
 void FlatBuffer::pack_values(const std::vector<nn::Param*>& params) {
-  std::size_t off = 0;
-  for (const nn::Param* p : params) {
-    const auto s = p->value.span();
-    std::copy(s.begin(), s.end(), data_.begin() + off);
-    off += s.size();
-  }
-  assert(off == data_.size());
+  PODNET_PROFILE_SPAN("value.pack");
+  assert(params.size() + 1 == offsets_.size());
+  for_each_param(data_.size(), params.size(), [&](std::size_t p) {
+    const auto s = params[p]->value.span();
+    std::copy(s.begin(), s.end(), data_.begin() + offsets_[p]);
+  });
 }
 
 std::vector<float> FlatBuffer::pack_tensors(
@@ -59,7 +90,7 @@ void FlatBuffer::unpack_tensors(std::span<const float> flat, float scale,
   std::size_t off = 0;
   for (nn::Tensor* t : ts) {
     auto s = t->span();
-    for (std::size_t i = 0; i < s.size(); ++i) s[i] = flat[off + i] * scale;
+    tensor::scale_copy(scale, {flat.data() + off, s.size()}, s);
     off += s.size();
   }
   assert(off == flat.size());

@@ -14,7 +14,8 @@ namespace podnet::core {
 
 class FlatBuffer {
  public:
-  // Sizes the buffer for the given parameter list (order is canonical).
+  // Sizes the buffer for the given parameter list (order is canonical) and
+  // precomputes per-param offsets so pack/unpack can run param-parallel.
   explicit FlatBuffer(const std::vector<nn::Param*>& params);
 
   std::span<float> span() { return {data_.data(), data_.size()}; }
@@ -37,6 +38,8 @@ class FlatBuffer {
 
  private:
   std::vector<float> data_;
+  std::vector<std::size_t> offsets_;  // offsets_[p] = start of param p;
+                                      // offsets_.back() = data_.size()
 };
 
 }  // namespace podnet::core

@@ -306,8 +306,7 @@ TrainResult train(const TrainConfig& config) {
           bucket.pack_values(params);
           double checksum = 0.0;
           for (float v : bucket.span()) checksum += v;
-          const double hi = comm.allreduce_max(rank, checksum);
-          const double lo = -comm.allreduce_max(rank, -checksum);
+          const auto [lo, hi] = comm.allreduce_minmax(rank, checksum);
           if (hi != lo) inconsistent.store(true);
         }
 
@@ -432,8 +431,10 @@ TrainResult train(const TrainConfig& config) {
         sm.phase(obs::Phase::kBackward) = phase_timer.lap();
 
         // Gradient all-reduce -> global-mean gradients on every replica.
+        // Pack/unpack get their own phase: billing them to the optimizer
+        // (as before) hid bucketing overhead inside an unrelated column.
         bucket.pack_grads(params);
-        double opt_s = phase_timer.lap();  // pack is optimizer-side work
+        double pack_s = phase_timer.lap();
         comm.allreduce_sum(rank, bucket.span(), config.allreduce);
         double ar_s = phase_timer.lap();
 
@@ -443,8 +444,7 @@ TrainResult train(const TrainConfig& config) {
           // hi/lo disagreement — on every rank at once, which keeps the
           // failure collective (nobody is left blocked at a barrier).
           const double h = payload_hash(bucket.span());
-          const double hi = comm.allreduce_max(rank, h);
-          const double lo = -comm.allreduce_max(rank, -h);
+          const auto [lo, hi] = comm.allreduce_minmax(rank, h);
           ar_s += phase_timer.lap();  // verification is collective overhead
           if (hi != lo) {
             throw dist::ReplicaFailure(
@@ -456,6 +456,9 @@ TrainResult train(const TrainConfig& config) {
         sm.phase(obs::Phase::kAllReduce) = ar_s;
 
         bucket.unpack_grads(params, 1.0f / static_cast<float>(R));
+        pack_s += phase_timer.lap();
+        sm.phase(obs::Phase::kGradPack) = pack_s;
+        double opt_s = 0.0;
         if (config.clip_global_norm > 0.f) {
           optim::clip_grads_by_global_norm(params, config.clip_global_norm);
         }

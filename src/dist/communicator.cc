@@ -6,9 +6,19 @@
 
 #include "dist/fault.h"
 #include "obs/timer.h"
+#include "tensor/ops.h"
 
 namespace podnet::dist {
 namespace {
+
+// y[i] += x[i] over a [begin, end) slice, through the vectorized kernel.
+// Per-element arithmetic is identical to the scalar loop it replaced, so
+// the bit-identical-across-ranks invariant of the algorithms is untouched.
+void accumulate_range(const float* x, float* y, std::size_t begin,
+                      std::size_t end) {
+  if (end <= begin) return;
+  tensor::add_inplace({x + begin, end - begin}, {y + begin, end - begin});
+}
 
 // Chunk c of an n-element vector split across r chunks (remainder spread
 // over the leading chunks).
@@ -117,8 +127,7 @@ void Communicator::allreduce_flat(int rank, std::span<float> data) {
   // Each rank reduces its chunk across every replica into shared scratch.
   const auto [begin, end] = chunk_range(data.size(), num_ranks_, rank);
   for (int r = 0; r < num_ranks_; ++r) {
-    const float* src = bufs_[r];
-    for (std::size_t i = begin; i < end; ++i) scratch_[i] += src[i];
+    accumulate_range(bufs_[r], scratch_.data(), begin, end);
   }
   barrier();
   std::copy(scratch_.begin(), scratch_.end(), data.begin());
@@ -138,7 +147,7 @@ void Communicator::allreduce_ring(int rank, std::span<float> data) {
   for (int s = 0; s < R - 1; ++s) {
     const int c = ((rank - s - 1) % R + R) % R;
     const auto [begin, end] = chunk_range(data.size(), R, c);
-    for (std::size_t i = begin; i < end; ++i) data[i] += left[i];
+    accumulate_range(left, data.data(), begin, end);
     barrier();
   }
   // All-gather: propagate reduced chunks around the ring.
@@ -175,7 +184,7 @@ void Communicator::allreduce_halving_doubling(int rank,
     } else {
       lo = mid;
     }
-    for (std::size_t i = lo; i < hi; ++i) data[i] += pbuf[i];
+    accumulate_range(pbuf, data.data(), lo, hi);
     barrier();
   }
   // Recursive doubling (all-gather): reverse the rounds; the partner owns
@@ -224,8 +233,7 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
     float* block = scratch_.data() + static_cast<std::size_t>(group) * n;
     const auto [begin, end] = chunk_range(n, gs, pos);
     for (int m = 0; m < gs; ++m) {
-      const float* src = bufs_[group * gs + m];
-      for (std::size_t i = begin; i < end; ++i) block[i] += src[i];
+      accumulate_range(bufs_[group * gs + m], block, begin, end);
     }
   }
   barrier();
@@ -243,8 +251,7 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
         scratch_.data() + static_cast<std::size_t>(groups + pos) * n;
     const auto [begin, end] = chunk_range(n, groups, group);
     for (int m = 0; m < groups; ++m) {
-      const float* src = bufs_[m * gs + pos];
-      for (std::size_t i = begin; i < end; ++i) block[i] += src[i];
+      accumulate_range(bufs_[m * gs + pos], block, begin, end);
     }
   }
   barrier();
@@ -314,6 +321,26 @@ double Communicator::allreduce_max(int rank, double value) {
   stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
                                                        timer.seconds());
   return m;
+}
+
+std::pair<double, double> Communicator::allreduce_minmax(int rank,
+                                                         double value) {
+  if (num_ranks_ == 1) return {value, value};
+  obs::Timer timer;
+  scalars_[rank] = value;
+  barrier();
+  double lo = scalars_[0];
+  double hi = scalars_[0];
+  for (double v : scalars_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  barrier();
+  // One round, one stats record — half the barriers of the min/max pair of
+  // allreduce_max calls this replaces.
+  stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
+                                                       timer.seconds());
+  return {lo, hi};
 }
 
 }  // namespace podnet::dist

@@ -30,6 +30,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace podnet::dist {
@@ -77,7 +78,7 @@ struct alignas(64) CommStats {
   std::array<CollectiveStats, kNumAllReduceAlgorithms> allreduce;  // by alg
   CollectiveStats broadcast;
   CollectiveStats allgather;
-  CollectiveStats scalar;  // allreduce_scalar + allreduce_max
+  CollectiveStats scalar;  // allreduce_scalar / _max / _minmax
 
   const CollectiveStats& allreduce_by(AllReduceAlgorithm alg) const {
     return allreduce[static_cast<int>(alg)];
@@ -128,6 +129,11 @@ class Communicator {
 
   // Max across ranks.
   double allreduce_max(int rank, double value);
+
+  // Min and max across ranks in a single round — {min, max}. Used by the
+  // cross-rank agreement checks, which would otherwise pay two full
+  // scalar rounds to learn both extremes of the same value.
+  std::pair<double, double> allreduce_minmax(int rank, double value);
 
   // This rank's accumulated collective timings. A rank may read its own
   // entry at any time; reading another rank's entry is only safe after

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/ops.h"
+
 namespace podnet::nn {
 
 float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
@@ -9,14 +11,7 @@ float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 Tensor Swish::forward(const Tensor& x, bool training) {
   Tensor y(x.shape());
   Tensor sig(x.shape());
-  const float* xi = x.data();
-  float* si = sig.data();
-  float* yi = y.data();
-  const Index n = x.numel();
-  for (Index i = 0; i < n; ++i) {
-    si[i] = sigmoid_scalar(xi[i]);
-    yi[i] = xi[i] * si[i];
-  }
+  tensor::swish(x.span(), sig.span(), y.span());
   if (training) {
     x_ = x;
     sig_ = std::move(sig);
@@ -27,54 +22,33 @@ Tensor Swish::forward(const Tensor& x, bool training) {
 Tensor Swish::backward(const Tensor& grad_out) {
   // d/dx [x*s(x)] = s(x) * (1 + x * (1 - s(x)))
   Tensor gx(grad_out.shape());
-  const float* g = grad_out.data();
-  const float* xi = x_.data();
-  const float* si = sig_.data();
-  float* o = gx.data();
-  const Index n = grad_out.numel();
-  for (Index i = 0; i < n; ++i) {
-    o[i] = g[i] * si[i] * (1.0f + xi[i] * (1.0f - si[i]));
-  }
+  tensor::swish_backward(grad_out.span(), x_.span(), sig_.span(), gx.span());
   return gx;
 }
 
 Tensor Sigmoid::forward(const Tensor& x, bool training) {
   Tensor y(x.shape());
-  const float* xi = x.data();
-  float* yi = y.data();
-  const Index n = x.numel();
-  for (Index i = 0; i < n; ++i) yi[i] = sigmoid_scalar(xi[i]);
+  tensor::sigmoid(x.span(), y.span());
   if (training) y_ = y;
   return y;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_out) {
   Tensor gx(grad_out.shape());
-  const float* g = grad_out.data();
-  const float* yi = y_.data();
-  float* o = gx.data();
-  const Index n = grad_out.numel();
-  for (Index i = 0; i < n; ++i) o[i] = g[i] * yi[i] * (1.0f - yi[i]);
+  tensor::sigmoid_backward(grad_out.span(), y_.span(), gx.span());
   return gx;
 }
 
 Tensor ReLU::forward(const Tensor& x, bool training) {
   Tensor y(x.shape());
-  const float* xi = x.data();
-  float* yi = y.data();
-  const Index n = x.numel();
-  for (Index i = 0; i < n; ++i) yi[i] = xi[i] > 0.f ? xi[i] : 0.f;
+  tensor::relu(x.span(), y.span());
   if (training) x_ = x;
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
   Tensor gx(grad_out.shape());
-  const float* g = grad_out.data();
-  const float* xi = x_.data();
-  float* o = gx.data();
-  const Index n = grad_out.numel();
-  for (Index i = 0; i < n; ++i) o[i] = xi[i] > 0.f ? g[i] : 0.f;
+  tensor::relu_backward(grad_out.span(), x_.span(), gx.span());
   return gx;
 }
 

@@ -1,9 +1,11 @@
 #include "nn/conv.h"
 
 #include <cassert>
+#include <vector>
 
 #include "nn/init.h"
 #include "obs/profile.h"
+#include "tensor/ops.h"
 
 namespace podnet::nn {
 
@@ -32,20 +34,49 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
                                      in_c_, kernel_, stride_);
   const Index m = geom_.col_rows();
   const Index k = geom_.col_cols();
-  Tensor col(Shape{m, k});
-  tensor::im2col(geom_, x.data(), col.data());
+  const Index m_img = geom_.out_h * geom_.out_w;
 
   Tensor y(Shape{geom_.batch, geom_.out_h, geom_.out_w, out_c_});
-  tensor::gemm_contiguous(false, false, m, out_c_, k, 1.f, col.data(),
-                          weight_.value.data(), 0.f, y.data(), precision_);
-  if (use_bias_) {
-    float* yd = y.data();
-    const float* b = bias_->value.data();
-    for (Index r = 0; r < m; ++r) {
-      for (Index c = 0; c < out_c_; ++c) yd[r * out_c_ + c] += b[c];
+  // The weight matrix is packed once per forward and reused by every
+  // per-image GEMM of the batch loop below (read-only, so also safe for
+  // the GEMM's internal worker threads).
+  const tensor::PackedB wpack = tensor::pack_b(
+      false, k, out_c_, weight_.value.data(), out_c_, precision_);
+
+  if (training) {
+    // Backward needs the whole col expansion, so lower the full batch and
+    // run the GEMMs over per-image row slices of it.
+    Tensor col(Shape{m, k});
+    tensor::im2col(geom_, x.data(), col.data());
+    for (Index n = 0; n < geom_.batch; ++n) {
+      tensor::gemm_prepacked(false, m_img, out_c_, k, 1.f,
+                             col.data() + n * m_img * k, k, wpack, 0.f,
+                             y.data() + n * m_img * out_c_, out_c_,
+                             precision_);
+    }
+    col_ = std::move(col);
+  } else {
+    // Inference lowers one image at a time: the col buffer never exceeds
+    // a single image's expansion instead of the whole batch's.
+    tensor::ConvGeometry g1 = geom_;
+    g1.batch = 1;
+    const Index in_img = geom_.in_h * geom_.in_w * in_c_;
+    std::vector<float> col(static_cast<std::size_t>(m_img * k));
+    for (Index n = 0; n < geom_.batch; ++n) {
+      tensor::im2col(g1, x.data() + n * in_img, col.data());
+      tensor::gemm_prepacked(false, m_img, out_c_, k, 1.f, col.data(), k,
+                             wpack, 0.f, y.data() + n * m_img * out_c_,
+                             out_c_, precision_);
     }
   }
-  if (training) col_ = std::move(col);
+  if (use_bias_) {
+    float* yd = y.data();
+    const auto b = bias_->value.span();
+    for (Index r = 0; r < m; ++r) {
+      tensor::add_inplace(
+          b, {yd + r * out_c_, static_cast<std::size_t>(out_c_)});
+    }
+  }
   return y;
 }
 

@@ -5,6 +5,7 @@
 #include "nn/init.h"
 #include "obs/profile.h"
 #include "tensor/bf16.h"
+#include "tensor/ops.h"
 
 namespace podnet::nn {
 
@@ -50,7 +51,11 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
             const float* in =
                 xin.data() + ((n * geom_.in_h + ih) * geom_.in_w + iw) * C;
             const float* wk = w.data() + (kh * kernel_ + kw) * C;
-            for (Index c = 0; c < C; ++c) out[c] += in[c] * wk[c];
+            // Per-tap accumulation over the contiguous channel axis —
+            // the vectorized hot loop of the depthwise convolution.
+            tensor::fma_inplace({in, static_cast<std::size_t>(C)},
+                                {wk, static_cast<std::size_t>(C)},
+                                {out, static_cast<std::size_t>(C)});
           }
         }
       }
@@ -90,10 +95,9 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
             const Index w_off = (kh * kernel_ + kw) * C;
             const float* wk = w.data() + w_off;
             float* dwk = dw + w_off;
-            for (Index c = 0; c < C; ++c) {
-              dwk[c] += in[c] * g[c];
-              dxi[c] += wk[c] * g[c];
-            }
+            const std::size_t cn = static_cast<std::size_t>(C);
+            tensor::fma_inplace({in, cn}, {g, cn}, {dwk, cn});  // dW += x*g
+            tensor::fma_inplace({wk, cn}, {g, cn}, {dxi, cn});  // dx += w*g
           }
         }
       }

@@ -14,6 +14,8 @@ const char* phase_name(Phase p) {
       return "backward";
     case Phase::kAllReduce:
       return "allreduce";
+    case Phase::kGradPack:
+      return "grad_pack";
     case Phase::kOptimizer:
       return "optimizer";
     case Phase::kBnSync:

@@ -30,12 +30,13 @@ enum class Phase {
   kForward,
   kBackward,
   kAllReduce,  // gradient all-reduce collective only (Table 1's column)
-  kOptimizer,  // grad unpack/clip, LR, optimizer step, EMA
+  kGradPack,   // flat-buffer pack before / unpack after the all-reduce
+  kOptimizer,  // grad clip, LR, optimizer step, EMA
   kBnSync,
   kEval,
 };
 
-inline constexpr int kPhaseCount = 7;
+inline constexpr int kPhaseCount = 8;
 
 // Stable JSONL key for a phase: "data_load", "forward", ...
 const char* phase_name(Phase p);

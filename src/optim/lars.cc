@@ -31,9 +31,6 @@ void Lars::step(const std::vector<nn::Param*>& params, float lr) {
   assert(velocity_.size() == params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
     nn::Param& p = *params[i];
-    float* w = p.value.data();
-    const float* g = p.grad.data();
-    float* v = velocity_[i].data();
 
     float local_lr = 1.f;
     float wd = 0.f;
@@ -48,12 +45,17 @@ void Lars::step(const std::vector<nn::Param*>& params, float lr) {
     }
     trust_[i] = local_lr;
 
+    // v = momentum*v + scaled_lr*(g + wd*w); w -= v — expressed through
+    // the vectorized primitives. Folding the decay into the grad buffer
+    // is fine: it is overwritten from the bucket every step anyway (and
+    // grad clipping already mutates it the same way).
     const float scaled_lr = lr * local_lr;
-    for (tensor::Index j = 0; j < p.value.numel(); ++j) {
-      const float grad = g[j] + wd * w[j];
-      v[j] = momentum_ * v[j] + scaled_lr * grad;
-      w[j] -= v[j];
-    }
+    auto w = p.value.span();
+    auto g = p.grad.span();
+    auto v = velocity_[i].span();
+    if (wd != 0.f) tensor::axpy(wd, w, g);
+    tensor::axpby(scaled_lr, g, momentum_, v);
+    tensor::axpy(-1.f, v, w);
   }
 }
 

@@ -1,0 +1,17 @@
+#include "tensor/bf16.h"
+
+#include "tensor/simd.h"
+
+namespace podnet::tensor {
+
+void bf16_round_inplace(std::span<float> xs) {
+#if defined(PODNET_HAVE_AVX2)
+  if (simd::active_level() == simd::Level::kAvx2) {
+    simd::avx2::bf16_round_inplace(xs.data(), xs.size());
+    return;
+  }
+#endif
+  for (float& x : xs) x = bf16_round(x);
+}
+
+}  // namespace podnet::tensor

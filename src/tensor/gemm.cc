@@ -6,6 +6,7 @@
 
 #include "obs/profile.h"
 #include "tensor/bf16.h"
+#include "tensor/simd.h"
 #include "tensor/thread_pool.h"
 
 namespace podnet::tensor {
@@ -61,8 +62,10 @@ void pack(bool trans, std::int64_t rows, std::int64_t cols, const float* src,
   if (to_bf16) bf16_round_inplace(dst);
 }
 
-// Inner kernel: C[mb, nb] += A[mb, K] * B[K, nb] for a row block, with B
-// fully packed. K-blocked to keep the B panel in cache.
+// Scalar inner kernel: C[mb, nb] += A[mb, K] * B[K, nb] for a row block,
+// with B fully packed. K-blocked to keep the B panel in cache. This is the
+// original PodNet kernel, kept bit-compatible as the reference the SIMD
+// path is tested against.
 void gemm_block(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
                 std::int64_t k, float alpha, const float* a, const float* b,
                 float beta, float* c, std::int64_t ldc) {
@@ -90,6 +93,40 @@ void gemm_block(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
   }
 }
 
+// Scalar driver over a packed A (dense m x k) and packed B (dense k x n):
+// splits rows over the thread pool when the product is large enough.
+void scalar_gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k,
+                        float alpha, const float* a_packed,
+                        const float* b_packed, float beta, float* c,
+                        std::int64_t ldc) {
+  const std::int64_t flops = 2 * m * n * k;
+  if (flops >= (1 << 22) && ThreadPool::global().worker_count() > 0) {
+    ThreadPool::global().parallel_for(
+        m, [&](std::int64_t b0, std::int64_t e0) {
+          gemm_block(b0, e0, n, k, alpha, a_packed, b_packed, beta, c, ldc);
+        });
+  } else {
+    gemm_block(0, m, n, k, alpha, a_packed, b_packed, beta, c, ldc);
+  }
+}
+
+// Degenerate products (k == 0 or alpha == 0) reduce to C *= beta.
+void scale_c(std::int64_t m, std::int64_t n, float beta, float* c,
+             std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.f) {
+      std::fill(crow, crow + n, 0.f);
+    } else if (beta != 1.f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+#if defined(PODNET_HAVE_AVX2)
+bool use_avx2() { return simd::active_level() == simd::Level::kAvx2; }
+#endif
+
 }  // namespace
 
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
@@ -100,36 +137,79 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   assert(m >= 0 && n >= 0 && k >= 0);
   if (m == 0 || n == 0) return;
   if (k == 0 || alpha == 0.f) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * ldc;
-      if (beta == 0.f) {
-        std::fill(crow, crow + n, 0.f);
-      } else if (beta != 1.f) {
-        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-      }
-    }
+    scale_c(m, n, beta, c, ldc);
     return;
   }
 
   const bool to_bf16 = precision == MatmulPrecision::kBf16;
   const ReentryGuard reentry_guard;
+#if defined(PODNET_HAVE_AVX2)
+  if (use_avx2()) {
+    thread_local std::vector<float> b_panels;
+    const std::size_t need = simd::avx2::packed_b_size(k, n);
+    maybe_shrink(b_panels, need);
+    b_panels.resize(need);
+    simd::avx2::pack_b(trans_b, k, n, b, ldb, to_bf16, b_panels.data());
+    simd::avx2::gemm_packed_b(trans_a, m, n, k, alpha, a, lda,
+                              b_panels.data(), beta, c, ldc, to_bf16);
+    return;
+  }
+#endif
   thread_local std::vector<float> a_pack;
   thread_local std::vector<float> b_pack;
   pack(trans_a, m, k, a, lda, to_bf16, a_pack);
   pack(trans_b, k, n, b, ldb, to_bf16, b_pack);
+  scalar_gemm_driver(m, n, k, alpha, a_pack.data(), b_pack.data(), beta, c,
+                     ldc);
+}
 
-  // Parallelize across row blocks when the problem is large enough to
-  // amortize the fork/join. Each chunk writes a disjoint row range of C.
-  const std::int64_t flops = 2 * m * n * k;
-  if (flops >= (1 << 22) && ThreadPool::global().worker_count() > 0) {
-    ThreadPool::global().parallel_for(
-        m, [&](std::int64_t b0, std::int64_t e0) {
-          gemm_block(b0, e0, n, k, alpha, a_pack.data(), b_pack.data(), beta,
-                     c, ldc);
-        });
-  } else {
-    gemm_block(0, m, n, k, alpha, a_pack.data(), b_pack.data(), beta, c, ldc);
+PackedB pack_b(bool trans_b, std::int64_t k, std::int64_t n, const float* b,
+               std::int64_t ldb, MatmulPrecision precision) {
+  assert(k > 0 && n > 0);
+  PackedB packed;
+  packed.k_ = k;
+  packed.n_ = n;
+  packed.precision_ = precision;
+  const bool to_bf16 = precision == MatmulPrecision::kBf16;
+#if defined(PODNET_HAVE_AVX2)
+  if (use_avx2()) {
+    packed.simd_layout_ = true;
+    packed.data_.resize(simd::avx2::packed_b_size(k, n));
+    simd::avx2::pack_b(trans_b, k, n, b, ldb, to_bf16, packed.data_.data());
+    return packed;
   }
+#endif
+  pack(trans_b, k, n, b, ldb, to_bf16, packed.data_);
+  return packed;
+}
+
+void gemm_prepacked(bool trans_a, std::int64_t m, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a,
+                    std::int64_t lda, const PackedB& bp, float beta, float* c,
+                    std::int64_t ldc, MatmulPrecision precision) {
+  PODNET_PROFILE_SPAN("gemm");
+  assert(bp.valid() && bp.k_ == k && bp.n_ == n && bp.precision_ == precision);
+  assert(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.f) {
+    scale_c(m, n, beta, c, ldc);
+    return;
+  }
+  const bool to_bf16 = precision == MatmulPrecision::kBf16;
+  const ReentryGuard reentry_guard;
+#if defined(PODNET_HAVE_AVX2)
+  if (bp.simd_layout_) {
+    simd::avx2::gemm_packed_b(trans_a, m, n, k, alpha, a, lda,
+                              bp.data_.data(), beta, c, ldc, to_bf16);
+    return;
+  }
+#else
+  assert(!bp.simd_layout_);
+#endif
+  thread_local std::vector<float> a_pack;
+  pack(trans_a, m, k, a, lda, to_bf16, a_pack);
+  scalar_gemm_driver(m, n, k, alpha, a_pack.data(), bp.data_.data(), beta, c,
+                     ldc);
 }
 
 }  // namespace podnet::tensor

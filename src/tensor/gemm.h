@@ -5,9 +5,17 @@
 // layers. The bf16 variant rounds both multiplicand matrices through
 // bfloat16 before the fp32-accumulated product, reproducing TPU
 // mixed-precision semantics (paper Sec 3.5).
+//
+// Two implementations sit behind one entry point (see src/tensor/simd.h
+// for the dispatch rules): a scalar reference that is bit-compatible with
+// the original PodNet kernel, and an AVX2/FMA path built around a
+// register-blocked 6x16 microkernel with cache-blocked packing. The AVX2
+// result differs from the scalar one only by floating-point reassociation
+// (tests bound the difference with a ULP-scaled tolerance).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace podnet::tensor {
 
@@ -31,6 +39,51 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           const float* b, std::int64_t ldb, float beta, float* c,
           std::int64_t ldc,
           MatmulPrecision precision = MatmulPrecision::kFp32);
+
+// A pre-packed right-hand side for repeated products against the same B —
+// the convolution batch loop packs its weight matrix once and reuses it
+// for every image. The packed layout matches whichever dispatch level was
+// active at pack time (microkernel panels for AVX2, dense row-major for
+// scalar) and gemm_prepacked follows the recorded layout, so a PackedB
+// stays valid even if the level is flipped afterwards (tests do that).
+// Read-only after packing: safe to share across threads.
+class PackedB {
+ public:
+  PackedB() = default;
+
+  bool valid() const { return k_ > 0 && n_ > 0; }
+  std::int64_t k() const { return k_; }
+  std::int64_t n() const { return n_; }
+
+ private:
+  friend PackedB pack_b(bool, std::int64_t, std::int64_t, const float*,
+                        std::int64_t, MatmulPrecision);
+  friend void gemm_prepacked(bool, std::int64_t, std::int64_t, std::int64_t,
+                             float, const float*, std::int64_t,
+                             const PackedB&, float, float*, std::int64_t,
+                             MatmulPrecision);
+
+  std::vector<float> data_;
+  std::int64_t k_ = 0;
+  std::int64_t n_ = 0;
+  bool simd_layout_ = false;
+  MatmulPrecision precision_ = MatmulPrecision::kFp32;
+};
+
+// Packs op(B) (k x n after transposition) once, applying the precision's
+// multiplicand rounding.
+PackedB pack_b(bool trans_b, std::int64_t k, std::int64_t n, const float* b,
+               std::int64_t ldb,
+               MatmulPrecision precision = MatmulPrecision::kFp32);
+
+// C = alpha * op(A) * Bpacked + beta * C. `precision` must match the one
+// the PackedB was built with (it governs the rounding of A here; B was
+// rounded at pack time). Same per-thread reentrancy contract as gemm().
+void gemm_prepacked(bool trans_a, std::int64_t m, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a,
+                    std::int64_t lda, const PackedB& bp, float beta, float* c,
+                    std::int64_t ldc,
+                    MatmulPrecision precision = MatmulPrecision::kFp32);
 
 // Convenience wrapper for contiguous row-major operands:
 // A is m x k, B is k x n, C is m x n (when untransposed).

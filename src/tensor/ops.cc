@@ -5,35 +5,89 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/simd.h"
+
+// Each function checks the active dispatch level once and either jumps to
+// the AVX2 kernel (simd_avx2.cc) or runs the scalar reference loop below.
+// The macro keeps the boilerplate out of the way; it expands to nothing on
+// builds without the AVX2 translation unit.
+#if defined(PODNET_HAVE_AVX2)
+#define PODNET_DISPATCH_AVX2(call)                                   \
+  do {                                                               \
+    if (simd::active_level() == simd::Level::kAvx2) {                \
+      simd::avx2::call;                                              \
+      return;                                                        \
+    }                                                                \
+  } while (0)
+#define PODNET_DISPATCH_AVX2_RET(call)                               \
+  do {                                                               \
+    if (simd::active_level() == simd::Level::kAvx2) {                \
+      return simd::avx2::call;                                       \
+    }                                                                \
+  } while (0)
+#else
+#define PODNET_DISPATCH_AVX2(call) \
+  do {                             \
+  } while (0)
+#define PODNET_DISPATCH_AVX2_RET(call) \
+  do {                                 \
+  } while (0)
+#endif
+
 namespace podnet::tensor {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
+  PODNET_DISPATCH_AVX2(axpy(alpha, x.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 void axpby(float alpha, std::span<const float> x, float beta,
            std::span<float> y) {
   assert(x.size() == y.size());
+  PODNET_DISPATCH_AVX2(axpby(alpha, x.data(), beta, y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
 }
 
 void scale(float alpha, std::span<float> x) {
+  PODNET_DISPATCH_AVX2(scale(alpha, x.data(), x.size()));
   for (float& v : x) v *= alpha;
+}
+
+void scale_copy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  PODNET_DISPATCH_AVX2(scale_copy(alpha, x.data(), y.data(), x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i];
+}
+
+void add_inplace(std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  PODNET_DISPATCH_AVX2(add_inplace(x.data(), y.data(), x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += x[i];
 }
 
 void mul_inplace(std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
+  PODNET_DISPATCH_AVX2(mul_inplace(x.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] *= x[i];
 }
 
+void fma_inplace(std::span<const float> a, std::span<const float> b,
+                 std::span<float> y) {
+  assert(a.size() == y.size() && b.size() == y.size());
+  PODNET_DISPATCH_AVX2(fma_inplace(a.data(), b.data(), y.data(), y.size()));
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a[i] * b[i];
+}
+
 double sum(std::span<const float> x) {
+  PODNET_DISPATCH_AVX2_RET(sum(x.data(), x.size()));
   double s = 0.0;
   for (float v : x) s += v;
   return s;
 }
 
 double sum_squares(std::span<const float> x) {
+  PODNET_DISPATCH_AVX2_RET(sum_squares(x.data(), x.size()));
   double s = 0.0;
   for (float v : x) s += static_cast<double>(v) * v;
   return s;
@@ -43,6 +97,7 @@ double l2_norm(std::span<const float> x) { return std::sqrt(sum_squares(x)); }
 
 double dot(std::span<const float> x, std::span<const float> y) {
   assert(x.size() == y.size());
+  PODNET_DISPATCH_AVX2_RET(dot(x.data(), y.data(), x.size()));
   double s = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i)
     s += static_cast<double>(x[i]) * y[i];
@@ -50,12 +105,80 @@ double dot(std::span<const float> x, std::span<const float> y) {
 }
 
 float max_value(std::span<const float> x) {
+  PODNET_DISPATCH_AVX2_RET(max_value(x.data(), x.size()));
   float m = -std::numeric_limits<float>::infinity();
   for (float v : x) m = std::max(m, v);
   return m;
 }
 
+void sigmoid(std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  PODNET_DISPATCH_AVX2(sigmoid(x.data(), y.data(), x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+}
+
+void swish(std::span<const float> x, std::span<float> sig,
+           std::span<float> y) {
+  assert(x.size() == sig.size() && x.size() == y.size());
+  PODNET_DISPATCH_AVX2(swish(x.data(), sig.data(), y.data(), x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sig[i] = 1.0f / (1.0f + std::exp(-x[i]));
+    y[i] = x[i] * sig[i];
+  }
+}
+
+void swish_backward(std::span<const float> g, std::span<const float> x,
+                    std::span<const float> sig, std::span<float> out) {
+  assert(g.size() == out.size() && x.size() == out.size() &&
+         sig.size() == out.size());
+  PODNET_DISPATCH_AVX2(
+      swish_backward(g.data(), x.data(), sig.data(), out.data(), out.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = g[i] * sig[i] * (1.0f + x[i] * (1.0f - sig[i]));
+  }
+}
+
+void sigmoid_backward(std::span<const float> g, std::span<const float> y,
+                      std::span<float> out) {
+  assert(g.size() == out.size() && y.size() == out.size());
+  PODNET_DISPATCH_AVX2(
+      sigmoid_backward(g.data(), y.data(), out.data(), out.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = g[i] * y[i] * (1.0f - y[i]);
+  }
+}
+
+void relu(std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  PODNET_DISPATCH_AVX2(relu(x.data(), y.data(), x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.f ? x[i] : 0.f;
+}
+
+void relu_backward(std::span<const float> g, std::span<const float> x,
+                   std::span<float> out) {
+  assert(g.size() == out.size() && x.size() == out.size());
+  PODNET_DISPATCH_AVX2(
+      relu_backward(g.data(), x.data(), out.data(), out.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = x[i] > 0.f ? g[i] : 0.f;
+  }
+}
+
 void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+#if defined(PODNET_HAVE_AVX2)
+  if (simd::active_level() == simd::Level::kAvx2) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* row = x + r * cols;
+      const std::size_t n = static_cast<std::size_t>(cols);
+      const float m = simd::avx2::max_value(row, n);
+      const double denom = simd::avx2::exp_sub_sum(row, n, m);
+      simd::avx2::scale(static_cast<float>(1.0 / denom), row, n);
+    }
+    return;
+  }
+#endif
   for (std::int64_t r = 0; r < rows; ++r) {
     float* row = x + r * cols;
     float m = -std::numeric_limits<float>::infinity();

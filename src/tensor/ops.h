@@ -2,7 +2,9 @@
 //
 // These are deliberately free functions over spans so the nn layers, the
 // optimizers, and the collectives all share one small vocabulary of
-// vectorizable loops.
+// vectorizable loops. Each function dispatches once per call between a
+// portable scalar loop and an AVX2/FMA kernel (see tensor/simd.h); the
+// scalar loop is the reference the SIMD path is parity-tested against.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +21,15 @@ void axpby(float alpha, std::span<const float> x, float beta,
            std::span<float> y);
 // x *= alpha
 void scale(float alpha, std::span<float> x);
+// y = alpha * x (overwrites y; unlike axpby with beta=0 this never reads y)
+void scale_copy(float alpha, std::span<const float> x, std::span<float> y);
+// y += x (the all-reduce reduction loop)
+void add_inplace(std::span<const float> x, std::span<float> y);
 // elementwise y *= x
 void mul_inplace(std::span<const float> x, std::span<float> y);
+// y += a * b elementwise (depthwise-conv inner loop)
+void fma_inplace(std::span<const float> a, std::span<const float> b,
+                 std::span<float> y);
 // sum of elements
 double sum(std::span<const float> x);
 // sum of squares
@@ -31,6 +40,26 @@ double l2_norm(std::span<const float> x);
 double dot(std::span<const float> x, std::span<const float> y);
 // max element (returns -inf for empty)
 float max_value(std::span<const float> x);
+
+// Pointwise activation kernels shared by nn/activations and
+// nn/squeeze_excite. The SIMD sigmoid uses a polynomial exp that agrees
+// with std::exp to a few ulp; everything else is exact.
+// y = 1 / (1 + exp(-x))
+void sigmoid(std::span<const float> x, std::span<float> y);
+// sig = sigmoid(x), y = x * sig (both outputs written in one pass)
+void swish(std::span<const float> x, std::span<float> sig,
+           std::span<float> y);
+// out = g * sig * (1 + x * (1 - sig))
+void swish_backward(std::span<const float> g, std::span<const float> x,
+                    std::span<const float> sig, std::span<float> out);
+// out = g * y * (1 - y), with y = sigmoid output
+void sigmoid_backward(std::span<const float> g, std::span<const float> y,
+                      std::span<float> out);
+// y = max(x, 0)
+void relu(std::span<const float> x, std::span<float> y);
+// out = x > 0 ? g : 0
+void relu_backward(std::span<const float> g, std::span<const float> x,
+                   std::span<float> out);
 
 // Numerically-stable in-place softmax over each row of a [rows, cols]
 // row-major matrix.

@@ -1,0 +1,90 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(PODNET_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+#include <cpuid.h>
+#define PODNET_SIMD_CAN_DETECT_X86 1
+#endif
+
+namespace podnet::tensor::simd {
+namespace {
+
+#if defined(PODNET_SIMD_CAN_DETECT_X86)
+// XCR0 via xgetbv: the OS must save/restore XMM (bit 1) and YMM (bit 2)
+// state or AVX instructions fault even when cpuid advertises them.
+std::uint64_t read_xcr0() {
+  std::uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+bool cpu_has_avx2_fma() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const bool fma = (ecx & (1u << 12)) != 0;
+  if (!osxsave || !avx || !fma) return false;
+  if ((read_xcr0() & 0x6) != 0x6) return false;  // XMM + YMM enabled
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 5)) != 0;  // AVX2
+}
+#endif
+
+Level detect() {
+#if defined(PODNET_SIMD_CAN_DETECT_X86)
+  if (cpu_has_avx2_fma()) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level initial_level() {
+  Level level = detect();
+  if (const char* env = std::getenv("PODNET_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      level = Level::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0 && detect() == Level::kAvx2) {
+      level = Level::kAvx2;
+    }
+  }
+  return level;
+}
+
+std::atomic<Level>& active_slot() {
+  static std::atomic<Level> slot{initial_level()};
+  return slot;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Level detected_level() {
+  static const Level cached = detect();
+  return cached;
+}
+
+Level active_level() {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+Level set_level(Level level) {
+  // Never grant a level the host cannot execute.
+  if (level == Level::kAvx2 && detected_level() != Level::kAvx2) {
+    level = Level::kScalar;
+  }
+  return active_slot().exchange(level, std::memory_order_relaxed);
+}
+
+}  // namespace podnet::tensor::simd

@@ -1,0 +1,117 @@
+// Runtime SIMD dispatch for the compute hot path.
+//
+// PodNet ships two implementations of every hot kernel: a portable scalar
+// reference (bit-compatible with the original code, used for parity tests
+// and on CPUs without AVX2) and an AVX2/FMA path compiled into a separate
+// translation unit (`simd_avx2.cc`) with `-mavx2 -mfma`. Which one runs is
+// decided once at startup:
+//
+//   compile time  — the AVX2 TU only exists when the compiler accepts
+//                   -mavx2/-mfma (PODNET_HAVE_AVX2 is defined for the
+//                   tensor library's own sources in that case);
+//   run time      — cpuid must report AVX2+FMA and the OS must have
+//                   enabled YMM state (xgetbv), so a binary built with
+//                   the AVX2 TU still runs correctly on older CPUs;
+//   environment   — PODNET_SIMD=scalar (or =avx2) overrides the detected
+//                   level, which is how the perf harness and parity tests
+//                   time both paths in one process.
+//
+// The dispatch decision is a relaxed atomic read per kernel call; kernels
+// themselves never re-detect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace podnet::tensor::simd {
+
+enum class Level {
+  kScalar = 0,  // portable reference loops
+  kAvx2 = 1,    // AVX2 + FMA (256-bit)
+};
+
+const char* level_name(Level level);
+
+// Best level this binary can run here: compile-time availability of the
+// AVX2 TU intersected with cpuid/xgetbv. Computed once, then cached.
+Level detected_level();
+
+// Level the dispatching kernels actually use. Starts as detected_level()
+// unless the PODNET_SIMD environment variable overrides it ("scalar" or
+// "avx2"; requesting avx2 on a host without it falls back to scalar).
+Level active_level();
+
+// Overrides the active level; returns the previous one. Intended for
+// parity tests and scalar-vs-SIMD benchmarks. Takes effect for subsequent
+// kernel calls; do not flip it while kernels are in flight on other
+// threads.
+Level set_level(Level level);
+
+// RAII level override for tests/benchmarks.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level level) : prev_(set_level(level)) {}
+  ~ScopedLevel() { set_level(prev_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  Level prev_;
+};
+
+#if defined(PODNET_HAVE_AVX2)
+// Kernels implemented in simd_avx2.cc. Only the tensor library's own
+// translation units see these declarations (the define is PRIVATE to the
+// target); everything else goes through the dispatching wrappers in
+// ops.h / gemm.h / bf16.h. Callers must have checked active_level().
+namespace avx2 {
+
+// ---- elementwise / reduction primitives (see ops.h for semantics) ----
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+void axpby(float alpha, const float* x, float beta, float* y, std::size_t n);
+void scale(float alpha, float* x, std::size_t n);
+void scale_copy(float alpha, const float* x, float* y, std::size_t n);
+void add_inplace(const float* x, float* y, std::size_t n);
+void mul_inplace(const float* x, float* y, std::size_t n);
+void fma_inplace(const float* a, const float* b, float* y, std::size_t n);
+double sum(const float* x, std::size_t n);
+double sum_squares(const float* x, std::size_t n);
+double dot(const float* x, const float* y, std::size_t n);
+float max_value(const float* x, std::size_t n);
+
+// ---- transcendental / activation kernels ----
+void sigmoid(const float* x, float* y, std::size_t n);
+void swish(const float* x, float* sig, float* y, std::size_t n);
+void swish_backward(const float* g, const float* x, const float* sig,
+                    float* out, std::size_t n);
+void sigmoid_backward(const float* g, const float* y, float* out,
+                      std::size_t n);
+void relu(const float* x, float* y, std::size_t n);
+void relu_backward(const float* g, const float* x, float* out, std::size_t n);
+// row[c] = exp(row[c] - m); returns the sum of the exponentials.
+double exp_sub_sum(float* row, std::size_t n, float m);
+
+// ---- bf16 ----
+// Bit-exact vector version of the scalar round-to-nearest-even roundtrip.
+void bf16_round_inplace(float* x, std::size_t n);
+
+// ---- GEMM ----
+// Packs op(B) (k x n) into zero-padded column panels of width kNr for the
+// 6x16 microkernel; dst is resized to ceil(n/kNr)*kNr*k.
+inline constexpr std::int64_t kMr = 6;
+inline constexpr std::int64_t kNr = 16;
+std::size_t packed_b_size(std::int64_t k, std::int64_t n);
+void pack_b(bool trans_b, std::int64_t k, std::int64_t n, const float* b,
+            std::int64_t ldb, bool to_bf16, float* dst);
+// C = alpha * op(A) * Bpacked + beta * C over panels produced by pack_b.
+// Parallelizes row blocks over the global ThreadPool; A is packed into
+// register-friendly kMr-row panels per (MC x KC) block, per thread.
+void gemm_packed_b(bool trans_a, std::int64_t m, std::int64_t n,
+                   std::int64_t k, float alpha, const float* a,
+                   std::int64_t lda, const float* packed_b, float beta,
+                   float* c, std::int64_t ldc, bool to_bf16);
+
+}  // namespace avx2
+#endif  // PODNET_HAVE_AVX2
+
+}  // namespace podnet::tensor::simd

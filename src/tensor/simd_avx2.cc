@@ -1,0 +1,553 @@
+// AVX2/FMA implementations of the hot kernels declared in simd.h.
+//
+// This translation unit is compiled with -mavx2 -mfma (see
+// src/tensor/CMakeLists.txt); nothing here may be called unless
+// simd::active_level() == Level::kAvx2, which implies the cpuid/xgetbv
+// check in simd.cc passed. Everything else in the tensor library is built
+// with the project's baseline flags, so a PODNET_NATIVE=OFF binary still
+// runs on CPUs without AVX2 — it simply never jumps in here.
+#include "tensor/simd.h"
+
+#if defined(PODNET_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/thread_pool.h"
+
+namespace podnet::tensor::simd::avx2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Horizontal reductions
+// ---------------------------------------------------------------------------
+
+double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s2 = _mm_add_pd(lo, hi);
+  const __m128d s1 = _mm_add_sd(s2, _mm_unpackhi_pd(s2, s2));
+  return _mm_cvtsd_f64(s1);
+}
+
+float hmax(__m256 v) {
+  const __m128 lo = _mm_max_ps(_mm256_castps256_ps128(v),
+                               _mm256_extractf128_ps(v, 1));
+  const __m128 m2 = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+  const __m128 m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1));
+  return _mm_cvtss_f32(m1);
+}
+
+// Widens the 8 floats of v into two 4-wide double accumulators.
+void accumulate_pd(__m256 v, __m256d& acc0, __m256d& acc1) {
+  acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+  acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// expf — Cephes-style polynomial, the standard AVX port. Max error vs
+// std::expf is ~1-2 ulp over the clamped range; inputs outside
+// [-88.38, 88.38] saturate to the boundary value (finite).
+// ---------------------------------------------------------------------------
+
+__m256 exp256_ps(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 p0 = _mm256_set1_ps(1.9875691500e-4f);
+  const __m256 p1 = _mm256_set1_ps(1.3981999507e-3f);
+  const __m256 p2 = _mm256_set1_ps(8.3334519073e-3f);
+  const __m256 p3 = _mm256_set1_ps(4.1665795894e-2f);
+  const __m256 p4 = _mm256_set1_ps(1.6666665459e-1f);
+  const __m256 p5 = _mm256_set1_ps(5.0000001201e-1f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+
+  // n = round(x / ln2); x -= n * ln2 (split constant for accuracy).
+  __m256 fx = _mm256_fmadd_ps(x, log2e, _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, c1, x);
+  x = _mm256_fnmadd_ps(fx, c2, x);
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = p0;
+  y = _mm256_fmadd_ps(y, x, p1);
+  y = _mm256_fmadd_ps(y, x, p2);
+  y = _mm256_fmadd_ps(y, x, p3);
+  y = _mm256_fmadd_ps(y, x, p4);
+  y = _mm256_fmadd_ps(y, x, p5);
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, one);
+
+  // y * 2^n via exponent-field construction.
+  __m256i n = _mm256_cvttps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+  n = _mm256_slli_epi32(n, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+float exp_scalar_tail(float x) {
+  // Tail elements use the same clamped polynomial path via a 1-lane
+  // vector so vector and tail lanes agree bit-for-bit.
+  const __m256 v = exp256_ps(_mm256_set1_ps(x));
+  return _mm_cvtss_f32(_mm256_castps256_ps128(v));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Elementwise / reduction primitives
+// ---------------------------------------------------------------------------
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy));
+  }
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void axpby(float alpha, const float* x, float beta, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const __m256 vb = _mm256_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 by = _mm256_mul_ps(vb, _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), by));
+  }
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], beta * y[i]);
+}
+
+void scale(float alpha, float* x, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void scale_copy(float alpha, const float* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = alpha * x[i];
+}
+
+void add_inplace(const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void mul_inplace(const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void fma_inplace(const float* a, const float* b, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i,
+                     _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                                     _mm256_loadu_ps(b + i), vy));
+  }
+  for (; i < n; ++i) y[i] = std::fma(a[i], b[i], y[i]);
+}
+
+double sum(const float* x, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    accumulate_pd(_mm256_loadu_ps(x + i), acc0, acc1);
+  }
+  double s = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+double sum_squares(const float* x, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256d d0 = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d d1 = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double s = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
+  return s;
+}
+
+double dot(const float* x, const float* y, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    acc0 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(vx)),
+                           _mm256_cvtps_pd(_mm256_castps256_ps128(vy)), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(vx, 1)),
+                           _mm256_cvtps_pd(_mm256_extractf128_ps(vy, 1)),
+                           acc1);
+  }
+  double s = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += static_cast<double>(x[i]) * y[i];
+  return s;
+}
+
+float max_value(const float* x, std::size_t n) {
+  float m = -std::numeric_limits<float>::infinity();
+  std::size_t i = 0;
+  if (n >= 8) {
+    __m256 vm = _mm256_loadu_ps(x);
+    for (i = 8; i + 8 <= n; i += 8) {
+      vm = _mm256_max_ps(vm, _mm256_loadu_ps(x + i));
+    }
+    m = hmax(vm);
+  }
+  for (; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+void sigmoid(const float* x, float* y, std::size_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 e = exp256_ps(_mm256_sub_ps(_mm256_setzero_ps(), v));
+    _mm256_storeu_ps(y + i, _mm256_div_ps(one, _mm256_add_ps(one, e)));
+  }
+  for (; i < n; ++i) y[i] = 1.0f / (1.0f + exp_scalar_tail(-x[i]));
+}
+
+void swish(const float* x, float* sig, float* y, std::size_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 e = exp256_ps(_mm256_sub_ps(_mm256_setzero_ps(), v));
+    const __m256 s = _mm256_div_ps(one, _mm256_add_ps(one, e));
+    _mm256_storeu_ps(sig + i, s);
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(v, s));
+  }
+  for (; i < n; ++i) {
+    sig[i] = 1.0f / (1.0f + exp_scalar_tail(-x[i]));
+    y[i] = x[i] * sig[i];
+  }
+}
+
+void swish_backward(const float* g, const float* x, const float* sig,
+                    float* out, std::size_t n) {
+  // d/dx [x*s(x)] = s * (1 + x * (1 - s))
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s = _mm256_loadu_ps(sig + i);
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 t =
+        _mm256_fmadd_ps(vx, _mm256_sub_ps(one, s), one);  // 1 + x*(1-s)
+    const __m256 d = _mm256_mul_ps(s, t);
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
+  }
+  for (; i < n; ++i) {
+    out[i] = g[i] * sig[i] * std::fma(x[i], 1.0f - sig[i], 1.0f);
+  }
+}
+
+void sigmoid_backward(const float* g, const float* y, float* out,
+                      std::size_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 d = _mm256_mul_ps(vy, _mm256_sub_ps(one, vy));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(g + i), d));
+  }
+  for (; i < n; ++i) out[i] = g[i] * y[i] * (1.0f - y[i]);
+}
+
+void relu(const float* x, float* y, std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_max_ps(zero, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.f ? x[i] : 0.f;
+}
+
+void relu_backward(const float* g, const float* x, float* out, std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(out + i, _mm256_and_ps(mask, _mm256_loadu_ps(g + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.f ? g[i] : 0.f;
+}
+
+double exp_sub_sum(float* row, std::size_t n, float m) {
+  const __m256 vm = _mm256_set1_ps(m);
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 e = exp256_ps(_mm256_sub_ps(_mm256_loadu_ps(row + i), vm));
+    _mm256_storeu_ps(row + i, e);
+    accumulate_pd(e, acc0, acc1);
+  }
+  double s = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    row[i] = exp_scalar_tail(row[i] - m);
+    s += row[i];
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// bf16 round-to-nearest-even roundtrip, bit-exact vs bf16::round_bits.
+// ---------------------------------------------------------------------------
+
+void bf16_round_inplace(float* x, std::size_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i inf_bits = _mm256_set1_epi32(0x7f800000);
+  const __m256i bias = _mm256_set1_epi32(0x7fff);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i hi_mask = _mm256_set1_epi32(
+      static_cast<std::int32_t>(0xffff0000u));
+  const __m256i nan_bit = _mm256_set1_epi32(0x00400000);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    // Round-to-nearest-even on the upper 16 bits: add 0x7fff plus the
+    // round bit's lsb, then truncate. Matches bf16::round_bits exactly.
+    const __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(v, 16), one);
+    const __m256i rounded = _mm256_and_si256(
+        _mm256_add_epi32(v, _mm256_add_epi32(bias, lsb)), hi_mask);
+    // NaN: truncate and force a mantissa bit. abs(v) <= INT32_MAX after
+    // masking, so the signed compare is safe.
+    const __m256i is_nan =
+        _mm256_cmpgt_epi32(_mm256_and_si256(v, abs_mask), inf_bits);
+    const __m256i nan_val =
+        _mm256_or_si256(_mm256_and_si256(v, hi_mask), nan_bit);
+    const __m256i out = _mm256_blendv_epi8(rounded, nan_val, is_nan);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x + i), out);
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t u = std::bit_cast<std::uint32_t>(x[i]);
+    std::uint32_t out;
+    if ((u & 0x7fffffffu) > 0x7f800000u) {
+      out = (u & 0xffff0000u) | 0x00400000u;
+    } else {
+      const std::uint32_t lsb = (u >> 16) & 1u;
+      out = (u + 0x7fffu + lsb) & 0xffff0000u;
+    }
+    x[i] = std::bit_cast<float>(out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: register-blocked 6x16 FMA microkernel over packed panels.
+//
+//   B is packed into kNr(=16)-column panels spanning all of K, zero-padded
+//   in the last panel; A is packed per (MC x KC) block into kMr(=6)-row
+//   panels, zero-padded in the last panel. The microkernel keeps a 6x16
+//   accumulator tile in 12 ymm registers and streams both panels.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::int64_t kKc = 256;  // K block: B panel slice stays in L1/L2
+constexpr std::int64_t kMc = 120;  // M block: A pack (kMc x kKc) fits in L2
+
+// C[6,16] tile: c_tile += alpha * sum_p A[p,0..5] * B[p,0..15].
+// rows/cols give the valid extent (tails); full tiles store with vector
+// FMA, tails spill through a stack buffer.
+void micro_6x16(std::int64_t kc, const float* ap, const float* bp, float alpha,
+                float* c, std::int64_t ldc, std::int64_t rows,
+                std::int64_t cols) {
+  __m256 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
+    const float* a = ap + p * kMr;
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_set1_ps(a[r]);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  const __m256 va = _mm256_set1_ps(alpha);
+  if (cols == kNr) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* crow = c + r * ldc;
+      _mm256_storeu_ps(crow,
+                       _mm256_fmadd_ps(va, acc[r][0], _mm256_loadu_ps(crow)));
+      _mm256_storeu_ps(
+          crow + 8, _mm256_fmadd_ps(va, acc[r][1], _mm256_loadu_ps(crow + 8)));
+    }
+  } else {
+    alignas(32) float spill[kNr];
+    for (std::int64_t r = 0; r < rows; ++r) {
+      _mm256_store_ps(spill, acc[r][0]);
+      _mm256_store_ps(spill + 8, acc[r][1]);
+      float* crow = c + r * ldc;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        crow[j] = std::fma(alpha, spill[j], crow[j]);
+      }
+    }
+  }
+}
+
+// Packs rows [i0, i0+mc) x K-slice [kb, kb+kc) of op(A) into kMr-row
+// panels: dst[panel][p*kMr + r], padded rows zeroed.
+void pack_a_block(bool trans_a, std::int64_t i0, std::int64_t mc,
+                  std::int64_t kb, std::int64_t kc, const float* a,
+                  std::int64_t lda, float* dst) {
+  const std::int64_t panels = (mc + kMr - 1) / kMr;
+  for (std::int64_t ip = 0; ip < panels; ++ip) {
+    const std::int64_t rows = std::min<std::int64_t>(kMr, mc - ip * kMr);
+    float* base = dst + ip * kMr * kc;
+    if (!trans_a) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        float* d = base + p * kMr;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          d[r] = a[(i0 + ip * kMr + r) * lda + kb + p];
+        }
+        for (std::int64_t r = rows; r < kMr; ++r) d[r] = 0.f;
+      }
+    } else {
+      // A stored k x m: row p of the slice is contiguous in memory.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* s = a + (kb + p) * lda + i0 + ip * kMr;
+        float* d = base + p * kMr;
+        for (std::int64_t r = 0; r < rows; ++r) d[r] = s[r];
+        for (std::int64_t r = rows; r < kMr; ++r) d[r] = 0.f;
+      }
+    }
+  }
+}
+
+// One caller/worker's share of the product: rows [m0, m1).
+void gemm_rows(bool trans_a, std::int64_t m0, std::int64_t m1, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* packed_b, float* c, std::int64_t ldc,
+               bool to_bf16) {
+  thread_local std::vector<float> a_panels;
+  const std::int64_t n_panels = (n + kNr - 1) / kNr;
+  for (std::int64_t kb = 0; kb < k; kb += kKc) {
+    const std::int64_t kc = std::min(kKc, k - kb);
+    for (std::int64_t ic = m0; ic < m1; ic += kMc) {
+      const std::int64_t mc = std::min(kMc, m1 - ic);
+      const std::int64_t m_panels = (mc + kMr - 1) / kMr;
+      a_panels.resize(static_cast<std::size_t>(m_panels * kMr * kc));
+      pack_a_block(trans_a, ic, mc, kb, kc, a, lda, a_panels.data());
+      if (to_bf16) bf16_round_inplace(a_panels.data(), a_panels.size());
+      for (std::int64_t ip = 0; ip < m_panels; ++ip) {
+        const std::int64_t rows = std::min<std::int64_t>(kMr, mc - ip * kMr);
+        const float* ap = a_panels.data() + ip * kMr * kc;
+        for (std::int64_t jp = 0; jp < n_panels; ++jp) {
+          const std::int64_t cols = std::min<std::int64_t>(kNr, n - jp * kNr);
+          const float* bp = packed_b + jp * kNr * k + kb * kNr;
+          micro_6x16(kc, ap, bp, alpha, c + (ic + ip * kMr) * ldc + jp * kNr,
+                     ldc, rows, cols);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t packed_b_size(std::int64_t k, std::int64_t n) {
+  const std::int64_t n_panels = (n + kNr - 1) / kNr;
+  return static_cast<std::size_t>(n_panels * kNr * k);
+}
+
+void pack_b(bool trans_b, std::int64_t k, std::int64_t n, const float* b,
+            std::int64_t ldb, bool to_bf16, float* dst) {
+  const std::int64_t n_panels = (n + kNr - 1) / kNr;
+  for (std::int64_t jp = 0; jp < n_panels; ++jp) {
+    const std::int64_t cols = std::min<std::int64_t>(kNr, n - jp * kNr);
+    float* base = dst + jp * kNr * k;
+    if (!trans_b) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float* s = b + p * ldb + jp * kNr;
+        float* d = base + p * kNr;
+        for (std::int64_t j = 0; j < cols; ++j) d[j] = s[j];
+        for (std::int64_t j = cols; j < kNr; ++j) d[j] = 0.f;
+      }
+    } else {
+      // B stored n x k: column j of op(B) is row j of storage.
+      for (std::int64_t p = 0; p < k; ++p) {
+        float* d = base + p * kNr;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          d[j] = b[(jp * kNr + j) * ldb + p];
+        }
+        for (std::int64_t j = cols; j < kNr; ++j) d[j] = 0.f;
+      }
+    }
+  }
+  if (to_bf16) {
+    bf16_round_inplace(dst, static_cast<std::size_t>(n_panels * kNr * k));
+  }
+}
+
+void gemm_packed_b(bool trans_a, std::int64_t m, std::int64_t n,
+                   std::int64_t k, float alpha, const float* a,
+                   std::int64_t lda, const float* packed_b, float beta,
+                   float* c, std::int64_t ldc, bool to_bf16) {
+  // beta pre-pass, identical semantics to the scalar path.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.f) {
+      std::fill(crow, crow + n, 0.f);
+    } else if (beta != 1.f) {
+      scale(beta, crow, static_cast<std::size_t>(n));
+    }
+  }
+  const std::int64_t flops = 2 * m * n * k;
+  if (flops >= (1 << 22) && ThreadPool::global().worker_count() > 0) {
+    ThreadPool::global().parallel_for(m, [&](std::int64_t b0, std::int64_t e0) {
+      gemm_rows(trans_a, b0, e0, n, k, alpha, a, lda, packed_b, c, ldc,
+                to_bf16);
+    });
+  } else {
+    gemm_rows(trans_a, 0, m, n, k, alpha, a, lda, packed_b, c, ldc, to_bf16);
+  }
+}
+
+}  // namespace podnet::tensor::simd::avx2
+
+#endif  // PODNET_HAVE_AVX2

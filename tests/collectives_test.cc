@@ -168,6 +168,29 @@ TEST(ScalarTest, SumAndMax) {
   }
 }
 
+TEST(ScalarTest, MinMaxSingleRound) {
+  const int ranks = 5;
+  std::vector<std::pair<double, double>> mm(ranks);
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    mm[static_cast<std::size_t>(r)] =
+        comm.allreduce_minmax(r, r == 2 ? -7.5 : static_cast<double>(r));
+  });
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_DOUBLE_EQ(mm[static_cast<std::size_t>(r)].first, -7.5);
+    EXPECT_DOUBLE_EQ(mm[static_cast<std::size_t>(r)].second, 4.0);
+  }
+  // One scalar round per call, not the two an allreduce_max pair would pay.
+  EXPECT_EQ(comm.stats(0).scalar.calls, 1u);
+}
+
+TEST(ScalarTest, MinMaxSingleRank) {
+  Communicator comm(1);
+  const auto [lo, hi] = comm.allreduce_minmax(0, 3.25);
+  EXPECT_DOUBLE_EQ(lo, 3.25);
+  EXPECT_DOUBLE_EQ(hi, 3.25);
+}
+
 TEST(CommunicatorTest, RepeatedCollectivesDoNotInterfere) {
   const int ranks = 4;
   Communicator comm(ranks);

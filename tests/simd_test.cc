@@ -1,0 +1,428 @@
+// Parity tests for the SIMD kernel path against the scalar reference.
+//
+// Every test that compares levels runs both paths through the public
+// dispatching entry points under simd::ScopedLevel, so the code exercised
+// is exactly what production dispatch would run. On hosts without AVX2 the
+// comparisons degenerate to scalar-vs-scalar and pass trivially.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/depthwise_conv.h"
+#include "nn/grad_check.h"
+#include "tensor/bf16.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/simd.h"
+
+namespace podnet::tensor {
+namespace {
+
+bool have_avx2() { return simd::detected_level() == simd::Level::kAvx2; }
+
+// Per-element error bound for C = alpha*op(A)*op(B) + beta*C when the two
+// implementations differ only by the order of fp32 additions: a few ulp of
+// the sum of absolute products (computed in double, so the bound itself has
+// no cancellation), scaled by a small constant covering the log2(k) depth
+// difference between a linear and a blocked/vectorized summation.
+double gemm_tolerance(double abs_acc, double beta_c) {
+  constexpr double kEps = std::numeric_limits<float>::epsilon();
+  return 16.0 * kEps * (abs_acc + std::abs(beta_c)) + 1e-30;
+}
+
+struct SimdGemmCase {
+  std::int64_t m, n, k;
+  bool ta, tb;
+  MatmulPrecision prec;
+};
+
+class SimdGemmParityTest : public ::testing::TestWithParam<SimdGemmCase> {};
+
+TEST_P(SimdGemmParityTest, Avx2MatchesScalarWithinUlps) {
+  const SimdGemmCase& tc = GetParam();
+  Rng rng(tc.m * 7919 + tc.n * 104729 + tc.k * 13 + (tc.ta ? 1 : 0) +
+          (tc.tb ? 2 : 0));
+  std::vector<float> a(static_cast<std::size_t>(tc.m * tc.k));
+  std::vector<float> b(static_cast<std::size_t>(tc.k * tc.n));
+  std::vector<float> c0(static_cast<std::size_t>(tc.m * tc.n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto& v : c0) v = rng.normal();
+  const float alpha = 1.25f, beta = 0.5f;
+
+  std::vector<float> c_scalar = c0;
+  {
+    simd::ScopedLevel lvl(simd::Level::kScalar);
+    gemm_contiguous(tc.ta, tc.tb, tc.m, tc.n, tc.k, alpha, a.data(), b.data(),
+                    beta, c_scalar.data(), tc.prec);
+  }
+  std::vector<float> c_simd = c0;
+  {
+    simd::ScopedLevel lvl(simd::Level::kAvx2);
+    gemm_contiguous(tc.ta, tc.tb, tc.m, tc.n, tc.k, alpha, a.data(), b.data(),
+                    beta, c_simd.data(), tc.prec);
+  }
+  if (!have_avx2()) {
+    // ScopedLevel(kAvx2) clamps to scalar here; results must be identical.
+    EXPECT_EQ(0, std::memcmp(c_scalar.data(), c_simd.data(),
+                             c_scalar.size() * sizeof(float)));
+    return;
+  }
+
+  // The bound uses the multiplicands the kernels actually multiply: for
+  // bf16 precision both paths round them identically (bit-exact round).
+  std::vector<float> ar = a, br = b;
+  if (tc.prec == MatmulPrecision::kBf16) {
+    bf16_round_inplace({ar.data(), ar.size()});
+    bf16_round_inplace({br.data(), br.size()});
+  }
+  for (std::int64_t i = 0; i < tc.m; ++i) {
+    for (std::int64_t j = 0; j < tc.n; ++j) {
+      double abs_acc = 0;
+      for (std::int64_t p = 0; p < tc.k; ++p) {
+        const float av = tc.ta ? ar[static_cast<std::size_t>(p * tc.m + i)]
+                               : ar[static_cast<std::size_t>(i * tc.k + p)];
+        const float bv = tc.tb ? br[static_cast<std::size_t>(j * tc.k + p)]
+                               : br[static_cast<std::size_t>(p * tc.n + j)];
+        abs_acc += std::abs(static_cast<double>(alpha) * av * bv);
+      }
+      const std::size_t idx = static_cast<std::size_t>(i * tc.n + j);
+      const double tol =
+          gemm_tolerance(abs_acc, static_cast<double>(beta) * c0[idx]);
+      EXPECT_NEAR(c_scalar[idx], c_simd[idx], tol)
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SimdGemmParityTest,
+    ::testing::Values(
+        // K=1 (degenerate accumulation), tails in both M and N, tiles that
+        // divide evenly, and every transposition flag combination.
+        SimdGemmCase{1, 1, 1, false, false, MatmulPrecision::kFp32},
+        SimdGemmCase{5, 7, 1, false, false, MatmulPrecision::kFp32},
+        SimdGemmCase{6, 16, 32, false, false, MatmulPrecision::kFp32},
+        SimdGemmCase{12, 32, 24, false, false, MatmulPrecision::kFp32},
+        SimdGemmCase{7, 17, 13, false, false, MatmulPrecision::kFp32},
+        SimdGemmCase{13, 19, 31, true, false, MatmulPrecision::kFp32},
+        SimdGemmCase{11, 23, 29, false, true, MatmulPrecision::kFp32},
+        SimdGemmCase{9, 15, 21, true, true, MatmulPrecision::kFp32},
+        SimdGemmCase{64, 48, 300, false, false, MatmulPrecision::kFp32},
+        SimdGemmCase{130, 33, 260, false, false, MatmulPrecision::kFp32},
+        SimdGemmCase{7, 17, 13, false, false, MatmulPrecision::kBf16},
+        SimdGemmCase{31, 47, 65, true, true, MatmulPrecision::kBf16},
+        SimdGemmCase{64, 48, 300, false, false, MatmulPrecision::kBf16}));
+
+TEST(SimdGemmParityTest, RandomizedShapes) {
+  Rng shape_rng(42);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::int64_t m = 1 + static_cast<std::int64_t>(shape_rng.uniform(0.f, 1.f) * 40);
+    const std::int64_t n = 1 + static_cast<std::int64_t>(shape_rng.uniform(0.f, 1.f) * 40);
+    const std::int64_t k = 1 + static_cast<std::int64_t>(shape_rng.uniform(0.f, 1.f) * 60);
+    const bool ta = shape_rng.uniform(0.f, 1.f) < 0.5;
+    const bool tb = shape_rng.uniform(0.f, 1.f) < 0.5;
+    Rng rng(1000 + iter);
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    std::vector<float> c0(static_cast<std::size_t>(m * n));
+    for (auto& v : a) v = rng.normal();
+    for (auto& v : b) v = rng.normal();
+    for (auto& v : c0) v = rng.normal();
+
+    std::vector<float> c_scalar = c0, c_simd = c0;
+    {
+      simd::ScopedLevel lvl(simd::Level::kScalar);
+      gemm_contiguous(ta, tb, m, n, k, 1.f, a.data(), b.data(), 0.f,
+                      c_scalar.data());
+    }
+    {
+      simd::ScopedLevel lvl(simd::Level::kAvx2);
+      gemm_contiguous(ta, tb, m, n, k, 1.f, a.data(), b.data(), 0.f,
+                      c_simd.data());
+    }
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        double abs_acc = 0;
+        for (std::int64_t p = 0; p < k; ++p) {
+          const float av = ta ? a[static_cast<std::size_t>(p * m + i)]
+                              : a[static_cast<std::size_t>(i * k + p)];
+          const float bv = tb ? b[static_cast<std::size_t>(j * k + p)]
+                              : b[static_cast<std::size_t>(p * n + j)];
+          abs_acc += std::abs(static_cast<double>(av) * bv);
+        }
+        const std::size_t idx = static_cast<std::size_t>(i * n + j);
+        ASSERT_NEAR(c_scalar[idx], c_simd[idx], gemm_tolerance(abs_acc, 0))
+            << "iter " << iter << " m=" << m << " n=" << n << " k=" << k
+            << " ta=" << ta << " tb=" << tb << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(PackedBTest, PrepackedMatchesGemmAndSurvivesLevelFlip) {
+  const std::int64_t m = 23, n = 37, k = 41;
+  Rng rng(7);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.f);
+  std::vector<float> c_pre(static_cast<std::size_t>(m * n), 0.f);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+
+  for (MatmulPrecision prec :
+       {MatmulPrecision::kFp32, MatmulPrecision::kBf16}) {
+    gemm_contiguous(false, false, m, n, k, 1.f, a.data(), b.data(), 0.f,
+                    c_ref.data(), prec);
+    const PackedB bp = pack_b(false, k, n, b.data(), n, prec);
+    EXPECT_TRUE(bp.valid());
+    EXPECT_EQ(bp.k(), k);
+    EXPECT_EQ(bp.n(), n);
+    gemm_prepacked(false, m, n, k, 1.f, a.data(), k, bp, 0.f, c_pre.data(),
+                   n, prec);
+    for (std::size_t i = 0; i < c_ref.size(); ++i) {
+      ASSERT_NEAR(c_ref[i], c_pre[i], 1e-4)
+          << "precision " << static_cast<int>(prec) << " at " << i;
+    }
+    // The packed layout is recorded at pack time; flipping the dispatch
+    // level afterwards must not change how the panels are interpreted.
+    {
+      simd::ScopedLevel lvl(simd::Level::kScalar);
+      std::vector<float> c_flip(static_cast<std::size_t>(m * n), 0.f);
+      gemm_prepacked(false, m, n, k, 1.f, a.data(), k, bp, 0.f,
+                     c_flip.data(), n, prec);
+      EXPECT_EQ(0, std::memcmp(c_pre.data(), c_flip.data(),
+                               c_pre.size() * sizeof(float)));
+    }
+  }
+}
+
+TEST(PackedBTest, TransposedBAndStridedLeadingDim) {
+  const std::int64_t m = 9, n = 21, k = 17;
+  Rng rng(11);
+  // B stored as n x k (so op(B) with trans_b=true is k x n).
+  std::vector<float> bt(static_cast<std::size_t>(n * k));
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  for (auto& v : bt) v = rng.normal();
+  for (auto& v : a) v = rng.normal();
+
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.f);
+  gemm_contiguous(false, true, m, n, k, 1.f, a.data(), bt.data(), 0.f,
+                  c_ref.data());
+  const PackedB bp = pack_b(true, k, n, bt.data(), k);
+  std::vector<float> c_pre(static_cast<std::size_t>(m * n), 0.f);
+  gemm_prepacked(false, m, n, k, 1.f, a.data(), k, bp, 0.f, c_pre.data(), n);
+  for (std::size_t i = 0; i < c_ref.size(); ++i) {
+    ASSERT_NEAR(c_ref[i], c_pre[i], 1e-4) << "at " << i;
+  }
+}
+
+TEST(SimdBf16Test, RoundIsBitExactAcrossLevels) {
+  // Adversarial float patterns: NaN payloads, infinities, denormals,
+  // negative zero, exact ties (round-to-nearest-even both directions),
+  // and the largest finite values.
+  std::vector<float> special = {
+      0.0f, -0.0f, 1.0f, -1.0f,
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::signaling_NaN(),
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::min(),
+      std::numeric_limits<float>::max(),
+      -std::numeric_limits<float>::max(),
+      1.0039062f,  // mantissa ...1_1000... : tie, rounds to even (up)
+      1.0117187f,  // tie in the other parity direction
+      3.1415927f, -2.7182818f, 65504.f, 1e-20f, -1e20f};
+  Rng rng(3);
+  for (int i = 0; i < 997; ++i) special.push_back(rng.normal() * 1e3f);
+
+  std::vector<float> scalar_out = special, simd_out = special;
+  {
+    simd::ScopedLevel lvl(simd::Level::kScalar);
+    bf16_round_inplace({scalar_out.data(), scalar_out.size()});
+  }
+  {
+    simd::ScopedLevel lvl(simd::Level::kAvx2);
+    bf16_round_inplace({simd_out.data(), simd_out.size()});
+  }
+  // memcmp, not ==: NaNs must match bit patterns too.
+  EXPECT_EQ(0, std::memcmp(scalar_out.data(), simd_out.data(),
+                           scalar_out.size() * sizeof(float)));
+}
+
+class SimdOpsParityTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 1037;  // odd: exercises the vector tail
+  void SetUp() override {
+    Rng rng(17);
+    x.resize(kN);
+    y.resize(kN);
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : y) v = rng.normal();
+  }
+  std::vector<float> x, y;
+};
+
+TEST_F(SimdOpsParityTest, ExactKernels) {
+  // add/mul/scale/scale_copy/relu do the same per-element arithmetic in
+  // both paths — results must be bit-identical (the all-reduce bit-equality
+  // contract depends on add_inplace being exact).
+  auto run = [&](simd::Level lvl, std::vector<float>& out) {
+    simd::ScopedLevel s(lvl);
+    std::vector<float> t = y;
+    add_inplace({x.data(), kN}, {t.data(), kN});
+    mul_inplace({x.data(), kN}, {t.data(), kN});
+    scale(1.7f, {t.data(), kN});
+    std::vector<float> sc(kN);
+    scale_copy(-0.3f, {t.data(), kN}, {sc.data(), kN});
+    relu({sc.data(), kN}, {t.data(), kN});
+    std::vector<float> rb(kN);
+    relu_backward({x.data(), kN}, {sc.data(), kN}, {rb.data(), kN});
+    t.insert(t.end(), rb.begin(), rb.end());
+    out = std::move(t);
+  };
+  std::vector<float> a, b;
+  run(simd::Level::kScalar, a);
+  run(simd::Level::kAvx2, b);
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+TEST_F(SimdOpsParityTest, FusedKernelsWithinUlps) {
+  // axpy/axpby/fma_inplace use FMA on the SIMD path (one rounding instead
+  // of two) — elementwise difference is bounded by an ulp of the product.
+  constexpr double kEps = std::numeric_limits<float>::epsilon();
+  auto check = [&](auto&& fn) {
+    std::vector<float> a = y, b = y;
+    {
+      simd::ScopedLevel s(simd::Level::kScalar);
+      fn(a);
+    }
+    {
+      simd::ScopedLevel s(simd::Level::kAvx2);
+      fn(b);
+    }
+    for (std::size_t i = 0; i < kN; ++i) {
+      const double tol =
+          4.0 * kEps * (std::abs(static_cast<double>(x[i])) * 2.0 +
+                        std::abs(static_cast<double>(y[i]))) + 1e-30;
+      ASSERT_NEAR(a[i], b[i], tol) << "at " << i;
+    }
+  };
+  check([&](std::vector<float>& t) {
+    axpy(1.9f, {x.data(), kN}, {t.data(), kN});
+  });
+  check([&](std::vector<float>& t) {
+    axpby(0.7f, {x.data(), kN}, -1.3f, {t.data(), kN});
+  });
+  check([&](std::vector<float>& t) {
+    fma_inplace({x.data(), kN}, {y.data(), kN}, {t.data(), kN});
+  });
+}
+
+TEST_F(SimdOpsParityTest, Reductions) {
+  // Reassociated sums: tolerance scales with the absolute mass reduced.
+  constexpr double kEps = std::numeric_limits<float>::epsilon();
+  double abs_mass = 0, sq_mass = 0, dot_mass = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    abs_mass += std::abs(static_cast<double>(x[i]));
+    sq_mass += static_cast<double>(x[i]) * x[i];
+    dot_mass += std::abs(static_cast<double>(x[i]) * y[i]);
+  }
+  double s0, s1, q0, q1, d0, d1;
+  float m0, m1;
+  {
+    simd::ScopedLevel s(simd::Level::kScalar);
+    s0 = sum({x.data(), kN});
+    q0 = sum_squares({x.data(), kN});
+    d0 = dot({x.data(), kN}, {y.data(), kN});
+    m0 = max_value({x.data(), kN});
+  }
+  {
+    simd::ScopedLevel s(simd::Level::kAvx2);
+    s1 = sum({x.data(), kN});
+    q1 = sum_squares({x.data(), kN});
+    d1 = dot({x.data(), kN}, {y.data(), kN});
+    m1 = max_value({x.data(), kN});
+  }
+  EXPECT_NEAR(s0, s1, 8 * kEps * abs_mass + 1e-30);
+  EXPECT_NEAR(q0, q1, 8 * kEps * sq_mass + 1e-30);
+  EXPECT_NEAR(d0, d1, 8 * kEps * dot_mass + 1e-30);
+  EXPECT_EQ(m0, m1);  // max is exact in any order
+}
+
+TEST_F(SimdOpsParityTest, ActivationsAndSoftmax) {
+  // The SIMD sigmoid/softmax use a polynomial exp that tracks std::exp to
+  // a few ulp; outputs live in [0,1] so an absolute tolerance is right.
+  std::vector<float> sig0(kN), sig1(kN), y0(kN), y1(kN);
+  {
+    simd::ScopedLevel s(simd::Level::kScalar);
+    swish({x.data(), kN}, {sig0.data(), kN}, {y0.data(), kN});
+  }
+  {
+    simd::ScopedLevel s(simd::Level::kAvx2);
+    swish({x.data(), kN}, {sig1.data(), kN}, {y1.data(), kN});
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_NEAR(sig0[i], sig1[i], 2e-6) << "sig at " << i;
+    ASSERT_NEAR(y0[i], y1[i], 2e-6 * (1.0 + std::abs(x[i]))) << "y at " << i;
+  }
+
+  const std::int64_t rows = 13, cols = 67;
+  std::vector<float> logits(static_cast<std::size_t>(rows * cols));
+  Rng rng(23);
+  for (auto& v : logits) v = rng.normal() * 4.f;
+  std::vector<float> sm0 = logits, sm1 = logits;
+  {
+    simd::ScopedLevel s(simd::Level::kScalar);
+    softmax_rows(sm0.data(), rows, cols);
+  }
+  {
+    simd::ScopedLevel s(simd::Level::kAvx2);
+    softmax_rows(sm1.data(), rows, cols);
+  }
+  for (std::size_t i = 0; i < sm0.size(); ++i) {
+    ASSERT_NEAR(sm0[i], sm1[i], 5e-6) << "softmax at " << i;
+  }
+}
+
+TEST(SimdDepthwiseTest, GradCheckUnderSimd) {
+  // The vectorized depthwise conv must still pass the finite-difference
+  // backstop with the SIMD kernels live.
+  simd::ScopedLevel lvl(simd::Level::kAvx2);
+  nn::Rng init(31);
+  nn::DepthwiseConv2D dw(/*channels=*/6, /*kernel=*/3, /*stride=*/2, init,
+                         MatmulPrecision::kFp32, "dw_simd");
+  nn::Tensor x(nn::Shape{2, 7, 7, 6});
+  nn::Rng data(33);
+  for (auto& v : x.span()) v = data.normal();
+  nn::Rng probe(35);
+  const auto res = nn::grad_check(dw, x, probe);
+  EXPECT_TRUE(res.ok(5e-2)) << "worst " << res.worst << " rel "
+                            << res.max_rel_err;
+}
+
+TEST(SimdDispatchTest, LevelOverrideRoundTrips) {
+  const simd::Level detected = simd::detected_level();
+  const simd::Level before = simd::active_level();
+  {
+    simd::ScopedLevel lvl(simd::Level::kScalar);
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+    // Requesting AVX2 never exceeds what the host supports.
+    simd::ScopedLevel lvl2(simd::Level::kAvx2);
+    EXPECT_LE(static_cast<int>(simd::active_level()),
+              static_cast<int>(detected));
+  }
+  EXPECT_EQ(simd::active_level(), before);
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace podnet::tensor
