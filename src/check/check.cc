@@ -1,0 +1,30 @@
+#include "check/check.h"
+
+#ifdef PODNET_CHECK
+
+#include <cmath>
+#include <cstddef>
+
+namespace podnet::check {
+
+void assert_finite(std::span<const float> xs, std::string_view label) {
+  std::size_t first_bad = xs.size();
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!std::isfinite(xs[i])) {
+      if (bad == 0) first_bad = i;
+      ++bad;
+    }
+  }
+  if (bad == 0) return;
+  std::string msg = "non-finite value at ";
+  msg.append(label);
+  msg += ": element " + std::to_string(first_bad) + " = " +
+         std::to_string(xs[first_bad]) + " (" + std::to_string(bad) + " of " +
+         std::to_string(xs.size()) + " non-finite)";
+  throw NumericError(msg);
+}
+
+}  // namespace podnet::check
+
+#endif  // PODNET_CHECK

@@ -1,0 +1,68 @@
+// Correctness tooling layer: umbrella header.
+//
+// Everything under src/check/ follows one contract: **zero cost when off**.
+// The tree is built either with -DPODNET_CHECK=ON (which defines the
+// PODNET_CHECK macro for every translation unit; sanitizer builds force it
+// on, like PODNET_PROFILE) or without it. When the macro is absent, every
+// entry point in this directory collapses to a no-op inline, an alias for
+// the corresponding std:: type, or a compile-time-zero constant — no
+// branches, no clock reads, no extra storage in hot objects.
+//
+// The layer has three members:
+//  * collective matching (collective.h) — fingerprints every Communicator
+//    collective per rank and cross-checks the fingerprints at the
+//    rendezvous, turning mismatched call sequences into immediate
+//    per-rank diffs instead of silent corruption or deadlock;
+//  * lock-order deadlock detection (lock_graph.h / mutex.h) — instrumented
+//    mutexes record the global lock-acquisition-order graph and fail fast
+//    on cycles, before the deadlock can happen;
+//  * debug-mode tensor checks (tensor_guard.h) — canary-padded tensor
+//    allocations, NaN poisoning of uninitialized buffers, and the
+//    assert_finite hook the trainer wires into its phase boundaries.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace podnet::check {
+
+// Thrown by assert_finite when a buffer contains NaN/Inf. The message names
+// the phase label the caller passed, so a numeric blow-up is attributed to
+// post-backward / post-allreduce / post-optimizer instead of surfacing as
+// bad accuracy many epochs later.
+class NumericError : public std::runtime_error {
+ public:
+  explicit NumericError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+#ifdef PODNET_CHECK
+
+inline constexpr bool kEnabled = true;
+
+// Scans xs for NaN/Inf; throws NumericError naming `label`, the first bad
+// index/value, and the total count of non-finite entries.
+void assert_finite(std::span<const float> xs, std::string_view label);
+
+#else
+
+inline constexpr bool kEnabled = false;
+
+inline void assert_finite(std::span<const float>, std::string_view) {}
+
+#endif
+
+}  // namespace podnet::check
+
+// Phase-boundary hook for hot paths: expands to an assert_finite call in
+// PODNET_CHECK builds and to nothing otherwise (the span expression is not
+// even evaluated).
+#ifdef PODNET_CHECK
+#define PODNET_CHECK_FINITE(span_expr, label) \
+  ::podnet::check::assert_finite((span_expr), (label))
+#else
+#define PODNET_CHECK_FINITE(span_expr, label) \
+  do {                                        \
+  } while (false)
+#endif

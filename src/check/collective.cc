@@ -1,0 +1,95 @@
+#include "check/collective.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace podnet::check {
+
+const char* to_string(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kBarrier:
+      return "barrier";
+    case CollectiveOp::kAllReduce:
+      return "allreduce";
+    case CollectiveOp::kBroadcast:
+      return "broadcast";
+    case CollectiveOp::kAllGather:
+      return "allgather";
+    case CollectiveOp::kScalarReduce:
+      return "scalar_reduce";
+  }
+  return "unknown";
+}
+
+const char* to_string(CollectiveDtype dtype) {
+  switch (dtype) {
+    case CollectiveDtype::kNone:
+      return "none";
+    case CollectiveDtype::kF32:
+      return "f32";
+    case CollectiveDtype::kF64:
+      return "f64";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool tags_equal(const char* a, const char* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return std::strcmp(a, b) == 0;
+}
+
+}  // namespace
+
+bool CollectiveFingerprint::matches(const CollectiveFingerprint& o) const {
+  return seq == o.seq && op == o.op && dtype == o.dtype && count == o.count &&
+         detail == o.detail && tags_equal(tag, o.tag);
+}
+
+std::string CollectiveFingerprint::str() const {
+  std::string s = "seq=" + std::to_string(seq) + " op=";
+  s += to_string(op);
+  s += " count=" + std::to_string(count) + " dtype=";
+  s += to_string(dtype);
+  if (detail >= 0) s += " detail=" + std::to_string(detail);
+  s += " tag=";
+  s += tag != nullptr ? tag : "(none)";
+  return s;
+}
+
+void CollectiveVerifier::init(int num_ranks) {
+  assert(num_ranks >= 1);
+  slots_.assign(static_cast<std::size_t>(num_ranks), Slot{});
+}
+
+std::string CollectiveVerifier::exchange(int rank, CollectiveFingerprint fp,
+                                         const std::function<void()>& sync) {
+  assert(!slots_.empty() && "CollectiveVerifier::init not called");
+  Slot& mine = slots_[static_cast<std::size_t>(rank)];
+  fp.seq = mine.next_seq++;
+  mine.fp = fp;
+  sync();  // fingerprints published on every rank
+  std::string diff;
+  const CollectiveFingerprint& lead = slots_[0].fp;
+  for (std::size_t r = 1; r < slots_.size(); ++r) {
+    if (!slots_[r].fp.matches(lead)) {
+      if (diff.empty()) {
+        diff = "collective mismatch across ranks:\n  rank 0: " + lead.str() +
+               "\n";
+      }
+      diff += "  rank " + std::to_string(r) + ": " + slots_[r].fp.str() +
+              "   <-- differs\n";
+    }
+  }
+  if (!diff.empty()) {
+    diff +=
+        "every rank must issue the same collective sequence; the diff "
+        "above is this rendezvous' per-rank view";
+  }
+  sync();  // nobody overwrites a slot before every rank has compared
+  return diff;
+}
+
+}  // namespace podnet::check

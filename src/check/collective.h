@@ -1,0 +1,97 @@
+// Collective-matching verification (PODNET_CHECK builds only).
+//
+// MPI-style collectives have a strict contract: every rank calls every
+// collective in the same order with compatible arguments. Violations —
+// one rank calling allreduce while another is at a broadcast, mismatched
+// element counts, a skipped barrier — produce silent corruption or
+// deadlock in a shared-memory runtime, and hangs at scale.
+//
+// The CollectiveVerifier turns those into immediate diagnostics: each rank
+// publishes a fingerprint of the collective it is entering (per-rank
+// sequence number, operation kind, element count, dtype, call-site tag,
+// and an op-specific detail such as the all-reduce algorithm or broadcast
+// root); the fingerprints are cross-checked at the rendezvous, and any
+// disagreement yields a per-rank diff that every participating rank sees.
+// dist::Communicator embeds one verifier and consults it at the top of
+// every collective when PODNET_CHECK is on.
+//
+// The verifier is rendezvous-agnostic: the caller supplies the barrier (the
+// Communicator passes its own abortable barrier, so fault-tolerant aborts
+// unwind verification waits exactly like any other collective wait).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace podnet::check {
+
+enum class CollectiveOp : std::uint8_t {
+  kBarrier,
+  kAllReduce,
+  kBroadcast,
+  kAllGather,
+  kScalarReduce,
+};
+
+const char* to_string(CollectiveOp op);
+
+enum class CollectiveDtype : std::uint8_t { kNone, kF32, kF64 };
+
+const char* to_string(CollectiveDtype dtype);
+
+// What one rank claims it is about to do. `tag` is a call-site label
+// (string literal; compared by content) such as "grad_allreduce" or
+// "bn_stat_sync"; `detail` is op-specific (all-reduce algorithm index,
+// broadcast root), -1 when unused.
+struct CollectiveFingerprint {
+  std::uint64_t seq = 0;  // per-rank collective counter (assigned by exchange)
+  CollectiveOp op = CollectiveOp::kBarrier;
+  CollectiveDtype dtype = CollectiveDtype::kNone;
+  std::uint64_t count = 0;  // element count of this rank's buffer
+  std::int32_t detail = -1;
+  const char* tag = nullptr;
+
+  bool matches(const CollectiveFingerprint& o) const;
+  std::string str() const;
+};
+
+// Thrown on every participating rank when fingerprints disagree; what()
+// carries the identical per-rank diff on each of them, so the failure is
+// collective (no rank is left blocked at a barrier).
+class CollectiveMismatch : public std::runtime_error {
+ public:
+  explicit CollectiveMismatch(const std::string& msg)
+      : std::runtime_error(msg) {}
+};
+
+class CollectiveVerifier {
+ public:
+  CollectiveVerifier() = default;
+
+  // Sizes the per-rank slots; call once before any exchange.
+  void init(int num_ranks);
+
+  // Publishes `fp` (stamped with this rank's next sequence number) in this
+  // rank's slot, rendezvouses twice via `sync`, and returns "" when all
+  // ranks agree or the per-rank diff otherwise. Every rank computes the
+  // diff from the same data, so the return value is identical across
+  // ranks. Exceptions thrown by `sync` (e.g. an aborted barrier)
+  // propagate.
+  std::string exchange(int rank, CollectiveFingerprint fp,
+                       const std::function<void()>& sync);
+
+ private:
+  // Cache-line separated: each rank writes only its own slot; cross-slot
+  // reads happen strictly after the rendezvous.
+  struct alignas(64) Slot {
+    CollectiveFingerprint fp;
+    std::uint64_t next_seq = 0;
+  };
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace podnet::check

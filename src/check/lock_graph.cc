@@ -1,0 +1,217 @@
+#include "check/lock_graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace podnet::check {
+namespace {
+
+std::atomic<std::uint64_t> g_next_id{1};
+
+// The calling thread's stack of currently-held instrumented locks, in
+// acquisition order. Thread-local and POD-only (fixed array + count, no
+// destructor): instrumented locks are also taken from atexit handlers —
+// e.g. the static ThreadPool's destructor — which run *after*
+// __call_tls_dtors has destroyed non-trivial thread_locals, so a
+// std::vector here would be a use-after-free at process exit.
+constexpr std::size_t kMaxHeldLocks = 64;
+thread_local const CheckedMutex* t_held[kMaxHeldLocks];
+thread_local std::size_t t_held_count = 0;
+
+std::string thread_id_string() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
+
+std::string chain_string(const CheckedMutex* const* held, std::size_t n) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) s += " -> ";
+    s += "'";
+    s += held[i]->name();
+    s += "'#" + std::to_string(held[i]->id());
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace
+
+LockGraph& LockGraph::instance() {
+  static LockGraph* graph = new LockGraph();  // leaked: outlives all threads
+  return *graph;
+}
+
+void LockGraph::announce(std::uint64_t id, const char* name) {
+  std::lock_guard<std::mutex> g(mu_);
+  names_[id] = name;
+}
+
+void LockGraph::forget(std::uint64_t id) {
+  std::lock_guard<std::mutex> g(mu_);
+  adj_.erase(id);
+  for (auto& [from, edges] : adj_) {
+    std::erase_if(edges, [id](const Edge& e) { return e.to == id; });
+  }
+  names_.erase(id);
+}
+
+std::size_t LockGraph::edge_count() {
+  std::lock_guard<std::mutex> g(mu_);
+  std::size_t n = 0;
+  for (const auto& [from, edges] : adj_) n += edges.size();
+  return n;
+}
+
+std::size_t LockGraph::held_by_this_thread() { return t_held_count; }
+
+void LockGraph::reset_for_testing() {
+  std::lock_guard<std::mutex> g(mu_);
+  adj_.clear();
+}
+
+bool LockGraph::reachable_locked(std::uint64_t from, std::uint64_t to,
+                                 std::vector<std::uint64_t>* path) const {
+  // Iterative DFS with parent links so the violating path can be shown.
+  std::unordered_map<std::uint64_t, std::uint64_t> parent;
+  std::vector<std::uint64_t> stack{from};
+  parent[from] = from;
+  while (!stack.empty()) {
+    const std::uint64_t node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      if (path != nullptr) {
+        path->clear();
+        for (std::uint64_t n = to; n != from; n = parent.at(n)) {
+          path->push_back(n);
+        }
+        path->push_back(from);
+        std::reverse(path->begin(), path->end());
+      }
+      return true;
+    }
+    const auto it = adj_.find(node);
+    if (it == adj_.end()) continue;
+    for (const Edge& e : it->second) {
+      if (parent.emplace(e.to, node).second) stack.push_back(e.to);
+    }
+  }
+  return false;
+}
+
+std::string LockGraph::name_locked(std::uint64_t id) const {
+  const auto it = names_.find(id);
+  return "'" + (it == names_.end() ? std::string("?") : it->second) + "'#" +
+         std::to_string(id);
+}
+
+std::string LockGraph::describe_edge_locked(std::uint64_t from,
+                                            std::uint64_t to) const {
+  const auto it = adj_.find(from);
+  if (it != adj_.end()) {
+    for (const Edge& e : it->second) {
+      if (e.to == to) {
+        return name_locked(from) + " -> " + name_locked(to) +
+               "  (recorded by " + e.witness + ")";
+      }
+    }
+  }
+  return name_locked(from) + " -> " + name_locked(to);
+}
+
+void LockGraph::acquiring(const CheckedMutex& m) {
+  if (t_held_count == 0) return;  // first lock: no ordering to record
+  std::lock_guard<std::mutex> g(mu_);
+  for (std::size_t i = 0; i < t_held_count; ++i) {
+    const CheckedMutex* h = t_held[i];
+    if (h->id() == m.id()) continue;  // recursive misuse caught by std::mutex
+    std::vector<Edge>& edges = adj_[h->id()];
+    bool known = false;
+    for (const Edge& e : edges) {
+      if (e.to == m.id()) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    // Would h -> m close a cycle? That requires an existing m ->* h path.
+    std::vector<std::uint64_t> path;
+    if (reachable_locked(m.id(), h->id(), &path)) {
+      std::string msg =
+          "lock-order violation: thread " + thread_id_string() +
+          " is acquiring " + name_locked(m.id()) + " while holding " +
+          chain_string(t_held, t_held_count) +
+          ", but the reverse order is already on "
+          "record:\n";
+      for (std::size_t p = 0; p + 1 < path.size(); ++p) {
+        msg += "  " + describe_edge_locked(path[p], path[p + 1]) + "\n";
+      }
+      msg += "acquiring it here would make the deadlock possible";
+      std::fprintf(stderr, "[podnet.check] %s\n", msg.c_str());
+      throw LockOrderViolation(msg);
+    }
+    edges.push_back(Edge{m.id(), "thread " + thread_id_string() +
+                                     " acquiring " + name_locked(m.id()) +
+                                     " while holding " +
+                                     chain_string(t_held, t_held_count)});
+  }
+}
+
+void LockGraph::acquired(const CheckedMutex& m) {
+  if (t_held_count == kMaxHeldLocks) {
+    // 64 locks held at once means the program is broken in a way this
+    // detector cannot reason about; fail loudly rather than under-record.
+    std::fprintf(stderr,
+                 "[podnet.check] thread holds more than %zu instrumented "
+                 "locks; held-lock stack overflow\n",
+                 kMaxHeldLocks);
+    std::abort();
+  }
+  t_held[t_held_count++] = &m;
+}
+
+void LockGraph::released(const CheckedMutex& m) {
+  // Locks are almost always released in LIFO order; search from the back.
+  for (std::size_t i = t_held_count; i-- > 0;) {
+    if (t_held[i] == &m) {
+      for (std::size_t j = i + 1; j < t_held_count; ++j) {
+        t_held[j - 1] = t_held[j];
+      }
+      --t_held_count;
+      return;
+    }
+  }
+}
+
+CheckedMutex::CheckedMutex(const char* name)
+    : name_(name), id_(g_next_id.fetch_add(1, std::memory_order_relaxed)) {
+  LockGraph::instance().announce(id_, name_);
+}
+
+CheckedMutex::~CheckedMutex() { LockGraph::instance().forget(id_); }
+
+void CheckedMutex::lock() {
+  LockGraph::instance().acquiring(*this);
+  mu_.lock();
+  LockGraph::instance().acquired(*this);
+}
+
+bool CheckedMutex::try_lock() {
+  // A successful try_lock imposes the same ordering discipline as lock();
+  // a cycle found here is still a latent deadlock for plain lock() users.
+  LockGraph::instance().acquiring(*this);
+  if (!mu_.try_lock()) return false;
+  LockGraph::instance().acquired(*this);
+  return true;
+}
+
+void CheckedMutex::unlock() {
+  LockGraph::instance().released(*this);
+  mu_.unlock();
+}
+
+}  // namespace podnet::check

@@ -1,0 +1,124 @@
+// Lock-order deadlock detection (PODNET_CHECK builds only).
+//
+// CheckedMutex is a drop-in std::mutex replacement that reports every
+// acquisition to a process-global LockGraph. The graph records the
+// *ordering* discipline: an edge A -> B means some thread once acquired B
+// while holding A. A deadlock requires a cycle in that graph, so the
+// detector fails fast — at the acquisition that would *create* a cycle,
+// before any thread actually blocks — and the diagnostic carries both lock
+// chains: the acquiring thread's current chain and the chain recorded when
+// the conflicting edge was first seen.
+//
+// This is a potential-deadlock detector (like TSan's lock-order checker or
+// the classic "lockdep"): it fires on the second of two conflicting
+// orderings even if the interleaving that would deadlock never happens in
+// this run, which is exactly what makes it useful in tests.
+//
+// Scope and cost: detection state is one global graph guarded by one plain
+// std::mutex, plus a thread_local held-lock stack. Acquisitions that happen
+// while no other instrumented lock is held (the overwhelmingly common case
+// in this codebase) never touch the global graph. Destroying a CheckedMutex
+// removes its edges, so short-lived locks (e.g. per-parallel_for call
+// states) do not accumulate stale ordering constraints.
+//
+// This header is only included by mutex.h when PODNET_CHECK is defined;
+// without the macro, check::Mutex is a plain std::mutex alias.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace podnet::check {
+
+// Thrown (after printing the diagnostic to stderr) by CheckedMutex::lock /
+// try_lock when the acquisition would close a cycle in the lock-order
+// graph. logic_error: the program's locking discipline is wrong, not its
+// input.
+class LockOrderViolation : public std::logic_error {
+ public:
+  explicit LockOrderViolation(const std::string& msg)
+      : std::logic_error(msg) {}
+};
+
+class CheckedMutex;
+
+// Process-global acquisition-order graph over all live CheckedMutexes.
+class LockGraph {
+ public:
+  static LockGraph& instance();
+
+  // Called by CheckedMutex::lock BEFORE blocking on the underlying mutex:
+  // records held -> m edges and throws LockOrderViolation if any of them
+  // would close a cycle (leaving the graph unchanged in that case).
+  void acquiring(const CheckedMutex& m);
+  // Called after the underlying mutex was taken / released: maintains the
+  // calling thread's held-lock stack. Never blocks, never throws.
+  void acquired(const CheckedMutex& m);
+  void released(const CheckedMutex& m);
+
+  // Lifetime hooks (CheckedMutex ctor/dtor): name registration and edge
+  // removal for destroyed locks.
+  void announce(std::uint64_t id, const char* name);
+  void forget(std::uint64_t id);
+
+  // Introspection for tests.
+  std::size_t edge_count();
+  // Number of instrumented locks the calling thread currently holds.
+  // dist::run_replicas_collect checks this is zero when a replica body
+  // returns (a held lock at thread exit is a leak: nobody can unlock it).
+  static std::size_t held_by_this_thread();
+  // Drops every recorded edge (lock registrations survive). Tests isolate
+  // themselves with this; production code never calls it.
+  void reset_for_testing();
+
+ private:
+  struct Edge {
+    std::uint64_t to = 0;
+    // Human-readable record of the acquisition that created the edge:
+    // thread id plus the full chain of locks held at that moment.
+    std::string witness;
+  };
+
+  LockGraph() = default;
+
+  // True if `to` is reachable from `from` over recorded edges. mu_ held.
+  bool reachable_locked(std::uint64_t from, std::uint64_t to,
+                        std::vector<std::uint64_t>* path) const;
+  std::string name_locked(std::uint64_t id) const;
+  std::string describe_edge_locked(std::uint64_t from,
+                                   std::uint64_t to) const;
+
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Edge>> adj_;
+  std::unordered_map<std::uint64_t, std::string> names_;
+};
+
+// std::mutex with lock-order instrumentation. Meets the Lockable
+// requirements, so std::lock_guard / std::unique_lock /
+// std::condition_variable_any work unchanged.
+class CheckedMutex {
+ public:
+  explicit CheckedMutex(const char* name = "mutex");
+  ~CheckedMutex();
+
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  const char* name() const { return name_; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  std::uint64_t id_;
+};
+
+}  // namespace podnet::check

@@ -1,0 +1,52 @@
+// check::Mutex — the lock type the rest of PodNet declares its mutexes as.
+//
+// PODNET_CHECK builds alias it to CheckedMutex (lock_graph.h), which feeds
+// every acquisition into the global lock-order deadlock detector; the
+// condition variable becomes std::condition_variable_any so it can wait on
+// the instrumented type. Without PODNET_CHECK the aliases collapse to the
+// plain std:: types — identical codegen to declaring std::mutex directly.
+//
+// Lock names only exist in instrumented builds, so they are passed through
+// PODNET_LOCK_NAME, which vanishes when checking is off:
+//
+//   check::Mutex mu_{PODNET_LOCK_NAME("prefetcher.slot")};
+//   check::ConditionVariable cv_;
+//   ...
+//   check::ScopedLock lock(mu_);
+//   check::UniqueLock lock(mu_);  cv_.wait(lock, pred);
+//
+// Condition-variable waits interact correctly with the detector: wait()
+// releases the instrumented mutex (popping it from the thread's held-lock
+// chain) and re-acquires it on wakeup, so a blocked waiter never pins stale
+// ordering state.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#ifdef PODNET_CHECK
+
+#include "check/lock_graph.h"
+
+namespace podnet::check {
+using Mutex = CheckedMutex;
+using ConditionVariable = std::condition_variable_any;
+}  // namespace podnet::check
+
+#define PODNET_LOCK_NAME(name) name
+
+#else
+
+namespace podnet::check {
+using Mutex = std::mutex;
+using ConditionVariable = std::condition_variable;
+}  // namespace podnet::check
+
+#define PODNET_LOCK_NAME(name)
+
+#endif
+
+namespace podnet::check {
+using ScopedLock = std::lock_guard<Mutex>;
+using UniqueLock = std::unique_lock<Mutex>;
+}  // namespace podnet::check

@@ -1,0 +1,74 @@
+#include "check/tensor_guard.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace podnet::check {
+namespace {
+
+// 0xCAFEF00D reads as a large negative float — finite, so canaries never
+// trip NaN scans, and distinctive enough that a debugger dump of a guard
+// region is self-describing.
+constexpr std::uint32_t kCanaryBits = 0xCAFEF00Du;
+// Quiet NaN with a recognizable payload for poisoned (uninitialized)
+// storage.
+constexpr std::uint32_t kPoisonBits = 0x7FC0DEADu;
+
+void default_corruption_handler(const std::string& message) {
+  std::fprintf(stderr, "[podnet.check] %s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<CorruptionHandler> g_handler{&default_corruption_handler};
+
+}  // namespace
+
+float canary_value() { return std::bit_cast<float>(kCanaryBits); }
+
+float poison_value() { return std::bit_cast<float>(kPoisonBits); }
+
+CorruptionHandler set_corruption_handler(CorruptionHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler
+                                               : &default_corruption_handler);
+}
+
+#ifdef PODNET_CHECK
+
+void write_canaries(float* base, std::size_t numel) {
+  for (std::size_t i = 0; i < kTensorGuard; ++i) {
+    base[i] = canary_value();
+    base[kTensorGuard + numel + i] = canary_value();
+  }
+}
+
+bool canaries_intact(const float* base, std::size_t numel) {
+  // Compare bits, not values: the canary must survive exactly.
+  for (std::size_t i = 0; i < kTensorGuard; ++i) {
+    if (std::bit_cast<std::uint32_t>(base[i]) != kCanaryBits) return false;
+    if (std::bit_cast<std::uint32_t>(base[kTensorGuard + numel + i]) !=
+        kCanaryBits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void poison(float* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) data[i] = poison_value();
+}
+
+bool is_poison(float x) {
+  return std::bit_cast<std::uint32_t>(x) == kPoisonBits;
+}
+
+void report_corruption(const std::string& message) {
+  g_handler.load()(message);
+}
+
+#endif  // PODNET_CHECK
+
+}  // namespace podnet::check

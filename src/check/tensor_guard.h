@@ -1,0 +1,68 @@
+// Debug-mode tensor storage checks (canaries + NaN poisoning).
+//
+// PODNET_CHECK builds pad every Tensor allocation with kTensorGuard canary
+// floats on each side of the payload. The canaries carry a fixed bit
+// pattern; tensor destruction verifies them and reports out-of-bounds
+// writes through the (test-overridable) corruption handler, attributing
+// the stomp to the tensor whose guard region caught it instead of to a
+// heap-corruption crash minutes later.
+//
+// Tensor::uninitialized() buffers are additionally poisoned with a
+// recognizable quiet NaN: any kernel that *reads* memory it was supposed
+// to fully overwrite propagates the NaN into its output, where the
+// trainer's phase-boundary assert_finite hooks (check.h) catch it and name
+// the phase.
+//
+// Without PODNET_CHECK, kTensorGuard is 0 and every helper is an empty
+// inline: Tensor's layout and codegen are bit-identical to the unchecked
+// build.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace podnet::check {
+
+#ifdef PODNET_CHECK
+inline constexpr std::size_t kTensorGuard = 8;  // floats on each side
+#else
+inline constexpr std::size_t kTensorGuard = 0;
+#endif
+
+// Fixed bit patterns. The canary is a normal (finite, improbable) value so
+// guard regions never trip NaN scans; the poison is a quiet NaN with a
+// recognizable payload.
+float canary_value();
+float poison_value();
+
+// Invoked with a human-readable message when a canary check fails. The
+// default handler prints to stderr and aborts; tests install a capturing
+// handler. Returns the previous handler.
+using CorruptionHandler = void (*)(const std::string& message);
+CorruptionHandler set_corruption_handler(CorruptionHandler handler);
+
+#ifdef PODNET_CHECK
+
+// `base` points at the full guarded allocation (numel + 2*kTensorGuard
+// floats); the payload lives at base + kTensorGuard.
+void write_canaries(float* base, std::size_t numel);
+bool canaries_intact(const float* base, std::size_t numel);
+
+// Fills a payload with the poison NaN.
+void poison(float* data, std::size_t n);
+bool is_poison(float x);
+
+// Routes `message` to the current corruption handler.
+void report_corruption(const std::string& message);
+
+#else
+
+inline void write_canaries(float*, std::size_t) {}
+inline bool canaries_intact(const float*, std::size_t) { return true; }
+inline void poison(float*, std::size_t) {}
+inline bool is_poison(float) { return false; }
+inline void report_corruption(const std::string&) {}
+
+#endif
+
+}  // namespace podnet::check

@@ -41,6 +41,7 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
 class Buffer {
  public:
   void put_bytes(const void* p, std::size_t n) {
+    if (n == 0) return;  // p may be null for empty tensors
     const auto* b = static_cast<const std::uint8_t*>(p);
     bytes_.insert(bytes_.end(), b, b + n);
   }
@@ -75,6 +76,7 @@ class Cursor {
 
   void get_bytes(void* p, std::size_t n, const char* what) {
     require(n, what);
+    if (n == 0) return;  // p may be null for empty tensors
     std::memcpy(p, data_ + pos_, n);
     pos_ += n;
   }

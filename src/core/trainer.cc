@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "check/check.h"
 #include "core/checkpoint.h"
 #include "core/flat_params.h"
 #include "data/loader.h"
@@ -269,7 +270,8 @@ TrainResult train(const TrainConfig& config) {
         // Average batch-norm running statistics across replicas so every
         // replica evaluates with the same (global) statistics.
         std::vector<float> flat = FlatBuffer::pack_tensors(bn_state);
-        comm.allreduce_sum(rank, flat, dist::AllReduceAlgorithm::kFlat);
+        comm.allreduce_sum(rank, flat, dist::AllReduceAlgorithm::kFlat,
+                           "eval_bn_state");
         FlatBuffer::unpack_tensors(flat, 1.0f / static_cast<float>(R),
                                    bn_state);
 
@@ -285,18 +287,25 @@ TrainResult train(const TrainConfig& config) {
         }
         if (ema) ema->swap(params);  // restore live training weights
         const double total_correct =
-            comm.allreduce_scalar(rank, static_cast<double>(correct));
+            comm.allreduce_scalar(rank, static_cast<double>(correct),
+                                  "eval_correct");
         const double total_correct5 =
-            comm.allreduce_scalar(rank, static_cast<double>(correct5));
+            comm.allreduce_scalar(rank, static_cast<double>(correct5),
+                                  "eval_correct5");
         const double total_count =
-            comm.allreduce_scalar(rank, static_cast<double>(count));
-        const double sum_loss = comm.allreduce_scalar(rank, loss_sum);
+            comm.allreduce_scalar(rank, static_cast<double>(count),
+                                  "eval_count");
+        const double sum_loss =
+            comm.allreduce_scalar(rank, loss_sum, "eval_loss");
         const double sum_steps =
-            comm.allreduce_scalar(rank, static_cast<double>(loss_steps));
+            comm.allreduce_scalar(rank, static_cast<double>(loss_steps),
+                                  "eval_loss_steps");
         const double sum_train_correct =
-            comm.allreduce_scalar(rank, static_cast<double>(train_correct));
+            comm.allreduce_scalar(rank, static_cast<double>(train_correct),
+                                  "eval_train_correct");
         const double sum_train_seen =
-            comm.allreduce_scalar(rank, static_cast<double>(train_seen));
+            comm.allreduce_scalar(rank, static_cast<double>(train_seen),
+                                  "eval_train_seen");
         loss_sum = 0.0;
         loss_steps = 0;
         train_correct = 0;
@@ -306,7 +315,8 @@ TrainResult train(const TrainConfig& config) {
           bucket.pack_values(params);
           double checksum = 0.0;
           for (float v : bucket.span()) checksum += v;
-          const auto [lo, hi] = comm.allreduce_minmax(rank, checksum);
+          const auto [lo, hi] =
+              comm.allreduce_minmax(rank, checksum, "consistency_checksum");
           if (hi != lo) inconsistent.store(true);
         }
 
@@ -337,7 +347,7 @@ TrainResult train(const TrainConfig& config) {
             std::fflush(stdout);
           }
         }
-        comm.barrier();  // history updated before anyone proceeds
+        comm.barrier(rank, "eval_done");  // history updated first
       };
 
       // Full-state checkpoint: every rank contributes its thread-confined
@@ -348,7 +358,7 @@ TrainResult train(const TrainConfig& config) {
         save_replica_state(w, rngs, bn_state, loss_sum, loss_steps,
                            train_correct, train_seen);
         replica_blobs[static_cast<std::size_t>(rank)] = w.take();
-        comm.barrier();  // all contributions in place
+        comm.barrier(rank, "ckpt_gather");  // all contributions in place
         if (rank == 0) {
           ExtraState extra;
           optim::StateWriter ow;
@@ -372,7 +382,7 @@ TrainResult train(const TrainConfig& config) {
           last_ckpt_step = at_step;
           last_ckpt_epoch = at_epoch;
         }
-        comm.barrier();  // file durable before anyone proceeds
+        comm.barrier(rank, "ckpt_durable");  // durable before proceeding
       };
 
       // With prefetch on, a background thread renders batch t+1 while this
@@ -434,8 +444,14 @@ TrainResult train(const TrainConfig& config) {
         // Pack/unpack get their own phase: billing them to the optimizer
         // (as before) hid bucketing overhead inside an unrelated column.
         bucket.pack_grads(params);
+        // Phase-boundary numeric check (PODNET_CHECK builds): a NaN/Inf
+        // minted by this replica's backward pass is reported here, before
+        // the all-reduce smears it across every rank.
+        PODNET_CHECK_FINITE(bucket.span(), "post_backward gradients");
         double pack_s = phase_timer.lap();
-        comm.allreduce_sum(rank, bucket.span(), config.allreduce);
+        comm.allreduce_sum(rank, bucket.span(), config.allreduce,
+                           "grad_allreduce");
+        PODNET_CHECK_FINITE(bucket.span(), "post_allreduce gradients");
         double ar_s = phase_timer.lap();
 
         if (config.verify_collectives) {
@@ -444,7 +460,7 @@ TrainResult train(const TrainConfig& config) {
           // hi/lo disagreement — on every rank at once, which keeps the
           // failure collective (nobody is left blocked at a barrier).
           const double h = payload_hash(bucket.span());
-          const auto [lo, hi] = comm.allreduce_minmax(rank, h);
+          const auto [lo, hi] = comm.allreduce_minmax(rank, h, "grad_hash");
           ar_s += phase_timer.lap();  // verification is collective overhead
           if (hi != lo) {
             throw dist::ReplicaFailure(
@@ -474,6 +490,14 @@ TrainResult train(const TrainConfig& config) {
         train_seen += batch.count();
         opt_s += phase_timer.lap();
         sm.phase(obs::Phase::kOptimizer) = opt_s;
+#ifdef PODNET_CHECK
+        // Attribute a weight blow-up (bad LR, trust-ratio explosion) to
+        // the optimizer step and the offending parameter by name.
+        for (const nn::Param* p : params) {
+          check::assert_finite(p->value.span(),
+                               "post_optimizer param " + p->name);
+        }
+#endif
 
         // Step time stops here: eval and checkpoint writes are excluded so
         // throughput derived from step_s matches Table 1's convention.

@@ -10,7 +10,7 @@ Prefetcher::Prefetcher(TrainLoader* loader, Index total_steps,
 
 Prefetcher::~Prefetcher() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::ScopedLock lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -22,19 +22,19 @@ void Prefetcher::producer_loop() {
   for (Index step = start_step_; step < total_steps_; ++step) {
     Batch batch = loader_->batch(step / steps_per_epoch,
                                  step % steps_per_epoch);
-    std::unique_lock<std::mutex> lock(mu_);
+    check::UniqueLock lock(mu_);
     cv_.wait(lock, [this] { return !slot_.has_value() || shutdown_; });
     if (shutdown_) return;
     slot_ = std::move(batch);
     cv_.notify_all();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  check::ScopedLock lock(mu_);
   done_ = true;
   cv_.notify_all();
 }
 
 std::optional<Batch> Prefetcher::next() {
-  std::unique_lock<std::mutex> lock(mu_);
+  check::UniqueLock lock(mu_);
   cv_.wait(lock, [this] { return slot_.has_value() || done_; });
   if (!slot_.has_value()) return std::nullopt;
   std::optional<Batch> out = std::move(slot_);

@@ -8,11 +8,10 @@
 // consumer; the producer thread is internal).
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <thread>
 
+#include "check/mutex.h"
 #include "data/loader.h"
 
 namespace podnet::data {
@@ -41,8 +40,10 @@ class Prefetcher {
   Index start_step_;
   Index produced_ = 0;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // Instrumented in PODNET_CHECK builds (lock-order deadlock detection);
+  // plain std::mutex / std::condition_variable otherwise.
+  check::Mutex mu_{PODNET_LOCK_NAME("prefetcher.slot")};
+  check::ConditionVariable cv_;
   std::optional<Batch> slot_;
   bool done_ = false;
   bool shutdown_ = false;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace podnet::dist {
 
@@ -57,8 +58,24 @@ BnSyncSet::BnSyncSet(const BnGroups& groups) {
         std::make_unique<Communicator>(static_cast<int>(members.size())));
     for (std::size_t m = 0; m < members.size(); ++m) {
       const int replica = members[m];
+      // A malformed grouping (overlapping or out-of-range members) would
+      // pair ranks with the wrong subgroup communicator and hang the BN
+      // reduction. Release strips the asserts, so checked builds enforce
+      // the invariants with real throws.
       assert(replica >= 0 && replica < num_replicas);
       assert(group_of_[replica] == -1 && "groups must be disjoint");
+#ifdef PODNET_CHECK
+      if (replica < 0 || replica >= num_replicas) {
+        throw std::invalid_argument("BN group member " +
+                                    std::to_string(replica) +
+                                    " is out of range");
+      }
+      if (group_of_[replica] != -1) {
+        throw std::invalid_argument(
+            "replica " + std::to_string(replica) +
+            " appears in more than one BN group (groups must be disjoint)");
+      }
+#endif
       group_of_[replica] = static_cast<int>(gi);
       syncs_[replica] = std::make_unique<GroupBnSync>(comms_.back().get(),
                                                       static_cast<int>(m));
@@ -66,6 +83,11 @@ BnSyncSet::BnSyncSet(const BnGroups& groups) {
   }
   for (int g : group_of_) {
     assert(g >= 0 && "groups must cover all replicas");
+#ifdef PODNET_CHECK
+    if (g < 0) {
+      throw std::invalid_argument("BN groups must cover every replica");
+    }
+#endif
     (void)g;
   }
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/check.h"
 #include "dist/communicator.h"
 #include "nn/bn_stat_sync.h"
 #include "obs/timer.h"
@@ -44,7 +45,12 @@ class GroupBnSync final : public nn::BnStatSync {
 
   void allreduce_sum(std::span<float> v) override {
     obs::Timer timer;
-    comm_->allreduce_sum(rank_, v, AllReduceAlgorithm::kFlat);
+    // The tag shows up in PODNET_CHECK collective-mismatch diffs, so a BN
+    // subgroup reduction that pairs with the wrong rendezvous is named.
+    comm_->allreduce_sum(rank_, v, AllReduceAlgorithm::kFlat, "bn_stat_sync");
+    // A NaN in reduced BN statistics poisons the running averages and
+    // therefore every future eval; attribute it to the reduction.
+    PODNET_CHECK_FINITE(std::span<const float>(v), "bn_stat_sync stats");
     seconds_ += timer.seconds();
   }
   int group_size() const override { return comm_->size(); }

@@ -55,10 +55,47 @@ Communicator::Communicator(int num_ranks)
       scalars_(static_cast<std::size_t>(num_ranks), 0.0),
       stats_(static_cast<std::size_t>(num_ranks)) {
   assert(num_ranks >= 1);
+#ifdef PODNET_CHECK
+  verifier_.init(num_ranks);
+#endif
 }
 
+#ifdef PODNET_CHECK
+void Communicator::verify_collective(int rank, check::CollectiveOp op,
+                                     std::uint64_t count,
+                                     check::CollectiveDtype dtype,
+                                     std::int32_t detail, const char* tag) {
+  check::CollectiveFingerprint fp;
+  fp.op = op;
+  fp.count = count;
+  fp.dtype = dtype;
+  fp.detail = detail;
+  fp.tag = tag != nullptr ? tag : check::to_string(op);
+  const std::string diff =
+      verifier_.exchange(rank, fp, [this] { sync(); });
+  if (!diff.empty()) {
+    // Every rank computed the same diff from the same slots, so every rank
+    // throws — the failure is collective. abort() additionally poisons the
+    // communicator for any code that would retry a collective after
+    // catching the mismatch.
+    abort();
+    throw check::CollectiveMismatch(diff);
+  }
+}
+#define PODNET_VERIFY_COLLECTIVE(rank, op, count, dtype, detail, tag)       \
+  do {                                                                      \
+    if (num_ranks_ > 1) {                                                   \
+      verify_collective((rank), (op), (count), (dtype), (detail), (tag));   \
+    }                                                                       \
+  } while (false)
+#else
+#define PODNET_VERIFY_COLLECTIVE(rank, op, count, dtype, detail, tag) \
+  do {                                                                \
+  } while (false)
+#endif
+
 void Communicator::AbortableBarrier::arrive_and_wait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  check::UniqueLock lock(mu_);
   if (aborted_) throw CommAborted();
   const std::uint64_t gen = generation_;
   if (++waiting_ == n_) {
@@ -73,7 +110,7 @@ void Communicator::AbortableBarrier::arrive_and_wait() {
 
 void Communicator::AbortableBarrier::abort() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::ScopedLock lock(mu_);
     aborted_ = true;
   }
   cv_.notify_all();
@@ -81,10 +118,22 @@ void Communicator::AbortableBarrier::abort() {
 
 void Communicator::barrier() { barrier_.arrive_and_wait(); }
 
+void Communicator::barrier(int rank, const char* tag) {
+  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kBarrier, 0,
+                           check::CollectiveDtype::kNone, -1, tag);
+  (void)rank;
+  (void)tag;
+  barrier_.arrive_and_wait();
+}
+
 void Communicator::abort() { barrier_.abort(); }
 
 void Communicator::allreduce_sum(int rank, std::span<float> data,
-                                 AllReduceAlgorithm alg) {
+                                 AllReduceAlgorithm alg, const char* tag) {
+  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kAllReduce, data.size(),
+                           check::CollectiveDtype::kF32,
+                           static_cast<std::int32_t>(alg), tag);
+  (void)tag;
   // Timed even for the single-rank no-op so calls/bytes counters stay
   // meaningful at every slice size; the timing cost is two clock reads
   // against a call that already crosses several barriers.
@@ -120,25 +169,25 @@ void Communicator::allreduce_sum(int rank, std::span<float> data,
 void Communicator::allreduce_flat(int rank, std::span<float> data) {
   bufs_[rank] = data.data();
   sizes_[rank] = data.size();
-  barrier();
+  sync();
   assert(sizes_[0] == data.size());
   if (rank == 0) scratch_.assign(data.size(), 0.f);
-  barrier();
+  sync();
   // Each rank reduces its chunk across every replica into shared scratch.
   const auto [begin, end] = chunk_range(data.size(), num_ranks_, rank);
   for (int r = 0; r < num_ranks_; ++r) {
     accumulate_range(bufs_[r], scratch_.data(), begin, end);
   }
-  barrier();
+  sync();
   std::copy(scratch_.begin(), scratch_.end(), data.begin());
-  barrier();
+  sync();
 }
 
 void Communicator::allreduce_ring(int rank, std::span<float> data) {
   const int R = num_ranks_;
   bufs_[rank] = data.data();
   sizes_[rank] = data.size();
-  barrier();
+  sync();
   assert(sizes_[(rank + 1) % R] == data.size());
   const float* left = bufs_[(rank - 1 + R) % R];
 
@@ -148,14 +197,14 @@ void Communicator::allreduce_ring(int rank, std::span<float> data) {
     const int c = ((rank - s - 1) % R + R) % R;
     const auto [begin, end] = chunk_range(data.size(), R, c);
     accumulate_range(left, data.data(), begin, end);
-    barrier();
+    sync();
   }
   // All-gather: propagate reduced chunks around the ring.
   for (int s = 0; s < R - 1; ++s) {
     const int c = ((rank - s) % R + R) % R;
     const auto [begin, end] = chunk_range(data.size(), R, c);
     std::copy(left + begin, left + end, data.begin() + begin);
-    barrier();
+    sync();
   }
 }
 
@@ -164,7 +213,7 @@ void Communicator::allreduce_halving_doubling(int rank,
   const int R = num_ranks_;
   bufs_[rank] = data.data();
   sizes_[rank] = data.size();
-  barrier();
+  sync();
 
   // Recursive halving (reduce-scatter): each round the owned range halves;
   // the rank keeps the half matching its partner bit and accumulates the
@@ -185,7 +234,7 @@ void Communicator::allreduce_halving_doubling(int rank,
       lo = mid;
     }
     accumulate_range(pbuf, data.data(), lo, hi);
-    barrier();
+    sync();
   }
   // Recursive doubling (all-gather): reverse the rounds; the partner owns
   // exactly the complement of our range within the shared parent range.
@@ -198,7 +247,7 @@ void Communicator::allreduce_halving_doubling(int rank,
     std::copy(pbuf + hi, pbuf + phi, data.begin() + hi);
     lo = plo;
     hi = phi;
-    barrier();
+    sync();
   }
   assert(lo == 0 && hi == data.size());
 }
@@ -213,7 +262,7 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
   const std::size_t n = data.size();
   bufs_[rank] = data.data();
   sizes_[rank] = data.size();
-  barrier();
+  sync();
   int gs = 1;
   while (gs * gs <= R) ++gs;
   --gs;
@@ -223,7 +272,7 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
   if (rank == 0) {
     scratch_.assign(n * static_cast<std::size_t>(groups + gs), 0.f);
   }
-  barrier();
+  sync();
   const int group = rank / gs;
   const int pos = rank % gs;
 
@@ -236,13 +285,13 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
       accumulate_range(bufs_[group * gs + m], block, begin, end);
     }
   }
-  barrier();
+  sync();
   // Everyone adopts its group's sum.
   {
     const float* block = scratch_.data() + static_cast<std::size_t>(group) * n;
     std::copy(block, block + n, data.begin());
   }
-  barrier();
+  sync();
 
   // Phase 2: position peers (one rank per group) reduce the group sums.
   // Each peer set uses its own scratch block, so the sets run in parallel.
@@ -254,88 +303,106 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
       accumulate_range(bufs_[m * gs + pos], block, begin, end);
     }
   }
-  barrier();
+  sync();
   {
     const float* block =
         scratch_.data() + static_cast<std::size_t>(groups + pos) * n;
     std::copy(block, block + n, data.begin());
   }
-  barrier();
+  sync();
 }
 
-void Communicator::broadcast(int rank, int root, std::span<float> data) {
+void Communicator::broadcast(int rank, int root, std::span<float> data,
+                             const char* tag) {
   if (num_ranks_ == 1) return;
+  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kBroadcast, data.size(),
+                           check::CollectiveDtype::kF32, root, tag);
+  (void)tag;
   obs::Timer timer;
   bufs_[rank] = data.data();
-  barrier();
+  sync();
   if (rank != root) {
     const float* src = bufs_[root];
     std::copy(src, src + data.size(), data.begin());
   }
-  barrier();
+  sync();
   stats_[static_cast<std::size_t>(rank)].broadcast.record(
       data.size() * sizeof(float), timer.seconds());
 }
 
 void Communicator::allgather(int rank, std::span<const float> in,
-                             std::span<float> out) {
+                             std::span<float> out, const char* tag) {
   assert(out.size() == in.size() * static_cast<std::size_t>(num_ranks_));
   if (num_ranks_ == 1) {
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
+  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kAllGather, in.size(),
+                           check::CollectiveDtype::kF32, -1, tag);
+  (void)tag;
   obs::Timer timer;
   if (rank == 0) scratch_.resize(out.size());
-  barrier();
+  sync();
   std::copy(in.begin(), in.end(),
             scratch_.begin() + static_cast<std::ptrdiff_t>(
                                    in.size() * static_cast<std::size_t>(rank)));
-  barrier();
+  sync();
   std::copy(scratch_.begin(), scratch_.begin() + out.size(), out.begin());
-  barrier();
+  sync();
   stats_[static_cast<std::size_t>(rank)].allgather.record(
       in.size() * sizeof(float), timer.seconds());
 }
 
-double Communicator::allreduce_scalar(int rank, double value) {
+double Communicator::allreduce_scalar(int rank, double value,
+                                      const char* tag) {
   if (num_ranks_ == 1) return value;
+  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kScalarReduce, 1,
+                           check::CollectiveDtype::kF64, 0, tag);
+  (void)tag;
   obs::Timer timer;
   scalars_[rank] = value;
-  barrier();
+  sync();
   double total = 0.0;
   for (double v : scalars_) total += v;
-  barrier();
+  sync();
   stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
                                                        timer.seconds());
   return total;
 }
 
-double Communicator::allreduce_max(int rank, double value) {
+double Communicator::allreduce_max(int rank, double value, const char* tag) {
   if (num_ranks_ == 1) return value;
+  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kScalarReduce, 1,
+                           check::CollectiveDtype::kF64, 1, tag);
+  (void)tag;
   obs::Timer timer;
   scalars_[rank] = value;
-  barrier();
+  sync();
   double m = scalars_[0];
   for (double v : scalars_) m = std::max(m, v);
-  barrier();
+  sync();
   stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
                                                        timer.seconds());
   return m;
 }
 
 std::pair<double, double> Communicator::allreduce_minmax(int rank,
-                                                         double value) {
+                                                         double value,
+                                                         const char* tag) {
   if (num_ranks_ == 1) return {value, value};
+  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kScalarReduce, 1,
+                           check::CollectiveDtype::kF64, 2, tag);
+  (void)tag;
   obs::Timer timer;
   scalars_[rank] = value;
-  barrier();
+  sync();
   double lo = scalars_[0];
   double hi = scalars_[0];
   for (double v : scalars_) {
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
-  barrier();
+  sync();
   // One round, one stats record — half the barriers of the min/max pair of
   // allreduce_max calls this replaces.
   stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),

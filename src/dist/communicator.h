@@ -12,7 +12,13 @@
 // differ from each other in the last float bit (different reduction trees).
 //
 // Thread contract: every rank must call every collective in the same order
-// (standard MPI semantics). Calls block until all ranks arrive.
+// (standard MPI semantics). Calls block until all ranks arrive. In
+// PODNET_CHECK builds that contract is *verified*: every collective entry
+// publishes a per-rank fingerprint (sequence number, op kind, element
+// count, dtype, call-site tag) that is cross-checked at the rendezvous,
+// and any mismatch — wrong count, skipped barrier, different op — aborts
+// the communicator and throws check::CollectiveMismatch on every rank
+// with a per-rank diff.
 //
 // Fault tolerance: when a replica dies, the surviving ranks would wait at
 // the next barrier forever. abort() breaks that deadlock — every blocked
@@ -22,16 +28,19 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "check/mutex.h"
+#ifdef PODNET_CHECK
+#include "check/collective.h"
+#endif
 
 namespace podnet::dist {
 
@@ -104,6 +113,14 @@ class Communicator {
   // Blocks until all ranks arrive; throws CommAborted after abort().
   void barrier();
 
+  // Verified barrier: in PODNET_CHECK builds the calling rank's fingerprint
+  // (sequence number + tag) is cross-checked against every other rank
+  // before the rendezvous, so a rank that skipped a collective — or is at
+  // a *different* collective — is diagnosed instead of silently pairing
+  // up with the wrong rendezvous. Identical to barrier() when checking is
+  // off.
+  void barrier(int rank, const char* tag = nullptr);
+
   // Permanently poisons the communicator: wakes every rank blocked at a
   // barrier and makes all subsequent collective calls throw CommAborted.
   // Called by a dying replica so its peers unwind instead of deadlocking.
@@ -115,25 +132,32 @@ class Communicator {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Elementwise sum across ranks, in place; all buffers must be equal size.
+  // `tag` labels the call site in PODNET_CHECK collective verification
+  // (nullptr -> the op name); it must be a string literal or otherwise
+  // outlive the call.
   void allreduce_sum(int rank, std::span<float> data,
-                     AllReduceAlgorithm alg = AllReduceAlgorithm::kRing);
+                     AllReduceAlgorithm alg = AllReduceAlgorithm::kRing,
+                     const char* tag = nullptr);
 
   // Copies root's buffer to every rank.
-  void broadcast(int rank, int root, std::span<float> data);
+  void broadcast(int rank, int root, std::span<float> data,
+                 const char* tag = nullptr);
 
   // Concatenates per-rank inputs (equal sizes) into out on every rank.
-  void allgather(int rank, std::span<const float> in, std::span<float> out);
+  void allgather(int rank, std::span<const float> in, std::span<float> out,
+                 const char* tag = nullptr);
 
   // Sum-reduces a single double across ranks (metrics).
-  double allreduce_scalar(int rank, double value);
+  double allreduce_scalar(int rank, double value, const char* tag = nullptr);
 
   // Max across ranks.
-  double allreduce_max(int rank, double value);
+  double allreduce_max(int rank, double value, const char* tag = nullptr);
 
   // Min and max across ranks in a single round — {min, max}. Used by the
   // cross-rank agreement checks, which would otherwise pay two full
   // scalar rounds to learn both extremes of the same value.
-  std::pair<double, double> allreduce_minmax(int rank, double value);
+  std::pair<double, double> allreduce_minmax(int rank, double value,
+                                             const char* tag = nullptr);
 
   // This rank's accumulated collective timings. A rank may read its own
   // entry at any time; reading another rank's entry is only safe after
@@ -159,13 +183,29 @@ class Communicator {
     void abort();
 
    private:
-    std::mutex mu_;
-    std::condition_variable cv_;
+    check::Mutex mu_{PODNET_LOCK_NAME("comm.barrier")};
+    check::ConditionVariable cv_;
     int n_;
     int waiting_ = 0;
     std::uint64_t generation_ = 0;
     bool aborted_ = false;
   };
+
+  // Unverified internal rendezvous, used by the collective algorithms'
+  // intermediate steps (the public entry already fingerprint-checked the
+  // call) and by the verifier's own exchange.
+  void sync() { barrier_.arrive_and_wait(); }
+
+#ifdef PODNET_CHECK
+  // Publishes this rank's fingerprint for the collective being entered,
+  // cross-checks it against every rank at a rendezvous, and — on any
+  // disagreement — poisons the communicator and throws
+  // check::CollectiveMismatch (on every rank, with the same per-rank
+  // diff). Compiled out entirely without PODNET_CHECK.
+  void verify_collective(int rank, check::CollectiveOp op,
+                         std::uint64_t count, check::CollectiveDtype dtype,
+                         std::int32_t detail, const char* tag);
+#endif
 
   void allreduce_flat(int rank, std::span<float> data);
   void allreduce_ring(int rank, std::span<float> data);
@@ -180,6 +220,9 @@ class Communicator {
   std::vector<double> scalars_;
   std::vector<float> scratch_;
   std::vector<CommStats> stats_;  // indexed by rank; each rank writes its own
+#ifdef PODNET_CHECK
+  check::CollectiveVerifier verifier_;
+#endif
 };
 
 }  // namespace podnet::dist

@@ -5,6 +5,12 @@
 #include "dist/communicator.h"
 #include "obs/timer.h"
 
+#ifdef PODNET_CHECK
+#include <stdexcept>
+
+#include "check/lock_graph.h"
+#endif
+
 namespace podnet::dist {
 
 std::vector<std::exception_ptr> run_replicas_collect(
@@ -19,6 +25,17 @@ std::vector<std::exception_ptr> run_replicas_collect(
     obs::Timer timer;
     try {
       body(r);
+#ifdef PODNET_CHECK
+      // A replica body that returns while still holding an instrumented
+      // lock has leaked it: the thread is about to die and nothing can
+      // ever unlock it, so any peer that later blocks on it hangs forever.
+      if (const std::size_t held = check::LockGraph::held_by_this_thread();
+          held != 0) {
+        throw std::logic_error(
+            "replica " + std::to_string(r) + " returned while holding " +
+            std::to_string(held) + " instrumented lock(s)");
+      }
+#endif
     } catch (...) {
       errors[static_cast<std::size_t>(r)] = std::current_exception();
     }

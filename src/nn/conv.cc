@@ -36,7 +36,10 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
   const Index k = geom_.col_cols();
   const Index m_img = geom_.out_h * geom_.out_w;
 
-  Tensor y(Shape{geom_.batch, geom_.out_h, geom_.out_w, out_c_});
+  // Fully overwritten below (beta=0 GEMMs cover every element), so the
+  // buffer can skip zero-fill; PODNET_CHECK builds NaN-poison it instead.
+  Tensor y = Tensor::uninitialized(
+      Shape{geom_.batch, geom_.out_h, geom_.out_w, out_c_});
   // The weight matrix is packed once per forward and reused by every
   // per-image GEMM of the batch loop below (read-only, so also safe for
   // the GEMM's internal worker threads).
@@ -46,7 +49,7 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
   if (training) {
     // Backward needs the whole col expansion, so lower the full batch and
     // run the GEMMs over per-image row slices of it.
-    Tensor col(Shape{m, k});
+    Tensor col = Tensor::uninitialized(Shape{m, k});  // im2col fills all of it
     tensor::im2col(geom_, x.data(), col.data());
     for (Index n = 0; n < geom_.batch; ++n) {
       tensor::gemm_prepacked(false, m_img, out_c_, k, 1.f,
@@ -98,8 +101,8 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
     }
   }
 
-  // dCol[m, k] = dY[m, out_c] * W^T[out_c, k]
-  Tensor dcol(Shape{m, k});
+  // dCol[m, k] = dY[m, out_c] * W^T[out_c, k]; beta=0 writes every element.
+  Tensor dcol = Tensor::uninitialized(Shape{m, k});
   tensor::gemm_contiguous(false, true, m, k, out_c_, 1.f, grad_out.data(),
                           weight_.value.data(), 0.f, dcol.data(), precision_);
 

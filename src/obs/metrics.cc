@@ -38,6 +38,12 @@ std::string to_json(const StepMetrics& m) {
       .field("loss", m.loss)
       .field("lr", m.lr)
       .field("step_ms", m.step_s * 1e3);
+#ifdef PODNET_CHECK
+  // Flag records produced by an instrumented build: canary-padded tensors
+  // and collective fingerprinting skew the timings, so downstream tooling
+  // must not mix these steps into performance baselines.
+  w.field("checked", true);
+#endif
   w.begin_object("phases_ms");
   for (int p = 0; p < kPhaseCount; ++p) {
     w.field(phase_name(static_cast<Phase>(p)), m.phase_s[p] * 1e3);

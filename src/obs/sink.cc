@@ -47,23 +47,23 @@ void JsonlSink::write_line(const std::string& json_object) {
   line.reserve(json_object.size() + 1);
   line = json_object;
   line.push_back('\n');
-  std::lock_guard<std::mutex> lock(mu_);
+  check::ScopedLock lock(mu_);
   write_all(fd_, line.data(), line.size());
 }
 
 void JsonlSink::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::ScopedLock lock(mu_);
   if (fd_ >= 0) ::fsync(fd_);
 }
 
 void ConsoleSink::write_line(const std::string& json_object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::ScopedLock lock(mu_);
   std::fwrite(json_object.data(), 1, json_object.size(), stdout);
   std::fputc('\n', stdout);
 }
 
 void ConsoleSink::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::ScopedLock lock(mu_);
   std::fflush(stdout);
 }
 

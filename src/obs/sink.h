@@ -13,8 +13,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "check/mutex.h"
 
 #include "obs/metrics.h"
 
@@ -47,7 +48,7 @@ class JsonlSink final : public MetricsSink {
  private:
   std::string path_;
   int fd_ = -1;
-  std::mutex mu_;
+  check::Mutex mu_{PODNET_LOCK_NAME("sink.jsonl")};
 };
 
 class ConsoleSink final : public MetricsSink {
@@ -56,7 +57,7 @@ class ConsoleSink final : public MetricsSink {
   void flush() override;
 
  private:
-  std::mutex mu_;
+  check::Mutex mu_{PODNET_LOCK_NAME("sink.console")};
 };
 
 std::shared_ptr<MetricsSink> make_jsonl_sink(const std::string& path,

@@ -1,5 +1,29 @@
 #include "tensor/tensor.h"
 
-// Tensor is header-only today; this TU anchors the library target and keeps
-// a stable home for future out-of-line members.
-namespace podnet::tensor {}
+namespace podnet::tensor {
+
+Tensor Tensor::uninitialized(Shape shape) {
+  Tensor t(shape);
+  if constexpr (check::kTensorGuard > 0) {
+    check::poison(t.data(), static_cast<std::size_t>(t.numel()));
+  }
+  return t;
+}
+
+#ifdef PODNET_CHECK
+void Tensor::verify_guards_on_destroy() {
+  // A moved-from tensor's vector is empty; skip. Sizes are re-derived here
+  // rather than trusted so a corrupted Tensor object itself cannot send
+  // the check out of bounds.
+  if (data_.empty()) return;
+  if (data_.size() < 2 * check::kTensorGuard) return;
+  const std::size_t n = data_.size() - 2 * check::kTensorGuard;
+  if (!check::canaries_intact(data_.data(), n)) {
+    check::report_corruption(
+        "Tensor guard canary corrupted (out-of-bounds write adjacent to " +
+        str_meta() + ", " + std::to_string(n) + " elements)");
+  }
+}
+#endif
+
+}  // namespace podnet::tensor

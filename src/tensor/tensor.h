@@ -7,6 +7,15 @@
 //  * All math lives in free functions (ops.h, gemm.h); Tensor itself is a
 //    container plus cheap accessors, so the hot loops stay transparent to
 //    the optimizer.
+//  * PODNET_CHECK builds pad every allocation with check::kTensorGuard
+//    canary floats on each side; destruction verifies them, so an
+//    out-of-bounds kernel write is attributed to the tensor it stomped
+//    instead of crashing the allocator later. uninitialized() buffers are
+//    NaN-poisoned in those builds so reads of never-written memory
+//    propagate into the trainer's assert_finite phase checks. Without
+//    PODNET_CHECK the guard width is compile-time zero and layout,
+//    accessors, and codegen are identical to a plain std::vector-backed
+//    tensor.
 #pragma once
 
 #include <cassert>
@@ -14,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "check/tensor_guard.h"
 #include "tensor/rng.h"
 #include "tensor/shape.h"
 
@@ -22,23 +32,34 @@ namespace podnet::tensor {
 class Tensor {
  public:
   Tensor() = default;
-  explicit Tensor(Shape shape) : shape_(shape), data_(shape.numel(), 0.f) {}
-  Tensor(Shape shape, float fill)
-      : shape_(shape), data_(shape.numel(), fill) {}
+  explicit Tensor(Shape shape) : shape_(shape) { init_storage(0.f); }
+  Tensor(Shape shape, float fill) : shape_(shape) { init_storage(fill); }
+
+  ~Tensor() { verify_guards_on_destroy(); }
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
 
   static Tensor zeros(Shape shape) { return Tensor(shape); }
   static Tensor full(Shape shape, float v) { return Tensor(shape, v); }
 
+  // A buffer the caller promises to fully overwrite before reading (GEMM
+  // outputs with beta=0, im2col scratch). Zero-filled in normal builds; in
+  // PODNET_CHECK builds the payload is NaN-poisoned so a kernel that reads
+  // what it should have written propagates NaN into checked phases.
+  static Tensor uninitialized(Shape shape);
+
   // I.i.d. normal entries: mean 0, given stddev.
   static Tensor randn(Shape shape, Rng& rng, float stddev = 1.f) {
     Tensor t(shape);
-    for (float& x : t.data_) x = rng.normal(0.f, stddev);
+    for (float& x : t.span()) x = rng.normal(0.f, stddev);
     return t;
   }
 
   static Tensor uniform(Shape shape, Rng& rng, float lo, float hi) {
     Tensor t(shape);
-    for (float& x : t.data_) x = rng.uniform(lo, hi);
+    for (float& x : t.span()) x = rng.uniform(lo, hi);
     return t;
   }
 
@@ -46,48 +67,77 @@ class Tensor {
     assert(static_cast<Index>(values.size()) == shape.numel());
     Tensor t;
     t.shape_ = shape;
-    t.data_ = std::move(values);
+    if constexpr (check::kTensorGuard > 0) {
+      t.init_storage(0.f);
+      std::copy(values.begin(), values.end(), t.data());
+    } else {
+      t.data_ = std::move(values);
+    }
     return t;
   }
 
   const Shape& shape() const { return shape_; }
-  Index numel() const { return static_cast<Index>(data_.size()); }
+  Index numel() const {
+    if constexpr (check::kTensorGuard > 0) {
+      return data_.empty()
+                 ? 0
+                 : static_cast<Index>(data_.size() - 2 * check::kTensorGuard);
+    } else {
+      return static_cast<Index>(data_.size());
+    }
+  }
   bool empty() const { return data_.empty(); }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::span<float> span() { return {data_.data(), data_.size()}; }
-  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+  float* data() {
+    if constexpr (check::kTensorGuard > 0) {
+      return data_.empty() ? nullptr : data_.data() + check::kTensorGuard;
+    } else {
+      return data_.data();
+    }
+  }
+  const float* data() const {
+    if constexpr (check::kTensorGuard > 0) {
+      return data_.empty() ? nullptr : data_.data() + check::kTensorGuard;
+    } else {
+      return data_.data();
+    }
+  }
+  std::span<float> span() {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
+  std::span<const float> span() const {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
 
   float& at(Index i) {
     assert(i >= 0 && i < numel());
-    return data_[static_cast<std::size_t>(i)];
+    return data()[i];
   }
   float at(Index i) const {
     assert(i >= 0 && i < numel());
-    return data_[static_cast<std::size_t>(i)];
+    return data()[i];
   }
 
   // NHWC accessor for rank-4 tensors.
   float& at4(Index n, Index h, Index w, Index c) {
-    return data_[static_cast<std::size_t>(offset4(n, h, w, c))];
+    return data()[offset4(n, h, w, c)];
   }
   float at4(Index n, Index h, Index w, Index c) const {
-    return data_[static_cast<std::size_t>(offset4(n, h, w, c))];
+    return data()[offset4(n, h, w, c)];
   }
 
   // Row-major accessor for rank-2 tensors.
   float& at2(Index r, Index c) {
     assert(shape_.rank() == 2);
-    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+    return data()[r * shape_[1] + c];
   }
   float at2(Index r, Index c) const {
     assert(shape_.rank() == 2);
-    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+    return data()[r * shape_[1] + c];
   }
 
   void fill(float v) {
-    for (float& x : data_) x = v;
+    for (float& x : span()) x = v;
   }
 
   // Reinterprets the buffer with a new shape of identical element count.
@@ -98,9 +148,32 @@ class Tensor {
     return t;
   }
 
+  // True when the PODNET_CHECK guard regions are unmodified (vacuously
+  // true in unchecked builds). Destruction checks this automatically and
+  // routes failures to check::report_corruption.
+  bool guards_intact() const {
+    if constexpr (check::kTensorGuard > 0) {
+      if (data_.empty()) return true;
+      return check::canaries_intact(data_.data(),
+                                    static_cast<std::size_t>(numel()));
+    } else {
+      return true;
+    }
+  }
+
   std::string str_meta() const { return "Tensor" + shape_.str(); }
 
  private:
+  void init_storage(float fill) {
+    const auto n = static_cast<std::size_t>(shape_.numel());
+    data_.assign(n + 2 * check::kTensorGuard, fill);
+    if constexpr (check::kTensorGuard > 0) {
+      check::write_canaries(data_.data(), n);
+    }
+  }
+
+  void verify_guards_on_destroy();
+
   Index offset4(Index n, Index h, Index w, Index c) const {
     assert(shape_.rank() == 4);
     assert(n >= 0 && n < shape_[0] && h >= 0 && h < shape_[1] && w >= 0 &&
@@ -111,5 +184,9 @@ class Tensor {
   Shape shape_;
   std::vector<float> data_;
 };
+
+#ifndef PODNET_CHECK
+inline void Tensor::verify_guards_on_destroy() {}
+#endif
 
 }  // namespace podnet::tensor

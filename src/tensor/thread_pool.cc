@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::ScopedLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -29,7 +29,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      check::UniqueLock lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (shutdown_ && queue_.empty()) return;
       task = queue_.front();
@@ -46,7 +46,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(task.state->mu);
+      check::ScopedLock lock(task.state->mu);
       if (error && !task.state->error) task.state->error = error;
       if (--task.state->remaining == 0) task.state->cv.notify_all();
     }
@@ -67,7 +67,7 @@ void ThreadPool::parallel_for(
   CallState state;
   state.fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::ScopedLock lock(mu_);
     // Enqueue all chunks except the first, which the caller runs itself.
     for (int p = 1; p < parts; ++p) {
       const std::int64_t b = p * chunk;
@@ -87,7 +87,7 @@ void ThreadPool::parallel_for(
   } catch (...) {
     caller_error = std::current_exception();
   }
-  std::unique_lock<std::mutex> lock(state.mu);
+  check::UniqueLock lock(state.mu);
   if (caller_error && !state.error) state.error = caller_error;
   state.cv.wait(lock, [&state] { return state.remaining == 0; });
   if (state.error) std::rethrow_exception(state.error);

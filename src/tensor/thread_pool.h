@@ -10,14 +10,14 @@
 // machine the pool degenerates to inline execution.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "check/mutex.h"
 
 namespace podnet::tensor {
 
@@ -53,8 +53,8 @@ class ThreadPool {
   // duration of the call.
   struct CallState {
     const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
+    check::Mutex mu{PODNET_LOCK_NAME("thread_pool.call")};
+    check::ConditionVariable cv;
     int remaining = 0;
     // First exception thrown by any chunk of this call; rethrown by
     // parallel_for on the calling thread once remaining hits zero.
@@ -70,8 +70,8 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
+  check::Mutex mu_{PODNET_LOCK_NAME("thread_pool.queue")};
+  check::ConditionVariable work_cv_;
   std::deque<Task> queue_;
   bool shutdown_ = false;
 };

@@ -1,0 +1,299 @@
+// Tests for the correctness tooling layer (src/check/).
+//
+// The file compiles in both modes. Positive tests — a mismatch is caught,
+// an inversion throws, a canary fires — only exist when PODNET_CHECK is on;
+// the unchecked build instead asserts the layer really is a no-op (zero
+// guard width, plain std::mutex, unevaluated macro arguments).
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "check/mutex.h"
+#include "check/tensor_guard.h"
+#include "dist/communicator.h"
+#include "dist/replica.h"
+#include "tensor/tensor.h"
+
+#ifdef PODNET_CHECK
+#include "check/collective.h"
+#include "check/lock_graph.h"
+#endif
+
+namespace podnet::check {
+namespace {
+
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(AssertFinite, AcceptsFiniteData) {
+  const std::vector<float> xs{1.f, -2.f, 0.f, 3.5f};
+  EXPECT_NO_THROW(assert_finite(xs, "test"));
+  PODNET_CHECK_FINITE(std::span<const float>(xs), "test");
+}
+
+TEST(Collectives, MatchingSequencePassesInBothModes) {
+  dist::Communicator comm(2);
+  std::vector<std::vector<float>> data{{1.f, 2.f}, {3.f, 4.f}};
+  dist::run_replicas(2, [&](int r) {
+    comm.allreduce_sum(r, data[static_cast<std::size_t>(r)],
+                       dist::AllReduceAlgorithm::kFlat, "grad_allreduce");
+    comm.barrier(r, "eval_done");
+    comm.allreduce_scalar(r, 1.0, "eval_count");
+  });
+  EXPECT_FLOAT_EQ(data[0][0], 4.f);
+  EXPECT_FLOAT_EQ(data[1][1], 6.f);
+}
+
+#ifdef PODNET_CHECK
+
+// Every rank rethrows its error so the test can assert that the failure is
+// collective: each rank got the same diagnostic, nobody hung at a barrier.
+std::vector<std::string> mismatch_messages(
+    int ranks, const std::function<void(int)>& body) {
+  const auto errors = dist::run_replicas_collect(ranks, body);
+  std::vector<std::string> messages;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) {
+      messages.emplace_back();
+      continue;
+    }
+    try {
+      std::rethrow_exception(e);
+    } catch (const CollectiveMismatch& m) {
+      messages.emplace_back(m.what());
+    } catch (const std::exception& other) {
+      ADD_FAILURE() << "expected CollectiveMismatch, got: " << other.what();
+      messages.emplace_back();
+    }
+  }
+  return messages;
+}
+
+TEST(CollectiveVerifier, CountMismatchDiagnosedOnEveryRank) {
+  dist::Communicator comm(2);
+  std::vector<float> small(4, 1.f);
+  std::vector<float> big(8, 1.f);
+  const auto messages = mismatch_messages(2, [&](int r) {
+    comm.allreduce_sum(r, r == 0 ? std::span<float>(small) : big,
+                       dist::AllReduceAlgorithm::kRing, "grad_allreduce");
+  });
+  for (int r = 0; r < 2; ++r) {
+    SCOPED_TRACE(r);
+    // Both ranks' fingerprints appear in the diff, on both ranks.
+    EXPECT_NE(messages[r].find("count=4"), std::string::npos) << messages[r];
+    EXPECT_NE(messages[r].find("count=8"), std::string::npos) << messages[r];
+    EXPECT_NE(messages[r].find("<-- differs"), std::string::npos);
+  }
+  EXPECT_EQ(messages[0], messages[1]);  // identical collective verdict
+}
+
+TEST(CollectiveVerifier, DivergentCallSitesDiagnosedByTag) {
+  dist::Communicator comm(2);
+  const auto messages = mismatch_messages(2, [&](int r) {
+    // Same op, same (zero) payload — only the call sites disagree. This is
+    // the bug where two ranks pair up at *different* rendezvous points.
+    comm.barrier(r, r == 0 ? "eval_done" : "ckpt_gather");
+  });
+  for (const std::string& msg : messages) {
+    EXPECT_NE(msg.find("tag=eval_done"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tag=ckpt_gather"), std::string::npos) << msg;
+  }
+}
+
+TEST(CollectiveVerifier, SkippedCollectiveShowsSequenceSkew) {
+  dist::Communicator comm(2);
+  std::vector<std::vector<float>> data{{1.f}, {2.f}};
+  const auto messages = mismatch_messages(2, [&](int r) {
+    // Rank 0 issues an extra barrier that rank 1 skips, so rank 1's
+    // all-reduce meets rank 0's barrier at the same rendezvous. The
+    // verifier reports the op and sequence-number skew instead of letting
+    // the ranks deadlock or exchange the wrong buffers.
+    if (r == 0) comm.barrier(r, "extra");
+    comm.allreduce_sum(r, data[static_cast<std::size_t>(r)],
+                       dist::AllReduceAlgorithm::kFlat, "grad_allreduce");
+  });
+  for (const std::string& msg : messages) {
+    EXPECT_NE(msg.find("op=barrier"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("op=allreduce"), std::string::npos) << msg;
+  }
+}
+
+TEST(LockGraph, OrderInversionCaughtBeforeDeadlock) {
+  LockGraph::instance().reset_for_testing();
+  Mutex a{PODNET_LOCK_NAME("test.a")};
+  Mutex b{PODNET_LOCK_NAME("test.b")};
+
+  // Thread 1 establishes a -> b. It finishes (join) before thread 2
+  // starts, so the interleaving that would actually deadlock never
+  // happens — the detector must fire on the *potential* cycle alone.
+  std::thread t1([&] {
+    ScopedLock ga(a);
+    ScopedLock gb(b);
+  });
+  t1.join();
+
+  std::exception_ptr err;
+  std::thread t2([&] {
+    ScopedLock gb(b);
+    try {
+      ScopedLock ga(a);  // b -> a: closes the cycle
+    } catch (...) {
+      err = std::current_exception();
+    }
+  });
+  t2.join();
+
+  ASSERT_TRUE(err);
+  try {
+    std::rethrow_exception(err);
+    FAIL() << "expected LockOrderViolation";
+  } catch (const LockOrderViolation& v) {
+    const std::string msg = v.what();
+    // The diagnostic names both locks and carries the recorded chain of
+    // the first ordering as well as the acquiring thread's chain.
+    EXPECT_NE(msg.find("'test.a'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'test.b'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reverse order is already on record"),
+              std::string::npos)
+        << msg;
+  }
+  LockGraph::instance().reset_for_testing();
+}
+
+TEST(LockGraph, ThreeLockCycleCaught) {
+  LockGraph::instance().reset_for_testing();
+  Mutex a{PODNET_LOCK_NAME("cycle.a")};
+  Mutex b{PODNET_LOCK_NAME("cycle.b")};
+  Mutex c{PODNET_LOCK_NAME("cycle.c")};
+  {
+    ScopedLock ga(a);
+    ScopedLock gb(b);  // a -> b
+  }
+  {
+    ScopedLock gb(b);
+    ScopedLock gc(c);  // b -> c
+  }
+  ScopedLock gc(c);
+  EXPECT_THROW(ScopedLock ga(a), LockOrderViolation);  // c -> a closes it
+  LockGraph::instance().reset_for_testing();
+}
+
+TEST(LockGraph, ConsistentOrderIsNotFlagged) {
+  LockGraph::instance().reset_for_testing();
+  Mutex a{PODNET_LOCK_NAME("ok.a")};
+  Mutex b{PODNET_LOCK_NAME("ok.b")};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        ScopedLock ga(a);
+        ScopedLock gb(b);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(LockGraph::instance().edge_count(), 1u);  // just a -> b
+  LockGraph::instance().reset_for_testing();
+}
+
+// The capturing corruption handler must be a plain function pointer;
+// captured state lives here.
+std::string* g_corruption_message = nullptr;
+
+void capture_corruption(const std::string& message) {
+  if (g_corruption_message != nullptr) *g_corruption_message = message;
+}
+
+TEST(TensorGuard, CanaryCatchesOutOfBoundsWrite) {
+  std::string message;
+  g_corruption_message = &message;
+  const CorruptionHandler prev = set_corruption_handler(&capture_corruption);
+  {
+    Tensor t(Shape{4});
+    t.data()[t.numel()] = 1.f;  // one float past the payload
+    EXPECT_FALSE(t.guards_intact());
+  }  // destructor reports through the handler instead of aborting
+  set_corruption_handler(prev);
+  g_corruption_message = nullptr;
+  EXPECT_NE(message.find("canary"), std::string::npos) << message;
+  EXPECT_NE(message.find("Tensor[4]"), std::string::npos) << message;
+}
+
+TEST(TensorGuard, CanaryCatchesUnderflowWrite) {
+  std::string message;
+  g_corruption_message = &message;
+  const CorruptionHandler prev = set_corruption_handler(&capture_corruption);
+  {
+    Tensor t(Shape{2, 3});
+    t.data()[-1] = 0.f;  // one float before the payload
+  }
+  set_corruption_handler(prev);
+  g_corruption_message = nullptr;
+  EXPECT_NE(message.find("canary"), std::string::npos) << message;
+}
+
+TEST(TensorGuard, IntactTensorIsSilent) {
+  std::string message;
+  g_corruption_message = &message;
+  const CorruptionHandler prev = set_corruption_handler(&capture_corruption);
+  {
+    Tensor t(Shape{16});
+    t.fill(3.f);
+  }
+  set_corruption_handler(prev);
+  g_corruption_message = nullptr;
+  EXPECT_TRUE(message.empty()) << message;
+}
+
+TEST(TensorGuard, UninitializedIsPoisonedAndCaughtByAssertFinite) {
+  Tensor t = Tensor::uninitialized(Shape{8});
+  for (Index i = 0; i < t.numel(); ++i) {
+    EXPECT_TRUE(is_poison(t.at(i))) << i;
+  }
+  try {
+    assert_finite(t.span(), "post_backward gradients");
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("post_backward gradients"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("element 0"), std::string::npos) << msg;
+  }
+  t.fill(0.f);  // leave the buffer clean for the destructor's canary check
+}
+
+#else  // !PODNET_CHECK — assert the layer really is free
+
+TEST(CheckOff, LayerCollapsesToNoOps) {
+  static_assert(!kEnabled);
+  static_assert(kTensorGuard == 0);
+  static_assert(std::is_same_v<Mutex, std::mutex>);
+
+  // uninitialized() keeps zero-init semantics when poisoning is off.
+  Tensor t = Tensor::uninitialized(Shape{8});
+  for (Index i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.f);
+  EXPECT_TRUE(t.guards_intact());
+
+  // The macro must not even evaluate its span argument.
+  int evaluations = 0;
+  auto make_span = [&]() -> std::span<const float> {
+    ++evaluations;
+    return {};
+  };
+  PODNET_CHECK_FINITE(make_span(), "never");
+  EXPECT_EQ(evaluations, 0);
+  (void)make_span;
+}
+
+#endif
+
+}  // namespace
+}  // namespace podnet::check

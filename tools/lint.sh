@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Grep-based lint with zero toolchain dependencies; the checks that a
+# compiler never enforces but review always asks for. Run from the repo
+# root (the `lint` ctest sets WORKING_DIRECTORY accordingly).
+#
+# Checks:
+#   1. no raw `new T[]` / `delete[]` — owning arrays are std::vector or
+#      std::unique_ptr<T[]>;
+#   2. no std::endl under src/ — it flushes, and the metrics/trace sinks
+#      sit on step hot paths;
+#   3. every header under src/ carries `#pragma once`.
+set -u
+fail=0
+
+matches=$(grep -rnE 'new [A-Za-z_:<> ]+\[|delete\s*\[\]' \
+  --include='*.cc' --include='*.h' src/ 2>/dev/null)
+if [ -n "$matches" ]; then
+  printf '%s\n' "$matches"
+  echo "lint: raw new[]/delete[] is banned; use std::vector or" \
+       "std::unique_ptr<T[]>"
+  fail=1
+fi
+
+matches=$(grep -rn 'std::endl' --include='*.cc' --include='*.h' src/ \
+  2>/dev/null)
+if [ -n "$matches" ]; then
+  printf '%s\n' "$matches"
+  echo 'lint: std::endl is banned under src/ (it flushes); use "\n"'
+  fail=1
+fi
+
+for h in $(find src -name '*.h' | sort); do
+  if ! grep -q '#pragma once' "$h"; then
+    echo "lint: $h is missing #pragma once"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: clean"
+fi
+exit $fail
