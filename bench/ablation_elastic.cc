@@ -1,0 +1,212 @@
+// Elastic-recovery chaos soak — degraded continuation under permanent
+// rank loss.
+//
+// An 8-replica run loses two ranks to scripted silent kills (no abort, no
+// exception on the peers — they must *detect* the death via collective
+// deadlines). The run must finish at world size 6 with monotone world
+// shrinkage, loss continuity across both resizes, and the linear-scaling
+// LR at the shrunken global batch. Any indefinite wait shows up as a hang
+// here, which is exactly what the ctest timeout converts into a failure.
+//
+// A second section prices the policy at pod scale with the MTBF model:
+// elastic-continue (bounded resize pause + degraded compute) versus
+// abort-and-restart (reschedule + replay) on a flaky 1024-core slice.
+//
+// --smoke runs the short (4-epoch) variant; registered as the `chaos`
+// ctest label and run under Release and TSan in CI.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/trainer.h"
+#include "optim/lr_schedule.h"
+#include "tpu/pod_model.h"
+
+namespace {
+
+using namespace podnet;
+
+int failures = 0;
+
+#define SOAK_CHECK(cond, ...)                        \
+  do {                                               \
+    if (!(cond)) {                                   \
+      std::printf("FAIL: %s — ", #cond);             \
+      std::printf(__VA_ARGS__);                      \
+      std::putchar('\n');                            \
+      ++failures;                                    \
+    }                                                \
+  } while (0)
+
+// 512 images / (8 x 8) = 8 steps/epoch at world 8; 9 at world 7 after the
+// first kill; 10 at world 6 after the second.
+core::TrainConfig soak_config(bool smoke) {
+  core::TrainConfig c;
+  c.spec = effnet::pico();
+  c.dataset.num_classes = 8;
+  c.dataset.train_size = 512;
+  c.dataset.eval_size = 128;
+  c.dataset.resolution = 16;
+  c.replicas = 8;
+  c.per_replica_batch = 8;
+  c.optimizer.kind = optim::OptimizerKind::kLars;
+  c.lr_per_256 = 4.0f;
+  c.schedule.decay = optim::DecayKind::kPolynomial;
+  c.schedule.warmup_epochs = 1.0;
+  c.epochs = smoke ? 4.0 : 6.0;
+  c.eval_every_epochs = 1.0;
+  c.checkpoint_every_epochs = 1.0;
+  c.seed = 11;
+  c.elastic = true;
+  c.min_ranks = 4;
+  // Generous staleness so instrumented (TSan) builds never declare a live
+  // rank dead while it is merely computing slowly.
+  c.collective_deadline.soft_timeout_ms = 50.0;
+  c.collective_deadline.backoff = 2.0;
+  c.collective_deadline.max_timeout_ms = 400.0;
+  c.collective_deadline.grace_attempts = 3;
+  c.collective_deadline.dead_after_ms = 1500.0;
+  // The kill script: rank 5 dies at step 10 (epoch 1.25 of the world-8
+  // schedule, past the epoch-1 checkpoint), rank 2 at step 30 (epoch 3.3
+  // of the world-7 schedule, past the epoch-3 checkpoint). Both are
+  // *silent* — survivors only learn via hang detection.
+  c.faults.faults.push_back({dist::FaultKind::kPermanentKill, 5, 10});
+  c.faults.faults.push_back({dist::FaultKind::kPermanentKill, 2, 30});
+  return c;
+}
+
+void price_policies_at_pod_scale() {
+  std::printf("\nMTBF model: elastic-continue vs abort-restart "
+              "(B2, 1024 cores, 200h core MTBF)\n");
+  const auto cost = effnet::analyze(effnet::b(2));
+  const auto slice = tpu::make_slice(1024);
+  tpu::StepOptions sopts;
+  sopts.per_core_batch = 32;
+  tpu::RunOptions restart;
+  restart.epochs_to_peak = 350;
+  restart.core_mtbf_hours = 200.0;
+  restart.checkpoint_every_epochs = 1.0;
+  restart.checkpoint_write_s = 15.0;
+  restart.restart_overhead_s = 600.0;  // full pod reschedule
+  tpu::RunOptions elastic = restart;
+  elastic.elastic_continue = true;
+  elastic.resize_overhead_s = 20.0;  // grace window + rebuild + reload
+  const auto r0 = tpu::model_run(cost, slice, tpu::tpu_v3(), sopts, restart);
+  const auto r1 = tpu::model_run(cost, slice, tpu::tpu_v3(), sopts, elastic);
+  std::printf("  %-14s %10s %10s %10s %10s\n", "policy", "failures",
+              "rework", "degraded", "total");
+  std::printf("  %-14s %9.1f %9.1fm %9.1fm %9.1fm\n", "abort-restart",
+              r0.expected_failures, r0.rework_s / 60, r0.degraded_s / 60,
+              r0.total_minutes());
+  std::printf("  %-14s %9.1f %9.1fm %9.1fm %9.1fm\n", "elastic",
+              r1.expected_failures, r1.rework_s / 60, r1.degraded_s / 60,
+              r1.total_minutes());
+  SOAK_CHECK(r1.total_s < r0.total_s,
+             "elastic should beat expensive relaunches (%.1f vs %.1f min)",
+             r1.total_minutes(), r0.total_minutes());
+  SOAK_CHECK(r1.degraded_s > 0.0, "elastic runs pay degraded time");
+  SOAK_CHECK(r0.degraded_s == 0.0, "restart runs do not");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf("Elastic chaos soak: 8 replicas, silent kills of rank 5 "
+              "(step 10) and rank 2 (step 30), %s mode\n",
+              smoke ? "smoke" : "full");
+
+  core::TrainConfig c = soak_config(smoke);
+  const std::string ckpt =
+      std::string("ablation_elastic_") + (smoke ? "smoke" : "full") + ".ckpt";
+  c.checkpoint_path = ckpt;
+  const core::TrainResult r = core::train(c);
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".tmp").c_str());
+
+  std::printf("completed: resizes=%d restarts=%d final_world=%d "
+              "global_batch=%lld steps=%lld\n",
+              r.resizes, r.restarts, r.final_world_size,
+              static_cast<long long>(r.global_batch),
+              static_cast<long long>(r.total_steps));
+  for (const core::WorldResizeEvent& ev : r.resize_events) {
+    std::printf("  resize @ epoch %.2f: dead={", ev.epoch);
+    for (std::size_t i = 0; i < ev.dead_ranks.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", ev.dead_ranks[i]);
+    }
+    std::printf("} -> world %d, global batch %lld\n", ev.world_size_after,
+                static_cast<long long>(ev.global_batch_after));
+  }
+
+  // The kill script ran to completion at the expected degraded world.
+  SOAK_CHECK(r.resizes == 2, "got %d", r.resizes);
+  SOAK_CHECK(r.restarts == 0, "resizes must not count as rollback-retries");
+  SOAK_CHECK(r.final_world_size == 6, "got %d", r.final_world_size);
+  SOAK_CHECK(r.global_batch == 48, "got %lld",
+             static_cast<long long>(r.global_batch));
+  SOAK_CHECK(r.last_recovery == core::RecoveryOutcome::kWorldResized,
+             "last recovery should be a resize");
+  SOAK_CHECK(r.resize_events.size() == 2, "got %zu", r.resize_events.size());
+
+  // Monotone world shrinkage, correct victims, in order.
+  int prev_world = c.replicas;
+  for (const core::WorldResizeEvent& ev : r.resize_events) {
+    SOAK_CHECK(ev.world_size_after < prev_world,
+               "world grew: %d -> %d", prev_world, ev.world_size_after);
+    prev_world = ev.world_size_after;
+  }
+  if (r.resize_events.size() == 2) {
+    SOAK_CHECK(r.resize_events[0].dead_ranks == std::vector<int>{5},
+               "first victim should be rank 5");
+    SOAK_CHECK(r.resize_events[1].dead_ranks == std::vector<int>{2},
+               "second victim should be rank 2");
+    SOAK_CHECK(r.resize_events[0].world_size_after == 7, "got %d",
+               r.resize_events[0].world_size_after);
+    SOAK_CHECK(r.resize_events[1].world_size_after == 6, "got %d",
+               r.resize_events[1].world_size_after);
+  }
+
+  // Loss continuity: resumes are bit-exact from checkpoints, so the loss
+  // trace must stay finite, never spike across a resize, and end below
+  // where it started.
+  SOAK_CHECK(!r.history.empty(), "no eval points recorded");
+  double prev_epoch = 0.0;
+  for (const core::EvalPoint& p : r.history) {
+    SOAK_CHECK(std::isfinite(p.train_loss), "loss at epoch %.2f", p.epoch);
+    SOAK_CHECK(p.epoch > prev_epoch, "epochs not increasing at %.2f",
+               p.epoch);
+    prev_epoch = p.epoch;
+    std::printf("  epoch %.1f: loss %.4f acc %.3f lr %.4f\n", p.epoch,
+                p.train_loss, p.eval_accuracy, static_cast<double>(p.lr));
+  }
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    SOAK_CHECK(r.history[i].train_loss <
+                   r.history[i - 1].train_loss * 1.5 + 0.25,
+               "loss discontinuity at epoch %.2f: %.4f -> %.4f",
+               r.history[i].epoch, r.history[i - 1].train_loss,
+               r.history[i].train_loss);
+  }
+  SOAK_CHECK(r.history.back().train_loss < r.history.front().train_loss,
+             "no training progress across the soak");
+
+  // The degraded world's schedule obeys the linear scaling rule at the
+  // shrunken global batch (6 survivors x 8 per replica).
+  const float want_lr = optim::scaled_base_lr(c.lr_per_256, 48);
+  std::printf("linear-rule base LR at global batch 48: %.4f\n",
+              static_cast<double>(want_lr));
+  SOAK_CHECK(want_lr == optim::scaled_base_lr(c.lr_per_256, 6 * 8),
+             "LR rule mismatch");
+
+  price_policies_at_pod_scale();
+
+  if (failures) {
+    std::printf("\n%d CHECK(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall checks passed\n");
+  return 0;
+}

@@ -45,7 +45,8 @@ bool tags_equal(const char* a, const char* b) {
 
 bool CollectiveFingerprint::matches(const CollectiveFingerprint& o) const {
   return seq == o.seq && op == o.op && dtype == o.dtype && count == o.count &&
-         detail == o.detail && tags_equal(tag, o.tag);
+         detail == o.detail && world_gen == o.world_gen &&
+         tags_equal(tag, o.tag);
 }
 
 std::string CollectiveFingerprint::str() const {
@@ -54,6 +55,7 @@ std::string CollectiveFingerprint::str() const {
   s += " count=" + std::to_string(count) + " dtype=";
   s += to_string(dtype);
   if (detail >= 0) s += " detail=" + std::to_string(detail);
+  if (world_gen > 0) s += " world_gen=" + std::to_string(world_gen);
   s += " tag=";
   s += tag != nullptr ? tag : "(none)";
   return s;

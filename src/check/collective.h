@@ -52,6 +52,9 @@ struct CollectiveFingerprint {
   CollectiveDtype dtype = CollectiveDtype::kNone;
   std::uint64_t count = 0;  // element count of this rank's buffer
   std::int32_t detail = -1;
+  // World generation (elastic recovery): a collective issued against a
+  // stale world incarnation must never pair with a resized one's.
+  std::uint64_t world_gen = 0;
   const char* tag = nullptr;
 
   bool matches(const CollectiveFingerprint& o) const;

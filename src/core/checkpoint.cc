@@ -90,8 +90,9 @@ class Cursor {
 
   std::string get_string(std::uint32_t len, const char* what) {
     if (len > kMaxNameLen) {
-      throw std::runtime_error(std::string("checkpoint: implausible ") +
-                               what + " length " + std::to_string(len));
+      throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                            std::string("checkpoint: implausible ") + what +
+                                " length " + std::to_string(len));
     }
     require(len, what);
     std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
@@ -102,8 +103,9 @@ class Cursor {
  private:
   void require(std::size_t n, const char* what) {
     if (remaining() < n) {
-      throw std::runtime_error(std::string("checkpoint: truncated reading ") +
-                               what);
+      throw CheckpointError(
+          CheckpointErrorKind::kCorrupt,
+          std::string("checkpoint: truncated reading ") + what);
     }
   }
 
@@ -112,26 +114,41 @@ class Cursor {
   std::size_t pos_ = 0;
 };
 
-void read_tensor_into(Cursor& in, const std::string& expect_name,
-                      nn::Tensor& t) {
+// One parsed-but-not-committed tensor payload. Loading stages every
+// payload here and commits to the model only after the whole file has
+// parsed and matched, so a failure mid-file never leaves the model
+// half-restored.
+struct StagedTensor {
+  nn::Tensor* dst;
+  std::vector<float> data;
+};
+
+void read_tensor_staged(Cursor& in, const std::string& expect_name,
+                        nn::Tensor& t, std::vector<StagedTensor>& staged) {
   const auto name_len = in.get_pod<std::uint32_t>("name length");
   const std::string name = in.get_string(name_len, "tensor name");
   if (name != expect_name) {
-    throw std::runtime_error("checkpoint: tensor mismatch, file has '" +
-                             name + "' where model expects '" + expect_name +
-                             "'");
+    throw CheckpointError(CheckpointErrorKind::kMismatch,
+                          "checkpoint: tensor mismatch, file has '" + name +
+                              "' where model expects '" + expect_name + "'");
   }
   const auto rank = in.get_pod<std::uint32_t>("rank");
   if (static_cast<int>(rank) != t.shape().rank()) {
-    throw std::runtime_error("checkpoint: rank mismatch for " + name);
+    throw CheckpointError(CheckpointErrorKind::kMismatch,
+                          "checkpoint: rank mismatch for " + name);
   }
   for (int d = 0; d < t.shape().rank(); ++d) {
     const auto dim = in.get_pod<std::int64_t>("dim");
     if (dim != t.shape()[d]) {
-      throw std::runtime_error("checkpoint: shape mismatch for " + name);
+      throw CheckpointError(CheckpointErrorKind::kMismatch,
+                            "checkpoint: shape mismatch for " + name);
     }
   }
-  in.get_bytes(t.data(), static_cast<std::size_t>(t.numel()) * 4, "data");
+  StagedTensor s;
+  s.dst = &t;
+  s.data.resize(static_cast<std::size_t>(t.numel()));
+  in.get_bytes(s.data.data(), s.data.size() * 4, "data");
+  staged.push_back(std::move(s));
 }
 
 std::string state_name(std::size_t i) {
@@ -139,6 +156,16 @@ std::string state_name(std::size_t i) {
 }
 
 }  // namespace
+
+const char* to_string(CheckpointErrorKind kind) {
+  switch (kind) {
+    case CheckpointErrorKind::kIo: return "io";
+    case CheckpointErrorKind::kFormat: return "format";
+    case CheckpointErrorKind::kCorrupt: return "corrupt";
+    case CheckpointErrorKind::kMismatch: return "mismatch";
+  }
+  return "unknown";
+}
 
 void save_checkpoint(const std::string& path,
                      const std::vector<nn::Param*>& params,
@@ -169,19 +196,24 @@ void save_checkpoint(const std::string& path,
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    if (!out) {
+      throw CheckpointError(CheckpointErrorKind::kIo,
+                            "checkpoint: cannot open " + tmp);
+    }
     out.write(reinterpret_cast<const char*>(buf.bytes().data()),
               static_cast<std::streamsize>(buf.bytes().size()));
     out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
     out.flush();
     if (!out) {
       std::remove(tmp.c_str());
-      throw std::runtime_error("checkpoint: write failed for " + tmp);
+      throw CheckpointError(CheckpointErrorKind::kIo,
+                            "checkpoint: write failed for " + tmp);
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint: rename failed for " + path);
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          "checkpoint: rename failed for " + path);
   }
 }
 
@@ -190,36 +222,46 @@ CheckpointMeta load_checkpoint(const std::string& path,
                                const std::vector<nn::Tensor*>& state,
                                ExtraState* extra) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (!in) {
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          "checkpoint: cannot open " + path);
+  }
   const std::streamsize size = in.tellg();
   // Smallest valid file: header + zero tensors + zero blobs + CRC.
   constexpr std::streamsize kMinSize = 4 + 4 + 8 + 8 + 8 + 8 + 4;
   if (size < kMinSize) {
-    throw std::runtime_error("checkpoint: file too small: " + path);
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "checkpoint: file too small: " + path);
   }
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
   in.seekg(0);
   in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) throw std::runtime_error("checkpoint: read failed for " + path);
+  if (!in) {
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          "checkpoint: read failed for " + path);
+  }
 
   // Validate magic/version before the CRC so a wrong-format file gets a
   // precise error rather than a generic checksum mismatch.
   if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
-    throw std::runtime_error("checkpoint: bad magic in " + path);
+    throw CheckpointError(CheckpointErrorKind::kFormat,
+                          "checkpoint: bad magic in " + path);
   }
   std::uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 4, sizeof(version));
   if (version != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version " +
-                             std::to_string(version) + " in " + path);
+    throw CheckpointError(CheckpointErrorKind::kFormat,
+                          "checkpoint: unsupported version " +
+                              std::to_string(version) + " in " + path);
   }
   std::uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4,
               sizeof(stored_crc));
   const std::uint32_t computed_crc = crc32(bytes.data(), bytes.size() - 4);
   if (stored_crc != computed_crc) {
-    throw std::runtime_error("checkpoint: CRC mismatch in " + path +
-                             " (file corrupted)");
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "checkpoint: CRC mismatch in " + path +
+                              " (file corrupted)");
   }
 
   Cursor cur(bytes.data() + 8, bytes.size() - 8 - 4);
@@ -228,18 +270,24 @@ CheckpointMeta load_checkpoint(const std::string& path,
   meta.epoch = cur.get_pod<double>("epoch");
   const auto count = cur.get_pod<std::uint64_t>("tensor count");
   if (count != params.size() + state.size()) {
-    throw std::runtime_error(
+    throw CheckpointError(
+        CheckpointErrorKind::kMismatch,
         "checkpoint: tensor count mismatch (file has " +
-        std::to_string(count) + ", model expects " +
-        std::to_string(params.size() + state.size()) + ")");
+            std::to_string(count) + ", model expects " +
+            std::to_string(params.size() + state.size()) + ")");
   }
-  for (nn::Param* p : params) read_tensor_into(cur, p->name, p->value);
+  std::vector<StagedTensor> staged;
+  staged.reserve(params.size() + state.size());
+  for (nn::Param* p : params) {
+    read_tensor_staged(cur, p->name, p->value, staged);
+  }
   for (std::size_t i = 0; i < state.size(); ++i) {
-    read_tensor_into(cur, state_name(i), *state[i]);
+    read_tensor_staged(cur, state_name(i), *state[i], staged);
   }
   const auto extra_count = cur.get_pod<std::uint64_t>("extra count");
   if (extra_count > 1u << 20) {
-    throw std::runtime_error("checkpoint: implausible extra-blob count");
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "checkpoint: implausible extra-blob count");
   }
   ExtraState extras;
   extras.reserve(static_cast<std::size_t>(extra_count));
@@ -248,15 +296,23 @@ CheckpointMeta load_checkpoint(const std::string& path,
     std::string name = cur.get_string(name_len, "extra name");
     const auto blob_size = cur.get_pod<std::uint64_t>("extra size");
     if (blob_size > cur.remaining()) {
-      throw std::runtime_error("checkpoint: truncated reading extra '" +
-                               name + "'");
+      throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                            "checkpoint: truncated reading extra '" + name +
+                                "'");
     }
     std::vector<std::uint8_t> blob(static_cast<std::size_t>(blob_size));
     cur.get_bytes(blob.data(), blob.size(), "extra bytes");
     extras.emplace_back(std::move(name), std::move(blob));
   }
   if (cur.remaining() != 0) {
-    throw std::runtime_error("checkpoint: trailing bytes in " + path);
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "checkpoint: trailing bytes in " + path);
+  }
+
+  // Commit point: nothing above mutates the receiving model, so every
+  // throw on the way here is all-or-nothing.
+  for (StagedTensor& s : staged) {
+    std::memcpy(s.dst->data(), s.data.data(), s.data.size() * 4);
   }
   if (extra) *extra = std::move(extras);
   return meta;

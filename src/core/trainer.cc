@@ -131,12 +131,27 @@ TrainResult train(const TrainConfig& config) {
   if (config.resume && config.checkpoint_path.empty()) {
     throw std::invalid_argument("resume requires checkpoint_path");
   }
+  if (config.min_ranks < 1) {
+    throw std::invalid_argument("min_ranks must be >= 1");
+  }
+  for (const dist::FaultSpec& f : config.faults.faults) {
+    // A silently killed rank is only survivable when its peers can both
+    // detect the hang (deadlines) and continue without it (elastic);
+    // anything else is a scripted infinite hang.
+    if (f.kind == dist::FaultKind::kPermanentKill &&
+        !(config.elastic && config.collective_deadline.enabled())) {
+      throw std::invalid_argument(
+          "kPermanentKill faults require elastic=true and an enabled "
+          "collective_deadline");
+    }
+  }
 
   data::SyntheticImageNet dataset(config.dataset);
-  const dist::BnGroups groups = make_groups(config.bn, R);
 
   // One injector per train() call, shared across recovery attempts: each
-  // scripted fault fires at most once, so replayed steps are clean.
+  // scripted fault fires at most once, so replayed steps are clean. Fault
+  // specs name *original* rank ids, so the injector is sized to R even
+  // after the world shrinks.
   std::unique_ptr<dist::FaultInjector> injector;
   if (!config.faults.empty()) {
     injector = std::make_unique<dist::FaultInjector>(config.faults, R);
@@ -144,6 +159,7 @@ TrainResult train(const TrainConfig& config) {
 
   TrainResult result;
   result.global_batch = config.per_replica_batch * R;
+  result.final_world_size = R;
   const Clock::time_point t0 = Clock::now();
 
   // Rollback bookkeeping, written by rank 0 (threads are joined before the
@@ -152,14 +168,75 @@ TrainResult train(const TrainConfig& config) {
   std::int64_t last_ckpt_step = 0;
   double last_ckpt_epoch = 0.0;
 
-  for (;;) {  // supervised attempts; bounded by max_restarts
+  // Elastic world state. `survivors[local_rank]` is the original rank id;
+  // `blob_rank[local_rank]` is the "replica/N" checkpoint blob a survivor
+  // resumes from (original position at the time the checkpoint was
+  // written; rewritten to identity whenever a new checkpoint lands).
+  std::vector<int> survivors(static_cast<std::size_t>(R));
+  std::vector<int> blob_rank(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) survivors[static_cast<std::size_t>(r)] = r;
+  for (int r = 0; r < R; ++r) blob_rank[static_cast<std::size_t>(r)] = r;
+  std::uint64_t world_gen = 0;
+  // Recovery marker for the first step of the next attempt (see
+  // obs::StepMetrics::recovery_event). Written by the supervisor between
+  // attempts only; replica threads read it concurrently but never write.
+  int pending_recovery = 0;
+
+  // Rolls result.history (and the peak/loss rollups derived from it) back
+  // to the restore point; the relaunched run regenerates everything after.
+  auto roll_back_history = [&](double resume_epoch) {
+    std::erase_if(result.history, [&](const EvalPoint& p) {
+      return p.epoch > resume_epoch + 1e-9;
+    });
+    result.peak_accuracy = 0;
+    result.peak_epoch = 0;
+    result.seconds_to_peak = 0;
+    for (const EvalPoint& p : result.history) {
+      if (p.eval_accuracy > result.peak_accuracy) {
+        result.peak_accuracy = p.eval_accuracy;
+        result.peak_epoch = p.epoch;
+        result.seconds_to_peak = p.wall_seconds;
+      }
+    }
+    result.final_train_loss =
+        result.history.empty() ? 0 : result.history.back().train_loss;
+  };
+
+  for (;;) {  // supervised attempts; bounded by max_restarts / min_ranks
+    const int W = static_cast<int>(survivors.size());
+    result.global_batch = config.per_replica_batch * W;
     std::atomic<bool> inconsistent{false};
-    dist::Communicator comm(R);
+
+    dist::CommOptions comm_options;
+    comm_options.deadline = config.collective_deadline;
+    if (comm_options.deadline.enabled()) {
+      // Fresh board per incarnation (death flags are sticky); slots are
+      // indexed by original rank id, shared with the BN-group comms.
+      comm_options.health = std::make_shared<dist::HealthBoard>(R);
+    }
+    comm_options.global_ranks = survivors;
+    comm_options.generation = world_gen;
+    dist::Communicator comm(W, comm_options);
     if (injector) comm.set_fault_injector(injector.get());
+
+    dist::BnGroups groups;
+    if (world_gen == 0) {
+      groups = make_groups(config.bn, W);  // a bad config should still throw
+    } else {
+      try {
+        groups = make_groups(config.bn, W);
+      } catch (const std::invalid_argument&) {
+        // Degraded mode: the configured grouping no longer divides the
+        // shrunken world; fall back to replica-local batch norm.
+        groups = {};
+      }
+    }
     std::unique_ptr<dist::BnSyncSet> bn_syncs;
-    if (!groups.empty()) bn_syncs = std::make_unique<dist::BnSyncSet>(groups);
+    if (!groups.empty()) {
+      bn_syncs = std::make_unique<dist::BnSyncSet>(groups, comm_options);
+    }
     std::vector<std::vector<std::uint8_t>> replica_blobs(
-        static_cast<std::size_t>(R));
+        static_cast<std::size_t>(W));
     const bool resume_now = have_checkpoint;
 
     auto replica_body = [&](int rank) {
@@ -194,8 +271,10 @@ TrainResult train(const TrainConfig& config) {
       sched_cfg.total_epochs = config.epochs;  // decay horizon == run length
       auto schedule = optim::make_schedule(sched_cfg);
 
-      data::TrainLoader loader(&dataset, rank, R, config.per_replica_batch);
-      data::EvalLoader eval_loader(&dataset, rank, R,
+      // Sharded over the *current* world: after a resize the survivors
+      // repartition both splits among themselves.
+      data::TrainLoader loader(&dataset, rank, W, config.per_replica_batch);
+      data::EvalLoader eval_loader(&dataset, rank, W,
                                    std::min<tensor::Index>(
                                        config.per_replica_batch, 256));
       const tensor::Index steps_per_epoch = loader.steps_per_epoch();
@@ -236,7 +315,11 @@ TrainResult train(const TrainConfig& config) {
             optim::StateReader er(*ema_blob);
             ema->load_state(er);
           }
-          const std::string key = "replica/" + std::to_string(rank);
+          // A survivor resumes from the blob written under its rank at the
+          // time the checkpoint was taken (identity until a resize).
+          const std::string key =
+              "replica/" +
+              std::to_string(blob_rank[static_cast<std::size_t>(rank)]);
           const auto* replica_blob = find_extra(extra, key);
           if (!replica_blob) {
             throw std::runtime_error("checkpoint: missing '" + key +
@@ -245,7 +328,19 @@ TrainResult train(const TrainConfig& config) {
           optim::StateReader rr(*replica_blob);
           load_replica_state(rr, rngs, bn_state, loss_sum, loss_steps,
                              train_correct, train_seen);
-          start_step = meta.step;
+          // The checkpoint's step counter is meaningful only in the world
+          // size it was written at (steps_per_epoch changed with W);
+          // across a resize the epoch is the invariant resume coordinate.
+          std::int64_t ckpt_world = W;
+          if (const auto* world_blob = find_extra(extra, "world")) {
+            optim::StateReader wr(*world_blob);
+            ckpt_world = static_cast<std::int64_t>(wr.get_u64());
+          }
+          start_step =
+              ckpt_world == W
+                  ? meta.step
+                  : static_cast<std::int64_t>(std::llround(
+                        meta.epoch * static_cast<double>(steps_per_epoch)));
         }
         // No "optim" blob: a weights-only checkpoint (e.g. the final one of
         // a finished run) degrades to a warm start from step 0.
@@ -272,7 +367,7 @@ TrainResult train(const TrainConfig& config) {
         std::vector<float> flat = FlatBuffer::pack_tensors(bn_state);
         comm.allreduce_sum(rank, flat, dist::AllReduceAlgorithm::kFlat,
                            "eval_bn_state");
-        FlatBuffer::unpack_tensors(flat, 1.0f / static_cast<float>(R),
+        FlatBuffer::unpack_tensors(flat, 1.0f / static_cast<float>(W),
                                    bn_state);
 
         // Distributed evaluation (Sec 3.3): each replica scores its shard.
@@ -369,9 +464,14 @@ TrainResult train(const TrainConfig& config) {
             ema->save_state(ew);
             extra.emplace_back("ema", ew.take());
           }
-          for (int r = 0; r < R; ++r) {
+          for (int r = 0; r < W; ++r) {
             extra.emplace_back("replica/" + std::to_string(r),
                                replica_blobs[static_cast<std::size_t>(r)]);
+          }
+          {
+            optim::StateWriter ww;
+            ww.put_u64(static_cast<std::uint64_t>(W));
+            extra.emplace_back("world", ww.take());
           }
           CheckpointMeta meta;
           meta.step = at_step;
@@ -381,6 +481,13 @@ TrainResult train(const TrainConfig& config) {
           have_checkpoint = true;
           last_ckpt_step = at_step;
           last_ckpt_epoch = at_epoch;
+          // This checkpoint's replica blobs are indexed by *current* local
+          // rank, so the resume mapping resets to the identity. Safe to
+          // write here: peers are between the gather and durable barriers
+          // and only the supervisor reads blob_rank after the join.
+          for (int r = 0; r < W; ++r) {
+            blob_rank[static_cast<std::size_t>(r)] = r;
+          }
         }
         comm.barrier(rank, "ckpt_durable");  // durable before proceeding
       };
@@ -392,7 +499,7 @@ TrainResult train(const TrainConfig& config) {
       std::unique_ptr<data::Prefetcher> prefetcher;
       if (config.prefetch) {
         prefetch_loader = std::make_unique<data::TrainLoader>(
-            &dataset, rank, R, config.per_replica_batch);
+            &dataset, rank, W, config.per_replica_batch);
         prefetcher = std::make_unique<data::Prefetcher>(
             prefetch_loader.get(), total_steps, start_step);
       }
@@ -406,11 +513,20 @@ TrainResult train(const TrainConfig& config) {
       if (observing) (void)obs::drain_spans();       // likewise for spans
       std::int64_t seen_ar_bytes = comm.stats(rank).allreduce_total().bytes;
       for (std::int64_t step = start_step; step < total_steps; ++step) {
-        if (injector) injector->begin_step(rank, step);
+        // Heartbeat first: a rank that dies inside this step leaves a beat
+        // that goes stale while its peers wait, which is exactly the
+        // staleness the watchdog's death declaration requires.
+        comm.heartbeat(rank);
+        if (injector) {
+          injector->begin_step(survivors[static_cast<std::size_t>(rank)],
+                               step);
+        }
         obs::StepMetrics sm;
         sm.step = step;
         sm.rank = rank;
         sm.restarts = result.restarts;
+        sm.world_size = W;
+        sm.recovery_event = step == start_step ? pending_recovery : 0;
         obs::Timer step_timer;
         obs::Timer phase_timer;
         const tensor::Index epoch_idx =
@@ -471,7 +587,7 @@ TrainResult train(const TrainConfig& config) {
         }
         sm.phase(obs::Phase::kAllReduce) = ar_s;
 
-        bucket.unpack_grads(params, 1.0f / static_cast<float>(R));
+        bucket.unpack_grads(params, 1.0f / static_cast<float>(W));
         pack_s += phase_timer.lap();
         sm.phase(obs::Phase::kGradPack) = pack_s;
         double opt_s = 0.0;
@@ -560,58 +676,136 @@ TrainResult train(const TrainConfig& config) {
       }
     };
 
-    try {
-      dist::run_replicas(R, [&](int rank) {
+    const std::vector<std::exception_ptr> errors =
+        dist::run_replicas_collect(W, [&](int rank) {
+          try {
+            replica_body(rank);
+          } catch (const dist::PermanentRankDeath&) {
+            // Silent kill: the rank vanishes *without* aborting its
+            // communicators, exactly like a preempted host. Its peers must
+            // discover the loss through deadline-based hang detection.
+            throw;
+          } catch (...) {
+            // Unblock peers waiting at collectives, then surface the
+            // primary failure through the collected captures (CommAborted
+            // echoes are filtered by primary_failure).
+            comm.abort();
+            if (bn_syncs) bn_syncs->abort_all();
+            throw;
+          }
+        });
+    if (const std::exception_ptr primary = dist::primary_failure(errors)) {
+      // Union the death declarations across ranks: multiple waiters may
+      // have detected (overlapping) dead sets, and the dying rank itself
+      // contributes its own PermanentRankDeath.
+      std::vector<int> dead;
+      std::int64_t death_step = -1;
+      for (const std::exception_ptr& e : errors) {
+        if (!e) continue;
         try {
-          replica_body(rank);
+          std::rethrow_exception(e);
+        } catch (const dist::WorldResizeRequired& wr) {
+          dead.insert(dead.end(), wr.dead_ranks().begin(),
+                      wr.dead_ranks().end());
+          death_step = std::max(death_step, wr.step());
         } catch (...) {
-          // Unblock peers waiting at collectives, then surface the primary
-          // failure through run_replicas (CommAborted echoes are filtered).
-          comm.abort();
-          if (bn_syncs) bn_syncs->abort_all();
-          throw;
-        }
-      });
-    } catch (const dist::ReplicaFailure& failure) {
-      if (result.restarts >= config.max_restarts) throw;
-      ++result.restarts;
-      const bool from_ckpt =
-          have_checkpoint && file_exists(config.checkpoint_path);
-      const std::int64_t resume_step = from_ckpt ? last_ckpt_step : 0;
-      const double resume_epoch = from_ckpt ? last_ckpt_epoch : 0.0;
-      result.failed_steps +=
-          std::max<std::int64_t>(0, failure.step() - resume_step);
-      result.recovered_from_epoch = resume_epoch;
-      // Roll history back to the restore point; the relaunched run will
-      // regenerate everything after it.
-      std::erase_if(result.history, [&](const EvalPoint& p) {
-        return p.epoch > resume_epoch + 1e-9;
-      });
-      result.peak_accuracy = 0;
-      result.peak_epoch = 0;
-      result.seconds_to_peak = 0;
-      for (const EvalPoint& p : result.history) {
-        if (p.eval_accuracy > result.peak_accuracy) {
-          result.peak_accuracy = p.eval_accuracy;
-          result.peak_epoch = p.epoch;
-          result.seconds_to_peak = p.wall_seconds;
         }
       }
-      result.final_train_loss =
-          result.history.empty() ? 0 : result.history.back().train_loss;
-      if (config.verbose) {
-        std::printf("[recovery] %s -> restart %d from epoch %.2f (step %lld)\n",
-                    failure.what(), result.restarts, resume_epoch,
-                    static_cast<long long>(resume_step));
-        std::fflush(stdout);
+      std::sort(dead.begin(), dead.end());
+      dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+
+      if (!dead.empty() && config.elastic) {
+        // ---- Elastic world resize: continue degraded on the survivors ----
+        for (int d : dead) {
+          for (std::size_t i = 0; i < survivors.size(); ++i) {
+            if (survivors[i] == d) {
+              survivors.erase(survivors.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+              blob_rank.erase(blob_rank.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+              break;
+            }
+          }
+        }
+        if (static_cast<int>(survivors.size()) < config.min_ranks) {
+          std::rethrow_exception(primary);  // below quorum: unrecoverable
+        }
+        const bool from_ckpt =
+            have_checkpoint && file_exists(config.checkpoint_path);
+        const double resume_epoch = from_ckpt ? last_ckpt_epoch : 0.0;
+        // Lost work is counted in the dying world's step numbering (its
+        // steps_per_epoch differs from the survivors'). death_step is -1
+        // when only barrier waiters detected the loss.
+        const std::int64_t spe_old =
+            config.dataset.train_size / (config.per_replica_batch * W);
+        result.failed_steps += std::max<std::int64_t>(
+            0, death_step -
+                   static_cast<std::int64_t>(std::llround(
+                       resume_epoch * static_cast<double>(spe_old))));
+        result.recovered_from_epoch = resume_epoch;
+        roll_back_history(resume_epoch);
+        ++result.resizes;
+        ++world_gen;
+        result.last_recovery = RecoveryOutcome::kWorldResized;
+        pending_recovery = 2;
+        WorldResizeEvent ev;
+        ev.epoch = resume_epoch;
+        ev.dead_ranks = dead;
+        ev.world_size_after = static_cast<int>(survivors.size());
+        ev.global_batch_after =
+            config.per_replica_batch *
+            static_cast<std::int64_t>(survivors.size());
+        result.resize_events.push_back(ev);
+        result.final_world_size = static_cast<int>(survivors.size());
+        if (config.verbose) {
+          std::string dead_str;
+          for (int d : dead) {
+            if (!dead_str.empty()) dead_str += ",";
+            dead_str += std::to_string(d);
+          }
+          std::printf(
+              "[elastic] rank(s) %s dead -> resize %d to world %d from "
+              "epoch %.2f\n",
+              dead_str.c_str(), result.resizes, ev.world_size_after,
+              resume_epoch);
+          std::fflush(stdout);
+        }
+        continue;
       }
-      if (config.restart_backoff_ms > 0) {
-        const double ms = config.restart_backoff_ms *
-                          std::ldexp(1.0, result.restarts - 1);
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(ms));
+
+      // Not an elastic death; classify. A ReplicaFailure rolls back and
+      // retries at the same world size; anything else — including a death
+      // declaration with elastic off — fails the run.
+      try {
+        std::rethrow_exception(primary);
+      } catch (const dist::ReplicaFailure& failure) {
+        if (result.restarts >= config.max_restarts) throw;
+        ++result.restarts;
+        const bool from_ckpt =
+            have_checkpoint && file_exists(config.checkpoint_path);
+        const std::int64_t resume_step = from_ckpt ? last_ckpt_step : 0;
+        const double resume_epoch = from_ckpt ? last_ckpt_epoch : 0.0;
+        result.failed_steps +=
+            std::max<std::int64_t>(0, failure.step() - resume_step);
+        result.recovered_from_epoch = resume_epoch;
+        roll_back_history(resume_epoch);
+        result.last_recovery = RecoveryOutcome::kRolledBack;
+        pending_recovery = 1;
+        if (config.verbose) {
+          std::printf(
+              "[recovery] %s -> restart %d from epoch %.2f (step %lld)\n",
+              failure.what(), result.restarts, resume_epoch,
+              static_cast<long long>(resume_step));
+          std::fflush(stdout);
+        }
+        if (config.restart_backoff_ms > 0) {
+          const double ms = config.restart_backoff_ms *
+                            std::ldexp(1.0, result.restarts - 1);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ms));
+        }
+        continue;
       }
-      continue;
     }
 
     if (inconsistent.load()) {
@@ -620,6 +814,7 @@ TrainResult train(const TrainConfig& config) {
     }
     break;
   }
+  result.final_world_size = static_cast<int>(survivors.size());
   return result;
 }
 

@@ -121,6 +121,21 @@ struct TrainConfig {
   // call, so replayed steps after a rollback do not re-fire it.
   dist::FaultPlan faults;
 
+  // ---- Elastic recovery (DESIGN.md "Elastic recovery") ---------------------
+  // Survive *permanent* rank loss by shrinking the world: when deadline-
+  // based hang detection declares ranks dead (dist::WorldResizeRequired),
+  // the supervisor rebuilds the communicator over the survivors with a
+  // compacted rank map, re-shards the dataset, rescales the LR via the
+  // linear scaling rule (global batch shrank), and resumes from the last
+  // full-state checkpoint. Off: a declared death fails the run.
+  bool elastic = false;
+  // Quorum: fewer survivors than this aborts the run instead of resizing.
+  int min_ranks = 1;
+  // Deadline policy for collective waits (hang detection). Disabled by
+  // default — collectives then block indefinitely, the legacy behavior.
+  // Required (enabled) for FaultKind::kPermanentKill plans.
+  dist::DeadlinePolicy collective_deadline;
+
   // ---- Step-level observability (src/obs) ----------------------------------
   // When set, every replica emits one obs::StepMetrics record per training
   // step (tagged with its rank): per-phase wall times, counters, and — in
@@ -132,6 +147,21 @@ struct TrainConfig {
   std::uint64_t seed = 42;
   bool check_consistency = false;
   bool verbose = false;
+};
+
+// How the supervised loop last recovered from a fault.
+enum class RecoveryOutcome {
+  kNone,          // no recovery happened
+  kRolledBack,    // checkpoint rollback + relaunch at the same world size
+  kWorldResized,  // elastic: relaunched with a shrunken world
+};
+
+// One elastic world shrink, as observed by the supervisor.
+struct WorldResizeEvent {
+  double epoch = 0;               // epoch the survivors resumed from
+  std::vector<int> dead_ranks;    // original rank ids declared dead
+  int world_size_after = 0;
+  std::int64_t global_batch_after = 0;
 };
 
 struct EvalPoint {
@@ -170,6 +200,11 @@ struct TrainResult {
   int restarts = 0;                  // supervised relaunches performed
   std::int64_t failed_steps = 0;     // steps lost to faults and replayed
   double recovered_from_epoch = -1;  // last rollback point (-1: no restart)
+  // ---- Elastic recovery outcome --------------------------------------------
+  int resizes = 0;                   // elastic world shrinks performed
+  int final_world_size = 0;          // replicas in the world that finished
+  RecoveryOutcome last_recovery = RecoveryOutcome::kNone;
+  std::vector<WorldResizeEvent> resize_events;  // in occurrence order
 };
 
 // Runs the full distributed train-and-eval loop and blocks until done.

@@ -1,42 +1,85 @@
 #include "data/prefetcher.h"
 
+#include <stdexcept>
+#include <utility>
+
 namespace podnet::data {
 
 Prefetcher::Prefetcher(TrainLoader* loader, Index total_steps,
-                       Index start_step)
-    : loader_(loader), total_steps_(total_steps), start_step_(start_step) {
+                       Index start_step, dist::DeadlinePolicy deadline)
+    : Prefetcher(
+          [loader, spe = loader->steps_per_epoch()](Index step) {
+            return loader->batch(step / spe, step % spe);
+          },
+          total_steps, start_step, deadline) {}
+
+Prefetcher::Prefetcher(Source source, Index total_steps, Index start_step,
+                       dist::DeadlinePolicy deadline)
+    : source_(std::move(source)),
+      total_steps_(total_steps),
+      start_step_(start_step),
+      deadline_(deadline) {
   producer_ = std::thread([this] { producer_loop(); });
 }
 
 Prefetcher::~Prefetcher() {
-  {
-    check::ScopedLock lock(mu_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
+  cancel();
   producer_.join();
 }
 
+void Prefetcher::cancel() {
+  {
+    check::ScopedLock lock(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
 void Prefetcher::producer_loop() {
-  const Index steps_per_epoch = loader_->steps_per_epoch();
-  for (Index step = start_step_; step < total_steps_; ++step) {
-    Batch batch = loader_->batch(step / steps_per_epoch,
-                                 step % steps_per_epoch);
-    check::UniqueLock lock(mu_);
-    cv_.wait(lock, [this] { return !slot_.has_value() || shutdown_; });
-    if (shutdown_) return;
-    slot_ = std::move(batch);
+  try {
+    for (Index step = start_step_; step < total_steps_; ++step) {
+      Batch batch = source_(step);
+      check::UniqueLock lock(mu_);
+      // The consumer being slow is the normal case (it is training), so
+      // the producer's wait is sliced but never abandoned; cancellation
+      // is what bounds it.
+      dist::deadline_wait(
+          cv_, lock, deadline_,
+          [this] { return !slot_.has_value() || cancelled_; },
+          [](int) { return true; });
+      if (cancelled_) return;
+      slot_ = std::move(batch);
+      cv_.notify_all();
+    }
+    check::ScopedLock lock(mu_);
+    done_ = true;
+    cv_.notify_all();
+  } catch (...) {
+    // A dying producer must not strand the consumer in next(): publish
+    // the exception and wake it (rethrown there).
+    check::ScopedLock lock(mu_);
+    producer_error_ = std::current_exception();
+    done_ = true;
     cv_.notify_all();
   }
-  check::ScopedLock lock(mu_);
-  done_ = true;
-  cv_.notify_all();
 }
 
 std::optional<Batch> Prefetcher::next() {
   check::UniqueLock lock(mu_);
-  cv_.wait(lock, [this] { return slot_.has_value() || done_; });
-  if (!slot_.has_value()) return std::nullopt;
+  const dist::WaitStatus status = dist::deadline_wait(
+      cv_, lock, deadline_,
+      [this] { return slot_.has_value() || done_ || cancelled_; },
+      [this](int attempt) { return attempt + 1 < deadline_.grace_attempts; });
+  if (status == dist::WaitStatus::kExpired) {
+    throw std::runtime_error(
+        "prefetcher: producer produced no batch within the deadline's "
+        "grace window (hung input pipeline)");
+  }
+  if (cancelled_) return std::nullopt;
+  if (!slot_.has_value()) {
+    if (producer_error_) std::rethrow_exception(producer_error_);
+    return std::nullopt;
+  }
   std::optional<Batch> out = std::move(slot_);
   slot_.reset();
   cv_.notify_all();

@@ -47,15 +47,26 @@ BnGroups make_bn_groups_2d(int num_replicas, int grid_cols, int tile_rows,
   return groups;
 }
 
-BnSyncSet::BnSyncSet(const BnGroups& groups) {
+BnSyncSet::BnSyncSet(const BnGroups& groups, const CommOptions& base) {
   int num_replicas = 0;
   for (const auto& g : groups) num_replicas += static_cast<int>(g.size());
   syncs_.resize(static_cast<std::size_t>(num_replicas));
   group_of_.assign(static_cast<std::size_t>(num_replicas), -1);
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     const auto& members = groups[gi];
-    comms_.push_back(
-        std::make_unique<Communicator>(static_cast<int>(members.size())));
+    CommOptions group_options;
+    group_options.deadline = base.deadline;
+    group_options.health = base.health;
+    group_options.generation = base.generation;
+    group_options.global_ranks.reserve(members.size());
+    for (int replica : members) {
+      group_options.global_ranks.push_back(
+          base.global_ranks.empty()
+              ? replica
+              : base.global_ranks[static_cast<std::size_t>(replica)]);
+    }
+    comms_.push_back(std::make_unique<Communicator>(
+        static_cast<int>(members.size()), std::move(group_options)));
     for (std::size_t m = 0; m < members.size(); ++m) {
       const int replica = members[m];
       // A malformed grouping (overlapping or out-of-range members) would

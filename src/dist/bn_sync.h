@@ -72,7 +72,14 @@ class GroupBnSync final : public nn::BnStatSync {
 // grouping. Replica r's adapter: sync(r).
 class BnSyncSet {
  public:
-  explicit BnSyncSet(const BnGroups& groups);
+  explicit BnSyncSet(const BnGroups& groups) : BnSyncSet(groups, {}) {}
+
+  // Elastic wiring: every group communicator inherits `base`'s deadline
+  // policy, generation, and health board (so a death declared inside a BN
+  // reduction is the same declaration the gradient communicator sees), and
+  // a per-group rank map built by composing the group's members with
+  // base.global_ranks — group-local ranks still name original rank ids.
+  BnSyncSet(const BnGroups& groups, const CommOptions& base);
 
   nn::BnStatSync* sync(int replica) { return syncs_[replica].get(); }
   // Concrete adapter, for callers that need the timing accessors.

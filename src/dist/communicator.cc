@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "dist/fault.h"
+#include "dist/watchdog.h"
 #include "obs/timer.h"
 #include "tensor/ops.h"
 
@@ -48,13 +49,28 @@ std::string to_string(AllReduceAlgorithm alg) {
 }
 
 Communicator::Communicator(int num_ranks)
+    : Communicator(num_ranks, CommOptions{}) {}
+
+Communicator::Communicator(int num_ranks, CommOptions options)
     : num_ranks_(num_ranks),
-      barrier_(num_ranks),
+      options_(std::move(options)),
+      barrier_(num_ranks, this),
       bufs_(static_cast<std::size_t>(num_ranks), nullptr),
       sizes_(static_cast<std::size_t>(num_ranks), 0),
       scalars_(static_cast<std::size_t>(num_ranks), 0.0),
       stats_(static_cast<std::size_t>(num_ranks)) {
   assert(num_ranks >= 1);
+  if (!options_.global_ranks.empty() &&
+      options_.global_ranks.size() != static_cast<std::size_t>(num_ranks)) {
+    throw std::invalid_argument(
+        "CommOptions::global_ranks must have one entry per local rank");
+  }
+  if (options_.deadline.enabled() && options_.health == nullptr) {
+    // Private board sized to cover every original rank id this world names.
+    int board_size = num_ranks_;
+    for (int g : options_.global_ranks) board_size = std::max(board_size, g + 1);
+    options_.health = std::make_shared<HealthBoard>(board_size);
+  }
 #ifdef PODNET_CHECK
   verifier_.init(num_ranks);
 #endif
@@ -71,8 +87,9 @@ void Communicator::verify_collective(int rank, check::CollectiveOp op,
   fp.dtype = dtype;
   fp.detail = detail;
   fp.tag = tag != nullptr ? tag : check::to_string(op);
+  fp.world_gen = options_.generation;
   const std::string diff =
-      verifier_.exchange(rank, fp, [this] { sync(); });
+      verifier_.exchange(rank, fp, [this, rank] { sync(rank); });
   if (!diff.empty()) {
     // Every rank computed the same diff from the same slots, so every rank
     // throws — the failure is collective. abort() additionally poisons the
@@ -94,36 +111,76 @@ void Communicator::verify_collective(int rank, check::CollectiveOp op,
   } while (false)
 #endif
 
-void Communicator::AbortableBarrier::arrive_and_wait() {
+void Communicator::AbortableBarrier::arrive_and_wait(int rank) {
   check::UniqueLock lock(mu_);
-  if (aborted_) throw CommAborted();
+  if (aborted_) throw_aborted();
+  if (rank >= 0) {
+    arrived_[static_cast<std::size_t>(rank)] = 1;
+    owner_->heartbeat(rank);
+  }
   const std::uint64_t gen = generation_;
   if (++waiting_ == n_) {
     waiting_ = 0;
     ++generation_;
+    std::fill(arrived_.begin(), arrived_.end(), 0);
     cv_.notify_all();
     return;
   }
-  cv_.wait(lock, [&] { return generation_ != gen || aborted_; });
-  if (generation_ == gen) throw CommAborted();  // woken by abort()
+  // Untracked arrivals (rank < 0) cannot be distinguished from a hung
+  // rank, so the watchdog only runs for tracked waits.
+  Watchdog wd(&owner_->options_.deadline,
+              rank >= 0 ? owner_->health() : nullptr);
+  const WaitStatus status = deadline_wait(
+      cv_, lock, owner_->options_.deadline,
+      [&] { return generation_ != gen || aborted_; },
+      [&](int /*attempt*/) {
+        if (!wd.enabled()) return true;  // slice only bounds the recheck
+        std::vector<int> missing;
+        for (int r = 0; r < n_; ++r) {
+          if (!arrived_[static_cast<std::size_t>(r)]) {
+            missing.push_back(owner_->global_rank(r));
+          }
+        }
+        const std::vector<int> declared = wd.slice_expired(missing);
+        if (declared.empty()) return true;
+        HealthBoard* board = owner_->health();
+        for (int g : declared) board->mark_dead(g);
+        // Publish the board's full sticky dead set (another communicator
+        // sharing the board may have declared more) and poison the barrier
+        // so every waiter — current and future — unwinds with it.
+        dead_ = board->dead_ranks();
+        aborted_ = true;
+        cv_.notify_all();
+        return false;
+      });
+  if (status == WaitStatus::kExpired || generation_ == gen) {
+    throw_aborted();  // death declared here, or woken by abort()
+  }
 }
 
 void Communicator::AbortableBarrier::abort() {
   {
     check::ScopedLock lock(mu_);
-    aborted_ = true;
+    aborted_ = true;  // dead_ deliberately untouched: a resize abort stays one
   }
   cv_.notify_all();
 }
 
-void Communicator::barrier() { barrier_.arrive_and_wait(); }
+void Communicator::AbortableBarrier::throw_aborted() const {
+  if (!dead_.empty()) {
+    throw WorldResizeRequired(dead_, /*step=*/-1,
+                              "collective wait deadline exceeded");
+  }
+  throw CommAborted();
+}
+
+void Communicator::barrier() { barrier_.arrive_and_wait(/*rank=*/-1); }
 
 void Communicator::barrier(int rank, const char* tag) {
   PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kBarrier, 0,
                            check::CollectiveDtype::kNone, -1, tag);
-  (void)rank;
   (void)tag;
-  barrier_.arrive_and_wait();
+  barrier_.arrive_and_wait(rank);
 }
 
 void Communicator::abort() { barrier_.abort(); }
@@ -159,7 +216,7 @@ void Communicator::allreduce_sum(int rank, std::span<float> data,
     }
     // Scripted payload corruption lands on this rank's finished copy, the
     // shared-memory analogue of a link corrupting the received chunk.
-    if (injector_ != nullptr) injector_->maybe_corrupt(rank, data);
+    if (injector_ != nullptr) injector_->maybe_corrupt(global_rank(rank), data);
   }
   stats_[static_cast<std::size_t>(rank)]
       .allreduce[static_cast<int>(alg)]
@@ -169,25 +226,25 @@ void Communicator::allreduce_sum(int rank, std::span<float> data,
 void Communicator::allreduce_flat(int rank, std::span<float> data) {
   bufs_[rank] = data.data();
   sizes_[rank] = data.size();
-  sync();
+  sync(rank);
   assert(sizes_[0] == data.size());
   if (rank == 0) scratch_.assign(data.size(), 0.f);
-  sync();
+  sync(rank);
   // Each rank reduces its chunk across every replica into shared scratch.
   const auto [begin, end] = chunk_range(data.size(), num_ranks_, rank);
   for (int r = 0; r < num_ranks_; ++r) {
     accumulate_range(bufs_[r], scratch_.data(), begin, end);
   }
-  sync();
+  sync(rank);
   std::copy(scratch_.begin(), scratch_.end(), data.begin());
-  sync();
+  sync(rank);
 }
 
 void Communicator::allreduce_ring(int rank, std::span<float> data) {
   const int R = num_ranks_;
   bufs_[rank] = data.data();
   sizes_[rank] = data.size();
-  sync();
+  sync(rank);
   assert(sizes_[(rank + 1) % R] == data.size());
   const float* left = bufs_[(rank - 1 + R) % R];
 
@@ -197,14 +254,14 @@ void Communicator::allreduce_ring(int rank, std::span<float> data) {
     const int c = ((rank - s - 1) % R + R) % R;
     const auto [begin, end] = chunk_range(data.size(), R, c);
     accumulate_range(left, data.data(), begin, end);
-    sync();
+    sync(rank);
   }
   // All-gather: propagate reduced chunks around the ring.
   for (int s = 0; s < R - 1; ++s) {
     const int c = ((rank - s) % R + R) % R;
     const auto [begin, end] = chunk_range(data.size(), R, c);
     std::copy(left + begin, left + end, data.begin() + begin);
-    sync();
+    sync(rank);
   }
 }
 
@@ -213,7 +270,7 @@ void Communicator::allreduce_halving_doubling(int rank,
   const int R = num_ranks_;
   bufs_[rank] = data.data();
   sizes_[rank] = data.size();
-  sync();
+  sync(rank);
 
   // Recursive halving (reduce-scatter): each round the owned range halves;
   // the rank keeps the half matching its partner bit and accumulates the
@@ -234,7 +291,7 @@ void Communicator::allreduce_halving_doubling(int rank,
       lo = mid;
     }
     accumulate_range(pbuf, data.data(), lo, hi);
-    sync();
+    sync(rank);
   }
   // Recursive doubling (all-gather): reverse the rounds; the partner owns
   // exactly the complement of our range within the shared parent range.
@@ -247,7 +304,7 @@ void Communicator::allreduce_halving_doubling(int rank,
     std::copy(pbuf + hi, pbuf + phi, data.begin() + hi);
     lo = plo;
     hi = phi;
-    sync();
+    sync(rank);
   }
   assert(lo == 0 && hi == data.size());
 }
@@ -262,7 +319,7 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
   const std::size_t n = data.size();
   bufs_[rank] = data.data();
   sizes_[rank] = data.size();
-  sync();
+  sync(rank);
   int gs = 1;
   while (gs * gs <= R) ++gs;
   --gs;
@@ -272,7 +329,7 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
   if (rank == 0) {
     scratch_.assign(n * static_cast<std::size_t>(groups + gs), 0.f);
   }
-  sync();
+  sync(rank);
   const int group = rank / gs;
   const int pos = rank % gs;
 
@@ -285,13 +342,13 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
       accumulate_range(bufs_[group * gs + m], block, begin, end);
     }
   }
-  sync();
+  sync(rank);
   // Everyone adopts its group's sum.
   {
     const float* block = scratch_.data() + static_cast<std::size_t>(group) * n;
     std::copy(block, block + n, data.begin());
   }
-  sync();
+  sync(rank);
 
   // Phase 2: position peers (one rank per group) reduce the group sums.
   // Each peer set uses its own scratch block, so the sets run in parallel.
@@ -303,13 +360,13 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
       accumulate_range(bufs_[m * gs + pos], block, begin, end);
     }
   }
-  sync();
+  sync(rank);
   {
     const float* block =
         scratch_.data() + static_cast<std::size_t>(groups + pos) * n;
     std::copy(block, block + n, data.begin());
   }
-  sync();
+  sync(rank);
 }
 
 void Communicator::broadcast(int rank, int root, std::span<float> data,
@@ -320,12 +377,12 @@ void Communicator::broadcast(int rank, int root, std::span<float> data,
   (void)tag;
   obs::Timer timer;
   bufs_[rank] = data.data();
-  sync();
+  sync(rank);
   if (rank != root) {
     const float* src = bufs_[root];
     std::copy(src, src + data.size(), data.begin());
   }
-  sync();
+  sync(rank);
   stats_[static_cast<std::size_t>(rank)].broadcast.record(
       data.size() * sizeof(float), timer.seconds());
 }
@@ -342,13 +399,13 @@ void Communicator::allgather(int rank, std::span<const float> in,
   (void)tag;
   obs::Timer timer;
   if (rank == 0) scratch_.resize(out.size());
-  sync();
+  sync(rank);
   std::copy(in.begin(), in.end(),
             scratch_.begin() + static_cast<std::ptrdiff_t>(
                                    in.size() * static_cast<std::size_t>(rank)));
-  sync();
+  sync(rank);
   std::copy(scratch_.begin(), scratch_.begin() + out.size(), out.begin());
-  sync();
+  sync(rank);
   stats_[static_cast<std::size_t>(rank)].allgather.record(
       in.size() * sizeof(float), timer.seconds());
 }
@@ -361,10 +418,10 @@ double Communicator::allreduce_scalar(int rank, double value,
   (void)tag;
   obs::Timer timer;
   scalars_[rank] = value;
-  sync();
+  sync(rank);
   double total = 0.0;
   for (double v : scalars_) total += v;
-  sync();
+  sync(rank);
   stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
                                                        timer.seconds());
   return total;
@@ -377,10 +434,10 @@ double Communicator::allreduce_max(int rank, double value, const char* tag) {
   (void)tag;
   obs::Timer timer;
   scalars_[rank] = value;
-  sync();
+  sync(rank);
   double m = scalars_[0];
   for (double v : scalars_) m = std::max(m, v);
-  sync();
+  sync(rank);
   stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
                                                        timer.seconds());
   return m;
@@ -395,14 +452,14 @@ std::pair<double, double> Communicator::allreduce_minmax(int rank,
   (void)tag;
   obs::Timer timer;
   scalars_[rank] = value;
-  sync();
+  sync(rank);
   double lo = scalars_[0];
   double hi = scalars_[0];
   for (double v : scalars_) {
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
-  sync();
+  sync(rank);
   // One round, one stats record — half the barriers of the min/max pair of
   // allreduce_max calls this replaces.
   stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),

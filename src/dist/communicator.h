@@ -25,6 +25,15 @@
 // or future barrier wait throws CommAborted, unwinding all replicas so
 // the supervised training loop can roll back and relaunch. An aborted
 // Communicator is permanently unusable; recovery builds a fresh one.
+//
+// Elastic recovery: with a DeadlinePolicy enabled (CommOptions), no
+// barrier wait is indefinite. Waits are sliced with exponential backoff;
+// after the straggler-grace attempts are spent, missing ranks whose
+// heartbeats (HealthBoard) have gone stale are declared permanently dead,
+// the communicator self-aborts, and every blocked rank throws
+// WorldResizeRequired so the supervised loop can rebuild the world at the
+// surviving size with a compacted rank map (CommOptions::global_ranks
+// maps this world's local ranks back to original rank ids).
 #pragma once
 
 #include <array>
@@ -38,6 +47,8 @@
 #include <vector>
 
 #include "check/mutex.h"
+#include "dist/deadline.h"
+#include "dist/health.h"
 #ifdef PODNET_CHECK
 #include "check/collective.h"
 #endif
@@ -104,13 +115,53 @@ struct alignas(64) CommStats {
   }
 };
 
+// Elastic wiring for a Communicator. Default-constructed options give the
+// legacy behavior: no deadlines, identity rank map, generation 0.
+struct CommOptions {
+  // Deadline-sliced barrier waits; disabled (soft_timeout_ms == 0) means
+  // waits block until woken, as before elastic recovery existed.
+  DeadlinePolicy deadline;
+  // Heartbeat/death registry shared by every communicator of one world
+  // incarnation (gradient comm + BN-group comms). Null with deadlines
+  // enabled allocates a private board over this communicator's ranks.
+  std::shared_ptr<HealthBoard> health;
+  // Local rank -> original rank id. Empty = identity (an unresized world).
+  // After a resize the supervisor passes the compacted survivor map, so
+  // death declarations and fault scripts keep naming original ranks.
+  std::vector<int> global_ranks;
+  // World generation: bumped by the supervisor on every resize. Stamped
+  // into PODNET_CHECK collective fingerprints so a collective from a
+  // stale world incarnation can never silently pair with a resized one.
+  std::uint64_t generation = 0;
+};
+
 class Communicator {
  public:
   explicit Communicator(int num_ranks);
+  Communicator(int num_ranks, CommOptions options);
 
   int size() const { return num_ranks_; }
 
+  // Original rank id of a local rank under the compacted rank map.
+  int global_rank(int local_rank) const {
+    return options_.global_ranks.empty()
+               ? local_rank
+               : options_.global_ranks[static_cast<std::size_t>(local_rank)];
+  }
+
+  std::uint64_t generation() const { return options_.generation; }
+
+  // The shared health board (null when deadlines are disabled).
+  HealthBoard* health() const { return options_.health.get(); }
+
+  // Stamps this rank's heartbeat; cheap (one relaxed atomic store). The
+  // trainer calls it at every step start; collectives stamp on arrival.
+  void heartbeat(int rank) const {
+    if (options_.health) options_.health->beat(global_rank(rank));
+  }
+
   // Blocks until all ranks arrive; throws CommAborted after abort().
+  // Untracked (no rank): usable only with deadlines disabled.
   void barrier();
 
   // Verified barrier: in PODNET_CHECK builds the calling rank's fingerprint
@@ -174,18 +225,29 @@ class Communicator {
   // Reusable N-party barrier that can be cancelled: abort() wakes every
   // waiter and turns this and all future waits into CommAborted throws.
   // (std::barrier has no cancellation, which is exactly the deadlock a
-  // dead replica causes.)
+  // dead replica causes.) With a DeadlinePolicy, waits are additionally
+  // deadline-sliced: an expired wait consults the Watchdog, and a
+  // declared-dead rank aborts the barrier with the dead set attached, so
+  // every waiter throws WorldResizeRequired instead of CommAborted.
   class AbortableBarrier {
    public:
-    explicit AbortableBarrier(int n) : n_(n) {}
+    AbortableBarrier(int n, const Communicator* owner)
+        : n_(n), owner_(owner), arrived_(static_cast<std::size_t>(n), 0) {}
 
-    void arrive_and_wait();
+    // rank < 0 = untracked arrival (legacy barrier(); requires deadlines
+    // off — an untracked waiter cannot be told apart from a hung rank).
+    void arrive_and_wait(int rank);
     void abort();
 
    private:
+    [[noreturn]] void throw_aborted() const;
+
     check::Mutex mu_{PODNET_LOCK_NAME("comm.barrier")};
     check::ConditionVariable cv_;
     int n_;
+    const Communicator* owner_;
+    std::vector<char> arrived_;  // by local rank, reset per generation
+    std::vector<int> dead_;      // original rank ids; set by a declaration
     int waiting_ = 0;
     std::uint64_t generation_ = 0;
     bool aborted_ = false;
@@ -194,7 +256,7 @@ class Communicator {
   // Unverified internal rendezvous, used by the collective algorithms'
   // intermediate steps (the public entry already fingerprint-checked the
   // call) and by the verifier's own exchange.
-  void sync() { barrier_.arrive_and_wait(); }
+  void sync(int rank) { barrier_.arrive_and_wait(rank); }
 
 #ifdef PODNET_CHECK
   // Publishes this rank's fingerprint for the collective being entered,
@@ -213,6 +275,7 @@ class Communicator {
   void allreduce_two_level(int rank, std::span<float> data);
 
   int num_ranks_;
+  CommOptions options_;
   AbortableBarrier barrier_;
   FaultInjector* injector_ = nullptr;
   std::vector<float*> bufs_;

@@ -1,0 +1,90 @@
+// Deadline policy for blocking waits — the primitive behind hang detection.
+//
+// At pod scale a collective that waits forever converts one dead rank into
+// a whole-job hang; the paper's one-hour budget cannot absorb that. Every
+// blocking wait in the distributed runtime therefore runs against a
+// DeadlinePolicy: the wait is sliced into bounded timeouts that grow
+// exponentially (stragglers get grace — a slow rank costs backoff, not a
+// false death), and only after the grace attempts are exhausted *and* the
+// missing rank's heartbeat has gone stale past `dead_after_ms` is the rank
+// declared permanently dead (health.h / watchdog.h escalate from there).
+//
+// The policy is pure arithmetic — deterministic, unit-testable without
+// threads — plus one templated wait helper shared by the Communicator's
+// abortable barrier and the data::Prefetcher queue waits.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+namespace podnet::dist {
+
+struct DeadlinePolicy {
+  // First wait slice in milliseconds; 0 disables deadlines entirely (waits
+  // block until woken, the pre-elastic behavior).
+  double soft_timeout_ms = 0.0;
+  // Each subsequent slice multiplies by this (exponential backoff), capped
+  // at max_timeout_ms.
+  double backoff = 2.0;
+  double max_timeout_ms = 1000.0;
+  // Straggler grace: this many expired slices must pass before a missing
+  // rank may be declared dead.
+  int grace_attempts = 4;
+  // Heartbeat staleness beyond which a missing rank is treated as hung
+  // rather than slow. Both conditions (grace exhausted AND stale beat) are
+  // required for a death declaration.
+  double dead_after_ms = 500.0;
+
+  bool enabled() const { return soft_timeout_ms > 0.0; }
+
+  // Wait slice for 0-based attempt k: soft * backoff^k, capped. The
+  // sequence is a pure function of the policy, so recovery timing is
+  // reproducible.
+  double attempt_timeout_ms(int attempt) const {
+    double t = soft_timeout_ms;
+    for (int i = 0; i < attempt && t < max_timeout_ms; ++i) t *= backoff;
+    return std::min(t, max_timeout_ms);
+  }
+
+  // Minimum wall time a straggler is granted before it can be declared
+  // dead: the sum of the grace slices.
+  double total_grace_ms() const {
+    double total = 0.0;
+    for (int i = 0; i < grace_attempts; ++i) total += attempt_timeout_ms(i);
+    return total;
+  }
+};
+
+// Outcome of one deadline-sliced wait.
+enum class WaitStatus {
+  kReady,    // predicate satisfied
+  kExpired,  // every grace slice expired without the predicate turning true
+};
+
+// Waits on `cv` until pred() holds, slicing the wait per `policy`.
+// `on_slice_expired(attempt)` runs after each expired slice while the lock
+// is held; returning false abandons the wait (kExpired). With deadlines
+// disabled the wait is still sliced (at max_timeout_ms) so a cancellation
+// flagged by another thread is always observed — no wait in the system is
+// unbounded between wakeup checks.
+template <typename Cv, typename Lock, typename Pred, typename OnExpired>
+WaitStatus deadline_wait(Cv& cv, Lock& lock, const DeadlinePolicy& policy,
+                         Pred pred, OnExpired on_slice_expired) {
+  int attempt = 0;
+  for (;;) {
+    const double slice_ms = policy.enabled()
+                                ? policy.attempt_timeout_ms(attempt)
+                                : policy.max_timeout_ms;
+    if (cv.wait_for(lock,
+                    std::chrono::duration<double, std::milli>(slice_ms),
+                    pred)) {
+      return WaitStatus::kReady;
+    }
+    if (policy.enabled() && !on_slice_expired(attempt)) {
+      return WaitStatus::kExpired;
+    }
+    ++attempt;
+  }
+}
+
+}  // namespace podnet::dist

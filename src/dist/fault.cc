@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "dist/health.h"
 #include "tensor/rng.h"
 
 namespace podnet::dist {
@@ -16,6 +17,8 @@ std::string to_string(FaultKind kind) {
       return "corrupt_allreduce";
     case FaultKind::kStragglerDelay:
       return "straggler_delay";
+    case FaultKind::kPermanentKill:
+      return "permanent_kill";
   }
   return "unknown";
 }
@@ -52,6 +55,9 @@ void FaultInjector::begin_step(int rank, std::int64_t step) {
                                    std::to_string(step) + ")",
                                rank, step);
         }
+        break;
+      case FaultKind::kPermanentKill:
+        if (claim(i)) throw PermanentRankDeath(rank, step);
         break;
       case FaultKind::kCorruptAllReduce:
         break;  // fires inside the collective, not at step start

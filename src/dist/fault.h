@@ -29,13 +29,16 @@ enum class FaultKind {
   kRankFailure,      // the rank throws ReplicaFailure at the given step
   kCorruptAllReduce, // bit-flip floats in the rank's reduced payload
   kStragglerDelay,   // the rank sleeps delay_ms at the given step
+  kPermanentKill,    // the rank vanishes silently (PermanentRankDeath) —
+                     // no abort; peers must detect the hang via deadlines.
+                     // Requires elastic recovery (TrainConfig::elastic).
 };
 
 std::string to_string(FaultKind kind);
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kRankFailure;
-  int rank = 0;
+  int rank = 0;           // *original* rank id, stable across world resizes
   std::int64_t step = 0;  // global training step at which the fault fires
   int bit_flips = 1;      // kCorruptAllReduce: number of floats corrupted
   double delay_ms = 0.0;  // kStragglerDelay: injected stall

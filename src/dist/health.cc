@@ -1,0 +1,76 @@
+#include "dist/health.h"
+
+#include <algorithm>
+
+namespace podnet::dist {
+namespace {
+
+std::string describe(const std::vector<int>& dead, std::int64_t step,
+                     const std::string& why) {
+  std::string msg = "world resize required (";
+  for (std::size_t i = 0; i < dead.size(); ++i) {
+    if (i > 0) msg += ",";
+    msg += "rank " + std::to_string(dead[i]);
+  }
+  msg += " dead";
+  if (step >= 0) msg += ", step " + std::to_string(step);
+  msg += "): " + why;
+  return msg;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WorldResizeRequired::WorldResizeRequired(std::vector<int> dead_ranks,
+                                         std::int64_t step,
+                                         const std::string& why)
+    : std::runtime_error(describe(dead_ranks, step, why)),
+      dead_ranks_(std::move(dead_ranks)),
+      step_(step) {
+  std::sort(dead_ranks_.begin(), dead_ranks_.end());
+}
+
+PermanentRankDeath::PermanentRankDeath(int rank, std::int64_t step)
+    : WorldResizeRequired({rank}, step, "injected permanent kill") {}
+
+HealthBoard::HealthBoard(int num_ranks)
+    : slots_(static_cast<std::size_t>(num_ranks)) {
+  const std::int64_t t = now_ns();
+  for (Slot& s : slots_) s.last_beat_ns.store(t, std::memory_order_relaxed);
+}
+
+void HealthBoard::beat(int rank) {
+  slots_[static_cast<std::size_t>(rank)].last_beat_ns.store(
+      now_ns(), std::memory_order_relaxed);
+}
+
+double HealthBoard::ms_since_beat(int rank) const {
+  const std::int64_t last = slots_[static_cast<std::size_t>(rank)]
+                                .last_beat_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(now_ns() - last) * 1e-6;
+}
+
+void HealthBoard::mark_dead(int rank) {
+  slots_[static_cast<std::size_t>(rank)].dead.store(
+      true, std::memory_order_release);
+}
+
+bool HealthBoard::is_dead(int rank) const {
+  return slots_[static_cast<std::size_t>(rank)].dead.load(
+      std::memory_order_acquire);
+}
+
+std::vector<int> HealthBoard::dead_ranks() const {
+  std::vector<int> dead;
+  for (int r = 0; r < size(); ++r) {
+    if (is_dead(r)) dead.push_back(r);
+  }
+  return dead;
+}
+
+}  // namespace podnet::dist

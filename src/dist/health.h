@@ -1,0 +1,86 @@
+// Rank health: heartbeats, death declarations, and the world-resize fault.
+//
+// Elastic recovery (DESIGN.md "Elastic recovery") distinguishes a rank
+// that is *slow* from one that is *gone*. The HealthBoard is the shared
+// evidence: every rank stamps a heartbeat at each step start and each
+// collective arrival; a rank blocked waiting for a peer consults the
+// board to decide whether the peer is a straggler (fresh beat — grant
+// grace) or hung (stale beat — declare dead). Declarations are sticky:
+// once a rank is marked dead on the board, every communicator sharing the
+// board agrees, and the supervisor rebuilds the world without it.
+//
+// Ranks on the board are identified by their *original* rank id (the id a
+// replica had in the full world before any resize), so a rank keeps its
+// identity across compactions and fault scripts stay meaningful.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace podnet::dist {
+
+// Thrown — on every surviving rank at once — when ranks have been declared
+// permanently dead and training can only continue by shrinking the world.
+// The supervised loop catches it, runs the quorum rendezvous, and
+// relaunches with a compacted rank map (core::RecoveryOutcome::
+// kWorldResized), unlike ReplicaFailure which rolls back and retries at
+// the same world size.
+class WorldResizeRequired : public std::runtime_error {
+ public:
+  WorldResizeRequired(std::vector<int> dead_ranks, std::int64_t step,
+                      const std::string& why);
+
+  // Original rank ids declared dead; sorted, non-empty.
+  const std::vector<int>& dead_ranks() const { return dead_ranks_; }
+  // Training step at the declaration site, -1 when unknown (a collective
+  // wait has no step counter).
+  std::int64_t step() const { return step_; }
+
+ private:
+  std::vector<int> dead_ranks_;
+  std::int64_t step_;
+};
+
+// The injected form of permanent rank loss (FaultKind::kPermanentKill):
+// thrown on the dying rank itself, which then vanishes *without* aborting
+// its communicators — exactly like a preempted host. Its peers must
+// discover the loss through deadline-based hang detection.
+class PermanentRankDeath : public WorldResizeRequired {
+ public:
+  PermanentRankDeath(int rank, std::int64_t step);
+};
+
+// Lock-free per-rank heartbeat and death registry, shared by every
+// communicator of one world incarnation (the gradient communicator and
+// all BN-group communicators). Each rank writes only its own slot;
+// cross-slot reads are monotonic staleness queries.
+class HealthBoard {
+ public:
+  explicit HealthBoard(int num_ranks);
+
+  int size() const { return static_cast<int>(slots_.size()); }
+
+  // Stamps rank's heartbeat with the current monotonic time.
+  void beat(int rank);
+
+  // Milliseconds since rank's last heartbeat.
+  double ms_since_beat(int rank) const;
+
+  // Sticky death declaration; idempotent and thread-safe.
+  void mark_dead(int rank);
+  bool is_dead(int rank) const;
+  std::vector<int> dead_ranks() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::int64_t> last_beat_ns{0};
+    std::atomic<bool> dead{false};
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace podnet::dist

@@ -1,0 +1,34 @@
+#include "dist/watchdog.h"
+
+namespace podnet::dist {
+
+HealthVerdict classify_rank(const DeadlinePolicy& policy, bool arrived,
+                            double ms_since_beat, int attempt,
+                            bool already_dead) {
+  if (already_dead) return HealthVerdict::kDead;
+  if (arrived || !policy.enabled()) return HealthVerdict::kHealthy;
+  // Both conditions required: the grace window must be spent (a burst of
+  // short slices cannot kill a rank that merely hit one slow step) and the
+  // heartbeat must be stale (a rank that is computing — beating between
+  // collectives — is a straggler no matter how long we waited).
+  if (attempt + 1 >= policy.grace_attempts &&
+      ms_since_beat > policy.dead_after_ms) {
+    return HealthVerdict::kDead;
+  }
+  return HealthVerdict::kSuspect;
+}
+
+std::vector<int> Watchdog::slice_expired(const std::vector<int>& missing) {
+  std::vector<int> dead;
+  if (!enabled()) return dead;
+  for (int rank : missing) {
+    const HealthVerdict v =
+        classify_rank(*policy_, /*arrived=*/false, board_->ms_since_beat(rank),
+                      attempt_, board_->is_dead(rank));
+    if (v == HealthVerdict::kDead) dead.push_back(rank);
+  }
+  ++attempt_;
+  return dead;
+}
+
+}  // namespace podnet::dist

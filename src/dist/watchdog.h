@@ -1,0 +1,67 @@
+// Watchdog: the escalation state machine of one deadline-bounded wait.
+//
+// A rank blocked at a collective owns a Watchdog for the duration of the
+// wait. Each expired wait slice feeds the watchdog the set of ranks that
+// have not arrived; it classifies each against the HealthBoard and the
+// DeadlinePolicy:
+//
+//   healthy -> suspect:  a slice expired with the rank missing — grant
+//                        straggler grace, back off exponentially;
+//   suspect -> dead:     grace attempts exhausted AND the rank's heartbeat
+//                        is stale past dead_after_ms — declare it;
+//   (any)   -> dead:     a rank already marked dead on the board is
+//                        reported immediately (another wait declared it).
+//
+// Classification is a pure function (classify_rank) so the thresholds are
+// unit-testable without threads; the Watchdog adds only the attempt
+// counter and the board lookups.
+#pragma once
+
+#include <vector>
+
+#include "dist/deadline.h"
+#include "dist/health.h"
+
+namespace podnet::dist {
+
+enum class HealthVerdict {
+  kHealthy,   // arrived (or deadlines disabled)
+  kSuspect,   // missing, but inside straggler grace or heart still beating
+  kDead,      // missing, grace exhausted, heartbeat stale — declare
+};
+
+// Verdict for one rank after wait slice `attempt` (0-based) expired.
+// `arrived` is whether the rank reached the rendezvous; `ms_since_beat`
+// is its heartbeat staleness; `already_dead` is the board's sticky flag.
+HealthVerdict classify_rank(const DeadlinePolicy& policy, bool arrived,
+                            double ms_since_beat, int attempt,
+                            bool already_dead);
+
+class Watchdog {
+ public:
+  // Both pointers may be null (or the policy disabled), in which case the
+  // watchdog never fires and waits fall back to untimed behavior.
+  Watchdog(const DeadlinePolicy* policy, HealthBoard* board)
+      : policy_(policy), board_(board) {}
+
+  bool enabled() const {
+    return policy_ != nullptr && policy_->enabled() && board_ != nullptr;
+  }
+
+  // Wait slice for the current attempt.
+  double next_timeout_ms() const {
+    return policy_->attempt_timeout_ms(attempt_);
+  }
+
+  // Reports that the current slice expired with `missing` (original rank
+  // ids) still absent. Returns the ranks to declare dead — empty means
+  // keep waiting with the next (backed-off) slice.
+  std::vector<int> slice_expired(const std::vector<int>& missing);
+
+ private:
+  const DeadlinePolicy* policy_;
+  HealthBoard* board_;
+  int attempt_ = 0;
+};
+
+}  // namespace podnet::dist

@@ -33,6 +33,8 @@ std::string to_json(const StepMetrics& m) {
       .field("epoch", m.epoch)
       .field("rank", m.rank)
       .field("restarts", m.restarts)
+      .field("world_size", m.world_size)
+      .field("recovery_event", m.recovery_event)
       .field("images", m.images)
       .field("allreduce_bytes", m.allreduce_bytes)
       .field("loss", m.loss)

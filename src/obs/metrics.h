@@ -46,6 +46,10 @@ struct StepMetrics {
   double epoch = 0;       // continuous epoch at this step
   int rank = 0;
   int restarts = 0;       // supervised relaunches before this attempt
+  int world_size = 0;     // replicas in the current world (shrinks on resize)
+  // Recovery marker on the first step of a recovered attempt: 0 = none,
+  // 1 = rolled back at the same world size, 2 = world resized (elastic).
+  int recovery_event = 0;
   std::int64_t images = 0;           // examples consumed this step
   std::int64_t allreduce_bytes = 0;  // gradient payload all-reduced
   double loss = 0;

@@ -104,10 +104,25 @@ RunBreakdown model_run(const effnet::ModelCost& cost, const PodSlice& slice,
             ? fault_free_s * (run.checkpoint_every_epochs /
                               run.epochs_to_peak)
             : fault_free_s;
-    r.rework_s = r.expected_failures *
-                 (interval_s / 2.0 + run.restart_overhead_s);
+    if (run.elastic_continue) {
+      // Survivors roll back to the last checkpoint (half an interval of
+      // replay on average) and pay the resize pause instead of a full
+      // relaunch; no rescheduling in the surcharge.
+      r.rework_s = r.expected_failures *
+                   (interval_s / 2.0 + run.resize_overhead_s);
+      // The run then computes on a shrinking slice. With failures spread
+      // uniformly over the run, the average world is cores - F/2, so the
+      // compute-bound portion stretches by cores / (cores - F/2).
+      const double avg_cores = std::max(
+          1.0, static_cast<double>(slice.cores) - r.expected_failures / 2.0);
+      r.degraded_s =
+          fault_free_s * (static_cast<double>(slice.cores) / avg_cores - 1.0);
+    } else {
+      r.rework_s = r.expected_failures *
+                   (interval_s / 2.0 + run.restart_overhead_s);
+    }
   }
-  r.total_s = fault_free_s + r.checkpoint_s + r.rework_s;
+  r.total_s = fault_free_s + r.checkpoint_s + r.rework_s + r.degraded_s;
 
   if (sink != nullptr) {
     obs::JsonWriter w;
@@ -133,6 +148,8 @@ RunBreakdown model_run(const effnet::ModelCost& cost, const PodSlice& slice,
         .field("checkpoint_s", r.checkpoint_s)
         .field("expected_failures", r.expected_failures)
         .field("rework_s", r.rework_s)
+        .field("elastic", run.elastic_continue)
+        .field("degraded_s", r.degraded_s)
         .field("total_s", r.total_s)
         .end_object();
     sink->write_line(w.str());

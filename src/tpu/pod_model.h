@@ -68,6 +68,18 @@ struct RunOptions {
   // Fixed relaunch cost per failure: rescheduling, re-init, and loading
   // the last checkpoint.
   double restart_overhead_s = 0.0;
+
+  // ---- Elastic continuation (world-resize recovery) ------------------------
+  // Instead of abort-and-restart, survivors detect the dead rank via the
+  // collective deadline, rebuild the communicator at reduced world size,
+  // and continue from the last checkpoint. Each failure then costs the
+  // (bounded) resize pause instead of the relaunch overhead, but every
+  // step after it runs on fewer cores — the run finishes degraded rather
+  // than rescheduled.
+  bool elastic_continue = false;
+  // Wall time for one resize: the deadline grace window that declares the
+  // rank dead, plus communicator rebuild and checkpoint reload.
+  double resize_overhead_s = 0.0;
 };
 
 struct RunBreakdown {
@@ -77,6 +89,8 @@ struct RunBreakdown {
   double checkpoint_s = 0;       // time spent writing checkpoints
   double expected_failures = 0;  // over the (fault-free) run length
   double rework_s = 0;           // expected lost work + restart overheads
+  double degraded_s = 0;         // extra time from running below full
+                                 // world size (elastic_continue only)
   double total_s = 0;
   double total_minutes() const { return total_s / 60.0; }
 };

@@ -5,7 +5,10 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "effnet/model.h"
 
@@ -228,6 +231,168 @@ TEST(CheckpointTest, RejectsBadMagic) {
   std::vector<nn::Tensor*> state;
   model.collect_state(state);
   EXPECT_THROW(load_checkpoint(path, params, state), std::runtime_error);
+}
+
+// ---- Typed errors + all-or-nothing load (fuzz-hardening satellite) ---------
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<float> flatten_params(const std::vector<nn::Param*>& params) {
+  std::vector<float> out;
+  for (const nn::Param* p : params) {
+    for (tensor::Index i = 0; i < p->value.numel(); ++i) {
+      out.push_back(p->value.at(i));
+    }
+  }
+  return out;
+}
+
+CheckpointErrorKind kind_of_load_failure(const std::string& path,
+                                         const std::vector<nn::Param*>& p,
+                                         const std::vector<nn::Tensor*>& s) {
+  try {
+    load_checkpoint(path, p, s);
+  } catch (const CheckpointError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected CheckpointError loading " << path;
+  return CheckpointErrorKind::kIo;
+}
+
+TEST(CheckpointErrorTest, KindsDistinguishFailureClasses) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  const std::string path = temp_path("kinds.ckpt");
+  save_checkpoint(path, params, state, {});
+  const std::vector<std::uint8_t> pristine = read_bytes(path);
+
+  EXPECT_EQ(kind_of_load_failure(temp_path("kinds-missing.ckpt"), params,
+                                 state),
+            CheckpointErrorKind::kIo);
+
+  auto bad_magic = pristine;
+  bad_magic[0] ^= 0xFF;
+  write_bytes(path, bad_magic);
+  EXPECT_EQ(kind_of_load_failure(path, params, state),
+            CheckpointErrorKind::kFormat);
+
+  auto bad_version = pristine;
+  bad_version[4] = 0x7F;
+  write_bytes(path, bad_version);
+  EXPECT_EQ(kind_of_load_failure(path, params, state),
+            CheckpointErrorKind::kFormat);
+
+  auto flipped = pristine;
+  flipped[pristine.size() / 2] ^= 0x01;
+  write_bytes(path, flipped);
+  EXPECT_EQ(kind_of_load_failure(path, params, state),
+            CheckpointErrorKind::kCorrupt);
+
+  write_bytes(path, pristine);
+  effnet::ModelSpec nano_spec = effnet::nano();
+  effnet::ModelOptions opts;
+  opts.num_classes = 8;
+  effnet::EfficientNet nano_model(nano_spec, opts);
+  auto nparams = nn::parameters_of(nano_model);
+  std::vector<nn::Tensor*> nstate;
+  nano_model.collect_state(nstate);
+  EXPECT_EQ(kind_of_load_failure(path, nparams, nstate),
+            CheckpointErrorKind::kMismatch);
+
+  EXPECT_STREQ(to_string(CheckpointErrorKind::kCorrupt), "corrupt");
+}
+
+TEST(CheckpointErrorTest, LateMismatchLeavesModelUntouched) {
+  // The file parses cleanly through all params and the first state tensor
+  // before hitting a shape mismatch on the last one — the pre-fix loader
+  // would have already overwritten everything parsed so far.
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  nn::Tensor s0({4}), s1({4});
+  s0.fill(1.0f);
+  s1.fill(2.0f);
+  const std::string path = temp_path("staged.ckpt");
+  save_checkpoint(path, params, {&s0, &s1}, {});
+
+  auto receiver = make_model(2);  // different init than the saved model
+  auto rparams = nn::parameters_of(receiver);
+  nn::Tensor r0({4}), r1({3});  // r1's shape mismatches at the LAST tensor
+  r0.fill(9.0f);
+  const std::vector<float> before = flatten_params(rparams);
+  EXPECT_EQ(kind_of_load_failure(path, rparams, {&r0, &r1}),
+            CheckpointErrorKind::kMismatch);
+  EXPECT_EQ(flatten_params(rparams), before) << "params were half-restored";
+  EXPECT_EQ(r0.at(0), 9.0f) << "state was half-restored";
+}
+
+TEST(CheckpointErrorTest, FuzzedCorruptionNeverYieldsPartialState) {
+  auto model = make_model(1);
+  auto params = nn::parameters_of(model);
+  std::vector<nn::Tensor*> state;
+  model.collect_state(state);
+  ExtraState extra;
+  extra.emplace_back("world", std::vector<std::uint8_t>{8, 0, 0, 0});
+  const std::string path = temp_path("fuzz.ckpt");
+  save_checkpoint(path, params, state, {}, extra);
+  const std::vector<std::uint8_t> pristine = read_bytes(path);
+
+  auto receiver = make_model(2);
+  auto rparams = nn::parameters_of(receiver);
+  std::vector<nn::Tensor*> rstate;
+  receiver.collect_state(rstate);
+  std::vector<float> before = flatten_params(rparams);
+
+  std::mt19937 rng(0xC0FFEE);  // deterministic corpus
+  const std::string fuzzed = temp_path("fuzzed.ckpt");
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::uint8_t> bytes = pristine;
+    switch (iter % 3) {
+      case 0: {  // flip 1-4 random bytes
+        const int flips = 1 + static_cast<int>(rng() % 4);
+        for (int i = 0; i < flips; ++i) {
+          bytes[rng() % bytes.size()] ^= static_cast<std::uint8_t>(
+              1 + rng() % 255);
+        }
+        break;
+      }
+      case 1:  // truncate to a random prefix
+        bytes.resize(rng() % bytes.size());
+        break;
+      default: {  // zero a random 8-byte run (kills length fields)
+        const std::size_t at = rng() % (bytes.size() - 8);
+        std::fill(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(at + 8), 0);
+        break;
+      }
+    }
+    write_bytes(fuzzed, bytes);
+    try {
+      ExtraState loaded_extra;
+      load_checkpoint(fuzzed, rparams, rstate, &loaded_extra);
+      // Only acceptable if the mutation was a no-op (e.g. zeroing a run
+      // of bytes that was already zero inside a tensor payload). The
+      // receiver now holds the loaded values; later failed loads must
+      // leave THAT state untouched.
+      ASSERT_EQ(bytes, pristine) << "corrupt file loaded, iter " << iter;
+      before = flatten_params(rparams);
+    } catch (const CheckpointError&) {
+      ASSERT_EQ(flatten_params(rparams), before)
+          << "partial state after failed load, iter " << iter;
+    }
+  }
 }
 
 }  // namespace

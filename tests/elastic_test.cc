@@ -1,0 +1,424 @@
+// Elastic world-resize recovery tests: deadline arithmetic, the
+// straggler-vs-dead escalation, deadline-sliced barrier waits, and the
+// end-to-end degraded continuation — a permanently killed rank must shrink
+// the world and the survivors must resume bit-exactly from the last
+// checkpoint with the LR rescaled for the smaller global batch.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "dist/communicator.h"
+#include "dist/deadline.h"
+#include "dist/fault.h"
+#include "dist/health.h"
+#include "dist/watchdog.h"
+#include "effnet/model.h"
+#include "optim/lr_schedule.h"
+
+namespace podnet {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void copy_file(const std::string& from, const std::string& to) {
+  const std::vector<char> bytes = read_file(from);
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << to;
+}
+
+// ---- DeadlinePolicy arithmetic (pure, no threads) --------------------------
+
+TEST(DeadlinePolicyTest, BackoffSequenceIsDeterministicAndCapped) {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 25.0;
+  p.backoff = 2.0;
+  p.max_timeout_ms = 150.0;
+  EXPECT_TRUE(p.enabled());
+  EXPECT_DOUBLE_EQ(p.attempt_timeout_ms(0), 25.0);
+  EXPECT_DOUBLE_EQ(p.attempt_timeout_ms(1), 50.0);
+  EXPECT_DOUBLE_EQ(p.attempt_timeout_ms(2), 100.0);
+  EXPECT_DOUBLE_EQ(p.attempt_timeout_ms(3), 150.0);  // capped
+  EXPECT_DOUBLE_EQ(p.attempt_timeout_ms(9), 150.0);  // stays capped
+  // Same policy, same sequence — recovery timing is reproducible.
+  dist::DeadlinePolicy q = p;
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_DOUBLE_EQ(p.attempt_timeout_ms(k), q.attempt_timeout_ms(k));
+  }
+}
+
+TEST(DeadlinePolicyTest, ZeroSoftTimeoutDisables) {
+  dist::DeadlinePolicy p;
+  EXPECT_DOUBLE_EQ(p.soft_timeout_ms, 0.0);
+  EXPECT_FALSE(p.enabled());
+}
+
+TEST(DeadlinePolicyTest, TotalGraceIsSumOfGraceSlices) {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 10.0;
+  p.backoff = 2.0;
+  p.max_timeout_ms = 1000.0;
+  p.grace_attempts = 4;
+  EXPECT_DOUBLE_EQ(p.total_grace_ms(), 10.0 + 20.0 + 40.0 + 80.0);
+}
+
+// ---- straggler-vs-dead classification (pure, no threads) -------------------
+
+TEST(ClassifyRankTest, ArrivedIsAlwaysHealthy) {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 10.0;
+  p.grace_attempts = 1;
+  p.dead_after_ms = 0.5;
+  EXPECT_EQ(dist::classify_rank(p, /*arrived=*/true, /*ms_since_beat=*/1e9,
+                                /*attempt=*/100, /*already_dead=*/false),
+            dist::HealthVerdict::kHealthy);
+}
+
+TEST(ClassifyRankTest, MissingInsideGraceIsSuspect) {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 10.0;
+  p.grace_attempts = 4;
+  p.dead_after_ms = 1.0;
+  // Stale heartbeat but grace not yet spent: still a suspect.
+  EXPECT_EQ(dist::classify_rank(p, false, /*ms_since_beat=*/1e6,
+                                /*attempt=*/0, false),
+            dist::HealthVerdict::kSuspect);
+  EXPECT_EQ(dist::classify_rank(p, false, 1e6, /*attempt=*/2, false),
+            dist::HealthVerdict::kSuspect);
+  // Grace spent AND stale: dead.
+  EXPECT_EQ(dist::classify_rank(p, false, 1e6, /*attempt=*/3, false),
+            dist::HealthVerdict::kDead);
+}
+
+TEST(ClassifyRankTest, FreshHeartbeatIsStragglerNotDead) {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 10.0;
+  p.grace_attempts = 1;
+  p.dead_after_ms = 1000.0;
+  // Grace long spent, but the rank is beating (computing between
+  // collectives): a straggler no matter how long we waited.
+  EXPECT_EQ(dist::classify_rank(p, false, /*ms_since_beat=*/1.0,
+                                /*attempt=*/50, false),
+            dist::HealthVerdict::kSuspect);
+}
+
+TEST(ClassifyRankTest, StickyBoardDeathReportsImmediately) {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 10.0;
+  EXPECT_EQ(dist::classify_rank(p, false, 0.0, 0, /*already_dead=*/true),
+            dist::HealthVerdict::kDead);
+}
+
+// ---- HealthBoard -----------------------------------------------------------
+
+TEST(HealthBoardTest, BeatResetsStalenessAndDeathIsSticky) {
+  dist::HealthBoard board(3);
+  EXPECT_EQ(board.size(), 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(board.ms_since_beat(1), 4.0);
+  board.beat(1);
+  EXPECT_LT(board.ms_since_beat(1), 4.0);
+  EXPECT_FALSE(board.is_dead(2));
+  board.mark_dead(2);
+  board.mark_dead(0);
+  EXPECT_TRUE(board.is_dead(2));
+  board.beat(2);  // a late beat does not resurrect
+  EXPECT_TRUE(board.is_dead(2));
+  EXPECT_EQ(board.dead_ranks(), (std::vector<int>{0, 2}));
+}
+
+// ---- Watchdog escalation ---------------------------------------------------
+
+TEST(WatchdogTest, DeclaresOnlyAfterGraceAndStaleness) {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 10.0;
+  p.grace_attempts = 2;
+  p.dead_after_ms = 0.0;  // every beat is instantly "stale" (> 0 ms)
+  dist::HealthBoard board(2);
+  dist::Watchdog wd(&p, &board);
+  ASSERT_TRUE(wd.enabled());
+  EXPECT_DOUBLE_EQ(wd.next_timeout_ms(), 10.0);
+  // Attempt 0: inside grace, nobody is declared.
+  EXPECT_TRUE(wd.slice_expired({1}).empty());
+  EXPECT_DOUBLE_EQ(wd.next_timeout_ms(), 20.0);  // backed off
+  // Attempt 1: grace spent, heartbeat stale — declared.
+  EXPECT_EQ(wd.slice_expired({1}), (std::vector<int>{1}));
+}
+
+TEST(WatchdogTest, FreshHeartbeatsNeverDeclared) {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 10.0;
+  p.grace_attempts = 1;
+  p.dead_after_ms = 1e9;  // nothing is ever stale
+  dist::HealthBoard board(2);
+  dist::Watchdog wd(&p, &board);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_TRUE(wd.slice_expired({0, 1}).empty());
+  }
+}
+
+TEST(WatchdogTest, DisabledPolicyNeverFires) {
+  dist::DeadlinePolicy off;  // soft_timeout_ms == 0
+  dist::HealthBoard board(2);
+  dist::Watchdog wd(&off, &board);
+  EXPECT_FALSE(wd.enabled());
+  EXPECT_TRUE(wd.slice_expired({0, 1}).empty());
+  dist::Watchdog no_board(&off, nullptr);
+  EXPECT_FALSE(no_board.enabled());
+}
+
+// ---- Deadline-sliced barrier waits -----------------------------------------
+
+TEST(CommunicatorElasticTest, MissingRankIsDeclaredDeadAndWaitersUnwind) {
+  dist::CommOptions opts;
+  opts.deadline.soft_timeout_ms = 20.0;
+  opts.deadline.backoff = 2.0;
+  opts.deadline.max_timeout_ms = 100.0;
+  opts.deadline.grace_attempts = 2;
+  opts.deadline.dead_after_ms = 1.0;
+  dist::Communicator comm(3, opts);
+  // Ranks 0 and 1 arrive; rank 2 never does. Both waiters must throw
+  // WorldResizeRequired naming rank 2 — no wait is indefinite.
+  std::vector<std::vector<int>> dead(2);
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < 2; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        comm.barrier(rank, "elastic_test");
+        ADD_FAILURE() << "rank " << rank << " was not unwound";
+      } catch (const dist::WorldResizeRequired& e) {
+        dead[static_cast<std::size_t>(rank)] = e.dead_ranks();
+      } catch (const dist::CommAborted&) {
+        // Acceptable echo: the other waiter declared first and poisoned
+        // the barrier before this rank's slice expired — but the barrier
+        // carries the dead set, so this should not happen.
+        ADD_FAILURE() << "rank " << rank << " saw CommAborted";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(dead[0], (std::vector<int>{2}));
+  EXPECT_EQ(dead[1], (std::vector<int>{2}));
+  ASSERT_NE(comm.health(), nullptr);
+  EXPECT_TRUE(comm.health()->is_dead(2));
+}
+
+TEST(CommunicatorElasticTest, StragglerWithinGraceIsNotDeclared) {
+  dist::CommOptions opts;
+  opts.deadline.soft_timeout_ms = 10.0;
+  opts.deadline.backoff = 2.0;
+  opts.deadline.max_timeout_ms = 200.0;
+  opts.deadline.grace_attempts = 50;   // plenty of grace slices
+  opts.deadline.dead_after_ms = 60000; // and nothing goes stale
+  dist::Communicator comm(2, opts);
+  std::thread waiter([&] { EXPECT_NO_THROW(comm.barrier(0, "straggler")); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_NO_THROW(comm.barrier(1, "straggler"));
+  waiter.join();
+  EXPECT_TRUE(comm.health()->dead_ranks().empty());
+}
+
+TEST(CommunicatorElasticTest, AbortStillThrowsCommAbortedWithDeadlines) {
+  dist::CommOptions opts;
+  opts.deadline.soft_timeout_ms = 10.0;
+  opts.deadline.dead_after_ms = 60000;
+  opts.deadline.grace_attempts = 1000;
+  dist::Communicator comm(2, opts);
+  std::thread waiter([&] {
+    EXPECT_THROW(comm.barrier(0, "abort_test"), dist::CommAborted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  comm.abort();
+  waiter.join();
+}
+
+TEST(CommunicatorElasticTest, GlobalRankMapCompactsOriginalIds) {
+  dist::CommOptions opts;
+  opts.global_ranks = {0, 2, 3};  // world resized: rank 1 is gone
+  opts.generation = 1;
+  dist::Communicator comm(3, opts);
+  EXPECT_EQ(comm.size(), 3);
+  EXPECT_EQ(comm.global_rank(0), 0);
+  EXPECT_EQ(comm.global_rank(1), 2);
+  EXPECT_EQ(comm.global_rank(2), 3);
+  EXPECT_EQ(comm.generation(), 1u);
+  dist::Communicator identity(2);
+  EXPECT_EQ(identity.global_rank(1), 1);
+  EXPECT_EQ(identity.generation(), 0u);
+}
+
+TEST(CommunicatorElasticTest, MismatchedRankMapThrows) {
+  dist::CommOptions opts;
+  opts.global_ranks = {0, 1, 2};
+  EXPECT_THROW(dist::Communicator(2, opts), std::invalid_argument);
+}
+
+// ---- FaultInjector: permanent kill -----------------------------------------
+
+TEST(FaultInjectorTest, PermanentKillThrowsRankDeathOnce) {
+  dist::FaultPlan plan;
+  plan.faults.push_back({dist::FaultKind::kPermanentKill, /*rank=*/2,
+                         /*step=*/7});
+  dist::FaultInjector injector(plan, 4);
+  injector.begin_step(2, 6);
+  try {
+    injector.begin_step(2, 7);
+    FAIL() << "expected PermanentRankDeath";
+  } catch (const dist::PermanentRankDeath& e) {
+    EXPECT_EQ(e.dead_ranks(), (std::vector<int>{2}));
+    EXPECT_EQ(e.step(), 7);
+  }
+  EXPECT_NO_THROW(injector.begin_step(2, 7));  // fires exactly once
+}
+
+// ---- End-to-end elastic training -------------------------------------------
+
+// 512 train images / (4 replicas x 16) = 8 steps per epoch at full size;
+// 512 / (3 x 16) = 10 steps per epoch after losing one rank.
+core::TrainConfig elastic_config() {
+  core::TrainConfig c;
+  c.spec = effnet::pico();
+  c.dataset.num_classes = 8;
+  c.dataset.train_size = 512;
+  c.dataset.eval_size = 128;
+  c.dataset.resolution = 16;
+  c.replicas = 4;
+  c.per_replica_batch = 16;
+  c.optimizer.kind = optim::OptimizerKind::kLars;
+  c.lr_per_256 = 4.0f;
+  c.schedule.decay = optim::DecayKind::kPolynomial;
+  c.schedule.warmup_epochs = 1.0;
+  c.epochs = 4.0;
+  c.eval_every_epochs = 1.0;
+  c.seed = 7;
+  return c;
+}
+
+// Generous staleness threshold: instrumented builds (TSan) run slowly, and
+// a live rank must never be declared dead while it is merely computing.
+dist::DeadlinePolicy test_deadline() {
+  dist::DeadlinePolicy p;
+  p.soft_timeout_ms = 50.0;
+  p.backoff = 2.0;
+  p.max_timeout_ms = 400.0;
+  p.grace_attempts = 3;
+  p.dead_after_ms = 1500.0;
+  return p;
+}
+
+TEST(ElasticTrainTest, PermanentKillRequiresElasticAndDeadline) {
+  core::TrainConfig c = elastic_config();
+  c.faults.faults.push_back(
+      {dist::FaultKind::kPermanentKill, /*rank=*/3, /*step=*/2});
+  EXPECT_THROW(core::train(c), std::invalid_argument);  // neither knob set
+  c.elastic = true;
+  EXPECT_THROW(core::train(c), std::invalid_argument);  // no deadline
+  c.elastic = false;
+  c.collective_deadline = test_deadline();
+  EXPECT_THROW(core::train(c), std::invalid_argument);  // not elastic
+}
+
+TEST(ElasticTrainTest, BelowQuorumFailsTheRun) {
+  core::TrainConfig c = elastic_config();
+  c.epochs = 2.0;
+  c.elastic = true;
+  c.min_ranks = 4;  // any loss is below quorum
+  c.collective_deadline = test_deadline();
+  c.faults.faults.push_back(
+      {dist::FaultKind::kPermanentKill, /*rank=*/3, /*step=*/3});
+  EXPECT_THROW(core::train(c), dist::WorldResizeRequired);
+}
+
+// The tentpole acceptance test. A rank silently killed mid-run must be
+// detected by deadline-based hang detection, the world must shrink to the
+// survivors, and the degraded run must be *bit-exact* with a manual
+// world-size-3 resume from the same pre-kill checkpoint — which also pins
+// the LR rescale (global batch 48's linear-rule LR) and the re-sharding,
+// since any divergence would change the final weights.
+TEST(ElasticTrainTest, PermanentKillResizesAndResumesBitExact) {
+  // Produce the pre-kill world-4 checkpoint: same seed and trajectory,
+  // fatally killed (no retries) after the epoch-1 checkpoint landed.
+  core::TrainConfig seeded = elastic_config();
+  seeded.checkpoint_path = temp_path("elastic_seed.ckpt");
+  seeded.checkpoint_every_epochs = 1.0;
+  seeded.faults.faults.push_back(
+      {dist::FaultKind::kRankFailure, /*rank=*/3, /*step=*/12});
+  EXPECT_THROW(core::train(seeded), dist::ReplicaFailure);
+
+  // Manual degraded run: 3 replicas resuming from the world-4 checkpoint.
+  core::TrainConfig manual = elastic_config();
+  manual.replicas = 3;
+  manual.checkpoint_path = temp_path("elastic_manual.ckpt");
+  copy_file(seeded.checkpoint_path, manual.checkpoint_path);
+  manual.checkpoint_every_epochs = 1.0;
+  manual.resume = true;
+  const core::TrainResult manual_r = core::train(manual);
+  EXPECT_EQ(manual_r.resizes, 0);
+  EXPECT_EQ(manual_r.global_batch, 48);
+  // Resumed at the epoch boundary: only post-resume evals in history.
+  ASSERT_EQ(manual_r.history.size(), 3u);  // epochs 2, 3, 4
+
+  // Elastic run: rank 3 dies silently at step 12 (epoch 1.5); the
+  // survivors must detect it, shrink to world 3, and reproduce the manual
+  // run exactly.
+  core::TrainConfig elastic = elastic_config();
+  elastic.checkpoint_path = temp_path("elastic_run.ckpt");
+  elastic.checkpoint_every_epochs = 1.0;
+  elastic.elastic = true;
+  elastic.collective_deadline = test_deadline();
+  elastic.faults.faults.push_back(
+      {dist::FaultKind::kPermanentKill, /*rank=*/3, /*step=*/12});
+  const core::TrainResult elastic_r = core::train(elastic);
+
+  EXPECT_EQ(elastic_r.resizes, 1);
+  EXPECT_EQ(elastic_r.restarts, 0);  // a resize is not a rollback-retry
+  EXPECT_EQ(elastic_r.final_world_size, 3);
+  EXPECT_EQ(elastic_r.global_batch, 48);
+  EXPECT_EQ(elastic_r.last_recovery, core::RecoveryOutcome::kWorldResized);
+  EXPECT_NEAR(elastic_r.recovered_from_epoch, 1.0, 1e-9);
+  EXPECT_EQ(elastic_r.failed_steps, 4);  // steps 8..11 of the old world
+  ASSERT_EQ(elastic_r.resize_events.size(), 1u);
+  EXPECT_EQ(elastic_r.resize_events[0].dead_ranks, (std::vector<int>{3}));
+  EXPECT_EQ(elastic_r.resize_events[0].world_size_after, 3);
+  EXPECT_EQ(elastic_r.resize_events[0].global_batch_after, 48);
+
+  // History: the pre-kill epoch-1 eval survives the rollback, then the
+  // degraded epochs match the manual run bit-for-bit.
+  ASSERT_EQ(elastic_r.history.size(), 4u);
+  EXPECT_DOUBLE_EQ(elastic_r.history[0].epoch, 1.0);
+  for (std::size_t i = 0; i < manual_r.history.size(); ++i) {
+    const core::EvalPoint& e = elastic_r.history[i + 1];
+    const core::EvalPoint& m = manual_r.history[i];
+    EXPECT_EQ(e.epoch, m.epoch);
+    EXPECT_EQ(e.train_loss, m.train_loss) << "epoch " << m.epoch;
+    EXPECT_EQ(e.eval_accuracy, m.eval_accuracy) << "epoch " << m.epoch;
+    EXPECT_EQ(e.lr, m.lr) << "epoch " << m.epoch;
+  }
+  // Final checkpoints byte-identical: same weights, BN statistics, meta.
+  EXPECT_EQ(read_file(elastic.checkpoint_path),
+            read_file(manual.checkpoint_path));
+  // The degraded world's LR obeys the linear scaling rule at the shrunken
+  // global batch (the manual run's schedule is constructed exactly so).
+  EXPECT_EQ(optim::scaled_base_lr(elastic.lr_per_256, 48),
+            optim::scaled_base_lr(manual.lr_per_256,
+                                  manual.per_replica_batch * 3));
+}
+
+}  // namespace
+}  // namespace podnet

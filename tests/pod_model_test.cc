@@ -190,6 +190,52 @@ TEST(RunModelTest, CheckpointCadenceTradesWritesAgainstRework) {
   EXPECT_LT(sane, frantic);
 }
 
+TEST(RunModelTest, ElasticContinueTradesRelaunchForDegradedCompute) {
+  // Same flaky fleet, two recovery policies. Elastic pays a small resize
+  // pause per failure plus degraded (smaller-world) compute; abort-restart
+  // pays full rescheduling. With expensive relaunches elastic wins.
+  const auto cost = effnet::analyze(effnet::b(2));
+  StepOptions sopts;
+  RunOptions restart;
+  restart.core_mtbf_hours = 200.0;
+  restart.checkpoint_every_epochs = 1.0;
+  restart.checkpoint_write_s = 15.0;
+  restart.restart_overhead_s = 600.0;  // full pod reschedule is expensive
+  RunOptions elastic = restart;
+  elastic.elastic_continue = true;
+  elastic.resize_overhead_s = 20.0;  // grace window + rebuild + reload
+  const auto slice = make_slice(1024);
+  const auto r_restart = model_run(cost, slice, tpu_v3(), sopts, restart);
+  const auto r_elastic = model_run(cost, slice, tpu_v3(), sopts, elastic);
+  EXPECT_EQ(r_restart.degraded_s, 0.0);
+  EXPECT_GT(r_elastic.degraded_s, 0.0);
+  EXPECT_LT(r_elastic.rework_s, r_restart.rework_s);
+  EXPECT_LT(r_elastic.total_s, r_restart.total_s);
+  EXPECT_NEAR(r_elastic.total_s,
+              r_restart.total_s - r_restart.rework_s + r_elastic.rework_s +
+                  r_elastic.degraded_s,
+              1e-9);
+}
+
+TEST(RunModelTest, ElasticDegradationScalesWithFailureCount) {
+  // Losing more cores (worse MTBF) costs more degraded time; a reliable
+  // fleet pays nothing for electing the elastic policy.
+  const auto cost = effnet::analyze(effnet::b(2));
+  StepOptions sopts;
+  RunOptions run;
+  run.elastic_continue = true;
+  run.resize_overhead_s = 20.0;
+  run.checkpoint_every_epochs = 1.0;
+  const auto slice = make_slice(512);
+  auto degraded = [&](double mtbf) {
+    RunOptions r = run;
+    r.core_mtbf_hours = mtbf;
+    return model_run(cost, slice, tpu_v3(), sopts, r).degraded_s;
+  };
+  EXPECT_EQ(degraded(0.0), 0.0);            // perfectly reliable
+  EXPECT_GT(degraded(100.0), degraded(400.0));  // flakier -> more degraded
+}
+
 TEST(RunModelTest, EvalCadenceMatters) {
   const auto cost = effnet::analyze(effnet::b(2));
   StepOptions sopts;

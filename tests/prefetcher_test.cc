@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
 namespace podnet::data {
 namespace {
 
@@ -71,6 +76,95 @@ TEST(PrefetcherTest, ManyConsumersInterleave) {
       EXPECT_EQ(b->count(), 4);
     }
   }
+}
+
+// ---- Abortable queue waits (elastic-recovery satellite) --------------------
+
+Batch tiny_batch() {
+  Batch b;
+  b.images = tensor::Tensor({1, 2, 2, 1});
+  b.labels = {0};
+  return b;
+}
+
+TEST(PrefetcherAbortTest, ProducerExceptionSurfacesInNext) {
+  // A producer that dies mid-epoch must not strand the consumer in an
+  // indefinite wait; next() rethrows its exception.
+  Prefetcher prefetcher(
+      [](Index step) -> Batch {
+        if (step == 2) throw std::runtime_error("disk on fire");
+        return tiny_batch();
+      },
+      /*total_steps=*/10, /*start_step=*/0, dist::DeadlinePolicy{});
+  EXPECT_TRUE(prefetcher.next().has_value());
+  EXPECT_TRUE(prefetcher.next().has_value());
+  try {
+    (void)prefetcher.next();
+    FAIL() << "expected the producer's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "disk on fire");
+  }
+}
+
+TEST(PrefetcherAbortTest, CancelUnblocksConsumerAndProducer) {
+  // Producer stalls after the first batch; cancel() must unblock a
+  // waiting consumer (nullopt) and let the destructor join.
+  std::atomic<bool> release{false};
+  Prefetcher prefetcher(
+      [&release](Index step) -> Batch {
+        while (step > 0 && !release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return tiny_batch();
+      },
+      /*total_steps=*/10, /*start_step=*/0, dist::DeadlinePolicy{});
+  EXPECT_TRUE(prefetcher.next().has_value());
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    prefetcher.cancel();
+    release.store(true);
+  });
+  EXPECT_FALSE(prefetcher.next().has_value());
+  canceller.join();
+}
+
+TEST(PrefetcherAbortTest, DeadConsumerReleasesBlockedProducer) {
+  // Slot full, producer blocked waiting for a consumer that already died
+  // (the pre-fix hang): destruction must cancel the wait and join.
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    Prefetcher prefetcher([](Index) { return tiny_batch(); },
+                          /*total_steps=*/1000, /*start_step=*/0,
+                          dist::DeadlinePolicy{});
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Consumer never calls next() again — it "died mid-epoch".
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 5.0);  // released promptly, not stuck on a full slot
+}
+
+TEST(PrefetcherAbortTest, HungProducerExpiresTheDeadline) {
+  dist::DeadlinePolicy deadline;
+  deadline.soft_timeout_ms = 10.0;
+  deadline.backoff = 2.0;
+  deadline.max_timeout_ms = 40.0;
+  deadline.grace_attempts = 3;
+  Prefetcher prefetcher(
+      [&](Index step) -> Batch {
+        // First batch arrives; the second takes far longer than the grace
+        // window (10 + 20 + 40 ms) but less than the test's patience, so
+        // the destructor's join still completes.
+        if (step > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        }
+        return tiny_batch();
+      },
+      /*total_steps=*/3, /*start_step=*/0, deadline);
+  EXPECT_TRUE(prefetcher.next().has_value());
+  EXPECT_THROW((void)prefetcher.next(), std::runtime_error);
+  prefetcher.cancel();
 }
 
 }  // namespace

@@ -8,7 +8,10 @@
 #      std::unique_ptr<T[]>;
 #   2. no std::endl under src/ — it flushes, and the metrics/trace sinks
 #      sit on step hot paths;
-#   3. every header under src/ carries `#pragma once`.
+#   3. every header under src/ carries `#pragma once`;
+#   4. no raw condition-variable `.wait(` under src/dist/ — an unbounded
+#      wait turns one dead rank into a whole-job hang; use
+#      dist::deadline_wait (which slices even a disabled policy).
 set -u
 fail=0
 
@@ -26,6 +29,18 @@ matches=$(grep -rn 'std::endl' --include='*.cc' --include='*.h' src/ \
 if [ -n "$matches" ]; then
   printf '%s\n' "$matches"
   echo 'lint: std::endl is banned under src/ (it flushes); use "\n"'
+  fail=1
+fi
+
+# `.wait(` / `->wait(` (but not wait_for/wait_until) on a CV blocks until
+# notified — forever, if the notifier is a rank that just died. Every wait
+# in the distributed runtime must go through dist::deadline_wait.
+matches=$(grep -rnE '(\.|->)wait\(' --include='*.cc' --include='*.h' \
+  src/dist/ 2>/dev/null)
+if [ -n "$matches" ]; then
+  printf '%s\n' "$matches"
+  echo "lint: raw condition_variable wait() is banned under src/dist/;" \
+       "use dist::deadline_wait so no collective wait is unbounded"
   fail=1
 fi
 
