@@ -45,7 +45,7 @@ bool tags_equal(const char* a, const char* b) {
 
 bool CollectiveFingerprint::matches(const CollectiveFingerprint& o) const {
   return seq == o.seq && op == o.op && dtype == o.dtype && count == o.count &&
-         detail == o.detail && world_gen == o.world_gen &&
+         detail == o.detail && world_gen == o.world_gen && bucket == o.bucket &&
          tags_equal(tag, o.tag);
 }
 
@@ -56,6 +56,7 @@ std::string CollectiveFingerprint::str() const {
   s += to_string(dtype);
   if (detail >= 0) s += " detail=" + std::to_string(detail);
   if (world_gen > 0) s += " world_gen=" + std::to_string(world_gen);
+  if (bucket >= 0) s += " bucket=" + std::to_string(bucket);
   s += " tag=";
   s += tag != nullptr ? tag : "(none)";
   return s;
@@ -70,18 +71,20 @@ std::string CollectiveVerifier::exchange(int rank, CollectiveFingerprint fp,
                                          const std::function<void()>& sync) {
   assert(!slots_.empty() && "CollectiveVerifier::init not called");
   Slot& mine = slots_[static_cast<std::size_t>(rank)];
-  fp.seq = mine.next_seq++;
-  mine.fp = fp;
+  const std::uint64_t seq = mine.next_seq++;
+  fp.seq = seq;
+  const std::size_t slot = static_cast<std::size_t>(seq % kSlotDepth);
+  mine.ring[slot] = fp;
   sync();  // fingerprints published on every rank
   std::string diff;
-  const CollectiveFingerprint& lead = slots_[0].fp;
+  const CollectiveFingerprint& lead = slots_[0].ring[slot];
   for (std::size_t r = 1; r < slots_.size(); ++r) {
-    if (!slots_[r].fp.matches(lead)) {
+    if (!slots_[r].ring[slot].matches(lead)) {
       if (diff.empty()) {
         diff = "collective mismatch across ranks:\n  rank 0: " + lead.str() +
                "\n";
       }
-      diff += "  rank " + std::to_string(r) + ": " + slots_[r].fp.str() +
+      diff += "  rank " + std::to_string(r) + ": " + slots_[r].ring[slot].str() +
               "   <-- differs\n";
     }
   }

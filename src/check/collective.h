@@ -20,6 +20,7 @@
 // unwind verification waits exactly like any other collective wait).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -55,6 +56,11 @@ struct CollectiveFingerprint {
   // World generation (elastic recovery): a collective issued against a
   // stale world incarnation must never pair with a resized one's.
   std::uint64_t world_gen = 0;
+  // Bucket sequence tag for bucketed (overlapped) gradient collectives:
+  // buckets may be issued in backward-completion order rather than index
+  // order, so the bucket id — not the arrival position — is what must
+  // agree across ranks. -1 for non-bucket collectives.
+  std::int64_t bucket = -1;
   const char* tag = nullptr;
 
   bool matches(const CollectiveFingerprint& o) const;
@@ -78,19 +84,31 @@ class CollectiveVerifier {
   void init(int num_ranks);
 
   // Publishes `fp` (stamped with this rank's next sequence number) in this
-  // rank's slot, rendezvouses twice via `sync`, and returns "" when all
-  // ranks agree or the per-rank diff otherwise. Every rank computes the
-  // diff from the same data, so the return value is identical across
-  // ranks. Exceptions thrown by `sync` (e.g. an aborted barrier)
-  // propagate.
+  // rank's slot for that sequence, rendezvouses twice via `sync`, and
+  // returns "" when all ranks agree or the per-rank diff otherwise. Every
+  // rank computes the diff from the same data, so the return value is
+  // identical across ranks. Exceptions thrown by `sync` (e.g. an aborted
+  // barrier) propagate.
+  //
+  // Slots are per *sequence number* (a small ring indexed by seq), not one
+  // global slot per rank: a rank that is several collectives behind leaves
+  // its stale fingerprint — with its smaller seq — in the compared slot,
+  // so sequence skew is diagnosed instead of silently overwriting the slot
+  // a laggard has not yet compared. One verifier instance serves one
+  // totally-ordered collective stream (the Communicator keeps a separate
+  // instance per channel, so an async bucket collective can never clobber
+  // the main stream's slots).
   std::string exchange(int rank, CollectiveFingerprint fp,
                        const std::function<void()>& sync);
 
+  // Ring depth of the per-sequence slots.
+  static constexpr std::size_t kSlotDepth = 4;
+
  private:
-  // Cache-line separated: each rank writes only its own slot; cross-slot
+  // Cache-line separated: each rank writes only its own slots; cross-slot
   // reads happen strictly after the rendezvous.
   struct alignas(64) Slot {
-    CollectiveFingerprint fp;
+    std::array<CollectiveFingerprint, kSlotDepth> ring;
     std::uint64_t next_seq = 0;
   };
 

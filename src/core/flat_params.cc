@@ -46,6 +46,32 @@ FlatBuffer::FlatBuffer(const std::vector<nn::Param*>& params) {
   data_.resize(total);
 }
 
+std::vector<BucketSpan> FlatBuffer::partition(std::size_t bucket_bytes) const {
+  std::vector<BucketSpan> buckets;
+  const std::size_t num_params = offsets_.size() - 1;
+  BucketSpan cur;
+  for (std::size_t p = 0; p < num_params; ++p) {
+    const std::size_t psize = offsets_[p + 1] - offsets_[p];
+    // First-fit greedy: close the current bucket when this (non-empty)
+    // param would push it past the byte target, so an oversized param
+    // always starts — and therefore owns — its own bucket.
+    if (cur.param_count > 0 && psize > 0 &&
+        (cur.size() + psize) * sizeof(float) > bucket_bytes) {
+      buckets.push_back(cur);
+      cur = BucketSpan{};
+    }
+    if (cur.param_count == 0) {
+      cur.first_param = p;
+      cur.begin = offsets_[p];
+      cur.end = offsets_[p];
+    }
+    ++cur.param_count;
+    cur.end = offsets_[p + 1];
+  }
+  if (cur.param_count > 0) buckets.push_back(cur);
+  return buckets;
+}
+
 void FlatBuffer::pack_grads(const std::vector<nn::Param*>& params) {
   PODNET_PROFILE_SPAN("grad.pack");
   assert(params.size() + 1 == offsets_.size());
@@ -54,6 +80,14 @@ void FlatBuffer::pack_grads(const std::vector<nn::Param*>& params) {
     assert(s.size() == offsets_[p + 1] - offsets_[p]);
     std::copy(s.begin(), s.end(), data_.begin() + offsets_[p]);
   });
+}
+
+void FlatBuffer::pack_grad(const std::vector<nn::Param*>& params,
+                           std::size_t p) {
+  assert(params.size() + 1 == offsets_.size());
+  const auto s = params[p]->grad.span();
+  assert(s.size() == offsets_[p + 1] - offsets_[p]);
+  std::copy(s.begin(), s.end(), data_.begin() + offsets_[p]);
 }
 
 void FlatBuffer::unpack_grads(const std::vector<nn::Param*>& params,
@@ -77,7 +111,10 @@ void FlatBuffer::pack_values(const std::vector<nn::Param*>& params) {
 
 std::vector<float> FlatBuffer::pack_tensors(
     const std::vector<nn::Tensor*>& ts) {
+  std::size_t total = 0;
+  for (const nn::Tensor* t : ts) total += t->span().size();
   std::vector<float> flat;
+  flat.reserve(total);  // one allocation, not a geometric-growth cascade
   for (const nn::Tensor* t : ts) {
     const auto s = t->span();
     flat.insert(flat.end(), s.begin(), s.end());

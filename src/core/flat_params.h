@@ -5,12 +5,27 @@
 // the alpha-beta cost model assumes.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
 #include "nn/layer.h"
 
 namespace podnet::core {
+
+// One bucket of the flat buffer: a contiguous run of whole params. Buckets
+// never split a param, so a bucket's float range is exactly the union of
+// its params' ranges — the property that makes per-bucket all-reduce
+// arithmetic identical to one whole-buffer all-reduce with the same
+// algorithm applied per range.
+struct BucketSpan {
+  std::size_t first_param = 0;  // index into the canonical param list
+  std::size_t param_count = 0;
+  std::size_t begin = 0;  // float offsets into the flat buffer
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+};
 
 class FlatBuffer {
  public:
@@ -21,8 +36,26 @@ class FlatBuffer {
   std::span<float> span() { return {data_.data(), data_.size()}; }
   std::size_t size() const { return data_.size(); }
 
+  // The sub-span backing one bucket of partition().
+  std::span<float> bucket_span(const BucketSpan& b) {
+    return {data_.data() + b.begin, b.size()};
+  }
+
+  // Splits the buffer into param-aligned buckets of roughly `bucket_bytes`
+  // bytes each: params are appended to the current bucket until it reaches
+  // the target, so a param larger than the target gets a bucket to itself
+  // and the tail bucket may be arbitrarily small. bucket_bytes == 0 yields
+  // one bucket per param. Buckets cover every param exactly once, in
+  // canonical order, with no gaps or overlaps; no bucket is empty (params
+  // with zero elements are folded into a neighbor rather than producing a
+  // zero-float bucket, except when every param is empty).
+  std::vector<BucketSpan> partition(std::size_t bucket_bytes) const;
+
   // Copies every param's gradient into the buffer.
   void pack_grads(const std::vector<nn::Param*>& params);
+  // Copies one param's gradient into its slot (bucketed overlap packs each
+  // param as its backward stage completes rather than all at once).
+  void pack_grad(const std::vector<nn::Param*>& params, std::size_t p);
   // Copies the buffer back into every param's gradient, scaling by `scale`
   // (1/num_replicas turns the all-reduced sum into the global mean).
   void unpack_grads(const std::vector<nn::Param*>& params, float scale) const;

@@ -10,6 +10,8 @@
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "check/check.h"
 #include "core/checkpoint.h"
@@ -17,6 +19,7 @@
 #include "data/loader.h"
 #include "data/prefetcher.h"
 #include "dist/bn_sync.h"
+#include "dist/comm_thread.h"
 #include "dist/replica.h"
 #include "effnet/model.h"
 #include "nn/loss.h"
@@ -115,6 +118,111 @@ void load_replica_state(optim::StateReader& r,
   train_correct = r.get_i64();
   train_seen = r.get_i64();
 }
+
+// Drives the bucketed all-reduce overlap for one replica: receives the
+// model's backward-stage completion notifications, packs each finished
+// param into its flat-buffer slot, and submits a bucket to the
+// communication thread the moment its last param is packed — while the
+// main thread keeps running backward. flush() picks up anything the model
+// never announced (ascending bucket order, so the fallback order is also
+// identical across ranks). Pack time is accumulated separately so the
+// trainer can bill it to kGradPack instead of kBackward.
+class BucketedGradSync final : public nn::GradReadySink {
+ public:
+  BucketedGradSync(FlatBuffer* buf, const std::vector<nn::Param*>* params,
+                   std::vector<BucketSpan> partition,
+                   dist::BucketReducer* reducer)
+      : buf_(buf),
+        params_(params),
+        partition_(std::move(partition)),
+        reducer_(reducer) {
+    param_bucket_.assign(params_->size(), 0);
+    for (std::size_t b = 0; b < partition_.size(); ++b) {
+      const BucketSpan& span = partition_[b];
+      for (std::size_t p = span.first_param;
+           p < span.first_param + span.param_count; ++p) {
+        param_bucket_[p] = b;
+      }
+    }
+    index_of_.reserve(params_->size());
+    for (std::size_t p = 0; p < params_->size(); ++p) {
+      index_of_.emplace((*params_)[p], p);
+    }
+    pending_.resize(partition_.size());
+    begin_step();
+  }
+
+  std::size_t bucket_count() const { return partition_.size(); }
+
+  // Resets per-step tracking; call before every backward pass.
+  void begin_step() {
+    for (std::size_t b = 0; b < partition_.size(); ++b) {
+      pending_[b] = partition_[b].param_count;
+    }
+    submitted_.assign(partition_.size(), 0);
+    packed_.assign(params_->size(), 0);
+    pack_seconds_ = 0.0;
+  }
+
+  void on_grads_ready(const std::vector<nn::Param*>& ready) override {
+    obs::Timer timer;
+    for (nn::Param* p : ready) {
+      const auto it = index_of_.find(p);
+      if (it == index_of_.end()) continue;  // not a trainable param of ours
+      const std::size_t idx = it->second;
+      if (packed_[idx]) continue;  // double notification: first one wins
+      buf_->pack_grad(*params_, idx);
+      packed_[idx] = 1;
+      const std::size_t b = param_bucket_[idx];
+      if (--pending_[b] == 0) submit(b);
+    }
+    pack_seconds_ += timer.seconds();
+  }
+
+  // Packs and submits every bucket not yet launched, in ascending index
+  // order. Makes the overlap correct (just not overlapped) for models
+  // that never call the sink.
+  void flush() {
+    obs::Timer timer;
+    for (std::size_t b = 0; b < partition_.size(); ++b) {
+      if (submitted_[b]) continue;
+      const BucketSpan& span = partition_[b];
+      for (std::size_t p = span.first_param;
+           p < span.first_param + span.param_count; ++p) {
+        if (!packed_[p]) {
+          buf_->pack_grad(*params_, p);
+          packed_[p] = 1;
+        }
+      }
+      submit(b);
+    }
+    pack_seconds_ += timer.seconds();
+  }
+
+  // Main-thread pack time accumulated since begin_step (notify + flush).
+  double pack_seconds() const { return pack_seconds_; }
+
+ private:
+  void submit(std::size_t b) {
+    const std::span<float> span = buf_->bucket_span(partition_[b]);
+    // Per-bucket boundary check: a NaN minted by backward is attributed
+    // before the bucket's collective smears it across ranks.
+    PODNET_CHECK_FINITE(span, "post_backward gradients");
+    reducer_->submit(static_cast<std::int64_t>(b), span);
+    submitted_[b] = 1;
+  }
+
+  FlatBuffer* buf_;
+  const std::vector<nn::Param*>* params_;
+  std::vector<BucketSpan> partition_;
+  dist::BucketReducer* reducer_;
+  std::unordered_map<const nn::Param*, std::size_t> index_of_;
+  std::vector<std::size_t> param_bucket_;  // param index -> bucket index
+  std::vector<std::size_t> pending_;       // unpacked params per bucket
+  std::vector<char> submitted_;
+  std::vector<char> packed_;
+  double pack_seconds_ = 0.0;
+};
 
 }  // namespace
 
@@ -259,6 +367,23 @@ TrainResult train(const TrainConfig& config) {
 
       auto params = nn::parameters_of(model);
       FlatBuffer bucket(params);
+      // Bucketed overlap wiring. Declaration order matters for unwinding:
+      // `bucket` outlives `reducer` (the communication thread reads bucket
+      // spans until joined), and `grad_sync` — which references both — is
+      // destroyed first. The reducer's destructor aborts the communicator
+      // only if buckets are still outstanding, so a clean step leaves the
+      // world healthy while an exception mid-backward cannot strand the
+      // communication thread at a dead rendezvous.
+      std::unique_ptr<dist::BucketReducer> reducer;
+      std::unique_ptr<BucketedGradSync> grad_sync;
+      if (config.overlap) {
+        reducer = std::make_unique<dist::BucketReducer>(&comm, rank,
+                                                        config.allreduce);
+        grad_sync = std::make_unique<BucketedGradSync>(
+            &bucket, &params, bucket.partition(config.bucket_bytes),
+            reducer.get());
+        model.set_grad_ready_sink(grad_sync.get());
+      }
       auto optimizer = optim::make_optimizer(config.optimizer);
       std::unique_ptr<optim::WeightEma> ema;
       if (config.ema_decay > 0.f) {
@@ -544,6 +669,7 @@ TrainResult train(const TrainConfig& config) {
         sm.phase(obs::Phase::kDataLoad) = phase_timer.lap();
 
         nn::zero_grads(params);
+        if (grad_sync) grad_sync->begin_step();
         nn::Tensor logits = model.forward(batch.images, /*training=*/true);
         nn::LossResult loss = nn::softmax_cross_entropy(
             logits, batch.labels, config.label_smoothing);
@@ -554,21 +680,47 @@ TrainResult train(const TrainConfig& config) {
         sm.phase(obs::Phase::kBnSync) = bn_s;
         sm.phase(obs::Phase::kForward) = std::max(0.0, fwd_s - bn_s);
         model.backward(loss.grad_logits);
-        sm.phase(obs::Phase::kBackward) = phase_timer.lap();
+        double pack_s = 0.0;
+        double ar_s = 0.0;
+        double exposed_s = 0.0;
+        if (grad_sync == nullptr) {
+          sm.phase(obs::Phase::kBackward) = phase_timer.lap();
 
-        // Gradient all-reduce -> global-mean gradients on every replica.
-        // Pack/unpack get their own phase: billing them to the optimizer
-        // (as before) hid bucketing overhead inside an unrelated column.
-        bucket.pack_grads(params);
-        // Phase-boundary numeric check (PODNET_CHECK builds): a NaN/Inf
-        // minted by this replica's backward pass is reported here, before
-        // the all-reduce smears it across every rank.
-        PODNET_CHECK_FINITE(bucket.span(), "post_backward gradients");
-        double pack_s = phase_timer.lap();
-        comm.allreduce_sum(rank, bucket.span(), config.allreduce,
-                           "grad_allreduce");
-        PODNET_CHECK_FINITE(bucket.span(), "post_allreduce gradients");
-        double ar_s = phase_timer.lap();
+          // Gradient all-reduce -> global-mean gradients on every replica.
+          // Pack/unpack get their own phase: billing them to the optimizer
+          // (as before) hid bucketing overhead inside an unrelated column.
+          bucket.pack_grads(params);
+          // Phase-boundary numeric check (PODNET_CHECK builds): a NaN/Inf
+          // minted by this replica's backward pass is reported here, before
+          // the all-reduce smears it across every rank.
+          PODNET_CHECK_FINITE(bucket.span(), "post_backward gradients");
+          pack_s = phase_timer.lap();
+          comm.allreduce_sum(rank, bucket.span(), config.allreduce,
+                             "grad_allreduce");
+          PODNET_CHECK_FINITE(bucket.span(), "post_allreduce gradients");
+          ar_s = phase_timer.lap();
+          // Serially, the step waits out the whole collective.
+          exposed_s = ar_s;
+        } else {
+          // Overlapped: backward stage completions already packed and
+          // launched most buckets on the communication thread (per-bucket
+          // finite checks ran at submit). The backward lap includes that
+          // main-thread pack work; re-bill it to kGradPack.
+          const double bwd_lap = phase_timer.lap();
+          const double pack_in_bwd = grad_sync->pack_seconds();
+          sm.phase(obs::Phase::kBackward) =
+              std::max(0.0, bwd_lap - pack_in_bwd);
+          grad_sync->flush();  // stragglers the model never announced
+          pack_s = pack_in_bwd + phase_timer.lap();
+          // Join point: every gradient must be globally reduced before
+          // unpack. The wait itself is the *exposed* all-reduce time; the
+          // drained total is the full communication time, mostly hidden
+          // behind backward.
+          const dist::DrainStats drained = reducer->wait_all();
+          PODNET_CHECK_FINITE(bucket.span(), "post_allreduce gradients");
+          exposed_s = phase_timer.lap();
+          ar_s = drained.comm_seconds;
+        }
 
         if (config.verify_collectives) {
           // Every rank hashes its reduced copy; the all-reduce contract says
@@ -577,7 +729,9 @@ TrainResult train(const TrainConfig& config) {
           // failure collective (nobody is left blocked at a barrier).
           const double h = payload_hash(bucket.span());
           const auto [lo, hi] = comm.allreduce_minmax(rank, h, "grad_hash");
-          ar_s += phase_timer.lap();  // verification is collective overhead
+          const double verify_s = phase_timer.lap();
+          ar_s += verify_s;  // verification is collective overhead
+          exposed_s += verify_s;  // ...and the step waits it out in full
           if (hi != lo) {
             throw dist::ReplicaFailure(
                 "corrupted all-reduce detected at step " +
@@ -586,6 +740,7 @@ TrainResult train(const TrainConfig& config) {
           }
         }
         sm.phase(obs::Phase::kAllReduce) = ar_s;
+        sm.phase(obs::Phase::kAllReduceExposed) = exposed_s;
 
         bucket.unpack_grads(params, 1.0f / static_cast<float>(W));
         pack_s += phase_timer.lap();
@@ -665,6 +820,8 @@ TrainResult train(const TrainConfig& config) {
         result.phase_totals = phase_totals;
         result.allreduce_bytes = phase_totals.allreduce_bytes;
         result.allreduce_fraction = phase_totals.allreduce_fraction();
+        result.exposed_allreduce_fraction =
+            phase_totals.exposed_allreduce_fraction();
         if (!config.checkpoint_path.empty()) {
           if (ema) ema->swap(params);  // checkpoint the eval-quality weights
           CheckpointMeta meta;

@@ -77,6 +77,18 @@ struct TrainConfig {
   dist::AllReduceAlgorithm allreduce = dist::AllReduceAlgorithm::kRing;
   tensor::MatmulPrecision precision = tensor::MatmulPrecision::kFp32;
 
+  // ---- Bucketed all-reduce overlap (DESIGN.md "Bucketed overlap") ----------
+  // Hide gradient communication behind backward: the flat gradient buffer
+  // is split into param-aligned buckets of ~bucket_bytes each, and as the
+  // model's backward pass finishes a stage, its filled buckets are packed
+  // and handed to a per-rank communication thread that all-reduces them on
+  // the Communicator's dedicated bucket channel while backward continues.
+  // The step joins before unpack_grads. Given the same bucket partition
+  // the result is bitwise identical to reducing the buckets serially;
+  // overlap=false is bit-exact to the historical single-buffer path.
+  bool overlap = false;
+  std::size_t bucket_bytes = 4u << 20;  // ~4 MiB buckets (0 = per-param)
+
   // Exponential moving average of weights for evaluation (the TPU
   // reference evaluates EMA weights; 0 disables). With EMA on, eval and
   // peak accuracy are measured on the averaged weights.
@@ -189,6 +201,10 @@ struct TrainResult {
   // (thread-scale, so absolute values differ from pod scale). Equals
   // phase_totals.allreduce_fraction().
   double allreduce_fraction = 0;
+  // Share of step time the step actually *waited* on gradient all-reduce
+  // (== allreduce_fraction serially; lower with overlap on). Equals
+  // phase_totals.exposed_allreduce_fraction().
+  double exposed_allreduce_fraction = 0;
   // Rank 0's run-level rollup of per-step phase times and counters (from
   // the final successful attempt; steps lost to faults are not included).
   obs::PhaseTotals phase_totals;

@@ -1,0 +1,93 @@
+#include "dist/comm_thread.h"
+
+#include <utility>
+
+#include "obs/timer.h"
+
+namespace podnet::dist {
+
+BucketReducer::BucketReducer(Communicator* comm, int rank,
+                             AllReduceAlgorithm alg)
+    : comm_(comm), rank_(rank), alg_(alg) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+BucketReducer::~BucketReducer() {
+  bool outstanding;
+  {
+    check::ScopedLock lock(mu_);
+    stop_ = true;
+    // An errored thread already exited its collective; nothing to unblock.
+    outstanding = (inflight_ || !queue_.empty()) && error_ == nullptr;
+  }
+  cv_.notify_all();
+  if (outstanding) {
+    // The main thread is unwinding with buckets still queued or in flight
+    // (a failure elsewhere in the step). Our communication thread may be
+    // blocked at a bucket rendezvous whose peers will never arrive — abort
+    // the communicator so it throws out and the join below completes. On a
+    // clean path wait_all() already drained the queue and this is skipped,
+    // so an idle reducer's destruction never poisons a healthy world.
+    comm_->abort();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void BucketReducer::submit(std::int64_t bucket, std::span<float> data) {
+  {
+    check::ScopedLock lock(mu_);
+    queue_.push_back(Work{bucket, data.data(), data.size()});
+  }
+  cv_.notify_all();
+}
+
+DrainStats BucketReducer::wait_all() {
+  check::UniqueLock lock(mu_);
+  deadline_wait(
+      cv_, lock, policy_,
+      [&] { return error_ != nullptr || (queue_.empty() && !inflight_); },
+      [](int) { return true; });
+  if (error_ != nullptr) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    std::rethrow_exception(e);
+  }
+  DrainStats d{comm_seconds_, buckets_done_};
+  comm_seconds_ = 0.0;
+  buckets_done_ = 0;
+  return d;
+}
+
+void BucketReducer::thread_main() {
+  for (;;) {
+    Work w;
+    {
+      check::UniqueLock lock(mu_);
+      deadline_wait(
+          cv_, lock, policy_, [&] { return stop_ || !queue_.empty(); },
+          [](int) { return true; });
+      if (stop_) return;  // destructor aborts the comm if work remains
+      w = queue_.front();
+      queue_.pop_front();
+      inflight_ = true;
+    }
+    try {
+      obs::Timer timer;
+      comm_->allreduce_sum_bucket(rank_, {w.data, w.size}, alg_, w.bucket);
+      const double s = timer.seconds();
+      check::ScopedLock lock(mu_);
+      comm_seconds_ += s;
+      ++buckets_done_;
+      inflight_ = false;
+      cv_.notify_all();
+    } catch (...) {
+      check::ScopedLock lock(mu_);
+      error_ = std::current_exception();
+      inflight_ = false;
+      stop_ = true;  // later buckets cannot succeed on an aborted channel
+      cv_.notify_all();
+      return;
+    }
+  }
+}
+
+}  // namespace podnet::dist

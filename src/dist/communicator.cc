@@ -21,8 +21,19 @@ void accumulate_range(const float* x, float* y, std::size_t begin,
   tensor::add_inplace({x + begin, end - begin}, {y + begin, end - begin});
 }
 
+// Copies x[begin, end) into y[begin, end); empty and zero-size-buffer safe
+// (std::copy over a null base pointer with begin == end is avoided, which
+// matters for the degenerate buckets bucketing produces).
+void copy_range(const float* x, float* y, std::size_t begin, std::size_t end) {
+  if (end <= begin) return;
+  std::copy(x + begin, x + end, y + begin);
+}
+
 // Chunk c of an n-element vector split across r chunks (remainder spread
-// over the leading chunks).
+// over the leading chunks). Yields empty chunks for the trailing ranks
+// when n < r — callers must tolerate begin == end (accumulate_range and
+// copy_range both do), because bucketed gradients routinely produce tail
+// buckets smaller than the world size.
 std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, int ranks,
                                                 int c) {
   const std::size_t begin = n * static_cast<std::size_t>(c) / ranks;
@@ -31,6 +42,16 @@ std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, int ranks,
 }
 
 bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// Largest divisor of R that is <= sqrt(R): the group size both hierarchical
+// schemes use, so their two levels are as square as R allows.
+int group_size_for(int R) {
+  int gs = 1;
+  while (gs * gs <= R) ++gs;
+  --gs;
+  while (R % gs != 0) --gs;
+  return gs;
+}
 
 }  // namespace
 
@@ -44,6 +65,8 @@ std::string to_string(AllReduceAlgorithm alg) {
       return "halving_doubling";
     case AllReduceAlgorithm::kTwoLevel:
       return "two_level";
+    case AllReduceAlgorithm::kTwoLevelRing:
+      return "two_level_ring";
   }
   return "unknown";
 }
@@ -54,10 +77,8 @@ Communicator::Communicator(int num_ranks)
 Communicator::Communicator(int num_ranks, CommOptions options)
     : num_ranks_(num_ranks),
       options_(std::move(options)),
-      barrier_(num_ranks, this),
-      bufs_(static_cast<std::size_t>(num_ranks), nullptr),
-      sizes_(static_cast<std::size_t>(num_ranks), 0),
-      scalars_(static_cast<std::size_t>(num_ranks), 0.0),
+      main_(num_ranks, this),
+      bucket_(num_ranks, this),
       stats_(static_cast<std::size_t>(num_ranks)) {
   assert(num_ranks >= 1);
   if (!options_.global_ranks.empty() &&
@@ -72,24 +93,28 @@ Communicator::Communicator(int num_ranks, CommOptions options)
     options_.health = std::make_shared<HealthBoard>(board_size);
   }
 #ifdef PODNET_CHECK
-  verifier_.init(num_ranks);
+  main_.verifier.init(num_ranks);
+  bucket_.verifier.init(num_ranks);
 #endif
 }
 
 #ifdef PODNET_CHECK
-void Communicator::verify_collective(int rank, check::CollectiveOp op,
+void Communicator::verify_collective(Channel& ch, int rank,
+                                     check::CollectiveOp op,
                                      std::uint64_t count,
                                      check::CollectiveDtype dtype,
-                                     std::int32_t detail, const char* tag) {
+                                     std::int32_t detail, std::int64_t bucket,
+                                     const char* tag) {
   check::CollectiveFingerprint fp;
   fp.op = op;
   fp.count = count;
   fp.dtype = dtype;
   fp.detail = detail;
+  fp.bucket = bucket;
   fp.tag = tag != nullptr ? tag : check::to_string(op);
   fp.world_gen = options_.generation;
   const std::string diff =
-      verifier_.exchange(rank, fp, [this, rank] { sync(rank); });
+      ch.verifier.exchange(rank, fp, [this, &ch, rank] { sync(ch, rank); });
   if (!diff.empty()) {
     // Every rank computed the same diff from the same slots, so every rank
     // throws — the failure is collective. abort() additionally poisons the
@@ -99,15 +124,18 @@ void Communicator::verify_collective(int rank, check::CollectiveOp op,
     throw check::CollectiveMismatch(diff);
   }
 }
-#define PODNET_VERIFY_COLLECTIVE(rank, op, count, dtype, detail, tag)       \
-  do {                                                                      \
-    if (num_ranks_ > 1) {                                                   \
-      verify_collective((rank), (op), (count), (dtype), (detail), (tag));   \
-    }                                                                       \
+#define PODNET_VERIFY_COLLECTIVE(ch, rank, op, count, dtype, detail, bucket, \
+                                 tag)                                        \
+  do {                                                                       \
+    if (num_ranks_ > 1) {                                                    \
+      verify_collective((ch), (rank), (op), (count), (dtype), (detail),      \
+                        (bucket), (tag));                                    \
+    }                                                                        \
   } while (false)
 #else
-#define PODNET_VERIFY_COLLECTIVE(rank, op, count, dtype, detail, tag) \
-  do {                                                                \
+#define PODNET_VERIFY_COLLECTIVE(ch, rank, op, count, dtype, detail, bucket, \
+                                 tag)                                        \
+  do {                                                                       \
   } while (false)
 #endif
 
@@ -174,79 +202,111 @@ void Communicator::AbortableBarrier::throw_aborted() const {
   throw CommAborted();
 }
 
-void Communicator::barrier() { barrier_.arrive_and_wait(/*rank=*/-1); }
+void Communicator::barrier() { main_.barrier.arrive_and_wait(/*rank=*/-1); }
 
 void Communicator::barrier(int rank, const char* tag) {
-  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kBarrier, 0,
-                           check::CollectiveDtype::kNone, -1, tag);
+  PODNET_VERIFY_COLLECTIVE(main_, rank, check::CollectiveOp::kBarrier, 0,
+                           check::CollectiveDtype::kNone, -1, -1, tag);
   (void)tag;
-  barrier_.arrive_and_wait(rank);
+  main_.barrier.arrive_and_wait(rank);
 }
 
-void Communicator::abort() { barrier_.abort(); }
+void Communicator::abort() {
+  // Both channels: a rank's communication thread may be blocked at a
+  // bucket rendezvous while its main thread is blocked at a main one.
+  main_.barrier.abort();
+  bucket_.barrier.abort();
+}
+
+void Communicator::run_allreduce(Channel& ch, int rank, std::span<float> data,
+                                 AllReduceAlgorithm alg) {
+  switch (alg) {
+    case AllReduceAlgorithm::kFlat:
+      allreduce_flat(ch, rank, data);
+      break;
+    case AllReduceAlgorithm::kRing:
+      allreduce_ring(ch, rank, data);
+      break;
+    case AllReduceAlgorithm::kHalvingDoubling:
+      if (is_power_of_two(num_ranks_)) {
+        allreduce_halving_doubling(ch, rank, data);
+      } else {
+        allreduce_ring(ch, rank, data);  // documented fallback
+      }
+      break;
+    case AllReduceAlgorithm::kTwoLevel:
+      allreduce_two_level(ch, rank, data);
+      break;
+    case AllReduceAlgorithm::kTwoLevelRing:
+      allreduce_two_level_ring(ch, rank, data);
+      break;
+  }
+}
 
 void Communicator::allreduce_sum(int rank, std::span<float> data,
                                  AllReduceAlgorithm alg, const char* tag) {
-  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kAllReduce, data.size(),
-                           check::CollectiveDtype::kF32,
-                           static_cast<std::int32_t>(alg), tag);
+  PODNET_VERIFY_COLLECTIVE(main_, rank, check::CollectiveOp::kAllReduce,
+                           data.size(), check::CollectiveDtype::kF32,
+                           static_cast<std::int32_t>(alg), -1, tag);
   (void)tag;
   // Timed even for the single-rank no-op so calls/bytes counters stay
   // meaningful at every slice size; the timing cost is two clock reads
   // against a call that already crosses several barriers.
   obs::Timer timer;
   if (num_ranks_ > 1) {
-    switch (alg) {
-      case AllReduceAlgorithm::kFlat:
-        allreduce_flat(rank, data);
-        break;
-      case AllReduceAlgorithm::kRing:
-        allreduce_ring(rank, data);
-        break;
-      case AllReduceAlgorithm::kHalvingDoubling:
-        if (is_power_of_two(num_ranks_)) {
-          allreduce_halving_doubling(rank, data);
-        } else {
-          allreduce_ring(rank, data);  // documented fallback
-        }
-        break;
-      case AllReduceAlgorithm::kTwoLevel:
-        allreduce_two_level(rank, data);
-        break;
-    }
+    run_allreduce(main_, rank, data, alg);
     // Scripted payload corruption lands on this rank's finished copy, the
     // shared-memory analogue of a link corrupting the received chunk.
     if (injector_ != nullptr) injector_->maybe_corrupt(global_rank(rank), data);
   }
-  stats_[static_cast<std::size_t>(rank)]
-      .allreduce[static_cast<int>(alg)]
-      .record(data.size() * sizeof(float), timer.seconds());
+  record_allreduce_stats(rank, alg, data.size() * sizeof(float),
+                         timer.seconds());
 }
 
-void Communicator::allreduce_flat(int rank, std::span<float> data) {
-  bufs_[rank] = data.data();
-  sizes_[rank] = data.size();
-  sync(rank);
-  assert(sizes_[0] == data.size());
-  if (rank == 0) scratch_.assign(data.size(), 0.f);
-  sync(rank);
+void Communicator::allreduce_sum_bucket(int rank, std::span<float> data,
+                                        AllReduceAlgorithm alg,
+                                        std::int64_t bucket, const char* tag) {
+  PODNET_VERIFY_COLLECTIVE(bucket_, rank, check::CollectiveOp::kAllReduce,
+                           data.size(), check::CollectiveDtype::kF32,
+                           static_cast<std::int32_t>(alg), bucket,
+                           tag != nullptr ? tag : "bucket_allreduce");
+  (void)tag;
+  obs::Timer timer;
+  if (num_ranks_ > 1) {
+    run_allreduce(bucket_, rank, data, alg);
+    if (injector_ != nullptr) injector_->maybe_corrupt(global_rank(rank), data);
+  }
+  record_allreduce_stats(rank, alg, data.size() * sizeof(float),
+                         timer.seconds());
+}
+
+void Communicator::allreduce_flat(Channel& ch, int rank,
+                                  std::span<float> data) {
+  ch.bufs[static_cast<std::size_t>(rank)] = data.data();
+  ch.sizes[static_cast<std::size_t>(rank)] = data.size();
+  sync(ch, rank);
+  assert(ch.sizes[0] == data.size());
+  if (rank == 0) ch.scratch.assign(data.size(), 0.f);
+  sync(ch, rank);
   // Each rank reduces its chunk across every replica into shared scratch.
   const auto [begin, end] = chunk_range(data.size(), num_ranks_, rank);
   for (int r = 0; r < num_ranks_; ++r) {
-    accumulate_range(bufs_[r], scratch_.data(), begin, end);
+    accumulate_range(ch.bufs[static_cast<std::size_t>(r)], ch.scratch.data(),
+                     begin, end);
   }
-  sync(rank);
-  std::copy(scratch_.begin(), scratch_.end(), data.begin());
-  sync(rank);
+  sync(ch, rank);
+  copy_range(ch.scratch.data(), data.data(), 0, data.size());
+  sync(ch, rank);
 }
 
-void Communicator::allreduce_ring(int rank, std::span<float> data) {
+void Communicator::allreduce_ring(Channel& ch, int rank,
+                                  std::span<float> data) {
   const int R = num_ranks_;
-  bufs_[rank] = data.data();
-  sizes_[rank] = data.size();
-  sync(rank);
-  assert(sizes_[(rank + 1) % R] == data.size());
-  const float* left = bufs_[(rank - 1 + R) % R];
+  ch.bufs[static_cast<std::size_t>(rank)] = data.data();
+  ch.sizes[static_cast<std::size_t>(rank)] = data.size();
+  sync(ch, rank);
+  assert(ch.sizes[static_cast<std::size_t>((rank + 1) % R)] == data.size());
+  const float* left = ch.bufs[static_cast<std::size_t>((rank - 1 + R) % R)];
 
   // Reduce-scatter: after R-1 steps rank r holds the fully reduced chunk
   // (r + 1) mod R.
@@ -254,23 +314,23 @@ void Communicator::allreduce_ring(int rank, std::span<float> data) {
     const int c = ((rank - s - 1) % R + R) % R;
     const auto [begin, end] = chunk_range(data.size(), R, c);
     accumulate_range(left, data.data(), begin, end);
-    sync(rank);
+    sync(ch, rank);
   }
   // All-gather: propagate reduced chunks around the ring.
   for (int s = 0; s < R - 1; ++s) {
     const int c = ((rank - s) % R + R) % R;
     const auto [begin, end] = chunk_range(data.size(), R, c);
-    std::copy(left + begin, left + end, data.begin() + begin);
-    sync(rank);
+    copy_range(left, data.data(), begin, end);
+    sync(ch, rank);
   }
 }
 
-void Communicator::allreduce_halving_doubling(int rank,
+void Communicator::allreduce_halving_doubling(Channel& ch, int rank,
                                               std::span<float> data) {
   const int R = num_ranks_;
-  bufs_[rank] = data.data();
-  sizes_[rank] = data.size();
-  sync(rank);
+  ch.bufs[static_cast<std::size_t>(rank)] = data.data();
+  ch.sizes[static_cast<std::size_t>(rank)] = data.size();
+  sync(ch, rank);
 
   // Recursive halving (reduce-scatter): each round the owned range halves;
   // the rank keeps the half matching its partner bit and accumulates the
@@ -282,7 +342,7 @@ void Communicator::allreduce_halving_doubling(int rank,
   parents.reserve(8);
   for (int bit = R >> 1; bit >= 1; bit >>= 1) {
     const int partner = rank ^ bit;
-    const float* pbuf = bufs_[partner];
+    const float* pbuf = ch.bufs[static_cast<std::size_t>(partner)];
     const std::size_t mid = lo + (hi - lo) / 2;
     parents.emplace_back(lo, hi);
     if ((rank & bit) == 0) {
@@ -291,25 +351,26 @@ void Communicator::allreduce_halving_doubling(int rank,
       lo = mid;
     }
     accumulate_range(pbuf, data.data(), lo, hi);
-    sync(rank);
+    sync(ch, rank);
   }
   // Recursive doubling (all-gather): reverse the rounds; the partner owns
   // exactly the complement of our range within the shared parent range.
   for (int bit = 1; bit < R; bit <<= 1) {
     const int partner = rank ^ bit;
-    const float* pbuf = bufs_[partner];
+    const float* pbuf = ch.bufs[static_cast<std::size_t>(partner)];
     const auto [plo, phi] = parents.back();
     parents.pop_back();
-    std::copy(pbuf + plo, pbuf + lo, data.begin() + plo);
-    std::copy(pbuf + hi, pbuf + phi, data.begin() + hi);
+    copy_range(pbuf, data.data(), plo, lo);
+    copy_range(pbuf, data.data(), hi, phi);
     lo = plo;
     hi = phi;
-    sync(rank);
+    sync(ch, rank);
   }
   assert(lo == 0 && hi == data.size());
 }
 
-void Communicator::allreduce_two_level(int rank, std::span<float> data) {
+void Communicator::allreduce_two_level(Channel& ch, int rank,
+                                       std::span<float> data) {
   // Hierarchical all-reduce: ranks are split into consecutive groups of
   // size gs ~ sqrt(R). Phase 1 computes each group's sum; phase 2
   // all-reduces the group sums among "position peers" (rank i of every
@@ -317,74 +378,142 @@ void Communicator::allreduce_two_level(int rank, std::span<float> data) {
   // torus dimension in turn (Ying et al.).
   const int R = num_ranks_;
   const std::size_t n = data.size();
-  bufs_[rank] = data.data();
-  sizes_[rank] = data.size();
-  sync(rank);
-  int gs = 1;
-  while (gs * gs <= R) ++gs;
-  --gs;
-  while (R % gs != 0) --gs;  // largest divisor of R that is <= sqrt(R)
+  ch.bufs[static_cast<std::size_t>(rank)] = data.data();
+  ch.sizes[static_cast<std::size_t>(rank)] = data.size();
+  sync(ch, rank);
+  const int gs = group_size_for(R);
   const int groups = R / gs;
 
   if (rank == 0) {
-    scratch_.assign(n * static_cast<std::size_t>(groups + gs), 0.f);
+    ch.scratch.assign(n * static_cast<std::size_t>(groups + gs), 0.f);
   }
-  sync(rank);
+  sync(ch, rank);
   const int group = rank / gs;
   const int pos = rank % gs;
 
   // Phase 1: each member reduces its chunk of the group sum into the
   // group's scratch block.
   {
-    float* block = scratch_.data() + static_cast<std::size_t>(group) * n;
+    float* block = ch.scratch.data() + static_cast<std::size_t>(group) * n;
     const auto [begin, end] = chunk_range(n, gs, pos);
     for (int m = 0; m < gs; ++m) {
-      accumulate_range(bufs_[group * gs + m], block, begin, end);
+      accumulate_range(ch.bufs[static_cast<std::size_t>(group * gs + m)],
+                       block, begin, end);
     }
   }
-  sync(rank);
+  sync(ch, rank);
   // Everyone adopts its group's sum.
   {
-    const float* block = scratch_.data() + static_cast<std::size_t>(group) * n;
-    std::copy(block, block + n, data.begin());
+    const float* block =
+        ch.scratch.data() + static_cast<std::size_t>(group) * n;
+    copy_range(block, data.data(), 0, n);
   }
-  sync(rank);
+  sync(ch, rank);
 
   // Phase 2: position peers (one rank per group) reduce the group sums.
   // Each peer set uses its own scratch block, so the sets run in parallel.
   {
     float* block =
-        scratch_.data() + static_cast<std::size_t>(groups + pos) * n;
+        ch.scratch.data() + static_cast<std::size_t>(groups + pos) * n;
     const auto [begin, end] = chunk_range(n, groups, group);
     for (int m = 0; m < groups; ++m) {
-      accumulate_range(bufs_[m * gs + pos], block, begin, end);
+      accumulate_range(ch.bufs[static_cast<std::size_t>(m * gs + pos)], block,
+                       begin, end);
     }
   }
-  sync(rank);
+  sync(ch, rank);
   {
     const float* block =
-        scratch_.data() + static_cast<std::size_t>(groups + pos) * n;
-    std::copy(block, block + n, data.begin());
+        ch.scratch.data() + static_cast<std::size_t>(groups + pos) * n;
+    copy_range(block, data.data(), 0, n);
   }
-  sync(rank);
+  sync(ch, rank);
+}
+
+void Communicator::allreduce_two_level_ring(Channel& ch, int rank,
+                                            std::span<float> data) {
+  // Hierarchical ring: the ring algorithm run along each "torus dimension"
+  // in turn, with no shared scratch — the per-bucket shape of Ying et
+  // al.'s 2-D scheme. Ranks form `groups` consecutive groups of size gs.
+  //   Phase A: intra-group ring reduce-scatter — after gs-1 steps, group
+  //            member `pos` owns the group-reduced chunk (pos+1) mod gs.
+  //   Phase B: cross-group ring all-reduce of the owned chunk among
+  //            position peers (member `pos` of every group), so the owned
+  //            chunk becomes globally reduced — computed once per peer
+  //            ring and copied, preserving bit-identity across ranks.
+  //   Phase C: intra-group ring all-gather of the gs finished chunks.
+  // gs == 1 (prime R) degenerates to the plain ring across all ranks.
+  const int R = num_ranks_;
+  const std::size_t n = data.size();
+  ch.bufs[static_cast<std::size_t>(rank)] = data.data();
+  ch.sizes[static_cast<std::size_t>(rank)] = n;
+  sync(ch, rank);
+  assert(ch.sizes[0] == n);
+  const int gs = group_size_for(R);
+  const int groups = R / gs;
+  const int group = rank / gs;
+  const int pos = rank % gs;
+  const int base = group * gs;
+  const float* group_left =
+      ch.bufs[static_cast<std::size_t>(base + (pos - 1 + gs) % gs)];
+  const float* peer_left = ch.bufs[static_cast<std::size_t>(
+      ((group - 1 + groups) % groups) * gs + pos)];
+
+  // Phase A: intra-group ring reduce-scatter over the full vector.
+  for (int s = 0; s < gs - 1; ++s) {
+    const int c = ((pos - s - 1) % gs + gs) % gs;
+    const auto [begin, end] = chunk_range(n, gs, c);
+    accumulate_range(group_left, data.data(), begin, end);
+    sync(ch, rank);
+  }
+  // This rank now owns the group-reduced chunk (pos+1) mod gs (the whole
+  // vector when gs == 1).
+  const int owned = (pos + 1) % gs;
+  const auto [obegin, oend] = chunk_range(n, gs, owned);
+  const std::size_t on = oend - obegin;
+
+  // Phase B: ring all-reduce of [obegin, oend) among position peers; the
+  // peer ring's chunking is relative to the owned sub-span.
+  for (int s = 0; s < groups - 1; ++s) {
+    const int c = ((group - s - 1) % groups + groups) % groups;
+    const auto [b, e] = chunk_range(on, groups, c);
+    accumulate_range(peer_left, data.data(), obegin + b, obegin + e);
+    sync(ch, rank);
+  }
+  for (int s = 0; s < groups - 1; ++s) {
+    const int c = ((group - s) % groups + groups) % groups;
+    const auto [b, e] = chunk_range(on, groups, c);
+    copy_range(peer_left, data.data(), obegin + b, obegin + e);
+    sync(ch, rank);
+  }
+
+  // Phase C: intra-group ring all-gather — step s adopts the finished
+  // chunk (pos - s) mod gs from the group-left neighbor.
+  for (int s = 0; s < gs - 1; ++s) {
+    const int c = ((pos - s) % gs + gs) % gs;
+    const auto [begin, end] = chunk_range(n, gs, c);
+    copy_range(group_left, data.data(), begin, end);
+    sync(ch, rank);
+  }
 }
 
 void Communicator::broadcast(int rank, int root, std::span<float> data,
                              const char* tag) {
   if (num_ranks_ == 1) return;
-  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kBroadcast, data.size(),
-                           check::CollectiveDtype::kF32, root, tag);
+  PODNET_VERIFY_COLLECTIVE(main_, rank, check::CollectiveOp::kBroadcast,
+                           data.size(), check::CollectiveDtype::kF32, root, -1,
+                           tag);
   (void)tag;
   obs::Timer timer;
-  bufs_[rank] = data.data();
-  sync(rank);
+  main_.bufs[static_cast<std::size_t>(rank)] = data.data();
+  sync(main_, rank);
   if (rank != root) {
-    const float* src = bufs_[root];
-    std::copy(src, src + data.size(), data.begin());
+    const float* src = main_.bufs[static_cast<std::size_t>(root)];
+    copy_range(src, data.data(), 0, data.size());
   }
-  sync(rank);
-  stats_[static_cast<std::size_t>(rank)].broadcast.record(
-      data.size() * sizeof(float), timer.seconds());
+  sync(main_, rank);
+  record_stats(rank, &CommStats::broadcast, data.size() * sizeof(float),
+               timer.seconds());
 }
 
 void Communicator::allgather(int rank, std::span<const float> in,
@@ -394,52 +523,53 @@ void Communicator::allgather(int rank, std::span<const float> in,
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
-  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kAllGather, in.size(),
-                           check::CollectiveDtype::kF32, -1, tag);
+  PODNET_VERIFY_COLLECTIVE(main_, rank, check::CollectiveOp::kAllGather,
+                           in.size(), check::CollectiveDtype::kF32, -1, -1,
+                           tag);
   (void)tag;
   obs::Timer timer;
-  if (rank == 0) scratch_.resize(out.size());
-  sync(rank);
+  if (rank == 0) main_.scratch.resize(out.size());
+  sync(main_, rank);
   std::copy(in.begin(), in.end(),
-            scratch_.begin() + static_cast<std::ptrdiff_t>(
-                                   in.size() * static_cast<std::size_t>(rank)));
-  sync(rank);
-  std::copy(scratch_.begin(), scratch_.begin() + out.size(), out.begin());
-  sync(rank);
-  stats_[static_cast<std::size_t>(rank)].allgather.record(
-      in.size() * sizeof(float), timer.seconds());
+            main_.scratch.begin() +
+                static_cast<std::ptrdiff_t>(
+                    in.size() * static_cast<std::size_t>(rank)));
+  sync(main_, rank);
+  std::copy(main_.scratch.begin(), main_.scratch.begin() + out.size(),
+            out.begin());
+  sync(main_, rank);
+  record_stats(rank, &CommStats::allgather, in.size() * sizeof(float),
+               timer.seconds());
 }
 
 double Communicator::allreduce_scalar(int rank, double value,
                                       const char* tag) {
   if (num_ranks_ == 1) return value;
-  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kScalarReduce, 1,
-                           check::CollectiveDtype::kF64, 0, tag);
+  PODNET_VERIFY_COLLECTIVE(main_, rank, check::CollectiveOp::kScalarReduce, 1,
+                           check::CollectiveDtype::kF64, 0, -1, tag);
   (void)tag;
   obs::Timer timer;
-  scalars_[rank] = value;
-  sync(rank);
+  main_.scalars[static_cast<std::size_t>(rank)] = value;
+  sync(main_, rank);
   double total = 0.0;
-  for (double v : scalars_) total += v;
-  sync(rank);
-  stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
-                                                       timer.seconds());
+  for (double v : main_.scalars) total += v;
+  sync(main_, rank);
+  record_stats(rank, &CommStats::scalar, sizeof(double), timer.seconds());
   return total;
 }
 
 double Communicator::allreduce_max(int rank, double value, const char* tag) {
   if (num_ranks_ == 1) return value;
-  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kScalarReduce, 1,
-                           check::CollectiveDtype::kF64, 1, tag);
+  PODNET_VERIFY_COLLECTIVE(main_, rank, check::CollectiveOp::kScalarReduce, 1,
+                           check::CollectiveDtype::kF64, 1, -1, tag);
   (void)tag;
   obs::Timer timer;
-  scalars_[rank] = value;
-  sync(rank);
-  double m = scalars_[0];
-  for (double v : scalars_) m = std::max(m, v);
-  sync(rank);
-  stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
-                                                       timer.seconds());
+  main_.scalars[static_cast<std::size_t>(rank)] = value;
+  sync(main_, rank);
+  double m = main_.scalars[0];
+  for (double v : main_.scalars) m = std::max(m, v);
+  sync(main_, rank);
+  record_stats(rank, &CommStats::scalar, sizeof(double), timer.seconds());
   return m;
 }
 
@@ -447,23 +577,22 @@ std::pair<double, double> Communicator::allreduce_minmax(int rank,
                                                          double value,
                                                          const char* tag) {
   if (num_ranks_ == 1) return {value, value};
-  PODNET_VERIFY_COLLECTIVE(rank, check::CollectiveOp::kScalarReduce, 1,
-                           check::CollectiveDtype::kF64, 2, tag);
+  PODNET_VERIFY_COLLECTIVE(main_, rank, check::CollectiveOp::kScalarReduce, 1,
+                           check::CollectiveDtype::kF64, 2, -1, tag);
   (void)tag;
   obs::Timer timer;
-  scalars_[rank] = value;
-  sync(rank);
-  double lo = scalars_[0];
-  double hi = scalars_[0];
-  for (double v : scalars_) {
+  main_.scalars[static_cast<std::size_t>(rank)] = value;
+  sync(main_, rank);
+  double lo = main_.scalars[0];
+  double hi = main_.scalars[0];
+  for (double v : main_.scalars) {
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
-  sync(rank);
+  sync(main_, rank);
   // One round, one stats record — half the barriers of the min/max pair of
   // allreduce_max calls this replaces.
-  stats_[static_cast<std::size_t>(rank)].scalar.record(sizeof(double),
-                                                       timer.seconds());
+  record_stats(rank, &CommStats::scalar, sizeof(double), timer.seconds());
   return {lo, hi};
 }
 

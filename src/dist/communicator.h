@@ -5,14 +5,24 @@
 // gradient all-reduce (Sec 3.1), batch-norm group reductions (Sec 3.4), and
 // the eval-metric reduction of the distributed evaluation loop (Sec 3.3).
 //
-// Three all-reduce algorithms are implemented. They produce *bit-identical
+// Five all-reduce algorithms are implemented. They produce *bit-identical
 // results on every rank* (a reduced chunk is computed once and then copied),
 // which is the invariant that keeps data-parallel replicas in lockstep
 // without weight broadcasts; tests assert it. Different algorithms may
 // differ from each other in the last float bit (different reduction trees).
 //
+// Channels: the Communicator exposes two independent collective streams.
+// The *main* channel carries the trainer's ordered collectives (BN sync,
+// eval reductions, checkpoints). The *bucket* channel carries overlapped
+// gradient all-reduces issued by each rank's dedicated communication
+// thread (dist::BucketReducer) while the main thread keeps running
+// backward. Each channel owns its own barrier, exchange buffers, and
+// PODNET_CHECK verifier, so a bucket collective can never pair with — or
+// deadlock against — a main-channel rendezvous.
+//
 // Thread contract: every rank must call every collective in the same order
-// (standard MPI semantics). Calls block until all ranks arrive. In
+// *per channel* (standard MPI semantics). Calls block until all ranks
+// arrive. In
 // PODNET_CHECK builds that contract is *verified*: every collective entry
 // publishes a per-rank fingerprint (sequence number, op kind, element
 // count, dtype, call-site tag) that is cross-checked at the rendezvous,
@@ -70,11 +80,15 @@ enum class AllReduceAlgorithm {
   kHalvingDoubling,   // recursive halving/doubling (power-of-two ranks)
   kTwoLevel,          // hierarchical: group-local sum, then cross-group —
                       // the functional form of Ying et al.'s 2-D scheme
+  kTwoLevelRing,      // hierarchical ring: intra-group ring reduce-scatter,
+                      // cross-group ring all-reduce of the owned chunk
+                      // among position peers, intra-group ring all-gather —
+                      // scratch-free, sized for per-bucket payloads
 };
 
 std::string to_string(AllReduceAlgorithm alg);
 
-inline constexpr int kNumAllReduceAlgorithms = 4;
+inline constexpr int kNumAllReduceAlgorithms = 5;
 
 // Wall time, call count, and payload bytes one rank spent inside a class
 // of collective. "Inside" includes barrier waits, so on an oversubscribed
@@ -190,6 +204,19 @@ class Communicator {
                      AllReduceAlgorithm alg = AllReduceAlgorithm::kRing,
                      const char* tag = nullptr);
 
+  // Bucketed variant for overlapped gradient reduction: identical
+  // arithmetic to allreduce_sum (same algorithm, same reduction order for
+  // the same span), but rendezvousing on the dedicated *bucket channel* so
+  // it can run on a communication thread concurrently with main-channel
+  // collectives. `bucket` is the partition index of the span; in
+  // PODNET_CHECK builds it is stamped into the fingerprint, so two ranks
+  // reducing different buckets at the same bucket-channel position are
+  // diagnosed by id rather than reported as a generic count mismatch.
+  // Every rank must submit the same buckets in the same order.
+  void allreduce_sum_bucket(int rank, std::span<float> data,
+                            AllReduceAlgorithm alg, std::int64_t bucket,
+                            const char* tag = nullptr);
+
   // Copies root's buffer to every rank.
   void broadcast(int rank, int root, std::span<float> data,
                  const char* tag = nullptr);
@@ -210,15 +237,21 @@ class Communicator {
   std::pair<double, double> allreduce_minmax(int rank, double value,
                                              const char* tag = nullptr);
 
-  // This rank's accumulated collective timings. A rank may read its own
-  // entry at any time; reading another rank's entry is only safe after
-  // the replica threads joined.
-  const CommStats& stats(int rank) const {
-    return stats_[static_cast<std::size_t>(rank)];
+  // Snapshot of one rank's accumulated collective timings. Returned by
+  // value under the rank's stats lock, so it is consistent even while that
+  // rank's communication thread is recording bucket collectives — a caller
+  // never observes a half-updated CollectiveStats entry.
+  CommStats stats(int rank) const {
+    const StatsCell& cell = stats_[static_cast<std::size_t>(rank)];
+    check::ScopedLock lock(cell.mu);
+    return cell.data;
   }
-  // Not thread-safe; call before replicas start or after they joined.
+  // Safe at any time: each cell is reset under its own lock.
   void reset_stats() {
-    for (CommStats& s : stats_) s = CommStats{};
+    for (StatsCell& cell : stats_) {
+      check::ScopedLock lock(cell.mu);
+      cell.data = CommStats{};
+    }
   }
 
  private:
@@ -253,39 +286,81 @@ class Communicator {
     bool aborted_ = false;
   };
 
+  // One independent collective stream: its own rendezvous barrier, pointer
+  // exchange buffers, scratch, and (PODNET_CHECK) fingerprint verifier.
+  // The main channel and the bucket channel never share any of these, so
+  // a communication thread mid-bucket cannot pair with — or clobber the
+  // verification slots of — the main thread's collectives.
+  struct Channel {
+    Channel(int n, const Communicator* owner)
+        : barrier(n, owner),
+          bufs(static_cast<std::size_t>(n), nullptr),
+          sizes(static_cast<std::size_t>(n), 0),
+          scalars(static_cast<std::size_t>(n), 0.0) {}
+
+    AbortableBarrier barrier;
+    std::vector<float*> bufs;
+    std::vector<std::size_t> sizes;
+    std::vector<double> scalars;
+    std::vector<float> scratch;
+#ifdef PODNET_CHECK
+    check::CollectiveVerifier verifier;
+#endif
+  };
+
+  // One rank's stats under its own lock: the rank's communication thread
+  // records bucket collectives while the rank's main thread reads per-step
+  // deltas, so plain fields would race (and tear mid-record).
+  struct alignas(64) StatsCell {
+    mutable check::Mutex mu{PODNET_LOCK_NAME("comm.stats")};
+    CommStats data;
+  };
+
   // Unverified internal rendezvous, used by the collective algorithms'
   // intermediate steps (the public entry already fingerprint-checked the
   // call) and by the verifier's own exchange.
-  void sync(int rank) { barrier_.arrive_and_wait(rank); }
+  void sync(Channel& ch, int rank) { ch.barrier.arrive_and_wait(rank); }
 
 #ifdef PODNET_CHECK
-  // Publishes this rank's fingerprint for the collective being entered,
-  // cross-checks it against every rank at a rendezvous, and — on any
+  // Publishes this rank's fingerprint for the collective being entered on
+  // `ch`, cross-checks it against every rank at a rendezvous, and — on any
   // disagreement — poisons the communicator and throws
   // check::CollectiveMismatch (on every rank, with the same per-rank
   // diff). Compiled out entirely without PODNET_CHECK.
-  void verify_collective(int rank, check::CollectiveOp op,
+  void verify_collective(Channel& ch, int rank, check::CollectiveOp op,
                          std::uint64_t count, check::CollectiveDtype dtype,
-                         std::int32_t detail, const char* tag);
+                         std::int32_t detail, std::int64_t bucket,
+                         const char* tag);
 #endif
 
-  void allreduce_flat(int rank, std::span<float> data);
-  void allreduce_ring(int rank, std::span<float> data);
-  void allreduce_halving_doubling(int rank, std::span<float> data);
-  void allreduce_two_level(int rank, std::span<float> data);
+  void run_allreduce(Channel& ch, int rank, std::span<float> data,
+                     AllReduceAlgorithm alg);
+  void allreduce_flat(Channel& ch, int rank, std::span<float> data);
+  void allreduce_ring(Channel& ch, int rank, std::span<float> data);
+  void allreduce_halving_doubling(Channel& ch, int rank,
+                                  std::span<float> data);
+  void allreduce_two_level(Channel& ch, int rank, std::span<float> data);
+  void allreduce_two_level_ring(Channel& ch, int rank, std::span<float> data);
+
+  void record_stats(int rank, CollectiveStats CommStats::* field,
+                    std::uint64_t payload_bytes, double seconds) {
+    StatsCell& cell = stats_[static_cast<std::size_t>(rank)];
+    check::ScopedLock lock(cell.mu);
+    (cell.data.*field).record(payload_bytes, seconds);
+  }
+  void record_allreduce_stats(int rank, AllReduceAlgorithm alg,
+                              std::uint64_t payload_bytes, double seconds) {
+    StatsCell& cell = stats_[static_cast<std::size_t>(rank)];
+    check::ScopedLock lock(cell.mu);
+    cell.data.allreduce[static_cast<int>(alg)].record(payload_bytes, seconds);
+  }
 
   int num_ranks_;
   CommOptions options_;
-  AbortableBarrier barrier_;
+  Channel main_;
+  Channel bucket_;
   FaultInjector* injector_ = nullptr;
-  std::vector<float*> bufs_;
-  std::vector<std::size_t> sizes_;
-  std::vector<double> scalars_;
-  std::vector<float> scratch_;
-  std::vector<CommStats> stats_;  // indexed by rank; each rank writes its own
-#ifdef PODNET_CHECK
-  check::CollectiveVerifier verifier_;
-#endif
+  std::vector<StatsCell> stats_;  // indexed by rank
 };
 
 }  // namespace podnet::dist

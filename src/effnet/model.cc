@@ -53,14 +53,40 @@ Tensor EfficientNet::forward(const Tensor& x, bool training) {
 }
 
 Tensor EfficientNet::backward(const Tensor& grad_out) {
+  // Stage-completion notifications let the bucketed gradient sync start
+  // reducing a stage's params while earlier layers' backward still runs.
+  // The stage order is fixed by the architecture, so it is identical on
+  // every replica; collection cost is only paid when a sink is attached.
   Tensor g = classifier_->backward(grad_out);
+  if (grad_sink_ != nullptr) {
+    std::vector<nn::Param*> ready;
+    classifier_->collect_params(ready);
+    notify_grads_ready(ready);
+  }
   g = dropout_->backward(g);
   g = pool_.backward(g);
   g = head_conv_->backward(head_bn_->backward(head_swish_.backward(g)));
+  if (grad_sink_ != nullptr) {
+    std::vector<nn::Param*> ready;
+    head_conv_->collect_params(ready);
+    head_bn_->collect_params(ready);
+    notify_grads_ready(ready);
+  }
   for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
     g = (*it)->backward(g);
+    if (grad_sink_ != nullptr) {
+      std::vector<nn::Param*> ready;
+      (*it)->collect_params(ready);
+      notify_grads_ready(ready);
+    }
   }
   g = stem_conv_.backward(stem_bn_.backward(stem_swish_.backward(g)));
+  if (grad_sink_ != nullptr) {
+    std::vector<nn::Param*> ready;
+    stem_conv_.collect_params(ready);
+    stem_bn_.collect_params(ready);
+    notify_grads_ready(ready);
+  }
   return g;
 }
 

@@ -1,21 +1,52 @@
 // Model: a trainable network the distributed trainer can drive.
 //
-// Extends Layer with the one hook the training loop needs beyond
+// Extends Layer with the hooks the training loop needs beyond
 // forward/backward/params: wiring distributed batch-norm statistics
-// (paper Sec 3.4) into every normalization layer. EfficientNet
-// (src/effnet) and the ResNet baseline (src/resnet) both implement it.
+// (paper Sec 3.4) into every normalization layer, and — for the bucketed
+// all-reduce overlap — announcing which params' gradients are final as
+// backward proceeds. EfficientNet (src/effnet) and the ResNet baseline
+// (src/resnet) both implement them.
 #pragma once
+
+#include <vector>
 
 #include "nn/bn_stat_sync.h"
 #include "nn/layer.h"
 
 namespace podnet::nn {
 
+// Receives backward-completion notifications: after a model finishes the
+// backward pass of a stage, it reports the params whose gradients are now
+// final and will not be touched again this step. The trainer's bucketed
+// gradient sync uses this to pack and launch bucket all-reduces while the
+// rest of backward is still running. Notification order is a pure function
+// of the model architecture — identical on every SPMD replica — which is
+// what keeps the resulting bucket collective order in lockstep.
+class GradReadySink {
+ public:
+  virtual ~GradReadySink() = default;
+  virtual void on_grads_ready(const std::vector<Param*>& params) = 0;
+};
+
 class Model : public Layer {
  public:
   // Attaches (or detaches, with nullptr) the cross-replica BN statistics
   // hook on every batch-norm layer in the network.
   virtual void set_bn_sync(BnStatSync* sync) = 0;
+
+  // Attaches (or detaches, with nullptr) the backward-completion sink.
+  // Models that never call the sink during backward still work with the
+  // overlapped trainer — unannounced params are flushed at backward's end —
+  // so the default is a no-op store.
+  virtual void set_grad_ready_sink(GradReadySink* sink) { grad_sink_ = sink; }
+
+ protected:
+  // Helper for implementations: notify the sink, if one is attached.
+  void notify_grads_ready(const std::vector<Param*>& params) const {
+    if (grad_sink_ != nullptr) grad_sink_->on_grads_ready(params);
+  }
+
+  GradReadySink* grad_sink_ = nullptr;
 };
 
 }  // namespace podnet::nn

@@ -22,6 +22,8 @@ const char* phase_name(Phase p) {
       return "bn_sync";
     case Phase::kEval:
       return "eval";
+    case Phase::kAllReduceExposed:
+      return "allreduce_exposed";
   }
   return "unknown";
 }

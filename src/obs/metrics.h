@@ -29,14 +29,20 @@ enum class Phase {
   kDataLoad = 0,
   kForward,
   kBackward,
-  kAllReduce,  // gradient all-reduce collective only (Table 1's column)
+  kAllReduce,  // gradient all-reduce collective only (Table 1's column):
+               // total wall time inside the collectives, wherever they ran
   kGradPack,   // flat-buffer pack before / unpack after the all-reduce
   kOptimizer,  // grad clip, LR, optimizer step, EMA
   kBnSync,
   kEval,
+  // Gradient all-reduce time the step actually *waited* on: the serial
+  // path exposes all of kAllReduce; the bucketed overlap path exposes only
+  // the join-point wait after backward, with the rest hidden behind
+  // compute. kAllReduce - kAllReduceExposed is the overlap win.
+  kAllReduceExposed,
 };
 
-inline constexpr int kPhaseCount = 8;
+inline constexpr int kPhaseCount = 9;
 
 // Stable JSONL key for a phase: "data_load", "forward", ...
 const char* phase_name(Phase p);
@@ -84,6 +90,12 @@ struct PhaseTotals {
   // measured counterpart of Table 1's "% time in all-reduce".
   double allreduce_fraction() const {
     return step_seconds > 0 ? phase(Phase::kAllReduce) / step_seconds : 0;
+  }
+  // Share of summed step time the step *waited* on gradient all-reduce
+  // (== allreduce_fraction() on the serial path; smaller with overlap on).
+  double exposed_allreduce_fraction() const {
+    return step_seconds > 0 ? phase(Phase::kAllReduceExposed) / step_seconds
+                            : 0;
   }
 };
 

@@ -134,11 +134,30 @@ Tensor ResNet::forward(const Tensor& x, bool training) {
 }
 
 Tensor ResNet::backward(const Tensor& grad_out) {
+  // Stage-completion notifications for the bucketed gradient sync; the
+  // order is architecture-determined, identical across SPMD replicas.
   Tensor g = pool_.backward(classifier_->backward(grad_out));
+  if (grad_sink_ != nullptr) {
+    std::vector<nn::Param*> ready;
+    classifier_->collect_params(ready);
+    notify_grads_ready(ready);
+  }
   for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
     g = (*it)->backward(g);
+    if (grad_sink_ != nullptr) {
+      std::vector<nn::Param*> ready;
+      (*it)->collect_params(ready);
+      notify_grads_ready(ready);
+    }
   }
-  return stem_conv_.backward(stem_bn_.backward(stem_relu_.backward(g)));
+  g = stem_conv_.backward(stem_bn_.backward(stem_relu_.backward(g)));
+  if (grad_sink_ != nullptr) {
+    std::vector<nn::Param*> ready;
+    stem_conv_.collect_params(ready);
+    stem_bn_.collect_params(ready);
+    notify_grads_ready(ready);
+  }
+  return g;
 }
 
 void ResNet::collect_params(std::vector<nn::Param*>& out) {

@@ -18,6 +18,7 @@
 
 #include "check/mutex.h"
 #include "check/tensor_guard.h"
+#include "dist/comm_thread.h"
 #include "dist/communicator.h"
 #include "dist/replica.h"
 #include "tensor/tensor.h"
@@ -51,6 +52,45 @@ TEST(Collectives, MatchingSequencePassesInBothModes) {
   });
   EXPECT_FLOAT_EQ(data[0][0], 4.f);
   EXPECT_FLOAT_EQ(data[1][1], 6.f);
+}
+
+TEST(Collectives, InterleavedBucketAndMainChannelsPass) {
+  // Regression for the bucketed-overlap path: bucket collectives (comm
+  // thread, bucket channel) interleave with main-channel collectives from
+  // the replica thread. Each channel has its own verifier sequence, so the
+  // interleaving must neither deadlock nor trip a false mismatch.
+  dist::Communicator comm(2);
+  std::vector<std::vector<float>> grads{{1.f, 2.f, 3.f, 4.f},
+                                        {5.f, 6.f, 7.f, 8.f}};
+  std::vector<double> metrics(2, 0.0);
+  dist::run_replicas(2, [&](int r) {
+    dist::BucketReducer reducer(&comm, r, dist::AllReduceAlgorithm::kRing);
+    auto& mine = grads[static_cast<std::size_t>(r)];
+    reducer.submit(0, std::span<float>(mine.data(), 2));
+    // While bucket 0 is (potentially) in flight on the bucket channel:
+    metrics[static_cast<std::size_t>(r)] =
+        comm.allreduce_scalar(r, 1.0, "metric_sum");
+    reducer.submit(1, std::span<float>(mine.data() + 2, 2));
+    comm.barrier(r, "step_done");
+    reducer.wait_all();
+  });
+  EXPECT_FLOAT_EQ(grads[0][0], 6.f);
+  EXPECT_FLOAT_EQ(grads[1][3], 12.f);
+  EXPECT_DOUBLE_EQ(metrics[0], 2.0);
+}
+
+TEST(Collectives, SequenceRingWrapDoesNotFalsePositive) {
+  // More tagged collectives than the verifier's per-rank slot depth: the
+  // ring recycles slots and a matched sequence must stay silent.
+  dist::Communicator comm(2);
+  dist::run_replicas(2, [&](int r) {
+    for (int round = 0; round < 10; ++round) {
+      std::vector<float> v(3, static_cast<float>(r));
+      comm.allreduce_sum(r, v, dist::AllReduceAlgorithm::kFlat,
+                         "wrap_allreduce");
+      comm.barrier(r, "wrap_barrier");
+    }
+  });
 }
 
 #ifdef PODNET_CHECK
@@ -124,6 +164,24 @@ TEST(CollectiveVerifier, SkippedCollectiveShowsSequenceSkew) {
   for (const std::string& msg : messages) {
     EXPECT_NE(msg.find("op=barrier"), std::string::npos) << msg;
     EXPECT_NE(msg.find("op=allreduce"), std::string::npos) << msg;
+  }
+}
+
+TEST(CollectiveVerifier, DivergentBucketIdsDiagnosed) {
+  // The overlap path tags every bucket collective with its bucket id; two
+  // ranks whose comm threads pair up on *different* buckets must get a
+  // diagnostic naming both ids, not a silent wrong-buffer reduction.
+  dist::Communicator comm(2);
+  std::vector<float> a(4, 1.f);
+  std::vector<float> b(4, 1.f);
+  const auto messages = mismatch_messages(2, [&](int r) {
+    comm.allreduce_sum_bucket(r, r == 0 ? std::span<float>(a) : b,
+                              dist::AllReduceAlgorithm::kRing,
+                              /*bucket=*/r == 0 ? 3 : 5);
+  });
+  for (const std::string& msg : messages) {
+    EXPECT_NE(msg.find("bucket=3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bucket=5"), std::string::npos) << msg;
   }
 }
 

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
+#include <span>
 #include <vector>
 
+#include "dist/comm_thread.h"
 #include "dist/replica.h"
 #include "tensor/rng.h"
 
@@ -62,10 +65,17 @@ std::vector<AllReduceCase> all_cases() {
   std::vector<AllReduceCase> cases;
   for (AllReduceAlgorithm alg :
        {AllReduceAlgorithm::kFlat, AllReduceAlgorithm::kRing,
-        AllReduceAlgorithm::kHalvingDoubling,
-        AllReduceAlgorithm::kTwoLevel}) {
+        AllReduceAlgorithm::kHalvingDoubling, AllReduceAlgorithm::kTwoLevel,
+        AllReduceAlgorithm::kTwoLevelRing}) {
     for (int ranks : {1, 2, 3, 4, 5, 8}) {
-      for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+      // 0, 1, and ranks-1 are the degenerate shapes: empty payload, a
+      // single element every chunking scheme must route somewhere, and a
+      // vector one short of the rank count (some chunks empty on every
+      // algorithm). 7/64/1000 are the generic small/medium sizes.
+      for (std::size_t n :
+           {std::size_t{0}, std::size_t{1},
+            static_cast<std::size_t>(ranks - 1), std::size_t{7},
+            std::size_t{64}, std::size_t{1000}}) {
         cases.push_back({ranks, n, alg});
       }
     }
@@ -102,7 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(AllReduceAlgorithm::kFlat,
                                          AllReduceAlgorithm::kRing,
                                          AllReduceAlgorithm::kHalvingDoubling,
-                                         AllReduceAlgorithm::kTwoLevel)));
+                                         AllReduceAlgorithm::kTwoLevel,
+                                         AllReduceAlgorithm::kTwoLevelRing)));
 
 TEST(AllReduceTest, SizeSmallerThanRanks) {
   // Vector shorter than the rank count: some ring chunks are empty.
@@ -215,6 +226,120 @@ TEST(CommunicatorTest, SingleRankIsNoop) {
   comm.allreduce_sum(0, v, AllReduceAlgorithm::kRing);
   EXPECT_EQ(v[0], 1.f);
   EXPECT_DOUBLE_EQ(comm.allreduce_scalar(0, 5.0), 5.0);
+}
+
+class BucketReducerTest
+    : public ::testing::TestWithParam<AllReduceAlgorithm> {};
+
+TEST_P(BucketReducerTest, OverlappedMatchesSerialBitwise) {
+  // The overlap contract: handing the buckets to the comm thread must
+  // produce exactly the floats the blocking per-bucket path produces —
+  // same partition, same algorithm, same bits. Bucket shapes are chosen
+  // adversarially: a large one, a single element, an empty one, and the
+  // uneven remainder.
+  const AllReduceAlgorithm alg = GetParam();
+  const int ranks = 4;
+  const std::size_t n = 1000;
+  const std::size_t bounds[] = {0, 640, 641, 641, 1000};  // [641,641) empty
+  auto serial = make_inputs(ranks, n);
+  auto overlapped = serial;
+
+  {
+    Communicator comm(ranks);
+    run_replicas(ranks, [&](int r) {
+      auto& mine = serial[static_cast<std::size_t>(r)];
+      for (std::size_t b = 0; b + 1 < std::size(bounds); ++b) {
+        comm.allreduce_sum(r,
+                           std::span<float>(mine.data() + bounds[b],
+                                            bounds[b + 1] - bounds[b]),
+                           alg);
+      }
+    });
+  }
+  {
+    Communicator comm(ranks);
+    run_replicas(ranks, [&](int r) {
+      BucketReducer reducer(&comm, r, alg);
+      auto& mine = overlapped[static_cast<std::size_t>(r)];
+      for (std::size_t b = 0; b + 1 < std::size(bounds); ++b) {
+        reducer.submit(static_cast<std::int64_t>(b),
+                       std::span<float>(mine.data() + bounds[b],
+                                        bounds[b + 1] - bounds[b]));
+      }
+      const DrainStats drained = reducer.wait_all();
+      EXPECT_EQ(drained.buckets, std::size(bounds) - 1);
+    });
+  }
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(std::memcmp(serial[static_cast<std::size_t>(r)].data(),
+                          overlapped[static_cast<std::size_t>(r)].data(),
+                          n * sizeof(float)),
+              0)
+        << "rank " << r << " alg " << to_string(alg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, BucketReducerTest,
+    ::testing::Values(AllReduceAlgorithm::kFlat, AllReduceAlgorithm::kRing,
+                      AllReduceAlgorithm::kHalvingDoubling,
+                      AllReduceAlgorithm::kTwoLevel,
+                      AllReduceAlgorithm::kTwoLevelRing));
+
+TEST(BucketReducerTest, BucketChannelIsIndependentOfMainChannel) {
+  // A main-channel collective issued while the comm thread is mid-bucket
+  // must pair with the other ranks' main-channel calls, never with a
+  // bucket rendezvous — the two streams have separate barriers.
+  const int ranks = 4;
+  auto data = make_inputs(ranks, 512);
+  const auto expected = expected_sum(data);
+  std::vector<double> scalars(static_cast<std::size_t>(ranks), 0.0);
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    BucketReducer reducer(&comm, r, AllReduceAlgorithm::kRing);
+    auto& mine = data[static_cast<std::size_t>(r)];
+    reducer.submit(0, std::span<float>(mine.data(), 256));
+    // While that bucket is (potentially) in flight, use the main channel.
+    scalars[static_cast<std::size_t>(r)] = comm.allreduce_scalar(r, r + 1.0);
+    reducer.submit(1, std::span<float>(mine.data() + 256, 256));
+    reducer.wait_all();
+  });
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_DOUBLE_EQ(scalars[static_cast<std::size_t>(r)], 10.0);
+    for (std::size_t i = 0; i < 512; ++i) {
+      ASSERT_NEAR(data[static_cast<std::size_t>(r)][i], expected[i],
+                  1e-4f * (1.f + std::abs(expected[i])));
+    }
+  }
+}
+
+TEST(BucketReducerTest, IdleDestructionLeavesWorldHealthy) {
+  // A reducer destroyed with nothing queued and nothing in flight must not
+  // abort the communicator: later collectives still work.
+  const int ranks = 2;
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    { BucketReducer reducer(&comm, r, AllReduceAlgorithm::kRing); }
+    std::vector<float> v(8, static_cast<float>(r + 1));
+    comm.allreduce_sum(r, v, AllReduceAlgorithm::kRing);
+    for (float x : v) EXPECT_FLOAT_EQ(x, 3.f);
+  });
+}
+
+TEST(TwoLevelRingTest, DegeneratesToPlainRingOnPrimeRanks) {
+  // gs == 1 (no divisor of 7 below sqrt): phase A/C are no-ops and phase B
+  // is the whole reduction; the result must still be the full sum.
+  const int ranks = 7;
+  auto data = make_inputs(ranks, 129);
+  const auto expected = expected_sum(data);
+  Communicator comm(ranks);
+  run_replicas(ranks, [&](int r) {
+    comm.allreduce_sum(r, data[static_cast<std::size_t>(r)],
+                       AllReduceAlgorithm::kTwoLevelRing);
+  });
+  for (std::size_t i = 0; i < 129; ++i) {
+    EXPECT_NEAR(data[3][i], expected[i], 1e-4f * (1.f + std::abs(expected[i])));
+  }
 }
 
 TEST(HalvingDoublingTest, NonPowerOfTwoFallsBackToRing) {

@@ -67,5 +67,99 @@ TEST(FlatBufferTest, OrderIsCanonical) {
   EXPECT_EQ(buf.span()[1], 2.f);
 }
 
+// Asserts the partition invariants the overlap path relies on: buckets are
+// contiguous, cover the whole buffer with no gaps or overlaps, and their
+// param ranges tile [0, params.size()) in order.
+void check_partition(const std::vector<BucketSpan>& buckets,
+                     const std::vector<Param*>& params, std::size_t total) {
+  std::size_t next_offset = 0;
+  std::size_t next_param = 0;
+  for (const BucketSpan& b : buckets) {
+    EXPECT_EQ(b.begin, next_offset);
+    EXPECT_EQ(b.first_param, next_param);
+    EXPECT_GE(b.param_count, 1u);
+    std::size_t elems = 0;
+    for (std::size_t p = b.first_param; p < b.first_param + b.param_count;
+         ++p) {
+      elems += static_cast<std::size_t>(params[p]->value.numel());
+    }
+    EXPECT_EQ(b.size(), elems);
+    next_offset = b.end;
+    next_param += b.param_count;
+  }
+  EXPECT_EQ(next_offset, total);
+  EXPECT_EQ(next_param, params.size());
+}
+
+TEST(FlatBufferTest, PartitionCoversAllParamsWithoutGapsOrOverlaps) {
+  Param a("a", Tensor(Shape{100}));
+  Param b("b", Tensor(Shape{3}));
+  Param c("c", Tensor(Shape{300}));   // bigger than a whole bucket
+  Param d("d", Tensor(Shape{1}));
+  Param e("e", Tensor(Shape{50}));
+  std::vector<Param*> params = {&a, &b, &c, &d, &e};
+  FlatBuffer buf(params);
+  for (std::size_t bucket_bytes :
+       {sizeof(float) * 128, sizeof(float) * 1, sizeof(float) * 100000}) {
+    SCOPED_TRACE(bucket_bytes);
+    const auto buckets = buf.partition(bucket_bytes);
+    check_partition(buckets, params, buf.size());
+  }
+}
+
+TEST(FlatBufferTest, PartitionZeroBytesIsPerParam) {
+  Param a("a", Tensor(Shape{4}));
+  Param b("b", Tensor(Shape{2}));
+  Param c("c", Tensor(Shape{6}));
+  std::vector<Param*> params = {&a, &b, &c};
+  FlatBuffer buf(params);
+  const auto buckets = buf.partition(0);
+  ASSERT_EQ(buckets.size(), 3u);
+  check_partition(buckets, params, buf.size());
+  EXPECT_EQ(buckets[0].size(), 4u);
+  EXPECT_EQ(buckets[1].size(), 2u);
+  EXPECT_EQ(buckets[2].size(), 6u);
+}
+
+TEST(FlatBufferTest, PartitionSingleBucketWhenBytesHuge) {
+  Param a("a", Tensor(Shape{8}));
+  Param b("b", Tensor(Shape{8}));
+  std::vector<Param*> params = {&a, &b};
+  FlatBuffer buf(params);
+  const auto buckets = buf.partition(1u << 30);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].begin, 0u);
+  EXPECT_EQ(buckets[0].end, buf.size());
+  EXPECT_EQ(buckets[0].param_count, 2u);
+}
+
+TEST(FlatBufferTest, PerBucketPackMatchesFullPack) {
+  Param a("a", Tensor(Shape{3}));
+  Param b("b", Tensor(Shape{5}));
+  Param c("c", Tensor(Shape{2}));
+  a.grad = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  b.grad = Tensor::from_vector(Shape{5}, {4, 5, 6, 7, 8});
+  c.grad = Tensor::from_vector(Shape{2}, {9, 10});
+  std::vector<Param*> params = {&a, &b, &c};
+  FlatBuffer whole(params);
+  whole.pack_grads(params);
+  FlatBuffer per_param(params);
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    per_param.pack_grad(params, p);
+  }
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(per_param.span()[i], whole.span()[i]) << i;
+  }
+  // bucket_span addresses exactly the partition's slice of the buffer.
+  const auto buckets = per_param.partition(sizeof(float) * 4);
+  std::size_t covered = 0;
+  for (const BucketSpan& bsp : buckets) {
+    auto view = per_param.bucket_span(bsp);
+    EXPECT_EQ(view.data(), per_param.span().data() + bsp.begin);
+    covered += view.size();
+  }
+  EXPECT_EQ(covered, per_param.size());
+}
+
 }  // namespace
 }  // namespace podnet::core

@@ -300,6 +300,8 @@ TEST(StepMetricsTest, PhaseTotalsAccumulate) {
   b.images = 10;
   b.allreduce_bytes = 100;
   b.phase(obs::Phase::kAllReduce) = 0.35;
+  a.phase(obs::Phase::kAllReduceExposed) = 0.05;
+  b.phase(obs::Phase::kAllReduceExposed) = 0.15;
   obs::PhaseTotals t;
   t.add(a);
   t.add(b);
@@ -308,6 +310,7 @@ TEST(StepMetricsTest, PhaseTotalsAccumulate) {
   EXPECT_EQ(t.allreduce_bytes, 200);
   EXPECT_DOUBLE_EQ(t.phase(obs::Phase::kAllReduce), 0.6);
   EXPECT_DOUBLE_EQ(t.allreduce_fraction(), 0.3);
+  EXPECT_DOUBLE_EQ(t.exposed_allreduce_fraction(), 0.1);
 }
 
 // ---- Trainer integration ----------------------------------------------------
@@ -365,11 +368,20 @@ TEST(TrainerObservabilityTest, EmitsOneRecordPerRankPerStep) {
   EXPECT_GE(r.allreduce_fraction, 0.0);
   EXPECT_LT(r.allreduce_fraction, 1.0);
   EXPECT_DOUBLE_EQ(r.allreduce_fraction, r.phase_totals.allreduce_fraction());
-  // Phases tile the step: their sum (excluding eval, which is measured
-  // outside the step window) cannot exceed total step time.
+  // Serially, the exposed wait is the all-reduce phase itself.
+  EXPECT_DOUBLE_EQ(r.phase_totals.phase(obs::Phase::kAllReduceExposed),
+                   r.phase_totals.phase(obs::Phase::kAllReduce));
+  EXPECT_DOUBLE_EQ(r.exposed_allreduce_fraction, r.allreduce_fraction);
+  // Phases tile the step: their sum cannot exceed total step time. Eval is
+  // measured outside the step window, and the exposed all-reduce is an
+  // overlay of the kAllReduce phase (the waited-on part), not another
+  // tile — both stay out of the sum.
   double phase_sum = 0;
   for (int p = 0; p < obs::kPhaseCount; ++p) {
-    if (static_cast<obs::Phase>(p) == obs::Phase::kEval) continue;
+    if (static_cast<obs::Phase>(p) == obs::Phase::kEval ||
+        static_cast<obs::Phase>(p) == obs::Phase::kAllReduceExposed) {
+      continue;
+    }
     phase_sum += r.phase_totals.seconds[p];
   }
   EXPECT_LE(phase_sum, r.phase_totals.step_seconds * 1.01 + 1e-6);

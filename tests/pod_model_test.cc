@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace podnet::tpu {
 namespace {
 
@@ -70,6 +72,46 @@ TEST(StepModelTest, BreakdownSumsToStep) {
   const auto b = b2_step(512);
   EXPECT_NEAR(b.step_s, b.compute_s + b.allreduce_s + b.overhead_s, 1e-12);
   EXPECT_NEAR(b.allreduce_percent, 100.0 * b.allreduce_s / b.step_s, 1e-9);
+}
+
+TEST(StepModelTest, OverlapShrinksExposedAllReduceOnly) {
+  // Bucketed overlap hides communication behind backward: total comm time
+  // is unchanged, but the exposed share — and therefore the step — drops.
+  const effnet::ModelCost cost = effnet::analyze(effnet::b(2));
+  StepOptions serial;
+  serial.per_core_batch = 32;
+  StepOptions over = serial;
+  over.overlap_allreduce = true;
+  for (int cores : {128, 512, 1024}) {
+    const auto s = model_step(cost, make_slice(cores), tpu_v3(), serial);
+    const auto o = model_step(cost, make_slice(cores), tpu_v3(), over);
+    EXPECT_EQ(o.allreduce_s, s.allreduce_s) << cores;
+    EXPECT_LT(o.exposed_allreduce_s, s.exposed_allreduce_s) << cores;
+    EXPECT_LT(o.step_s, s.step_s) << cores;
+    EXPECT_NEAR(o.step_s, o.compute_s + o.exposed_allreduce_s + o.overhead_s,
+                1e-12);
+    // The last bucket becomes ready only when backward ends, so at least
+    // one bucket's worth of communication always stays exposed.
+    const double buckets =
+        std::max(1.0, std::ceil(cost.gradient_bytes() / over.bucket_bytes));
+    EXPECT_GE(o.exposed_allreduce_s, o.allreduce_s / buckets - 1e-15)
+        << cores;
+  }
+}
+
+TEST(StepModelTest, SmallerBucketsHideMoreCommunication) {
+  // When the unhideable tail dominates (comm otherwise fits under
+  // backward), shrinking the bucket shrinks the tail.
+  const effnet::ModelCost cost = effnet::analyze(effnet::b(2));
+  StepOptions big;
+  big.per_core_batch = 32;
+  big.overlap_allreduce = true;
+  big.bucket_bytes = 64.0 * (1 << 20);
+  StepOptions small = big;
+  small.bucket_bytes = 1.0 * (1 << 20);
+  const auto sb = model_step(cost, make_slice(128), tpu_v3(), big);
+  const auto ss = model_step(cost, make_slice(128), tpu_v3(), small);
+  EXPECT_LE(ss.exposed_allreduce_s, sb.exposed_allreduce_s);
 }
 
 TEST(RunModelTest, MoreCoresFinishFaster) {

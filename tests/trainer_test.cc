@@ -122,6 +122,77 @@ TEST(TrainerTest, AllReduceAlgorithmsAgree) {
   EXPECT_NEAR(flat.final_train_loss, hd.final_train_loss, 0.05);
 }
 
+TEST(TrainerTest, OverlapOffIsBitExactSerialPath) {
+  // overlap=false must take the historical single-buffer blocking path:
+  // bucket_bytes (and the whole overlap machinery) must have zero effect
+  // on the trajectory — two runs differing only in bucket_bytes with
+  // overlap off are bitwise identical.
+  TrainConfig c = base_config();
+  c.epochs = 2.0;
+  c.overlap = false;
+  c.bucket_bytes = 4u << 20;
+  const TrainResult a = train(c);
+  c.bucket_bytes = 64;  // would change the partition if it were consulted
+  const TrainResult b = train(c);
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+  EXPECT_EQ(a.peak_accuracy, b.peak_accuracy);
+  EXPECT_EQ(a.history.back().train_loss, b.history.back().train_loss);
+  // Serially, the exposed wait IS the all-reduce phase.
+  EXPECT_DOUBLE_EQ(a.exposed_allreduce_fraction, a.allreduce_fraction);
+}
+
+TEST(TrainerTest, OverlapRunIsDeterministicAndConsistent) {
+  // The bucketed path keeps both training invariants: replicas stay
+  // bit-identical every step (deterministic backward-driven submission
+  // order), and the same seed reproduces the run bitwise.
+  TrainConfig c = base_config();
+  c.epochs = 2.0;
+  c.replicas = 4;
+  c.per_replica_batch = 16;
+  c.overlap = true;
+  c.bucket_bytes = 16u << 10;  // several buckets at pico scale
+  c.check_consistency = true;
+  const TrainResult a = train(c);
+  const TrainResult b = train(c);
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+  EXPECT_EQ(a.peak_accuracy, b.peak_accuracy);
+  EXPECT_GE(a.exposed_allreduce_fraction, 0.0);
+  EXPECT_LT(a.exposed_allreduce_fraction, 1.0);
+}
+
+TEST(TrainerTest, OverlapTrainsEquivalentlyToSerial) {
+  // Same partition, same per-bucket reductions — the overlapped trajectory
+  // may differ from the serial one only through the bucket split of the
+  // float reduction order, so losses land within the same tolerance the
+  // all-reduce algorithms grant each other.
+  TrainConfig c = base_config();
+  c.epochs = 2.0;
+  c.replicas = 4;
+  c.per_replica_batch = 16;
+  c.bucket_bytes = 16u << 10;
+  c.overlap = false;
+  const TrainResult serial = train(c);
+  c.overlap = true;
+  const TrainResult overlapped = train(c);
+  EXPECT_NEAR(serial.final_train_loss, overlapped.final_train_loss, 0.05);
+  EXPECT_NEAR(serial.peak_accuracy, overlapped.peak_accuracy, 0.15);
+}
+
+TEST(TrainerTest, OverlapWorksUnderCollectiveVerification) {
+  // The per-bucket sequence tags must let the verifier accept an overlap
+  // run (comm-thread collectives interleaved with main-channel ones) and
+  // with every algorithm the trainer offers, including the two-level ring.
+  TrainConfig c = base_config();
+  c.epochs = 1.0;
+  c.replicas = 4;
+  c.per_replica_batch = 16;
+  c.overlap = true;
+  c.bucket_bytes = 16u << 10;
+  c.verify_collectives = true;
+  c.allreduce = dist::AllReduceAlgorithm::kTwoLevelRing;
+  EXPECT_NO_THROW(train(c));
+}
+
 TEST(TrainerTest, RejectsOversizedGlobalBatch) {
   TrainConfig c = base_config();
   c.per_replica_batch = 1024;  // 2048 global > 512 train images

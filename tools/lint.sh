@@ -11,7 +11,11 @@
 #   3. every header under src/ carries `#pragma once`;
 #   4. no raw condition-variable `.wait(` under src/dist/ — an unbounded
 #      wait turns one dead rank into a whole-job hang; use
-#      dist::deadline_wait (which slices even a disabled policy).
+#      dist::deadline_wait (which slices even a disabled policy);
+#   5. no raw std::thread under src/dist/ outside replica.cc (the SPMD
+#      launcher) and comm_thread.cc (the bucket-reduction comm thread) —
+#      ad-hoc threads dodge both the deadline discipline and the
+#      exception-propagation contract those two files implement.
 set -u
 fail=0
 
@@ -41,6 +45,20 @@ if [ -n "$matches" ]; then
   printf '%s\n' "$matches"
   echo "lint: raw condition_variable wait() is banned under src/dist/;" \
        "use dist::deadline_wait so no collective wait is unbounded"
+  fail=1
+fi
+
+# `std::thread` followed by anything but an identifier character (so
+# std::this_thread::sleep_for and friends stay legal). Thread ownership in
+# the distributed runtime lives in exactly two places.
+matches=$(grep -rnE 'std::thread[^_a-zA-Z0-9]' --include='*.cc' \
+  --include='*.h' src/dist/ 2>/dev/null |
+  grep -v -e '^src/dist/replica\.cc:' -e '^src/dist/comm_thread\.' )
+if [ -n "$matches" ]; then
+  printf '%s\n' "$matches"
+  echo "lint: raw std::thread is banned under src/dist/ outside" \
+       "replica.cc and comm_thread.{h,cc}; route new threads through" \
+       "run_replicas or BucketReducer"
   fail=1
 fi
 
