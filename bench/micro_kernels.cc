@@ -2,22 +2,32 @@
 // convolution lowering, depthwise convolution, batch norm, bf16
 // conversion — at EfficientNet-pico-like shapes.
 //
-// Three modes share one binary:
+// Modes sharing one binary:
 //   (default)       google-benchmark, including cmp/<kernel>/<level> rows
-//                   that time the scalar reference against the SIMD path;
+//                   that time the scalar reference against each SIMD tier;
 //   --smoke         perf-regression gate for the `perf_smoke` ctest label:
-//                   fails if the SIMD path is slower than scalar on any
+//                   fails if a SIMD path is slower than scalar on any
 //                   compared kernel (trivially passes without AVX2);
 //   --json PATH     writes one JSONL "kernel_bench" row per compared
-//                   kernel (GFLOP/s both levels + speedup) and re-validates
-//                   the file through obs::validate_jsonl_file.
+//                   kernel (GFLOP/s at every level + speedups) and
+//                   re-validates the file through obs::validate_jsonl_file;
+//   --diff PATH     compares this run's scalar-vs-SIMD speedups against a
+//                   committed trajectory (BENCH_kernels.json) and fails on
+//                   a >15% speedup regression. Speedup ratios, not raw
+//                   GFLOP/s, so the gate is portable across host classes;
+//   --threads N     sets PODNET_THREADS=N before the kernel pool spins up
+//                   (total participating threads; lets CI record 1-thread
+//                   and N-thread trajectories from separate processes).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,10 +38,12 @@
 #include "nn/loss.h"
 #include "obs/json.h"
 #include "tensor/bf16.h"
+#include "tensor/conv_direct.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
+#include "tensor/thread_pool.h"
 
 namespace {
 
@@ -217,14 +229,57 @@ std::vector<CmpKernel> make_cmp_kernels() {
                   }});
   }
 
-  {
+  // Real EfficientNet-B0 MBConv depthwise shapes (batch 1, expanded
+  // channel counts): the stage-2 repeat block (3x3 s1 C=144 @ 56^2), the
+  // stage-3 repeat block (5x5 s1 C=240 @ 28^2), and the stage-2 entry
+  // block's strided filter (3x3 s2 C=96, 112^2 -> 56^2). Flops are the
+  // zero-padding upper bound 2*OH*OW*K^2*C.
+  auto add_depthwise = [&](std::int64_t c, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t hw,
+                           const std::string& tag) {
     Rng rng(13);
-    auto dw = std::make_shared<nn::DepthwiseConv2D>(32, 3, 1, rng);
-    auto x = std::make_shared<Tensor>(Tensor::randn(Shape{4, 16, 16, 32}, rng));
-    const double flops = 2.0 * 4 * 16 * 16 * 9 * 32;  // upper bound (padding)
-    ks.push_back({"depthwise_4x16x16x32", flops, [=] {
+    auto dw = std::make_shared<nn::DepthwiseConv2D>(c, kernel, stride, rng);
+    auto x = std::make_shared<Tensor>(Tensor::randn(Shape{1, hw, hw, c}, rng));
+    const std::int64_t out_hw = (hw + stride - 1) / stride;
+    const double flops =
+        2.0 * static_cast<double>(out_hw * out_hw * kernel * kernel * c);
+    ks.push_back({tag, flops, [=] {
                     Tensor y = dw->forward(*x, false);
                     benchmark::DoNotOptimize(y.data());
+                  }});
+  };
+  add_depthwise(144, 3, 1, 56, "mbconv_dw3x3_s1_56x56x144");
+  add_depthwise(240, 5, 1, 28, "mbconv_dw5x5_s1_28x28x240");
+  add_depthwise(96, 3, 2, 112, "mbconv_dw3x3_s2_112x112x96");
+
+  {
+    // Stage-2 pointwise expansion (1x1 conv 24 -> 144 over 56^2 pixels):
+    // Conv2D lowers this to a single GEMM with no im2col.
+    Rng rng(16);
+    auto pw = std::make_shared<nn::Conv2D>(24, 144, 1, 1, rng);
+    auto x = std::make_shared<Tensor>(Tensor::randn(Shape{1, 56, 56, 24}, rng));
+    const double flops = 2.0 * 56 * 56 * 24 * 144;
+    ks.push_back({"mbconv_pw1x1_56x56_24to144", flops, [=] {
+                    Tensor y = pw->forward(*x, false);
+                    benchmark::DoNotOptimize(y.data());
+                  }});
+  }
+
+  {
+    // EfficientNet stem (3x3 s2, 3 -> 32 @ 224^2) through the direct
+    // kernel with the fused bias+swish epilogue — the im2col-free path.
+    const auto g = tensor::ConvGeometry::same(1, 112, 112, 3, 3, 2);
+    Rng rng(17);
+    auto x = std::make_shared<Tensor>(Tensor::randn(Shape{1, 112, 112, 3}, rng));
+    auto w = std::make_shared<Tensor>(Tensor::randn(Shape{3, 3, 3, 32}, rng));
+    auto b = std::make_shared<Tensor>(Tensor::randn(Shape{32}, rng));
+    auto y = std::make_shared<Tensor>(Shape{1, g.out_h, g.out_w, 32});
+    const double flops = 2.0 * static_cast<double>(g.out_h * g.out_w) * 9 * 3 * 32;
+    ks.push_back({"stem_conv3x3_s2_direct", flops, [=] {
+                    tensor::conv::conv2d_direct(
+                        g, 32, x->data(), w->data(), b->data(),
+                        tensor::conv::Epilogue::kBiasSwish, y->data());
+                    benchmark::DoNotOptimize(y->data());
                   }});
   }
 
@@ -312,12 +367,17 @@ struct CmpResult {
   std::string name;
   double flops = 0;
   double scalar_s = 0;
-  double simd_s = 0;
+  double simd_s = 0;    // avx2
+  double avx512_s = 0;  // 0 when the host has no AVX-512
   double speedup() const { return simd_s > 0 ? scalar_s / simd_s : 0; }
+  double avx512_speedup() const {
+    return avx512_s > 0 ? scalar_s / avx512_s : 0;
+  }
   double gflops(double s) const { return s > 0 ? flops / s * 1e-9 : 0; }
 };
 
 std::vector<CmpResult> run_comparisons() {
+  const bool have_avx512 = simd::detected_level() >= simd::Level::kAvx512;
   std::vector<CmpResult> out;
   for (const CmpKernel& k : make_cmp_kernels()) {
     CmpResult r;
@@ -331,17 +391,23 @@ std::vector<CmpResult> run_comparisons() {
       simd::ScopedLevel lvl(simd::Level::kAvx2);
       r.simd_s = best_seconds(k.run);
     }
+    if (have_avx512) {
+      simd::ScopedLevel lvl(simd::Level::kAvx512);
+      r.avx512_s = best_seconds(k.run);
+    }
     out.push_back(std::move(r));
   }
   return out;
 }
 
 void print_table(const std::vector<CmpResult>& results) {
-  std::printf("%-28s %12s %12s %9s\n", "kernel", "scalar GF/s", "simd GF/s",
-              "speedup");
+  std::printf("%-28s %12s %12s %12s %9s\n", "kernel", "scalar GF/s",
+              "avx2 GF/s", "avx512 GF/s", "speedup");
   for (const CmpResult& r : results) {
-    std::printf("%-28s %12.3f %12.3f %8.2fx\n", r.name.c_str(),
-                r.gflops(r.scalar_s), r.gflops(r.simd_s), r.speedup());
+    std::printf("%-28s %12.3f %12.3f %12.3f %8.2fx\n", r.name.c_str(),
+                r.gflops(r.scalar_s), r.gflops(r.simd_s),
+                r.gflops(r.avx512_s),
+                std::max(r.speedup(), r.avx512_speedup()));
   }
 }
 
@@ -358,9 +424,15 @@ int run_smoke(const std::vector<CmpResult>& results) {
   int failures = 0;
   for (const CmpResult& r : results) {
     if (r.simd_s > r.scalar_s * kTolerance) {
-      std::printf("perf_smoke FAIL: %s simd %.3g s/iter vs scalar %.3g "
+      std::printf("perf_smoke FAIL: %s avx2 %.3g s/iter vs scalar %.3g "
                   "s/iter (>%.2fx slower)\n",
                   r.name.c_str(), r.simd_s, r.scalar_s, kTolerance);
+      ++failures;
+    }
+    if (r.avx512_s > 0 && r.avx512_s > r.scalar_s * kTolerance) {
+      std::printf("perf_smoke FAIL: %s avx512 %.3g s/iter vs scalar %.3g "
+                  "s/iter (>%.2fx slower)\n",
+                  r.name.c_str(), r.avx512_s, r.scalar_s, kTolerance);
       ++failures;
     }
   }
@@ -385,9 +457,15 @@ int write_json(const std::vector<CmpResult>& results,
         .field("flops", r.flops)
         .field("scalar_s", r.scalar_s)
         .field("simd_s", r.simd_s)
+        .field("avx512_s", r.avx512_s)
         .field("scalar_gflops", r.gflops(r.scalar_s))
         .field("simd_gflops", r.gflops(r.simd_s))
+        .field("avx512_gflops", r.gflops(r.avx512_s))
         .field("speedup", r.speedup())
+        .field("avx512_speedup", r.avx512_speedup())
+        .field("threads",
+               static_cast<double>(
+                   tensor::ThreadPool::global().worker_count() + 1))
         .field("detected_level", simd::level_name(simd::detected_level()));
     out << w.str() << '\n';
   }
@@ -405,9 +483,128 @@ int write_json(const std::vector<CmpResult>& results,
   return 0;
 }
 
+// Minimal field extraction for the committed JSONL trajectory (an obs
+// writer exists but no reader; the rows are flat and machine-written).
+double json_number_field(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  const auto p = line.find(pat);
+  if (p == std::string::npos) return -1.0;
+  return std::strtod(line.c_str() + p + pat.size(), nullptr);
+}
+
+std::string json_string_field(const std::string& line,
+                              const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  const auto p = line.find(pat);
+  if (p == std::string::npos) return "";
+  const auto q = line.find('\"', p + pat.size());
+  return line.substr(p + pat.size(), q - (p + pat.size()));
+}
+
+// --diff: compare this run's scalar-vs-SIMD *speedups* against the
+// committed trajectory. Ratios, not absolute GFLOP/s: the committed file
+// was measured on one host class and raw throughput is not portable, but
+// "avx2 is 6x scalar on this kernel" is. A kernel whose current speedup
+// falls more than 15% below the committed one fails the gate; rows new to
+// either side are reported, never failed. A kernel that trips the margin
+// is re-timed (up to twice, keeping its best speedups) before the gate
+// declares a regression: a loaded host skews a single scalar-vs-SIMD
+// ratio far more than 15%, but only noise recovers on retry.
+CmpResult measure_one(const std::string& name) {
+  const bool have_avx512 = simd::detected_level() >= simd::Level::kAvx512;
+  for (const CmpKernel& k : make_cmp_kernels()) {
+    if (k.name != name) continue;
+    CmpResult r;
+    r.name = k.name;
+    r.flops = k.flops;
+    {
+      simd::ScopedLevel lvl(simd::Level::kScalar);
+      r.scalar_s = best_seconds(k.run);
+    }
+    {
+      simd::ScopedLevel lvl(simd::Level::kAvx2);
+      r.simd_s = best_seconds(k.run);
+    }
+    if (have_avx512) {
+      simd::ScopedLevel lvl(simd::Level::kAvx512);
+      r.avx512_s = best_seconds(k.run);
+    }
+    return r;
+  }
+  return {};
+}
+
+int run_diff(const std::vector<CmpResult>& results, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "--diff: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  if (simd::detected_level() == simd::Level::kScalar) {
+    std::printf("bench diff: no SIMD level on this host; nothing to gate.\n");
+    return 0;
+  }
+  struct Committed {
+    double speedup = 0;
+    double avx512_speedup = 0;
+  };
+  std::map<std::string, Committed> committed;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (json_string_field(line, "kind") != "kernel_bench") continue;
+    const std::string name = json_string_field(line, "name");
+    if (name.empty()) continue;
+    committed[name] = {json_number_field(line, "speedup"),
+                       json_number_field(line, "avx512_speedup")};
+  }
+  constexpr double kMargin = 0.85;  // >15% speedup regression fails
+  int failures = 0, compared = 0;
+  for (const CmpResult& r : results) {
+    const auto it = committed.find(r.name);
+    if (it == committed.end()) {
+      std::printf("bench diff: %s has no committed baseline (new row)\n",
+                  r.name.c_str());
+      continue;
+    }
+    double avx2_now = r.speedup();
+    double avx512_now = r.avx512_speedup();
+    auto trips = [&] {
+      return (it->second.speedup > 0 && avx2_now > 0 &&
+              avx2_now < it->second.speedup * kMargin) ||
+             (it->second.avx512_speedup > 0 && avx512_now > 0 &&
+              avx512_now < it->second.avx512_speedup * kMargin);
+    };
+    for (int attempt = 0; attempt < 2 && trips(); ++attempt) {
+      std::printf("bench diff: re-timing %s (attempt %d)\n", r.name.c_str(),
+                  attempt + 2);
+      const CmpResult again = measure_one(r.name);
+      avx2_now = std::max(avx2_now, again.speedup());
+      avx512_now = std::max(avx512_now, again.avx512_speedup());
+    }
+    auto gate = [&](const char* tier, double now, double base) {
+      if (base <= 0 || now <= 0) return;  // tier absent on either host
+      ++compared;
+      if (now < base * kMargin) {
+        std::printf("bench diff FAIL: %s %s speedup %.2fx vs committed "
+                    "%.2fx (>15%% regression)\n",
+                    r.name.c_str(), tier, now, base);
+        ++failures;
+      }
+    };
+    gate("avx2", avx2_now, it->second.speedup);
+    gate("avx512", avx512_now, it->second.avx512_speedup);
+  }
+  if (failures == 0) {
+    std::printf("bench diff OK: %d tier speedups within 15%% of %s\n",
+                compared, path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 void register_cmp_benchmarks() {
   for (const CmpKernel& k : make_cmp_kernels()) {
-    for (simd::Level lvl : {simd::Level::kScalar, simd::Level::kAvx2}) {
+    for (simd::Level lvl : {simd::Level::kScalar, simd::Level::kAvx2,
+                            simd::Level::kAvx512}) {
       const std::string name =
           "cmp/" + k.name + "/" + simd::level_name(lvl);
       const double flops = k.flops;
@@ -427,24 +624,34 @@ void register_cmp_benchmarks() {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string json_path;
+  std::string json_path, diff_path;
   std::vector<char*> bench_args = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
+      diff_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // Must land before the first kernel call: the global pool reads
+      // PODNET_THREADS exactly once when it is first touched.
+      setenv("PODNET_THREADS", argv[++i], /*overwrite=*/1);
     } else {
       bench_args.push_back(argv[i]);
     }
   }
 
-  if (smoke || !json_path.empty()) {
+  if (smoke || !json_path.empty() || !diff_path.empty()) {
     const std::vector<CmpResult> results = run_comparisons();
     int rc = 0;
     if (!json_path.empty()) {
       rc = write_json(results, json_path);
       if (!smoke) print_table(results);
+    }
+    if (!diff_path.empty()) {
+      const int diff_rc = run_diff(results, diff_path);
+      if (rc == 0) rc = diff_rc;
     }
     if (smoke) {
       const int smoke_rc = run_smoke(results);

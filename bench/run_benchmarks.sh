@@ -3,8 +3,21 @@
 # trajectory in BENCH_kernels.json (JSONL, one "kernel_bench" row per
 # kernel; the binary self-validates the file through the JSONL validator).
 #
-# Usage: bench/run_benchmarks.sh [build_dir] [output_file]
+# Usage:
+#   bench/run_benchmarks.sh [build_dir] [output_file]     # record
+#   bench/run_benchmarks.sh --check [build_dir] [baseline] # regression gate
+#
+# --check re-times every kernel and diffs the scalar-vs-SIMD *speedups*
+# against the committed baseline, exiting nonzero when any kernel's speedup
+# regressed by more than 15%. Ratios rather than raw GFLOP/s keep the gate
+# meaningful across host classes; absolute throughput is not portable.
 set -eu
+
+CHECK=0
+if [ "${1:-}" = "--check" ]; then
+  CHECK=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_kernels.json}"
@@ -16,5 +29,13 @@ if [ ! -x "$BIN" ]; then
   exit 1
 fi
 
-"$BIN" --json "$OUT"
-echo "benchmark trajectory written to $OUT"
+if [ "$CHECK" = 1 ]; then
+  if [ ! -f "$OUT" ]; then
+    echo "error: baseline $OUT not found" >&2
+    exit 1
+  fi
+  "$BIN" --diff "$OUT"
+else
+  "$BIN" --json "$OUT"
+  echo "benchmark trajectory written to $OUT"
+fi

@@ -1,10 +1,11 @@
 #include "nn/conv.h"
 
 #include <cassert>
-#include <vector>
 
+#include "check/tensor_guard.h"
 #include "nn/init.h"
 #include "obs/profile.h"
+#include "tensor/conv_direct.h"
 #include "tensor/ops.h"
 
 namespace podnet::nn {
@@ -27,6 +28,16 @@ Conv2D::Conv2D(Index in_c, Index out_c, Index kernel, Index stride,
   }
 }
 
+void Conv2D::add_bias(Tensor& y) const {
+  if (!use_bias_) return;
+  float* yd = y.data();
+  const auto b = bias_->value.span();
+  const Index rows = y.numel() / out_c_;
+  for (Index r = 0; r < rows; ++r) {
+    tensor::add_inplace(b, {yd + r * out_c_, static_cast<std::size_t>(out_c_)});
+  }
+}
+
 Tensor Conv2D::forward(const Tensor& x, bool training) {
   PODNET_PROFILE_SPAN("conv2d.forward");
   assert(x.shape().rank() == 4 && x.shape()[3] == in_c_);
@@ -36,10 +47,44 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
   const Index k = geom_.col_cols();
   const Index m_img = geom_.out_h * geom_.out_w;
 
-  // Fully overwritten below (beta=0 GEMMs cover every element), so the
-  // buffer can skip zero-fill; PODNET_CHECK builds NaN-poison it instead.
+  // Fully overwritten below (beta=0 GEMMs / direct kernel cover every
+  // element), so the buffer can skip zero-fill; PODNET_CHECK builds
+  // NaN-poison it instead.
   Tensor y = Tensor::uninitialized(
       Shape{geom_.batch, geom_.out_h, geom_.out_w, out_c_});
+
+  if (kernel_ == 1 && stride_ == 1) {
+    // 1x1 stride-1 convolution: the im2col expansion is the input itself,
+    // so the layer is one GEMM over all N*H*W pixel rows — no lowering, no
+    // scratch, and backward reuses the cached input as the col matrix.
+    const tensor::PackedB wpack = tensor::pack_b(
+        false, k, out_c_, weight_.value.data(), out_c_, precision_);
+    tensor::gemm_prepacked(false, m, out_c_, k, 1.f, x.data(), k, wpack, 0.f,
+                           y.data(), out_c_, precision_);
+    if (training) col_ = x;
+    add_bias(y);
+    return y;
+  }
+
+  // The direct kernel skips im2col entirely for register-friendly shapes
+  // (stem-like small-in_c stages). Inference-only: backward needs the col
+  // expansion. Fp32-only: the direct kernels carry no bf16 rounding.
+  const tensor::conv::Mode mode = tensor::conv::active_mode();
+  const bool want_direct =
+      mode == tensor::conv::Mode::kDirect ||
+      (mode == tensor::conv::Mode::kAuto &&
+       tensor::conv::prefer_direct(geom_, out_c_));
+  if (!training && want_direct &&
+      precision_ == tensor::MatmulPrecision::kFp32) {
+    // Bias is fused into the kernel's register-resident epilogue.
+    tensor::conv::conv2d_direct(geom_, out_c_, x.data(), weight_.value.data(),
+                                use_bias_ ? bias_->value.data() : nullptr,
+                                use_bias_ ? tensor::conv::Epilogue::kBias
+                                          : tensor::conv::Epilogue::kNone,
+                                y.data());
+    return y;
+  }
+
   // The weight matrix is packed once per forward and reused by every
   // per-image GEMM of the batch loop below (read-only, so also safe for
   // the GEMM's internal worker threads).
@@ -59,27 +104,30 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
     }
     col_ = std::move(col);
   } else {
-    // Inference lowers one image at a time: the col buffer never exceeds
-    // a single image's expansion instead of the whole batch's.
+    // Inference lowers one image at a time through a scratch buffer that
+    // persists across forwards (grown to the worst-case geometry seen, so
+    // steady-state inference allocates nothing here).
     tensor::ConvGeometry g1 = geom_;
     g1.batch = 1;
     const Index in_img = geom_.in_h * geom_.in_w * in_c_;
-    std::vector<float> col(static_cast<std::size_t>(m_img * k));
+    const std::size_t need = static_cast<std::size_t>(m_img * k);
+    if (col_scratch_.size() < need) {
+      col_scratch_.resize(need);
+    } else {
+      // Reused buffer: NaN-poison the active region (PODNET_CHECK builds
+      // only) so a geometry bug that reads cells im2col did not rewrite
+      // propagates into the finiteness checks instead of reusing stale
+      // values from the previous forward.
+      check::poison(col_scratch_.data(), need);
+    }
     for (Index n = 0; n < geom_.batch; ++n) {
-      tensor::im2col(g1, x.data() + n * in_img, col.data());
-      tensor::gemm_prepacked(false, m_img, out_c_, k, 1.f, col.data(), k,
-                             wpack, 0.f, y.data() + n * m_img * out_c_,
+      tensor::im2col(g1, x.data() + n * in_img, col_scratch_.data());
+      tensor::gemm_prepacked(false, m_img, out_c_, k, 1.f, col_scratch_.data(),
+                             k, wpack, 0.f, y.data() + n * m_img * out_c_,
                              out_c_, precision_);
     }
   }
-  if (use_bias_) {
-    float* yd = y.data();
-    const auto b = bias_->value.span();
-    for (Index r = 0; r < m; ++r) {
-      tensor::add_inplace(
-          b, {yd + r * out_c_, static_cast<std::size_t>(out_c_)});
-    }
-  }
+  add_bias(y);
   return y;
 }
 
@@ -89,7 +137,8 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const Index k = geom_.col_cols();
   assert(grad_out.numel() == m * out_c_);
 
-  // dW[k, out_c] += col^T[k, m] * dY[m, out_c]
+  // dW[k, out_c] += col^T[k, m] * dY[m, out_c]. For the 1x1 stride-1 path
+  // col_ is the cached forward input itself (k == in_c there).
   tensor::gemm_contiguous(true, false, k, out_c_, m, 1.f, col_.data(),
                           grad_out.data(), 1.f, weight_.grad.data(),
                           precision_);
@@ -99,6 +148,16 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
     for (Index r = 0; r < m; ++r) {
       for (Index c = 0; c < out_c_; ++c) db[c] += g[r * out_c_ + c];
     }
+  }
+
+  if (kernel_ == 1 && stride_ == 1) {
+    // col2im is the identity here: dX = dY * W^T lands directly in dx.
+    Tensor dx = Tensor::uninitialized(
+        Shape{geom_.batch, geom_.in_h, geom_.in_w, in_c_});
+    tensor::gemm_contiguous(false, true, m, k, out_c_, 1.f, grad_out.data(),
+                            weight_.value.data(), 0.f, dx.data(), precision_);
+    col_ = Tensor();
+    return dx;
   }
 
   // dCol[m, k] = dY[m, out_c] * W^T[out_c, k]; beta=0 writes every element.

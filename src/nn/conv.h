@@ -1,4 +1,13 @@
-// Conv2D: NHWC convolution with SAME padding, lowered to im2col + GEMM.
+// Conv2D: NHWC convolution with SAME padding.
+//
+// Three lowering strategies, picked per layer shape (see DESIGN.md):
+//  * 1x1 stride-1 — a single GEMM over the N*H*W pixel rows; im2col would
+//    be the identity permutation, so it is skipped for train and inference;
+//  * direct kernel (tensor/conv_direct.h) — inference-only, for
+//    register-friendly small-in_c shapes chosen by conv::prefer_direct
+//    (overridable via conv::ScopedMode);
+//  * im2col + GEMM — the general fallback, and the only training path for
+//    k>1 kernels (backward consumes the cached col expansion).
 //
 // Weights use the HWIO layout [kh, kw, in_c, out_c]. EfficientNet
 // convolutions carry no bias (batch norm follows every conv); an optional
@@ -6,6 +15,8 @@
 // fp32 or TPU-style bf16 multiplicands (paper Sec 3.5), applied to the
 // forward product and to both backward products.
 #pragma once
+
+#include <vector>
 
 #include "nn/layer.h"
 #include "tensor/gemm.h"
@@ -28,6 +39,8 @@ class Conv2D final : public Layer {
   Param& weight() { return weight_; }
 
  private:
+  void add_bias(Tensor& y) const;
+
   std::string name_;
   Index in_c_, out_c_, kernel_, stride_;
   bool use_bias_;
@@ -36,7 +49,11 @@ class Conv2D final : public Layer {
   std::unique_ptr<Param> bias_;
 
   tensor::ConvGeometry geom_;
-  Tensor col_;  // cached im2col expansion of the forward input
+  Tensor col_;  // cached im2col expansion of the forward input (training)
+  // Inference im2col scratch, kept across forwards and grown to the
+  // worst-case single-image geometry seen; PODNET_CHECK builds NaN-poison
+  // it on reuse.
+  std::vector<float> col_scratch_;
 };
 
 }  // namespace podnet::nn

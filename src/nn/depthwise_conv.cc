@@ -5,6 +5,7 @@
 #include "nn/init.h"
 #include "obs/profile.h"
 #include "tensor/bf16.h"
+#include "tensor/conv_direct.h"
 #include "tensor/ops.h"
 
 namespace podnet::nn {
@@ -26,42 +27,27 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
   assert(x.shape().rank() == 4 && x.shape()[3] == channels_);
   geom_ = tensor::ConvGeometry::same(x.shape()[0], x.shape()[1], x.shape()[2],
                                      channels_, kernel_, stride_);
-  // Simulated mixed precision rounds the multiplicands once up front.
-  Tensor xin = x;
+  // Simulated mixed precision rounds the multiplicands once up front; the
+  // fp32 path deliberately avoids the input copy — at MBConv shapes the
+  // copy's memory traffic rivals the convolution itself.
+  const bool bf16 = precision_ == tensor::MatmulPrecision::kBf16;
   Tensor w = weight_.value;
-  if (precision_ == tensor::MatmulPrecision::kBf16) {
-    tensor::bf16_round_inplace(xin.span());
-    tensor::bf16_round_inplace(w.span());
-  }
+  if (bf16) tensor::bf16_round_inplace(w.span());
 
-  Tensor y(Shape{geom_.batch, geom_.out_h, geom_.out_w, channels_});
-  const Index C = channels_;
-  for (Index n = 0; n < geom_.batch; ++n) {
-    for (Index oh = 0; oh < geom_.out_h; ++oh) {
-      for (Index ow = 0; ow < geom_.out_w; ++ow) {
-        float* out = y.data() + ((n * geom_.out_h + oh) * geom_.out_w + ow) * C;
-        const Index ih0 = oh * stride_ - geom_.pad_top;
-        const Index iw0 = ow * stride_ - geom_.pad_left;
-        for (Index kh = 0; kh < kernel_; ++kh) {
-          const Index ih = ih0 + kh;
-          if (ih < 0 || ih >= geom_.in_h) continue;
-          for (Index kw = 0; kw < kernel_; ++kw) {
-            const Index iw = iw0 + kw;
-            if (iw < 0 || iw >= geom_.in_w) continue;
-            const float* in =
-                xin.data() + ((n * geom_.in_h + ih) * geom_.in_w + iw) * C;
-            const float* wk = w.data() + (kh * kernel_ + kw) * C;
-            // Per-tap accumulation over the contiguous channel axis —
-            // the vectorized hot loop of the depthwise convolution.
-            tensor::fma_inplace({in, static_cast<std::size_t>(C)},
-                                {wk, static_cast<std::size_t>(C)},
-                                {out, static_cast<std::size_t>(C)});
-          }
-        }
-      }
-    }
+  // The direct kernel fully overwrites y (register-resident accumulator
+  // per channel block — one store per output vector instead of one
+  // load+store per tap), so the buffer skips zero-fill.
+  Tensor y = Tensor::uninitialized(
+      Shape{geom_.batch, geom_.out_h, geom_.out_w, channels_});
+  if (bf16) {
+    Tensor xin = x;
+    tensor::bf16_round_inplace(xin.span());
+    tensor::conv::depthwise_forward(geom_, xin.data(), w.data(), y.data());
+    if (training) x_ = std::move(xin);
+  } else {
+    tensor::conv::depthwise_forward(geom_, x.data(), w.data(), y.data());
+    if (training) x_ = x;  // deep copy only when backward will need it
   }
-  if (training) x_ = std::move(xin);
   return y;
 }
 
@@ -74,35 +60,12 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
     tensor::bf16_round_inplace(w.span());
   }
 
+  // dx zero-initialized (the kernel accumulates into it); dW accumulates
+  // onto Param::grad per the optimizer's across-microbatch contract.
   Tensor dx(Shape{geom_.batch, geom_.in_h, geom_.in_w, C});
-  float* dw = weight_.grad.data();
-  for (Index n = 0; n < geom_.batch; ++n) {
-    for (Index oh = 0; oh < geom_.out_h; ++oh) {
-      for (Index ow = 0; ow < geom_.out_w; ++ow) {
-        const float* g =
-            grad_out.data() + ((n * geom_.out_h + oh) * geom_.out_w + ow) * C;
-        const Index ih0 = oh * stride_ - geom_.pad_top;
-        const Index iw0 = ow * stride_ - geom_.pad_left;
-        for (Index kh = 0; kh < kernel_; ++kh) {
-          const Index ih = ih0 + kh;
-          if (ih < 0 || ih >= geom_.in_h) continue;
-          for (Index kw = 0; kw < kernel_; ++kw) {
-            const Index iw = iw0 + kw;
-            if (iw < 0 || iw >= geom_.in_w) continue;
-            const Index in_off = ((n * geom_.in_h + ih) * geom_.in_w + iw) * C;
-            const float* in = x_.data() + in_off;
-            float* dxi = dx.data() + in_off;
-            const Index w_off = (kh * kernel_ + kw) * C;
-            const float* wk = w.data() + w_off;
-            float* dwk = dw + w_off;
-            const std::size_t cn = static_cast<std::size_t>(C);
-            tensor::fma_inplace({in, cn}, {g, cn}, {dwk, cn});  // dW += x*g
-            tensor::fma_inplace({wk, cn}, {g, cn}, {dxi, cn});  // dx += w*g
-          }
-        }
-      }
-    }
-  }
+  tensor::conv::depthwise_backward(geom_, x_.data(), w.data(),
+                                   grad_out.data(), dx.data(),
+                                   weight_.grad.data());
   x_ = Tensor();
   return dx;
 }

@@ -62,22 +62,16 @@ void pack(bool trans, std::int64_t rows, std::int64_t cols, const float* src,
   if (to_bf16) bf16_round_inplace(dst);
 }
 
-// Scalar inner kernel: C[mb, nb] += A[mb, K] * B[K, nb] for a row block,
-// with B fully packed. K-blocked to keep the B panel in cache. This is the
-// original PodNet kernel, kept bit-compatible as the reference the SIMD
-// path is tested against.
-void gemm_block(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
-                std::int64_t k, float alpha, const float* a, const float* b,
-                float beta, float* c, std::int64_t ldc) {
+// Scalar inner kernel: C[mb, j0..j1) += A[mb, K] * B[K, j0..j1) for a row
+// block, with B fully packed dense (k x n). K-blocked to keep the B panel
+// in cache. This is the original PodNet kernel (the beta pre-pass moved to
+// the shared driver), kept bit-compatible as the reference the SIMD paths
+// are tested against — per element the kb order and inner j order are
+// unchanged, so the result does not depend on the tile grid.
+void gemm_block(std::int64_t m_begin, std::int64_t m_end, std::int64_t j0,
+                std::int64_t j1, std::int64_t n, std::int64_t k, float alpha,
+                const float* a, const float* b, float* c, std::int64_t ldc) {
   constexpr std::int64_t kKc = 256;
-  for (std::int64_t i = m_begin; i < m_end; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.f) {
-      std::fill(crow, crow + n, 0.f);
-    } else if (beta != 1.f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  }
   for (std::int64_t kb = 0; kb < k; kb += kKc) {
     const std::int64_t kc = std::min(kKc, k - kb);
     for (std::int64_t i = m_begin; i < m_end; ++i) {
@@ -87,45 +81,126 @@ void gemm_block(std::int64_t m_begin, std::int64_t m_end, std::int64_t n,
         const float av = alpha * arow[p];
         if (av == 0.f) continue;
         const float* brow = b + (kb + p) * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
       }
     }
   }
 }
 
-// Scalar driver over a packed A (dense m x k) and packed B (dense k x n):
-// splits rows over the thread pool when the product is large enough.
-void scalar_gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k,
-                        float alpha, const float* a_packed,
-                        const float* b_packed, float beta, float* c,
-                        std::int64_t ldc) {
-  const std::int64_t flops = 2 * m * n * k;
-  if (flops >= (1 << 22) && ThreadPool::global().worker_count() > 0) {
-    ThreadPool::global().parallel_for(
-        m, [&](std::int64_t b0, std::int64_t e0) {
-          gemm_block(b0, e0, n, k, alpha, a_packed, b_packed, beta, c, ldc);
-        });
-  } else {
-    gemm_block(0, m, n, k, alpha, a_packed, b_packed, beta, c, ldc);
-  }
-}
-
-// Degenerate products (k == 0 or alpha == 0) reduce to C *= beta.
+// Degenerate products (k == 0 or alpha == 0) reduce to C *= beta; also the
+// shared beta pre-pass before the accumulate-only tile kernels run.
 void scale_c(std::int64_t m, std::int64_t n, float beta, float* c,
              std::int64_t ldc) {
+  if (beta == 1.f) return;
   for (std::int64_t i = 0; i < m; ++i) {
     float* crow = c + i * ldc;
     if (beta == 0.f) {
       std::fill(crow, crow + n, 0.f);
-    } else if (beta != 1.f) {
+    } else {
       for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
     }
   }
 }
 
-#if defined(PODNET_HAVE_AVX2)
-bool use_avx2() { return simd::active_level() == simd::Level::kAvx2; }
+// 2D (MC x NC) tile scheduler shared by all dispatch levels. The product
+// is carved into Rm x Cn tiles of (row range) x (column-unit range), where
+// a column unit is one packed-B panel for the SIMD kernels and one column
+// for the scalar kernel. Row splits are preferred (they share the packed B
+// read-only); column splits only appear when there are not enough row
+// blocks to feed every worker, which is what lets a tall-skinny or
+// short-wide product still use the whole pool. Each C element belongs to
+// exactly one tile and every kernel runs the full K extent in a fixed
+// order, so the result is independent of the grid and the thread count.
+template <typename TileFn>
+void run_tiles(std::int64_t m, std::int64_t n_units, std::int64_t flops,
+               const TileFn& tile) {
+  ThreadPool& pool = ThreadPool::global();
+  const std::int64_t workers = pool.worker_count() + 1;  // caller works too
+  if (flops < (1 << 22) || workers <= 1) {
+    tile(0, m, 0, n_units);
+    return;
+  }
+  // At least ~32 rows per row block keeps the A-pack amortized.
+  const std::int64_t rm =
+      std::clamp<std::int64_t>((m + 31) / 32, 1, workers);
+  const std::int64_t cn =
+      std::max<std::int64_t>(1, std::min((workers + rm - 1) / rm, n_units));
+  if (rm * cn == 1) {
+    tile(0, m, 0, n_units);
+    return;
+  }
+  pool.parallel_for(rm * cn, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t ri = t / cn;
+      const std::int64_t ci = t % cn;
+      const std::int64_t r0 = ri * m / rm;
+      const std::int64_t r1 = (ri + 1) * m / rm;
+      const std::int64_t c0 = ci * n_units / cn;
+      const std::int64_t c1 = (ci + 1) * n_units / cn;
+      if (r0 < r1 && c0 < c1) tile(r0, r1, c0, c1);
+    }
+  });
+}
+
+// Scalar driver over a packed A (dense m x k) and packed B (dense k x n).
+void scalar_gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k,
+                        float alpha, const float* a_packed,
+                        const float* b_packed, float* c, std::int64_t ldc) {
+  run_tiles(m, n, 2 * m * n * k,
+            [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                std::int64_t c1) {
+              gemm_block(r0, r1, c0, c1, n, k, alpha, a_packed, b_packed, c,
+                         ldc);
+            });
+}
+
+// Panel width the active dispatch level packs B with (0 = dense scalar).
+std::int64_t active_panel_width() {
+  const simd::Level level = simd::active_level();
+  (void)level;
+#if defined(PODNET_HAVE_AVX512)
+  if (level == simd::Level::kAvx512) return simd::avx512::kNr;
 #endif
+#if defined(PODNET_HAVE_AVX2)
+  if (level >= simd::Level::kAvx2) return simd::avx2::kNr;
+#endif
+  return 0;
+}
+
+// Runs the SIMD tile kernel matching `panel_width` over the 2D grid.
+// `packed_b` must have been produced by the same level's pack_b.
+void simd_gemm_driver(std::int64_t panel_width, bool trans_a, std::int64_t m,
+                      std::int64_t n, std::int64_t k, float alpha,
+                      const float* a, std::int64_t lda, const float* packed_b,
+                      float* c, std::int64_t ldc, bool to_bf16) {
+  const std::int64_t n_panels = (n + panel_width - 1) / panel_width;
+  const std::int64_t flops = 2 * m * n * k;
+#if defined(PODNET_HAVE_AVX512)
+  if (panel_width == simd::avx512::kNr) {
+    run_tiles(m, n_panels, flops,
+              [&](std::int64_t r0, std::int64_t r1, std::int64_t p0,
+                  std::int64_t p1) {
+                simd::avx512::gemm_tile(trans_a, r0, r1, p0, p1, n, k, alpha,
+                                        a, lda, packed_b, c, ldc, to_bf16);
+              });
+    return;
+  }
+#endif
+#if defined(PODNET_HAVE_AVX2)
+  if (panel_width == simd::avx2::kNr) {
+    run_tiles(m, n_panels, flops,
+              [&](std::int64_t r0, std::int64_t r1, std::int64_t p0,
+                  std::int64_t p1) {
+                simd::avx2::gemm_tile(trans_a, r0, r1, p0, p1, n, k, alpha, a,
+                                      lda, packed_b, c, ldc, to_bf16);
+              });
+    return;
+  }
+#endif
+  (void)trans_a;
+  (void)lda;
+  assert(false && "no SIMD kernel for this panel width in this binary");
+}
 
 }  // namespace
 
@@ -143,15 +218,30 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
 
   const bool to_bf16 = precision == MatmulPrecision::kBf16;
   const ReentryGuard reentry_guard;
+  const std::int64_t width = active_panel_width();
+#if defined(PODNET_HAVE_AVX512)
+  if (width == simd::avx512::kNr) {
+    thread_local std::vector<float> b_panels;
+    const std::size_t need = simd::avx512::packed_b_size(k, n);
+    maybe_shrink(b_panels, need);
+    b_panels.resize(need);
+    simd::avx512::pack_b(trans_b, k, n, b, ldb, to_bf16, b_panels.data());
+    scale_c(m, n, beta, c, ldc);
+    simd_gemm_driver(width, trans_a, m, n, k, alpha, a, lda, b_panels.data(),
+                     c, ldc, to_bf16);
+    return;
+  }
+#endif
 #if defined(PODNET_HAVE_AVX2)
-  if (use_avx2()) {
+  if (width == simd::avx2::kNr) {
     thread_local std::vector<float> b_panels;
     const std::size_t need = simd::avx2::packed_b_size(k, n);
     maybe_shrink(b_panels, need);
     b_panels.resize(need);
     simd::avx2::pack_b(trans_b, k, n, b, ldb, to_bf16, b_panels.data());
-    simd::avx2::gemm_packed_b(trans_a, m, n, k, alpha, a, lda,
-                              b_panels.data(), beta, c, ldc, to_bf16);
+    scale_c(m, n, beta, c, ldc);
+    simd_gemm_driver(width, trans_a, m, n, k, alpha, a, lda, b_panels.data(),
+                     c, ldc, to_bf16);
     return;
   }
 #endif
@@ -159,8 +249,8 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   thread_local std::vector<float> b_pack;
   pack(trans_a, m, k, a, lda, to_bf16, a_pack);
   pack(trans_b, k, n, b, ldb, to_bf16, b_pack);
-  scalar_gemm_driver(m, n, k, alpha, a_pack.data(), b_pack.data(), beta, c,
-                     ldc);
+  scale_c(m, n, beta, c, ldc);
+  scalar_gemm_driver(m, n, k, alpha, a_pack.data(), b_pack.data(), c, ldc);
 }
 
 PackedB pack_b(bool trans_b, std::int64_t k, std::int64_t n, const float* b,
@@ -171,9 +261,19 @@ PackedB pack_b(bool trans_b, std::int64_t k, std::int64_t n, const float* b,
   packed.n_ = n;
   packed.precision_ = precision;
   const bool to_bf16 = precision == MatmulPrecision::kBf16;
+  const std::int64_t width = active_panel_width();
+  (void)width;
+#if defined(PODNET_HAVE_AVX512)
+  if (width == simd::avx512::kNr) {
+    packed.panel_width_ = width;
+    packed.data_.resize(simd::avx512::packed_b_size(k, n));
+    simd::avx512::pack_b(trans_b, k, n, b, ldb, to_bf16, packed.data_.data());
+    return packed;
+  }
+#endif
 #if defined(PODNET_HAVE_AVX2)
-  if (use_avx2()) {
-    packed.simd_layout_ = true;
+  if (width == simd::avx2::kNr) {
+    packed.panel_width_ = width;
     packed.data_.resize(simd::avx2::packed_b_size(k, n));
     simd::avx2::pack_b(trans_b, k, n, b, ldb, to_bf16, packed.data_.data());
     return packed;
@@ -197,19 +297,18 @@ void gemm_prepacked(bool trans_a, std::int64_t m, std::int64_t n,
   }
   const bool to_bf16 = precision == MatmulPrecision::kBf16;
   const ReentryGuard reentry_guard;
-#if defined(PODNET_HAVE_AVX2)
-  if (bp.simd_layout_) {
-    simd::avx2::gemm_packed_b(trans_a, m, n, k, alpha, a, lda,
-                              bp.data_.data(), beta, c, ldc, to_bf16);
+  // Follow the layout recorded at pack time, not the active level: a
+  // PackedB built under one level stays valid after the level is flipped.
+  if (bp.panel_width_ != 0) {
+    scale_c(m, n, beta, c, ldc);
+    simd_gemm_driver(bp.panel_width_, trans_a, m, n, k, alpha, a, lda,
+                     bp.data_.data(), c, ldc, to_bf16);
     return;
   }
-#else
-  assert(!bp.simd_layout_);
-#endif
   thread_local std::vector<float> a_pack;
   pack(trans_a, m, k, a, lda, to_bf16, a_pack);
-  scalar_gemm_driver(m, n, k, alpha, a_pack.data(), bp.data_.data(), beta, c,
-                     ldc);
+  scale_c(m, n, beta, c, ldc);
+  scalar_gemm_driver(m, n, k, alpha, a_pack.data(), bp.data_.data(), c, ldc);
 }
 
 }  // namespace podnet::tensor

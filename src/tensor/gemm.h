@@ -6,12 +6,17 @@
 // bfloat16 before the fp32-accumulated product, reproducing TPU
 // mixed-precision semantics (paper Sec 3.5).
 //
-// Two implementations sit behind one entry point (see src/tensor/simd.h
+// Three implementations sit behind one entry point (see src/tensor/simd.h
 // for the dispatch rules): a scalar reference that is bit-compatible with
-// the original PodNet kernel, and an AVX2/FMA path built around a
-// register-blocked 6x16 microkernel with cache-blocked packing. The AVX2
-// result differs from the scalar one only by floating-point reassociation
-// (tests bound the difference with a ULP-scaled tolerance).
+// the original PodNet kernel, an AVX2/FMA path built around a
+// register-blocked 6x16 microkernel, and an AVX-512 path around an 8x32
+// microkernel, both with cache-blocked packing. A shared 2D (rows x
+// column-panels) tile scheduler in gemm.cc splits every sufficiently large
+// product across the thread pool; each C element belongs to exactly one
+// tile and the in-tile K order is fixed, so results are independent of the
+// thread count and grid shape. The SIMD results differ from the scalar one
+// only by floating-point reassociation (tests bound the difference with a
+// ULP-scaled tolerance).
 #pragma once
 
 #include <cstdint>
@@ -43,10 +48,11 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
 // A pre-packed right-hand side for repeated products against the same B —
 // the convolution batch loop packs its weight matrix once and reuses it
 // for every image. The packed layout matches whichever dispatch level was
-// active at pack time (microkernel panels for AVX2, dense row-major for
-// scalar) and gemm_prepacked follows the recorded layout, so a PackedB
-// stays valid even if the level is flipped afterwards (tests do that).
-// Read-only after packing: safe to share across threads.
+// active at pack time (panel_width records it: 0 = dense row-major scalar
+// layout, 16 = AVX2 microkernel panels, 32 = AVX-512 panels) and
+// gemm_prepacked follows the recorded layout, so a PackedB stays valid
+// even if the level is flipped afterwards (tests do that). Read-only after
+// packing: safe to share across threads.
 class PackedB {
  public:
   PackedB() = default;
@@ -54,6 +60,7 @@ class PackedB {
   bool valid() const { return k_ > 0 && n_ > 0; }
   std::int64_t k() const { return k_; }
   std::int64_t n() const { return n_; }
+  std::int64_t panel_width() const { return panel_width_; }
 
  private:
   friend PackedB pack_b(bool, std::int64_t, std::int64_t, const float*,
@@ -66,7 +73,7 @@ class PackedB {
   std::vector<float> data_;
   std::int64_t k_ = 0;
   std::int64_t n_ = 0;
-  bool simd_layout_ = false;
+  std::int64_t panel_width_ = 0;
   MatmulPrecision precision_ = MatmulPrecision::kFp32;
 };
 

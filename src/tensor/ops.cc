@@ -7,21 +7,46 @@
 
 #include "tensor/simd.h"
 
-// Each function checks the active dispatch level once and either jumps to
-// the AVX2 kernel (simd_avx2.cc) or runs the scalar reference loop below.
-// The macro keeps the boilerplate out of the way; it expands to nothing on
-// builds without the AVX2 translation unit.
+// Each function checks the active dispatch level once and jumps to the
+// widest kernel that level allows (simd_avx512.cc / simd_avx2.cc) or runs
+// the scalar reference loop below. The macros keep the boilerplate out of
+// the way; each tier's macro expands to nothing when its translation unit
+// is not in this binary, and the AVX2 check uses >= so an AVX-512-capable
+// binary still falls through correctly when only the AVX2 branch applies.
+#if defined(PODNET_HAVE_AVX512)
+#define PODNET_DISPATCH_AVX512(call)                                 \
+  do {                                                               \
+    if (simd::active_level() == simd::Level::kAvx512) {              \
+      simd::avx512::call;                                            \
+      return;                                                        \
+    }                                                                \
+  } while (0)
+#define PODNET_DISPATCH_AVX512_RET(call)                             \
+  do {                                                               \
+    if (simd::active_level() == simd::Level::kAvx512) {              \
+      return simd::avx512::call;                                     \
+    }                                                                \
+  } while (0)
+#else
+#define PODNET_DISPATCH_AVX512(call) \
+  do {                               \
+  } while (0)
+#define PODNET_DISPATCH_AVX512_RET(call) \
+  do {                                   \
+  } while (0)
+#endif
+
 #if defined(PODNET_HAVE_AVX2)
 #define PODNET_DISPATCH_AVX2(call)                                   \
   do {                                                               \
-    if (simd::active_level() == simd::Level::kAvx2) {                \
+    if (simd::active_level() >= simd::Level::kAvx2) {                \
       simd::avx2::call;                                              \
       return;                                                        \
     }                                                                \
   } while (0)
 #define PODNET_DISPATCH_AVX2_RET(call)                               \
   do {                                                               \
-    if (simd::active_level() == simd::Level::kAvx2) {                \
+    if (simd::active_level() >= simd::Level::kAvx2) {                \
       return simd::avx2::call;                                       \
     }                                                                \
   } while (0)
@@ -34,60 +59,72 @@
   } while (0)
 #endif
 
+// Widest-first: AVX-512 when active, else AVX2, else fall through.
+#define PODNET_DISPATCH_SIMD(call)  \
+  do {                              \
+    PODNET_DISPATCH_AVX512(call);   \
+    PODNET_DISPATCH_AVX2(call);     \
+  } while (0)
+#define PODNET_DISPATCH_SIMD_RET(call)  \
+  do {                                  \
+    PODNET_DISPATCH_AVX512_RET(call);   \
+    PODNET_DISPATCH_AVX2_RET(call);     \
+  } while (0)
+
 namespace podnet::tensor {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  PODNET_DISPATCH_AVX2(axpy(alpha, x.data(), y.data(), x.size()));
+  PODNET_DISPATCH_SIMD(axpy(alpha, x.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 void axpby(float alpha, std::span<const float> x, float beta,
            std::span<float> y) {
   assert(x.size() == y.size());
-  PODNET_DISPATCH_AVX2(axpby(alpha, x.data(), beta, y.data(), x.size()));
+  PODNET_DISPATCH_SIMD(axpby(alpha, x.data(), beta, y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
 }
 
 void scale(float alpha, std::span<float> x) {
-  PODNET_DISPATCH_AVX2(scale(alpha, x.data(), x.size()));
+  PODNET_DISPATCH_SIMD(scale(alpha, x.data(), x.size()));
   for (float& v : x) v *= alpha;
 }
 
 void scale_copy(float alpha, std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  PODNET_DISPATCH_AVX2(scale_copy(alpha, x.data(), y.data(), x.size()));
+  PODNET_DISPATCH_SIMD(scale_copy(alpha, x.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i];
 }
 
 void add_inplace(std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  PODNET_DISPATCH_AVX2(add_inplace(x.data(), y.data(), x.size()));
+  PODNET_DISPATCH_SIMD(add_inplace(x.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += x[i];
 }
 
 void mul_inplace(std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  PODNET_DISPATCH_AVX2(mul_inplace(x.data(), y.data(), x.size()));
+  PODNET_DISPATCH_SIMD(mul_inplace(x.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] *= x[i];
 }
 
 void fma_inplace(std::span<const float> a, std::span<const float> b,
                  std::span<float> y) {
   assert(a.size() == y.size() && b.size() == y.size());
-  PODNET_DISPATCH_AVX2(fma_inplace(a.data(), b.data(), y.data(), y.size()));
+  PODNET_DISPATCH_SIMD(fma_inplace(a.data(), b.data(), y.data(), y.size()));
   for (std::size_t i = 0; i < y.size(); ++i) y[i] += a[i] * b[i];
 }
 
 double sum(std::span<const float> x) {
-  PODNET_DISPATCH_AVX2_RET(sum(x.data(), x.size()));
+  PODNET_DISPATCH_SIMD_RET(sum(x.data(), x.size()));
   double s = 0.0;
   for (float v : x) s += v;
   return s;
 }
 
 double sum_squares(std::span<const float> x) {
-  PODNET_DISPATCH_AVX2_RET(sum_squares(x.data(), x.size()));
+  PODNET_DISPATCH_SIMD_RET(sum_squares(x.data(), x.size()));
   double s = 0.0;
   for (float v : x) s += static_cast<double>(v) * v;
   return s;
@@ -97,7 +134,7 @@ double l2_norm(std::span<const float> x) { return std::sqrt(sum_squares(x)); }
 
 double dot(std::span<const float> x, std::span<const float> y) {
   assert(x.size() == y.size());
-  PODNET_DISPATCH_AVX2_RET(dot(x.data(), y.data(), x.size()));
+  PODNET_DISPATCH_SIMD_RET(dot(x.data(), y.data(), x.size()));
   double s = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i)
     s += static_cast<double>(x[i]) * y[i];
@@ -105,7 +142,7 @@ double dot(std::span<const float> x, std::span<const float> y) {
 }
 
 float max_value(std::span<const float> x) {
-  PODNET_DISPATCH_AVX2_RET(max_value(x.data(), x.size()));
+  PODNET_DISPATCH_SIMD_RET(max_value(x.data(), x.size()));
   float m = -std::numeric_limits<float>::infinity();
   for (float v : x) m = std::max(m, v);
   return m;
@@ -113,7 +150,7 @@ float max_value(std::span<const float> x) {
 
 void sigmoid(std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  PODNET_DISPATCH_AVX2(sigmoid(x.data(), y.data(), x.size()));
+  PODNET_DISPATCH_SIMD(sigmoid(x.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) {
     y[i] = 1.0f / (1.0f + std::exp(-x[i]));
   }
@@ -122,7 +159,7 @@ void sigmoid(std::span<const float> x, std::span<float> y) {
 void swish(std::span<const float> x, std::span<float> sig,
            std::span<float> y) {
   assert(x.size() == sig.size() && x.size() == y.size());
-  PODNET_DISPATCH_AVX2(swish(x.data(), sig.data(), y.data(), x.size()));
+  PODNET_DISPATCH_SIMD(swish(x.data(), sig.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) {
     sig[i] = 1.0f / (1.0f + std::exp(-x[i]));
     y[i] = x[i] * sig[i];
@@ -133,7 +170,7 @@ void swish_backward(std::span<const float> g, std::span<const float> x,
                     std::span<const float> sig, std::span<float> out) {
   assert(g.size() == out.size() && x.size() == out.size() &&
          sig.size() == out.size());
-  PODNET_DISPATCH_AVX2(
+  PODNET_DISPATCH_SIMD(
       swish_backward(g.data(), x.data(), sig.data(), out.data(), out.size()));
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = g[i] * sig[i] * (1.0f + x[i] * (1.0f - sig[i]));
@@ -143,7 +180,7 @@ void swish_backward(std::span<const float> g, std::span<const float> x,
 void sigmoid_backward(std::span<const float> g, std::span<const float> y,
                       std::span<float> out) {
   assert(g.size() == out.size() && y.size() == out.size());
-  PODNET_DISPATCH_AVX2(
+  PODNET_DISPATCH_SIMD(
       sigmoid_backward(g.data(), y.data(), out.data(), out.size()));
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = g[i] * y[i] * (1.0f - y[i]);
@@ -152,14 +189,14 @@ void sigmoid_backward(std::span<const float> g, std::span<const float> y,
 
 void relu(std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  PODNET_DISPATCH_AVX2(relu(x.data(), y.data(), x.size()));
+  PODNET_DISPATCH_SIMD(relu(x.data(), y.data(), x.size()));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.f ? x[i] : 0.f;
 }
 
 void relu_backward(std::span<const float> g, std::span<const float> x,
                    std::span<float> out) {
   assert(g.size() == out.size() && x.size() == out.size());
-  PODNET_DISPATCH_AVX2(
+  PODNET_DISPATCH_SIMD(
       relu_backward(g.data(), x.data(), out.data(), out.size()));
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = x[i] > 0.f ? g[i] : 0.f;
@@ -167,8 +204,20 @@ void relu_backward(std::span<const float> g, std::span<const float> x,
 }
 
 void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
+#if defined(PODNET_HAVE_AVX512)
+  if (simd::active_level() == simd::Level::kAvx512) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* row = x + r * cols;
+      const std::size_t n = static_cast<std::size_t>(cols);
+      const float m = simd::avx512::max_value(row, n);
+      const double denom = simd::avx512::exp_sub_sum(row, n, m);
+      simd::avx512::scale(static_cast<float>(1.0 / denom), row, n);
+    }
+    return;
+  }
+#endif
 #if defined(PODNET_HAVE_AVX2)
-  if (simd::active_level() == simd::Level::kAvx2) {
+  if (simd::active_level() >= simd::Level::kAvx2) {
     for (std::int64_t r = 0; r < rows; ++r) {
       float* row = x + r * cols;
       const std::size_t n = static_cast<std::size_t>(cols);

@@ -1,5 +1,6 @@
 #include "tensor/simd.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -13,8 +14,9 @@ namespace podnet::tensor::simd {
 namespace {
 
 #if defined(PODNET_SIMD_CAN_DETECT_X86)
-// XCR0 via xgetbv: the OS must save/restore XMM (bit 1) and YMM (bit 2)
-// state or AVX instructions fault even when cpuid advertises them.
+// XCR0 via xgetbv: the OS must save/restore the relevant register state or
+// the instructions fault even when cpuid advertises them. Bits: 1 XMM,
+// 2 YMM, 5 opmask (k0-k7), 6 ZMM0-15 upper halves, 7 ZMM16-31.
 std::uint64_t read_xcr0() {
   std::uint32_t eax = 0, edx = 0;
   __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
@@ -32,22 +34,47 @@ bool cpu_has_avx2_fma() {
   if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
   return (ebx & (1u << 5)) != 0;  // AVX2
 }
+
+// The AVX-512 TU is compiled with -mavx512f -mavx512bw -mavx512dq
+// -mavx512vl, so all four feature bits must be present, plus the OS
+// opmask/ZMM state (XCR0 bits 5..7 on top of XMM/YMM).
+bool cpu_has_avx512() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  const bool f = (ebx & (1u << 16)) != 0;
+  const bool dq = (ebx & (1u << 17)) != 0;
+  const bool bw = (ebx & (1u << 30)) != 0;
+  const bool vl = (ebx & (1u << 31)) != 0;
+  if (!(f && dq && bw && vl)) return false;
+  return (read_xcr0() & 0xe6) == 0xe6;
+}
 #endif
 
 Level detect() {
 #if defined(PODNET_SIMD_CAN_DETECT_X86)
-  if (cpu_has_avx2_fma()) return Level::kAvx2;
+  if (cpu_has_avx2_fma()) {
+#if defined(PODNET_HAVE_AVX512)
+    if (cpu_has_avx512()) return Level::kAvx512;
+#endif
+    return Level::kAvx2;
+  }
 #endif
   return Level::kScalar;
 }
 
+Level clamp_to_detected(Level level) {
+  return std::min(level, detected_level());
+}
+
 Level initial_level() {
-  Level level = detect();
+  Level level = detected_level();
   if (const char* env = std::getenv("PODNET_SIMD")) {
     if (std::strcmp(env, "scalar") == 0) {
       level = Level::kScalar;
-    } else if (std::strcmp(env, "avx2") == 0 && detect() == Level::kAvx2) {
-      level = Level::kAvx2;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      level = clamp_to_detected(Level::kAvx2);
+    } else if (std::strcmp(env, "avx512") == 0) {
+      level = clamp_to_detected(Level::kAvx512);
     }
   }
   return level;
@@ -66,6 +93,8 @@ const char* level_name(Level level) {
       return "scalar";
     case Level::kAvx2:
       return "avx2";
+    case Level::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -80,11 +109,10 @@ Level active_level() {
 }
 
 Level set_level(Level level) {
-  // Never grant a level the host cannot execute.
-  if (level == Level::kAvx2 && detected_level() != Level::kAvx2) {
-    level = Level::kScalar;
-  }
-  return active_slot().exchange(level, std::memory_order_relaxed);
+  // Never grant a level the host cannot execute; fall back to the best it
+  // can (avx512 on an AVX2-only host degrades to avx2, not scalar).
+  return active_slot().exchange(clamp_to_detected(level),
+                                std::memory_order_relaxed);
 }
 
 }  // namespace podnet::tensor::simd

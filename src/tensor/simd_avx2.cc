@@ -19,7 +19,7 @@
 #include <limits>
 #include <vector>
 
-#include "tensor/thread_pool.h"
+#include "tensor/conv_direct.h"
 
 namespace podnet::tensor::simd::avx2 {
 namespace {
@@ -50,10 +50,14 @@ void accumulate_pd(__m256 v, __m256d& acc0, __m256d& acc1) {
   acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // expf — Cephes-style polynomial, the standard AVX port. Max error vs
 // std::expf is ~1-2 ulp over the clamped range; inputs outside
-// [-88.38, 88.38] saturate to the boundary value (finite).
+// [-88.38, 88.38] saturate to the boundary value (finite). Named (not in
+// the anonymous namespace) so the conv::avx2 kernels below can share it
+// for the fused swish epilogue.
 // ---------------------------------------------------------------------------
 
 __m256 exp256_ps(__m256 x) {
@@ -101,8 +105,6 @@ float exp_scalar_tail(float x) {
   const __m256 v = exp256_ps(_mm256_set1_ps(x));
   return _mm_cvtss_f32(_mm256_castps256_ps128(v));
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Elementwise / reduction primitives
@@ -459,35 +461,6 @@ void pack_a_block(bool trans_a, std::int64_t i0, std::int64_t mc,
   }
 }
 
-// One caller/worker's share of the product: rows [m0, m1).
-void gemm_rows(bool trans_a, std::int64_t m0, std::int64_t m1, std::int64_t n,
-               std::int64_t k, float alpha, const float* a, std::int64_t lda,
-               const float* packed_b, float* c, std::int64_t ldc,
-               bool to_bf16) {
-  thread_local std::vector<float> a_panels;
-  const std::int64_t n_panels = (n + kNr - 1) / kNr;
-  for (std::int64_t kb = 0; kb < k; kb += kKc) {
-    const std::int64_t kc = std::min(kKc, k - kb);
-    for (std::int64_t ic = m0; ic < m1; ic += kMc) {
-      const std::int64_t mc = std::min(kMc, m1 - ic);
-      const std::int64_t m_panels = (mc + kMr - 1) / kMr;
-      a_panels.resize(static_cast<std::size_t>(m_panels * kMr * kc));
-      pack_a_block(trans_a, ic, mc, kb, kc, a, lda, a_panels.data());
-      if (to_bf16) bf16_round_inplace(a_panels.data(), a_panels.size());
-      for (std::int64_t ip = 0; ip < m_panels; ++ip) {
-        const std::int64_t rows = std::min<std::int64_t>(kMr, mc - ip * kMr);
-        const float* ap = a_panels.data() + ip * kMr * kc;
-        for (std::int64_t jp = 0; jp < n_panels; ++jp) {
-          const std::int64_t cols = std::min<std::int64_t>(kNr, n - jp * kNr);
-          const float* bp = packed_b + jp * kNr * k + kb * kNr;
-          micro_6x16(kc, ap, bp, alpha, c + (ic + ip * kMr) * ldc + jp * kNr,
-                     ldc, rows, cols);
-        }
-      }
-    }
-  }
-}
-
 }  // namespace
 
 std::size_t packed_b_size(std::int64_t k, std::int64_t n) {
@@ -524,30 +497,344 @@ void pack_b(bool trans_b, std::int64_t k, std::int64_t n, const float* b,
   }
 }
 
-void gemm_packed_b(bool trans_a, std::int64_t m, std::int64_t n,
-                   std::int64_t k, float alpha, const float* a,
-                   std::int64_t lda, const float* packed_b, float beta,
-                   float* c, std::int64_t ldc, bool to_bf16) {
-  // beta pre-pass, identical semantics to the scalar path.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.f) {
-      std::fill(crow, crow + n, 0.f);
-    } else if (beta != 1.f) {
-      scale(beta, crow, static_cast<std::size_t>(n));
+// One tile of the 2D (rows x panels) grid the scheduler in gemm.cc carves
+// the product into: rows [m0, m1) x B panels [jp0, jp1). The beta pre-pass
+// has already happened there. A is packed per (MC x KC) block into a
+// thread_local buffer, so concurrent tiles never share pack state, and the
+// per-element accumulation order (kb ascending, kc in-register) does not
+// depend on the tile boundaries — the result is grid- and
+// thread-count-independent.
+void gemm_tile(bool trans_a, std::int64_t m0, std::int64_t m1,
+               std::int64_t jp0, std::int64_t jp1, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* packed_b, float* c, std::int64_t ldc,
+               bool to_bf16) {
+  thread_local std::vector<float> a_panels;
+  for (std::int64_t kb = 0; kb < k; kb += kKc) {
+    const std::int64_t kc = std::min(kKc, k - kb);
+    for (std::int64_t ic = m0; ic < m1; ic += kMc) {
+      const std::int64_t mc = std::min(kMc, m1 - ic);
+      const std::int64_t m_panels = (mc + kMr - 1) / kMr;
+      a_panels.resize(static_cast<std::size_t>(m_panels * kMr * kc));
+      pack_a_block(trans_a, ic, mc, kb, kc, a, lda, a_panels.data());
+      if (to_bf16) bf16_round_inplace(a_panels.data(), a_panels.size());
+      for (std::int64_t ip = 0; ip < m_panels; ++ip) {
+        const std::int64_t rows = std::min<std::int64_t>(kMr, mc - ip * kMr);
+        const float* ap = a_panels.data() + ip * kMr * kc;
+        for (std::int64_t jp = jp0; jp < jp1; ++jp) {
+          const std::int64_t cols = std::min<std::int64_t>(kNr, n - jp * kNr);
+          const float* bp = packed_b + jp * kNr * k + kb * kNr;
+          micro_6x16(kc, ap, bp, alpha, c + (ic + ip * kMr) * ldc + jp * kNr,
+                     ldc, rows, cols);
+        }
+      }
     }
-  }
-  const std::int64_t flops = 2 * m * n * k;
-  if (flops >= (1 << 22) && ThreadPool::global().worker_count() > 0) {
-    ThreadPool::global().parallel_for(m, [&](std::int64_t b0, std::int64_t e0) {
-      gemm_rows(trans_a, b0, e0, n, k, alpha, a, lda, packed_b, c, ldc,
-                to_bf16);
-    });
-  } else {
-    gemm_rows(trans_a, 0, m, n, k, alpha, a, lda, packed_b, c, ldc, to_bf16);
   }
 }
 
 }  // namespace podnet::tensor::simd::avx2
+
+// ---------------------------------------------------------------------------
+// Direct convolution kernels (see conv_direct.h). Same TU so they share the
+// exp256_ps polynomial with the activation kernels above.
+// ---------------------------------------------------------------------------
+
+namespace podnet::tensor::conv::avx2 {
+namespace {
+
+namespace sa = podnet::tensor::simd::avx2;
+
+// Lane mask for an n-float tail (n in [0, 8)): lane j active iff j < n.
+__m256i tail_mask(std::int64_t n) {
+  const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  return _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(n)), idx);
+}
+
+}  // namespace
+
+void depthwise_forward_rows(const ConvGeometry& g, const float* x,
+                            const float* w, float* y, std::int64_t row0,
+                            std::int64_t row1) {
+  const std::int64_t C = g.in_c;
+  const std::int64_t K = g.kernel_h;
+  for (std::int64_t row = row0; row < row1; ++row) {
+    const std::int64_t n = row / g.out_h;
+    const std::int64_t oh = row % g.out_h;
+    const std::int64_t ih0 = oh * g.stride - g.pad_top;
+    const std::int64_t kh_lo = ih0 < 0 ? -ih0 : 0;
+    const std::int64_t kh_hi = std::min<std::int64_t>(K, g.in_h - ih0);
+    float* out_row = y + row * g.out_w * C;
+
+    // General single-pixel path: handles every stride/kernel/boundary
+    // combination; also finishes the boundary columns of the fast path.
+    auto pixel = [&](std::int64_t ow) {
+      const std::int64_t iw0 = ow * g.stride - g.pad_left;
+      const std::int64_t kw_lo = iw0 < 0 ? -iw0 : 0;
+      const std::int64_t kw_hi = std::min<std::int64_t>(K, g.in_w - iw0);
+      float* out = out_row + ow * C;
+      // The accumulator block lives in registers across all taps: one
+      // store per 16 channels instead of a load+store per tap.
+      std::int64_t c = 0;
+      for (; c + 16 <= C; c += 16) {
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        for (std::int64_t kh = kh_lo; kh < kh_hi; ++kh) {
+          const float* in_base =
+              x + ((n * g.in_h + ih0 + kh) * g.in_w + iw0) * C + c;
+          const float* w_base = w + kh * K * C + c;
+          for (std::int64_t kw = kw_lo; kw < kw_hi; ++kw) {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(in_base + kw * C),
+                                   _mm256_loadu_ps(w_base + kw * C), acc0);
+            acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(in_base + kw * C + 8),
+                                   _mm256_loadu_ps(w_base + kw * C + 8), acc1);
+          }
+        }
+        _mm256_storeu_ps(out + c, acc0);
+        _mm256_storeu_ps(out + c + 8, acc1);
+      }
+      for (; c + 8 <= C; c += 8) {
+        __m256 acc = _mm256_setzero_ps();
+        for (std::int64_t kh = kh_lo; kh < kh_hi; ++kh) {
+          const float* in_base =
+              x + ((n * g.in_h + ih0 + kh) * g.in_w + iw0) * C + c;
+          const float* w_base = w + kh * K * C + c;
+          for (std::int64_t kw = kw_lo; kw < kw_hi; ++kw) {
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(in_base + kw * C),
+                                  _mm256_loadu_ps(w_base + kw * C), acc);
+          }
+        }
+        _mm256_storeu_ps(out + c, acc);
+      }
+      for (; c < C; ++c) {
+        float acc = 0.f;
+        for (std::int64_t kh = kh_lo; kh < kh_hi; ++kh) {
+          const float* in_base =
+              x + ((n * g.in_h + ih0 + kh) * g.in_w + iw0) * C;
+          const float* w_base = w + kh * K * C;
+          for (std::int64_t kw = kw_lo; kw < kw_hi; ++kw) {
+            acc = std::fma(in_base[kw * C + c], w_base[kw * C + c], acc);
+          }
+        }
+        out[c] = acc;
+      }
+    };
+
+    // Stride-1 3x3 interior fast path: all nine weight vectors of an
+    // 8-channel block stay in registers across the whole output row,
+    // halving the load traffic of the general path (which re-reads a
+    // weight vector per tap per pixel — the bottleneck, since two loads
+    // feed every FMA). Tap order (kh, kw ascending, single accumulator
+    // per lane) matches the general path, so results are bit-identical.
+    const std::int64_t ow_lo = std::min<std::int64_t>(g.pad_left, g.out_w);
+    const std::int64_t ow_hi =
+        std::min<std::int64_t>(g.in_w + g.pad_left - (K - 1), g.out_w);
+    if (g.stride == 1 && K == 3 && kh_lo == 0 && kh_hi == K &&
+        ow_hi - ow_lo >= 8) {
+      for (std::int64_t ow = 0; ow < ow_lo; ++ow) pixel(ow);
+      for (std::int64_t ow = std::max<std::int64_t>(ow_hi, ow_lo);
+           ow < g.out_w; ++ow) {
+        pixel(ow);
+      }
+      const float* r0 = x + ((n * g.in_h + ih0) * g.in_w) * C;
+      const float* r1 = r0 + g.in_w * C;
+      const float* r2 = r1 + g.in_w * C;
+      std::int64_t c = 0;
+      for (; c + 8 <= C; c += 8) {
+        __m256 wv[9];
+        for (int t = 0; t < 9; ++t) wv[t] = _mm256_loadu_ps(w + t * C + c);
+        for (std::int64_t ow = ow_lo; ow < ow_hi; ++ow) {
+          const std::int64_t i0 = (ow - g.pad_left) * C + c;
+          __m256 acc = _mm256_setzero_ps();
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r0 + i0), wv[0], acc);
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r0 + i0 + C), wv[1], acc);
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r0 + i0 + 2 * C), wv[2], acc);
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r1 + i0), wv[3], acc);
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r1 + i0 + C), wv[4], acc);
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r1 + i0 + 2 * C), wv[5], acc);
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r2 + i0), wv[6], acc);
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r2 + i0 + C), wv[7], acc);
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(r2 + i0 + 2 * C), wv[8], acc);
+          _mm256_storeu_ps(out_row + ow * C + c, acc);
+        }
+      }
+      for (; c < C; ++c) {
+        for (std::int64_t ow = ow_lo; ow < ow_hi; ++ow) {
+          const std::int64_t i0 = (ow - g.pad_left) * C + c;
+          float acc = 0.f;
+          acc = std::fma(r0[i0], w[0 * C + c], acc);
+          acc = std::fma(r0[i0 + C], w[1 * C + c], acc);
+          acc = std::fma(r0[i0 + 2 * C], w[2 * C + c], acc);
+          acc = std::fma(r1[i0], w[3 * C + c], acc);
+          acc = std::fma(r1[i0 + C], w[4 * C + c], acc);
+          acc = std::fma(r1[i0 + 2 * C], w[5 * C + c], acc);
+          acc = std::fma(r2[i0], w[6 * C + c], acc);
+          acc = std::fma(r2[i0 + C], w[7 * C + c], acc);
+          acc = std::fma(r2[i0 + 2 * C], w[8 * C + c], acc);
+          out_row[ow * C + c] = acc;
+        }
+      }
+      continue;
+    }
+    for (std::int64_t ow = 0; ow < g.out_w; ++ow) pixel(ow);
+  }
+}
+
+void depthwise_backward(const ConvGeometry& g, const float* x, const float* w,
+                        const float* grad_out, float* dx, float* dw) {
+  const std::int64_t C = g.in_c;
+  const std::int64_t K = g.kernel_h;
+  assert(K <= 7);
+  // Channel-block x kernel-row outer loops: a full row of dW accumulators
+  // (up to 7 vectors) plus the matching weight row stay in registers
+  // across the whole image, so dW touches memory once per tap per block.
+  std::int64_t c = 0;
+  for (; c + 8 <= C; c += 8) {
+    for (std::int64_t kh = 0; kh < K; ++kh) {
+      __m256 dwacc[7];
+      __m256 wv[7];
+      for (std::int64_t kw = 0; kw < K; ++kw) {
+        dwacc[kw] = _mm256_setzero_ps();
+        wv[kw] = _mm256_loadu_ps(w + (kh * K + kw) * C + c);
+      }
+      for (std::int64_t n = 0; n < g.batch; ++n) {
+        for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+          const std::int64_t ih = oh * g.stride - g.pad_top + kh;
+          if (ih < 0 || ih >= g.in_h) continue;
+          const float* g_row = grad_out + (n * g.out_h + oh) * g.out_w * C;
+          const float* x_row = x + (n * g.in_h + ih) * g.in_w * C;
+          float* dx_row = dx + (n * g.in_h + ih) * g.in_w * C;
+          for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+            const __m256 gv = _mm256_loadu_ps(g_row + ow * C + c);
+            const std::int64_t iw0 = ow * g.stride - g.pad_left;
+            const std::int64_t kw_lo = iw0 < 0 ? -iw0 : 0;
+            const std::int64_t kw_hi = std::min<std::int64_t>(K, g.in_w - iw0);
+            for (std::int64_t kw = kw_lo; kw < kw_hi; ++kw) {
+              const std::int64_t off = (iw0 + kw) * C + c;
+              dwacc[kw] =
+                  _mm256_fmadd_ps(_mm256_loadu_ps(x_row + off), gv, dwacc[kw]);
+              _mm256_storeu_ps(
+                  dx_row + off,
+                  _mm256_fmadd_ps(wv[kw], gv, _mm256_loadu_ps(dx_row + off)));
+            }
+          }
+        }
+      }
+      for (std::int64_t kw = 0; kw < K; ++kw) {
+        float* d = dw + (kh * K + kw) * C + c;
+        _mm256_storeu_ps(d, _mm256_add_ps(_mm256_loadu_ps(d), dwacc[kw]));
+      }
+    }
+  }
+  // Channel tail: scalar, same loop structure.
+  for (; c < C; ++c) {
+    for (std::int64_t kh = 0; kh < K; ++kh) {
+      float dwacc[7] = {};
+      for (std::int64_t n = 0; n < g.batch; ++n) {
+        for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+          const std::int64_t ih = oh * g.stride - g.pad_top + kh;
+          if (ih < 0 || ih >= g.in_h) continue;
+          const float* g_row = grad_out + (n * g.out_h + oh) * g.out_w * C;
+          const float* x_row = x + (n * g.in_h + ih) * g.in_w * C;
+          float* dx_row = dx + (n * g.in_h + ih) * g.in_w * C;
+          for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+            const float gv = g_row[ow * C + c];
+            const std::int64_t iw0 = ow * g.stride - g.pad_left;
+            const std::int64_t kw_lo = iw0 < 0 ? -iw0 : 0;
+            const std::int64_t kw_hi = std::min<std::int64_t>(K, g.in_w - iw0);
+            for (std::int64_t kw = kw_lo; kw < kw_hi; ++kw) {
+              const std::int64_t off = (iw0 + kw) * C + c;
+              dwacc[kw] = std::fma(x_row[off], gv, dwacc[kw]);
+              dx_row[off] = std::fma(w[(kh * K + kw) * C + c], gv, dx_row[off]);
+            }
+          }
+        }
+      }
+      for (std::int64_t kw = 0; kw < K; ++kw) {
+        dw[(kh * K + kw) * C + c] += dwacc[kw];
+      }
+    }
+  }
+}
+
+void conv2d_direct_rows(const ConvGeometry& g, std::int64_t out_c,
+                        const float* x, const float* w, const float* bias,
+                        Epilogue epilogue, float* y, std::int64_t row0,
+                        std::int64_t row1) {
+  const std::int64_t C = g.in_c;
+  const std::int64_t K = g.kernel_h;
+  const __m256 one = _mm256_set1_ps(1.0f);
+  for (std::int64_t row = row0; row < row1; ++row) {
+    const std::int64_t n = row / g.out_h;
+    const std::int64_t oh = row % g.out_h;
+    const std::int64_t ih0 = oh * g.stride - g.pad_top;
+    const std::int64_t kh_lo = ih0 < 0 ? -ih0 : 0;
+    const std::int64_t kh_hi = std::min<std::int64_t>(K, g.in_h - ih0);
+    float* out_row = y + row * g.out_w * out_c;
+    for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+      const std::int64_t iw0 = ow * g.stride - g.pad_left;
+      const std::int64_t kw_lo = iw0 < 0 ? -iw0 : 0;
+      const std::int64_t kw_hi = std::min<std::int64_t>(K, g.in_w - iw0);
+      float* out = out_row + ow * out_c;
+      // Up to 64 output channels (8 ymm accumulators) per pixel stay in
+      // registers while the Kh x Kw x in_c taps stream by; HWIO weights
+      // make the out_c axis a contiguous vector load and x a broadcast.
+      for (std::int64_t co0 = 0; co0 < out_c; co0 += 64) {
+        const std::int64_t oc = std::min<std::int64_t>(64, out_c - co0);
+        const std::int64_t full = oc / 8;
+        const std::int64_t rem = oc % 8;
+        const __m256i mask = tail_mask(rem);
+        __m256 acc[8];
+        const std::int64_t nvec = full + (rem ? 1 : 0);
+        for (std::int64_t j = 0; j < nvec; ++j) acc[j] = _mm256_setzero_ps();
+        for (std::int64_t kh = kh_lo; kh < kh_hi; ++kh) {
+          const float* in_row =
+              x + ((n * g.in_h + ih0 + kh) * g.in_w + iw0) * C;
+          for (std::int64_t kw = kw_lo; kw < kw_hi; ++kw) {
+            const float* in = in_row + kw * C;
+            const float* wk = w + (kh * K + kw) * C * out_c + co0;
+            for (std::int64_t ci = 0; ci < C; ++ci) {
+              const __m256 xv = _mm256_set1_ps(in[ci]);
+              const float* wr = wk + ci * out_c;
+              for (std::int64_t j = 0; j < full; ++j) {
+                acc[j] = _mm256_fmadd_ps(xv, _mm256_loadu_ps(wr + j * 8),
+                                         acc[j]);
+              }
+              if (rem) {
+                acc[full] = _mm256_fmadd_ps(
+                    xv, _mm256_maskload_ps(wr + full * 8, mask), acc[full]);
+              }
+            }
+          }
+        }
+        if (epilogue != Epilogue::kNone && bias != nullptr) {
+          const float* b = bias + co0;
+          for (std::int64_t j = 0; j < full; ++j) {
+            acc[j] = _mm256_add_ps(acc[j], _mm256_loadu_ps(b + j * 8));
+          }
+          if (rem) {
+            acc[full] = _mm256_add_ps(acc[full],
+                                      _mm256_maskload_ps(b + full * 8, mask));
+          }
+        }
+        if (epilogue == Epilogue::kBiasSwish) {
+          for (std::int64_t j = 0; j < nvec; ++j) {
+            const __m256 e =
+                sa::exp256_ps(_mm256_sub_ps(_mm256_setzero_ps(), acc[j]));
+            acc[j] = _mm256_mul_ps(acc[j],
+                                   _mm256_div_ps(one, _mm256_add_ps(one, e)));
+          }
+        }
+        for (std::int64_t j = 0; j < full; ++j) {
+          _mm256_storeu_ps(out + co0 + j * 8, acc[j]);
+        }
+        if (rem) {
+          _mm256_maskstore_ps(out + co0 + full * 8, mask, acc[full]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace podnet::tensor::conv::avx2
 
 #endif  // PODNET_HAVE_AVX2

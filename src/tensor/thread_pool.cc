@@ -1,14 +1,32 @@
 #include "tensor/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace podnet::tensor {
+namespace {
+
+// PODNET_THREADS overrides the kernel pool size (total participating
+// threads, caller included; values < 1 are ignored). Lets the bench
+// harness time 1-vs-N-thread GEMM in separate processes and caps the pool
+// on shared machines.
+int env_thread_override() {
+  if (const char* env = std::getenv("PODNET_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 0;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   int n = threads;
   if (n == 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
     n = std::max(1, n) - 1;  // the calling thread participates
+  } else if (n < 0) {
+    n = 0;  // explicit "no workers": run everything inline
   }
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -94,7 +112,11 @@ void ThreadPool::parallel_for(
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(0);
+  // env override counts total threads (caller + workers), so N means N-1
+  // pool workers (PODNET_THREADS=1 → pure inline); default derives the
+  // same way from the core count.
+  const int t = env_thread_override();
+  static ThreadPool pool(t > 0 ? (t == 1 ? -1 : t - 1) : 0);
   return pool;
 }
 

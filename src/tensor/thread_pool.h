@@ -24,7 +24,8 @@ namespace podnet::tensor {
 class ThreadPool {
  public:
   // threads == 0 selects hardware_concurrency - 1 workers (callers run the
-  // first chunk themselves), i.e. inline execution on a single-core host.
+  // first chunk themselves), i.e. inline execution on a single-core host;
+  // threads < 0 forces zero workers (pure inline execution).
   explicit ThreadPool(int threads = 0);
   ~ThreadPool();
 
@@ -45,7 +46,8 @@ class ThreadPool {
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
-  // Process-wide pool for kernels; sized from hardware_concurrency.
+  // Process-wide pool for kernels; sized from hardware_concurrency unless
+  // PODNET_THREADS overrides the total participating thread count.
   static ThreadPool& global();
 
  private:

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "nn/depthwise_conv.h"
 #include "nn/grad_check.h"
+#include "tensor/conv_direct.h"
+#include "tensor/simd.h"
 
 namespace podnet::nn {
 namespace {
@@ -148,6 +154,198 @@ TEST(ConvPrecisionTest, Bf16MatchesFp32WithinRoundingBudget) {
   }
   EXPECT_GT(max_rel, 0.0);   // rounding is actually happening
   EXPECT_LT(max_rel, 0.15);  // but small (~2^-8 per multiplicand, 27 taps)
+}
+
+// Naive double-precision convolution used as the parity reference below.
+// Alongside each output it accumulates the absolute contribution mass, which
+// bounds the reassociation error of any same-math float kernel.
+void naive_conv_ref(const tensor::ConvGeometry& g, Index out_c, const float* x,
+                    const float* w, const float* bias,
+                    std::vector<double>& ref, std::vector<double>& mass) {
+  ref.assign(static_cast<std::size_t>(g.batch * g.out_h * g.out_w * out_c), 0);
+  mass.assign(ref.size(), 0);
+  for (Index n = 0; n < g.batch; ++n) {
+    for (Index oh = 0; oh < g.out_h; ++oh) {
+      for (Index ow = 0; ow < g.out_w; ++ow) {
+        const std::size_t o0 = static_cast<std::size_t>(
+            ((n * g.out_h + oh) * g.out_w + ow) * out_c);
+        for (Index kh = 0; kh < g.kernel_h; ++kh) {
+          const Index ih = oh * g.stride - g.pad_top + kh;
+          if (ih < 0 || ih >= g.in_h) continue;
+          for (Index kw = 0; kw < g.kernel_w; ++kw) {
+            const Index iw = ow * g.stride - g.pad_left + kw;
+            if (iw < 0 || iw >= g.in_w) continue;
+            const float* xp =
+                x + ((n * g.in_h + ih) * g.in_w + iw) * g.in_c;
+            const float* wp = w + (kh * g.kernel_w + kw) * g.in_c * out_c;
+            for (Index ci = 0; ci < g.in_c; ++ci) {
+              for (Index co = 0; co < out_c; ++co) {
+                const double p = static_cast<double>(xp[ci]) *
+                                 wp[ci * out_c + co];
+                ref[o0 + static_cast<std::size_t>(co)] += p;
+                mass[o0 + static_cast<std::size_t>(co)] += std::abs(p);
+              }
+            }
+          }
+        }
+        if (bias) {
+          for (Index co = 0; co < out_c; ++co) {
+            ref[o0 + static_cast<std::size_t>(co)] += bias[co];
+            mass[o0 + static_cast<std::size_t>(co)] += std::abs(bias[co]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DirectConvTest, MatchesIm2colAcrossShapesAndLevels) {
+  namespace conv = tensor::conv;
+  namespace simd = tensor::simd;
+  constexpr double kEps = std::numeric_limits<float>::epsilon();
+  const simd::Level levels[] = {simd::Level::kScalar, simd::Level::kAvx2,
+                                simd::Level::kAvx512};
+  // out_c sweeps the vector-width tails: below/at/above 8, 16, 32 lanes.
+  const Index out_cs[] = {1, 7, 8, 9, 16, 17, 24, 31, 32, 33, 48, 64};
+  Rng data_rng(41);
+  for (int iter = 0; iter < 12; ++iter) {
+    const Index kernel = (iter % 2 == 0) ? 3 : 5;
+    const Index stride = (iter % 3 == 0) ? 2 : 1;
+    const Index in_c = 1 + iter % 8;
+    const Index out_c = out_cs[iter % 12];
+    const Index hw = kernel + 2 + iter % 5;
+    const Index batch = 1 + iter % 2;
+    const bool use_bias = iter % 2 == 1;
+
+    Rng init_rng(100 + iter);
+    Conv2D layer(in_c, out_c, kernel, stride, init_rng, use_bias);
+    Tensor x = Tensor::randn(Shape{batch, hw, hw, in_c}, data_rng);
+
+    const auto g = tensor::ConvGeometry::same(batch, hw, hw, in_c, kernel,
+                                              stride);
+    auto params = parameters_of(layer);
+    const float* bias = use_bias ? params[1]->value.data() : nullptr;
+    std::vector<double> ref, mass;
+    naive_conv_ref(g, out_c, x.data(), params[0]->value.data(), bias, ref,
+                   mass);
+    // Float summation of T contributions drifts by at most ~T ulps of the
+    // absolute mass, whichever order a kernel accumulates in.
+    const double taps = static_cast<double>(kernel * kernel * in_c + 8);
+
+    for (const auto mode : {conv::Mode::kIm2col, conv::Mode::kDirect}) {
+      for (const simd::Level request : levels) {
+        conv::ScopedMode m(mode);
+        simd::ScopedLevel lvl(request);
+        Tensor y = layer.forward(x, /*training=*/false);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          ASSERT_NEAR(y.data()[i], ref[i], taps * kEps * mass[i] + 1e-30)
+              << "iter " << iter << " mode " << static_cast<int>(mode)
+              << " level " << simd::level_name(request) << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DirectConvTest, FusedSwishEpilogueMatchesReferenceAcrossLevels) {
+  namespace conv = tensor::conv;
+  namespace simd = tensor::simd;
+  constexpr double kEps = std::numeric_limits<float>::epsilon();
+  const Index batch = 2, hw = 7, in_c = 4, out_c = 19, kernel = 3;
+  const auto g = tensor::ConvGeometry::same(batch, hw, hw, in_c, kernel, 1);
+  Rng rng(43);
+  Tensor x = Tensor::randn(Shape{batch, hw, hw, in_c}, rng);
+  Tensor w = Tensor::randn(Shape{kernel, kernel, in_c, out_c}, rng, 0.2f);
+  Tensor b = Tensor::randn(Shape{out_c}, rng, 0.1f);
+
+  std::vector<double> ref, mass;
+  naive_conv_ref(g, out_c, x.data(), w.data(), b.data(), ref, mass);
+  const double taps = static_cast<double>(kernel * kernel * in_c + 8);
+
+  for (const simd::Level request :
+       {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512}) {
+    simd::ScopedLevel lvl(request);
+    Tensor y = Tensor::uninitialized(Shape{batch, g.out_h, g.out_w, out_c});
+    conv::conv2d_direct(g, out_c, x.data(), w.data(), b.data(),
+                        conv::Epilogue::kBiasSwish, y.data());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const double a = ref[i];
+      const double expect = a / (1.0 + std::exp(-a));
+      // Accumulator drift (Lipschitz constant of swish is ~1.1) plus the
+      // vector exp's few-ulp tracking of std::exp.
+      const double tol = 2e-6 * (1.0 + std::abs(a)) +
+                         2.0 * taps * kEps * mass[i];
+      ASSERT_NEAR(y.data()[i], expect, tol)
+          << "level " << simd::level_name(request) << " at " << i;
+    }
+  }
+}
+
+TEST(DepthwiseDirectTest, ForwardAndBackwardMatchScalarAcrossLevels) {
+  namespace conv = tensor::conv;
+  namespace simd = tensor::simd;
+  constexpr double kEps = std::numeric_limits<float>::epsilon();
+  // Channel counts straddle the 8/16/32-lane block boundaries; strides and
+  // kernels cover the EfficientNet depthwise variants.
+  struct Case { Index c, kernel, stride, hw; };
+  // The hw >= 12 stride-1 3x3 cases engage the interior fast path (it
+  // needs >= 8 unclipped output columns); the small ones stay on the
+  // general per-pixel path.
+  const Case cases[] = {{1, 3, 1, 6},  {3, 3, 2, 7},   {5, 5, 1, 8},
+                        {8, 3, 1, 6},  {15, 5, 2, 9},  {16, 3, 1, 5},
+                        {17, 3, 2, 8}, {32, 5, 1, 7},  {33, 3, 1, 6},
+                        {8, 3, 1, 16}, {17, 3, 1, 14}, {24, 3, 1, 20}};
+  Rng rng(47);
+  for (const Case& tc : cases) {
+    const auto g = tensor::ConvGeometry::same(2, tc.hw, tc.hw, tc.c,
+                                              tc.kernel, tc.stride);
+    Tensor x = Tensor::randn(Shape{2, tc.hw, tc.hw, tc.c}, rng);
+    Tensor w = Tensor::randn(Shape{tc.kernel, tc.kernel, tc.c}, rng);
+    Tensor go = Tensor::randn(Shape{2, g.out_h, g.out_w, tc.c}, rng);
+    const double taps = static_cast<double>(tc.kernel * tc.kernel + 8);
+
+    Tensor y0 = Tensor::uninitialized(go.shape());
+    Tensor dx0(x.shape());
+    Tensor dw0(w.shape());
+    {
+      simd::ScopedLevel lvl(simd::Level::kScalar);
+      conv::depthwise_forward(g, x.data(), w.data(), y0.data());
+      conv::depthwise_backward(g, x.data(), w.data(), go.data(), dx0.data(),
+                               dw0.data());
+    }
+    // Per-element error bounds from the absolute contribution masses.
+    auto bound = [&](double m) { return taps * kEps * m + 1e-30; };
+    for (const simd::Level request :
+         {simd::Level::kAvx2, simd::Level::kAvx512}) {
+      simd::ScopedLevel lvl(request);
+      Tensor y1 = Tensor::uninitialized(go.shape());
+      Tensor dx1(x.shape());
+      Tensor dw1(w.shape());
+      conv::depthwise_forward(g, x.data(), w.data(), y1.data());
+      conv::depthwise_backward(g, x.data(), w.data(), go.data(), dx1.data(),
+                               dw1.data());
+      for (Index i = 0; i < y0.numel(); ++i) {
+        ASSERT_NEAR(y0.at(i), y1.at(i),
+                    bound(static_cast<double>(tc.kernel * tc.kernel) *
+                          3.0))  // |x*w| mass ~ O(taps) with unit normals
+            << "fwd c=" << tc.c << " k=" << tc.kernel << " level "
+            << simd::level_name(request) << " at " << i;
+      }
+      for (Index i = 0; i < dx0.numel(); ++i) {
+        ASSERT_NEAR(dx0.at(i), dx1.at(i),
+                    bound(static_cast<double>(tc.kernel * tc.kernel) * 3.0))
+            << "dx c=" << tc.c << " level " << simd::level_name(request)
+            << " at " << i;
+      }
+      for (Index i = 0; i < dw0.numel(); ++i) {
+        ASSERT_NEAR(dw0.at(i), dw1.at(i),
+                    bound(static_cast<double>(g.batch * g.out_h * g.out_w) *
+                          3.0))
+            << "dw c=" << tc.c << " level " << simd::level_name(request)
+            << " at " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

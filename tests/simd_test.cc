@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -23,7 +24,14 @@
 namespace podnet::tensor {
 namespace {
 
-bool have_avx2() { return simd::detected_level() == simd::Level::kAvx2; }
+// SIMD levels the tests request; a request above what the host supports
+// clamps down (that fallback is itself under test below), so the effective
+// level is min(request, detected).
+const simd::Level kSimdLevels[] = {simd::Level::kAvx2, simd::Level::kAvx512};
+
+simd::Level effective(simd::Level request) {
+  return std::min(request, simd::detected_level());
+}
 
 // Per-element error bound for C = alpha*op(A)*op(B) + beta*C when the two
 // implementations differ only by the order of fp32 additions: a few ulp of
@@ -43,7 +51,7 @@ struct SimdGemmCase {
 
 class SimdGemmParityTest : public ::testing::TestWithParam<SimdGemmCase> {};
 
-TEST_P(SimdGemmParityTest, Avx2MatchesScalarWithinUlps) {
+TEST_P(SimdGemmParityTest, SimdLevelsMatchScalarWithinUlps) {
   const SimdGemmCase& tc = GetParam();
   Rng rng(tc.m * 7919 + tc.n * 104729 + tc.k * 13 + (tc.ta ? 1 : 0) +
           (tc.tb ? 2 : 0));
@@ -61,41 +69,44 @@ TEST_P(SimdGemmParityTest, Avx2MatchesScalarWithinUlps) {
     gemm_contiguous(tc.ta, tc.tb, tc.m, tc.n, tc.k, alpha, a.data(), b.data(),
                     beta, c_scalar.data(), tc.prec);
   }
-  std::vector<float> c_simd = c0;
-  {
-    simd::ScopedLevel lvl(simd::Level::kAvx2);
-    gemm_contiguous(tc.ta, tc.tb, tc.m, tc.n, tc.k, alpha, a.data(), b.data(),
-                    beta, c_simd.data(), tc.prec);
-  }
-  if (!have_avx2()) {
-    // ScopedLevel(kAvx2) clamps to scalar here; results must be identical.
-    EXPECT_EQ(0, std::memcmp(c_scalar.data(), c_simd.data(),
-                             c_scalar.size() * sizeof(float)));
-    return;
-  }
 
   // The bound uses the multiplicands the kernels actually multiply: for
-  // bf16 precision both paths round them identically (bit-exact round).
+  // bf16 precision all paths round them identically (bit-exact round).
   std::vector<float> ar = a, br = b;
   if (tc.prec == MatmulPrecision::kBf16) {
     bf16_round_inplace({ar.data(), ar.size()});
     bf16_round_inplace({br.data(), br.size()});
   }
-  for (std::int64_t i = 0; i < tc.m; ++i) {
-    for (std::int64_t j = 0; j < tc.n; ++j) {
-      double abs_acc = 0;
-      for (std::int64_t p = 0; p < tc.k; ++p) {
-        const float av = tc.ta ? ar[static_cast<std::size_t>(p * tc.m + i)]
-                               : ar[static_cast<std::size_t>(i * tc.k + p)];
-        const float bv = tc.tb ? br[static_cast<std::size_t>(j * tc.k + p)]
-                               : br[static_cast<std::size_t>(p * tc.n + j)];
-        abs_acc += std::abs(static_cast<double>(alpha) * av * bv);
+  for (const simd::Level request : kSimdLevels) {
+    std::vector<float> c_simd = c0;
+    {
+      simd::ScopedLevel lvl(request);
+      gemm_contiguous(tc.ta, tc.tb, tc.m, tc.n, tc.k, alpha, a.data(),
+                      b.data(), beta, c_simd.data(), tc.prec);
+    }
+    if (effective(request) == simd::Level::kScalar) {
+      // The request clamped all the way down: results must be identical.
+      EXPECT_EQ(0, std::memcmp(c_scalar.data(), c_simd.data(),
+                               c_scalar.size() * sizeof(float)));
+      continue;
+    }
+    for (std::int64_t i = 0; i < tc.m; ++i) {
+      for (std::int64_t j = 0; j < tc.n; ++j) {
+        double abs_acc = 0;
+        for (std::int64_t p = 0; p < tc.k; ++p) {
+          const float av = tc.ta ? ar[static_cast<std::size_t>(p * tc.m + i)]
+                                 : ar[static_cast<std::size_t>(i * tc.k + p)];
+          const float bv = tc.tb ? br[static_cast<std::size_t>(j * tc.k + p)]
+                                 : br[static_cast<std::size_t>(p * tc.n + j)];
+          abs_acc += std::abs(static_cast<double>(alpha) * av * bv);
+        }
+        const std::size_t idx = static_cast<std::size_t>(i * tc.n + j);
+        const double tol =
+            gemm_tolerance(abs_acc, static_cast<double>(beta) * c0[idx]);
+        EXPECT_NEAR(c_scalar[idx], c_simd[idx], tol)
+            << "level " << simd::level_name(request) << " at (" << i << ","
+            << j << ")";
       }
-      const std::size_t idx = static_cast<std::size_t>(i * tc.n + j);
-      const double tol =
-          gemm_tolerance(abs_acc, static_cast<double>(beta) * c0[idx]);
-      EXPECT_NEAR(c_scalar[idx], c_simd[idx], tol)
-          << "at (" << i << "," << j << ")";
     }
   }
 }
@@ -135,31 +146,35 @@ TEST(SimdGemmParityTest, RandomizedShapes) {
     for (auto& v : b) v = rng.normal();
     for (auto& v : c0) v = rng.normal();
 
-    std::vector<float> c_scalar = c0, c_simd = c0;
+    std::vector<float> c_scalar = c0;
     {
       simd::ScopedLevel lvl(simd::Level::kScalar);
       gemm_contiguous(ta, tb, m, n, k, 1.f, a.data(), b.data(), 0.f,
                       c_scalar.data());
     }
-    {
-      simd::ScopedLevel lvl(simd::Level::kAvx2);
-      gemm_contiguous(ta, tb, m, n, k, 1.f, a.data(), b.data(), 0.f,
-                      c_simd.data());
-    }
-    for (std::int64_t i = 0; i < m; ++i) {
-      for (std::int64_t j = 0; j < n; ++j) {
-        double abs_acc = 0;
-        for (std::int64_t p = 0; p < k; ++p) {
-          const float av = ta ? a[static_cast<std::size_t>(p * m + i)]
-                              : a[static_cast<std::size_t>(i * k + p)];
-          const float bv = tb ? b[static_cast<std::size_t>(j * k + p)]
-                              : b[static_cast<std::size_t>(p * n + j)];
-          abs_acc += std::abs(static_cast<double>(av) * bv);
+    for (const simd::Level request : kSimdLevels) {
+      std::vector<float> c_simd = c0;
+      {
+        simd::ScopedLevel lvl(request);
+        gemm_contiguous(ta, tb, m, n, k, 1.f, a.data(), b.data(), 0.f,
+                        c_simd.data());
+      }
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          double abs_acc = 0;
+          for (std::int64_t p = 0; p < k; ++p) {
+            const float av = ta ? a[static_cast<std::size_t>(p * m + i)]
+                                : a[static_cast<std::size_t>(i * k + p)];
+            const float bv = tb ? b[static_cast<std::size_t>(j * k + p)]
+                                : b[static_cast<std::size_t>(p * n + j)];
+            abs_acc += std::abs(static_cast<double>(av) * bv);
+          }
+          const std::size_t idx = static_cast<std::size_t>(i * n + j);
+          ASSERT_NEAR(c_scalar[idx], c_simd[idx], gemm_tolerance(abs_acc, 0))
+              << "level " << simd::level_name(request) << " iter " << iter
+              << " m=" << m << " n=" << n << " k=" << k << " ta=" << ta
+              << " tb=" << tb << " at (" << i << "," << j << ")";
         }
-        const std::size_t idx = static_cast<std::size_t>(i * n + j);
-        ASSERT_NEAR(c_scalar[idx], c_simd[idx], gemm_tolerance(abs_acc, 0))
-            << "iter " << iter << " m=" << m << " n=" << n << " k=" << k
-            << " ta=" << ta << " tb=" << tb << " at (" << i << "," << j << ")";
       }
     }
   }
@@ -243,18 +258,22 @@ TEST(SimdBf16Test, RoundIsBitExactAcrossLevels) {
   Rng rng(3);
   for (int i = 0; i < 997; ++i) special.push_back(rng.normal() * 1e3f);
 
-  std::vector<float> scalar_out = special, simd_out = special;
+  std::vector<float> scalar_out = special;
   {
     simd::ScopedLevel lvl(simd::Level::kScalar);
     bf16_round_inplace({scalar_out.data(), scalar_out.size()});
   }
-  {
-    simd::ScopedLevel lvl(simd::Level::kAvx2);
-    bf16_round_inplace({simd_out.data(), simd_out.size()});
+  for (const simd::Level request : kSimdLevels) {
+    std::vector<float> simd_out = special;
+    {
+      simd::ScopedLevel lvl(request);
+      bf16_round_inplace({simd_out.data(), simd_out.size()});
+    }
+    // memcmp, not ==: NaNs must match bit patterns too.
+    EXPECT_EQ(0, std::memcmp(scalar_out.data(), simd_out.data(),
+                             scalar_out.size() * sizeof(float)))
+        << "level " << simd::level_name(request);
   }
-  // memcmp, not ==: NaNs must match bit patterns too.
-  EXPECT_EQ(0, std::memcmp(scalar_out.data(), simd_out.data(),
-                           scalar_out.size() * sizeof(float)));
 }
 
 class SimdOpsParityTest : public ::testing::Test {
@@ -290,8 +309,11 @@ TEST_F(SimdOpsParityTest, ExactKernels) {
   };
   std::vector<float> a, b;
   run(simd::Level::kScalar, a);
-  run(simd::Level::kAvx2, b);
-  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+  for (const simd::Level request : kSimdLevels) {
+    run(request, b);
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+        << "level " << simd::level_name(request);
+  }
 }
 
 TEST_F(SimdOpsParityTest, FusedKernelsWithinUlps) {
@@ -299,20 +321,24 @@ TEST_F(SimdOpsParityTest, FusedKernelsWithinUlps) {
   // of two) — elementwise difference is bounded by an ulp of the product.
   constexpr double kEps = std::numeric_limits<float>::epsilon();
   auto check = [&](auto&& fn) {
-    std::vector<float> a = y, b = y;
+    std::vector<float> a = y;
     {
       simd::ScopedLevel s(simd::Level::kScalar);
       fn(a);
     }
-    {
-      simd::ScopedLevel s(simd::Level::kAvx2);
-      fn(b);
-    }
-    for (std::size_t i = 0; i < kN; ++i) {
-      const double tol =
-          4.0 * kEps * (std::abs(static_cast<double>(x[i])) * 2.0 +
-                        std::abs(static_cast<double>(y[i]))) + 1e-30;
-      ASSERT_NEAR(a[i], b[i], tol) << "at " << i;
+    for (const simd::Level request : kSimdLevels) {
+      std::vector<float> b = y;
+      {
+        simd::ScopedLevel s(request);
+        fn(b);
+      }
+      for (std::size_t i = 0; i < kN; ++i) {
+        const double tol =
+            4.0 * kEps * (std::abs(static_cast<double>(x[i])) * 2.0 +
+                          std::abs(static_cast<double>(y[i]))) + 1e-30;
+        ASSERT_NEAR(a[i], b[i], tol)
+            << "level " << simd::level_name(request) << " at " << i;
+      }
     }
   };
   check([&](std::vector<float>& t) {
@@ -335,8 +361,8 @@ TEST_F(SimdOpsParityTest, Reductions) {
     sq_mass += static_cast<double>(x[i]) * x[i];
     dot_mass += std::abs(static_cast<double>(x[i]) * y[i]);
   }
-  double s0, s1, q0, q1, d0, d1;
-  float m0, m1;
+  double s0, q0, d0;
+  float m0;
   {
     simd::ScopedLevel s(simd::Level::kScalar);
     s0 = sum({x.data(), kN});
@@ -344,68 +370,72 @@ TEST_F(SimdOpsParityTest, Reductions) {
     d0 = dot({x.data(), kN}, {y.data(), kN});
     m0 = max_value({x.data(), kN});
   }
-  {
-    simd::ScopedLevel s(simd::Level::kAvx2);
-    s1 = sum({x.data(), kN});
-    q1 = sum_squares({x.data(), kN});
-    d1 = dot({x.data(), kN}, {y.data(), kN});
-    m1 = max_value({x.data(), kN});
+  for (const simd::Level request : kSimdLevels) {
+    simd::ScopedLevel s(request);
+    EXPECT_NEAR(s0, sum({x.data(), kN}), 8 * kEps * abs_mass + 1e-30);
+    EXPECT_NEAR(q0, sum_squares({x.data(), kN}), 8 * kEps * sq_mass + 1e-30);
+    EXPECT_NEAR(d0, dot({x.data(), kN}, {y.data(), kN}),
+                8 * kEps * dot_mass + 1e-30);
+    EXPECT_EQ(m0, max_value({x.data(), kN}));  // max is exact in any order
   }
-  EXPECT_NEAR(s0, s1, 8 * kEps * abs_mass + 1e-30);
-  EXPECT_NEAR(q0, q1, 8 * kEps * sq_mass + 1e-30);
-  EXPECT_NEAR(d0, d1, 8 * kEps * dot_mass + 1e-30);
-  EXPECT_EQ(m0, m1);  // max is exact in any order
 }
 
 TEST_F(SimdOpsParityTest, ActivationsAndSoftmax) {
   // The SIMD sigmoid/softmax use a polynomial exp that tracks std::exp to
   // a few ulp; outputs live in [0,1] so an absolute tolerance is right.
-  std::vector<float> sig0(kN), sig1(kN), y0(kN), y1(kN);
+  std::vector<float> sig0(kN), y0(kN);
   {
     simd::ScopedLevel s(simd::Level::kScalar);
     swish({x.data(), kN}, {sig0.data(), kN}, {y0.data(), kN});
   }
-  {
-    simd::ScopedLevel s(simd::Level::kAvx2);
-    swish({x.data(), kN}, {sig1.data(), kN}, {y1.data(), kN});
-  }
-  for (std::size_t i = 0; i < kN; ++i) {
-    ASSERT_NEAR(sig0[i], sig1[i], 2e-6) << "sig at " << i;
-    ASSERT_NEAR(y0[i], y1[i], 2e-6 * (1.0 + std::abs(x[i]))) << "y at " << i;
-  }
-
   const std::int64_t rows = 13, cols = 67;
   std::vector<float> logits(static_cast<std::size_t>(rows * cols));
   Rng rng(23);
   for (auto& v : logits) v = rng.normal() * 4.f;
-  std::vector<float> sm0 = logits, sm1 = logits;
+  std::vector<float> sm0 = logits;
   {
     simd::ScopedLevel s(simd::Level::kScalar);
     softmax_rows(sm0.data(), rows, cols);
   }
-  {
-    simd::ScopedLevel s(simd::Level::kAvx2);
-    softmax_rows(sm1.data(), rows, cols);
-  }
-  for (std::size_t i = 0; i < sm0.size(); ++i) {
-    ASSERT_NEAR(sm0[i], sm1[i], 5e-6) << "softmax at " << i;
+
+  for (const simd::Level request : kSimdLevels) {
+    std::vector<float> sig1(kN), y1(kN);
+    std::vector<float> sm1 = logits;
+    {
+      simd::ScopedLevel s(request);
+      swish({x.data(), kN}, {sig1.data(), kN}, {y1.data(), kN});
+      softmax_rows(sm1.data(), rows, cols);
+    }
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_NEAR(sig0[i], sig1[i], 2e-6)
+          << "level " << simd::level_name(request) << " sig at " << i;
+      ASSERT_NEAR(y0[i], y1[i], 2e-6 * (1.0 + std::abs(x[i])))
+          << "level " << simd::level_name(request) << " y at " << i;
+    }
+    for (std::size_t i = 0; i < sm0.size(); ++i) {
+      ASSERT_NEAR(sm0[i], sm1[i], 5e-6)
+          << "level " << simd::level_name(request) << " softmax at " << i;
+    }
   }
 }
 
 TEST(SimdDepthwiseTest, GradCheckUnderSimd) {
   // The vectorized depthwise conv must still pass the finite-difference
-  // backstop with the SIMD kernels live.
-  simd::ScopedLevel lvl(simd::Level::kAvx2);
-  nn::Rng init(31);
-  nn::DepthwiseConv2D dw(/*channels=*/6, /*kernel=*/3, /*stride=*/2, init,
-                         MatmulPrecision::kFp32, "dw_simd");
-  nn::Tensor x(nn::Shape{2, 7, 7, 6});
-  nn::Rng data(33);
-  for (auto& v : x.span()) v = data.normal();
-  nn::Rng probe(35);
-  const auto res = nn::grad_check(dw, x, probe);
-  EXPECT_TRUE(res.ok(5e-2)) << "worst " << res.worst << " rel "
-                            << res.max_rel_err;
+  // backstop with the SIMD kernels live, at every dispatch level.
+  for (const simd::Level request : kSimdLevels) {
+    simd::ScopedLevel lvl(request);
+    nn::Rng init(31);
+    nn::DepthwiseConv2D dw(/*channels=*/6, /*kernel=*/3, /*stride=*/2, init,
+                           MatmulPrecision::kFp32, "dw_simd");
+    nn::Tensor x(nn::Shape{2, 7, 7, 6});
+    nn::Rng data(33);
+    for (auto& v : x.span()) v = data.normal();
+    nn::Rng probe(35);
+    const auto res = nn::grad_check(dw, x, probe);
+    EXPECT_TRUE(res.ok(5e-2)) << "level " << simd::level_name(request)
+                              << " worst " << res.worst << " rel "
+                              << res.max_rel_err;
+  }
 }
 
 TEST(SimdDispatchTest, LevelOverrideRoundTrips) {
@@ -422,6 +452,34 @@ TEST(SimdDispatchTest, LevelOverrideRoundTrips) {
   EXPECT_EQ(simd::active_level(), before);
   EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
   EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx512), "avx512");
+}
+
+TEST(SimdDispatchTest, Avx512RequestFallsBackGracefully) {
+  // On a host without AVX-512 a kAvx512 request must land on the best
+  // supported level (detected), not scalar — and on an AVX-512 host it must
+  // actually engage the top tier. Either way the request clamps to exactly
+  // min(request, detected).
+  const simd::Level detected = simd::detected_level();
+  {
+    simd::ScopedLevel lvl(simd::Level::kAvx512);
+    EXPECT_EQ(simd::active_level(), std::min(simd::Level::kAvx512, detected));
+  }
+  // The clamped level must produce the same numbers as requesting the
+  // detected level directly: fallback changes the label, never the math.
+  Rng rng(41);
+  std::vector<float> x(513);
+  for (auto& v : x) v = rng.normal();
+  std::vector<float> a = x, b = x;
+  {
+    simd::ScopedLevel lvl(simd::Level::kAvx512);
+    scale(1.0f / 3.0f, {a.data(), a.size()});
+  }
+  {
+    simd::ScopedLevel lvl(detected);
+    scale(1.0f / 3.0f, {b.data(), b.size()});
+  }
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
 }
 
 }  // namespace
