@@ -1,0 +1,247 @@
+// Graph-IR pass benchmark: the nn layer interpreter vs the compiled
+// ir::Executor on EfficientNet eval, one row per pass configuration
+// (no passes / conv+BN fold / fold+fuse+DCE with the planned arena).
+//
+// Reported per row: eval throughput (img/ms) and the peak scratch story —
+// the executor's planned arena bytes and its no-reuse upper bound next to
+// the interpreter's persistent per-layer im2col scratch high-water mark.
+//
+// Modes sharing one binary:
+//   (default)       prints the comparison table for --model (b0);
+//   --json PATH     *appends* one JSONL "ir_bench" row per configuration
+//                   to PATH (bench/run_benchmarks.sh chains this after
+//                   micro_kernels so BENCH_kernels.json carries both) and
+//                   re-validates the file through obs::validate_jsonl_file;
+//   --smoke         correctness gate for the `ir` ctest label: runs the
+//                   pico spec and fails unless every configuration's
+//                   logits track the interpreter and the planned arena
+//                   beats the no-reuse layout;
+//   --model NAME    any effnet::by_name spec (default b0);
+//   --batch N       eval batch per timed forward (default 2);
+//   --iters N       timed iterations per configuration (default 3).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "effnet/model.h"
+#include "ir/executor.h"
+#include "ir/passes.h"
+#include "nn/lower.h"
+#include "obs/json.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace podnet;
+using nn::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PassConfig {
+  const char* name;
+  bool use_ir;
+  ir::PassOptions opts;
+};
+
+constexpr PassConfig kConfigs[] = {
+    {"interp", false, {}},
+    {"ir_nopass", true, {false, false, false}},
+    {"ir_fold", true, {true, false, true}},
+    {"ir_fold_fuse", true, {true, true, true}},
+};
+
+struct Row {
+  std::string name;
+  double ms_per_img = 0;
+  double speedup_vs_interp = 1.0;
+  std::int64_t arena_bytes = 0;          // 0 for the interpreter row
+  std::int64_t no_reuse_bytes = 0;       // ditto
+  std::int64_t interp_scratch_bytes = 0; // interpreter col_scratch sum
+  double max_rel_err = 0;                // vs the interpreter logits
+};
+
+double max_rel_err(const Tensor& got, const Tensor& want) {
+  double worst = 0;
+  for (tensor::Index i = 0; i < got.numel(); ++i) {
+    const double w = want.data()[i];
+    const double e =
+        std::fabs(got.data()[i] - w) / (1e-6 + std::fabs(w));
+    if (e > worst) worst = e;
+  }
+  return worst;
+}
+
+std::vector<Row> run_model(const std::string& model_name,
+                           tensor::Index batch, int iters) {
+  const effnet::ModelSpec spec = effnet::by_name(model_name);
+  effnet::ModelOptions mopts;
+  mopts.num_classes = 1000;
+  effnet::EfficientNet model(spec, mopts);
+  Rng rng(5);
+  const Tensor x =
+      Tensor::randn(Shape{batch, spec.resolution, spec.resolution, 3}, rng);
+
+  std::vector<Row> rows;
+  Tensor interp_logits;
+  double interp_ms = 0;
+  std::int64_t interp_scratch = 0;
+
+  for (const PassConfig& cfg : kConfigs) {
+    Row row;
+    row.name = std::string(model_name) + "_eval_" + cfg.name;
+
+    ir::Program prog;
+    std::unique_ptr<ir::Executor> exec;
+    if (cfg.use_ir) {
+      prog = nn::lower_to_program(model);
+      ir::run_passes(prog, cfg.opts);
+      exec = std::make_unique<ir::Executor>(prog);
+    }
+    const auto forward = [&] {
+      return exec ? exec->run(x) : model.forward(x, /*training=*/false);
+    };
+
+    Tensor logits = forward();  // warm-up: binds the arena / grows scratch
+    const double t0 = now_s();
+    for (int i = 0; i < iters; ++i) logits = forward();
+    const double elapsed = now_s() - t0;
+    row.ms_per_img =
+        1e3 * elapsed / (static_cast<double>(iters) *
+                         static_cast<double>(batch));
+
+    if (cfg.use_ir) {
+      row.arena_bytes = exec->stats().arena_bytes;
+      row.no_reuse_bytes = exec->stats().no_reuse_bytes;
+      row.speedup_vs_interp = interp_ms / row.ms_per_img;
+      row.max_rel_err = max_rel_err(logits, interp_logits);
+      row.interp_scratch_bytes = interp_scratch;
+    } else {
+      interp_ms = row.ms_per_img;
+      interp_scratch = model.scratch_bytes();
+      row.interp_scratch_bytes = interp_scratch;
+      interp_logits = std::move(logits);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_rows(const std::vector<Row>& rows) {
+  std::printf("%-28s %10s %8s %14s %14s %10s\n", "config", "ms/img",
+              "speedup", "arena_bytes", "no_reuse", "max_rel");
+  for (const Row& r : rows) {
+    std::printf("%-28s %10.3f %7.2fx %14lld %14lld %10.2e\n", r.name.c_str(),
+                r.ms_per_img, r.speedup_vs_interp,
+                static_cast<long long>(r.arena_bytes),
+                static_cast<long long>(r.no_reuse_bytes), r.max_rel_err);
+  }
+  std::printf("interpreter col_scratch high-water: %lld bytes\n",
+              static_cast<long long>(rows.front().interp_scratch_bytes));
+}
+
+int append_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  for (const Row& r : rows) {
+    obs::JsonWriter w;
+    w.field("kind", "ir_bench")
+        .field("name", r.name)
+        .field("ms_per_img", r.ms_per_img)
+        .field("img_per_ms", r.ms_per_img > 0 ? 1.0 / r.ms_per_img : 0.0)
+        .field("speedup_vs_interp", r.speedup_vs_interp)
+        .field("arena_bytes", r.arena_bytes)
+        .field("no_reuse_bytes", r.no_reuse_bytes)
+        .field("interp_scratch_bytes", r.interp_scratch_bytes)
+        .field("max_rel_err", r.max_rel_err);
+    out << w.str() << '\n';
+  }
+  out.close();
+  std::size_t lines = 0;
+  std::string error;
+  if (!obs::validate_jsonl_file(path, &lines, &error)) {
+    std::fprintf(stderr, "JSONL validation failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("appended %zu ir_bench rows to %s (validated, %zu lines)\n",
+              rows.size(), path.c_str(), lines);
+  return 0;
+}
+
+// --smoke: pico-sized correctness gate — parity with the interpreter and
+// a real arena-reuse win, independent of host speed.
+int run_smoke() {
+  const std::vector<Row> rows = run_model("pico", 4, 2);
+  int failures = 0;
+  for (const Row& r : rows) {
+    if (r.name.find("interp") != std::string::npos) continue;
+    if (r.max_rel_err > 5e-3) {
+      std::printf("ir_smoke FAIL: %s diverged from interpreter "
+                  "(max_rel_err %.3g)\n",
+                  r.name.c_str(), r.max_rel_err);
+      ++failures;
+    }
+    if (r.arena_bytes <= 0 || r.arena_bytes >= r.no_reuse_bytes) {
+      std::printf("ir_smoke FAIL: %s arena %lld vs no-reuse %lld — "
+                  "planner produced no reuse win\n",
+                  r.name.c_str(), static_cast<long long>(r.arena_bytes),
+                  static_cast<long long>(r.no_reuse_bytes));
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("ir_smoke OK: %zu configurations match the interpreter "
+                "and the arena beats no-reuse\n",
+                rows.size() - 1);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string model_name = "b0";
+  tensor::Index batch = 2;
+  int iters = 3;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--model" && i + 1 < argc) {
+      model_name = argv[++i];
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = static_cast<tensor::Index>(std::atoll(argv[++i]));
+    } else if (arg == "--iters" && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--model NAME] "
+                   "[--batch N] [--iters N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) return run_smoke();
+
+  const std::vector<Row> rows = run_model(model_name, batch, iters);
+  print_rows(rows);
+  if (!json_path.empty()) return append_json(rows, json_path);
+  return 0;
+}

@@ -6,7 +6,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string_view>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -22,7 +24,10 @@
 #include "dist/comm_thread.h"
 #include "dist/replica.h"
 #include "effnet/model.h"
+#include "ir/executor.h"
+#include "ir/passes.h"
 #include "nn/loss.h"
+#include "nn/lower.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "optim/clip.h"
@@ -54,6 +59,30 @@ dist::BnGroups make_groups(const BnGroupingConfig& bn, int replicas) {
 bool file_exists(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   return f.good();
+}
+
+// Equivalence gate for the compiled graph-IR eval path (instrumented
+// builds): the compiled logits must agree with the layer interpreter.
+// Conv+BN folding reassociates the per-channel scale through the conv
+// accumulation and fused epilogues round at SIMD segment boundaries, so
+// agreement is to a tight relative tolerance, not bitwise (the ir parity
+// tests bound the per-op ULP error; this catches wiring mistakes).
+void assert_ir_matches(const nn::Tensor& got, const nn::Tensor& want) {
+  if (got.shape() != want.shape()) {
+    throw std::runtime_error("graph-IR eval produced the wrong logits shape");
+  }
+  const float* g = got.data();
+  const float* w = want.data();
+  for (tensor::Index i = 0; i < got.numel(); ++i) {
+    const float diff = std::fabs(g[i] - w[i]);
+    const float tol = 1e-3f + 1e-3f * std::fabs(w[i]);
+    if (!(diff <= tol)) {
+      throw std::runtime_error(
+          "graph-IR eval diverged from the layer interpreter at logit " +
+          std::to_string(i) + ": " + std::to_string(g[i]) + " vs " +
+          std::to_string(w[i]));
+    }
+  }
 }
 
 // FNV-1a over the payload bytes, folded to 53 bits so the value survives a
@@ -225,6 +254,11 @@ class BucketedGradSync final : public nn::GradReadySink {
 };
 
 }  // namespace
+
+bool ir_eval_default() {
+  const char* v = std::getenv("PODNET_IR");
+  return v != nullptr && std::string_view(v) != "0";
+}
 
 TrainResult train(const TrainConfig& config) {
   const int R = config.replicas;
@@ -484,6 +518,15 @@ TrainResult train(const TrainConfig& config) {
         }
       }
 
+      // Compiled graph-IR eval path (DESIGN.md "Graph IR & passes"). The
+      // model re-lowers at every eval point: conv+BN folding bakes the
+      // *current* weights and BN statistics into constants, so the program
+      // is rebuilt after the EMA swap and the BN averaging, cheap next to
+      // the eval pass itself.
+      const bool use_ir = config.ir_eval && model.lowerable();
+      const ir::PassOptions ir_opts = ir::PassOptions::from_env();
+      std::int64_t ir_bytes_last_eval = 0;
+
       auto run_eval = [&](double at_epoch, float lr_now_) {
         // Evaluate the EMA weights when enabled (swapped back afterwards).
         if (ema) ema->swap(params);
@@ -497,14 +540,33 @@ TrainResult train(const TrainConfig& config) {
 
         // Distributed evaluation (Sec 3.3): each replica scores its shard.
         std::int64_t correct = 0, correct5 = 0, count = 0;
+        ir::Program eval_prog;  // must outlive the executor (borrowed)
+        std::unique_ptr<ir::Executor> exec;
+        if (use_ir) {
+          eval_prog = nn::lower_to_program(model);
+          ir::run_passes(eval_prog, ir_opts);
+          exec = std::make_unique<ir::Executor>(eval_prog);
+          // The planned arena replaces the interpreter's per-layer im2col
+          // scratch; training re-grows it lazily on the next step.
+          model.release_scratch();
+        }
         for (tensor::Index i = 0; i < eval_loader.num_batches(); ++i) {
           data::Batch b = eval_loader.batch(i);
           if (b.count() == 0) break;
-          nn::Tensor logits = model.forward(b.images, /*training=*/false);
+          nn::Tensor logits = exec
+                                  ? exec->run(b.images)
+                                  : model.forward(b.images, /*training=*/false);
+          if (exec && check::kEnabled && i == 0) {
+            // Instrumented builds gate the compiled program against the
+            // layer interpreter on the first shard batch every eval.
+            assert_ir_matches(logits,
+                              model.forward(b.images, /*training=*/false));
+          }
           correct += nn::top_k_correct(logits, b.labels, 1);
           correct5 += nn::top_k_correct(logits, b.labels, 5);
           count += b.count();
         }
+        if (exec) ir_bytes_last_eval = exec->stats().arena_bytes;
         if (ema) ema->swap(params);  // restore live training weights
         const double total_correct =
             comm.allreduce_scalar(rank, static_cast<double>(correct),
@@ -785,6 +847,7 @@ TrainResult train(const TrainConfig& config) {
           obs::Timer eval_timer;
           run_eval(epoch_after, lr_now);
           sm.phase(obs::Phase::kEval) = eval_timer.seconds();
+          sm.ir_scratch_bytes = ir_bytes_last_eval;
           while (next_eval_epoch <= epoch_after + 1e-9) {
             next_eval_epoch += config.eval_every_epochs;
           }
@@ -819,6 +882,7 @@ TrainResult train(const TrainConfig& config) {
         result.wall_seconds = seconds_since(t0);
         result.phase_totals = phase_totals;
         result.allreduce_bytes = phase_totals.allreduce_bytes;
+        result.ir_scratch_bytes = ir_bytes_last_eval;
         result.allreduce_fraction = phase_totals.allreduce_fraction();
         result.exposed_allreduce_fraction =
             phase_totals.exposed_allreduce_fraction();

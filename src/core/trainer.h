@@ -43,6 +43,10 @@
 
 namespace podnet::core {
 
+// Default for TrainConfig::ir_eval: the PODNET_IR environment variable
+// ("0" or unset disables, anything else enables).
+bool ir_eval_default();
+
 struct BnGroupingConfig {
   enum class Kind { kLocal, k1d, k2d };
   Kind kind = Kind::kLocal;
@@ -76,6 +80,17 @@ struct TrainConfig {
   BnGroupingConfig bn;
   dist::AllReduceAlgorithm allreduce = dist::AllReduceAlgorithm::kRing;
   tensor::MatmulPrecision precision = tensor::MatmulPrecision::kFp32;
+
+  // ---- Graph-IR evaluation (DESIGN.md "Graph IR & passes") -----------------
+  // Route the sharded eval forward pass through the compiled graph IR:
+  // the model is lowered to an ir::Program, optimized (conv+BN folding,
+  // epilogue fusion, DCE + arena planning; pass set from PODNET_IR_FOLD /
+  // _FUSE / _DCE), and executed against one planned scratch arena. The
+  // per-layer interpreter scratch is released for the duration. Training
+  // always keeps the layer interpreter. Falls back to the interpreter when
+  // the model does not lower (bf16 multiplicands, custom layers). Defaults
+  // to the PODNET_IR environment variable; see ir_eval_default().
+  bool ir_eval = ir_eval_default();
 
   // ---- Bucketed all-reduce overlap (DESIGN.md "Bucketed overlap") ----------
   // Hide gradient communication behind backward: the flat gradient buffer
@@ -212,6 +227,10 @@ struct TrainResult {
   // the run (gradient buckets, plus BN statistics averaged at eval points;
   // BN *group* reductions use their own communicators and are not counted).
   std::int64_t allreduce_bytes = 0;
+  // Planned peak arena bytes of the compiled eval program (rank 0's last
+  // eval; 0 when ir_eval is off or the model did not lower). Compare with
+  // the interpreter's per-layer im2col scratch high-water mark.
+  std::int64_t ir_scratch_bytes = 0;
   // ---- Fault-tolerance outcome ---------------------------------------------
   int restarts = 0;                  // supervised relaunches performed
   std::int64_t failed_steps = 0;     // steps lost to faults and replayed

@@ -1,0 +1,71 @@
+#include "effnet/lower.h"
+
+#include <algorithm>
+#include <string>
+
+#include "ir/builder.h"
+
+namespace podnet::effnet {
+namespace {
+
+// One MBConv block, mirroring MBConvBlock::lower over the BlockArgs alone.
+int lower_block(ir::Builder& b, const BlockArgs& args, const std::string& base,
+                int x) {
+  const Index expanded = args.input_filters * args.expand_ratio;
+  int h = x;
+  if (args.expand_ratio != 1) {
+    h = b.swish(b.batch_norm(
+        b.conv2d(h, args.input_filters, expanded, 1, 1, nullptr, nullptr,
+                 base + "/expand"),
+        expanded, args.bn_eps, nullptr, nullptr, nullptr, nullptr,
+        base + "/bn0"));
+  }
+  h = b.swish(b.batch_norm(
+      b.depthwise_conv2d(h, expanded, args.kernel, args.stride, nullptr,
+                         base + "/dw"),
+      expanded, args.bn_eps, nullptr, nullptr, nullptr, nullptr,
+      base + "/bn1"));
+  if (args.se_ratio > 0.f) {
+    const Index se_ch = std::max<Index>(
+        1, static_cast<Index>(static_cast<float>(args.input_filters) *
+                              args.se_ratio));
+    h = b.squeeze_excite(h, expanded, se_ch, nullptr, nullptr, nullptr,
+                         nullptr, base + "/se");
+  }
+  h = b.batch_norm(
+      b.conv2d(h, expanded, args.output_filters, 1, 1, nullptr, nullptr,
+               base + "/project"),
+      args.output_filters, args.bn_eps, nullptr, nullptr, nullptr, nullptr,
+      base + "/bn2");
+  if (args.stride == 1 && args.input_filters == args.output_filters) {
+    h = b.add(h, x);
+  }
+  return h;
+}
+
+}  // namespace
+
+ir::Program lower_spec(const ModelSpec& spec, Index num_classes) {
+  ir::Builder b;
+  const Index stem = scaled_stem_filters(spec);
+  int h = b.swish(b.batch_norm(
+      b.conv2d(b.input(), 3, stem, 3, 2, nullptr, nullptr, "stem/conv"),
+      stem, spec.bn_eps, nullptr, nullptr, nullptr, nullptr, "stem/bn"));
+
+  const auto blocks = expand_blocks(spec);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    h = lower_block(b, blocks[i], "blocks/" + std::to_string(i), h);
+  }
+
+  const Index last = blocks.empty() ? stem : blocks.back().output_filters;
+  const Index head = scaled_head_filters(spec);
+  h = b.swish(b.batch_norm(
+      b.conv2d(h, last, head, 1, 1, nullptr, nullptr, "head/conv"), head,
+      spec.bn_eps, nullptr, nullptr, nullptr, nullptr, "head/bn"));
+  h = b.global_avg_pool(h);
+  h = b.dense(h, head, num_classes, nullptr, nullptr, "head/classifier",
+              /*has_bias=*/true);
+  return b.finish(h);
+}
+
+}  // namespace podnet::effnet

@@ -1,0 +1,17 @@
+// Weightless spec lowering: builds the same IR program shape an
+// EfficientNet model instance lowers to, straight from the ModelSpec —
+// no parameter tensors, no model construction. The printed structure
+// matches the model-lowered program line for line (same op order, names,
+// and attributes), and ir::flop_macs over the result must agree exactly
+// with the analytic effnet::analyze model (the ir_flops consistency tests
+// pin both invariants).
+#pragma once
+
+#include "effnet/config.h"
+#include "ir/ir.h"
+
+namespace podnet::effnet {
+
+ir::Program lower_spec(const ModelSpec& spec, Index num_classes);
+
+}  // namespace podnet::effnet

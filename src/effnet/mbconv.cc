@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ir/builder.h"
+
 namespace podnet::effnet {
 
 using nn::Tensor;
@@ -99,6 +101,37 @@ void MBConvBlock::collect_state(std::vector<nn::Tensor*>& out) {
 
 void MBConvBlock::collect_rngs(std::vector<nn::Rng*>& out) {
   drop_path_.collect_rngs(out);
+}
+
+bool MBConvBlock::lowerable() const {
+  return dwconv_.lowerable() && project_conv_.lowerable() &&
+         (!expand_conv_ || expand_conv_->lowerable());
+}
+
+int MBConvBlock::lower(ir::Builder& b, int x) const {
+  // Mirrors forward(training=false); drop_path is the identity there.
+  int h = x;
+  if (expand_conv_) {
+    h = swish0_->lower(b, bn0_->lower(b, expand_conv_->lower(b, h)));
+  }
+  h = swish1_.lower(b, bn1_.lower(b, dwconv_.lower(b, h)));
+  if (se_) h = se_->lower(b, h);
+  h = bn2_.lower(b, project_conv_.lower(b, h));
+  if (has_residual_) h = b.add(h, x);
+  return h;
+}
+
+std::int64_t MBConvBlock::scratch_bytes() const {
+  std::int64_t total =
+      dwconv_.scratch_bytes() + project_conv_.scratch_bytes();
+  if (expand_conv_) total += expand_conv_->scratch_bytes();
+  return total;
+}
+
+void MBConvBlock::release_scratch() {
+  if (expand_conv_) expand_conv_->release_scratch();
+  dwconv_.release_scratch();
+  project_conv_.release_scratch();
 }
 
 void MBConvBlock::collect_batchnorms(std::vector<nn::BatchNorm*>& out) {

@@ -34,6 +34,11 @@ class MBConvBlock final : public nn::Layer {
   void collect_rngs(std::vector<nn::Rng*>& out) override;
   std::string name() const override { return name_; }
 
+  bool lowerable() const override;
+  int lower(ir::Builder& b, int x) const override;
+  std::int64_t scratch_bytes() const override;
+  void release_scratch() override;
+
   // All batch-norm layers in this block, for distributed-BN wiring.
   void collect_batchnorms(std::vector<nn::BatchNorm*>& out);
 

@@ -1,5 +1,7 @@
 #include "effnet/model.h"
 
+#include "ir/builder.h"
+
 namespace podnet::effnet {
 
 using nn::Tensor;
@@ -112,6 +114,32 @@ void EfficientNet::collect_rngs(std::vector<nn::Rng*>& out) {
 
 void EfficientNet::set_bn_sync(nn::BnStatSync* sync) {
   for (nn::BatchNorm* bn : bns_) bn->set_stat_sync(sync);
+}
+
+bool EfficientNet::lowerable() const {
+  return options_.precision == tensor::MatmulPrecision::kFp32;
+}
+
+int EfficientNet::lower(ir::Builder& b, int x) const {
+  // Mirrors forward(training=false); head dropout is the identity there.
+  int h = stem_swish_.lower(b, stem_bn_.lower(b, stem_conv_.lower(b, x)));
+  for (const auto& blk : blocks_) h = blk->lower(b, h);
+  h = head_swish_.lower(b, head_bn_->lower(b, head_conv_->lower(b, h)));
+  h = pool_.lower(b, h);
+  return classifier_->lower(b, h);
+}
+
+std::int64_t EfficientNet::scratch_bytes() const {
+  std::int64_t total =
+      stem_conv_.scratch_bytes() + head_conv_->scratch_bytes();
+  for (const auto& blk : blocks_) total += blk->scratch_bytes();
+  return total;
+}
+
+void EfficientNet::release_scratch() {
+  stem_conv_.release_scratch();
+  for (const auto& blk : blocks_) blk->release_scratch();
+  head_conv_->release_scratch();
 }
 
 }  // namespace podnet::effnet

@@ -44,6 +44,13 @@ class EfficientNet final : public nn::Model {
   const ModelSpec& spec() const { return spec_; }
   Index num_classes() const { return options_.num_classes; }
 
+  // Graph IR lowering: the whole model lowers when every conv is fp32
+  // (bf16 models keep the layer interpreter for inference too).
+  bool lowerable() const override;
+  int lower(ir::Builder& b, int x) const override;
+  std::int64_t scratch_bytes() const override;
+  void release_scratch() override;
+
   // Wires every batch-norm layer to a cross-replica statistics hook
   // (nullptr reverts to per-core batch norm).
   void set_bn_sync(nn::BnStatSync* sync) override;

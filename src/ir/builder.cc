@@ -1,0 +1,142 @@
+#include "ir/builder.h"
+
+#include <utility>
+
+#include "ir/verify.h"
+
+namespace podnet::ir {
+
+Op& Builder::append(OpKind kind, std::string name) {
+  Op op;
+  op.kind = kind;
+  op.name = std::move(name);
+  op.out = prog_.next_value_++;
+  prog_.ops_.push_back(std::move(op));
+  return prog_.ops_.back();
+}
+
+int Builder::conv2d(int x, Index in_c, Index out_c, Index kernel,
+                    Index stride, const Tensor* weight, const Tensor* bias,
+                    std::string name, bool has_bias) {
+  Op& op = append(OpKind::kConv2D, std::move(name));
+  op.args = {x};
+  op.in_c = in_c;
+  op.out_c = out_c;
+  op.kernel = kernel;
+  op.stride = stride;
+  op.weight = weight;
+  op.bias = bias;
+  op.has_bias = has_bias || bias != nullptr;
+  return op.out;
+}
+
+int Builder::depthwise_conv2d(int x, Index channels, Index kernel,
+                              Index stride, const Tensor* weight,
+                              std::string name) {
+  Op& op = append(OpKind::kDepthwiseConv2D, std::move(name));
+  op.args = {x};
+  op.in_c = channels;
+  op.out_c = channels;
+  op.kernel = kernel;
+  op.stride = stride;
+  op.weight = weight;
+  return op.out;
+}
+
+int Builder::batch_norm(int x, Index channels, float eps, const Tensor* gamma,
+                        const Tensor* beta, const Tensor* mean,
+                        const Tensor* var, std::string name) {
+  Op& op = append(OpKind::kBatchNorm, std::move(name));
+  op.args = {x};
+  op.in_c = channels;
+  op.out_c = channels;
+  op.eps = eps;
+  op.gamma = gamma;
+  op.beta = beta;
+  op.mean = mean;
+  op.var = var;
+  return op.out;
+}
+
+int Builder::swish(int x) {
+  Op& op = append(OpKind::kSwish, "");
+  op.args = {x};
+  return op.out;
+}
+
+int Builder::relu(int x) {
+  Op& op = append(OpKind::kRelu, "");
+  op.args = {x};
+  return op.out;
+}
+
+int Builder::sigmoid(int x) {
+  Op& op = append(OpKind::kSigmoid, "");
+  op.args = {x};
+  return op.out;
+}
+
+int Builder::squeeze_excite(int x, Index channels, Index se_channels,
+                            const Tensor* w_reduce, const Tensor* b_reduce,
+                            const Tensor* w_expand, const Tensor* b_expand,
+                            std::string name) {
+  Op& op = append(OpKind::kSqueezeExcite, std::move(name));
+  op.args = {x};
+  op.in_c = channels;
+  op.out_c = channels;
+  op.se_c = se_channels;
+  op.se_w1 = w_reduce;
+  op.se_b1 = b_reduce;
+  op.se_w2 = w_expand;
+  op.se_b2 = b_expand;
+  return op.out;
+}
+
+int Builder::add(int a, int b) {
+  Op& op = append(OpKind::kAdd, "");
+  op.args = {a, b};
+  return op.out;
+}
+
+int Builder::global_avg_pool(int x) {
+  Op& op = append(OpKind::kGlobalAvgPool, "");
+  op.args = {x};
+  return op.out;
+}
+
+int Builder::dense(int x, Index in_features, Index out_features,
+                   const Tensor* weight, const Tensor* bias, std::string name,
+                   bool has_bias) {
+  Op& op = append(OpKind::kDense, std::move(name));
+  op.args = {x};
+  op.in_c = in_features;
+  op.out_c = out_features;
+  op.weight = weight;
+  op.bias = bias;
+  op.has_bias = has_bias || bias != nullptr;
+  return op.out;
+}
+
+int Builder::gemm(int x, Index k, Index n, const Tensor* weight,
+                  std::string name) {
+  Op& op = append(OpKind::kGemm, std::move(name));
+  op.args = {x};
+  op.in_c = k;
+  op.out_c = n;
+  op.weight = weight;
+  return op.out;
+}
+
+int Builder::softmax(int x) {
+  Op& op = append(OpKind::kSoftmax, "");
+  op.args = {x};
+  return op.out;
+}
+
+Program Builder::finish(int output) {
+  prog_.set_output(output);
+  verify(prog_);
+  return std::move(prog_);
+}
+
+}  // namespace podnet::ir

@@ -1,0 +1,60 @@
+// Builder: the only way to construct a Program.
+//
+// Allocates SSA value ids in append order (value 0 is the program input)
+// and keeps every structural attribute in one place so the lowering code
+// in nn/effnet/resnet stays one-liner-per-layer. finish() seals the
+// program and verifies it.
+//
+// Parameter tensors are borrowed; passing nullptr builds a weightless
+// "shape program" (effnet::lower_spec) that still supports shape
+// inference, printing, and FLOP accounting. `has_bias` lets a weightless
+// caller declare a bias it cannot point at, so the printed structure of a
+// shape program matches the model-lowered one.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace podnet::ir {
+
+class Builder {
+ public:
+  Builder() = default;
+
+  int input() const { return Program::kInputValue; }
+
+  int conv2d(int x, Index in_c, Index out_c, Index kernel, Index stride,
+             const Tensor* weight, const Tensor* bias, std::string name,
+             bool has_bias = false);
+  int depthwise_conv2d(int x, Index channels, Index kernel, Index stride,
+                       const Tensor* weight, std::string name);
+  int batch_norm(int x, Index channels, float eps, const Tensor* gamma,
+                 const Tensor* beta, const Tensor* mean, const Tensor* var,
+                 std::string name);
+  int swish(int x);
+  int relu(int x);
+  int sigmoid(int x);
+  int squeeze_excite(int x, Index channels, Index se_channels,
+                     const Tensor* w_reduce, const Tensor* b_reduce,
+                     const Tensor* w_expand, const Tensor* b_expand,
+                     std::string name);
+  int add(int a, int b);
+  int global_avg_pool(int x);
+  int dense(int x, Index in_features, Index out_features,
+            const Tensor* weight, const Tensor* bias, std::string name,
+            bool has_bias = false);
+  int gemm(int x, Index k, Index n, const Tensor* weight, std::string name);
+  int softmax(int x);
+
+  // Seals the program with `output` as its result value and verifies it.
+  // The Builder is spent afterwards.
+  Program finish(int output);
+
+ private:
+  Op& append(OpKind kind, std::string name);
+
+  Program prog_;
+};
+
+}  // namespace podnet::ir

@@ -1,0 +1,407 @@
+#include "ir/executor.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "check/tensor_guard.h"
+#include "ir/verify.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+
+namespace podnet::ir {
+namespace {
+
+using tensor::ConvGeometry;
+
+[[noreturn]] void missing_tensor(const Op& op, const char* what) {
+  throw std::invalid_argument(std::string("ir: Executor requires a weighted "
+                                          "program; op '") +
+                              op_kind_name(op.kind) + "' (" + op.name +
+                              ") has no " + what);
+}
+
+// Register-epilogue selection for the direct conv kernel. kBias* variants
+// accept a null bias pointer, so a fused activation without a bias still
+// maps onto them.
+tensor::conv::Epilogue direct_epilogue(const Op& op) {
+  switch (op.act) {
+    case Act::kSwish:
+      return tensor::conv::Epilogue::kBiasSwish;
+    case Act::kRelu:
+      return tensor::conv::Epilogue::kBiasRelu;
+    case Act::kNone:
+      break;
+  }
+  return op.has_bias ? tensor::conv::Epilogue::kBias
+                     : tensor::conv::Epilogue::kNone;
+}
+
+tensor::GemmEpilogue gemm_epilogue(const Op& op) {
+  tensor::GemmEpilogue e;
+  e.bias = (op.has_bias && op.bias != nullptr) ? op.bias->data() : nullptr;
+  switch (op.act) {
+    case Act::kSwish:
+      e.act = tensor::GemmEpilogue::Act::kSwish;
+      break;
+    case Act::kRelu:
+      e.act = tensor::GemmEpilogue::Act::kRelu;
+      break;
+    case Act::kNone:
+      e.act = tensor::GemmEpilogue::Act::kNone;
+      break;
+  }
+  return e;
+}
+
+bool wants_gemm_epilogue(const Op& op) {
+  return op.act != Act::kNone || (op.has_bias && op.bias != nullptr);
+}
+
+// Bias + activation tail applied with the same span kernels the layer
+// interpreter uses (nn::Conv2D::add_bias row loop; nn::Swish / nn::ReLU),
+// so un-fused and span-fused results are bitwise identical. `sig` must
+// hold rows*cols floats when the act is swish.
+void apply_span_tail(const Op& op, float* y, Index rows, Index cols,
+                     float* sig) {
+  if (op.has_bias && op.bias != nullptr) {
+    const auto b = op.bias->span();
+    for (Index r = 0; r < rows; ++r) {
+      tensor::add_inplace(b,
+                          {y + r * cols, static_cast<std::size_t>(cols)});
+    }
+  }
+  const std::size_t n = static_cast<std::size_t>(rows * cols);
+  if (op.act == Act::kSwish) {
+    tensor::swish({y, n}, {sig, n}, {y, n});
+  } else if (op.act == Act::kRelu) {
+    tensor::relu({y, n}, {y, n});
+  }
+}
+
+}  // namespace
+
+Executor::Executor(const Program& p) : prog_(&p) {
+  PODNET_IR_VERIFY(p);
+  const auto& ops = p.ops();
+  packed_.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    switch (op.kind) {
+      case OpKind::kConv2D: {
+        if (op.weight == nullptr) missing_tensor(op, "weight");
+        // Pack once; the recorded panel layout stays valid across
+        // simd-level flips, and every bind/run reuses it.
+        const Index k = op.kernel * op.kernel * op.in_c;
+        packed_[i] = tensor::pack_b(false, k, op.out_c, op.weight->data(),
+                                    op.out_c);
+        break;
+      }
+      case OpKind::kDepthwiseConv2D:
+      case OpKind::kGemm:
+      case OpKind::kDense:
+        if (op.weight == nullptr) missing_tensor(op, "weight");
+        break;
+      case OpKind::kBatchNorm:
+        if (op.var == nullptr) missing_tensor(op, "running statistics");
+        break;
+      case OpKind::kSqueezeExcite:
+        if (op.se_w1 == nullptr) missing_tensor(op, "squeeze-excite weights");
+        break;
+      default:
+        break;
+    }
+    if (op.has_bias && op.bias == nullptr &&
+        (op.kind == OpKind::kConv2D || op.kind == OpKind::kDense)) {
+      missing_tensor(op, "bias");
+    }
+  }
+}
+
+bool Executor::conv_goes_direct(const Op& op, const ConvGeometry& g) const {
+  // Mirrors nn::Conv2D::forward's inference path selection exactly (the
+  // executor is fp32-only, so the precision gate is always passed).
+  const tensor::conv::Mode mode = bound_mode_;
+  return mode == tensor::conv::Mode::kDirect ||
+         (mode == tensor::conv::Mode::kAuto &&
+          tensor::conv::prefer_direct(g, op.out_c));
+}
+
+void Executor::bind(const Shape& input) {
+  const auto& ops = prog_->ops();
+  bound_input_ = input;
+  bound_mode_ = tensor::conv::active_mode();
+  shapes_ = infer_shapes(*prog_, input);
+
+  std::vector<std::int64_t> scratch(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    const Shape& in = shapes_[static_cast<std::size_t>(op.args[0])];
+    const Shape& out = shapes_[static_cast<std::size_t>(op.out)];
+    switch (op.kind) {
+      case OpKind::kConv2D: {
+        const ConvGeometry g = conv_geometry(op, in);
+        if (op.kernel == 1 && op.stride == 1) break;  // single GEMM, no col
+        if (conv_goes_direct(op, g)) break;           // no lowering at all
+        scratch[i] = g.out_h * g.out_w * g.col_cols();  // one image's col
+        break;
+      }
+      case OpKind::kDepthwiseConv2D:
+      case OpKind::kDense:
+      case OpKind::kGemm:
+        // Span-applied swish tail needs its sigmoid buffer.
+        if (op.act == Act::kSwish) scratch[i] = out.numel();
+        break;
+      case OpKind::kBatchNorm:
+        scratch[i] = 2 * op.in_c;  // scale + shift
+        break;
+      case OpKind::kSwish:
+        scratch[i] = out.numel();  // sigmoid buffer
+        break;
+      case OpKind::kSqueezeExcite: {
+        const Index n = in[0];
+        // squeezed [N,C] + gate [N,C] + reduced [N,se_c] + its sigmoid.
+        scratch[i] = 2 * n * op.in_c + 2 * n * op.se_c;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  plan_ = plan_memory(*prog_, shapes_, scratch);
+  arena_.resize(static_cast<std::size_t>(plan_.arena_floats));
+  stats_.arena_bytes =
+      plan_.arena_floats * static_cast<std::int64_t>(sizeof(float));
+  stats_.no_reuse_bytes =
+      plan_.total_floats * static_cast<std::int64_t>(sizeof(float));
+}
+
+Tensor Executor::run(const Tensor& input) {
+  if (shapes_.empty() || input.shape() != bound_input_ ||
+      tensor::conv::active_mode() != bound_mode_) {
+    bind(input.shape());
+  }
+  // Every live arena cell is written before it is read (beta=0 GEMMs,
+  // full-overwrite kernels, zero-then-accumulate pools); poisoning makes a
+  // planner liveness bug surface as NaNs under PODNET_CHECK instead of
+  // silently reusing a stale block.
+  check::poison(arena_.data(), arena_.size());
+
+  const auto& ops = prog_->ops();
+  const auto value_ptr = [&](int v) -> float* {
+    return arena_.data() + plan_.value_offset[static_cast<std::size_t>(v)];
+  };
+  const auto arg_ptr = [&](int v) -> const float* {
+    if (v == Program::kInputValue) return input.data();
+    return value_ptr(v);
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    const Shape& in = shapes_[static_cast<std::size_t>(op.args[0])];
+    const Shape& out = shapes_[static_cast<std::size_t>(op.out)];
+    const float* x = arg_ptr(op.args[0]);
+    float* y = value_ptr(op.out);
+    float* scr = plan_.scratch_offset[i] >= 0
+                     ? arena_.data() + plan_.scratch_offset[i]
+                     : nullptr;
+
+    switch (op.kind) {
+      case OpKind::kConv2D: {
+        const ConvGeometry g = conv_geometry(op, in);
+        const Index k = g.col_cols();
+        const Index m_img = g.out_h * g.out_w;
+        if (op.kernel == 1 && op.stride == 1) {
+          // One GEMM over all N*H*W pixel rows, as in nn::Conv2D.
+          if (wants_gemm_epilogue(op)) {
+            tensor::gemm_prepacked(false, g.col_rows(), op.out_c, k, 1.f, x,
+                                   k, packed_[i], 0.f, y, op.out_c,
+                                   gemm_epilogue(op));
+          } else {
+            tensor::gemm_prepacked(false, g.col_rows(), op.out_c, k, 1.f, x,
+                                   k, packed_[i], 0.f, y, op.out_c);
+          }
+        } else if (conv_goes_direct(op, g)) {
+          tensor::conv::conv2d_direct(
+              g, op.out_c, x, op.weight->data(),
+              op.bias != nullptr ? op.bias->data() : nullptr,
+              direct_epilogue(op), y);
+        } else {
+          ConvGeometry g1 = g;
+          g1.batch = 1;
+          const Index in_img = g.in_h * g.in_w * g.in_c;
+          for (Index n = 0; n < g.batch; ++n) {
+            tensor::im2col(g1, x + n * in_img, scr);
+            if (wants_gemm_epilogue(op)) {
+              tensor::gemm_prepacked(false, m_img, op.out_c, k, 1.f, scr, k,
+                                     packed_[i], 0.f, y + n * m_img * op.out_c,
+                                     op.out_c, gemm_epilogue(op));
+            } else {
+              tensor::gemm_prepacked(false, m_img, op.out_c, k, 1.f, scr, k,
+                                     packed_[i], 0.f, y + n * m_img * op.out_c,
+                                     op.out_c);
+            }
+          }
+        }
+        break;
+      }
+
+      case OpKind::kDepthwiseConv2D: {
+        const ConvGeometry g = conv_geometry(op, in);
+        tensor::conv::depthwise_forward(g, x, op.weight->data(), y);
+        apply_span_tail(op, y, g.col_rows(), op.in_c, scr);
+        break;
+      }
+
+      case OpKind::kBatchNorm: {
+        // Replicates nn::BatchNorm::forward's inference affine exactly.
+        const Index c = op.in_c;
+        float* scale = scr;
+        float* shift = scr + c;
+        for (Index j = 0; j < c; ++j) {
+          const float istd = 1.0f / std::sqrt(op.var->at(j) + op.eps);
+          scale[j] = op.gamma->at(j) * istd;
+          shift[j] = op.beta->at(j) - op.mean->at(j) * scale[j];
+        }
+        const Index rows = in.numel() / c;
+        for (Index r = 0; r < rows; ++r) {
+          const float* xr = x + r * c;
+          float* yr = y + r * c;
+          for (Index j = 0; j < c; ++j) yr[j] = xr[j] * scale[j] + shift[j];
+        }
+        break;
+      }
+
+      case OpKind::kSwish: {
+        const std::size_t n = static_cast<std::size_t>(in.numel());
+        tensor::swish({x, n}, {scr, n}, {y, n});
+        break;
+      }
+
+      case OpKind::kRelu: {
+        const std::size_t n = static_cast<std::size_t>(in.numel());
+        tensor::relu({x, n}, {y, n});
+        break;
+      }
+
+      case OpKind::kSigmoid: {
+        const std::size_t n = static_cast<std::size_t>(in.numel());
+        tensor::sigmoid({x, n}, {y, n});
+        break;
+      }
+
+      case OpKind::kSqueezeExcite: {
+        // Mirrors nn::SqueezeExcite::forward's kernel sequence: gap ->
+        // dense+bias -> swish -> dense+bias -> sigmoid -> channel gate.
+        const Index n = in[0];
+        const Index hw = in[1] * in[2];
+        const Index c = op.in_c;
+        const Index sc = op.se_c;
+        float* squeezed = scr;               // [N, C]
+        float* gate = scr + n * c;           // [N, C]
+        float* reduced = gate + n * c;       // [N, se_c]
+        float* sig = reduced + n * sc;       // [N, se_c]
+
+        std::memset(squeezed, 0, static_cast<std::size_t>(n * c) *
+                                     sizeof(float));
+        const float inv = 1.0f / static_cast<float>(hw);
+        for (Index b = 0; b < n; ++b) {
+          float* row = squeezed + b * c;
+          const float* xb = x + b * hw * c;
+          for (Index p = 0; p < hw; ++p) {
+            const float* px = xb + p * c;
+            for (Index j = 0; j < c; ++j) row[j] += px[j];
+          }
+          for (Index j = 0; j < c; ++j) row[j] *= inv;
+        }
+
+        tensor::gemm_contiguous(false, false, n, sc, c, 1.f, squeezed,
+                                op.se_w1->data(), 0.f, reduced);
+        const auto b1 = op.se_b1->span();
+        for (Index r = 0; r < n; ++r) {
+          tensor::add_inplace(
+              b1, {reduced + r * sc, static_cast<std::size_t>(sc)});
+        }
+        const std::size_t nr = static_cast<std::size_t>(n * sc);
+        tensor::swish({reduced, nr}, {sig, nr}, {reduced, nr});
+
+        tensor::gemm_contiguous(false, false, n, c, sc, 1.f, reduced,
+                                op.se_w2->data(), 0.f, gate);
+        const auto b2 = op.se_b2->span();
+        for (Index r = 0; r < n; ++r) {
+          tensor::add_inplace(b2,
+                              {gate + r * c, static_cast<std::size_t>(c)});
+        }
+        const std::size_t ng = static_cast<std::size_t>(n * c);
+        tensor::sigmoid({gate, ng}, {gate, ng});
+
+        for (Index b = 0; b < n; ++b) {
+          const float* grow = gate + b * c;
+          const float* xb = x + b * hw * c;
+          float* yb = y + b * hw * c;
+          for (Index p = 0; p < hw; ++p) {
+            for (Index j = 0; j < c; ++j) {
+              yb[p * c + j] = xb[p * c + j] * grow[j];
+            }
+          }
+        }
+        break;
+      }
+
+      case OpKind::kAdd: {
+        const std::size_t n = static_cast<std::size_t>(out.numel());
+        const float* rhs = arg_ptr(op.args[1]);
+        std::memcpy(y, x, n * sizeof(float));
+        tensor::add_inplace({rhs, n}, {y, n});
+        break;
+      }
+
+      case OpKind::kGlobalAvgPool: {
+        const Index n = in[0];
+        const Index hw = in[1] * in[2];
+        const Index c = in[3];
+        std::memset(y, 0,
+                    static_cast<std::size_t>(n * c) * sizeof(float));
+        const float inv = 1.0f / static_cast<float>(hw);
+        for (Index b = 0; b < n; ++b) {
+          float* row = y + b * c;
+          const float* xb = x + b * hw * c;
+          for (Index p = 0; p < hw; ++p) {
+            const float* px = xb + p * c;
+            for (Index j = 0; j < c; ++j) row[j] += px[j];
+          }
+          for (Index j = 0; j < c; ++j) row[j] *= inv;
+        }
+        break;
+      }
+
+      case OpKind::kDense:
+      case OpKind::kGemm: {
+        // nn::Dense uses the contiguous (pack-per-call) gemm; matching it
+        // keeps the no-pass path bitwise identical.
+        const Index rows = in[0];
+        tensor::gemm_contiguous(false, false, rows, op.out_c, op.in_c, 1.f, x,
+                                op.weight->data(), 0.f, y);
+        apply_span_tail(op, y, rows, op.out_c, scr);
+        break;
+      }
+
+      case OpKind::kSoftmax: {
+        const std::size_t n = static_cast<std::size_t>(in.numel());
+        std::memcpy(y, x, n * sizeof(float));
+        tensor::softmax_rows(y, in[0], in[1]);
+        break;
+      }
+    }
+  }
+
+  const Shape& out_shape = shapes_[static_cast<std::size_t>(prog_->output())];
+  Tensor out = Tensor::uninitialized(out_shape);
+  std::memcpy(out.data(), value_ptr(prog_->output()),
+              static_cast<std::size_t>(out_shape.numel()) * sizeof(float));
+  return out;
+}
+
+}  // namespace podnet::ir

@@ -1,0 +1,71 @@
+// Executor: runs a Program against the existing tensor/SIMD kernels.
+//
+// Construction packs every convolution's weight matrix once (PackedB) and
+// validates that the program carries real parameter tensors. The first
+// run() — and any run at a new input shape or conv-mode override — binds
+// the program: shapes are inferred, per-op scratch needs are computed for
+// the lowering strategy each conv will actually take, and ir/plan.h lays
+// out one first-fit arena for every intermediate value and scratch block.
+// Steady-state inference then allocates nothing but the output tensor.
+//
+// Kernel parity: with no passes applied, the executor calls the exact
+// kernel sequence nn's layer interpreter uses at inference — the same
+// three conv lowering strategies (1x1-stride-1 single GEMM, conv_direct
+// for register-friendly shapes, per-image im2col+GEMM), gemm_contiguous
+// for dense layers, and the shared span activations — so results are
+// bitwise identical. With fold/fuse applied, fused tails run through the
+// conv_direct register epilogue or the tensor::GemmEpilogue tile hook and
+// results agree within the ULP tolerance the parity tests bound.
+//
+// Threading: run() must be called from one thread at a time (the GEMMs'
+// per-thread pack-buffer contract); different Executors on different
+// threads are fine. Fp32 only — bf16 models keep the layer interpreter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+#include "ir/plan.h"
+#include "tensor/conv_direct.h"
+#include "tensor/gemm.h"
+
+namespace podnet::ir {
+
+class Executor {
+ public:
+  struct Stats {
+    std::int64_t arena_bytes = 0;     // planned peak, first-fit reuse
+    std::int64_t no_reuse_bytes = 0;  // same blocks with no reuse
+  };
+
+  // Borrows `p` (and, transitively, the model tensors it references);
+  // both must outlive the executor. Throws std::invalid_argument on a
+  // weightless shape program.
+  explicit Executor(const Program& p);
+
+  // Runs the program on `input` and returns the output value as a fresh
+  // tensor. Rebinds automatically when the input shape or the
+  // conv-direct mode override changed since the last run.
+  Tensor run(const Tensor& input);
+
+  // Valid after the first run() (or bind via run); zero before.
+  const Stats& stats() const { return stats_; }
+  const MemoryPlan& plan() const { return plan_; }
+
+ private:
+  void bind(const Shape& input);
+  bool conv_goes_direct(const Op& op, const tensor::ConvGeometry& g) const;
+
+  const Program* prog_;
+  std::vector<tensor::PackedB> packed_;  // per op; valid() only for convs
+
+  Shape bound_input_;
+  tensor::conv::Mode bound_mode_ = tensor::conv::Mode::kAuto;
+  std::vector<Shape> shapes_;
+  MemoryPlan plan_;
+  std::vector<float> arena_;
+  Stats stats_;
+};
+
+}  // namespace podnet::ir

@@ -1,0 +1,143 @@
+// Graph IR: a small SSA-ish program representation for inference.
+//
+// A Program is a flat, topologically ordered list of Ops over integer
+// value ids; value 0 is the program input, every op defines exactly one
+// new value, and the program names one value as its output. Models lower
+// themselves into this form (nn::Layer::lower), optimization passes
+// rewrite the op list in place (ir/passes.h), and ir::Executor runs the
+// result against the existing tensor/SIMD kernels with one liveness-
+// planned scratch arena (ir/plan.h). The design follows the
+// program-as-data pass style of XLA-like compilers: passes are plain
+// functions over the op vector, verified after every rewrite.
+//
+// Parameter tensors are *borrowed* (const Tensor*), so a lowered program
+// is a view over the model that produced it and must not outlive it.
+// Pass-created tensors (e.g. BN-folded weights) are owned by the Program
+// in a pointer-stable side store (bake()). Programs built without any
+// tensors ("shape programs", e.g. effnet::lower_spec) still support shape
+// inference, printing, and FLOP accounting.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "tensor/im2col.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace podnet::ir {
+
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+enum class OpKind {
+  kConv2D = 0,       // NHWC, SAME padding, HWIO weights [k,k,in_c,out_c]
+  kDepthwiseConv2D,  // weights [k,k,C]
+  kGemm,             // [m,k] x weight [k,n] -> [m,n], no bias
+  kBatchNorm,        // inference affine from gamma/beta/running stats
+  kSwish,
+  kRelu,
+  kSigmoid,
+  kSqueezeExcite,  // gap -> dense+swish -> dense+sigmoid -> channel gate
+  kAdd,            // elementwise, two args (residual join)
+  kGlobalAvgPool,  // [N,H,W,C] -> [N,C]
+  kDense,          // [N,in] x weight [in,out] (+bias) -> [N,out]
+  kSoftmax,        // row softmax over the last axis of a [N,C] value
+};
+
+const char* op_kind_name(OpKind k);
+
+// Fused activation tail on conv/gemm/dense ops (set by the epilogue-fusion
+// pass; kNone on freshly lowered programs).
+enum class Act {
+  kNone = 0,
+  kSwish,
+  kRelu,
+};
+
+struct Op {
+  OpKind kind = OpKind::kConv2D;
+  std::string name;       // originating layer name ("" for anonymous ops)
+  int out = -1;           // value id this op defines
+  std::vector<int> args;  // input value ids, in kernel order
+
+  // Borrowed parameter tensors; all null in weightless shape programs.
+  const Tensor* weight = nullptr;  // conv / depthwise / gemm / dense kernel
+  const Tensor* bias = nullptr;    // conv / dense bias (post-fold for convs)
+  const Tensor* gamma = nullptr;   // batchnorm
+  const Tensor* beta = nullptr;
+  const Tensor* mean = nullptr;  // batchnorm running statistics
+  const Tensor* var = nullptr;
+  const Tensor* se_w1 = nullptr;  // squeeze-excite reduce dense [C, se_c]
+  const Tensor* se_b1 = nullptr;
+  const Tensor* se_w2 = nullptr;  // squeeze-excite expand dense [se_c, C]
+  const Tensor* se_b2 = nullptr;
+
+  // Structural attributes (meaningful per kind; printed by ir/printer.h).
+  bool has_bias = false;  // true iff a bias term exists (even when weightless)
+  float eps = 0.f;        // batchnorm epsilon
+  Index kernel = 0;
+  Index stride = 1;
+  Index in_c = 0;   // conv/dense input channels; C for dw/bn/se
+  Index out_c = 0;  // conv/dense output channels
+  Index se_c = 0;   // squeeze-excite bottleneck width
+  Act act = Act::kNone;
+};
+
+// A lowered program. Move-only: ops borrow baked tensors by address, so a
+// copy would alias the side store of the original.
+class Program {
+ public:
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  static constexpr int kInputValue = 0;
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::vector<Op>& ops() { return ops_; }
+
+  int output() const { return output_; }
+  void set_output(int v) { output_ = v; }
+
+  // One past the largest value id (input and every op out are < this).
+  int num_values() const { return next_value_; }
+
+  // Takes ownership of a pass-created tensor (folded weights, fused
+  // biases); the returned pointer is stable for the Program's lifetime.
+  const Tensor* bake(Tensor t) {
+    baked_.push_back(std::move(t));
+    return &baked_.back();
+  }
+
+ private:
+  friend class Builder;
+
+  std::vector<Op> ops_;
+  int output_ = -1;
+  int next_value_ = 1;  // value 0 is the program input
+  std::deque<Tensor> baked_;  // address-stable side store
+};
+
+// SAME-padding geometry for a conv/depthwise op at a concrete input shape.
+tensor::ConvGeometry conv_geometry(const Op& op, const Shape& in);
+
+// Shape of every value id given the program input shape. Entry [v] is the
+// shape of value v; entry [kInputValue] echoes `input`. Dead value ids
+// (skipped by DCE) keep a default (rank-0) shape. Throws on rank/channel
+// mismatches.
+std::vector<Shape> infer_shapes(const Program& p, const Shape& input);
+
+// Analytic multiply-accumulate count for one run at `input`, using the
+// same conventions as effnet::analyze (flops.h): convs/gemms/denses count
+// their products, squeeze-excite counts its bottleneck MLP plus the gate
+// multiply, and BN / activations / pooling / softmax count zero. All
+// per-op counts are integer-valued and well below 2^53, so the double sum
+// is exact and comparable with ==.
+double flop_macs(const Program& p, const Shape& input);
+
+}  // namespace podnet::ir

@@ -1,0 +1,34 @@
+// Dead-code elimination.
+//
+// Backward liveness sweep from the program output: an op whose value no
+// live op (and not the output) reads is dropped. Fold/fuse leave their
+// replaced producers exactly in this state. Value ids are not renumbered
+// — surviving ops keep their ids, so golden prints before/after show the
+// same values with gaps where ops died.
+#include <algorithm>
+#include <vector>
+
+#include "ir/passes.h"
+#include "ir/verify.h"
+
+namespace podnet::ir {
+
+int dead_code_elimination(Program& p) {
+  auto& ops = p.ops();
+  std::vector<bool> live(static_cast<std::size_t>(p.num_values()), false);
+  live[static_cast<std::size_t>(p.output())] = true;
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    if (!live[static_cast<std::size_t>(it->out)]) continue;
+    for (int a : it->args) live[static_cast<std::size_t>(a)] = true;
+  }
+  const auto dead = [&](const Op& op) {
+    return !live[static_cast<std::size_t>(op.out)];
+  };
+  const int removed = static_cast<int>(
+      std::count_if(ops.begin(), ops.end(), dead));
+  ops.erase(std::remove_if(ops.begin(), ops.end(), dead), ops.end());
+  PODNET_IR_VERIFY(p);
+  return removed;
+}
+
+}  // namespace podnet::ir

@@ -1,0 +1,100 @@
+// Conv+BN folding for inference.
+//
+// A batch_norm directly consuming a conv (or depthwise conv) output that
+// has no other reader collapses into the conv itself: the per-channel
+// affine y = x*scale + shift distributes over the convolution's linear
+// output channels, so scale bakes into the packed weights and shift into
+// a (possibly new) bias. The float arithmetic reproduces
+// nn::BatchNorm::forward's inference path exactly — scale = gamma *
+// (1/sqrt(var + eps)) computed in float — so the only numeric difference
+// versus the interpreter is the reassociated weight product, bounded by
+// the parity tests' ULP tolerance.
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/passes.h"
+#include "ir/verify.h"
+
+namespace podnet::ir {
+namespace {
+
+// scale/shift exactly as BatchNorm::forward computes them at inference.
+void bn_affine(const Op& bn, std::vector<float>& scale,
+               std::vector<float>& shift) {
+  const Index C = bn.in_c;
+  scale.resize(static_cast<std::size_t>(C));
+  shift.resize(static_cast<std::size_t>(C));
+  for (Index c = 0; c < C; ++c) {
+    const float istd = 1.0f / std::sqrt(bn.var->at(c) + bn.eps);
+    scale[c] = bn.gamma->at(c) * istd;
+    shift[c] = bn.beta->at(c) - bn.mean->at(c) * scale[c];
+  }
+}
+
+}  // namespace
+
+int fold_batch_norm(Program& p) {
+  auto& ops = p.ops();
+
+  // Consumer counts per value id (program output counts as a use: a conv
+  // that is also the result must survive un-folded).
+  std::unordered_map<int, int> uses;
+  for (const Op& op : ops) {
+    for (int a : op.args) ++uses[a];
+  }
+  ++uses[p.output()];
+
+  // Producer op index per value id.
+  std::unordered_map<int, std::size_t> def;
+  for (std::size_t i = 0; i < ops.size(); ++i) def[ops[i].out] = i;
+
+  int folded = 0;
+  std::vector<float> scale, shift;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& bn = ops[i];
+    if (bn.kind != OpKind::kBatchNorm || bn.var == nullptr) continue;
+    const auto it = def.find(bn.args[0]);
+    if (it == def.end()) continue;  // arg is the program input
+    const Op& conv = ops[it->second];
+    if (conv.kind != OpKind::kConv2D &&
+        conv.kind != OpKind::kDepthwiseConv2D) {
+      continue;
+    }
+    if (conv.weight == nullptr) continue;    // weightless shape program
+    if (conv.act != Act::kNone) continue;    // activation runs before the BN
+    if (uses[conv.out] != 1) continue;       // another reader needs raw conv
+
+    bn_affine(bn, scale, shift);
+    const Index co = conv.out_c;  // == channels for depthwise
+
+    // w'[..., c] = w[..., c] * scale[c]; the output channel is the last,
+    // contiguous axis in both the HWIO and the depthwise [k,k,C] layouts.
+    Tensor w = *conv.weight;
+    float* wd = w.data();
+    const Index rows = w.numel() / co;
+    for (Index r = 0; r < rows; ++r) {
+      for (Index c = 0; c < co; ++c) wd[r * co + c] *= scale[c];
+    }
+    // b' = old_bias * scale + shift (shift alone when the conv had none).
+    Tensor b(Shape{co});
+    for (Index c = 0; c < co; ++c) {
+      b.at(c) = conv.bias != nullptr ? conv.bias->at(c) * scale[c] + shift[c]
+                                     : shift[c];
+    }
+
+    // Replace the BN slot with the folded conv (same out id); the original
+    // conv op goes dead and DCE sweeps it.
+    Op replacement = conv;
+    replacement.out = bn.out;
+    replacement.weight = p.bake(std::move(w));
+    replacement.bias = p.bake(std::move(b));
+    replacement.has_bias = true;
+    ops[i] = std::move(replacement);
+    ++folded;
+  }
+  PODNET_IR_VERIFY(p);
+  return folded;
+}
+
+}  // namespace podnet::ir

@@ -1,0 +1,59 @@
+// Activation-epilogue fusion.
+//
+// A swish/relu whose only producer is a conv, depthwise conv, gemm, or
+// dense collapses into that op's `act` attribute. The executor routes the
+// fused tail into the cheapest kernel available for the op's lowering
+// strategy: the conv_direct register epilogue (Epilogue::kBiasSwish /
+// kBiasRelu), the GEMM per-tile tail hook (tensor::GemmEpilogue) for
+// 1x1/im2col convs, or the shared span kernels applied in place for
+// depthwise and dense outputs. Either way the separate activation pass
+// over the full activation tensor — and its extra buffer — disappears.
+//
+// Runs after fold_batch_norm, so the conv feeding the activation is
+// usually the folded conv+BN (same slot-replacement convention: the
+// activation op's slot becomes the fused producer, the producer goes dead
+// for DCE).
+#include <unordered_map>
+
+#include "ir/passes.h"
+#include "ir/verify.h"
+
+namespace podnet::ir {
+
+int fuse_epilogue(Program& p) {
+  auto& ops = p.ops();
+
+  std::unordered_map<int, int> uses;
+  for (const Op& op : ops) {
+    for (int a : op.args) ++uses[a];
+  }
+  ++uses[p.output()];
+
+  std::unordered_map<int, std::size_t> def;
+  for (std::size_t i = 0; i < ops.size(); ++i) def[ops[i].out] = i;
+
+  int fused = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& act = ops[i];
+    if (act.kind != OpKind::kSwish && act.kind != OpKind::kRelu) continue;
+    const auto it = def.find(act.args[0]);
+    if (it == def.end()) continue;
+    const Op& prod = ops[it->second];
+    const bool fusable = prod.kind == OpKind::kConv2D ||
+                         prod.kind == OpKind::kDepthwiseConv2D ||
+                         prod.kind == OpKind::kGemm ||
+                         prod.kind == OpKind::kDense;
+    if (!fusable || prod.act != Act::kNone) continue;
+    if (uses[prod.out] != 1) continue;  // another reader wants pre-activation
+
+    Op replacement = prod;
+    replacement.out = act.out;
+    replacement.act = act.kind == OpKind::kSwish ? Act::kSwish : Act::kRelu;
+    ops[i] = std::move(replacement);
+    ++fused;
+  }
+  PODNET_IR_VERIFY(p);
+  return fused;
+}
+
+}  // namespace podnet::ir

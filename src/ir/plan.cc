@@ -1,0 +1,99 @@
+#include "ir/plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace podnet::ir {
+namespace {
+
+constexpr std::int64_t kAlignFloats = 16;  // 64-byte blocks
+
+std::int64_t align_up(std::int64_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+struct Block {
+  std::int64_t offset = 0;
+  std::int64_t size = 0;
+  int live_begin = 0;  // op index range [begin, end], inclusive
+  int live_end = 0;
+};
+
+// First-fit: the lowest offset where [offset, offset+size) does not
+// intersect any placed block whose live interval overlaps [begin, end].
+std::int64_t place(std::vector<Block>& placed, std::int64_t size, int begin,
+                   int end) {
+  std::vector<const Block*> overlapping;
+  for (const Block& b : placed) {
+    if (b.live_begin <= end && begin <= b.live_end) {
+      overlapping.push_back(&b);
+    }
+  }
+  std::sort(overlapping.begin(), overlapping.end(),
+            [](const Block* a, const Block* b) { return a->offset < b->offset; });
+  std::int64_t offset = 0;
+  for (const Block* b : overlapping) {
+    if (offset + size <= b->offset) break;  // fits in the gap before b
+    offset = std::max(offset, b->offset + b->size);
+  }
+  placed.push_back({offset, size, begin, end});
+  return offset;
+}
+
+}  // namespace
+
+MemoryPlan plan_memory(const Program& p, const std::vector<Shape>& shapes,
+                       const std::vector<std::int64_t>& op_scratch_floats) {
+  const auto& ops = p.ops();
+  const int n_ops = static_cast<int>(ops.size());
+  assert(op_scratch_floats.size() == ops.size());
+  assert(shapes.size() == static_cast<std::size_t>(p.num_values()));
+
+  // Liveness over op indices: def point and last use per value.
+  std::vector<int> def(static_cast<std::size_t>(p.num_values()), -1);
+  std::vector<int> last_use(static_cast<std::size_t>(p.num_values()), -1);
+  for (int i = 0; i < n_ops; ++i) {
+    def[static_cast<std::size_t>(ops[static_cast<std::size_t>(i)].out)] = i;
+    for (int a : ops[static_cast<std::size_t>(i)].args) {
+      last_use[static_cast<std::size_t>(a)] = i;
+    }
+  }
+  // The program result is read after the last op (copied out by the
+  // executor), so it must survive the whole tail of the program.
+  last_use[static_cast<std::size_t>(p.output())] = n_ops;
+  // A value that is never read (dead op, DCE off) still gets written by
+  // its defining op; keep it live for exactly that op.
+  for (int i = 0; i < n_ops; ++i) {
+    const std::size_t v =
+        static_cast<std::size_t>(ops[static_cast<std::size_t>(i)].out);
+    if (last_use[v] < 0) last_use[v] = i;
+  }
+
+  MemoryPlan plan;
+  plan.value_offset.assign(static_cast<std::size_t>(p.num_values()), -1);
+  plan.scratch_offset.assign(ops.size(), -1);
+
+  // Place blocks in definition order; an op's scratch is placed right
+  // after its output so the two never alias.
+  std::vector<Block> placed;
+  for (int i = 0; i < n_ops; ++i) {
+    const Op& op = ops[static_cast<std::size_t>(i)];
+    const std::size_t v = static_cast<std::size_t>(op.out);
+    const std::int64_t size = align_up(shapes[v].numel());
+    plan.value_offset[v] = place(placed, size, i, last_use[v]);
+    plan.total_floats += size;
+    const std::int64_t scratch = op_scratch_floats[static_cast<std::size_t>(i)];
+    if (scratch > 0) {
+      const std::int64_t size = align_up(scratch);
+      plan.scratch_offset[static_cast<std::size_t>(i)] =
+          place(placed, size, i, i);
+      plan.total_floats += size;
+    }
+  }
+  for (const Block& b : placed) {
+    plan.arena_floats = std::max(plan.arena_floats, b.offset + b.size);
+  }
+  return plan;
+}
+
+}  // namespace podnet::ir

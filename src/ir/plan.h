@@ -1,0 +1,45 @@
+// Scratch/activation liveness planning: one arena, first-fit reuse.
+//
+// The layer interpreter allocates a fresh Tensor per layer output and lets
+// every Conv2D grow a private, persistent im2col scratch buffer — at
+// inference the per-layer scratches alone sum to megabytes that stay
+// resident forever (nn/conv.h `col_scratch_`). The planner replaces all of
+// that with a single float arena: every non-input value and every op's
+// private scratch (im2col column block, swish sigmoid buffer, SE
+// temporaries) becomes a block with a live interval over op indices, and
+// blocks are placed first-fit at the lowest offset whose already-placed
+// overlapping-lifetime neighbours leave a gap. `arena_floats` is the
+// planned peak; `total_floats` is what the same blocks would cost with no
+// reuse, so callers can report the reuse win (obs peak-scratch metric,
+// bench/ir_passes).
+//
+// Intervals are in op indices: value v defined by op i is live [i, last
+// use], where the program output's last use is the op count (it survives
+// the whole run); op i's scratch is live [i, i] only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace podnet::ir {
+
+struct MemoryPlan {
+  // Per value id: offset (in floats) of the value's buffer in the arena,
+  // or -1 for values that live outside it (the program input, dead ids).
+  std::vector<std::int64_t> value_offset;
+  // Per op index: offset of the op's private scratch block, -1 if none.
+  std::vector<std::int64_t> scratch_offset;
+  std::int64_t arena_floats = 0;  // planned peak with first-fit reuse
+  std::int64_t total_floats = 0;  // same blocks, no reuse (sum of sizes)
+};
+
+// Plans the arena for `p` executed at the value shapes in `shapes`
+// (from infer_shapes). `op_scratch_floats[i]` is op i's private scratch
+// need in floats (0 = none); the executor computes it per lowering
+// strategy. Block offsets are 16-float (64-byte) aligned.
+MemoryPlan plan_memory(const Program& p, const std::vector<Shape>& shapes,
+                       const std::vector<std::int64_t>& op_scratch_floats);
+
+}  // namespace podnet::ir

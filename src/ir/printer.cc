@@ -1,0 +1,57 @@
+#include "ir/printer.h"
+
+namespace podnet::ir {
+namespace {
+
+void print_op(const Op& op, std::string& out) {
+  out += "v" + std::to_string(op.out) + " = " + op_kind_name(op.kind) + "(";
+  for (std::size_t i = 0; i < op.args.size(); ++i) {
+    if (i) out += ", ";
+    out += "v" + std::to_string(op.args[i]);
+  }
+  out += ")";
+  switch (op.kind) {
+    case OpKind::kConv2D:
+      out += " k" + std::to_string(op.kernel) + " s" +
+             std::to_string(op.stride) + " " + std::to_string(op.in_c) +
+             "->" + std::to_string(op.out_c);
+      break;
+    case OpKind::kDepthwiseConv2D:
+      out += " k" + std::to_string(op.kernel) + " s" +
+             std::to_string(op.stride) + " c" + std::to_string(op.in_c);
+      break;
+    case OpKind::kBatchNorm:
+      out += " c" + std::to_string(op.in_c);
+      break;
+    case OpKind::kSqueezeExcite:
+      out += " c" + std::to_string(op.in_c) + " se" + std::to_string(op.se_c);
+      break;
+    case OpKind::kDense:
+    case OpKind::kGemm:
+      out += " " + std::to_string(op.in_c) + "->" + std::to_string(op.out_c);
+      break;
+    case OpKind::kSwish:
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kAdd:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kSoftmax:
+      break;
+  }
+  if (op.has_bias) out += " +bias";
+  if (op.act == Act::kSwish) out += " +swish";
+  if (op.act == Act::kRelu) out += " +relu";
+  if (!op.name.empty()) out += " \"" + op.name + "\"";
+  out += "\n";
+}
+
+}  // namespace
+
+std::string print(const Program& p) {
+  std::string out;
+  for (const Op& op : p.ops()) print_op(op, out);
+  out += "return v" + std::to_string(p.output()) + "\n";
+  return out;
+}
+
+}  // namespace podnet::ir

@@ -1,0 +1,29 @@
+// Printer: a stable, human-diffable text form of a Program.
+//
+// One line per op plus a final `return vN`; golden tests compare this text
+// before and after passes. Weight *pointers* are never printed — only the
+// structural attributes — so a weightless shape program (effnet::
+// lower_spec) prints identically to a model-lowered one with the same
+// architecture, which is exactly what the drift test in
+// tests/ir_flops_test.cc relies on.
+//
+// Line shapes:
+//   v1 = conv2d(v0) k3 s2 3->8 "stem/conv"
+//   v2 = batch_norm(v1) c8 "stem/bn"
+//   v3 = swish(v2)
+//   v7 = squeeze_excite(v6) c8 se2 "blocks/0/se"
+//   v9 = add(v8, v3)
+//   v11 = dense(v10) 8->10 +bias "head/classifier"
+//   return v11
+// Fused attributes append before the name: `+bias`, `+swish` / `+relu`.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace podnet::ir {
+
+std::string print(const Program& p);
+
+}  // namespace podnet::ir

@@ -1,0 +1,141 @@
+#include "ir/verify.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace podnet::ir {
+namespace {
+
+[[noreturn]] void fail(const Op& op, const std::string& what) {
+  throw std::runtime_error("ir verify: " +
+                           std::string(op_kind_name(op.kind)) + " '" +
+                           op.name + "' (v" + std::to_string(op.out) +
+                           "): " + what);
+}
+
+void check_tensor(const Op& op, const Tensor* t, const char* label,
+                  const Shape& want) {
+  if (t == nullptr) return;
+  if (t->shape() != want) {
+    fail(op, std::string(label) + " shape " + t->shape().str() +
+                 " != expected " + want.str());
+  }
+}
+
+int expected_arity(OpKind kind) { return kind == OpKind::kAdd ? 2 : 1; }
+
+}  // namespace
+
+void verify(const Program& p) {
+  std::vector<bool> defined(static_cast<std::size_t>(p.num_values()), false);
+  defined[Program::kInputValue] = true;
+  int prev_out = Program::kInputValue;
+
+  for (const Op& op : p.ops()) {
+    if (op.out <= prev_out || op.out >= p.num_values()) {
+      fail(op, "out id violates strictly increasing SSA order (prev v" +
+                   std::to_string(prev_out) + ")");
+    }
+    prev_out = op.out;
+
+    if (static_cast<int>(op.args.size()) != expected_arity(op.kind)) {
+      fail(op, "expected " + std::to_string(expected_arity(op.kind)) +
+                   " args, got " + std::to_string(op.args.size()));
+    }
+    for (int a : op.args) {
+      if (a < 0 || a >= p.num_values() ||
+          !defined[static_cast<std::size_t>(a)]) {
+        fail(op, "arg v" + std::to_string(a) +
+                     " is not a previously defined value");
+      }
+    }
+
+    // Kind-specific attribute and borrowed-tensor checks.
+    const Index k = op.kernel, ci = op.in_c, co = op.out_c;
+    switch (op.kind) {
+      case OpKind::kConv2D:
+        if (k < 1 || op.stride < 1 || ci < 1 || co < 1) {
+          fail(op, "conv attributes must be positive");
+        }
+        check_tensor(op, op.weight, "weight", Shape{k, k, ci, co});
+        check_tensor(op, op.bias, "bias", Shape{co});
+        if (op.bias != nullptr && !op.has_bias) {
+          fail(op, "bias tensor present but has_bias is false");
+        }
+        break;
+      case OpKind::kDepthwiseConv2D:
+        if (k < 1 || op.stride < 1 || ci < 1) {
+          fail(op, "depthwise attributes must be positive");
+        }
+        check_tensor(op, op.weight, "weight", Shape{k, k, ci});
+        check_tensor(op, op.bias, "bias", Shape{ci});
+        if (op.bias != nullptr && !op.has_bias) {
+          fail(op, "bias tensor present but has_bias is false");
+        }
+        break;
+      case OpKind::kBatchNorm:
+        if (ci < 1) fail(op, "channels must be positive");
+        if (!(op.eps > 0.f)) fail(op, "eps must be positive");
+        check_tensor(op, op.gamma, "gamma", Shape{ci});
+        check_tensor(op, op.beta, "beta", Shape{ci});
+        check_tensor(op, op.mean, "running_mean", Shape{ci});
+        check_tensor(op, op.var, "running_var", Shape{ci});
+        // All-or-nothing: a half-populated BN folds incorrectly.
+        if ((op.gamma != nullptr) != (op.var != nullptr) ||
+            (op.beta != nullptr) != (op.var != nullptr) ||
+            (op.mean != nullptr) != (op.var != nullptr)) {
+          fail(op, "batch_norm tensors must all be present or all absent");
+        }
+        break;
+      case OpKind::kSqueezeExcite:
+        if (ci < 1 || op.se_c < 1) fail(op, "channels must be positive");
+        check_tensor(op, op.se_w1, "se_w1", Shape{ci, op.se_c});
+        check_tensor(op, op.se_b1, "se_b1", Shape{op.se_c});
+        check_tensor(op, op.se_w2, "se_w2", Shape{op.se_c, ci});
+        check_tensor(op, op.se_b2, "se_b2", Shape{ci});
+        break;
+      case OpKind::kDense:
+      case OpKind::kGemm:
+        if (ci < 1 || co < 1) fail(op, "features must be positive");
+        check_tensor(op, op.weight, "weight", Shape{ci, co});
+        check_tensor(op, op.bias, "bias", Shape{co});
+        if (op.bias != nullptr && !op.has_bias) {
+          fail(op, "bias tensor present but has_bias is false");
+        }
+        break;
+      case OpKind::kSwish:
+      case OpKind::kRelu:
+      case OpKind::kSigmoid:
+      case OpKind::kAdd:
+      case OpKind::kGlobalAvgPool:
+      case OpKind::kSoftmax:
+        break;
+    }
+
+    const bool fusable = op.kind == OpKind::kConv2D ||
+                         op.kind == OpKind::kDepthwiseConv2D ||
+                         op.kind == OpKind::kGemm ||
+                         op.kind == OpKind::kDense;
+    if (op.act != Act::kNone && !fusable) {
+      fail(op, "fused activation on a non-fusable op kind");
+    }
+    if (op.has_bias && !(op.kind == OpKind::kConv2D ||
+                         op.kind == OpKind::kDepthwiseConv2D ||
+                         op.kind == OpKind::kDense)) {
+      fail(op, "has_bias on an op kind that carries no bias");
+    }
+
+    defined[static_cast<std::size_t>(op.out)] = true;
+  }
+
+  const int out = p.output();
+  if (out < 0 || out >= p.num_values() ||
+      !defined[static_cast<std::size_t>(out)]) {
+    throw std::runtime_error(
+        "ir verify: program output v" + std::to_string(out) +
+        " is not a defined value");
+  }
+}
+
+}  // namespace podnet::ir

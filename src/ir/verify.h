@@ -1,0 +1,33 @@
+// Verifier: structural invariants every Program must satisfy.
+//
+// verify() throws std::runtime_error naming the offending op/value on the
+// first violation. It is linear in program size and cheap enough to
+// run after every pass rewrite (Release builds in this repo keep asserts,
+// so PODNET_IR_VERIFY is unconditional); the lint rule in tools/lint.sh
+// requires every pass translation unit to call it.
+//
+// Invariants:
+//   * the output value is defined (the input, or some op's out);
+//   * op `out` ids are unique, nonzero, and strictly increasing (SSA in
+//     topological order; DCE may leave id gaps);
+//   * every arg refers to the input or an *earlier* op's out (no forward
+//     or dangling references), with the arity its kind demands;
+//   * structural attributes are positive where the kind requires them;
+//   * borrowed parameter tensors, when present, have the exact shapes the
+//     attributes promise (all-or-nothing per op: a weightless shape
+//     program carries no tensors at all on an op);
+//   * fused activations (`act`) appear only on conv/gemm/dense ops, and
+//     `has_bias` only on conv/dense.
+#pragma once
+
+#include "ir/ir.h"
+
+namespace podnet::ir {
+
+// Throws std::runtime_error on the first violated invariant.
+void verify(const Program& p);
+
+}  // namespace podnet::ir
+
+// Pass hook: every pass calls this after rewriting (see tools/lint.sh).
+#define PODNET_IR_VERIFY(prog) ::podnet::ir::verify(prog)

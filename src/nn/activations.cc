@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ir/builder.h"
 #include "tensor/ops.h"
 
 namespace podnet::nn {
@@ -51,5 +52,9 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   tensor::relu_backward(grad_out.span(), x_.span(), gx.span());
   return gx;
 }
+
+int Swish::lower(ir::Builder& b, int x) const { return b.swish(x); }
+int Sigmoid::lower(ir::Builder& b, int x) const { return b.sigmoid(x); }
+int ReLU::lower(ir::Builder& b, int x) const { return b.relu(x); }
 
 }  // namespace podnet::nn

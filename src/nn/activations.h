@@ -11,6 +11,8 @@ class Swish final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool lowerable() const override { return true; }
+  int lower(ir::Builder& b, int x) const override;
   std::string name() const override { return "swish"; }
 
  private:
@@ -22,6 +24,8 @@ class Sigmoid final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool lowerable() const override { return true; }
+  int lower(ir::Builder& b, int x) const override;
   std::string name() const override { return "sigmoid"; }
 
  private:
@@ -32,6 +36,8 @@ class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool lowerable() const override { return true; }
+  int lower(ir::Builder& b, int x) const override;
   std::string name() const override { return "relu"; }
 
  private:

@@ -1,6 +1,8 @@
 #include "nn/batchnorm.h"
 
 #include <cassert>
+
+#include "ir/builder.h"
 #include <cmath>
 #include <vector>
 
@@ -135,6 +137,11 @@ void BatchNorm::collect_params(std::vector<Param*>& out) {
 void BatchNorm::collect_state(std::vector<Tensor*>& out) {
   out.push_back(&running_mean_);
   out.push_back(&running_var_);
+}
+
+int BatchNorm::lower(ir::Builder& b, int x) const {
+  return b.batch_norm(x, channels_, eps_, &gamma_.value, &beta_.value,
+                      &running_mean_, &running_var_, name_);
 }
 
 }  // namespace podnet::nn

@@ -28,6 +28,9 @@ class BatchNorm final : public Layer {
   void collect_state(std::vector<Tensor*>& out) override;
   std::string name() const override { return name_; }
 
+  bool lowerable() const override { return true; }
+  int lower(ir::Builder& b, int x) const override;
+
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "check/tensor_guard.h"
+#include "ir/builder.h"
 #include "nn/init.h"
 #include "obs/profile.h"
 #include "tensor/conv_direct.h"
@@ -174,6 +175,26 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
 void Conv2D::collect_params(std::vector<Param*>& out) {
   out.push_back(&weight_);
   if (bias_) out.push_back(bias_.get());
+}
+
+bool Conv2D::lowerable() const {
+  return precision_ == tensor::MatmulPrecision::kFp32;
+}
+
+int Conv2D::lower(ir::Builder& b, int x) const {
+  return b.conv2d(x, in_c_, out_c_, kernel_, stride_, &weight_.value,
+                  use_bias_ ? &bias_->value : nullptr, name_, use_bias_);
+}
+
+std::int64_t Conv2D::scratch_bytes() const {
+  return static_cast<std::int64_t>(col_scratch_.capacity() * sizeof(float));
+}
+
+void Conv2D::release_scratch() {
+  // The IR executor's planned arena replaces this buffer; drop both the
+  // size and the capacity so the memory actually returns to the allocator.
+  col_scratch_.clear();
+  col_scratch_.shrink_to_fit();
 }
 
 }  // namespace podnet::nn

@@ -36,6 +36,12 @@ class Conv2D final : public Layer {
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return name_; }
 
+  // Fp32 only: the IR executor carries no bf16 multiplicand rounding.
+  bool lowerable() const override;
+  int lower(ir::Builder& b, int x) const override;
+  std::int64_t scratch_bytes() const override;
+  void release_scratch() override;
+
   Param& weight() { return weight_; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "ir/builder.h"
 #include "nn/init.h"
 
 namespace podnet::nn {
@@ -61,6 +62,11 @@ Tensor Dense::backward(const Tensor& grad_out) {
 void Dense::collect_params(std::vector<Param*>& out) {
   out.push_back(&weight_);
   if (bias_) out.push_back(bias_.get());
+}
+
+int Dense::lower(ir::Builder& b, int x) const {
+  return b.dense(x, in_, out_, &weight_.value,
+                 use_bias_ ? &bias_->value : nullptr, name_, use_bias_);
 }
 
 }  // namespace podnet::nn

@@ -16,6 +16,14 @@ class Dense final : public Layer {
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return name_; }
 
+  bool lowerable() const override { return true; }
+  int lower(ir::Builder& b, int x) const override;
+
+  Index in_features() const { return in_; }
+  Index out_features() const { return out_; }
+  const Param& weight() const { return weight_; }
+  const Param* bias() const { return bias_.get(); }
+
  private:
   std::string name_;
   Index in_, out_;

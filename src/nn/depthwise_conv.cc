@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "ir/builder.h"
 #include "nn/init.h"
 #include "obs/profile.h"
 #include "tensor/bf16.h"
@@ -72,6 +73,15 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
 
 void DepthwiseConv2D::collect_params(std::vector<Param*>& out) {
   out.push_back(&weight_);
+}
+
+bool DepthwiseConv2D::lowerable() const {
+  return precision_ == tensor::MatmulPrecision::kFp32;
+}
+
+int DepthwiseConv2D::lower(ir::Builder& b, int x) const {
+  return b.depthwise_conv2d(x, channels_, kernel_, stride_, &weight_.value,
+                            name_);
 }
 
 }  // namespace podnet::nn

@@ -24,6 +24,9 @@ class DepthwiseConv2D final : public Layer {
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return name_; }
 
+  bool lowerable() const override;
+  int lower(ir::Builder& b, int x) const override;
+
  private:
   std::string name_;
   Index channels_, kernel_, stride_;

@@ -21,6 +21,13 @@ class Dropout final : public Layer {
   void collect_rngs(std::vector<Rng*>& out) override { out.push_back(&rng_); }
   std::string name() const override { return name_; }
 
+  // Identity at inference: lowering emits no op.
+  bool lowerable() const override { return true; }
+  int lower(ir::Builder& b, int x) const override {
+    (void)b;
+    return x;
+  }
+
  private:
   std::string name_;
   float rate_;
@@ -37,6 +44,13 @@ class DropPath final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   void collect_rngs(std::vector<Rng*>& out) override { out.push_back(&rng_); }
   std::string name() const override { return name_; }
+
+  // Identity at inference: lowering emits no op.
+  bool lowerable() const override { return true; }
+  int lower(ir::Builder& b, int x) const override {
+    (void)b;
+    return x;
+  }
 
  private:
   std::string name_;

@@ -1,6 +1,15 @@
 #include "nn/layer.h"
 
+#include <stdexcept>
+
 namespace podnet::nn {
+
+int Layer::lower(ir::Builder& b, int x) const {
+  (void)b;
+  (void)x;
+  throw std::logic_error("layer '" + name() +
+                         "' does not lower to the graph IR");
+}
 
 std::vector<Param*> parameters_of(Layer& layer) {
   std::vector<Param*> out;

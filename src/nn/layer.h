@@ -8,11 +8,16 @@
 // BnStatSync hook and in the gradient all-reduce done by the trainer.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
+
+namespace podnet::ir {
+class Builder;
+}  // namespace podnet::ir
 
 namespace podnet::nn {
 
@@ -67,6 +72,24 @@ class Layer {
   // the exact same random masks; the collection order must be stable.
   virtual void collect_rngs(std::vector<Rng*>& out) { (void)out; }
 
+  // --- Graph IR lowering (src/ir) ------------------------------------
+  // A lowerable layer can emit its inference computation into an
+  // ir::Builder: lower() appends ops consuming value id `x` and returns
+  // the id of its output value. The emitted program must reproduce this
+  // layer's inference forward() against the same kernels (the IR parity
+  // tests assert it). Layers that cannot lower (or whose configuration
+  // rules it out, e.g. bf16 convs) report lowerable() == false and keep
+  // the default lower(), which throws.
+  virtual bool lowerable() const { return false; }
+  virtual int lower(ir::Builder& b, int x) const;
+
+  // Bytes of persistent inference scratch this layer holds across
+  // forwards (Conv2D's im2col buffer). The IR executor replaces these
+  // with its planned arena; release_scratch() frees them when the IR
+  // path takes over inference.
+  virtual std::int64_t scratch_bytes() const { return 0; }
+  virtual void release_scratch() {}
+
   virtual std::string name() const = 0;
 };
 
@@ -102,6 +125,25 @@ class Sequential final : public Layer {
   }
   void collect_rngs(std::vector<Rng*>& out) override {
     for (auto& l : layers_) l->collect_rngs(out);
+  }
+
+  bool lowerable() const override {
+    for (const auto& l : layers_) {
+      if (!l->lowerable()) return false;
+    }
+    return true;
+  }
+  int lower(ir::Builder& b, int x) const override {
+    for (const auto& l : layers_) x = l->lower(b, x);
+    return x;
+  }
+  std::int64_t scratch_bytes() const override {
+    std::int64_t total = 0;
+    for (const auto& l : layers_) total += l->scratch_bytes();
+    return total;
+  }
+  void release_scratch() override {
+    for (const auto& l : layers_) l->release_scratch();
   }
 
   std::string name() const override { return name_; }

@@ -1,0 +1,13 @@
+#include "nn/lower.h"
+
+#include "ir/builder.h"
+
+namespace podnet::nn {
+
+ir::Program lower_to_program(const Layer& root) {
+  ir::Builder b;
+  const int out = root.lower(b, b.input());
+  return b.finish(out);
+}
+
+}  // namespace podnet::nn

@@ -1,0 +1,17 @@
+// Entry point from the layer world into the graph IR: lowers a layer tree
+// (usually a whole model) into an ir::Program whose output is the tree's
+// final value. The program borrows the layer's parameter tensors, so it
+// must not outlive the layer. Callers typically follow with
+// ir::run_passes and hand the result to an ir::Executor.
+#pragma once
+
+#include "ir/ir.h"
+#include "nn/layer.h"
+
+namespace podnet::nn {
+
+// Throws std::logic_error if `root` (or any nested layer) is not
+// lowerable; check root.lowerable() first to branch gracefully.
+ir::Program lower_to_program(const Layer& root);
+
+}  // namespace podnet::nn

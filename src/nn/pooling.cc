@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "ir/builder.h"
+
 namespace podnet::nn {
 
 Tensor GlobalAvgPool::forward(const Tensor& x, bool training) {
@@ -40,6 +42,10 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
     }
   }
   return dx;
+}
+
+int GlobalAvgPool::lower(ir::Builder& b, int x) const {
+  return b.global_avg_pool(x);
 }
 
 }  // namespace podnet::nn

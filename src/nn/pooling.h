@@ -9,6 +9,8 @@ class GlobalAvgPool final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool lowerable() const override { return true; }
+  int lower(ir::Builder& b, int x) const override;
   std::string name() const override { return "global_avg_pool"; }
 
  private:

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "ir/builder.h"
+
 namespace podnet::nn {
 
 SqueezeExcite::SqueezeExcite(Index channels, Index se_channels, Rng& init_rng,
@@ -82,6 +84,13 @@ Tensor SqueezeExcite::backward(const Tensor& grad_out) {
 void SqueezeExcite::collect_params(std::vector<Param*>& out) {
   reduce_.collect_params(out);
   expand_.collect_params(out);
+}
+
+int SqueezeExcite::lower(ir::Builder& b, int x) const {
+  return b.squeeze_excite(x, channels_, reduce_.out_features(),
+                          &reduce_.weight().value, &reduce_.bias()->value,
+                          &expand_.weight().value, &expand_.bias()->value,
+                          name_);
 }
 
 }  // namespace podnet::nn

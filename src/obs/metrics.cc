@@ -42,6 +42,9 @@ std::string to_json(const StepMetrics& m) {
       .field("loss", m.loss)
       .field("lr", m.lr)
       .field("step_ms", m.step_s * 1e3);
+  if (m.ir_scratch_bytes > 0) {
+    w.field("ir_scratch_bytes", m.ir_scratch_bytes);
+  }
 #ifdef PODNET_CHECK
   // Flag records produced by an instrumented build: canary-padded tensors
   // and collective fingerprinting skew the timings, so downstream tooling

@@ -58,6 +58,10 @@ struct StepMetrics {
   int recovery_event = 0;
   std::int64_t images = 0;           // examples consumed this step
   std::int64_t allreduce_bytes = 0;  // gradient payload all-reduced
+  // Planned peak arena bytes of the compiled graph-IR eval program; set
+  // only on steps where an IR-backed eval ran (0 otherwise, key omitted
+  // from the JSONL record).
+  std::int64_t ir_scratch_bytes = 0;
   double loss = 0;
   double lr = 0;
   // Full step wall time (data load through optimizer; excludes eval and

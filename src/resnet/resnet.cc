@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "ir/builder.h"
+
 namespace podnet::resnet {
 
 using nn::Tensor;
@@ -100,6 +102,31 @@ void BasicBlock::collect_batchnorms(std::vector<nn::BatchNorm*>& out) {
   if (proj_bn_) out.push_back(proj_bn_.get());
 }
 
+bool BasicBlock::lowerable() const {
+  return conv1_.lowerable() && conv2_.lowerable() &&
+         (!proj_conv_ || proj_conv_->lowerable());
+}
+
+int BasicBlock::lower(ir::Builder& b, int x) const {
+  const int main = bn2_.lower(
+      b, conv2_.lower(b, relu1_.lower(b, bn1_.lower(b, conv1_.lower(b, x)))));
+  const int skip =
+      proj_conv_ ? proj_bn_->lower(b, proj_conv_->lower(b, x)) : x;
+  return relu_out_.lower(b, b.add(main, skip));
+}
+
+std::int64_t BasicBlock::scratch_bytes() const {
+  std::int64_t total = conv1_.scratch_bytes() + conv2_.scratch_bytes();
+  if (proj_conv_) total += proj_conv_->scratch_bytes();
+  return total;
+}
+
+void BasicBlock::release_scratch() {
+  conv1_.release_scratch();
+  conv2_.release_scratch();
+  if (proj_conv_) proj_conv_->release_scratch();
+}
+
 ResNet::ResNet(const ResNetSpec& spec, const Options& options)
     : spec_(spec),
       options_(options),
@@ -174,6 +201,28 @@ void ResNet::collect_state(std::vector<nn::Tensor*>& out) {
 
 void ResNet::set_bn_sync(nn::BnStatSync* sync) {
   for (nn::BatchNorm* bn : bns_) bn->set_stat_sync(sync);
+}
+
+bool ResNet::lowerable() const {
+  return options_.precision == tensor::MatmulPrecision::kFp32;
+}
+
+int ResNet::lower(ir::Builder& b, int x) const {
+  int h = stem_relu_.lower(b, stem_bn_.lower(b, stem_conv_.lower(b, x)));
+  for (const auto& blk : blocks_) h = blk->lower(b, h);
+  h = pool_.lower(b, h);
+  return classifier_->lower(b, h);
+}
+
+std::int64_t ResNet::scratch_bytes() const {
+  std::int64_t total = stem_conv_.scratch_bytes();
+  for (const auto& blk : blocks_) total += blk->scratch_bytes();
+  return total;
+}
+
+void ResNet::release_scratch() {
+  stem_conv_.release_scratch();
+  for (const auto& blk : blocks_) blk->release_scratch();
 }
 
 }  // namespace podnet::resnet

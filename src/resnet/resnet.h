@@ -57,6 +57,11 @@ class BasicBlock final : public nn::Layer {
   std::string name() const override { return name_; }
   void collect_batchnorms(std::vector<nn::BatchNorm*>& out);
 
+  bool lowerable() const override;
+  int lower(ir::Builder& b, int x) const override;
+  std::int64_t scratch_bytes() const override;
+  void release_scratch() override;
+
  private:
   std::string name_;
   nn::Conv2D conv1_;
@@ -88,6 +93,11 @@ class ResNet final : public nn::Model {
   void collect_state(std::vector<nn::Tensor*>& out) override;
   std::string name() const override { return spec_.name; }
   void set_bn_sync(nn::BnStatSync* sync) override;
+
+  bool lowerable() const override;
+  int lower(ir::Builder& b, int x) const override;
+  std::int64_t scratch_bytes() const override;
+  void release_scratch() override;
 
   std::size_t block_count() const { return blocks_.size(); }
 

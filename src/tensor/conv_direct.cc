@@ -93,6 +93,8 @@ void scalar_conv2d_direct_rows(const ConvGeometry& g, std::int64_t out_c,
           if (bias != nullptr) acc += bias[co];
           if (epilogue == Epilogue::kBiasSwish) {
             acc = acc / (1.0f + std::exp(-acc));
+          } else if (epilogue == Epilogue::kBiasRelu) {
+            acc = acc > 0.f ? acc : 0.f;
           }
         }
         out[co] = acc;

@@ -6,6 +6,7 @@
 
 #include "obs/profile.h"
 #include "tensor/bf16.h"
+#include "tensor/ops.h"
 #include "tensor/simd.h"
 #include "tensor/thread_pool.h"
 
@@ -142,15 +143,39 @@ void run_tiles(std::int64_t m, std::int64_t n_units, std::int64_t flops,
   });
 }
 
+// Applies a fused epilogue to the C tile rows [r0, r1) x columns [c0, c1)
+// via the shared span kernels. The bias add is elementwise, so the tile
+// segmentation cannot change its result; the activations differ from a
+// whole-row application only at SIMD/scalar segment boundaries (ULP-level).
+void apply_epilogue(const GemmEpilogue& e, std::int64_t r0, std::int64_t r1,
+                    std::int64_t c0, std::int64_t c1, float* c,
+                    std::int64_t ldc) {
+  const std::size_t w = static_cast<std::size_t>(c1 - c0);
+  if (w == 0) return;
+  thread_local std::vector<float> sig;  // swish sigmoid scratch, per worker
+  if (e.act == GemmEpilogue::Act::kSwish && sig.size() < w) sig.resize(w);
+  for (std::int64_t i = r0; i < r1; ++i) {
+    float* row = c + i * ldc + c0;
+    if (e.bias != nullptr) add_inplace({e.bias + c0, w}, {row, w});
+    if (e.act == GemmEpilogue::Act::kSwish) {
+      swish({row, w}, {sig.data(), w}, {row, w});
+    } else if (e.act == GemmEpilogue::Act::kRelu) {
+      relu({row, w}, {row, w});
+    }
+  }
+}
+
 // Scalar driver over a packed A (dense m x k) and packed B (dense k x n).
 void scalar_gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k,
                         float alpha, const float* a_packed,
-                        const float* b_packed, float* c, std::int64_t ldc) {
+                        const float* b_packed, float* c, std::int64_t ldc,
+                        const GemmEpilogue* epi = nullptr) {
   run_tiles(m, n, 2 * m * n * k,
             [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
                 std::int64_t c1) {
               gemm_block(r0, r1, c0, c1, n, k, alpha, a_packed, b_packed, c,
                          ldc);
+              if (epi != nullptr) apply_epilogue(*epi, r0, r1, c0, c1, c, ldc);
             });
 }
 
@@ -172,9 +197,16 @@ std::int64_t active_panel_width() {
 void simd_gemm_driver(std::int64_t panel_width, bool trans_a, std::int64_t m,
                       std::int64_t n, std::int64_t k, float alpha,
                       const float* a, std::int64_t lda, const float* packed_b,
-                      float* c, std::int64_t ldc, bool to_bf16) {
+                      float* c, std::int64_t ldc, bool to_bf16,
+                      const GemmEpilogue* epi = nullptr) {
   const std::int64_t n_panels = (n + panel_width - 1) / panel_width;
   const std::int64_t flops = 2 * m * n * k;
+  // Column units are packed-B panels; the epilogue works on column ranges.
+  const auto epi_tile = [&](std::int64_t r0, std::int64_t r1, std::int64_t p0,
+                            std::int64_t p1) {
+    apply_epilogue(*epi, r0, r1, p0 * panel_width,
+                   std::min(n, p1 * panel_width), c, ldc);
+  };
 #if defined(PODNET_HAVE_AVX512)
   if (panel_width == simd::avx512::kNr) {
     run_tiles(m, n_panels, flops,
@@ -182,6 +214,7 @@ void simd_gemm_driver(std::int64_t panel_width, bool trans_a, std::int64_t m,
                   std::int64_t p1) {
                 simd::avx512::gemm_tile(trans_a, r0, r1, p0, p1, n, k, alpha,
                                         a, lda, packed_b, c, ldc, to_bf16);
+                if (epi != nullptr) epi_tile(r0, r1, p0, p1);
               });
     return;
   }
@@ -193,12 +226,14 @@ void simd_gemm_driver(std::int64_t panel_width, bool trans_a, std::int64_t m,
                   std::int64_t p1) {
                 simd::avx2::gemm_tile(trans_a, r0, r1, p0, p1, n, k, alpha, a,
                                       lda, packed_b, c, ldc, to_bf16);
+                if (epi != nullptr) epi_tile(r0, r1, p0, p1);
               });
     return;
   }
 #endif
   (void)trans_a;
   (void)lda;
+  (void)epi_tile;
   assert(false && "no SIMD kernel for this panel width in this binary");
 }
 
@@ -283,32 +318,60 @@ PackedB pack_b(bool trans_b, std::int64_t k, std::int64_t n, const float* b,
   return packed;
 }
 
-void gemm_prepacked(bool trans_a, std::int64_t m, std::int64_t n,
-                    std::int64_t k, float alpha, const float* a,
-                    std::int64_t lda, const PackedB& bp, float beta, float* c,
-                    std::int64_t ldc, MatmulPrecision precision) {
+namespace {
+
+void gemm_prepacked_impl(bool trans_a, std::int64_t m, std::int64_t n,
+                         std::int64_t k, float alpha, const float* a,
+                         std::int64_t lda, std::int64_t panel_width,
+                         const float* packed_b, float beta, float* c,
+                         std::int64_t ldc, const GemmEpilogue* epi,
+                         MatmulPrecision precision) {
   PODNET_PROFILE_SPAN("gemm");
-  assert(bp.valid() && bp.k_ == k && bp.n_ == n && bp.precision_ == precision);
   assert(m >= 0 && n >= 0 && k >= 0);
   if (m == 0 || n == 0) return;
   if (alpha == 0.f) {
     scale_c(m, n, beta, c, ldc);
+    if (epi != nullptr) apply_epilogue(*epi, 0, m, 0, n, c, ldc);
     return;
   }
   const bool to_bf16 = precision == MatmulPrecision::kBf16;
   const ReentryGuard reentry_guard;
   // Follow the layout recorded at pack time, not the active level: a
   // PackedB built under one level stays valid after the level is flipped.
-  if (bp.panel_width_ != 0) {
+  if (panel_width != 0) {
     scale_c(m, n, beta, c, ldc);
-    simd_gemm_driver(bp.panel_width_, trans_a, m, n, k, alpha, a, lda,
-                     bp.data_.data(), c, ldc, to_bf16);
+    simd_gemm_driver(panel_width, trans_a, m, n, k, alpha, a, lda, packed_b,
+                     c, ldc, to_bf16, epi);
     return;
   }
   thread_local std::vector<float> a_pack;
   pack(trans_a, m, k, a, lda, to_bf16, a_pack);
   scale_c(m, n, beta, c, ldc);
-  scalar_gemm_driver(m, n, k, alpha, a_pack.data(), bp.data_.data(), c, ldc);
+  scalar_gemm_driver(m, n, k, alpha, a_pack.data(), packed_b, c, ldc, epi);
+}
+
+}  // namespace
+
+void gemm_prepacked(bool trans_a, std::int64_t m, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a,
+                    std::int64_t lda, const PackedB& bp, float beta, float* c,
+                    std::int64_t ldc, MatmulPrecision precision) {
+  assert(bp.valid() && bp.k_ == k && bp.n_ == n && bp.precision_ == precision);
+  gemm_prepacked_impl(trans_a, m, n, k, alpha, a, lda, bp.panel_width_,
+                      bp.data_.data(), beta, c, ldc, nullptr, precision);
+}
+
+void gemm_prepacked(bool trans_a, std::int64_t m, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a,
+                    std::int64_t lda, const PackedB& bp, float beta, float* c,
+                    std::int64_t ldc, const GemmEpilogue& epilogue,
+                    MatmulPrecision precision) {
+  assert(bp.valid() && bp.k_ == k && bp.n_ == n && bp.precision_ == precision);
+  const bool has_tail =
+      epilogue.bias != nullptr || epilogue.act != GemmEpilogue::Act::kNone;
+  gemm_prepacked_impl(trans_a, m, n, k, alpha, a, lda, bp.panel_width_,
+                      bp.data_.data(), beta, c, ldc,
+                      has_tail ? &epilogue : nullptr, precision);
 }
 
 }  // namespace podnet::tensor

@@ -45,6 +45,20 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t ldc,
           MatmulPrecision precision = MatmulPrecision::kFp32);
 
+// Fused tail applied to each completed C tile while it is cache-hot: an
+// optional per-column bias add followed by an optional activation. Every C
+// element belongs to exactly one tile and each tile runs the full K extent,
+// so the tail can run per tile inside the worker that produced it — no
+// second pass over the output. The application reuses the shared span
+// kernels (ops.h add_inplace / swish / relu), so a fused bias is bitwise
+// identical to the interpreter's separate row-wise bias pass; a fused
+// activation matches it to within SIMD-boundary ULP differences.
+struct GemmEpilogue {
+  enum class Act { kNone = 0, kSwish, kRelu };
+  Act act = Act::kNone;
+  const float* bias = nullptr;  // n-long, may be null for a bias-free tail
+};
+
 // A pre-packed right-hand side for repeated products against the same B —
 // the convolution batch loop packs its weight matrix once and reuses it
 // for every image. The packed layout matches whichever dispatch level was
@@ -69,6 +83,10 @@ class PackedB {
                              float, const float*, std::int64_t,
                              const PackedB&, float, float*, std::int64_t,
                              MatmulPrecision);
+  friend void gemm_prepacked(bool, std::int64_t, std::int64_t, std::int64_t,
+                             float, const float*, std::int64_t,
+                             const PackedB&, float, float*, std::int64_t,
+                             const GemmEpilogue&, MatmulPrecision);
 
   std::vector<float> data_;
   std::int64_t k_ = 0;
@@ -90,6 +108,15 @@ void gemm_prepacked(bool trans_a, std::int64_t m, std::int64_t n,
                     std::int64_t k, float alpha, const float* a,
                     std::int64_t lda, const PackedB& bp, float beta, float* c,
                     std::int64_t ldc,
+                    MatmulPrecision precision = MatmulPrecision::kFp32);
+
+// As above, with a fused epilogue applied to each C tile in the worker
+// that computed it (the ir::Executor's GEMM-tail hook for conv bias +
+// activation fusion).
+void gemm_prepacked(bool trans_a, std::int64_t m, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a,
+                    std::int64_t lda, const PackedB& bp, float beta, float* c,
+                    std::int64_t ldc, const GemmEpilogue& epilogue,
                     MatmulPrecision precision = MatmulPrecision::kFp32);
 
 // Convenience wrapper for contiguous row-major operands:

@@ -823,6 +823,10 @@ void conv2d_direct_rows(const ConvGeometry& g, std::int64_t out_c,
             acc[j] = _mm256_mul_ps(acc[j],
                                    _mm256_div_ps(one, _mm256_add_ps(one, e)));
           }
+        } else if (epilogue == Epilogue::kBiasRelu) {
+          for (std::int64_t j = 0; j < nvec; ++j) {
+            acc[j] = _mm256_max_ps(acc[j], _mm256_setzero_ps());
+          }
         }
         for (std::int64_t j = 0; j < full; ++j) {
           _mm256_storeu_ps(out + co0 + j * 8, acc[j]);

@@ -790,6 +790,10 @@ void conv2d_direct_rows(const ConvGeometry& g, std::int64_t out_c,
             acc[j] = _mm512_mul_ps(
                 acc[j], _mm512_div_ps(one, _mm512_add_ps(one, e)));
           }
+        } else if (epilogue == Epilogue::kBiasRelu) {
+          for (std::int64_t j = 0; j < nvec; ++j) {
+            acc[j] = _mm512_max_ps(acc[j], _mm512_setzero_ps());
+          }
         }
         for (std::int64_t j = 0; j < nvec; ++j) {
           _mm512_mask_storeu_ps(out + co0 + j * 16, masks[j], acc[j]);

@@ -1,0 +1,75 @@
+// IR-derived FLOP accounting vs the analytic effnet cost model, and the
+// structural drift test between model lowering and spec lowering.
+//
+// ir::flop_macs uses the same conventions as effnet::analyze (per-image
+// MAC counts, BN/activations/pool free), and every per-op count is an
+// integer well below 2^53, so the double totals must agree *exactly* —
+// any drift means one of the two walked a different architecture.
+#include "effnet/lower.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "effnet/config.h"
+#include "effnet/flops.h"
+#include "effnet/model.h"
+#include "ir/builder.h"
+#include "ir/ir.h"
+#include "ir/printer.h"
+#include "nn/lower.h"
+
+namespace podnet::effnet {
+namespace {
+
+using tensor::Shape;
+
+TEST(IrFlopsTest, SpecLoweringMatchesAnalyzeForB0ThroughB7) {
+  for (const std::string name :
+       {"b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7"}) {
+    const ModelSpec spec = by_name(name);
+    const ModelCost cost = analyze(spec, /*num_classes=*/1000);
+    const ir::Program prog = lower_spec(spec, /*num_classes=*/1000);
+    const Shape input{1, spec.resolution, spec.resolution, 3};
+    EXPECT_EQ(ir::flop_macs(prog, input), cost.total_macs()) << name;
+  }
+}
+
+TEST(IrFlopsTest, ResearchSpecsMatchAnalyzeToo) {
+  for (const std::string name : {"pico", "nano"}) {
+    const ModelSpec spec = by_name(name);
+    const ModelCost cost = analyze(spec, /*num_classes=*/1000);
+    const ir::Program prog = lower_spec(spec, /*num_classes=*/1000);
+    const Shape input{1, spec.resolution, spec.resolution, 3};
+    EXPECT_EQ(ir::flop_macs(prog, input), cost.total_macs()) << name;
+  }
+}
+
+TEST(IrFlopsTest, ModelLoweringMatchesSpecLoweringStructurally) {
+  // The weightless spec lowering must print line-for-line identically to
+  // the program a real model instance lowers to: same ops, ids, names,
+  // and attributes. Catches either path drifting from the architecture.
+  for (const std::string name : {"pico", "nano"}) {
+    const ModelSpec spec = by_name(name);
+    ModelOptions mopts;
+    mopts.num_classes = 10;
+    const EfficientNet model(spec, mopts);
+    const ir::Program from_model = nn::lower_to_program(model);
+    const ir::Program from_spec = lower_spec(spec, /*num_classes=*/10);
+    EXPECT_EQ(ir::print(from_model), ir::print(from_spec)) << name;
+  }
+}
+
+TEST(IrFlopsTest, ModelLoweringMatchesAnalyze) {
+  const ModelSpec spec = by_name("pico");
+  ModelOptions mopts;
+  mopts.num_classes = 10;
+  const EfficientNet model(spec, mopts);
+  const ir::Program prog = nn::lower_to_program(model);
+  const ModelCost cost = analyze(spec, /*num_classes=*/10);
+  const Shape input{1, spec.resolution, spec.resolution, 3};
+  EXPECT_EQ(ir::flop_macs(prog, input), cost.total_macs());
+}
+
+}  // namespace
+}  // namespace podnet::effnet

@@ -15,7 +15,11 @@
 #   5. no raw std::thread under src/dist/ outside replica.cc (the SPMD
 #      launcher) and comm_thread.cc (the bucket-reduction comm thread) —
 #      ad-hoc threads dodge both the deadline discipline and the
-#      exception-propagation contract those two files implement.
+#      exception-propagation contract those two files implement;
+#   6. every graph-IR pass (src/ir/pass_*.cc) re-verifies the program it
+#      rewrote via PODNET_IR_VERIFY — a pass that skips the verifier can
+#      ship a malformed program straight into the executor (the src/ir
+#      headers' `#pragma once` requirement rides on check 3).
 set -u
 fail=0
 
@@ -61,6 +65,15 @@ if [ -n "$matches" ]; then
        "run_replicas or BucketReducer"
   fail=1
 fi
+
+# A pass owns the only mutation point of a Program after construction, so
+# it also owns re-establishing the invariants verify() checks.
+for p in $(find src/ir -name 'pass_*.cc' 2>/dev/null | sort); do
+  if ! grep -q 'PODNET_IR_VERIFY' "$p"; then
+    echo "lint: $p rewrites IR but never calls PODNET_IR_VERIFY"
+    fail=1
+  fi
+done
 
 for h in $(find src -name '*.h' | sort); do
   if ! grep -q '#pragma once' "$h"; then
