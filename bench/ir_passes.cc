@@ -29,8 +29,10 @@
 #include <vector>
 
 #include "effnet/model.h"
+#include "ir/analysis.h"
 #include "ir/executor.h"
 #include "ir/passes.h"
+#include "ir/verify.h"
 #include "nn/lower.h"
 #include "obs/json.h"
 #include "tensor/tensor.h"
@@ -69,6 +71,8 @@ struct Row {
   std::int64_t no_reuse_bytes = 0;       // ditto
   std::int64_t interp_scratch_bytes = 0; // interpreter col_scratch sum
   double max_rel_err = 0;                // vs the interpreter logits
+  double lower_pass_us = 0;              // lower_to_program + run_passes
+  double analysis_us = 0;                // full static gate re-run
 };
 
 double max_rel_err(const Tensor& got, const Tensor& want) {
@@ -104,8 +108,10 @@ std::vector<Row> run_model(const std::string& model_name,
     ir::Program prog;
     std::unique_ptr<ir::Executor> exec;
     if (cfg.use_ir) {
+      const double l0 = now_s();
       prog = nn::lower_to_program(model);
       ir::run_passes(prog, cfg.opts);
+      row.lower_pass_us = 1e6 * (now_s() - l0);
       exec = std::make_unique<ir::Executor>(prog);
     }
     const auto forward = [&] {
@@ -126,6 +132,21 @@ std::vector<Row> run_model(const std::string& model_name,
       row.speedup_vs_interp = interp_ms / row.ms_per_img;
       row.max_rel_err = max_rel_err(logits, interp_logits);
       row.interp_scratch_bytes = interp_scratch;
+      // Cost of the recurring structural gate, re-run standalone against
+      // the executor's bound plan: SSA/attribute verification, shape
+      // inference, the per-op scratch table, and plan certification.
+      // This is the work every compile (and recompile after a pass
+      // change) pays. The parameter-data finiteness scan (assert_ranges)
+      // is a one-time per-model validation the executor performs at
+      // construction, so it is deliberately outside this column.
+      // Budget: analysis_us < 5% of lower_pass_us.
+      const double a0 = now_s();
+      ir::verify(prog);
+      const std::vector<Shape> shapes = ir::infer_shapes(prog, x.shape());
+      const std::vector<std::int64_t> scratch =
+          ir::op_scratch_floats(prog, shapes, ir::default_conv_strategy());
+      ir::certify_plan(prog, shapes, scratch, exec->plan());
+      row.analysis_us = 1e6 * (now_s() - a0);
     } else {
       interp_ms = row.ms_per_img;
       interp_scratch = model.scratch_bytes();
@@ -138,13 +159,15 @@ std::vector<Row> run_model(const std::string& model_name,
 }
 
 void print_rows(const std::vector<Row>& rows) {
-  std::printf("%-28s %10s %8s %14s %14s %10s\n", "config", "ms/img",
-              "speedup", "arena_bytes", "no_reuse", "max_rel");
+  std::printf("%-28s %10s %8s %14s %14s %10s %12s %12s\n", "config",
+              "ms/img", "speedup", "arena_bytes", "no_reuse", "max_rel",
+              "lower_us", "analysis_us");
   for (const Row& r : rows) {
-    std::printf("%-28s %10.3f %7.2fx %14lld %14lld %10.2e\n", r.name.c_str(),
-                r.ms_per_img, r.speedup_vs_interp,
+    std::printf("%-28s %10.3f %7.2fx %14lld %14lld %10.2e %12.1f %12.1f\n",
+                r.name.c_str(), r.ms_per_img, r.speedup_vs_interp,
                 static_cast<long long>(r.arena_bytes),
-                static_cast<long long>(r.no_reuse_bytes), r.max_rel_err);
+                static_cast<long long>(r.no_reuse_bytes), r.max_rel_err,
+                r.lower_pass_us, r.analysis_us);
   }
   std::printf("interpreter col_scratch high-water: %lld bytes\n",
               static_cast<long long>(rows.front().interp_scratch_bytes));
@@ -166,7 +189,9 @@ int append_json(const std::vector<Row>& rows, const std::string& path) {
         .field("arena_bytes", r.arena_bytes)
         .field("no_reuse_bytes", r.no_reuse_bytes)
         .field("interp_scratch_bytes", r.interp_scratch_bytes)
-        .field("max_rel_err", r.max_rel_err);
+        .field("max_rel_err", r.max_rel_err)
+        .field("lower_pass_us", r.lower_pass_us)
+        .field("analysis_us", r.analysis_us);
     out << w.str() << '\n';
   }
   out.close();

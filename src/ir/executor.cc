@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/check.h"
 #include "check/tensor_guard.h"
+#include "ir/analysis.h"
 #include "ir/verify.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
@@ -109,7 +111,12 @@ Executor::Executor(const Program& p) : prog_(&p) {
       case OpKind::kSqueezeExcite:
         if (op.se_w1 == nullptr) missing_tensor(op, "squeeze-excite weights");
         break;
-      default:
+      case OpKind::kSwish:
+      case OpKind::kRelu:
+      case OpKind::kSigmoid:
+      case OpKind::kAdd:
+      case OpKind::kGlobalAvgPool:
+      case OpKind::kSoftmax:
         break;
     }
     if (op.has_bias && op.bias == nullptr &&
@@ -117,6 +124,17 @@ Executor::Executor(const Program& p) : prog_(&p) {
       missing_tensor(op, "bias");
     }
   }
+
+  // Static range/finiteness gate: a program whose parameters already
+  // carry NaN/Inf, or whose BN folds to a NaN affine, is rejected here —
+  // before the first run — with the analysis's own diagnostic. The same
+  // report decides where run() places its finite checks under
+  // PODNET_CHECK.
+  const RangeReport ranges = analyze_ranges(p);
+  for (const RangeFinding& f : ranges.findings) {
+    if (f.fatal) throw std::invalid_argument(f.message);
+  }
+  finite_check_ = finite_check_points(p, ranges);
 }
 
 bool Executor::conv_goes_direct(const Op& op, const ConvGeometry& g) const {
@@ -129,48 +147,22 @@ bool Executor::conv_goes_direct(const Op& op, const ConvGeometry& g) const {
 }
 
 void Executor::bind(const Shape& input) {
-  const auto& ops = prog_->ops();
   bound_input_ = input;
   bound_mode_ = tensor::conv::active_mode();
   shapes_ = infer_shapes(*prog_, input);
 
-  std::vector<std::int64_t> scratch(ops.size(), 0);
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    const Op& op = ops[i];
-    const Shape& in = shapes_[static_cast<std::size_t>(op.args[0])];
-    const Shape& out = shapes_[static_cast<std::size_t>(op.out)];
-    switch (op.kind) {
-      case OpKind::kConv2D: {
-        const ConvGeometry g = conv_geometry(op, in);
-        if (op.kernel == 1 && op.stride == 1) break;  // single GEMM, no col
-        if (conv_goes_direct(op, g)) break;           // no lowering at all
-        scratch[i] = g.out_h * g.out_w * g.col_cols();  // one image's col
-        break;
-      }
-      case OpKind::kDepthwiseConv2D:
-      case OpKind::kDense:
-      case OpKind::kGemm:
-        // Span-applied swish tail needs its sigmoid buffer.
-        if (op.act == Act::kSwish) scratch[i] = out.numel();
-        break;
-      case OpKind::kBatchNorm:
-        scratch[i] = 2 * op.in_c;  // scale + shift
-        break;
-      case OpKind::kSwish:
-        scratch[i] = out.numel();  // sigmoid buffer
-        break;
-      case OpKind::kSqueezeExcite: {
-        const Index n = in[0];
-        // squeezed [N,C] + gate [N,C] + reduced [N,se_c] + its sigmoid.
-        scratch[i] = 2 * n * op.in_c + 2 * n * op.se_c;
-        break;
-      }
-      default:
-        break;
-    }
-  }
+  // Per-op scratch needs come from the shared analysis table, driven by
+  // the same direct-conv decision run() will make at this binding.
+  scratch_ = op_scratch_floats(
+      *prog_, shapes_, [this](const Op& op, const ConvGeometry& g) {
+        return conv_goes_direct(op, g);
+      });
 
-  plan_ = plan_memory(*prog_, shapes_, scratch);
+  plan_ = plan_memory(*prog_, shapes_, scratch_);
+  // Independent audit of the plan just produced: certify_plan re-derives
+  // every lifetime from the op list and throws ("ir plan:") if the
+  // first-fit placer ever overlapped two live blocks or broke alignment.
+  certify_plan(*prog_, shapes_, scratch_, plan_);
   arena_.resize(static_cast<std::size_t>(plan_.arena_floats));
   stats_.arena_bytes =
       plan_.arena_floats * static_cast<std::int64_t>(sizeof(float));
@@ -393,6 +385,19 @@ Tensor Executor::run(const Tensor& input) {
         std::memcpy(y, x, n * sizeof(float));
         tensor::softmax_rows(y, in[0], in[1]);
         break;
+      }
+    }
+
+    // Range analysis marked this op as an overflow/NaN risk (exp-family
+    // activation over a value it could not bound, or the unbounded
+    // program output): check the freshly written value under CHECK.
+    if constexpr (check::kEnabled) {
+      if (finite_check_[i]) {
+        const std::string label = std::string("ir op ") +
+                                  op_kind_name(op.kind) + " '" + op.name +
+                                  "' (v" + std::to_string(op.out) + ")";
+        check::assert_finite({y, static_cast<std::size_t>(out.numel())},
+                             label);
       }
     }
   }

@@ -41,7 +41,9 @@ class Executor {
 
   // Borrows `p` (and, transitively, the model tensors it references);
   // both must outlive the executor. Throws std::invalid_argument on a
-  // weightless shape program.
+  // weightless shape program, and on a program the range analysis
+  // statically proves NaN-producing (non-finite parameters, a BN whose
+  // var + eps is not positive).
   explicit Executor(const Program& p);
 
   // Runs the program on `input` and returns the output value as a fresh
@@ -49,9 +51,14 @@ class Executor {
   // conv-direct mode override changed since the last run.
   Tensor run(const Tensor& input);
 
-  // Valid after the first run() (or bind via run); zero before.
+  // Valid after the first run() (or bind via run); zero/empty before.
   const Stats& stats() const { return stats_; }
   const MemoryPlan& plan() const { return plan_; }
+  const std::vector<Shape>& shapes() const { return shapes_; }
+  // Per-op private scratch needs (floats) at the current binding, from
+  // ir/analysis.h op_scratch_floats — what the plan above was built (and
+  // certified) against.
+  const std::vector<std::int64_t>& scratch_floats() const { return scratch_; }
 
  private:
   void bind(const Shape& input);
@@ -59,10 +66,12 @@ class Executor {
 
   const Program* prog_;
   std::vector<tensor::PackedB> packed_;  // per op; valid() only for convs
+  std::vector<bool> finite_check_;  // per op; assert_finite points (CHECK)
 
   Shape bound_input_;
   tensor::conv::Mode bound_mode_ = tensor::conv::Mode::kAuto;
   std::vector<Shape> shapes_;
+  std::vector<std::int64_t> scratch_;  // per op, floats
   MemoryPlan plan_;
   std::vector<float> arena_;
   Stats stats_;

@@ -1,6 +1,6 @@
 #include "ir/ir.h"
 
-#include <stdexcept>
+#include "ir/analysis.h"
 
 namespace podnet::ir {
 
@@ -37,101 +37,6 @@ const char* op_kind_name(OpKind k) {
 tensor::ConvGeometry conv_geometry(const Op& op, const Shape& in) {
   return tensor::ConvGeometry::same(in[0], in[1], in[2], in[3], op.kernel,
                                     op.stride);
-}
-
-namespace {
-
-[[noreturn]] void shape_error(const Op& op, const std::string& what) {
-  throw std::runtime_error("ir: " + std::string(op_kind_name(op.kind)) +
-                           " '" + op.name + "' (v" + std::to_string(op.out) +
-                           "): " + what);
-}
-
-void expect_rank(const Op& op, const Shape& s, int rank) {
-  if (s.rank() != rank) {
-    shape_error(op, "expected rank-" + std::to_string(rank) + " input, got " +
-                        s.str());
-  }
-}
-
-}  // namespace
-
-std::vector<Shape> infer_shapes(const Program& p, const Shape& input) {
-  if (input.rank() < 2) {
-    throw std::runtime_error("ir: program input must have rank >= 2, got " +
-                             input.str());
-  }
-  std::vector<Shape> shapes(static_cast<std::size_t>(p.num_values()));
-  shapes[Program::kInputValue] = input;
-  for (const Op& op : p.ops()) {
-    auto arg = [&](std::size_t i) -> const Shape& {
-      return shapes[static_cast<std::size_t>(op.args[i])];
-    };
-    Shape out;
-    switch (op.kind) {
-      case OpKind::kConv2D: {
-        expect_rank(op, arg(0), 4);
-        if (arg(0)[3] != op.in_c) {
-          shape_error(op, "input channels " + std::to_string(arg(0)[3]) +
-                              " != in_c " + std::to_string(op.in_c));
-        }
-        const tensor::ConvGeometry g = conv_geometry(op, arg(0));
-        out = Shape{g.batch, g.out_h, g.out_w, op.out_c};
-        break;
-      }
-      case OpKind::kDepthwiseConv2D: {
-        expect_rank(op, arg(0), 4);
-        if (arg(0)[3] != op.in_c) {
-          shape_error(op, "input channels " + std::to_string(arg(0)[3]) +
-                              " != channels " + std::to_string(op.in_c));
-        }
-        const tensor::ConvGeometry g = conv_geometry(op, arg(0));
-        out = Shape{g.batch, g.out_h, g.out_w, op.in_c};
-        break;
-      }
-      case OpKind::kBatchNorm:
-      case OpKind::kSqueezeExcite: {
-        expect_rank(op, arg(0), 4);
-        if (arg(0)[3] != op.in_c) {
-          shape_error(op, "input channels " + std::to_string(arg(0)[3]) +
-                              " != channels " + std::to_string(op.in_c));
-        }
-        out = arg(0);
-        break;
-      }
-      case OpKind::kSwish:
-      case OpKind::kRelu:
-      case OpKind::kSigmoid:
-        out = arg(0);
-        break;
-      case OpKind::kSoftmax:
-        expect_rank(op, arg(0), 2);
-        out = arg(0);
-        break;
-      case OpKind::kAdd:
-        if (arg(0) != arg(1)) {
-          shape_error(op, "operand shapes differ: " + arg(0).str() + " vs " +
-                              arg(1).str());
-        }
-        out = arg(0);
-        break;
-      case OpKind::kGlobalAvgPool:
-        expect_rank(op, arg(0), 4);
-        out = Shape{arg(0)[0], arg(0)[3]};
-        break;
-      case OpKind::kDense:
-      case OpKind::kGemm:
-        expect_rank(op, arg(0), 2);
-        if (arg(0)[1] != op.in_c) {
-          shape_error(op, "input features " + std::to_string(arg(0)[1]) +
-                              " != in_c " + std::to_string(op.in_c));
-        }
-        out = Shape{arg(0)[0], op.out_c};
-        break;
-    }
-    shapes[static_cast<std::size_t>(op.out)] = out;
-  }
-  return shapes;
 }
 
 double flop_macs(const Program& p, const Shape& input) {

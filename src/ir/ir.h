@@ -126,11 +126,8 @@ class Program {
 // SAME-padding geometry for a conv/depthwise op at a concrete input shape.
 tensor::ConvGeometry conv_geometry(const Op& op, const Shape& in);
 
-// Shape of every value id given the program input shape. Entry [v] is the
-// shape of value v; entry [kInputValue] echoes `input`. Dead value ids
-// (skipped by DCE) keep a default (rank-0) shape. Throws on rank/channel
-// mismatches.
-std::vector<Shape> infer_shapes(const Program& p, const Shape& input);
+// Shape inference (`infer_shapes`) and the rest of the static analyses
+// live in ir/analysis.h.
 
 // Analytic multiply-accumulate count for one run at `input`, using the
 // same conventions as effnet::analyze (flops.h): convs/gemms/denses count

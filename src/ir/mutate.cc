@@ -1,0 +1,539 @@
+#include "ir/mutate.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "ir/builder.h"
+#include "ir/verify.h"
+#include "tensor/rng.h"
+
+namespace podnet::ir {
+namespace {
+
+// Deterministic tensors, owned by the case's side store.
+struct Ctx {
+  std::shared_ptr<std::deque<Tensor>> store =
+      std::make_shared<std::deque<Tensor>>();
+  tensor::Rng rng{0x5eedf00dULL};
+
+  const Tensor* randn(const Shape& s, float stddev = 0.5f) {
+    store->push_back(Tensor::randn(s, rng, stddev));
+    return &store->back();
+  }
+  const Tensor* uniform(const Shape& s, float lo, float hi) {
+    store->push_back(Tensor::uniform(s, rng, lo, hi));
+    return &store->back();
+  }
+};
+
+constexpr float kEps = 1e-3f;
+
+struct BnParams {
+  const Tensor* gamma;
+  const Tensor* beta;
+  const Tensor* mean;
+  const Tensor* var;
+};
+
+BnParams make_bn(Ctx& ctx, Index c) {
+  return {ctx.randn(Shape{c}, 0.2f), ctx.randn(Shape{c}, 0.2f),
+          ctx.randn(Shape{c}, 0.2f), ctx.uniform(Shape{c}, 0.5f, 1.5f)};
+}
+
+// The canonical victim: a weighted conv (3 -> 8 so channel mismatches are
+// visible to the dataflow walk) feeding a BN.
+Program conv_bn_victim(Ctx& ctx, BnParams* bn_out = nullptr) {
+  Builder b;
+  const Tensor* w = ctx.randn(Shape{3, 3, 3, 8}, 0.2f);
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, w, nullptr, "stem");
+  const BnParams bn = make_bn(ctx, 8);
+  const int v2 = b.batch_norm(v1, 8, kEps, bn.gamma, bn.beta, bn.mean, bn.var,
+                              "stem_bn");
+  if (bn_out != nullptr) *bn_out = bn;
+  return b.finish(v2);
+}
+
+// A bugged first-fit placer, parameterized by the liveness bug under
+// test: `live_end_delta` shifts every value's last use (off-by-one bug at
+// -1), `extend_output` false forgets that the program output survives
+// past the last op, `align` below 16 breaks the 64-byte contract.
+MemoryPlan buggy_first_fit(const Program& p, const std::vector<Shape>& shapes,
+                           const std::vector<std::int64_t>& scratch,
+                           std::int64_t align, int live_end_delta,
+                           bool extend_output) {
+  const auto& ops = p.ops();
+  const int n_ops = static_cast<int>(ops.size());
+  const std::size_t n_values = static_cast<std::size_t>(p.num_values());
+  const auto align_up = [&](std::int64_t x) {
+    return (x + align - 1) / align * align;
+  };
+
+  std::vector<int> def(n_values, -1);
+  std::vector<int> last_use(n_values, -1);
+  for (int i = 0; i < n_ops; ++i) {
+    def[static_cast<std::size_t>(ops[static_cast<std::size_t>(i)].out)] = i;
+    for (const int a : ops[static_cast<std::size_t>(i)].args) {
+      last_use[static_cast<std::size_t>(a)] =
+          std::max(last_use[static_cast<std::size_t>(a)], i);
+    }
+  }
+  if (extend_output) {
+    last_use[static_cast<std::size_t>(p.output())] = n_ops;
+  }
+
+  struct Placed {
+    std::int64_t offset, size;
+    int lb, le;
+  };
+  std::vector<Placed> placed;
+  MemoryPlan plan;
+  plan.value_offset.assign(n_values, -1);
+  plan.scratch_offset.assign(ops.size(), -1);
+
+  const auto place = [&](std::int64_t size, int lb, int le) {
+    std::int64_t offset = 0;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const Placed& q : placed) {
+        const bool time = lb <= q.le && q.lb <= le;
+        const bool space = offset < q.offset + q.size &&
+                           q.offset < offset + align_up(size);
+        if (time && space) {
+          offset = align_up(q.offset + q.size);
+          moved = true;
+        }
+      }
+    }
+    placed.push_back({offset, align_up(size), lb, le});
+    plan.arena_floats = std::max(plan.arena_floats, offset + align_up(size));
+    plan.total_floats += align_up(size);
+    return offset;
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const int v = ops[i].out;
+    const int lb = def[static_cast<std::size_t>(v)];
+    const int le =
+        std::max(lb, last_use[static_cast<std::size_t>(v)] + live_end_delta);
+    plan.value_offset[static_cast<std::size_t>(v)] =
+        place(shapes[static_cast<std::size_t>(v)].numel(), lb, le);
+    if (scratch[i] > 0) {
+      plan.scratch_offset[i] = place(scratch[i], static_cast<int>(i),
+                                     static_cast<int>(i));
+    }
+  }
+  return plan;
+}
+
+const ConvStrategyFn kNoDirect = [](const Op&, const tensor::ConvGeometry&) {
+  return false;
+};
+
+// ---- Pass mutants (caught by verify / range) --------------------------------
+
+// Fold variant that bakes the scaled weight but forgets the bias it now
+// owes (has_bias set, bias null): the classic partially-weightless op.
+MutationCase fold_drop_bias() {
+  MutationCase c;
+  Ctx ctx;
+  c.program = conv_bn_victim(ctx);
+  auto& ops = c.program.ops();
+  Op repl = ops[0];
+  repl.out = ops[1].out;
+  repl.has_bias = true;
+  repl.bias = nullptr;  // the bug: shift never baked
+  ops[1] = std::move(repl);
+  c.input = Shape{1, 8, 8, 3};
+  c.store = ctx.store;
+  c.expected_rejector = "verify";
+  c.description = "fold bakes weight but drops the bias has_bias promises";
+  return c;
+}
+
+// Fold variant with the epsilon sign flipped: 1/sqrt(-(var+eps)) is NaN,
+// and the NaN bakes into every weight and bias element.
+MutationCase fold_wrong_eps() {
+  MutationCase c;
+  Ctx ctx;
+  BnParams bn;
+  c.program = conv_bn_victim(ctx, &bn);
+  auto& ops = c.program.ops();
+  const Op conv = ops[0];
+  Tensor w = *conv.weight;
+  Tensor bias(Shape{8});
+  float* wd = w.data();
+  const Index rows = w.numel() / 8;
+  for (Index ch = 0; ch < 8; ++ch) {
+    const float istd =
+        1.0f / std::sqrt(-(bn.var->at(ch) + kEps));  // the bug: wrong sign
+    const float scale = bn.gamma->at(ch) * istd;
+    for (Index r = 0; r < rows; ++r) wd[r * 8 + ch] *= scale;
+    bias.at(ch) = bn.beta->at(ch) - bn.mean->at(ch) * scale;
+  }
+  Op repl = conv;
+  repl.out = ops[1].out;
+  repl.weight = c.program.bake(std::move(w));
+  repl.bias = c.program.bake(std::move(bias));
+  repl.has_bias = true;
+  ops[1] = std::move(repl);
+  c.input = Shape{1, 8, 8, 3};
+  c.store = ctx.store;
+  c.expected_rejector = "range";
+  c.description = "fold flips the eps sign; NaN bakes into weight and bias";
+  return c;
+}
+
+// Fold variant that keeps the BN's argument list instead of taking the
+// conv's: the folded conv (in_c=3) now reads the conv's own 8-channel
+// output. Structurally fine; only the dataflow walk sees it.
+MutationCase fold_stale_arg() {
+  MutationCase c;
+  Ctx ctx;
+  c.program = conv_bn_victim(ctx);
+  auto& ops = c.program.ops();
+  Op repl = ops[0];
+  repl.out = ops[1].out;
+  repl.args = ops[1].args;  // the bug: {conv.out}, not the conv's {input}
+  ops[1] = std::move(repl);
+  c.input = Shape{1, 8, 8, 3};
+  c.store = ctx.store;
+  c.expected_rejector = "verify";
+  c.description = "fold keeps the BN's arg: folded conv reads its own output";
+  return c;
+}
+
+// Fold variant that skips the single-reader check and eagerly erases the
+// producer: the residual add still reads the raw conv value, now gone.
+MutationCase fold_no_single_reader_guard() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const Tensor* w = ctx.randn(Shape{3, 3, 8, 8}, 0.2f);
+  const int v1 = b.conv2d(b.input(), 8, 8, 3, 1, w, nullptr, "block");
+  const BnParams bn = make_bn(ctx, 8);
+  const int v2 = b.batch_norm(v1, 8, kEps, bn.gamma, bn.beta, bn.mean, bn.var,
+                              "block_bn");
+  const int v3 = b.relu(v2);
+  const int v4 = b.add(v3, v1);  // second reader of the conv output
+  c.program = b.finish(v4);
+  auto& ops = c.program.ops();
+  Op repl = ops[0];
+  repl.out = ops[1].out;
+  repl.has_bias = true;
+  repl.bias = c.program.bake(Tensor(Shape{8}));
+  ops[1] = std::move(repl);
+  ops.erase(ops.begin());  // the bug: erase the producer other ops read
+  c.input = Shape{1, 8, 8, 8};
+  c.store = ctx.store;
+  c.expected_rejector = "verify";
+  c.description =
+      "fold without the single-reader guard erases a conv the add reads";
+  return c;
+}
+
+// No pass bug at all — bad *data*: a BN whose running variance went
+// negative (a broken stats sync). Folding it would bake NaN; the range
+// analysis rejects it before any pass runs.
+MutationCase bn_nonpositive_var() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const Tensor* w = ctx.randn(Shape{3, 3, 3, 8}, 0.2f);
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, w, nullptr, "stem");
+  BnParams bn = make_bn(ctx, 8);
+  Tensor bad_var = *bn.var;
+  bad_var.at(2) = -0.5f;  // var + eps < 0 on channel 2
+  ctx.store->push_back(std::move(bad_var));
+  const int v2 = b.batch_norm(v1, 8, kEps, bn.gamma, bn.beta, bn.mean,
+                              &ctx.store->back(), "stem_bn");
+  c.program = b.finish(v2);
+  c.input = Shape{1, 8, 8, 3};
+  c.store = ctx.store;
+  c.expected_rejector = "range";
+  c.description = "BN running variance negative on one channel (NaN fold)";
+  return c;
+}
+
+// Fuse variant that forgets its producer-kind check and sets `act` on a
+// batch_norm.
+MutationCase fuse_on_nonfusable() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const Tensor* w = ctx.randn(Shape{3, 3, 3, 8}, 0.2f);
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, w, nullptr, "stem");
+  const BnParams bn = make_bn(ctx, 8);
+  const int v2 = b.batch_norm(v1, 8, kEps, bn.gamma, bn.beta, bn.mean, bn.var,
+                              "stem_bn");
+  const int v3 = b.relu(v2);
+  c.program = b.finish(v3);
+  auto& ops = c.program.ops();
+  Op repl = ops[1];  // the BN
+  repl.out = ops[2].out;
+  repl.act = Act::kRelu;  // the bug: BN has no fused-act kernel
+  ops[2] = std::move(repl);
+  c.input = Shape{1, 8, 8, 3};
+  c.store = ctx.store;
+  c.expected_rejector = "verify";
+  c.description = "fuse puts a relu tail on a batch_norm";
+  return c;
+}
+
+// Fuse variant that keeps the producer's out id on the replacement: two
+// ops now define the same value, breaking SSA order.
+MutationCase fuse_duplicate_out() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const Tensor* w = ctx.randn(Shape{3, 3, 3, 8}, 0.2f);
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, w, nullptr, "stem");
+  const int v2 = b.relu(v1);
+  c.program = b.finish(v2);
+  auto& ops = c.program.ops();
+  Op repl = ops[0];
+  repl.act = Act::kRelu;  // keeps out = v1: the bug
+  ops[1] = std::move(repl);
+  c.input = Shape{1, 8, 8, 3};
+  c.store = ctx.store;
+  c.expected_rejector = "verify";
+  c.description = "fuse reuses the producer's out id (duplicate SSA def)";
+  return c;
+}
+
+// Fuse variant whose replacement reads its own output value.
+MutationCase fuse_stale_arg() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const Tensor* w = ctx.randn(Shape{3, 3, 3, 8}, 0.2f);
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, w, nullptr, "stem");
+  const int v2 = b.relu(v1);
+  c.program = b.finish(v2);
+  auto& ops = c.program.ops();
+  Op repl = ops[0];
+  repl.out = ops[1].out;
+  repl.act = Act::kRelu;
+  repl.args = {repl.out};  // the bug: self-reference
+  ops[1] = std::move(repl);
+  c.input = Shape{1, 8, 8, 3};
+  c.store = ctx.store;
+  c.expected_rejector = "verify";
+  c.description = "fuse leaves a stale arg: the fused op reads its own out";
+  return c;
+}
+
+// DCE variant whose liveness seed is empty: it sweeps everything,
+// including the op defining the program output.
+MutationCase dce_drops_output_root() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const Tensor* w = ctx.randn(Shape{3, 3, 3, 8}, 0.2f);
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, w, nullptr, "stem");
+  c.program = b.finish(v1);
+  c.program.ops().clear();  // the bug: nothing was live, drop it all
+  c.input = Shape{1, 8, 8, 3};
+  c.store = ctx.store;
+  c.expected_rejector = "verify";
+  c.description = "DCE with an empty liveness seed drops the output's def";
+  return c;
+}
+
+// DCE variant that only chases args[0] in its backward sweep: the add's
+// second operand is swept while the add still reads it.
+MutationCase dce_first_arg_only() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const Tensor* wa = ctx.randn(Shape{3, 3, 8, 8}, 0.2f);
+  const Tensor* wb = ctx.randn(Shape{3, 3, 8, 8}, 0.2f);
+  const int v1 = b.conv2d(b.input(), 8, 8, 3, 1, wa, nullptr, "a");
+  const int v2 = b.conv2d(b.input(), 8, 8, 3, 1, wb, nullptr, "b");
+  const int v3 = b.add(v1, v2);
+  c.program = b.finish(v3);
+  auto& ops = c.program.ops();
+  ops.erase(ops.begin() + 1);  // the bug: v2's def looked dead
+  c.input = Shape{1, 8, 8, 8};
+  c.store = ctx.store;
+  c.expected_rejector = "verify";
+  c.description = "DCE marks only first args live and sweeps add's operand";
+  return c;
+}
+
+// ---- Planner mutants (caught by certify_plan) -------------------------------
+
+// Shared setup: a valid weightless victim, its shapes, its scratch table.
+void finish_plan_case(MutationCase& c, Ctx& ctx, Program p, Shape input,
+                      MemoryPlan (*bug)(const Program&,
+                                        const std::vector<Shape>&,
+                                        const std::vector<std::int64_t>&)) {
+  c.program = std::move(p);
+  c.input = input;
+  const std::vector<Shape> shapes = infer_shapes(c.program, input);
+  c.scratch = op_scratch_floats(c.program, shapes, kNoDirect);
+  c.plan = bug(c.program, shapes, c.scratch);
+  c.has_plan = true;
+  c.store = ctx.store;
+  c.expected_rejector = "plan";
+}
+
+// Planner whose value lifetimes end one op early: the next value reuses a
+// slot its reader still needs.
+MutationCase plan_live_end_off_by_one() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const int v1 = b.relu(b.input());
+  const int v2 = b.relu(v1);
+  const int v3 = b.relu(v2);
+  finish_plan_case(
+      c, ctx, b.finish(v3), Shape{1, 4, 4, 8},
+      [](const Program& p, const std::vector<Shape>& shapes,
+         const std::vector<std::int64_t>& scratch) {
+        return buggy_first_fit(p, shapes, scratch, 16, /*live_end_delta=*/-1,
+                               /*extend_output=*/true);
+      });
+  c.description = "planner ends every value's lifetime one op early";
+  return c;
+}
+
+// Planner that forgets the program output survives past the last op: a
+// later dead-tail op's value lands on the output's slot.
+MutationCase plan_no_output_tail() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const int v1 = b.relu(b.input());
+  const int v2 = b.relu(v1);  // the program output
+  const int v3 = b.relu(v1);  // computed after the output value
+  (void)v3;
+  Program p = b.finish(v2);
+  finish_plan_case(
+      c, ctx, std::move(p), Shape{1, 4, 4, 8},
+      [](const Program& prog, const std::vector<Shape>& shapes,
+         const std::vector<std::int64_t>& scratch) {
+        return buggy_first_fit(prog, shapes, scratch, 16, 0,
+                               /*extend_output=*/false);
+      });
+  c.description = "planner forgets the output outlives the last op";
+  return c;
+}
+
+// Planner aligning to 8 floats instead of 16: a 32-byte-aligned block
+// breaks the kernels' 64-byte contract.
+MutationCase plan_misaligned() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const int v1 = b.relu(b.input());
+  const int v2 = b.relu(v1);
+  finish_plan_case(
+      c, ctx, b.finish(v2), Shape{1, 1, 1, 8},
+      [](const Program& p, const std::vector<Shape>& shapes,
+         const std::vector<std::int64_t>& scratch) {
+        return buggy_first_fit(p, shapes, scratch, /*align=*/8, 0, true);
+      });
+  c.description = "planner aligns blocks to 32 bytes, not 64";
+  return c;
+}
+
+// Planner that hands an op's scratch block the same offset as the value
+// the op is writing.
+MutationCase plan_scratch_aliases_output() {
+  MutationCase c;
+  Ctx ctx;
+  Builder b;
+  const int v1 = b.swish(b.input());  // swish needs a sigmoid scratch
+  finish_plan_case(
+      c, ctx, b.finish(v1), Shape{1, 4, 4, 8},
+      [](const Program& p, const std::vector<Shape>& shapes,
+         const std::vector<std::int64_t>& scratch) {
+        MemoryPlan plan =
+            buggy_first_fit(p, shapes, scratch, 16, 0, true);
+        // The bug: scratch written where the op's own output lives.
+        plan.scratch_offset[0] =
+            plan.value_offset[static_cast<std::size_t>(p.output())];
+        return plan;
+      });
+  c.description = "planner aliases an op's scratch onto its output value";
+  return c;
+}
+
+struct Registry {
+  const char* name;
+  MutationCase (*make)();
+};
+
+constexpr Registry kRegistry[] = {
+    {"fold_drop_bias", fold_drop_bias},
+    {"fold_wrong_eps", fold_wrong_eps},
+    {"fold_stale_arg", fold_stale_arg},
+    {"fold_no_single_reader_guard", fold_no_single_reader_guard},
+    {"bn_nonpositive_var", bn_nonpositive_var},
+    {"fuse_on_nonfusable", fuse_on_nonfusable},
+    {"fuse_duplicate_out", fuse_duplicate_out},
+    {"fuse_stale_arg", fuse_stale_arg},
+    {"dce_drops_output_root", dce_drops_output_root},
+    {"dce_first_arg_only", dce_first_arg_only},
+    {"plan_live_end_off_by_one", plan_live_end_off_by_one},
+    {"plan_no_output_tail", plan_no_output_tail},
+    {"plan_misaligned", plan_misaligned},
+    {"plan_scratch_aliases_output", plan_scratch_aliases_output},
+};
+
+}  // namespace
+
+std::vector<std::string> mutant_names() {
+  std::vector<std::string> names;
+  for (const Registry& r : kRegistry) names.emplace_back(r.name);
+  return names;
+}
+
+MutationCase make_mutant(const std::string& name) {
+  for (const Registry& r : kRegistry) {
+    if (name == r.name) {
+      MutationCase c = r.make();
+      c.name = r.name;
+      return c;
+    }
+  }
+  throw std::invalid_argument("ir mutate: unknown mutant '" + name + "'");
+}
+
+std::string run_static_gate(const MutationCase& c, std::string* message) {
+  const auto caught = [&](const std::exception& e, const char* stage) {
+    if (message != nullptr) *message = e.what();
+    return stage;
+  };
+  try {
+    verify(c.program);
+  } catch (const std::exception& e) {
+    return caught(e, "verify");
+  }
+  try {
+    assert_ranges(c.program);
+  } catch (const std::exception& e) {
+    return caught(e, "range");
+  }
+  if (c.input.rank() >= 2) {
+    std::vector<Shape> shapes;
+    try {
+      shapes = infer_shapes(c.program, c.input);
+    } catch (const std::exception& e) {
+      return caught(e, "shape");
+    }
+    if (c.has_plan) {
+      try {
+        certify_plan(c.program, shapes, c.scratch, c.plan);
+      } catch (const std::exception& e) {
+        return caught(e, "plan");
+      }
+    }
+  }
+  if (message != nullptr) message->clear();
+  return "";
+}
+
+}  // namespace podnet::ir

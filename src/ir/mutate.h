@@ -1,0 +1,63 @@
+// Mutation harness: deliberately bugged pass/planner variants.
+//
+// Each MutationCase is a small, initially-valid victim program put through
+// one *buggy* rewrite — a fold that drops the bias it owes, an epsilon
+// with the wrong sign, a DCE that only chases first arguments, a planner
+// whose liveness is off by one — reproducing the realistic failure mode
+// of a pass written without its legality checks. The static analyses
+// (ir/analysis.h + verify.h) must reject every case before execution;
+// run_static_gate() reports which stage caught it, and the tests /
+// tools/ir_mutate assert that the stage matches the case's
+// expected_rejector with zero escapes. A mutant that slips through the
+// gate would have executed silently and corrupted results — exactly what
+// the analyses exist to make impossible.
+//
+// This is test/tool support code: nothing in the production path links it
+// in except through the podnet_ir library it lives in.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/analysis.h"
+#include "ir/ir.h"
+#include "ir/plan.h"
+
+namespace podnet::ir {
+
+struct MutationCase {
+  std::string name;
+  std::string description;        // what the bugged pass variant does
+  std::string expected_rejector;  // "verify" | "range" | "plan"
+
+  Program program;  // the victim after the buggy rewrite
+  Shape input;      // concrete input shape for shape/plan stages
+
+  // Plan mutants: the bugged planner's output, audited by certify_plan
+  // against the true lifetimes.
+  bool has_plan = false;
+  std::vector<std::int64_t> scratch;
+  MemoryPlan plan;
+
+  // Owns every tensor the program borrows (address-stable).
+  std::shared_ptr<std::deque<Tensor>> store;
+};
+
+// Names of all mutants, in a stable order.
+std::vector<std::string> mutant_names();
+
+// Builds the named mutant; throws std::invalid_argument on unknown names.
+MutationCase make_mutant(const std::string& name);
+
+// Runs the full static gate in pipeline order — verify (structural +
+// symbolic dataflow), range analysis, concrete shape inference, plan
+// certification — and returns the name of the first stage that rejected
+// the case ("verify" / "range" / "shape" / "plan"), or "" if every stage
+// accepted (an escape). The rejecting diagnostic is stored in *message
+// when non-null.
+std::string run_static_gate(const MutationCase& c,
+                            std::string* message = nullptr);
+
+}  // namespace podnet::ir

@@ -1,13 +1,13 @@
 // Dead-code elimination.
 //
-// Backward liveness sweep from the program output: an op whose value no
-// live op (and not the output) reads is dropped. Fold/fuse leave their
-// replaced producers exactly in this state. Value ids are not renumbered
-// — surviving ops keep their ids, so golden prints before/after show the
-// same values with gaps where ops died.
+// Backward liveness sweep from the program output (DefUse::live): an op
+// whose value no live op (and not the output) reads is dropped. Fold/fuse
+// leave their replaced producers exactly in this state. Value ids are not
+// renumbered — surviving ops keep their ids, so golden prints before/after
+// show the same values with gaps where ops died.
 #include <algorithm>
-#include <vector>
 
+#include "ir/analysis.h"
 #include "ir/passes.h"
 #include "ir/verify.h"
 
@@ -15,12 +15,8 @@ namespace podnet::ir {
 
 int dead_code_elimination(Program& p) {
   auto& ops = p.ops();
-  std::vector<bool> live(static_cast<std::size_t>(p.num_values()), false);
-  live[static_cast<std::size_t>(p.output())] = true;
-  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
-    if (!live[static_cast<std::size_t>(it->out)]) continue;
-    for (int a : it->args) live[static_cast<std::size_t>(a)] = true;
-  }
+  const DefUse du(p);
+  const auto& live = du.live();
   const auto dead = [&](const Op& op) {
     return !live[static_cast<std::size_t>(op.out)];
   };

@@ -10,9 +10,9 @@
 // versus the interpreter is the reassociated weight product, bounded by
 // the parity tests' ULP tolerance.
 #include <cmath>
-#include <unordered_map>
 #include <vector>
 
+#include "ir/analysis.h"
 #include "ir/passes.h"
 #include "ir/verify.h"
 
@@ -37,33 +37,25 @@ void bn_affine(const Op& bn, std::vector<float>& scale,
 int fold_batch_norm(Program& p) {
   auto& ops = p.ops();
 
-  // Consumer counts per value id (program output counts as a use: a conv
-  // that is also the result must survive un-folded).
-  std::unordered_map<int, int> uses;
-  for (const Op& op : ops) {
-    for (int a : op.args) ++uses[a];
-  }
-  ++uses[p.output()];
-
-  // Producer op index per value id.
-  std::unordered_map<int, std::size_t> def;
-  for (std::size_t i = 0; i < ops.size(); ++i) def[ops[i].out] = i;
+  // Def-use chains over the pre-pass program; can_replace_consumer is the
+  // slot-replacement legality gate (producer defined by a real op, read
+  // only by the BN — the program output counts as a reader, so a conv
+  // that is also the result survives un-folded).
+  const DefUse du(p);
 
   int folded = 0;
   std::vector<float> scale, shift;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const Op& bn = ops[i];
     if (bn.kind != OpKind::kBatchNorm || bn.var == nullptr) continue;
-    const auto it = def.find(bn.args[0]);
-    if (it == def.end()) continue;  // arg is the program input
-    const Op& conv = ops[it->second];
+    if (!du.can_replace_consumer(bn.args[0], bn.out)) continue;
+    const Op& conv = ops[static_cast<std::size_t>(du.def_index(bn.args[0]))];
     if (conv.kind != OpKind::kConv2D &&
         conv.kind != OpKind::kDepthwiseConv2D) {
       continue;
     }
     if (conv.weight == nullptr) continue;    // weightless shape program
     if (conv.act != Act::kNone) continue;    // activation runs before the BN
-    if (uses[conv.out] != 1) continue;       // another reader needs raw conv
 
     bn_affine(bn, scale, shift);
     const Index co = conv.out_c;  // == channels for depthwise

@@ -13,8 +13,7 @@
 // usually the folded conv+BN (same slot-replacement convention: the
 // activation op's slot becomes the fused producer, the producer goes dead
 // for DCE).
-#include <unordered_map>
-
+#include "ir/analysis.h"
 #include "ir/passes.h"
 #include "ir/verify.h"
 
@@ -23,28 +22,22 @@ namespace podnet::ir {
 int fuse_epilogue(Program& p) {
   auto& ops = p.ops();
 
-  std::unordered_map<int, int> uses;
-  for (const Op& op : ops) {
-    for (int a : op.args) ++uses[a];
-  }
-  ++uses[p.output()];
-
-  std::unordered_map<int, std::size_t> def;
-  for (std::size_t i = 0; i < ops.size(); ++i) def[ops[i].out] = i;
+  // Slot-replacement legality via def-use chains: the producer must be a
+  // real op whose value only the activation reads (another reader — or
+  // the program output — wants the pre-activation value).
+  const DefUse du(p);
 
   int fused = 0;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const Op& act = ops[i];
     if (act.kind != OpKind::kSwish && act.kind != OpKind::kRelu) continue;
-    const auto it = def.find(act.args[0]);
-    if (it == def.end()) continue;
-    const Op& prod = ops[it->second];
+    if (!du.can_replace_consumer(act.args[0], act.out)) continue;
+    const Op& prod = ops[static_cast<std::size_t>(du.def_index(act.args[0]))];
     const bool fusable = prod.kind == OpKind::kConv2D ||
                          prod.kind == OpKind::kDepthwiseConv2D ||
                          prod.kind == OpKind::kGemm ||
                          prod.kind == OpKind::kDense;
     if (!fusable || prod.act != Act::kNone) continue;
-    if (uses[prod.out] != 1) continue;  // another reader wants pre-activation
 
     Op replacement = prod;
     replacement.out = act.out;

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "ir/analysis.h"
+
 namespace podnet::ir {
 namespace {
 
@@ -24,6 +26,56 @@ void check_tensor(const Op& op, const Tensor* t, const char* label,
 }
 
 int expected_arity(OpKind kind) { return kind == OpKind::kAdd ? 2 : 1; }
+
+// A buggy pass can leave an op half-weighted (weight baked, bias
+// dropped): neither a usable weighted op nor a clean shape program. The
+// weight/bias pair must be consistent with has_bias in every direction.
+void check_weight_bias_pair(const Op& op) {
+  if (op.weight != nullptr && op.has_bias && op.bias == nullptr) {
+    fail(op, "has_bias is set and weight is baked but the bias tensor is "
+             "missing (partially weightless op)");
+  }
+  if (op.weight == nullptr && op.bias != nullptr) {
+    fail(op, "bias tensor present but weight is missing (partially "
+             "weightless op)");
+  }
+  if (op.bias != nullptr && !op.has_bias) {
+    fail(op, "bias tensor present but has_bias is false");
+  }
+}
+
+// Parameter-tensor fields an op kind does not use must stay null — a
+// stray pointer is a pass writing into the wrong slot.
+void check_foreign_fields(const Op& op) {
+  struct Field {
+    const Tensor* t;
+    const char* label;
+  };
+  const bool weighted = op.kind == OpKind::kConv2D ||
+                        op.kind == OpKind::kDepthwiseConv2D ||
+                        op.kind == OpKind::kGemm || op.kind == OpKind::kDense;
+  const bool bn = op.kind == OpKind::kBatchNorm;
+  const bool se = op.kind == OpKind::kSqueezeExcite;
+  const Field foreign[] = {
+      {weighted ? nullptr : op.weight, "weight"},
+      {weighted ? nullptr : op.bias, "bias"},
+      {bn ? nullptr : op.gamma, "gamma"},
+      {bn ? nullptr : op.beta, "beta"},
+      {bn ? nullptr : op.mean, "running_mean"},
+      {bn ? nullptr : op.var, "running_var"},
+      {se ? nullptr : op.se_w1, "se_w1"},
+      {se ? nullptr : op.se_b1, "se_b1"},
+      {se ? nullptr : op.se_w2, "se_w2"},
+      {se ? nullptr : op.se_b2, "se_b2"},
+  };
+  for (const Field& f : foreign) {
+    if (f.t != nullptr) {
+      fail(op, std::string("carries a parameter tensor its kind does not "
+                           "use (") +
+                   f.label + ")");
+    }
+  }
+}
 
 }  // namespace
 
@@ -60,9 +112,7 @@ void verify(const Program& p) {
         }
         check_tensor(op, op.weight, "weight", Shape{k, k, ci, co});
         check_tensor(op, op.bias, "bias", Shape{co});
-        if (op.bias != nullptr && !op.has_bias) {
-          fail(op, "bias tensor present but has_bias is false");
-        }
+        check_weight_bias_pair(op);
         break;
       case OpKind::kDepthwiseConv2D:
         if (k < 1 || op.stride < 1 || ci < 1) {
@@ -70,9 +120,7 @@ void verify(const Program& p) {
         }
         check_tensor(op, op.weight, "weight", Shape{k, k, ci});
         check_tensor(op, op.bias, "bias", Shape{ci});
-        if (op.bias != nullptr && !op.has_bias) {
-          fail(op, "bias tensor present but has_bias is false");
-        }
+        check_weight_bias_pair(op);
         break;
       case OpKind::kBatchNorm:
         if (ci < 1) fail(op, "channels must be positive");
@@ -94,15 +142,19 @@ void verify(const Program& p) {
         check_tensor(op, op.se_b1, "se_b1", Shape{op.se_c});
         check_tensor(op, op.se_w2, "se_w2", Shape{op.se_c, ci});
         check_tensor(op, op.se_b2, "se_b2", Shape{ci});
+        // All-or-nothing: a gate with half its MLP is not runnable.
+        if ((op.se_w1 != nullptr) != (op.se_b2 != nullptr) ||
+            (op.se_b1 != nullptr) != (op.se_b2 != nullptr) ||
+            (op.se_w2 != nullptr) != (op.se_b2 != nullptr)) {
+          fail(op, "squeeze_excite tensors must all be present or all absent");
+        }
         break;
       case OpKind::kDense:
       case OpKind::kGemm:
         if (ci < 1 || co < 1) fail(op, "features must be positive");
         check_tensor(op, op.weight, "weight", Shape{ci, co});
         check_tensor(op, op.bias, "bias", Shape{co});
-        if (op.bias != nullptr && !op.has_bias) {
-          fail(op, "bias tensor present but has_bias is false");
-        }
+        check_weight_bias_pair(op);
         break;
       case OpKind::kSwish:
       case OpKind::kRelu:
@@ -112,6 +164,8 @@ void verify(const Program& p) {
       case OpKind::kSoftmax:
         break;
     }
+
+    check_foreign_fields(op);
 
     const bool fusable = op.kind == OpKind::kConv2D ||
                          op.kind == OpKind::kDepthwiseConv2D ||
@@ -136,6 +190,11 @@ void verify(const Program& p) {
         "ir verify: program output v" + std::to_string(out) +
         " is not a defined value");
   }
+
+  // With the structure sound, the symbolic dataflow walk is safe to run:
+  // every inter-op rank/channel mismatch becomes a hard "ir shape:" error
+  // here, at lower/pass time, instead of at bind time or never.
+  infer_value_info(p);
 }
 
 }  // namespace podnet::ir

@@ -15,9 +15,16 @@
 //   * structural attributes are positive where the kind requires them;
 //   * borrowed parameter tensors, when present, have the exact shapes the
 //     attributes promise (all-or-nothing per op: a weightless shape
-//     program carries no tensors at all on an op);
+//     program carries no tensors at all on an op, and a *partially*
+//     weightless op — weight baked but a has_bias bias dropped, or a bias
+//     without a weight — is rejected too);
+//   * no op carries a parameter tensor its kind does not use (a conv with
+//     a gamma pointer is a pass writing into the wrong slot);
 //   * fused activations (`act`) appear only on conv/gemm/dense ops, and
-//     `has_bias` only on conv/dense.
+//     `has_bias` only on conv/dense;
+//   * the symbolic dataflow walk (ir/analysis.h infer_value_info) accepts
+//     the program: every op's arg rank and channel count are consistent
+//     with what its producer defines ("ir shape:" diagnostics).
 #pragma once
 
 #include "ir/ir.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "tensor/simd.h"
@@ -146,6 +147,19 @@ float max_value(std::span<const float> x) {
   float m = -std::numeric_limits<float>::infinity();
   for (float v : x) m = std::max(m, v);
   return m;
+}
+
+bool all_finite(std::span<const float> x) {
+  PODNET_DISPATCH_SIMD_RET(all_finite(x.data(), x.size()));
+  // A float is non-finite iff its exponent field is all-ones, so the max
+  // of the masked bits decides for the whole span.
+  std::uint32_t worst = 0;
+  for (const float v : x) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    worst = std::max(worst, bits & 0x7f800000u);
+  }
+  return worst != 0x7f800000u;
 }
 
 void sigmoid(std::span<const float> x, std::span<float> y) {

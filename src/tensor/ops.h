@@ -40,6 +40,9 @@ double l2_norm(std::span<const float> x);
 double dot(std::span<const float> x, std::span<const float> y);
 // max element (returns -inf for empty)
 float max_value(std::span<const float> x);
+// true iff no element is NaN/Inf (an exponent-bits max, so it is branch-
+// and FP-free; the IR range analysis scans every parameter through this)
+bool all_finite(std::span<const float> x);
 
 // Pointwise activation kernels shared by nn/activations and
 // nn/squeeze_excite. The SIMD sigmoid uses a polynomial exp that agrees

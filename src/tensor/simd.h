@@ -88,6 +88,7 @@ double sum(const float* x, std::size_t n);
 double sum_squares(const float* x, std::size_t n);
 double dot(const float* x, const float* y, std::size_t n);
 float max_value(const float* x, std::size_t n);
+bool all_finite(const float* x, std::size_t n);
 
 // ---- transcendental / activation kernels ----
 void sigmoid(const float* x, float* y, std::size_t n);
@@ -149,6 +150,7 @@ double sum(const float* x, std::size_t n);
 double sum_squares(const float* x, std::size_t n);
 double dot(const float* x, const float* y, std::size_t n);
 float max_value(const float* x, std::size_t n);
+bool all_finite(const float* x, std::size_t n);
 
 void sigmoid(const float* x, float* y, std::size_t n);
 void swish(const float* x, float* sig, float* y, std::size_t n);

@@ -16,6 +16,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -233,6 +234,29 @@ float max_value(const float* x, std::size_t n) {
   }
   for (; i < n; ++i) m = std::max(m, x[i]);
   return m;
+}
+
+bool all_finite(const float* x, std::size_t n) {
+  // A float is non-finite iff its exponent field is all-ones: an unsigned
+  // max over the masked bits decides without any FP comparisons (NaN
+  // never poisons an integer max).
+  const __m256i exp_mask = _mm256_set1_epi32(0x7f800000);
+  __m256i worst = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    worst = _mm256_max_epu32(worst, _mm256_and_si256(bits, exp_mask));
+  }
+  const __m256i bad = _mm256_cmpeq_epi32(_mm256_and_si256(worst, exp_mask),
+                                         exp_mask);
+  if (_mm256_movemask_epi8(bad) != 0) return false;
+  for (; i < n; ++i) {
+    std::uint32_t b;
+    std::memcpy(&b, x + i, sizeof(b));
+    if ((b & 0x7f800000u) == 0x7f800000u) return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -254,6 +255,24 @@ float max_value(const float* x, std::size_t n) {
         vm, _mm512_mask_loadu_ps(vninf, head_mask(n - i), x + i));
   }
   return _mm512_reduce_max_ps(vm);
+}
+
+bool all_finite(const float* x, std::size_t n) {
+  // Non-finite iff the exponent field is all-ones; integer max over the
+  // masked bits, with masked-off tail lanes reading as zero (always
+  // finite-looking, so they never flip the verdict).
+  const __m512i exp_mask = _mm512_set1_epi32(0x7f800000);
+  __m512i worst = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i bits = _mm512_loadu_si512(x + i);
+    worst = _mm512_max_epu32(worst, _mm512_and_si512(bits, exp_mask));
+  }
+  if (i < n) {
+    const __m512i bits = _mm512_maskz_loadu_epi32(head_mask(n - i), x + i);
+    worst = _mm512_max_epu32(worst, _mm512_and_si512(bits, exp_mask));
+  }
+  return _mm512_cmpeq_epi32_mask(worst, exp_mask) == 0;
 }
 
 // ---------------------------------------------------------------------------

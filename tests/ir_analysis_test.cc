@@ -1,0 +1,546 @@
+// Static analysis tests: golden diagnostics for every documented verify()
+// invariant and each new analysis family (symbolic dataflow, value
+// ranges, plan certification), DefUse legality queries, the mutation
+// harness (every bugged pass variant rejected at its expected stage),
+// and zero-false-positive checks over real lowered programs.
+#include "ir/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "effnet/config.h"
+#include "effnet/lower.h"
+#include "effnet/model.h"
+#include "ir/builder.h"
+#include "ir/executor.h"
+#include "ir/mutate.h"
+#include "ir/passes.h"
+#include "ir/plan.h"
+#include "ir/verify.h"
+#include "nn/lower.h"
+
+namespace podnet::ir {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Runs `fn`, expecting a std::runtime_error whose message contains
+// `want` — the golden-diagnostic idiom every rejection test here uses.
+void expect_reject(const std::function<void()>& fn, const std::string& want) {
+  try {
+    fn();
+    FAIL() << "expected a rejection mentioning: " << want;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(want), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+// ---- verify(): one golden failing program per documented invariant ----------
+
+TEST(VerifyGoldenTest, SsaOrderViolation) {
+  Builder b;
+  const int v1 = b.relu(b.input());
+  const int v2 = b.relu(v1);
+  (void)v2;
+  Program p = b.finish(v2);
+  p.ops()[1].out = p.ops()[0].out;  // duplicate def
+  expect_reject([&] { verify(p); },
+                "out id violates strictly increasing SSA order");
+}
+
+TEST(VerifyGoldenTest, WrongArity) {
+  Builder b;
+  const int v1 = b.relu(b.input());
+  Program p = b.finish(v1);
+  p.ops()[0].args = {0, 0};
+  expect_reject([&] { verify(p); }, "expected 1 args, got 2");
+}
+
+TEST(VerifyGoldenTest, UndefinedArg) {
+  Builder b;
+  const int v1 = b.relu(b.input());
+  const int v2 = b.relu(v1);
+  Program p = b.finish(v2);
+  p.ops()[0].args[0] = v2;  // forward reference
+  expect_reject([&] { verify(p); },
+                "arg v2 is not a previously defined value");
+}
+
+TEST(VerifyGoldenTest, NonPositiveAttributes) {
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, nullptr, nullptr, "c");
+  Program p = b.finish(v1);
+  p.ops()[0].stride = 0;
+  expect_reject([&] { verify(p); }, "conv attributes must be positive");
+}
+
+TEST(VerifyGoldenTest, WrongWeightShape) {
+  Rng rng(1);
+  const Tensor w = Tensor::randn(Shape{3, 3, 3, 7}, rng);  // out_c says 8
+  Builder b;
+  const int c = b.conv2d(b.input(), 3, 8, 3, 1, &w, nullptr, "c");
+  expect_reject([&] { (void)b.finish(c); },
+                "weight shape [3, 3, 3, 7] != expected [3, 3, 3, 8]");
+}
+
+TEST(VerifyGoldenTest, BatchNormHalfPopulated) {
+  Rng rng(2);
+  const Tensor g = Tensor::randn(Shape{8}, rng);
+  Builder b;
+  const int v1 = b.batch_norm(b.input(), 8, 1e-3f, &g, nullptr, nullptr,
+                              nullptr, "bn");
+  expect_reject([&] { (void)b.finish(v1); },
+                "batch_norm tensors must all be present or all absent");
+}
+
+TEST(VerifyGoldenTest, SqueezeExciteHalfPopulated) {
+  Rng rng(3);
+  const Tensor w1 = Tensor::randn(Shape{8, 2}, rng);
+  Builder b;
+  const int v1 = b.squeeze_excite(b.input(), 8, 2, &w1, nullptr, nullptr,
+                                  nullptr, "se");
+  expect_reject([&] { (void)b.finish(v1); },
+                "squeeze_excite tensors must all be present or all absent");
+}
+
+TEST(VerifyGoldenTest, FusedActOnNonFusableKind) {
+  Builder b;
+  const int v1 = b.relu(b.input());
+  Program p = b.finish(v1);
+  p.ops()[0].act = Act::kSwish;
+  expect_reject([&] { verify(p); },
+                "fused activation on a non-fusable op kind");
+}
+
+TEST(VerifyGoldenTest, HasBiasOnBiaslessKind) {
+  Builder b;
+  const int v1 = b.relu(b.input());
+  Program p = b.finish(v1);
+  p.ops()[0].has_bias = true;
+  expect_reject([&] { verify(p); },
+                "has_bias on an op kind that carries no bias");
+}
+
+TEST(VerifyGoldenTest, UndefinedOutput) {
+  Builder b;
+  const int v1 = b.relu(b.input());
+  Program p = b.finish(v1);
+  p.set_output(99);
+  expect_reject([&] { verify(p); },
+                "program output v99 is not a defined value");
+}
+
+// The all-or-nothing weight/bias rule (a fold that bakes the weight but
+// drops the bias it owes must not pass as a "weightless shape program").
+TEST(VerifyGoldenTest, PartiallyWeightlessOpRejected) {
+  Rng rng(4);
+  const Tensor w = Tensor::randn(Shape{3, 3, 3, 8}, rng);
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, &w, nullptr, "c");
+  Program p = b.finish(v1);
+  p.ops()[0].has_bias = true;  // bias promised, never baked
+  expect_reject([&] { verify(p); },
+                "has_bias is set and weight is baked but the bias tensor is "
+                "missing (partially weightless op)");
+}
+
+TEST(VerifyGoldenTest, BiasWithoutWeightRejected) {
+  Rng rng(5);
+  const Tensor bias = Tensor::randn(Shape{8}, rng);
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, nullptr, nullptr, "c");
+  Program p = b.finish(v1);
+  p.ops()[0].bias = &bias;
+  p.ops()[0].has_bias = true;
+  expect_reject([&] { verify(p); },
+                "bias tensor present but weight is missing");
+}
+
+TEST(VerifyGoldenTest, BiasWithoutHasBiasRejected) {
+  Rng rng(6);
+  const Tensor w = Tensor::randn(Shape{3, 3, 3, 8}, rng);
+  const Tensor bias = Tensor::randn(Shape{8}, rng);
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, &w, nullptr, "c");
+  Program p = b.finish(v1);
+  p.ops()[0].bias = &bias;
+  expect_reject([&] { verify(p); },
+                "bias tensor present but has_bias is false");
+}
+
+TEST(VerifyGoldenTest, ForeignTensorFieldRejected) {
+  Rng rng(7);
+  const Tensor g = Tensor::randn(Shape{8}, rng);
+  Builder b;
+  const int v1 = b.relu(b.input());
+  Program p = b.finish(v1);
+  p.ops()[0].gamma = &g;  // a relu has no BN parameters
+  expect_reject([&] { verify(p); },
+                "carries a parameter tensor its kind does not use (gamma)");
+}
+
+// ---- Symbolic dataflow ("ir shape:") ----------------------------------------
+
+TEST(ValueInfoTest, PropagatesRankAndChannels) {
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 2, nullptr, nullptr, "c");
+  const int v2 = b.global_avg_pool(v1);
+  const int v3 = b.dense(v2, 8, 10, nullptr, nullptr, "fc");
+  const Program p = b.finish(v3);
+  const std::vector<ValueInfo> info = infer_value_info(p);
+  EXPECT_FALSE(info[0].rank_known());  // input stays symbolic
+  EXPECT_EQ(info[static_cast<std::size_t>(v1)].rank, 4);
+  EXPECT_EQ(info[static_cast<std::size_t>(v1)].channels, 8);
+  EXPECT_EQ(info[static_cast<std::size_t>(v2)].rank, 2);
+  EXPECT_EQ(info[static_cast<std::size_t>(v2)].channels, 8);
+  EXPECT_EQ(info[static_cast<std::size_t>(v3)].channels, 10);
+}
+
+TEST(ValueInfoTest, ChannelMismatchIsHardError) {
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, nullptr, nullptr, "c");
+  const int v2 = b.batch_norm(v1, 8, 1e-3f, nullptr, nullptr, nullptr,
+                              nullptr, "bn");
+  Program p = b.finish(v2);
+  p.ops()[1].in_c = 6;  // disagrees with the conv's 8-channel output
+  expect_reject([&] { infer_value_info(p); },
+                "ir shape: batch_norm 'bn' (v2): arg v1 has 8 channels, "
+                "expected channels 6");
+}
+
+TEST(ValueInfoTest, RankMismatchIsHardError) {
+  Builder b;
+  const int v1 = b.global_avg_pool(b.input());
+  const int v2 = b.global_avg_pool(v1);  // pooling a rank-2 value
+  // finish() runs verify(), whose dataflow walk catches this.
+  expect_reject([&] { (void)b.finish(v2); },
+                "arg v1 has rank 2, expected rank 4");
+}
+
+TEST(ValueInfoTest, AddOperandChannelDisagreement) {
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, nullptr, nullptr, "a");
+  const int v2 = b.conv2d(b.input(), 3, 4, 3, 1, nullptr, nullptr, "b");
+  const int v3 = b.add(v1, v2);
+  expect_reject([&] { (void)b.finish(v3); },
+                "operand channels differ (8 vs 4)");
+}
+
+// ---- Concrete shape inference ("ir:") ---------------------------------------
+
+TEST(InferShapesTest, GoldenDiagnostics) {
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 2, nullptr, nullptr, "c");
+  const Program p = b.finish(v1);
+  const std::vector<Shape> shapes = infer_shapes(p, Shape{2, 9, 9, 3});
+  EXPECT_EQ(shapes[static_cast<std::size_t>(v1)], (Shape{2, 5, 5, 8}));
+  expect_reject([&] { infer_shapes(p, Shape{7}); },
+                "ir: program input must have rank >= 2, got [7]");
+  expect_reject([&] { infer_shapes(p, Shape{2, 9, 9, 5}); },
+                "input channels 5 != in_c 3");
+}
+
+// ---- Value ranges ("ir range:") ---------------------------------------------
+
+TEST(RangeTest, NonPositiveVarianceIsFatal) {
+  Rng rng(8);
+  const Tensor g = Tensor::randn(Shape{8}, rng);
+  const Tensor beta = Tensor::randn(Shape{8}, rng);
+  const Tensor mean = Tensor::randn(Shape{8}, rng);
+  Tensor var = Tensor::uniform(Shape{8}, rng, 0.5f, 1.5f);
+  var.at(3) = -1.f;
+  Builder b;
+  const int v1 = b.batch_norm(b.input(), 8, 1e-3f, &g, &beta, &mean, &var,
+                              "bn");
+  const Program p = b.finish(v1);
+  const RangeReport report = analyze_ranges(p);
+  ASSERT_TRUE(report.fatal());
+  EXPECT_EQ(report.findings[0].kind,
+            RangeFinding::Kind::kNonPositiveVariance);
+  expect_reject([&] { assert_ranges(p); },
+                "ir range: batch_norm 'bn' (v1): running variance var[3] + "
+                "eps is not positive (1/sqrt is NaN)");
+}
+
+TEST(RangeTest, NonFiniteParamIsFatal) {
+  Rng rng(9);
+  Tensor w = Tensor::randn(Shape{3, 3, 3, 8}, rng);
+  w.at(40) = std::numeric_limits<float>::quiet_NaN();
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, &w, nullptr, "c");
+  const Program p = b.finish(v1);
+  expect_reject([&] { assert_ranges(p); },
+                "weight contains a non-finite value");
+}
+
+TEST(RangeTest, WeightlessProgramHasNoFatalFindings) {
+  const Program p = effnet::lower_spec(effnet::b(0), 1000);
+  EXPECT_FALSE(analyze_ranges(p).fatal());
+}
+
+TEST(RangeTest, FiniteCheckPlacedOnExpOverUnbounded) {
+  // Weightless conv output is unbounded; the swish behind it is an
+  // exp-family op, so it gets an assert_finite point. The relu does not.
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, nullptr, nullptr, "c");
+  const int v2 = b.swish(v1);
+  const int v3 = b.relu(v2);
+  const Program p = b.finish(v3);
+  const RangeReport report = analyze_ranges(p);
+  EXPECT_FALSE(report.fatal());
+  const std::vector<bool> points = finite_check_points(p, report);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_FALSE(points[0]);
+  EXPECT_TRUE(points[1]);  // swish over the unbounded conv output
+  // The relu is the program output and still unbounded -> checked too.
+  EXPECT_TRUE(points[2]);
+  EXPECT_FALSE(report.ranges[static_cast<std::size_t>(v1)].bounded());
+  // swish's own output is bounded below but not above.
+  EXPECT_EQ(report.ranges[static_cast<std::size_t>(v2)].lo, -0.2785);
+  (void)v2;
+}
+
+TEST(RangeTest, SigmoidBoundsItsOutput) {
+  Builder b;
+  const int v1 = b.sigmoid(b.input());
+  const Program p = b.finish(v1);
+  const RangeReport report = analyze_ranges(p);
+  const ValueRange& r = report.ranges[static_cast<std::size_t>(v1)];
+  EXPECT_EQ(r.lo, 0.0);
+  EXPECT_EQ(r.hi, 1.0);
+  EXPECT_TRUE(r.bounded());
+}
+
+// ---- Plan certification ("ir plan:") ----------------------------------------
+
+struct PlannedProgram {
+  Program program;
+  std::vector<Shape> shapes;
+  std::vector<std::int64_t> scratch;
+  MemoryPlan plan;
+};
+
+PlannedProgram plan_chain() {
+  Builder b;
+  const int v1 = b.swish(b.input());
+  const int v2 = b.relu(v1);
+  const int v3 = b.swish(v2);
+  PlannedProgram pp{b.finish(v3), {}, {}, {}};
+  pp.shapes = infer_shapes(pp.program, Shape{1, 4, 4, 8});
+  pp.scratch = op_scratch_floats(
+      pp.program, pp.shapes,
+      [](const Op&, const tensor::ConvGeometry&) { return false; });
+  pp.plan = plan_memory(pp.program, pp.shapes, pp.scratch);
+  return pp;
+}
+
+TEST(PlanCertifyTest, AcceptsTheRealPlanner) {
+  PlannedProgram pp = plan_chain();
+  certify_plan(pp.program, pp.shapes, pp.scratch, pp.plan);  // must not throw
+}
+
+TEST(PlanCertifyTest, RejectsMisalignedOffset) {
+  PlannedProgram pp = plan_chain();
+  pp.plan.value_offset[1] += 4;
+  expect_reject(
+      [&] { certify_plan(pp.program, pp.shapes, pp.scratch, pp.plan); },
+      "is not 64-byte (16-float) aligned");
+}
+
+TEST(PlanCertifyTest, RejectsArenaOverrun) {
+  PlannedProgram pp = plan_chain();
+  pp.plan.arena_floats = 16;
+  expect_reject(
+      [&] { certify_plan(pp.program, pp.shapes, pp.scratch, pp.plan); },
+      "exceeds the arena end 16");
+}
+
+TEST(PlanCertifyTest, RejectsLiveOverlap) {
+  PlannedProgram pp = plan_chain();
+  // v2 moved onto v1's slot while v1 is still live (op 1 reads it).
+  pp.plan.value_offset[2] = pp.plan.value_offset[1];
+  expect_reject(
+      [&] { certify_plan(pp.program, pp.shapes, pp.scratch, pp.plan); },
+      "while both are live");
+}
+
+TEST(PlanCertifyTest, RejectsMissingOffset) {
+  PlannedProgram pp = plan_chain();
+  pp.plan.value_offset[2] = -1;
+  expect_reject(
+      [&] { certify_plan(pp.program, pp.shapes, pp.scratch, pp.plan); },
+      "has no arena offset");
+}
+
+TEST(PlanCertifyTest, RejectsInputInArena) {
+  PlannedProgram pp = plan_chain();
+  pp.plan.value_offset[0] = 0;
+  expect_reject(
+      [&] { certify_plan(pp.program, pp.shapes, pp.scratch, pp.plan); },
+      "program input v0 must live outside the arena");
+}
+
+// ---- DefUse legality --------------------------------------------------------
+
+TEST(DefUseTest, CountsAndLiveness) {
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, nullptr, nullptr, "a");
+  const int v2 = b.relu(v1);
+  const int v3 = b.relu(v1);  // dead: nothing reads it
+  (void)v3;
+  const Program p = b.finish(v2);
+  const DefUse du(p);
+  EXPECT_EQ(du.def_index(0), -1);  // program input
+  EXPECT_EQ(du.def_index(v1), 0);
+  EXPECT_EQ(du.use_count(v1), 2);
+  EXPECT_FALSE(du.single_reader(v1));
+  EXPECT_EQ(du.use_count(v2), 1);  // the program output counts as a read
+  EXPECT_TRUE(du.single_reader(v2));
+  EXPECT_TRUE(du.live()[static_cast<std::size_t>(v1)]);
+  EXPECT_TRUE(du.live()[static_cast<std::size_t>(v2)]);
+  EXPECT_FALSE(du.live()[static_cast<std::size_t>(v3)]);
+}
+
+TEST(DefUseTest, CanReplaceConsumerReasons) {
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, nullptr, nullptr, "a");
+  const int v2 = b.batch_norm(v1, 8, 1e-3f, nullptr, nullptr, nullptr,
+                              nullptr, "bn");
+  const int v3 = b.relu(v1);
+  const int v4 = b.add(v2, v3);
+  const Program p = b.finish(v4);
+  const DefUse du(p);
+  std::string why;
+
+  // v1 has two readers (the BN and the relu): replacing either consumer
+  // would hide the pre-rewrite value from the other.
+  EXPECT_FALSE(du.can_replace_consumer(v1, v2, &why));
+  EXPECT_NE(why.find("has 2 readers"), std::string::npos) << why;
+
+  // The program input is never a foldable producer.
+  EXPECT_FALSE(du.can_replace_consumer(0, v1, &why));
+  EXPECT_NE(why.find("is the program input or undefined"), std::string::npos);
+
+  // The BN does not read the relu's value.
+  EXPECT_FALSE(du.can_replace_consumer(v3, v2, &why));
+  EXPECT_NE(why.find("does not read producer"), std::string::npos);
+
+  // v2 -> v4 is legal: the add is v2's only reader.
+  EXPECT_TRUE(du.can_replace_consumer(v2, v4, &why));
+}
+
+// ---- Mutation harness: every bugged variant rejected, at the right stage ----
+
+TEST(MutationTest, AllMutantsRejectedAtExpectedStage) {
+  const std::vector<std::string> names = mutant_names();
+  EXPECT_GE(names.size(), 12u);
+  for (const std::string& name : names) {
+    const MutationCase c = make_mutant(name);
+    std::string message;
+    const std::string stage = run_static_gate(c, &message);
+    EXPECT_FALSE(stage.empty())
+        << "mutant '" << name << "' escaped the static gate ("
+        << c.description << ")";
+    EXPECT_EQ(stage, c.expected_rejector)
+        << "mutant '" << name << "': " << message;
+  }
+}
+
+TEST(MutationTest, UnknownMutantNameThrows) {
+  EXPECT_THROW((void)make_mutant("no_such_mutant"), std::invalid_argument);
+}
+
+// ---- Zero false positives on real programs ----------------------------------
+
+TEST(FalsePositiveTest, LoweredPicoModelPassesEveryAnalysis) {
+  effnet::ModelSpec spec = effnet::pico();
+  spec.dropout = 0.f;
+  spec.drop_connect = 0.f;
+  effnet::ModelOptions mopts;
+  mopts.num_classes = 8;
+  effnet::EfficientNet model(spec, mopts);
+  Program p = nn::lower_to_program(model);
+  for (const bool optimized : {false, true}) {
+    if (optimized) run_passes(p);
+    verify(p);
+    assert_ranges(p);
+    const std::vector<Shape> shapes = infer_shapes(p, Shape{2, 16, 16, 3});
+    const std::vector<std::int64_t> scratch =
+        op_scratch_floats(p, shapes, default_conv_strategy());
+    const MemoryPlan plan = plan_memory(p, shapes, scratch);
+    certify_plan(p, shapes, scratch, plan);
+  }
+}
+
+TEST(FalsePositiveTest, B0SpecProgramPassesTheGate) {
+  const effnet::ModelSpec spec = effnet::b(0);
+  const Program p = effnet::lower_spec(spec, 1000);
+  verify(p);
+  assert_ranges(p);
+  const std::vector<Shape> shapes =
+      infer_shapes(p, Shape{1, spec.resolution, spec.resolution, 3});
+  EXPECT_EQ(shapes[static_cast<std::size_t>(p.output())],
+            (Shape{1, 1000}));
+}
+
+// ---- Executor integration ---------------------------------------------------
+
+TEST(ExecutorGateTest, RejectsNanWeightAtConstruction) {
+  Rng rng(10);
+  Tensor w = Tensor::randn(Shape{3, 3, 3, 8}, rng);
+  w.at(0) = std::numeric_limits<float>::infinity();
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, &w, nullptr, "c");
+  const Program p = b.finish(v1);
+  EXPECT_THROW(Executor exec(p), std::invalid_argument);
+}
+
+TEST(ExecutorGateTest, RejectsPoisonedLoweredModel) {
+  // Same gate, but on a real lowered model: a NaN written into a layer
+  // weight after lowering (simulating a buggy pass or corrupted load)
+  // must be caught at executor construction, not at run time.
+  effnet::ModelSpec spec = effnet::pico();
+  spec.dropout = 0.f;
+  spec.drop_connect = 0.f;
+  effnet::ModelOptions mopts;
+  mopts.num_classes = 8;
+  effnet::EfficientNet model(spec, mopts);
+  Program p = nn::lower_to_program(model);
+  bool poisoned = false;
+  for (Op& op : p.ops()) {
+    if (op.weight != nullptr) {
+      const_cast<float*>(op.weight->data())[0] =
+          std::numeric_limits<float>::quiet_NaN();
+      poisoned = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(poisoned);
+  EXPECT_THROW(Executor exec(p), std::invalid_argument);
+}
+
+TEST(ExecutorGateTest, RejectsNonPositiveVarianceAtConstruction) {
+  Rng rng(11);
+  const Tensor w = Tensor::randn(Shape{3, 3, 3, 8}, rng, 0.2f);
+  const Tensor g = Tensor::randn(Shape{8}, rng, 0.2f);
+  const Tensor beta = Tensor::randn(Shape{8}, rng, 0.2f);
+  const Tensor mean = Tensor::randn(Shape{8}, rng, 0.2f);
+  Tensor var = Tensor::uniform(Shape{8}, rng, 0.5f, 1.5f);
+  var.at(0) = -1.f;
+  Builder b;
+  const int v1 = b.conv2d(b.input(), 3, 8, 3, 1, &w, nullptr, "c");
+  const int v2 = b.batch_norm(v1, 8, 1e-3f, &g, &beta, &mean, &var, "bn");
+  const Program p = b.finish(v2);
+  EXPECT_THROW(Executor exec(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace podnet::ir

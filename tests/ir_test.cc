@@ -16,6 +16,7 @@
 #include "core/trainer.h"
 #include "effnet/mbconv.h"
 #include "effnet/model.h"
+#include "ir/analysis.h"
 #include "ir/builder.h"
 #include "ir/executor.h"
 #include "ir/passes.h"

@@ -380,6 +380,51 @@ TEST_F(SimdOpsParityTest, Reductions) {
   }
 }
 
+TEST_F(SimdOpsParityTest, AllFiniteAgreesAtEveryLevelAndTailPosition) {
+  // all_finite is an exact predicate (an exponent-bits max), so every
+  // level must return identical verdicts — including when the only bad
+  // element sits in the vector tail, which the masked/scalar remainder
+  // paths handle differently per level.
+  const float kBad[] = {std::numeric_limits<float>::quiet_NaN(),
+                        std::numeric_limits<float>::infinity(),
+                        -std::numeric_limits<float>::infinity()};
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{16}, std::size_t{33}, kN}) {
+    std::vector<float> clean(x.begin(), x.begin() + n);
+    if (!clean.empty()) {
+      clean.front() = std::numeric_limits<float>::max();    // finite extremes
+      clean.back() = std::numeric_limits<float>::denorm_min();
+    }
+    {
+      simd::ScopedLevel s(simd::Level::kScalar);
+      EXPECT_TRUE(all_finite({clean.data(), n})) << "scalar n=" << n;
+    }
+    for (const simd::Level request : kSimdLevels) {
+      simd::ScopedLevel s(request);
+      EXPECT_TRUE(all_finite({clean.data(), n}))
+          << "level " << simd::level_name(request) << " n=" << n;
+    }
+    for (const float bad : kBad) {
+      for (const std::size_t at : {std::size_t{0}, n / 2, n - 1}) {
+        if (n == 0 || at >= n) continue;
+        std::vector<float> poisoned = clean;
+        poisoned[at] = bad;
+        {
+          simd::ScopedLevel s(simd::Level::kScalar);
+          EXPECT_FALSE(all_finite({poisoned.data(), n}))
+              << "scalar n=" << n << " at=" << at;
+        }
+        for (const simd::Level request : kSimdLevels) {
+          simd::ScopedLevel s(request);
+          EXPECT_FALSE(all_finite({poisoned.data(), n}))
+              << "level " << simd::level_name(request) << " n=" << n
+              << " at=" << at;
+        }
+      }
+    }
+  }
+}
+
 TEST_F(SimdOpsParityTest, ActivationsAndSoftmax) {
   // The SIMD sigmoid/softmax use a polynomial exp that tracks std::exp to
   // a few ulp; outputs live in [0,1] so an absolute tolerance is right.

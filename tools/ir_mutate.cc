@@ -1,0 +1,260 @@
+// ir_mutate: the IR static-analysis teeth-and-false-positive runner.
+//
+// Three checks share this binary (all run by default; the ir_fuzz_smoke
+// ctest pins the seed):
+//
+//   --mutants       every bugged pass/planner variant in ir/mutate.h must
+//                   be rejected by run_static_gate, by the *expected*
+//                   analysis stage — an escape or a wrong-stage rejection
+//                   fails the run;
+//   --fuzz N        N seeded random MBConv programs: the gate must accept
+//                   the freshly lowered program (zero false positives),
+//                   still accept after a random pass subset, and the
+//                   executor must track the layer interpreter (bitwise
+//                   with no fold/fuse; tight tolerance otherwise) — a
+//                   differential check that the analyses' "accept" verdict
+//                   means the program really runs correctly;
+//   --specs         B0..B7 weightless lower_spec programs through
+//                   verify/range/shape: the analyses must accept every
+//                   real EfficientNet graph at its native resolution.
+//
+// Options: --list prints mutant names; --seed S reseeds the fuzzer.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "effnet/config.h"
+#include "effnet/lower.h"
+#include "effnet/mbconv.h"
+#include "ir/analysis.h"
+#include "ir/executor.h"
+#include "ir/mutate.h"
+#include "ir/passes.h"
+#include "ir/verify.h"
+#include "nn/lower.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace podnet;
+using tensor::Index;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+int run_mutants() {
+  int failures = 0;
+  const std::vector<std::string> names = ir::mutant_names();
+  for (const std::string& name : names) {
+    const ir::MutationCase c = ir::make_mutant(name);
+    std::string message;
+    const std::string stage = ir::run_static_gate(c, &message);
+    if (stage.empty()) {
+      std::printf("MUTANT %-28s ESCAPED the static gate (%s)\n", name.c_str(),
+                  c.description.c_str());
+      ++failures;
+    } else if (stage != c.expected_rejector) {
+      std::printf("MUTANT %-28s rejected by '%s', expected '%s': %s\n",
+                  name.c_str(), stage.c_str(), c.expected_rejector.c_str(),
+                  message.c_str());
+      ++failures;
+    } else {
+      std::printf("mutant %-28s rejected by %-6s: %s\n", name.c_str(),
+                  stage.c_str(), message.c_str());
+    }
+  }
+  std::printf("mutants: %zu run, %d escaped/misrouted\n", names.size(),
+              failures);
+  return failures;
+}
+
+// Accept-gate for a program expected to be clean: runs the same pipeline
+// stages the mutants face and reports any rejection as a false positive.
+bool gate_accepts(const ir::Program& p, const Shape& input,
+                  const char* label) {
+  try {
+    ir::verify(p);
+    ir::assert_ranges(p);
+    (void)ir::infer_shapes(p, input);
+  } catch (const std::exception& e) {
+    std::printf("FALSE POSITIVE on %s: %s\n", label, e.what());
+    return false;
+  }
+  return true;
+}
+
+double max_rel_err(const Tensor& got, const Tensor& want) {
+  double worst = 0;
+  for (Index i = 0; i < got.numel(); ++i) {
+    const double w = want.data()[i];
+    const double e = std::fabs(got.data()[i] - w) / (1e-6 + std::fabs(w));
+    if (e > worst) worst = e;
+  }
+  return worst;
+}
+
+int run_fuzz(int iters, std::uint64_t seed) {
+  int failures = 0;
+  Rng master(seed);
+  for (int iter = 0; iter < iters; ++iter) {
+    Rng rng = master.split(static_cast<std::uint64_t>(iter) + 1);
+
+    // Random B0-shaped MBConv subgraph: kernel/stride/expansion/SE drawn
+    // from the ranges the real blocks use.
+    effnet::BlockArgs args;
+    args.kernel = rng.next_below(2) == 0 ? 3 : 5;
+    args.stride = 1 + static_cast<Index>(rng.next_below(2));
+    args.expand_ratio = 1 + static_cast<Index>(rng.next_below(2)) * 3;
+    args.input_filters = 4 + static_cast<Index>(rng.next_below(9));
+    args.output_filters =
+        args.stride == 1 ? args.input_filters
+                         : 8 + static_cast<Index>(rng.next_below(8));
+    args.se_ratio = rng.next_below(3) == 0 ? 0.f : 0.25f;
+    args.survival_prob = 1.f;
+    effnet::MBConvBlock block(args, rng, rng.split(101),
+                              tensor::MatmulPrecision::kFp32,
+                              "fuzz" + std::to_string(iter));
+    const Index n = 1 + static_cast<Index>(rng.next_below(3));
+    const Index hw = 5 + static_cast<Index>(rng.next_below(7));
+    // Train step moves the BN running stats off their init values.
+    (void)block.forward(
+        Tensor::randn(Shape{n, hw, hw, args.input_filters}, rng), true);
+    const Tensor x = Tensor::randn(Shape{n, hw, hw, args.input_filters}, rng);
+    const Tensor want = block.forward(x, /*training=*/false);
+
+    const std::string label = "fuzz #" + std::to_string(iter);
+    ir::Program p = nn::lower_to_program(block);
+    if (!gate_accepts(p, x.shape(), (label + " (lowered)").c_str())) {
+      ++failures;
+      continue;
+    }
+
+    // Random pass subset; the gate must keep accepting after rewrites.
+    const ir::PassOptions opts{rng.next_below(2) == 0,
+                               rng.next_below(2) == 0,
+                               rng.next_below(2) == 0};
+    ir::run_passes(p, opts);
+    if (!gate_accepts(p, x.shape(), (label + " (after passes)").c_str())) {
+      ++failures;
+      continue;
+    }
+
+    // Differential: the analyses said "fine" — the executor (whose bind
+    // certifies the memory plan) must now agree with the interpreter.
+    try {
+      ir::Executor exec(p);
+      const Tensor got = exec.run(x);
+      if (got.shape() != want.shape()) {
+        std::printf("FUZZ FAIL %s: output shape %s vs interpreter %s\n",
+                    label.c_str(), got.shape().str().c_str(),
+                    want.shape().str().c_str());
+        ++failures;
+        continue;
+      }
+      if (!opts.fold_bn && !opts.fuse) {
+        if (std::memcmp(got.data(), want.data(),
+                        static_cast<std::size_t>(got.numel()) *
+                            sizeof(float)) != 0) {
+          std::printf("FUZZ FAIL %s: no-pass run is not bitwise identical\n",
+                      label.c_str());
+          ++failures;
+          continue;
+        }
+      } else {
+        const double err = max_rel_err(got, want);
+        if (err > 5e-3) {
+          std::printf("FUZZ FAIL %s: max_rel_err %.3g after passes\n",
+                      label.c_str(), err);
+          ++failures;
+          continue;
+        }
+      }
+      std::printf("fuzz #%d ok: k%lld s%lld e%lld %lld->%lld se=%.2f "
+                  "fold=%d fuse=%d dce=%d\n",
+                  iter, static_cast<long long>(args.kernel),
+                  static_cast<long long>(args.stride),
+                  static_cast<long long>(args.expand_ratio),
+                  static_cast<long long>(args.input_filters),
+                  static_cast<long long>(args.output_filters), args.se_ratio,
+                  opts.fold_bn, opts.fuse, opts.dce);
+    } catch (const std::exception& e) {
+      std::printf("FUZZ FAIL %s: executor threw: %s\n", label.c_str(),
+                  e.what());
+      ++failures;
+    }
+  }
+  std::printf("fuzz: %d programs, %d failures (seed %llu)\n", iters, failures,
+              static_cast<unsigned long long>(seed));
+  return failures;
+}
+
+int run_specs() {
+  int failures = 0;
+  for (int variant = 0; variant <= 7; ++variant) {
+    const effnet::ModelSpec spec = effnet::b(variant);
+    const ir::Program p = effnet::lower_spec(spec, 1000);
+    const Shape input{1, spec.resolution, spec.resolution, 3};
+    if (!gate_accepts(p, input, spec.name.c_str())) {
+      ++failures;
+    } else {
+      std::printf("spec %s ok: %zu ops at %lldx%lld\n", spec.name.c_str(),
+                  p.ops().size(), static_cast<long long>(spec.resolution),
+                  static_cast<long long>(spec.resolution));
+    }
+  }
+  std::printf("specs: b0..b7, %d false positives\n", failures);
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool mutants = false, specs = false, list = false;
+  int fuzz = -1;
+  std::uint64_t seed = 1711;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--mutants") {
+      mutants = true;
+    } else if (arg == "--specs") {
+      specs = true;
+    } else if (arg == "--fuzz" && i + 1 < argc) {
+      fuzz = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--list] [--mutants] [--fuzz N] [--seed S] "
+                   "[--specs]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (list) {
+    for (const std::string& name : ir::mutant_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  // Default run covers everything.
+  if (!mutants && fuzz < 0 && !specs) {
+    mutants = specs = true;
+    fuzz = 6;
+  }
+
+  int failures = 0;
+  if (mutants) failures += run_mutants();
+  if (fuzz > 0) failures += run_fuzz(fuzz, seed);
+  if (specs) failures += run_specs();
+  if (failures == 0) {
+    std::printf("ir_mutate OK\n");
+    return 0;
+  }
+  std::printf("ir_mutate: %d failures\n", failures);
+  return 1;
+}

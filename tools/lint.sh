@@ -19,7 +19,12 @@
 #   6. every graph-IR pass (src/ir/pass_*.cc) re-verifies the program it
 #      rewrote via PODNET_IR_VERIFY — a pass that skips the verifier can
 #      ship a malformed program straight into the executor (the src/ir
-#      headers' `#pragma once` requirement rides on check 3).
+#      headers' `#pragma once` requirement rides on check 3);
+#   7. OpKind enumerator parity: every enumerator declared in src/ir/ir.h
+#      must be named in ir.cc (op_kind_name), printer.cc, and analysis.cc
+#      (the shape/range/scratch tables), and every pass TU must consult
+#      the DefUse legality analysis — a new op kind or a legality-blind
+#      pass fails here before it can fail at runtime.
 set -u
 fail=0
 
@@ -71,6 +76,30 @@ fi
 for p in $(find src/ir -name 'pass_*.cc' 2>/dev/null | sort); do
   if ! grep -q 'PODNET_IR_VERIFY' "$p"; then
     echo "lint: $p rewrites IR but never calls PODNET_IR_VERIFY"
+    fail=1
+  fi
+done
+
+# Every OpKind enumerator must be handled by name in the TUs that switch
+# over the enum semantically: the name table, the printer, and the static
+# analyses. (-Wswitch-enum enforces this at compile time for podnet_ir;
+# this check also catches a stale enumerator list without a rebuild.)
+kinds=$(sed -n '/^enum class OpKind/,/^};/p' src/ir/ir.h |
+  grep -oE 'k[A-Za-z0-9]+' | sort -u)
+for kind in $kinds; do
+  for tu in src/ir/ir.cc src/ir/printer.cc src/ir/analysis.cc; do
+    if ! grep -q "OpKind::$kind" "$tu"; then
+      echo "lint: OpKind::$kind from src/ir/ir.h is not handled in $tu"
+      fail=1
+    fi
+  done
+done
+
+# Every pass must route its rewrite legality through the shared DefUse
+# analysis instead of a private use-count scan.
+for p in $(find src/ir -name 'pass_*.cc' 2>/dev/null | sort); do
+  if ! grep -q 'DefUse' "$p"; then
+    echo "lint: $p rewrites IR without consulting the DefUse analysis"
     fail=1
   fi
 done
